@@ -1,0 +1,81 @@
+// §V reproduction: the CPU/MPI pipeline with the distributed 3D FFT versus
+// the GPU-offloaded version.
+//
+// Shapes to reproduce:
+//   * "around 40-50% of the runtime is attributed to communication
+//     primitives", dominated by the transpose & padding of the distributed
+//     FFT (the CPU breakdown shows it),
+//   * offloading removes the nqb dimension (nqb = 1), disrupting the
+//     previous MPI balance and motivating the re-tuning of the grid,
+//   * the GPU version is substantially faster at equal allocation.
+
+#include <iostream>
+#include <limits>
+#include <sstream>
+
+#include "common/table.hpp"
+#include "tddft/cpu_pipeline.hpp"
+#include "tddft/slater_pipeline.hpp"
+
+using namespace tunekit;
+
+namespace {
+
+void run_case(const tddft::PhysicalSystem& system) {
+  std::cout << "--- " << system.name << " ---\n";
+  constexpr int kRanks = 40;  // 10-node allocation
+
+  // CPU pipeline across nqb choices (the distributed-FFT width).
+  tddft::CpuPipeline cpu(system, tddft::CpuArch::perlmutter_cpu(), kRanks);
+  Table cpu_table({"CPU grid (nstb x nkpb x nspb x nqb)", "Slater (ms)", "FFT (ms)",
+                   "Transpose (ms)", "Comm share"});
+  double best_cpu = std::numeric_limits<double>::infinity();
+  for (int nqb : {1, 2, 4, 8}) {
+    // Keep the rank budget: give the rest to bands/k-points.
+    tddft::CpuGrid grid;
+    grid.nqb = nqb;
+    grid.nkpb = system.nkpoints >= 4 ? 4 : 1;
+    grid.nstb = std::max(1, kRanks / (nqb * grid.nkpb));
+    while (grid.ranks() > kRanks && grid.nstb > 1) --grid.nstb;
+    if (!cpu.valid(grid)) continue;
+    const auto b = cpu.simulate(grid);
+    // The CPU code distributes the FFT out of per-rank memory necessity;
+    // nqb = 1 is shown for reference only and excluded from "best CPU".
+    if (nqb >= 2) best_cpu = std::min(best_cpu, b.total);
+    std::ostringstream name;
+    name << grid.nstb << "x" << grid.nkpb << "x" << grid.nspb << "x" << grid.nqb;
+    cpu_table.add_row({name.str(), Table::fmt(b.slater * 1e3, 2),
+                       Table::fmt(b.fft_compute * 1e3, 2),
+                       Table::fmt(b.transpose_comm * 1e3, 2),
+                       Table::pct(b.comm_share(), 1)});
+  }
+  std::cout << cpu_table.str();
+
+  // GPU pipeline at default tuning (nqb = 1 by construction).
+  tddft::SlaterPipeline gpu(system, tddft::GpuArch::a100(), kRanks);
+  auto config = tddft::TddftConfig::defaults();
+  if (system.nkpoints >= 4) {
+    config.grid = {8, 4, 1};
+  } else {
+    config.grid = {32, 1, 1};
+  }
+  const auto g = gpu.simulate(config);
+
+  std::cout << "GPU-offloaded (default tuning, grid " << config.grid.nstb << "x"
+            << config.grid.nkpb << "x" << config.grid.nspb
+            << ", nqb=1): total = " << Table::fmt(g.total * 1e3, 2) << " ms\n";
+  std::cout << "Offloading speedup vs best CPU total: "
+            << Table::fmt(best_cpu / g.total, 2) << "x\n\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== CPU (distributed FFT) vs GPU-offloaded pipeline (SS 5) ===\n\n";
+  run_case(tddft::PhysicalSystem::case_study_1());
+  run_case(tddft::PhysicalSystem::case_study_2());
+  std::cout << "(paper: 40-50% of CPU runtime in communication primitives, mostly\n"
+               " the transpose & padding of the distributed 3D FFT; offloading\n"
+               " replaces the nqb ranks with a single-rank shared-memory FFT)\n";
+  return 0;
+}

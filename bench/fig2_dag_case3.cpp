@@ -1,0 +1,41 @@
+// Figure 2 reproduction: the influence DAG for synthetic Case 3 after the
+// 25% cut-off. The paper's diagram shows Groups 1, 2, 4 self-contained and
+// Group 4's variables (x15..x19) linking into Group 3, forcing a joint
+// Group3+Group4 search.
+
+#include <iostream>
+
+#include "core/methodology.hpp"
+#include "synth/synth_app.hpp"
+
+using namespace tunekit;
+
+int main() {
+  constexpr double kCutoff = 0.25;
+  synth::SynthApp app(synth::SynthCase::Case3);
+
+  core::MethodologyOptions opt;
+  opt.cutoff = kCutoff;
+  opt.sensitivity.n_variations = 100;
+  opt.sensitivity.ladder_factor = 1.10;
+  opt.importance_samples = 0;
+  core::Methodology m(opt);
+  const auto analysis = m.analyze(app);
+  const auto pruned = analysis.graph.pruned(kCutoff);
+
+  std::cout << "=== Figure 2: influence DAG, synthetic Case 3, cut-off 25% ===\n\n";
+  std::cout << "Cross edges surviving the cut-off (param owner -> influenced group):\n";
+  for (const auto& e : pruned.cross_edges()) {
+    std::cout << "  " << analysis.graph.param_name(e.param) << " ("
+              << analysis.graph.routine_name(e.from_routine) << ") -> "
+              << analysis.graph.routine_name(e.to_routine) << "  ["
+              << static_cast<int>(e.weight * 100.0) << "%]\n";
+  }
+
+  std::cout << "\nResulting partition:\n";
+  const auto plan = m.make_plan(app, analysis);
+  std::cout << plan.describe(analysis.graph);
+
+  std::cout << "\nGraphviz rendering of the pruned DAG:\n" << pruned.to_dot();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// google-benchmark: component costs of the methodology — one simulated
+// application evaluation, a full sensitivity analysis, forest-based feature
+// importance, and plan synthesis. These are the costs the paper trades
+// against each other when arguing its analysis is "cost-effective".
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+
+#include "core/methodology.hpp"
+#include "stats/random_forest.hpp"
+#include "synth/synth_app.hpp"
+#include "tddft/tddft_app.hpp"
+
+using namespace tunekit;
+
+namespace {
+
+void BM_TddftEvaluate(benchmark::State& state) {
+  tddft::RtTddftApp app(tddft::PhysicalSystem::case_study_1());
+  const auto config = app.space().defaults();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(app.evaluate_regions(config).total);
+  }
+}
+
+void BM_SynthEvaluate(benchmark::State& state) {
+  synth::SynthApp app(synth::SynthCase::Case3);
+  const auto config = app.baseline();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(app.evaluate_regions(config).total);
+  }
+}
+
+void BM_SensitivityAnalysisTddft(benchmark::State& state) {
+  tddft::RtTddftApp app(tddft::PhysicalSystem::case_study_1());
+  core::MethodologyOptions opt;
+  opt.importance_samples = 0;
+  core::Methodology m(opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.analyze(app).observations);
+  }
+}
+
+void BM_ForestImportance(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  linalg::Matrix x(n, 20);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < 20; ++k) x(i, k) = rng.uniform();
+    y[i] = x(i, 0) * 3.0 + x(i, 5);
+  }
+  stats::ForestOptions opt;
+  opt.n_trees = 60;
+  for (auto _ : state) {
+    stats::RandomForest forest(opt);
+    forest.fit(x, y);
+    benchmark::DoNotOptimize(forest.impurity_importance());
+  }
+}
+
+void BM_PlanSynthesis(benchmark::State& state) {
+  tddft::RtTddftApp app(tddft::PhysicalSystem::case_study_1());
+  core::MethodologyOptions opt;
+  opt.cutoff = 0.10;
+  opt.importance_samples = 0;
+  core::Methodology m(opt);
+  const auto analysis = m.analyze(app);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.make_plan(app, analysis).searches.size());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_TddftEvaluate);
+BENCHMARK(BM_SynthEvaluate);
+BENCHMARK(BM_SensitivityAnalysisTddft)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ForestImportance)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PlanSynthesis);

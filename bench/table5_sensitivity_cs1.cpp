@@ -1,0 +1,44 @@
+// Table V reproduction: per-routine sensitivity analysis for Case Study 1
+// (Mg-porphyrin). Top-10 sensitive parameters for Group 1, Group 2, Group 3
+// and the enclosing Slater Determinant region, using expert-suggested
+// variations (5 per parameter).
+//
+// Shape to reproduce: nbatches tops every group; the Slater region is led by
+// nstb, nbatches, nstreams; Group 3 is influenced by Group 2's tb_PAIR /
+// tb_sm_PAIR (the cache interdependence) while Group 1's parameters do not
+// cross.
+
+#include <iostream>
+
+#include "core/methodology.hpp"
+#include "core/report.hpp"
+#include "tddft/tddft_app.hpp"
+
+using namespace tunekit;
+
+int main() {
+  std::cout << "=== Table V: sensitivity analysis, Case Study 1 ===\n\n";
+  tddft::RtTddftApp app(tddft::PhysicalSystem::case_study_1());
+
+  core::MethodologyOptions opt;
+  opt.cutoff = 0.10;
+  opt.importance_samples = 0;
+  core::Methodology m(opt);
+  const auto analysis = m.analyze(app);
+
+  std::cout << core::sensitivity_tables(analysis.sensitivity,
+                                        {"Group1", "Group2", "Group3", "SlaterDet"}, 10);
+  std::cout << "\nObservations used: " << analysis.observations
+            << "  (baseline + 5 expert variations per parameter, invalid ones "
+               "skipped)\n";
+
+  std::cout << "\nCross-group interdependencies above the 10% cut-off:\n";
+  const auto pruned = analysis.graph.pruned(0.10);
+  for (const auto& e : pruned.cross_edges()) {
+    std::cout << "  " << analysis.graph.param_name(e.param) << " ("
+              << analysis.graph.routine_name(e.from_routine) << ") -> "
+              << analysis.graph.routine_name(e.to_routine) << "  ["
+              << static_cast<int>(e.weight * 100.0) << "%]\n";
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Quickstart: tune a black-box function with tunekit's Bayesian optimizer.
+//
+// The function is a noisy 4-dimensional bowl with a known minimum; BO finds
+// it in ~50 evaluations where random search needs far more. Build and run:
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/example_quickstart
+
+#include <cmath>
+#include <iostream>
+
+#include "bo/bayes_opt.hpp"
+#include "search/random_search.hpp"
+
+using namespace tunekit;
+
+int main() {
+  // 1. Describe the search space: two real knobs, one power-of-two ordinal,
+  //    one integer, plus a validity constraint.
+  search::SearchSpace space;
+  space.add(search::ParamSpec::real("alpha", -5.0, 5.0, 0.0));
+  space.add(search::ParamSpec::real("beta", -5.0, 5.0, 0.0));
+  space.add(search::ParamSpec::ordinal("tile", {16, 32, 64, 128, 256}, 64));
+  space.add(search::ParamSpec::integer("threads", 1, 16, 4));
+  space.add_constraint("tile_x_threads", [](const search::Config& c) {
+    return c[2] * c[3] <= 1024.0;  // tile * threads bounded
+  });
+
+  // 2. Wrap the objective. Optimum: alpha=1.2, beta=-0.7, tile=128,
+  //    threads=8.
+  search::FunctionObjective objective([](const search::Config& c) {
+    const double da = c[0] - 1.2;
+    const double db = c[1] + 0.7;
+    const double dtile = std::log2(c[2] / 128.0);
+    const double dthreads = std::log2(c[3] / 8.0);
+    return da * da + db * db + 0.3 * dtile * dtile + 0.2 * dthreads * dthreads;
+  });
+
+  // 3. Run Bayesian optimization.
+  bo::BoOptions options;
+  options.max_evals = 50;
+  options.n_init = 5;
+  options.seed = 42;
+  bo::BayesOpt driver(options);
+  const auto bo_result = driver.run(objective, space);
+
+  // 4. Compare with random search at the same budget.
+  search::RandomSearchOptions rs_options;
+  rs_options.max_evals = 50;
+  rs_options.seed = 42;
+  const auto rs_result = search::RandomSearch(rs_options).run(objective, space);
+
+  std::cout << "Bayesian optimization: best = " << bo_result.best_value << " at "
+            << search::describe(space, bo_result.best_config) << "\n";
+  std::cout << "Random search:         best = " << rs_result.best_value << " at "
+            << search::describe(space, rs_result.best_config) << "\n";
+  std::cout << "(both after " << bo_result.evaluations << " evaluations)\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Full methodology walk-through on synthetic Case 4 (high Group4 -> Group3
+// interdependence, Table I):
+//
+//   1. sensitivity analysis per group infers the interdependence,
+//   2. the influence DAG is pruned at the 25% cut-off,
+//   3. the partition suggests {Group1}, {Group2}, {Group3+Group4},
+//   4. the searches execute (BO), and the merged search handles the
+//      interdependent variables jointly.
+//
+// Compare against a fully-independent strategy to see the merged search
+// win on this interdependent case.
+
+#include <iostream>
+
+#include "core/methodology.hpp"
+#include "core/report.hpp"
+#include "synth/synth_app.hpp"
+
+using namespace tunekit;
+
+int main() {
+  synth::SynthApp app(synth::SynthCase::Case4);
+
+  core::MethodologyOptions options;
+  options.cutoff = 0.25;  // the paper's synthetic-study cut-off
+  options.sensitivity.n_variations = 100;
+  options.sensitivity.ladder_factor = 1.10;
+  options.importance_samples = 0;  // influence-based ranking is enough here
+  options.executor.evals_per_param = 10;
+  options.executor.min_evals = 20;
+  options.executor.bo.seed = 7;
+  options.executor.enumerate_threshold = 0.0;  // continuous space: never enumerate
+
+  core::Methodology methodology(options);
+  const auto result = methodology.run(app);
+
+  std::cout << core::full_report(app, result);
+
+  std::cout << "\nInfluence DAG (Graphviz):\n"
+            << result.analysis.graph.pruned(options.cutoff).to_dot() << "\n";
+  return 0;
+}

@@ -1,0 +1,291 @@
+#include "bo/bayes_opt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+
+#include "common/log.hpp"
+#include "common/stopwatch.hpp"
+#include "search/samplers.hpp"
+#include "search/sobol.hpp"
+
+namespace tunekit::bo {
+
+namespace {
+
+bool nearly_equal_config(const search::Config& a, const search::Config& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) > 1e-9 * std::max(1.0, std::abs(a[i]))) return false;
+  }
+  return true;
+}
+
+bool already_evaluated(const std::vector<search::Evaluation>& evals,
+                       const search::Config& c) {
+  return std::any_of(evals.begin(), evals.end(), [&](const search::Evaluation& e) {
+    return nearly_equal_config(e.config, c);
+  });
+}
+
+}  // namespace
+
+search::SearchResult BayesOpt::run(search::Objective& objective,
+                                   const search::SearchSpace& space) const {
+  search::EvalDb db;
+  return run(objective, space, db);
+}
+
+search::SearchResult BayesOpt::run(search::Objective& objective,
+                                   const search::SearchSpace& space,
+                                   search::EvalDb& db) const {
+  Stopwatch watch;
+  tunekit::Rng rng(options_.seed);
+
+  // Crash recovery: restore prior evaluations if asked to.
+  if (options_.resume && !options_.checkpoint_path.empty() &&
+      std::filesystem::exists(options_.checkpoint_path)) {
+    db = search::EvalDb::load(options_.checkpoint_path, space);
+    log_info("bo: resumed ", db.size(), " evaluations from ", options_.checkpoint_path);
+  }
+
+  auto evaluate_and_record = [&](const search::Config& config) {
+    Stopwatch eval_watch;
+    double value;
+    try {
+      value = objective.evaluate(config);
+    } catch (const std::exception& e) {
+      // Application crash: record the failure and keep searching.
+      log_warn("bo: evaluation failed (", e.what(), "); recording as failure");
+      value = std::numeric_limits<double>::quiet_NaN();
+    }
+    db.record(config, value, eval_watch.seconds());
+    if (!options_.checkpoint_path.empty() && options_.checkpoint_every > 0 &&
+        db.size() % options_.checkpoint_every == 0) {
+      db.save(options_.checkpoint_path);
+    }
+    return value;
+  };
+
+  // Warm start: source-task winners first (transfer learning).
+  for (const auto& config : options_.warm_start) {
+    if (db.size() >= options_.max_evals) break;
+    if (!space.is_valid(config)) {
+      log_warn("bo: skipping invalid warm-start configuration");
+      continue;
+    }
+    if (already_evaluated(db.all(), config)) continue;
+    evaluate_and_record(config);
+  }
+
+  // Initial design.
+  if (db.size() < options_.n_init) {
+    const std::size_t missing = options_.n_init - db.size();
+    std::vector<search::Config> init;
+    switch (options_.init_design) {
+      case InitialDesign::LatinHypercube:
+        init = search::sample_valid_configs(space, missing, rng, /*latin_hypercube=*/true);
+        break;
+      case InitialDesign::Sobol:
+        init = search::SobolSequence::sample(space, missing, options_.seed | 1);
+        break;
+      case InitialDesign::UniformRandom:
+        init = search::sample_valid_configs(space, missing, rng, /*latin_hypercube=*/false);
+        break;
+    }
+    for (const auto& config : init) {
+      if (db.size() >= options_.max_evals) break;
+      evaluate_and_record(config);
+    }
+  }
+
+  GaussianProcess gp(options_.kernel);
+  if (options_.transfer) {
+    const TransferPrior& prior = *options_.transfer;
+    gp.set_prior_mean([&prior](const std::vector<double>& u) { return prior.mean_at(u); });
+  }
+
+  auto accept_unit = [&](const std::vector<double>& u) {
+    return space.is_valid(space.decode_unit(u));
+  };
+
+  std::size_t iteration = 0;
+  while (db.size() < options_.max_evals) {
+    // Assemble training data in unit coordinates; clamp timeouts and handle
+    // failed evaluations per failure_penalty.
+    const auto evals = db.all();
+    std::vector<std::vector<double>> unit_points;
+    std::vector<double> targets;
+    double best_value = std::numeric_limits<double>::infinity();
+    std::vector<double> best_unit;
+    for (const auto& e : evals) {
+      double value = e.value;
+      if (std::isnan(value)) {
+        if (std::isnan(options_.failure_penalty)) continue;  // exclude failures
+        value = options_.failure_penalty;
+      }
+      value = std::min(value, options_.timeout_value);
+      auto unit = space.encode_unit(e.config);
+      if (value < best_value) {
+        best_value = value;
+        best_unit = unit;
+      }
+      unit_points.push_back(std::move(unit));
+      targets.push_back(value);
+    }
+    if (unit_points.empty()) {
+      // Everything failed so far: explore at random.
+      evaluate_and_record(space.sample_valid(rng));
+      ++iteration;
+      continue;
+    }
+    linalg::Matrix x(unit_points.size(), space.size());
+    std::vector<double> y = std::move(targets);
+    for (std::size_t i = 0; i < unit_points.size(); ++i) {
+      for (std::size_t k = 0; k < space.size(); ++k) x(i, k) = unit_points[i][k];
+    }
+
+    try {
+      if (options_.hyperopt_every > 0 && iteration % options_.hyperopt_every == 0) {
+        gp.fit_with_hyperopt(std::move(x), std::move(y), rng, options_.hyperopt_restarts,
+                             options_.hyperopt_max_iters);
+      } else {
+        gp.fit(std::move(x), std::move(y));
+      }
+    } catch (const std::exception& e) {
+      // Surrogate breakdown (e.g. all-identical targets): fall back to a
+      // random valid evaluation and keep going — robustness over elegance.
+      log_warn("bo: surrogate fit failed (", e.what(), "); random fallback");
+      evaluate_and_record(space.sample_valid(rng));
+      ++iteration;
+      continue;
+    }
+
+    std::vector<double> proposal_unit = maximize_acquisition(
+        gp, options_.acquisition, options_.acq_params, best_value, best_unit, rng,
+        options_.maximizer, accept_unit);
+    search::Config proposal = space.decode_unit(proposal_unit);
+
+    // Duplicate handling for small/discrete spaces.
+    std::size_t retries = 0;
+    while (already_evaluated(evals, proposal) && retries < options_.duplicate_retries) {
+      proposal_unit = maximize_acquisition(gp, options_.acquisition, options_.acq_params,
+                                           best_value, best_unit, rng, options_.maximizer,
+                                           accept_unit);
+      proposal = space.decode_unit(proposal_unit);
+      ++retries;
+    }
+    if (already_evaluated(evals, proposal)) {
+      proposal = space.sample_valid(rng);
+    }
+
+    evaluate_and_record(proposal);
+    ++iteration;
+  }
+
+  if (!options_.checkpoint_path.empty()) {
+    db.save(options_.checkpoint_path);
+  }
+
+  // Package the result.
+  search::SearchResult result;
+  result.method = "bo";
+  const auto evals = db.all();
+  result.values.reserve(evals.size());
+  for (const auto& e : evals) {
+    result.values.push_back(e.value);
+    if (e.value < result.best_value) {
+      result.best_value = e.value;
+      result.best_config = e.config;
+    }
+    result.trajectory.push_back(result.best_value);
+  }
+  result.evaluations = evals.size();
+  result.seconds = watch.seconds();
+  return result;
+}
+
+std::vector<search::Config> BayesOpt::suggest_batch(const search::EvalDb& db,
+                                                    const search::SearchSpace& space,
+                                                    std::size_t k) const {
+  const auto evals = db.all();
+  if (evals.empty()) {
+    throw std::invalid_argument("BayesOpt::suggest_batch: empty evaluation database");
+  }
+  tunekit::Rng rng(options_.seed ^ 0xba7c4);
+
+  // Observed data plus the growing liar set.
+  std::vector<std::vector<double>> unit_points;
+  std::vector<double> y;
+  double best_value = std::numeric_limits<double>::infinity();
+  std::vector<double> best_unit;
+  for (const auto& e : evals) {
+    if (std::isnan(e.value)) continue;  // failed evaluations carry no target
+    unit_points.push_back(space.encode_unit(e.config));
+    const double v = std::min(e.value, options_.timeout_value);
+    y.push_back(v);
+    if (v < best_value) {
+      best_value = v;
+      best_unit = unit_points.back();
+    }
+  }
+  if (unit_points.empty()) {
+    throw std::invalid_argument("BayesOpt::suggest_batch: no successful evaluations");
+  }
+
+  auto accept_unit = [&](const std::vector<double>& u) {
+    return space.is_valid(space.decode_unit(u));
+  };
+
+  GaussianProcess gp(options_.kernel);
+  if (options_.transfer) {
+    const TransferPrior& prior = *options_.transfer;
+    gp.set_prior_mean([&prior](const std::vector<double>& u) { return prior.mean_at(u); });
+  }
+
+  std::vector<search::Config> batch;
+  std::vector<search::Evaluation> seen;
+  for (const auto& e : evals) seen.push_back(e);
+
+  for (std::size_t b = 0; b < k; ++b) {
+    linalg::Matrix x(unit_points.size(), space.size());
+    for (std::size_t i = 0; i < unit_points.size(); ++i) {
+      for (std::size_t c = 0; c < space.size(); ++c) x(i, c) = unit_points[i][c];
+    }
+    try {
+      if (b == 0) {
+        gp.fit_with_hyperopt(std::move(x), y, rng, options_.hyperopt_restarts,
+                             options_.hyperopt_max_iters);
+      } else {
+        gp.fit(std::move(x), y);
+      }
+    } catch (const std::exception& e) {
+      log_warn("bo: suggest_batch surrogate failed (", e.what(), "); random fill");
+      batch.push_back(space.sample_valid(rng));
+      continue;
+    }
+
+    auto proposal_unit =
+        maximize_acquisition(gp, options_.acquisition, options_.acq_params, best_value,
+                             best_unit, rng, options_.maximizer, accept_unit);
+    search::Config proposal = space.decode_unit(proposal_unit);
+    std::size_t retries = 0;
+    while (already_evaluated(seen, proposal) && retries < options_.duplicate_retries) {
+      proposal_unit =
+          maximize_acquisition(gp, options_.acquisition, options_.acq_params, best_value,
+                               best_unit, rng, options_.maximizer, accept_unit);
+      proposal = space.decode_unit(proposal_unit);
+      ++retries;
+    }
+    if (already_evaluated(seen, proposal)) proposal = space.sample_valid(rng);
+
+    // Constant liar: pretend the proposal observed the incumbent best.
+    unit_points.push_back(space.encode_unit(proposal));
+    y.push_back(best_value);
+    seen.push_back({proposal, best_value, 0.0});
+    batch.push_back(std::move(proposal));
+  }
+  return batch;
+}
+
+}  // namespace tunekit::bo

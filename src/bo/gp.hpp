@@ -1,0 +1,98 @@
+#pragma once
+// Gaussian-process surrogate over unit-cube inputs.
+//
+// Targets are standardized internally; an optional prior-mean function (the
+// transfer-learning hook) is subtracted before standardization so the GP
+// models the *residual* between the target task and the source task's
+// prediction — the mechanism behind the CS1 -> CS2 transfer in the paper.
+//
+// Training is the classic O(N^3) Cholesky pipeline, which is exactly the
+// cost the paper cites as the reason joint high-dimensional searches need
+// disproportionally many evaluations (bench/perf_gp_scaling measures it).
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "bo/kernels.hpp"
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace tunekit::bo {
+
+class GaussianProcess {
+ public:
+  explicit GaussianProcess(KernelKind kind = KernelKind::Matern52) : kind_(kind) {}
+
+  KernelKind kernel_kind() const { return kind_; }
+
+  /// Prior mean subtracted from targets before fitting (transfer learning);
+  /// call before fit(). Empty function = zero prior mean.
+  void set_prior_mean(std::function<double(const std::vector<double>&)> prior);
+  bool has_prior_mean() const { return static_cast<bool>(prior_mean_); }
+
+  void set_hyperparams(GpHyperparams hp) { hp_ = std::move(hp); }
+  const GpHyperparams& hyperparams() const { return hp_; }
+
+  /// Fit on x (rows = points, unit cube) and y using current hyperparameters
+  /// (defaults to isotropic if none were set for this dimension).
+  void fit(linalg::Matrix x, std::vector<double> y);
+
+  /// Fit with hyperparameter optimization: multistart Nelder-Mead on the
+  /// negative log marginal likelihood over log-hyperparameters.
+  void fit_with_hyperopt(linalg::Matrix x, std::vector<double> y, tunekit::Rng& rng,
+                         std::size_t n_restarts = 3, std::size_t max_iters = 120);
+
+  struct Prediction {
+    double mean = 0.0;
+    double variance = 0.0;
+    double stddev() const;
+  };
+
+  Prediction predict(const std::vector<double>& point) const;
+
+  /// Log marginal likelihood of the current fit (standardized targets).
+  double log_marginal_likelihood() const { return lml_; }
+
+  /// Leave-one-out cross-validation diagnostics (Rasmussen & Williams
+  /// §5.4.2), computed from the existing Cholesky factor without refitting.
+  /// Use to judge whether the surrogate is trustworthy before relying on
+  /// its suggestions.
+  struct LooDiagnostics {
+    /// LOO predictive mean/variance per training point (raw target units).
+    std::vector<double> mean;
+    std::vector<double> variance;
+    /// (y_i − μ_i) / σ_i — should look standard normal when well specified.
+    std::vector<double> standardized_residuals;
+    double rmse = 0.0;
+    /// Fraction of targets inside their 95% predictive interval.
+    double coverage95 = 0.0;
+    /// Mean log predictive density (higher is better).
+    double mean_log_density = 0.0;
+  };
+  LooDiagnostics leave_one_out() const;
+
+  bool fitted() const { return fitted_; }
+  std::size_t n_points() const { return x_.rows(); }
+  std::size_t dim() const { return x_.cols(); }
+
+ private:
+  void refit();
+
+  KernelKind kind_;
+  GpHyperparams hp_;
+  std::function<double(const std::vector<double>&)> prior_mean_;
+
+  linalg::Matrix x_;
+  std::vector<double> y_raw_;
+  std::vector<double> y_std_;  // standardized residuals
+  double y_shift_ = 0.0;
+  double y_scale_ = 1.0;
+
+  linalg::Matrix chol_;
+  std::vector<double> alpha_;
+  double lml_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace tunekit::bo

@@ -1,0 +1,75 @@
+#include "bo/kernels.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/vecops.hpp"
+
+namespace tunekit::bo {
+
+const char* to_string(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::RBF: return "rbf";
+    case KernelKind::Matern32: return "matern32";
+    case KernelKind::Matern52: return "matern52";
+  }
+  return "?";
+}
+
+GpHyperparams GpHyperparams::isotropic(std::size_t dim, double lengthscale,
+                                       double signal_variance, double noise_variance) {
+  GpHyperparams hp;
+  hp.signal_variance = signal_variance;
+  hp.lengthscales.assign(dim, lengthscale);
+  hp.noise_variance = noise_variance;
+  return hp;
+}
+
+double kernel_value(KernelKind kind, const std::vector<double>& a,
+                    const std::vector<double>& b, const GpHyperparams& hp) {
+  if (hp.lengthscales.size() != a.size()) {
+    throw std::invalid_argument("kernel_value: lengthscale arity mismatch");
+  }
+  const double r2 = linalg::scaled_squared_distance(a, b, hp.lengthscales);
+  switch (kind) {
+    case KernelKind::RBF:
+      return hp.signal_variance * std::exp(-0.5 * r2);
+    case KernelKind::Matern32: {
+      const double r = std::sqrt(3.0 * r2);
+      return hp.signal_variance * (1.0 + r) * std::exp(-r);
+    }
+    case KernelKind::Matern52: {
+      const double r = std::sqrt(5.0 * r2);
+      return hp.signal_variance * (1.0 + r + r * r / 3.0) * std::exp(-r);
+    }
+  }
+  return 0.0;
+}
+
+linalg::Matrix kernel_gram(KernelKind kind, const linalg::Matrix& x,
+                           const GpHyperparams& hp) {
+  const std::size_t n = x.rows();
+  linalg::Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto xi = x.row(i);
+    k(i, i) = hp.signal_variance + hp.noise_variance;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = kernel_value(kind, xi, x.row(j), hp);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+std::vector<double> kernel_cross(KernelKind kind, const linalg::Matrix& x,
+                                 const std::vector<double>& point,
+                                 const GpHyperparams& hp) {
+  std::vector<double> out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    out[i] = kernel_value(kind, x.row(i), point, hp);
+  }
+  return out;
+}
+
+}  // namespace tunekit::bo

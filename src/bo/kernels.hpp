@@ -1,0 +1,40 @@
+#pragma once
+// Covariance kernels with ARD (per-dimension) lengthscales. All kernels
+// operate on unit-cube coordinates produced by SearchSpace::encode_unit.
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace tunekit::bo {
+
+enum class KernelKind { RBF, Matern32, Matern52 };
+
+const char* to_string(KernelKind kind);
+
+struct GpHyperparams {
+  double signal_variance = 1.0;
+  /// One lengthscale per input dimension (ARD).
+  std::vector<double> lengthscales;
+  double noise_variance = 1e-6;
+
+  static GpHyperparams isotropic(std::size_t dim, double lengthscale = 0.3,
+                                 double signal_variance = 1.0,
+                                 double noise_variance = 1e-6);
+};
+
+/// k(a, b) for the given kind and hyperparameters.
+double kernel_value(KernelKind kind, const std::vector<double>& a,
+                    const std::vector<double>& b, const GpHyperparams& hp);
+
+/// Gram matrix K(X, X) + noise_variance * I, X given row-per-point.
+linalg::Matrix kernel_gram(KernelKind kind, const linalg::Matrix& x,
+                           const GpHyperparams& hp);
+
+/// Cross-covariance vector k(X, x*).
+std::vector<double> kernel_cross(KernelKind kind, const linalg::Matrix& x,
+                                 const std::vector<double>& point,
+                                 const GpHyperparams& hp);
+
+}  // namespace tunekit::bo

@@ -1,0 +1,156 @@
+#include "bo/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace tunekit::bo {
+
+namespace {
+void clamp_to_bounds(std::vector<double>& x, const NelderMeadOptions& opt) {
+  if (!opt.lower.empty()) {
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::max(x[i], opt.lower[i]);
+  }
+  if (!opt.upper.empty()) {
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::min(x[i], opt.upper[i]);
+  }
+}
+}  // namespace
+
+NelderMeadResult nelder_mead(const std::function<double(const std::vector<double>&)>& f,
+                             std::vector<double> x0, const NelderMeadOptions& options) {
+  const std::size_t d = x0.size();
+  if (d == 0) throw std::invalid_argument("nelder_mead: empty start point");
+  if (!options.lower.empty() && options.lower.size() != d) {
+    throw std::invalid_argument("nelder_mead: lower bound arity mismatch");
+  }
+  if (!options.upper.empty() && options.upper.size() != d) {
+    throw std::invalid_argument("nelder_mead: upper bound arity mismatch");
+  }
+
+  // Standard coefficients.
+  constexpr double kReflect = 1.0;
+  constexpr double kExpand = 2.0;
+  constexpr double kContract = 0.5;
+  constexpr double kShrink = 0.5;
+
+  NelderMeadResult result;
+  clamp_to_bounds(x0, options);
+
+  std::vector<std::vector<double>> simplex(d + 1, x0);
+  for (std::size_t i = 0; i < d; ++i) {
+    simplex[i + 1][i] += options.initial_step;
+    clamp_to_bounds(simplex[i + 1], options);
+    // If clamping collapsed the vertex onto x0, step the other way.
+    if (simplex[i + 1][i] == x0[i]) {
+      simplex[i + 1][i] -= options.initial_step;
+      clamp_to_bounds(simplex[i + 1], options);
+    }
+  }
+
+  std::vector<double> values(d + 1);
+  for (std::size_t i = 0; i <= d; ++i) {
+    values[i] = f(simplex[i]);
+    ++result.evaluations;
+  }
+
+  std::vector<std::size_t> order(d + 1);
+  for (std::size_t iter = 0; iter < options.max_iters; ++iter) {
+    ++result.iterations;
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+    const std::size_t best = order.front();
+    const std::size_t worst = order.back();
+    const std::size_t second_worst = order[d > 0 ? d - 1 : 0];
+
+    const bool f_converged = std::abs(values[worst] - values[best]) <= options.f_tol;
+    if (f_converged) {
+      double diameter = 0.0;
+      for (std::size_t i = 0; i <= d; ++i) {
+        for (std::size_t k = 0; k < d; ++k) {
+          diameter = std::max(diameter, std::abs(simplex[i][k] - simplex[best][k]));
+        }
+      }
+      if (diameter <= options.x_tol) break;
+      // Equal values over a non-degenerate simplex (e.g. a symmetric
+      // objective): shrink toward the best vertex and keep going.
+      for (std::size_t i = 0; i <= d; ++i) {
+        if (i == best) continue;
+        for (std::size_t k = 0; k < d; ++k) {
+          simplex[i][k] = simplex[best][k] + kShrink * (simplex[i][k] - simplex[best][k]);
+        }
+        clamp_to_bounds(simplex[i], options);
+        values[i] = f(simplex[i]);
+        ++result.evaluations;
+      }
+      continue;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(d, 0.0);
+    for (std::size_t i = 0; i <= d; ++i) {
+      if (i == worst) continue;
+      for (std::size_t k = 0; k < d; ++k) centroid[k] += simplex[i][k];
+    }
+    for (double& c : centroid) c /= static_cast<double>(d);
+
+    auto blend = [&](double coef) {
+      std::vector<double> x(d);
+      for (std::size_t k = 0; k < d; ++k) {
+        x[k] = centroid[k] + coef * (centroid[k] - simplex[worst][k]);
+      }
+      clamp_to_bounds(x, options);
+      return x;
+    };
+
+    std::vector<double> reflected = blend(kReflect);
+    const double fr = f(reflected);
+    ++result.evaluations;
+
+    if (fr < values[best]) {
+      std::vector<double> expanded = blend(kExpand);
+      const double fe = f(expanded);
+      ++result.evaluations;
+      if (fe < fr) {
+        simplex[worst] = std::move(expanded);
+        values[worst] = fe;
+      } else {
+        simplex[worst] = std::move(reflected);
+        values[worst] = fr;
+      }
+    } else if (fr < values[second_worst]) {
+      simplex[worst] = std::move(reflected);
+      values[worst] = fr;
+    } else {
+      std::vector<double> contracted = blend(-kContract);
+      const double fc = f(contracted);
+      ++result.evaluations;
+      if (fc < values[worst]) {
+        simplex[worst] = std::move(contracted);
+        values[worst] = fc;
+      } else {
+        // Shrink toward the best vertex.
+        for (std::size_t i = 0; i <= d; ++i) {
+          if (i == best) continue;
+          for (std::size_t k = 0; k < d; ++k) {
+            simplex[i][k] =
+                simplex[best][k] + kShrink * (simplex[i][k] - simplex[best][k]);
+          }
+          clamp_to_bounds(simplex[i], options);
+          values[i] = f(simplex[i]);
+          ++result.evaluations;
+        }
+      }
+    }
+  }
+
+  const auto best_it = std::min_element(values.begin(), values.end());
+  const auto best_idx = static_cast<std::size_t>(best_it - values.begin());
+  result.x = simplex[best_idx];
+  result.value = values[best_idx];
+  return result;
+}
+
+}  // namespace tunekit::bo

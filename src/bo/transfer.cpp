@@ -1,0 +1,32 @@
+#include "bo/transfer.hpp"
+
+#include <stdexcept>
+
+namespace tunekit::bo {
+
+TransferPrior TransferPrior::fit(const search::SearchSpace& space,
+                                 const std::vector<search::Evaluation>& source_evals,
+                                 tunekit::Rng& rng, KernelKind kind, double scale) {
+  if (source_evals.empty()) {
+    throw std::invalid_argument("TransferPrior::fit: no source evaluations");
+  }
+  linalg::Matrix x(source_evals.size(), space.size());
+  std::vector<double> y(source_evals.size());
+  for (std::size_t i = 0; i < source_evals.size(); ++i) {
+    const auto unit = space.encode_unit(source_evals[i].config);
+    for (std::size_t k = 0; k < unit.size(); ++k) x(i, k) = unit[k];
+    y[i] = source_evals[i].value;
+  }
+  TransferPrior prior;
+  prior.gp_ = std::make_shared<GaussianProcess>(kind);
+  prior.gp_->fit_with_hyperopt(std::move(x), std::move(y), rng, /*n_restarts=*/3);
+  prior.scale_ = scale;
+  return prior;
+}
+
+double TransferPrior::mean_at(const std::vector<double>& unit_point) const {
+  if (!gp_) throw std::runtime_error("TransferPrior: not fitted");
+  return scale_ * gp_->predict(unit_point).mean;
+}
+
+}  // namespace tunekit::bo

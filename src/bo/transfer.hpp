@@ -1,0 +1,44 @@
+#pragma once
+// Transfer learning between tuning tasks (paper §VIII: Case Study 2 reuses
+// Case Study 1's configuration database).
+//
+// A GP is fitted to the source task's evaluations (in unit-cube coordinates
+// shared by both tasks) and its posterior mean becomes the *prior mean* of
+// the target task's GP. The target GP then models only the residual between
+// the tasks, which needs far fewer target evaluations when the tasks are
+// related — the same effect GPTune's multitask learning exploits.
+
+#include <memory>
+#include <vector>
+
+#include "bo/gp.hpp"
+#include "common/rng.hpp"
+#include "search/eval_db.hpp"
+#include "search/space.hpp"
+
+namespace tunekit::bo {
+
+class TransferPrior {
+ public:
+  /// Fit a source-task GP from recorded evaluations. `scale` multiplies the
+  /// source prediction before use (1.0 = same magnitude; use e.g. the ratio
+  /// of baseline runtimes when tasks differ in scale).
+  static TransferPrior fit(const search::SearchSpace& space,
+                           const std::vector<search::Evaluation>& source_evals,
+                           tunekit::Rng& rng, KernelKind kind = KernelKind::Matern52,
+                           double scale = 1.0);
+
+  /// Source prediction at a unit-cube point.
+  double mean_at(const std::vector<double>& unit_point) const;
+
+  std::size_t source_points() const { return gp_ ? gp_->n_points() : 0; }
+  double scale() const { return scale_; }
+
+ private:
+  TransferPrior() = default;
+
+  std::shared_ptr<GaussianProcess> gp_;
+  double scale_ = 1.0;
+};
+
+}  // namespace tunekit::bo

@@ -1,0 +1,61 @@
+#pragma once
+// Minimal leveled logger. Searches can take minutes; the drivers emit
+// progress at Info level, internals at Debug. Quiet by default so bench
+// table output stays clean.
+
+#include <sstream>
+#include <string>
+
+namespace tunekit {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a message (thread-safe) if `level` passes the threshold.
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+inline void log_concat(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void log_concat(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  log_concat(os, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  if (log_level() > LogLevel::Debug) return;
+  std::ostringstream os;
+  detail::log_concat(os, args...);
+  log_message(LogLevel::Debug, os.str());
+}
+
+template <typename... Args>
+void log_info(const Args&... args) {
+  if (log_level() > LogLevel::Info) return;
+  std::ostringstream os;
+  detail::log_concat(os, args...);
+  log_message(LogLevel::Info, os.str());
+}
+
+template <typename... Args>
+void log_warn(const Args&... args) {
+  if (log_level() > LogLevel::Warn) return;
+  std::ostringstream os;
+  detail::log_concat(os, args...);
+  log_message(LogLevel::Warn, os.str());
+}
+
+template <typename... Args>
+void log_error(const Args&... args) {
+  if (log_level() > LogLevel::Error) return;
+  std::ostringstream os;
+  detail::log_concat(os, args...);
+  log_message(LogLevel::Error, os.str());
+}
+
+}  // namespace tunekit

@@ -1,0 +1,27 @@
+#pragma once
+// Wall-clock stopwatch used by search drivers to report search time
+// (Table III columns) and by the bench harnesses.
+
+#include <chrono>
+
+namespace tunekit {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace tunekit

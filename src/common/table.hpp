@@ -1,0 +1,32 @@
+#pragma once
+// ASCII table formatter. Every bench harness prints its reproduction of a
+// paper table/figure through this, so the output reads like the paper.
+
+#include <string>
+#include <vector>
+
+namespace tunekit {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the headers.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment and a header separator.
+  std::string str() const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return headers_.size(); }
+
+  /// Formatting helpers for numeric cells.
+  static std::string fmt(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tunekit

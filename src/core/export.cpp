@@ -1,0 +1,120 @@
+#include "core/export.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "search/config.hpp"
+
+namespace tunekit::core {
+
+void write_trajectories_csv(const std::string& path,
+                            const std::vector<std::string>& labels,
+                            const std::vector<std::vector<double>>& series) {
+  if (labels.size() != series.size()) {
+    throw std::invalid_argument("write_trajectories_csv: label/series arity mismatch");
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("write_trajectories_csv: cannot open " + path);
+
+  out << "evaluation";
+  for (const auto& label : labels) out << ',' << label;
+  out << '\n';
+
+  std::size_t rows = 0;
+  for (const auto& s : series) rows = std::max(rows, s.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    out << (r + 1);
+    for (const auto& s : series) {
+      out << ',';
+      if (s.empty()) continue;
+      out << (r < s.size() ? s[r] : s.back());
+    }
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("write_trajectories_csv: write failed for " + path);
+}
+
+json::Value search_result_to_json(const search::SearchSpace& space,
+                                  const search::SearchResult& result) {
+  json::Object obj;
+  obj["method"] = json::Value(result.method);
+  obj["best_value"] = json::Value(result.best_value);
+  obj["evaluations"] = json::Value(result.evaluations);
+  obj["seconds"] = json::Value(result.seconds);
+
+  json::Object best;
+  if (result.found()) {
+    for (const auto& [name, value] : search::to_named(space, result.best_config)) {
+      best[name] = json::Value(value);
+    }
+  }
+  obj["best_config"] = json::Value(std::move(best));
+
+  json::Array values, trajectory;
+  for (double v : result.values) values.emplace_back(v);
+  for (double v : result.trajectory) trajectory.emplace_back(v);
+  obj["values"] = json::Value(std::move(values));
+  obj["trajectory"] = json::Value(std::move(trajectory));
+  return json::Value(std::move(obj));
+}
+
+json::Value methodology_result_to_json(const TunableApp& app,
+                                       const MethodologyResult& result) {
+  json::Object obj;
+  obj["app"] = json::Value(app.name());
+  obj["observations_analysis"] = json::Value(result.analysis.observations);
+  obj["observations_total"] = json::Value(result.total_observations);
+  obj["seconds"] = json::Value(result.seconds);
+
+  // Sensitivity scores per region.
+  json::Object sensitivity;
+  const auto& report = result.analysis.sensitivity;
+  for (const auto& region : report.regions()) {
+    json::Object scores;
+    for (std::size_t p = 0; p < report.param_names().size(); ++p) {
+      scores[report.param_names()[p]] = json::Value(report.score(region, p));
+    }
+    sensitivity[region] = json::Value(std::move(scores));
+  }
+  obj["sensitivity"] = json::Value(std::move(sensitivity));
+
+  // Plan.
+  json::Array searches;
+  for (const auto& s : result.plan.searches) {
+    json::Object search_obj;
+    search_obj["name"] = json::Value(s.name);
+    search_obj["stage"] = json::Value(s.stage);
+    json::Array params;
+    for (std::size_t p : s.params) {
+      params.emplace_back(result.analysis.graph.param_name(p));
+    }
+    search_obj["params"] = json::Value(std::move(params));
+    searches.emplace_back(std::move(search_obj));
+  }
+  obj["plan"] = json::Value(std::move(searches));
+
+  // Outcomes + final configuration.
+  json::Array outcomes;
+  for (const auto& o : result.execution.outcomes) {
+    json::Object outcome;
+    outcome["search"] = json::Value(o.planned.name);
+    outcome["result"] = search_result_to_json(app.space(), o.result);
+    outcomes.emplace_back(std::move(outcome));
+  }
+  obj["outcomes"] = json::Value(std::move(outcomes));
+
+  json::Object final_config;
+  for (const auto& [name, value] :
+       search::to_named(app.space(), result.execution.final_config)) {
+    final_config[name] = json::Value(value);
+  }
+  obj["final_config"] = json::Value(std::move(final_config));
+  obj["final_total"] = json::Value(result.execution.final_times.total);
+  return json::Value(std::move(obj));
+}
+
+void write_json(const std::string& path, const json::Value& value) {
+  json::save(path, value);
+}
+
+}  // namespace tunekit::core

@@ -1,0 +1,34 @@
+#pragma once
+// Result exporters: CSV for figure series (best-so-far trajectories) and
+// JSON for full methodology runs, so external plotting tools can regenerate
+// the paper's figures from bench output.
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "core/methodology.hpp"
+#include "search/result.hpp"
+
+namespace tunekit::core {
+
+/// Write labeled trajectories as CSV: one `evaluation` column plus one
+/// column per series (shorter series pad with their final value). This is
+/// the Figure 6 format.
+void write_trajectories_csv(const std::string& path,
+                            const std::vector<std::string>& labels,
+                            const std::vector<std::vector<double>>& series);
+
+/// Serialize a search result (best config, values, trajectory) to JSON.
+json::Value search_result_to_json(const search::SearchSpace& space,
+                                  const search::SearchResult& result);
+
+/// Serialize a full methodology run: analysis scores, plan, outcomes, final
+/// configuration.
+json::Value methodology_result_to_json(const TunableApp& app,
+                                       const MethodologyResult& result);
+
+/// Convenience: write any json value to a file.
+void write_json(const std::string& path, const json::Value& value);
+
+}  // namespace tunekit::core

@@ -1,0 +1,123 @@
+#include "core/methodology.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/log.hpp"
+#include "common/stopwatch.hpp"
+#include "search/samplers.hpp"
+#include "stats/correlation.hpp"
+#include "stats/descriptive.hpp"
+
+namespace tunekit::core {
+
+Methodology::Methodology(MethodologyOptions options) : options_(std::move(options)) {}
+
+InfluenceAnalysis Methodology::analyze(TunableApp& app) const {
+  const search::SearchSpace& space = app.space();
+  const auto routines = app.routines();
+  const auto outer = app.outer_regions();
+
+  // --- Phase 1/2: sensitivity analysis around the app's baseline. ---
+  stats::SensitivityOptions sens_opts = options_.sensitivity;
+  if (options_.use_app_expert_variations) {
+    const auto expert = app.expert_variations();
+    if (!expert.empty() && sens_opts.expert_values.empty()) {
+      sens_opts.mode = stats::VariationMode::ExpertValues;
+      sens_opts.expert_values = expert;
+    }
+  }
+  stats::SensitivityAnalyzer analyzer(sens_opts);
+  stats::SensitivityReport report = analyzer.analyze(app, space, app.baseline());
+
+  // --- Build the influence graph: routines + outer regions as vertices. ---
+  std::vector<std::string> vertex_names;
+  vertex_names.reserve(routines.size() + outer.size());
+  for (const auto& r : routines) vertex_names.push_back(r.name);
+  for (const auto& o : outer) vertex_names.push_back(o);
+
+  std::vector<std::string> param_names;
+  param_names.reserve(space.size());
+  for (const auto& p : space.params()) param_names.push_back(p.name());
+
+  graph::InfluenceGraph g(vertex_names, param_names);
+  for (std::size_t ri = 0; ri < routines.size(); ++ri) {
+    for (std::size_t p : routines[ri].params) g.add_owner(p, ri);
+  }
+  // Influence scores from the per-region sensitivity.
+  const auto& report_regions = report.regions();
+  for (std::size_t v = 0; v < vertex_names.size(); ++v) {
+    const bool have_region = std::find(report_regions.begin(), report_regions.end(),
+                                       vertex_names[v]) != report_regions.end();
+    if (!have_region) {
+      log_warn("methodology: app does not report region '", vertex_names[v],
+               "'; its influences stay zero");
+      continue;
+    }
+    for (std::size_t p = 0; p < space.size(); ++p) {
+      g.set_influence(p, v, report.score(vertex_names[v], p));
+    }
+  }
+
+  InfluenceAnalysis analysis{std::move(report), std::move(g), {}, {}, 0};
+  analysis.observations = analysis.sensitivity.observations;
+
+  // --- Feature importance + correlations over a sampled dataset. ---
+  if (options_.importance_samples > 0) {
+    const std::size_t n = options_.importance_samples;
+    if (!stats::one_in_ten_ok(n, space.size())) {
+      log_warn("methodology: ", n, " samples for ", space.size(),
+               " parameters violates the one-in-ten rule (need ",
+               stats::one_in_ten_required(space.size()),
+               "); importance estimates may be unstable");
+    }
+    tunekit::Rng rng(options_.seed ^ 0xfeedface);
+    const auto configs = search::sample_valid_configs(space, n, rng);
+    linalg::Matrix x(n, space.size());
+    std::vector<double> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto unit = space.encode_unit(configs[i]);
+      for (std::size_t k = 0; k < unit.size(); ++k) x(i, k) = unit[k];
+      y[i] = app.evaluate(configs[i]);
+    }
+    analysis.observations += n;
+
+    stats::RandomForest forest(options_.forest);
+    forest.fit(x, y);
+    analysis.importance = forest.impurity_importance();
+    analysis.correlated = stats::correlated_pairs(x, options_.correlation_threshold);
+  }
+
+  return analysis;
+}
+
+graph::SearchPlan Methodology::make_plan(TunableApp& app,
+                                         const InfluenceAnalysis& analysis) const {
+  graph::PlanOptions plan_opts;
+  plan_opts.cutoff = options_.cutoff;
+  plan_opts.max_dims = options_.max_dims;
+  plan_opts.importance = analysis.importance;
+  plan_opts.bound_groups = app.bound_groups();
+
+  const auto outer = app.outer_regions();
+  for (const auto& o : outer) {
+    plan_opts.outer_routines.push_back(analysis.graph.routine_index(o));
+  }
+  return graph::build_plan(analysis.graph, plan_opts);
+}
+
+MethodologyResult Methodology::run(TunableApp& app) const {
+  Stopwatch watch;
+  MethodologyResult result{analyze(app), {}, {}, 0, 0.0};
+  result.plan = make_plan(app, result.analysis);
+
+  PlanExecutor executor(options_.executor);
+  result.execution = executor.execute(app, result.plan);
+
+  result.total_observations = result.analysis.observations +
+                              result.execution.total_evaluations;
+  result.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace tunekit::core

@@ -1,0 +1,112 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "common/table.hpp"
+#include "search/config.hpp"
+
+namespace tunekit::core {
+
+std::string sensitivity_table(const stats::SensitivityReport& report,
+                              const std::string& region, std::size_t k) {
+  Table table({"Feature", "Variability"});
+  for (const auto& e : report.top(region, k)) {
+    table.add_row({e.param_name, Table::pct(e.variability)});
+  }
+  std::ostringstream os;
+  os << "Region: " << region << "\n" << table.str();
+  return os.str();
+}
+
+std::string sensitivity_tables(const stats::SensitivityReport& report,
+                               const std::vector<std::string>& regions, std::size_t k) {
+  std::vector<std::string> headers;
+  for (const auto& r : regions) {
+    headers.push_back(r + " feature");
+    headers.push_back("var");
+  }
+  Table table(headers);
+  std::vector<std::vector<stats::SensitivityEntry>> tops;
+  tops.reserve(regions.size());
+  for (const auto& r : regions) tops.push_back(report.top(r, k));
+  for (std::size_t row = 0; row < k; ++row) {
+    std::vector<std::string> cells;
+    for (const auto& top : tops) {
+      if (row < top.size()) {
+        cells.push_back(top[row].param_name);
+        cells.push_back(Table::pct(top[row].variability));
+      } else {
+        cells.push_back("-");
+        cells.push_back("-");
+      }
+    }
+    table.add_row(std::move(cells));
+  }
+  return table.str();
+}
+
+std::string plan_table(const graph::SearchPlan& plan, const graph::InfluenceGraph& g) {
+  Table table({"Search", "Stage", "#Params", "Parameters", "Objective"});
+  for (const auto& s : plan.searches) {
+    std::ostringstream params, objective;
+    for (std::size_t i = 0; i < s.params.size(); ++i) {
+      if (i) params << ", ";
+      params << g.param_name(s.params[i]);
+    }
+    if (s.objective_regions.empty()) {
+      objective << "total";
+    } else {
+      for (std::size_t i = 0; i < s.objective_regions.size(); ++i) {
+        if (i) objective << "+";
+        objective << s.objective_regions[i];
+      }
+    }
+    table.add_row({s.name, std::to_string(s.stage), std::to_string(s.params.size()),
+                   params.str(), objective.str()});
+  }
+  std::ostringstream os;
+  os << table.str();
+  if (!plan.untuned_params.empty()) {
+    os << "Untuned (defaults): ";
+    for (std::size_t i = 0; i < plan.untuned_params.size(); ++i) {
+      if (i) os << ", ";
+      os << g.param_name(plan.untuned_params[i]);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string execution_report(const TunableApp& app, const ExecutionResult& exec) {
+  std::ostringstream os;
+  Table table({"Search", "Method", "Evals", "Best value", "Seconds"});
+  for (const auto& o : exec.outcomes) {
+    table.add_row({o.planned.name, o.result.method, std::to_string(o.result.evaluations),
+                   Table::fmt(o.result.best_value, 4), Table::fmt(o.result.seconds, 2)});
+  }
+  os << table.str();
+  os << "Final objective (total): " << Table::fmt(exec.final_times.total, 4) << "\n";
+  os << "Final configuration: " << search::describe(app.space(), exec.final_config)
+     << "\n";
+  os << "Total search evaluations: " << exec.total_evaluations << "\n";
+  return os.str();
+}
+
+std::string full_report(const TunableApp& app, const MethodologyResult& result) {
+  std::ostringstream os;
+  os << "=== Methodology report: " << app.name() << " ===\n\n";
+  os << "-- Influence analysis (" << result.analysis.observations
+     << " observations) --\n";
+  std::vector<std::string> regions = result.analysis.sensitivity.regions();
+  os << sensitivity_tables(result.analysis.sensitivity, regions,
+                           std::min<std::size_t>(10, app.space().size()));
+  os << "\n-- Search plan (cutoff " << Table::pct(result.plan.cutoff, 0) << ") --\n";
+  os << plan_table(result.plan, result.analysis.graph);
+  os << "\n-- Execution --\n";
+  os << execution_report(app, result.execution);
+  os << "\nTotal observations (analysis + search): " << result.total_observations << "\n";
+  os << "Wall time: " << Table::fmt(result.seconds, 2) << " s\n";
+  return os.str();
+}
+
+}  // namespace tunekit::core

@@ -1,0 +1,29 @@
+#pragma once
+// Human-readable reporting of methodology runs: sensitivity tables, the
+// search plan (Table VII style), and execution summaries.
+
+#include <string>
+
+#include "core/methodology.hpp"
+#include "core/tunable_app.hpp"
+
+namespace tunekit::core {
+
+/// Top-k sensitivity table for one region (Tables II/V/VI style).
+std::string sensitivity_table(const stats::SensitivityReport& report,
+                              const std::string& region, std::size_t k);
+
+/// Side-by-side top-k sensitivity for several regions.
+std::string sensitivity_tables(const stats::SensitivityReport& report,
+                               const std::vector<std::string>& regions, std::size_t k);
+
+/// The final search set (Table VII style).
+std::string plan_table(const graph::SearchPlan& plan, const graph::InfluenceGraph& g);
+
+/// Per-search outcomes + final configuration.
+std::string execution_report(const TunableApp& app, const ExecutionResult& exec);
+
+/// Everything above, for a full MethodologyResult.
+std::string full_report(const TunableApp& app, const MethodologyResult& result);
+
+}  // namespace tunekit::core

@@ -1,0 +1,5 @@
+#include "core/tunable_app.hpp"
+
+// TunableApp is an interface; this translation unit anchors its vtable.
+
+namespace tunekit::core {}  // namespace tunekit::core

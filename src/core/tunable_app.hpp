@@ -1,0 +1,80 @@
+#pragma once
+// TunableApp: what an application must expose for the methodology to tune
+// it — a search space, a set of routines (each owning parameters), and a
+// region-timed evaluation. The synthetic function family and the RT-TDDFT
+// simulator both implement this interface; so can any user application.
+
+#include <string>
+#include <vector>
+
+#include "graph/search_plan.hpp"
+#include "search/objective.hpp"
+#include "search/space.hpp"
+
+namespace tunekit::core {
+
+/// A tunable routine (the paper's "kernel or code region"): its region name
+/// must match a key of RegionTimes::regions, and it owns the parameters
+/// that configure its code. A parameter may be owned by several routines
+/// (shared kernel) or by none (application-level).
+struct RoutineSpec {
+  std::string name;
+  std::vector<std::size_t> params;
+};
+
+class TunableApp : public search::RegionObjective {
+ public:
+  /// The full parameter space, including validity constraints.
+  virtual const search::SearchSpace& space() const = 0;
+
+  /// Tunable routines. Region names must appear in evaluate_regions output.
+  virtual std::vector<RoutineSpec> routines() const = 0;
+
+  /// Enclosing regions (e.g. the Slater Determinant around Groups 1-3):
+  /// reported in RegionTimes, used as stage-0 objectives, excluded from the
+  /// merge step. Empty for flat applications.
+  virtual std::vector<std::string> outer_regions() const { return {}; }
+
+  /// Parameter sets that must always be tuned in the same search (e.g. the
+  /// MPI grid triple). Indices refer to space().
+  virtual std::vector<graph::BoundGroup> bound_groups() const { return {}; }
+
+  /// Baseline configuration for the sensitivity analysis. Defaults to the
+  /// space defaults; override to supply the paper's "randomly selected
+  /// baseline".
+  virtual search::Config baseline() const { return space().defaults(); }
+
+  /// Expert-suggested variation values per parameter (paper §VIII: five
+  /// variations per parameter "suggested by experts"). Empty map = use the
+  /// multiplicative ladder.
+  virtual std::map<std::string, std::vector<double>> expert_variations() const {
+    return {};
+  }
+
+  /// Human-readable name used in reports.
+  virtual std::string name() const { return "app"; }
+};
+
+/// Helper objective: the sum of selected region times of a TunableApp
+/// (a joint search over merged routines minimizes their combined runtime).
+class RegionSumObjective final : public search::Objective {
+ public:
+  RegionSumObjective(TunableApp& app, std::vector<std::string> regions)
+      : app_(app), regions_(std::move(regions)) {}
+
+  double evaluate(const search::Config& config) override {
+    const auto t = app_.evaluate_regions(config);
+    if (regions_.empty()) return t.total;
+    double acc = 0.0;
+    for (const auto& r : regions_) acc += t.region_or_total(r);
+    return acc;
+  }
+
+  bool thread_safe() const override { return app_.thread_safe(); }
+
+ private:
+  TunableApp& app_;
+  std::vector<std::string> regions_;
+};
+
+}  // namespace tunekit::core

@@ -1,0 +1,121 @@
+#include "graph/influence_graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace tunekit::graph {
+
+InfluenceGraph::InfluenceGraph(std::vector<std::string> routine_names,
+                               std::vector<std::string> param_names)
+    : routines_(std::move(routine_names)),
+      params_(std::move(param_names)),
+      owners_(params_.size()),
+      influence_(params_.size(), routines_.size(), 0.0) {
+  if (routines_.empty()) throw std::invalid_argument("InfluenceGraph: no routines");
+  if (params_.empty()) throw std::invalid_argument("InfluenceGraph: no params");
+}
+
+std::size_t InfluenceGraph::routine_index(const std::string& name) const {
+  for (std::size_t i = 0; i < routines_.size(); ++i) {
+    if (routines_[i] == name) return i;
+  }
+  throw std::out_of_range("InfluenceGraph: unknown routine '" + name + "'");
+}
+
+std::size_t InfluenceGraph::param_index(const std::string& name) const {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (params_[i] == name) return i;
+  }
+  throw std::out_of_range("InfluenceGraph: unknown param '" + name + "'");
+}
+
+void InfluenceGraph::add_owner(std::size_t p, std::size_t r) {
+  if (p >= params_.size() || r >= routines_.size()) {
+    throw std::out_of_range("InfluenceGraph::add_owner");
+  }
+  auto& list = owners_[p];
+  if (std::find(list.begin(), list.end(), r) == list.end()) list.push_back(r);
+}
+
+bool InfluenceGraph::is_owned_by(std::size_t p, std::size_t r) const {
+  const auto& list = owners_.at(p);
+  return std::find(list.begin(), list.end(), r) != list.end();
+}
+
+bool InfluenceGraph::is_global(std::size_t p) const { return owners_.at(p).empty(); }
+
+const std::vector<std::size_t>& InfluenceGraph::owners(std::size_t p) const {
+  return owners_.at(p);
+}
+
+void InfluenceGraph::set_influence(std::size_t p, std::size_t r, double weight) {
+  influence_.at(p, r) = weight;
+}
+
+double InfluenceGraph::influence(std::size_t p, std::size_t r) const {
+  return influence_.at(p, r);
+}
+
+InfluenceGraph InfluenceGraph::pruned(double cutoff) const {
+  InfluenceGraph g = *this;
+  for (std::size_t p = 0; p < params_.size(); ++p) {
+    for (std::size_t r = 0; r < routines_.size(); ++r) {
+      if (g.influence_(p, r) < cutoff) g.influence_(p, r) = 0.0;
+    }
+  }
+  return g;
+}
+
+std::vector<InfluenceGraph::CrossEdge> InfluenceGraph::cross_edges() const {
+  std::vector<CrossEdge> edges;
+  for (std::size_t p = 0; p < params_.size(); ++p) {
+    if (owners_[p].empty()) continue;
+    for (std::size_t r = 0; r < routines_.size(); ++r) {
+      if (influence_(p, r) <= 0.0 || is_owned_by(p, r)) continue;
+      for (std::size_t owner : owners_[p]) {
+        edges.push_back({p, owner, r, influence_(p, r)});
+      }
+    }
+  }
+  return edges;
+}
+
+std::vector<InfluenceGraph::GlobalEdge> InfluenceGraph::global_edges() const {
+  std::vector<GlobalEdge> edges;
+  for (std::size_t p = 0; p < params_.size(); ++p) {
+    if (!owners_[p].empty()) continue;
+    for (std::size_t r = 0; r < routines_.size(); ++r) {
+      if (influence_(p, r) > 0.0) edges.push_back({p, r, influence_(p, r)});
+    }
+  }
+  return edges;
+}
+
+std::string InfluenceGraph::to_dot() const {
+  std::ostringstream os;
+  os << "digraph influence {\n  rankdir=LR;\n";
+  for (std::size_t r = 0; r < routines_.size(); ++r) {
+    os << "  \"" << routines_[r] << "\" [shape=box];\n";
+  }
+  for (std::size_t p = 0; p < params_.size(); ++p) {
+    for (std::size_t r = 0; r < routines_.size(); ++r) {
+      const double w = influence_(p, r);
+      if (w <= 0.0) continue;
+      std::string src;
+      if (owners_[p].empty()) {
+        src = params_[p];
+        os << "  \"" << src << "\" [shape=ellipse,style=dashed];\n";
+      } else {
+        src = routines_[owners_[p].front()];
+        if (is_owned_by(p, r)) continue;  // intra-routine edges are implicit
+      }
+      os << "  \"" << src << "\" -> \"" << routines_[r] << "\" [label=\"" << params_[p]
+         << " (" << static_cast<int>(w * 100.0) << "%)\"];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace tunekit::graph

@@ -1,0 +1,74 @@
+#pragma once
+// Influence graph (paper §IV-C): routines are vertices; an edge records how
+// strongly a parameter's variation moves a routine's runtime. Parameters are
+// *owned* by the routine(s) whose code they configure (a kernel used by two
+// regions — cuZcopy in Groups 1 and 3 — has two owners); parameters owned by
+// no routine (MPI grid, nbatches, nstreams) are "global"/application-level.
+//
+// A cross edge — a parameter owned by routine A influencing routine B above
+// the cut-off — is the paper's signal that A and B must be tuned jointly.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace tunekit::graph {
+
+class InfluenceGraph {
+ public:
+  InfluenceGraph(std::vector<std::string> routine_names,
+                 std::vector<std::string> param_names);
+
+  std::size_t n_routines() const { return routines_.size(); }
+  std::size_t n_params() const { return params_.size(); }
+  const std::string& routine_name(std::size_t r) const { return routines_.at(r); }
+  const std::string& param_name(std::size_t p) const { return params_.at(p); }
+  std::size_t routine_index(const std::string& name) const;
+  std::size_t param_index(const std::string& name) const;
+
+  /// Declare that routine `r` owns parameter `p` (multiple owners allowed).
+  void add_owner(std::size_t p, std::size_t r);
+  bool is_owned_by(std::size_t p, std::size_t r) const;
+  /// True if the parameter has no owning routine (application-level).
+  bool is_global(std::size_t p) const;
+  const std::vector<std::size_t>& owners(std::size_t p) const;
+
+  /// Influence score (variability fraction) of parameter p on routine r.
+  void set_influence(std::size_t p, std::size_t r, double weight);
+  double influence(std::size_t p, std::size_t r) const;
+
+  /// Copy with every influence below `cutoff` zeroed — the edge-pruning
+  /// mechanism (25% for the synthetic study, 10% for RT-TDDFT).
+  InfluenceGraph pruned(double cutoff) const;
+
+  struct CrossEdge {
+    std::size_t param;
+    std::size_t from_routine;  // an owner of `param`
+    std::size_t to_routine;    // influenced non-owner
+    double weight;
+  };
+  /// All owner->other-routine influences with weight > 0 (call on a pruned
+  /// graph to get only above-cutoff interdependencies).
+  std::vector<CrossEdge> cross_edges() const;
+
+  struct GlobalEdge {
+    std::size_t param;
+    std::size_t routine;
+    double weight;
+  };
+  /// Influences of global parameters with weight > 0.
+  std::vector<GlobalEdge> global_edges() const;
+
+  /// Graphviz rendering (Figure 2 of the paper).
+  std::string to_dot() const;
+
+ private:
+  std::vector<std::string> routines_;
+  std::vector<std::string> params_;
+  std::vector<std::vector<std::size_t>> owners_;  // per param
+  linalg::Matrix influence_;                      // params x routines
+};
+
+}  // namespace tunekit::graph

@@ -1,0 +1,39 @@
+#pragma once
+// Union-find and the routine-partition step: routines connected by
+// above-cutoff cross influences are merged into one joint search group
+// (paper §IV-D, "routines that are linked to others by external parameters
+// must be explored together").
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/influence_graph.hpp"
+
+namespace tunekit::graph {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+
+  std::size_t find(std::size_t x);
+  /// Returns true if the two sets were merged (false if already united).
+  bool unite(std::size_t a, std::size_t b);
+  bool connected(std::size_t a, std::size_t b);
+  std::size_t n_sets() const { return n_sets_; }
+
+  /// Members grouped by set, each group sorted, groups ordered by smallest
+  /// member.
+  std::vector<std::vector<std::size_t>> groups();
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> rank_;
+  std::size_t n_sets_;
+};
+
+/// Merge routines along the cross edges of an (already pruned) influence
+/// graph. Each returned group is a set of routine indices to be tuned
+/// jointly; singleton groups stay independent.
+std::vector<std::vector<std::size_t>> merge_routines(const InfluenceGraph& pruned);
+
+}  // namespace tunekit::graph

@@ -1,0 +1,302 @@
+#include "graph/search_plan.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/partition.hpp"
+
+namespace tunekit::graph {
+
+std::size_t SearchPlan::n_stages() const {
+  std::size_t max_stage = 0;
+  for (const auto& s : searches) max_stage = std::max(max_stage, s.stage);
+  return searches.empty() ? 0 : max_stage + 1;
+}
+
+std::vector<const PlannedSearch*> SearchPlan::stage_searches(std::size_t stage) const {
+  std::vector<const PlannedSearch*> out;
+  for (const auto& s : searches) {
+    if (s.stage == stage) out.push_back(&s);
+  }
+  return out;
+}
+
+std::string SearchPlan::describe(const InfluenceGraph& graph) const {
+  std::ostringstream os;
+  for (const auto& s : searches) {
+    os << "[stage " << s.stage << "] " << s.name << " (" << s.params.size() << " params): ";
+    for (std::size_t i = 0; i < s.params.size(); ++i) {
+      if (i) os << ", ";
+      os << graph.param_name(s.params[i]);
+    }
+    if (!s.dropped_params.empty()) {
+      os << "  [dropped by dim-cap: ";
+      for (std::size_t i = 0; i < s.dropped_params.size(); ++i) {
+        if (i) os << ", ";
+        os << graph.param_name(s.dropped_params[i]);
+      }
+      os << "]";
+    }
+    os << "\n";
+  }
+  if (!untuned_params.empty()) {
+    os << "untuned (defaults): ";
+    for (std::size_t i = 0; i < untuned_params.size(); ++i) {
+      if (i) os << ", ";
+      os << graph.param_name(untuned_params[i]);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Importance used for ranking: explicit score if provided, else the
+/// parameter's maximum influence over all routines.
+double param_rank_score(const InfluenceGraph& graph, const PlanOptions& opt,
+                        std::size_t p) {
+  if (!opt.importance.empty()) {
+    if (opt.importance.size() != graph.n_params()) {
+      throw std::invalid_argument("build_plan: importance arity mismatch");
+    }
+    return opt.importance[p];
+  }
+  double m = 0.0;
+  for (std::size_t r = 0; r < graph.n_routines(); ++r) {
+    m = std::max(m, graph.influence(p, r));
+  }
+  return m;
+}
+
+void sort_unique(std::vector<std::size_t>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+SearchPlan build_plan(const InfluenceGraph& graph, const PlanOptions& opt) {
+  if (!opt.importance.empty() && opt.importance.size() != graph.n_params()) {
+    throw std::invalid_argument("build_plan: importance arity mismatch");
+  }
+  const InfluenceGraph pruned = graph.pruned(opt.cutoff);
+  const std::set<std::size_t> outer(opt.outer_routines.begin(), opt.outer_routines.end());
+
+  SearchPlan plan;
+  plan.cutoff = opt.cutoff;
+
+  // --- 1. Merge non-outer routines along cross edges. ---
+  UnionFind uf(pruned.n_routines());
+  for (const auto& e : pruned.cross_edges()) {
+    if (outer.count(e.from_routine) || outer.count(e.to_routine)) continue;
+    uf.unite(e.from_routine, e.to_routine);
+  }
+  std::vector<std::vector<std::size_t>> components;
+  for (auto& group : uf.groups()) {
+    // Drop outer routines (each forms its own singleton set here).
+    group.erase(std::remove_if(group.begin(), group.end(),
+                               [&](std::size_t r) { return outer.count(r) > 0; }),
+                group.end());
+    if (!group.empty()) components.push_back(std::move(group));
+  }
+
+  // component id per routine (npos for outer).
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> comp_of(pruned.n_routines(), npos);
+  for (std::size_t c = 0; c < components.size(); ++c) {
+    for (std::size_t r : components[c]) comp_of[r] = c;
+  }
+
+  // --- 2/5. Assign owned params to components (shared-kernel rule). ---
+  std::vector<std::vector<std::size_t>> comp_params(components.size());
+  for (std::size_t p = 0; p < graph.n_params(); ++p) {
+    const auto& owners = graph.owners(p);
+    if (owners.empty()) continue;  // globals handled below
+    // Candidate components through the owners; pick the one whose owning
+    // routine shows the highest influence for this parameter.
+    std::size_t best_comp = npos;
+    double best_influence = -1.0;
+    for (std::size_t owner : owners) {
+      const std::size_t c = comp_of[owner];
+      if (c == npos) continue;
+      const double infl = graph.influence(p, owner);
+      if (infl > best_influence) {
+        best_influence = infl;
+        best_comp = c;
+      }
+    }
+    if (best_comp != npos) comp_params[best_comp].push_back(p);
+  }
+
+  // --- 3. Classify global parameters. ---
+  std::vector<std::size_t> shared_globals;     // stage-0 search on outer region
+  std::vector<std::size_t> structure_globals;  // outer-only influence
+  std::map<std::size_t, std::vector<std::size_t>> component_globals;
+  std::vector<std::size_t> untuned;
+
+  for (std::size_t p = 0; p < graph.n_params(); ++p) {
+    if (!graph.is_global(p)) continue;
+    std::set<std::size_t> touched_components;
+    bool touches_outer = false;
+    for (std::size_t r = 0; r < pruned.n_routines(); ++r) {
+      if (pruned.influence(p, r) <= 0.0) continue;
+      if (outer.count(r)) {
+        touches_outer = true;
+      } else if (comp_of[r] != npos) {
+        touched_components.insert(comp_of[r]);
+      }
+    }
+    if (touched_components.size() >= 2 || (!touched_components.empty() && touches_outer)) {
+      shared_globals.push_back(p);
+    } else if (touched_components.size() == 1) {
+      component_globals[*touched_components.begin()].push_back(p);
+    } else if (touches_outer) {
+      structure_globals.push_back(p);
+    } else {
+      untuned.push_back(p);
+    }
+  }
+
+  for (const auto& [c, globals] : component_globals) {
+    for (std::size_t p : globals) comp_params[c].push_back(p);
+  }
+
+  // --- Bound groups: pull every member into the member's best search. ---
+  // Search "buckets" at this point: shared_globals, structure_globals, each
+  // comp_params, untuned. For each bound group, find the bucket holding the
+  // highest-ranked member and move all members there.
+  auto remove_from = [](std::vector<std::size_t>& v, std::size_t p) {
+    v.erase(std::remove(v.begin(), v.end(), p), v.end());
+  };
+  struct BucketRef {
+    std::vector<std::size_t>* vec;
+  };
+  std::vector<std::string> structure_names;  // names for structure searches
+  for (const auto& bg : opt.bound_groups) {
+    if (bg.params.empty()) continue;
+    // Locate each member's bucket.
+    std::vector<std::vector<std::size_t>*> buckets;
+    buckets.push_back(&shared_globals);
+    buckets.push_back(&structure_globals);
+    for (auto& cp : comp_params) buckets.push_back(&cp);
+    buckets.push_back(&untuned);
+
+    auto bucket_of = [&](std::size_t p) -> std::vector<std::size_t>* {
+      for (auto* b : buckets) {
+        if (std::find(b->begin(), b->end(), p) != b->end()) return b;
+      }
+      return nullptr;
+    };
+
+    // Highest-ranked member decides the destination (untuned can never be
+    // the destination unless every member is untuned).
+    std::vector<std::size_t>* dest = nullptr;
+    double best_rank = -1.0;
+    for (std::size_t p : bg.params) {
+      auto* b = bucket_of(p);
+      if (b == nullptr || b == &untuned) continue;
+      const double rank = param_rank_score(graph, opt, p);
+      if (rank > best_rank) {
+        best_rank = rank;
+        dest = b;
+      }
+    }
+    if (dest == nullptr) continue;  // whole group untuned
+    for (std::size_t p : bg.params) {
+      auto* b = bucket_of(p);
+      if (b == dest) continue;
+      if (b != nullptr) remove_from(*b, p);
+      dest->push_back(p);
+    }
+    if (dest == &structure_globals) structure_names.push_back(bg.name);
+  }
+
+  // --- Emit searches with stages and dim caps. ---
+  const std::string outer_region_name =
+      outer.empty() ? std::string() : graph.routine_name(*outer.begin());
+
+  auto apply_dim_cap = [&](PlannedSearch& s) {
+    if (s.params.size() <= opt.max_dims) return;
+    std::stable_sort(s.params.begin(), s.params.end(), [&](std::size_t a, std::size_t b) {
+      return param_rank_score(graph, opt, a) > param_rank_score(graph, opt, b);
+    });
+    s.dropped_params.assign(s.params.begin() + static_cast<std::ptrdiff_t>(opt.max_dims),
+                            s.params.end());
+    s.params.resize(opt.max_dims);
+  };
+
+  // A stage-0/1 search whose parameter set matches a bound group inherits
+  // that group's display name.
+  auto bound_name_for = [&](const std::vector<std::size_t>& params,
+                            const std::string& fallback) {
+    std::set<std::size_t> set_params(params.begin(), params.end());
+    for (const auto& bg : opt.bound_groups) {
+      if (std::set<std::size_t>(bg.params.begin(), bg.params.end()) == set_params) {
+        return bg.name;
+      }
+    }
+    return fallback;
+  };
+
+  if (!shared_globals.empty()) {
+    PlannedSearch s;
+    s.name = "SharedGlobals";
+    s.kind = SearchStageKind::SharedGlobal;
+    s.stage = 0;
+    s.params = shared_globals;
+    sort_unique(s.params);
+    s.name = bound_name_for(s.params, s.name);
+    if (!outer_region_name.empty()) s.objective_regions.push_back(outer_region_name);
+    apply_dim_cap(s);
+    plan.searches.push_back(std::move(s));
+  }
+
+  if (!structure_globals.empty()) {
+    PlannedSearch s;
+    s.name = structure_names.empty() ? "Structure" : structure_names.front();
+    s.kind = SearchStageKind::Structure;
+    s.stage = 1;
+    s.params = structure_globals;
+    sort_unique(s.params);
+    s.name = bound_name_for(s.params, s.name);
+    if (!outer_region_name.empty()) s.objective_regions.push_back(outer_region_name);
+    apply_dim_cap(s);
+    plan.searches.push_back(std::move(s));
+  }
+
+  const std::size_t group_stage = plan.searches.empty() ? 0 : 2;
+  for (std::size_t c = 0; c < components.size(); ++c) {
+    if (comp_params[c].empty()) continue;
+    PlannedSearch s;
+    std::ostringstream name;
+    for (std::size_t i = 0; i < components[c].size(); ++i) {
+      if (i) name << "+";
+      name << graph.routine_name(components[c][i]);
+    }
+    s.name = name.str();
+    s.kind = SearchStageKind::RoutineGroup;
+    s.stage = group_stage;
+    s.routines = components[c];
+    s.params = comp_params[c];
+    sort_unique(s.params);
+    for (std::size_t r : components[c]) s.objective_regions.push_back(graph.routine_name(r));
+    apply_dim_cap(s);
+    plan.searches.push_back(std::move(s));
+  }
+
+  // --- Untuned report: anything not in any search. ---
+  std::set<std::size_t> tuned;
+  for (const auto& s : plan.searches) {
+    for (std::size_t p : s.params) tuned.insert(p);
+  }
+  for (std::size_t p = 0; p < graph.n_params(); ++p) {
+    if (!tuned.count(p)) plan.untuned_params.push_back(p);
+  }
+  return plan;
+}
+
+}  // namespace tunekit::graph

@@ -1,0 +1,86 @@
+#pragma once
+// Search-plan synthesis: turns a pruned influence graph into the "ultimate
+// set of tuning searches" (paper §IV-D and Table VII).
+//
+// Rules implemented (the paper's five premises):
+//  1. Routines connected by above-cutoff cross influences merge into one
+//     joint search; unconnected routines stay independent.
+//  2. Global (application-level) parameters influencing several routine
+//     groups — or the enclosing outer region — are tuned *first* in a
+//     stage-0 search against the outer region's runtime, because a single
+//     uniform value must serve every kernel (nbatches/nstreams in the
+//     paper).
+//  3. Global parameters influencing only the outer region form their own
+//     structure search (the MPI-grid triple).
+//  4. Every search is capped at `max_dims` dimensions; excess parameters are
+//     dropped by ascending importance and keep their defaults.
+//  5. A parameter owned by routines that land in different groups (a shared
+//     kernel such as cuZcopy) is tuned only in the group where its owning
+//     routine shows the highest influence.
+
+#include <string>
+#include <vector>
+
+#include "graph/influence_graph.hpp"
+
+namespace tunekit::graph {
+
+enum class SearchStageKind { SharedGlobal, Structure, RoutineGroup };
+
+struct PlannedSearch {
+  std::string name;
+  SearchStageKind kind = SearchStageKind::RoutineGroup;
+  /// Execution stage; lower stages run first, searches within a stage are
+  /// independent and may run in parallel.
+  std::size_t stage = 0;
+  /// Routine indices covered (empty for global/structure searches).
+  std::vector<std::size_t> routines;
+  /// Parameter indices tuned by this search.
+  std::vector<std::size_t> params;
+  /// Parameters that belonged here but were dropped by the dimension cap.
+  std::vector<std::size_t> dropped_params;
+  /// Region names whose summed runtime is this search's objective; empty
+  /// means the application total.
+  std::vector<std::string> objective_regions;
+};
+
+struct SearchPlan {
+  std::vector<PlannedSearch> searches;
+  /// Parameters tuned by no search (keep defaults).
+  std::vector<std::size_t> untuned_params;
+  double cutoff = 0.0;
+
+  /// Number of stages (max stage + 1).
+  std::size_t n_stages() const;
+  /// Searches of one stage, in declaration order.
+  std::vector<const PlannedSearch*> stage_searches(std::size_t stage) const;
+  /// Table VII-style rendering.
+  std::string describe(const InfluenceGraph& graph) const;
+};
+
+/// Named set of parameters that must always travel in the same search
+/// (e.g. the MPI grid triple): if any member is tuned, all members join it.
+struct BoundGroup {
+  std::string name;
+  std::vector<std::size_t> params;
+};
+
+struct PlanOptions {
+  /// Influence cut-off (fraction): 0.25 in the synthetic study, 0.10 for
+  /// RT-TDDFT.
+  double cutoff = 0.10;
+  /// Dimension cap per search (paper: 10).
+  std::size_t max_dims = 10;
+  /// Per-parameter importance for dim-cap ranking (feature importance from
+  /// §IV-B); empty = use each parameter's maximum influence instead.
+  std::vector<double> importance;
+  /// Routines treated as enclosing regions: excluded from merging, used as
+  /// stage-0 objectives (e.g. "SlaterDet").
+  std::vector<std::size_t> outer_routines;
+  /// Structurally bound parameter sets (e.g. {"MPI Grid", {nstb,nkpb,nspb}}).
+  std::vector<BoundGroup> bound_groups;
+};
+
+SearchPlan build_plan(const InfluenceGraph& graph, const PlanOptions& options);
+
+}  // namespace tunekit::graph

@@ -1,0 +1,98 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace tunekit::linalg {
+
+namespace {
+
+/// Attempt a plain Cholesky; returns false if a non-positive pivot appears.
+bool try_cholesky(const Matrix& a, Matrix& l) {
+  const std::size_t n = a.rows();
+  l = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) return false;
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      const double* li = l.row_ptr(i);
+      const double* lj = l.row_ptr(j);
+      for (std::size_t k = 0; k < j; ++k) s -= li[k] * lj[k];
+      l(i, j) = s / ljj;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Matrix cholesky(const Matrix& a, double initial_jitter, double max_jitter,
+                double* jitter_used) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("cholesky: matrix not square");
+  Matrix l;
+  if (try_cholesky(a, l)) {
+    if (jitter_used) *jitter_used = 0.0;
+    return l;
+  }
+  // Scale the jitter by the mean diagonal so it is meaningful for matrices
+  // of any magnitude.
+  double mean_diag = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) mean_diag += a(i, i);
+  mean_diag = std::abs(mean_diag) / static_cast<double>(a.rows());
+  if (mean_diag == 0.0) mean_diag = 1.0;
+
+  for (double jitter = initial_jitter; jitter <= max_jitter; jitter *= 10.0) {
+    Matrix aj = a;
+    const double eps = jitter * mean_diag;
+    for (std::size_t i = 0; i < aj.rows(); ++i) aj(i, i) += eps;
+    if (try_cholesky(aj, l)) {
+      if (jitter_used) *jitter_used = eps;
+      log_debug("cholesky: succeeded with jitter ", eps);
+      return l;
+    }
+  }
+  throw std::runtime_error("cholesky: matrix not positive definite even with jitter");
+}
+
+std::vector<double> solve_lower(const Matrix& l, const std::vector<double>& b) {
+  const std::size_t n = l.rows();
+  if (b.size() != n) throw std::invalid_argument("solve_lower: size mismatch");
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    const double* row = l.row_ptr(i);
+    for (std::size_t k = 0; k < i; ++k) s -= row[k] * y[k];
+    y[i] = s / row[i];
+  }
+  return y;
+}
+
+std::vector<double> solve_lower_transpose(const Matrix& l, const std::vector<double>& y) {
+  const std::size_t n = l.rows();
+  if (y.size() != n) throw std::invalid_argument("solve_lower_transpose: size mismatch");
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
+    x[ii] = s / l(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> solve_with_cholesky(const Matrix& l, const std::vector<double>& b) {
+  return solve_lower_transpose(l, solve_lower(l, b));
+}
+
+double log_det_from_cholesky(const Matrix& l) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < l.rows(); ++i) acc += std::log(l(i, i));
+  return 2.0 * acc;
+}
+
+}  // namespace tunekit::linalg

@@ -1,0 +1,95 @@
+#include "minislater/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace tunekit::minislater {
+
+bool is_pow2(std::size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+void fft1d(Complex* data, std::size_t n, int sign) {
+  if (!is_pow2(n)) throw std::invalid_argument("fft1d: n must be a power of two");
+  if (sign != 1 && sign != -1) throw std::invalid_argument("fft1d: sign must be +-1");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = static_cast<double>(sign) * 2.0 * std::numbers::pi /
+                         static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+Grid3d::Grid3d(std::size_t n) : n_(n), data_(n * n * n) {
+  if (!is_pow2(n)) throw std::invalid_argument("Grid3d: n must be a power of two");
+}
+
+void transpose_xy(Grid3d& grid, int block) {
+  const std::size_t n = grid.n();
+  if (block < 1) throw std::invalid_argument("transpose_xy: block < 1");
+  const auto b = static_cast<std::size_t>(block);
+  for (std::size_t z = 0; z < n; ++z) {
+    for (std::size_t by = 0; by < n; by += b) {
+      for (std::size_t bx = by; bx < n; bx += b) {
+        const std::size_t y_end = std::min(by + b, n);
+        const std::size_t x_end = std::min(bx + b, n);
+        for (std::size_t y = by; y < y_end; ++y) {
+          const std::size_t x_start = bx == by ? y + 1 : bx;
+          for (std::size_t x = x_start; x < x_end; ++x) {
+            std::swap(grid.at(x, y, z), grid.at(y, x, z));
+          }
+        }
+      }
+    }
+  }
+}
+
+void fft3d(Grid3d& grid, int sign, const Fft3dTuning& tuning) {
+  const std::size_t n = grid.n();
+  Complex* data = grid.data();
+
+  // Pass 1: x lines are contiguous.
+  for (std::size_t line = 0; line < n * n; ++line) fft1d(data + line * n, n, sign);
+
+  // Pass 2: transpose x<->y, FFT the (now contiguous) y lines, transpose
+  // back. The transpose block size is a genuine cache knob.
+  transpose_xy(grid, tuning.transpose_block);
+  for (std::size_t line = 0; line < n * n; ++line) fft1d(data + line * n, n, sign);
+  transpose_xy(grid, tuning.transpose_block);
+
+  // Pass 3: z lines are strided by n^2; gather z_tile of them at a time
+  // into a contiguous scratch, FFT, scatter back.
+  const auto tile = static_cast<std::size_t>(std::max(1, tuning.z_tile));
+  std::vector<Complex> scratch(tile * n);
+  const std::size_t stride = n * n;
+  for (std::size_t base = 0; base < n * n; base += tile) {
+    const std::size_t lines = std::min(tile, n * n - base);
+    for (std::size_t l = 0; l < lines; ++l) {
+      for (std::size_t z = 0; z < n; ++z) scratch[l * n + z] = data[base + l + z * stride];
+    }
+    for (std::size_t l = 0; l < lines; ++l) fft1d(scratch.data() + l * n, n, sign);
+    for (std::size_t l = 0; l < lines; ++l) {
+      for (std::size_t z = 0; z < n; ++z) data[base + l + z * stride] = scratch[l * n + z];
+    }
+  }
+}
+
+}  // namespace tunekit::minislater

@@ -1,0 +1,62 @@
+#pragma once
+// Real, executing FFT kernels for the MiniSlater application: an iterative
+// radix-2 complex FFT and a 3-D FFT built from axis passes with tunable
+// blocking. Unlike the tddft/ performance models, these run actual floating
+// point work so the methodology can be exercised against genuinely measured
+// runtimes (real cache effects, real timer noise).
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace tunekit::minislater {
+
+using Complex = std::complex<double>;
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. `n` must be a power of two.
+/// sign = -1 forward, +1 inverse (unnormalized; divide by n to invert).
+void fft1d(Complex* data, std::size_t n, int sign);
+
+/// True if n is a power of two (and > 0).
+bool is_pow2(std::size_t n);
+
+/// A cubic n x n x n complex grid, stored x-fastest.
+class Grid3d {
+ public:
+  explicit Grid3d(std::size_t n);
+
+  std::size_t n() const { return n_; }
+  std::size_t size() const { return data_.size(); }
+  Complex* data() { return data_.data(); }
+  const Complex* data() const { return data_.data(); }
+
+  Complex& at(std::size_t x, std::size_t y, std::size_t z) {
+    return data_[(z * n_ + y) * n_ + x];
+  }
+  Complex at(std::size_t x, std::size_t y, std::size_t z) const {
+    return data_[(z * n_ + y) * n_ + x];
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<Complex> data_;
+};
+
+struct Fft3dTuning {
+  /// Blocked in-slice transpose tile (elements per side).
+  int transpose_block = 16;
+  /// Lines gathered per z-axis pass.
+  int z_tile = 4;
+};
+
+/// In-place 3-D FFT over the grid: x passes are contiguous; y via blocked
+/// transpose; z via tiled line gathers. The tuning parameters change the
+/// memory access pattern (and therefore the measured runtime), not the
+/// result.
+void fft3d(Grid3d& grid, int sign, const Fft3dTuning& tuning);
+
+/// Blocked transpose of the x/y planes for every z (used by fft3d; exposed
+/// for tests and direct tuning).
+void transpose_xy(Grid3d& grid, int block);
+
+}  // namespace tunekit::minislater

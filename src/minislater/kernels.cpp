@@ -1,0 +1,75 @@
+#include "minislater/kernels.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tunekit::minislater {
+
+void pack_strided(const Complex* src, Complex* dst, std::size_t count,
+                  std::size_t stride, int tile) {
+  if (tile < 1) throw std::invalid_argument("pack_strided: tile < 1");
+  const auto t = static_cast<std::size_t>(tile);
+  for (std::size_t base = 0; base < count; base += t) {
+    const std::size_t end = std::min(base + t, count);
+    for (std::size_t i = base; i < end; ++i) dst[i] = src[i * stride];
+  }
+}
+
+void unpack_strided(const Complex* src, Complex* dst, std::size_t count,
+                    std::size_t stride, int tile) {
+  if (tile < 1) throw std::invalid_argument("unpack_strided: tile < 1");
+  const auto t = static_cast<std::size_t>(tile);
+  for (std::size_t base = 0; base < count; base += t) {
+    const std::size_t end = std::min(base + t, count);
+    for (std::size_t i = base; i < end; ++i) dst[i * stride] = src[i];
+  }
+}
+
+namespace {
+
+template <int Unroll>
+void pairwise_impl(Complex* dst, const Complex* other, std::size_t count) {
+  std::size_t i = 0;
+  for (; i + Unroll <= count; i += Unroll) {
+    for (int k = 0; k < Unroll; ++k) dst[i + k] *= other[i + k];
+  }
+  for (; i < count; ++i) dst[i] *= other[i];
+}
+
+template <int Unroll>
+void scale_impl(Complex* dst, std::size_t count, double s) {
+  std::size_t i = 0;
+  for (; i + Unroll <= count; i += Unroll) {
+    for (int k = 0; k < Unroll; ++k) dst[i + k] *= s;
+  }
+  for (; i < count; ++i) dst[i] *= s;
+}
+
+}  // namespace
+
+void pairwise_multiply(Complex* dst, const Complex* other, std::size_t count,
+                       int unroll) {
+  switch (unroll) {
+    case 1: pairwise_impl<1>(dst, other, count); break;
+    case 2: pairwise_impl<2>(dst, other, count); break;
+    case 4: pairwise_impl<4>(dst, other, count); break;
+    case 8: pairwise_impl<8>(dst, other, count); break;
+    default: throw std::invalid_argument("pairwise_multiply: unroll must be 1/2/4/8");
+  }
+}
+
+void scale(Complex* dst, std::size_t count, double s, int unroll) {
+  switch (unroll) {
+    case 1: scale_impl<1>(dst, count, s); break;
+    case 2: scale_impl<2>(dst, count, s); break;
+    case 4: scale_impl<4>(dst, count, s); break;
+    case 8: scale_impl<8>(dst, count, s); break;
+    default: throw std::invalid_argument("scale: unroll must be 1/2/4/8");
+  }
+}
+
+void accumulate(Complex* acc, const Complex* src, std::size_t count, double w) {
+  for (std::size_t i = 0; i < count; ++i) acc[i] += w * src[i];
+}
+
+}  // namespace tunekit::minislater

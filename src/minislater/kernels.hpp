@@ -1,0 +1,33 @@
+#pragma once
+// The pointwise/copy kernels of the MiniSlater pipeline, each with the
+// tuning knob its RT-TDDFT counterpart exposes (unroll factor, tile size).
+// These execute real work; the knobs change instruction-level parallelism
+// and access granularity, so measured runtimes respond to them.
+
+#include <cstddef>
+
+#include "minislater/fft.hpp"
+
+namespace tunekit::minislater {
+
+/// vec2zvec-like strided gather: pack every `stride`-th element of `src`
+/// into contiguous `dst`, `count` elements, copied `tile` at a time.
+void pack_strided(const Complex* src, Complex* dst, std::size_t count,
+                  std::size_t stride, int tile);
+
+/// zvec2vec-like scatter: inverse of pack_strided.
+void unpack_strided(const Complex* src, Complex* dst, std::size_t count,
+                    std::size_t stride, int tile);
+
+/// cuPairwise-like elementwise product: dst[i] *= other[i], with a manual
+/// unroll factor in {1, 2, 4, 8}.
+void pairwise_multiply(Complex* dst, const Complex* other, std::size_t count,
+                       int unroll);
+
+/// cuDscal-like scaling: dst[i] *= s, with a manual unroll factor.
+void scale(Complex* dst, std::size_t count, double s, int unroll);
+
+/// daxpy-like accumulation: acc[i] += w * src[i].
+void accumulate(Complex* acc, const Complex* src, std::size_t count, double w);
+
+}  // namespace tunekit::minislater

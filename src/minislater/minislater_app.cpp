@@ -1,0 +1,69 @@
+#include "minislater/minislater_app.hpp"
+
+namespace tunekit::minislater {
+
+MiniSlaterApp::MiniSlaterApp(std::size_t n, std::size_t bands, int reps,
+                             std::uint64_t seed)
+    : pipeline_(n, bands, reps, seed) {
+  using search::ParamSpec;
+  space_.add(ParamSpec::ordinal("pack_tile", {16, 64, 256, 1024, 4096}, 256));
+  space_.add(ParamSpec::ordinal("transpose_block", {4, 8, 16, 32, 64}, 16));
+  space_.add(ParamSpec::ordinal("z_tile", {1, 2, 4, 8, 16}, 4));
+  space_.add(ParamSpec::ordinal("pair_unroll", {1, 2, 4, 8}, 1));
+  space_.add(ParamSpec::ordinal("scale_unroll", {1, 2, 4, 8}, 1));
+  space_.add(ParamSpec::ordinal("batch", {1, 2, 4, 8}, 1));
+}
+
+PipelineTuning MiniSlaterApp::decode(const search::Config& config) const {
+  if (config.size() != kNumParams) {
+    throw std::invalid_argument("MiniSlaterApp::decode: expected 6 parameters");
+  }
+  PipelineTuning t;
+  t.pack_tile = static_cast<int>(config[kPackTile]);
+  t.transpose_block = static_cast<int>(config[kTransposeBlock]);
+  t.z_tile = static_cast<int>(config[kZTile]);
+  t.pair_unroll = static_cast<int>(config[kPairUnroll]);
+  t.scale_unroll = static_cast<int>(config[kScaleUnroll]);
+  t.batch = static_cast<int>(config[kBatch]);
+  return t;
+}
+
+std::vector<core::RoutineSpec> MiniSlaterApp::routines() const {
+  std::vector<core::RoutineSpec> out(3);
+  out[0].name = "Group1";
+  out[0].params = {kPackTile, kTransposeBlock, kZTile};
+  out[1].name = "Group2";
+  out[1].params = {kPairUnroll};
+  out[2].name = "Group3";
+  out[2].params = {kPackTile, kTransposeBlock, kZTile, kScaleUnroll};
+  return out;
+}
+
+std::map<std::string, std::vector<double>> MiniSlaterApp::expert_variations() const {
+  return {
+      {"pack_tile", {16, 64, 1024, 4096}},
+      {"transpose_block", {4, 8, 32, 64}},
+      {"z_tile", {1, 2, 8, 16}},
+      {"pair_unroll", {2, 4, 8}},
+      {"scale_unroll", {2, 4, 8}},
+      {"batch", {2, 4, 8}},
+  };
+}
+
+std::string MiniSlaterApp::name() const {
+  return "MiniSlater " + std::to_string(pipeline_.n()) + "^3 x " +
+         std::to_string(pipeline_.bands()) + " bands (measured)";
+}
+
+search::RegionTimes MiniSlaterApp::evaluate_regions(const search::Config& config) {
+  const PipelineTimes t = pipeline_.run(decode(config));
+  search::RegionTimes out;
+  out.regions["Group1"] = t.group1;
+  out.regions["Group2"] = t.group2;
+  out.regions["Group3"] = t.group3;
+  out.regions["Slater"] = t.slater;
+  out.total = t.total;
+  return out;
+}
+
+}  // namespace tunekit::minislater

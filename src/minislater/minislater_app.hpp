@@ -1,0 +1,50 @@
+#pragma once
+// TunableApp facade over the real MiniSlater pipeline: the methodology's
+// full loop (sensitivity -> DAG -> partition -> staged searches) against
+// measured runtimes. Ownership mirrors the RT-TDDFT structure:
+//   Group 1 and Group 3 share the pack tile and the FFT knobs (the shared
+//   cuZcopy / shared FFT analogue), Group 2 owns the pairwise unroll,
+//   Group 3 additionally owns the scale unroll, and the band batch is
+//   application-level.
+
+#include "core/tunable_app.hpp"
+#include "minislater/pipeline.hpp"
+
+namespace tunekit::minislater {
+
+class MiniSlaterApp final : public core::TunableApp {
+ public:
+  /// Small defaults keep one evaluation in the low-millisecond range so a
+  /// full methodology run finishes in seconds.
+  explicit MiniSlaterApp(std::size_t n = 32, std::size_t bands = 4, int reps = 2,
+                         std::uint64_t seed = 7);
+
+  const search::SearchSpace& space() const override { return space_; }
+  std::vector<core::RoutineSpec> routines() const override;
+  std::vector<std::string> outer_regions() const override { return {"Slater"}; }
+  std::map<std::string, std::vector<double>> expert_variations() const override;
+  std::string name() const override;
+
+  search::RegionTimes evaluate_regions(const search::Config& config) override;
+  /// Real timing on a shared machine is not safely concurrent.
+  bool thread_safe() const override { return false; }
+
+  PipelineTuning decode(const search::Config& config) const;
+  const MiniSlaterPipeline& pipeline() const { return pipeline_; }
+
+  enum Index : std::size_t {
+    kPackTile = 0,
+    kTransposeBlock,
+    kZTile,
+    kPairUnroll,
+    kScaleUnroll,
+    kBatch,
+    kNumParams
+  };
+
+ private:
+  MiniSlaterPipeline pipeline_;
+  search::SearchSpace space_;
+};
+
+}  // namespace tunekit::minislater

@@ -1,0 +1,70 @@
+#pragma once
+// MiniSlater: a real, executing miniature of the paper's dominant
+// computational pattern (Fig. 4) on the host CPU —
+//
+//   Group 1: pack band coefficients into the FFT grid, backward 3-D FFT
+//   Group 2: pairwise multiplication with the potential grid
+//   Group 3: forward 3-D FFT, scaling, unpack
+//   then an accumulation (daxpy) over bands.
+//
+// Runtimes are measured, not modeled: tuning knobs (pack tile, transpose
+// block, z-gather tile, unroll factors, band batch) change real memory
+// access patterns and ILP, and the timer sees real cache effects and noise.
+// This grounds the methodology in genuine kernel tuning, complementing the
+// tddft/ performance-model simulator.
+
+#include <cstddef>
+
+#include "minislater/fft.hpp"
+#include "minislater/kernels.hpp"
+
+namespace tunekit::minislater {
+
+struct PipelineTuning {
+  int pack_tile = 256;       // shared by pack and unpack (the cuZcopy analogue)
+  int transpose_block = 16;  // fft3d transpose blocking (shared by both FFTs)
+  int z_tile = 4;            // fft3d z-axis gather tile (shared by both FFTs)
+  int pair_unroll = 1;
+  int scale_unroll = 1;
+  int batch = 1;             // bands processed back-to-back per potential reuse
+};
+
+struct PipelineTimes {
+  /// Seconds per full run over all bands.
+  double group1 = 0.0;  // pack + backward FFT
+  double group2 = 0.0;  // pairwise multiply
+  double group3 = 0.0;  // forward FFT + scale + unpack
+  double slater = 0.0;  // groups + accumulation
+  double total = 0.0;   // slater + fixed post-processing
+  /// Energy-like checksum of the accumulated result (for correctness
+  /// assertions: tuning must never change the numbers).
+  double checksum = 0.0;
+};
+
+class MiniSlaterPipeline {
+ public:
+  /// `n`: FFT grid side (power of two). `bands`: wavefunction bands.
+  /// `reps`: timing repetitions; region times are the minimum over reps.
+  MiniSlaterPipeline(std::size_t n, std::size_t bands, int reps = 2,
+                     std::uint64_t seed = 7);
+
+  std::size_t n() const { return n_; }
+  std::size_t bands() const { return bands_; }
+
+  bool valid(const PipelineTuning& tuning) const;
+
+  /// Execute the pipeline with the given tuning and measure region times.
+  PipelineTimes run(const PipelineTuning& tuning) const;
+
+ private:
+  std::size_t n_;
+  std::size_t bands_;
+  int reps_;
+  /// Band coefficients in a strided "G-space" layout plus the potential.
+  std::vector<Complex> coefficients_;
+  std::vector<Complex> potential_;
+  std::size_t band_coeffs_;  // coefficients per band
+  std::size_t stride_ = 2;
+};
+
+}  // namespace tunekit::minislater

@@ -1,0 +1,35 @@
+#include "search/config.hpp"
+
+#include <sstream>
+
+#include "search/space.hpp"
+
+namespace tunekit::search {
+
+NamedConfig to_named(const SearchSpace& space, const Config& config) {
+  NamedConfig named;
+  for (std::size_t i = 0; i < space.size() && i < config.size(); ++i) {
+    named[space.param(i).name()] = config[i];
+  }
+  return named;
+}
+
+Config from_named(const SearchSpace& space, const NamedConfig& named) {
+  Config c = space.defaults();
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    auto it = named.find(space.param(i).name());
+    if (it != named.end()) c[i] = it->second;
+  }
+  return c;
+}
+
+std::string describe(const SearchSpace& space, const Config& config) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < space.size() && i < config.size(); ++i) {
+    if (i) os << ", ";
+    os << space.param(i).name() << '=' << config[i];
+  }
+  return os.str();
+}
+
+}  // namespace tunekit::search

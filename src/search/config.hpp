@@ -1,0 +1,26 @@
+#pragma once
+// A Config is a full assignment of values, one per parameter of a
+// SearchSpace, stored positionally. NamedConfig is the map form used in
+// reports and checkpoints.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tunekit::search {
+
+using Config = std::vector<double>;
+using NamedConfig = std::map<std::string, double>;
+
+class SearchSpace;  // fwd
+
+/// Positional -> named (requires the owning space for parameter names).
+NamedConfig to_named(const SearchSpace& space, const Config& config);
+
+/// Named -> positional; missing names take the parameter default.
+Config from_named(const SearchSpace& space, const NamedConfig& named);
+
+/// Human-readable "name=value, ..." rendering.
+std::string describe(const SearchSpace& space, const Config& config);
+
+}  // namespace tunekit::search

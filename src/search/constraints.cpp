@@ -1,0 +1,69 @@
+#include "search/constraints.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tunekit::search::constraints {
+
+Predicate product_le(std::vector<std::size_t> indices, double limit) {
+  return [indices = std::move(indices), limit](const Config& c) {
+    double product = 1.0;
+    for (std::size_t i : indices) product *= c.at(i);
+    return product <= limit;
+  };
+}
+
+Predicate sum_le(std::vector<std::size_t> indices, double limit) {
+  return [indices = std::move(indices), limit](const Config& c) {
+    double sum = 0.0;
+    for (std::size_t i : indices) sum += c.at(i);
+    return sum <= limit;
+  };
+}
+
+Predicate divides(std::size_t index, long value) {
+  if (value == 0) throw std::invalid_argument("constraints::divides: value is zero");
+  return [index, value](const Config& c) {
+    const double raw = c.at(index);
+    const long divisor = std::lround(raw);
+    if (divisor == 0 || std::abs(raw - static_cast<double>(divisor)) > 1e-9) {
+      return false;
+    }
+    return value % divisor == 0;
+  };
+}
+
+Predicate at_most(std::size_t index, double limit) {
+  return [index, limit](const Config& c) { return c.at(index) <= limit; };
+}
+
+Predicate le_param(std::size_t a, std::size_t b) {
+  return [a, b](const Config& c) { return c.at(a) <= c.at(b); };
+}
+
+Predicate all_of(std::vector<Predicate> predicates) {
+  return [predicates = std::move(predicates)](const Config& c) {
+    for (const auto& p : predicates) {
+      if (!p(c)) return false;
+    }
+    return true;
+  };
+}
+
+Predicate any_of(std::vector<Predicate> predicates) {
+  return [predicates = std::move(predicates)](const Config& c) {
+    for (const auto& p : predicates) {
+      if (p(c)) return true;
+    }
+    return predicates.empty();
+  };
+}
+
+Predicate if_equal(std::size_t index, double value, Predicate then_predicate) {
+  return [index, value, then_predicate = std::move(then_predicate)](const Config& c) {
+    if (c.at(index) != value) return true;
+    return then_predicate(c);
+  };
+}
+
+}  // namespace tunekit::search::constraints

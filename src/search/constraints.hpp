@@ -1,0 +1,42 @@
+#pragma once
+// Reusable constraint builders for common expert rules (paper §IV-A /
+// §VI): resource products, divisibility for balanced decompositions, and
+// conditional bounds. Each returns a predicate ready for
+// SearchSpace::add_constraint, keeping application code declarative.
+
+#include <functional>
+#include <vector>
+
+#include "search/config.hpp"
+
+namespace tunekit::search::constraints {
+
+using Predicate = std::function<bool(const Config&)>;
+
+/// Π config[i] for i in `indices` <= limit  (e.g. tb * tb_sm <= threads/SM,
+/// or the MPI grid product <= allocated ranks).
+Predicate product_le(std::vector<std::size_t> indices, double limit);
+
+/// Σ config[i] <= limit.
+Predicate sum_le(std::vector<std::size_t> indices, double limit);
+
+/// config[index] divides `value` (balanced decomposition: only divisors of
+/// the band/k-point count avoid idle ranks).
+Predicate divides(std::size_t index, long value);
+
+/// config[index] <= limit.
+Predicate at_most(std::size_t index, double limit);
+
+/// config[a] <= config[b] (ordering between two parameters).
+Predicate le_param(std::size_t a, std::size_t b);
+
+/// p AND q.
+Predicate all_of(std::vector<Predicate> predicates);
+
+/// p OR q.
+Predicate any_of(std::vector<Predicate> predicates);
+
+/// if config[index] == value then `then_predicate` must hold.
+Predicate if_equal(std::size_t index, double value, Predicate then_predicate);
+
+}  // namespace tunekit::search::constraints

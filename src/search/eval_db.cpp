@@ -1,0 +1,118 @@
+#include "search/eval_db.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/json.hpp"
+
+namespace tunekit::search {
+
+EvalDb::EvalDb(EvalDb&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mutex_);
+  evals_ = std::move(other.evals_);
+}
+
+EvalDb& EvalDb::operator=(EvalDb&& other) noexcept {
+  if (this != &other) {
+    std::scoped_lock lock(mutex_, other.mutex_);
+    evals_ = std::move(other.evals_);
+  }
+  return *this;
+}
+
+void EvalDb::record(Config config, double value, double cost_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  evals_.push_back({std::move(config), value, cost_seconds});
+}
+
+std::size_t EvalDb::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evals_.size();
+}
+
+std::vector<Evaluation> EvalDb::all() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evals_;
+}
+
+std::optional<Evaluation> EvalDb::best() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::optional<Evaluation> best;
+  for (const auto& e : evals_) {
+    if (std::isnan(e.value)) continue;
+    if (!best || e.value < best->value) best = e;
+  }
+  return best;
+}
+
+std::vector<Evaluation> EvalDb::best_k(std::size_t k) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Evaluation> sorted;
+  sorted.reserve(evals_.size());
+  for (const auto& e : evals_) {
+    if (!std::isnan(e.value)) sorted.push_back(e);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Evaluation& a, const Evaluation& b) { return a.value < b.value; });
+  if (sorted.size() > k) sorted.resize(k);
+  return sorted;
+}
+
+std::vector<double> EvalDb::best_trajectory() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<double> out;
+  out.reserve(evals_.size());
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& e : evals_) {
+    if (!std::isnan(e.value) && e.value < best) best = e.value;
+    out.push_back(best);
+  }
+  return out;
+}
+
+void EvalDb::save(const std::string& path) const {
+  json::Array entries;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& e : evals_) {
+      json::Array cfg;
+      for (double v : e.config) cfg.emplace_back(v);
+      json::Object obj;
+      obj["config"] = json::Value(std::move(cfg));
+      obj["value"] = json::Value(e.value);
+      obj["cost_seconds"] = json::Value(e.cost_seconds);
+      entries.emplace_back(std::move(obj));
+    }
+  }
+  json::Object root;
+  root["format"] = json::Value("tunekit-evaldb-v1");
+  root["evaluations"] = json::Value(std::move(entries));
+  json::save(path, json::Value(std::move(root)));
+}
+
+EvalDb EvalDb::load(const std::string& path, const SearchSpace& space) {
+  const json::Value root = json::load(path);
+  if (!root.contains("format") || root.at("format").as_string() != "tunekit-evaldb-v1") {
+    throw std::runtime_error("EvalDb::load: unrecognized checkpoint format in " + path);
+  }
+  EvalDb db;
+  for (const auto& entry : root.at("evaluations").as_array()) {
+    const auto& cfg_json = entry.at("config").as_array();
+    if (cfg_json.size() != space.size()) {
+      throw std::runtime_error("EvalDb::load: config arity mismatch in " + path);
+    }
+    Config cfg(cfg_json.size());
+    for (std::size_t i = 0; i < cfg_json.size(); ++i) {
+      cfg[i] = cfg_json[i].is_null() ? std::numeric_limits<double>::quiet_NaN()
+                                     : cfg_json[i].as_number();
+    }
+    const double value = entry.at("value").is_null()
+                             ? std::numeric_limits<double>::quiet_NaN()
+                             : entry.at("value").as_number();
+    db.record(std::move(cfg), value, entry.number_or("cost_seconds", 0.0));
+  }
+  return db;
+}
+
+}  // namespace tunekit::search

@@ -1,0 +1,64 @@
+#pragma once
+// Evaluation database: every (configuration, objective) pair observed during
+// a search, with JSON persistence. This provides the crash-recovery property
+// the paper values in GPTune: a search killed mid-way resumes from the
+// evaluations already on disk instead of re-running them.
+
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "search/space.hpp"
+
+namespace tunekit::search {
+
+struct Evaluation {
+  Config config;
+  double value = std::numeric_limits<double>::quiet_NaN();
+  /// Seconds the evaluation itself took (0 when unknown).
+  double cost_seconds = 0.0;
+};
+
+class EvalDb {
+ public:
+  EvalDb() = default;
+
+  /// Movable (fresh mutex in the destination); not copyable.
+  EvalDb(EvalDb&& other) noexcept;
+  EvalDb& operator=(EvalDb&& other) noexcept;
+  EvalDb(const EvalDb&) = delete;
+  EvalDb& operator=(const EvalDb&) = delete;
+
+  /// Thread-safe append.
+  void record(Config config, double value, double cost_seconds = 0.0);
+
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  /// Snapshot of all evaluations (copy; safe under concurrent appends).
+  std::vector<Evaluation> all() const;
+
+  /// Best (lowest) evaluation so far, if any.
+  std::optional<Evaluation> best() const;
+
+  /// The k lowest-value evaluations, ascending (NaN values excluded).
+  std::vector<Evaluation> best_k(std::size_t k) const;
+
+  /// Best-so-far trajectory: entry i is the minimum over evaluations [0..i].
+  /// This is the series Figure 6 plots.
+  std::vector<double> best_trajectory() const;
+
+  /// Persist to / restore from a JSON checkpoint. The space is used to
+  /// validate arity on load; non-conforming entries are rejected with
+  /// std::runtime_error.
+  void save(const std::string& path) const;
+  static EvalDb load(const std::string& path, const SearchSpace& space);
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Evaluation> evals_;
+};
+
+}  // namespace tunekit::search

@@ -1,0 +1,34 @@
+#include "search/grid_search.hpp"
+
+#include "common/stopwatch.hpp"
+#include "search/samplers.hpp"
+
+namespace tunekit::search {
+
+SearchResult GridSearch::run(Objective& objective, const SearchSpace& space) const {
+  Stopwatch watch;
+  SearchResult result;
+  result.method = "grid";
+
+  const auto grid = grid_configs(space, options_.real_levels, options_.max_grid_points);
+
+  std::size_t stride = 1;
+  if (options_.max_evals > 0 && grid.size() > options_.max_evals) {
+    stride = (grid.size() + options_.max_evals - 1) / options_.max_evals;
+  }
+
+  for (std::size_t i = 0; i < grid.size(); i += stride) {
+    const double v = objective.evaluate(grid[i]);
+    result.values.push_back(v);
+    if (v < result.best_value) {
+      result.best_value = v;
+      result.best_config = grid[i];
+    }
+    result.trajectory.push_back(result.best_value);
+  }
+  result.evaluations = result.values.size();
+  result.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace tunekit::search

@@ -1,0 +1,53 @@
+#include "search/objective.hpp"
+
+#include <stdexcept>
+
+namespace tunekit::search {
+
+SubspaceObjective::SubspaceObjective(Objective& inner, const SearchSpace& full_space,
+                                     std::vector<std::size_t> indices, Config base)
+    : inner_(inner),
+      full_space_(full_space),
+      indices_(std::move(indices)),
+      base_(std::move(base)) {
+  if (base_.size() != full_space_.size()) {
+    throw std::invalid_argument("SubspaceObjective: base arity mismatch");
+  }
+  for (std::size_t idx : indices_) {
+    if (idx >= full_space_.size()) {
+      throw std::out_of_range("SubspaceObjective: index out of range");
+    }
+  }
+  sub_space_ = full_space_.subspace(indices_);
+  // Feasibility of the embedded configuration is the subspace's constraint.
+  sub_space_.add_constraint("parent-valid", [this](const Config& sub) {
+    return full_space_.is_valid(embed(sub));
+  });
+  // Project the parent's repair hook into the subspace.
+  if (full_space_.has_repair()) {
+    sub_space_.set_repair([this](const Config& sub) {
+      const Config fixed = full_space_.repair(embed(sub));
+      Config out(indices_.size());
+      for (std::size_t i = 0; i < indices_.size(); ++i) out[i] = fixed[indices_[i]];
+      return out;
+    });
+  }
+}
+
+Config SubspaceObjective::embed(const Config& sub) const {
+  if (sub.size() != indices_.size()) {
+    throw std::invalid_argument("SubspaceObjective::embed: arity mismatch");
+  }
+  Config full = base_;
+  for (std::size_t i = 0; i < indices_.size(); ++i) full[indices_[i]] = sub[i];
+  return full;
+}
+
+void SubspaceObjective::set_base(Config base) {
+  if (base.size() != full_space_.size()) {
+    throw std::invalid_argument("SubspaceObjective::set_base: arity mismatch");
+  }
+  base_ = std::move(base);
+}
+
+}  // namespace tunekit::search

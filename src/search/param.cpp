@@ -1,0 +1,185 @@
+#include "search/param.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tunekit::search {
+
+const char* to_string(ParamKind kind) {
+  switch (kind) {
+    case ParamKind::Real: return "real";
+    case ParamKind::Integer: return "integer";
+    case ParamKind::Ordinal: return "ordinal";
+    case ParamKind::Categorical: return "categorical";
+  }
+  return "?";
+}
+
+ParamSpec ParamSpec::real(std::string name, double lo, double hi, double default_value) {
+  if (!(lo < hi)) throw std::invalid_argument("ParamSpec::real: lo >= hi");
+  if (default_value < lo || default_value > hi) {
+    throw std::invalid_argument("ParamSpec::real: default outside range");
+  }
+  ParamSpec p;
+  p.name_ = std::move(name);
+  p.kind_ = ParamKind::Real;
+  p.lo_ = lo;
+  p.hi_ = hi;
+  p.default_ = default_value;
+  return p;
+}
+
+ParamSpec ParamSpec::integer(std::string name, std::int64_t lo, std::int64_t hi,
+                             std::int64_t default_value) {
+  if (lo > hi) throw std::invalid_argument("ParamSpec::integer: lo > hi");
+  if (default_value < lo || default_value > hi) {
+    throw std::invalid_argument("ParamSpec::integer: default outside range");
+  }
+  ParamSpec p;
+  p.name_ = std::move(name);
+  p.kind_ = ParamKind::Integer;
+  p.lo_ = static_cast<double>(lo);
+  p.hi_ = static_cast<double>(hi);
+  p.default_ = static_cast<double>(default_value);
+  return p;
+}
+
+ParamSpec ParamSpec::ordinal(std::string name, std::vector<double> levels,
+                             double default_value) {
+  if (levels.empty()) throw std::invalid_argument("ParamSpec::ordinal: no levels");
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    if (!(levels[i] > levels[i - 1])) {
+      throw std::invalid_argument("ParamSpec::ordinal: levels must be strictly increasing");
+    }
+  }
+  if (std::find(levels.begin(), levels.end(), default_value) == levels.end()) {
+    throw std::invalid_argument("ParamSpec::ordinal: default not a level");
+  }
+  ParamSpec p;
+  p.name_ = std::move(name);
+  p.kind_ = ParamKind::Ordinal;
+  p.lo_ = levels.front();
+  p.hi_ = levels.back();
+  p.default_ = default_value;
+  p.levels_ = std::move(levels);
+  return p;
+}
+
+ParamSpec ParamSpec::categorical(std::string name, std::size_t n_categories,
+                                 std::size_t default_category) {
+  if (n_categories == 0) throw std::invalid_argument("ParamSpec::categorical: empty");
+  if (default_category >= n_categories) {
+    throw std::invalid_argument("ParamSpec::categorical: default out of range");
+  }
+  ParamSpec p;
+  p.name_ = std::move(name);
+  p.kind_ = ParamKind::Categorical;
+  p.lo_ = 0.0;
+  p.hi_ = static_cast<double>(n_categories - 1);
+  p.default_ = static_cast<double>(default_category);
+  p.levels_.resize(n_categories);
+  for (std::size_t i = 0; i < n_categories; ++i) p.levels_[i] = static_cast<double>(i);
+  return p;
+}
+
+std::size_t ParamSpec::cardinality() const {
+  switch (kind_) {
+    case ParamKind::Real: return 0;
+    case ParamKind::Integer:
+      return static_cast<std::size_t>(hi_ - lo_) + 1;
+    case ParamKind::Ordinal:
+    case ParamKind::Categorical: return levels_.size();
+  }
+  return 0;
+}
+
+bool ParamSpec::is_valid_value(double v) const {
+  constexpr double kTol = 1e-9;
+  switch (kind_) {
+    case ParamKind::Real: return v >= lo_ - kTol && v <= hi_ + kTol;
+    case ParamKind::Integer:
+      return v >= lo_ - kTol && v <= hi_ + kTol &&
+             std::abs(v - std::round(v)) <= kTol;
+    case ParamKind::Ordinal:
+    case ParamKind::Categorical:
+      return std::any_of(levels_.begin(), levels_.end(),
+                         [&](double l) { return std::abs(l - v) <= kTol; });
+  }
+  return false;
+}
+
+double ParamSpec::snap(double v) const {
+  switch (kind_) {
+    case ParamKind::Real: return std::clamp(v, lo_, hi_);
+    case ParamKind::Integer: return std::clamp(std::round(v), lo_, hi_);
+    case ParamKind::Ordinal:
+    case ParamKind::Categorical: {
+      double best = levels_.front();
+      double best_d = std::abs(v - best);
+      for (double l : levels_) {
+        const double d = std::abs(v - l);
+        if (d < best_d) {
+          best = l;
+          best_d = d;
+        }
+      }
+      return best;
+    }
+  }
+  return v;
+}
+
+double ParamSpec::from_unit(double u) const {
+  u = std::clamp(u, 0.0, 1.0);
+  switch (kind_) {
+    case ParamKind::Real: return lo_ + u * (hi_ - lo_);
+    case ParamKind::Integer: {
+      const double span = hi_ - lo_ + 1.0;
+      double v = lo_ + std::floor(u * span);
+      return std::min(v, hi_);
+    }
+    case ParamKind::Ordinal:
+    case ParamKind::Categorical: {
+      const auto n = levels_.size();
+      auto idx = static_cast<std::size_t>(std::floor(u * static_cast<double>(n)));
+      if (idx >= n) idx = n - 1;
+      return levels_[idx];
+    }
+  }
+  return u;
+}
+
+double ParamSpec::to_unit(double v) const {
+  switch (kind_) {
+    case ParamKind::Real:
+      return hi_ > lo_ ? std::clamp((v - lo_) / (hi_ - lo_), 0.0, 1.0) : 0.0;
+    case ParamKind::Integer: {
+      const double span = hi_ - lo_ + 1.0;
+      const double cell = std::clamp(std::round(v) - lo_, 0.0, hi_ - lo_);
+      return (cell + 0.5) / span;
+    }
+    case ParamKind::Ordinal:
+    case ParamKind::Categorical: {
+      const double snapped = snap(v);
+      std::size_t idx = 0;
+      for (std::size_t i = 0; i < levels_.size(); ++i) {
+        if (levels_[i] == snapped) {
+          idx = i;
+          break;
+        }
+      }
+      return (static_cast<double>(idx) + 0.5) / static_cast<double>(levels_.size());
+    }
+  }
+  return 0.0;
+}
+
+std::vector<double> pow2_levels(double base, double max) {
+  if (base <= 0 || max < base) throw std::invalid_argument("pow2_levels: bad range");
+  std::vector<double> out;
+  for (double v = base; v <= max; v *= 2.0) out.push_back(v);
+  return out;
+}
+
+}  // namespace tunekit::search

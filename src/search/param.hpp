@@ -1,0 +1,76 @@
+#pragma once
+// Tuning-parameter specification.
+//
+// The paper's searches mix real variables (synthetic functions: x in
+// [-50, 50]), integers / power-of-two ordinals (threadblock sizes, unroll
+// factors, streams, batches) and categorical choices. Every parameter knows
+// how to map to and from the unit interval, which is the coordinate system
+// the samplers and the GP operate in.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tunekit::search {
+
+enum class ParamKind { Real, Integer, Ordinal, Categorical };
+
+const char* to_string(ParamKind kind);
+
+class ParamSpec {
+ public:
+  /// Continuous parameter on [lo, hi].
+  static ParamSpec real(std::string name, double lo, double hi, double default_value);
+
+  /// Integer parameter on [lo, hi] (inclusive).
+  static ParamSpec integer(std::string name, std::int64_t lo, std::int64_t hi,
+                           std::int64_t default_value);
+
+  /// Ordered numeric levels (e.g. {1,2,4,8,...}); values need not be evenly
+  /// spaced but must be strictly increasing.
+  static ParamSpec ordinal(std::string name, std::vector<double> levels,
+                           double default_value);
+
+  /// Unordered choice among `n` categories, stored as 0..n-1.
+  static ParamSpec categorical(std::string name, std::size_t n_categories,
+                               std::size_t default_category);
+
+  const std::string& name() const { return name_; }
+  ParamKind kind() const { return kind_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double default_value() const { return default_; }
+  const std::vector<double>& levels() const { return levels_; }
+
+  /// Number of distinct values; 0 for Real (uncountable).
+  std::size_t cardinality() const;
+
+  /// True if `v` is one of the representable values (within tolerance for
+  /// discrete kinds, inside the range for Real).
+  bool is_valid_value(double v) const;
+
+  /// Snap an arbitrary double to the nearest representable value.
+  double snap(double v) const;
+
+  /// Decode u in [0,1] to a parameter value (snapped for discrete kinds).
+  double from_unit(double u) const;
+
+  /// Encode a parameter value to [0,1]. Discrete kinds map to the center of
+  /// their level's cell so that from_unit(to_unit(v)) == v.
+  double to_unit(double v) const;
+
+ private:
+  ParamSpec() = default;
+
+  std::string name_;
+  ParamKind kind_ = ParamKind::Real;
+  double lo_ = 0.0;
+  double hi_ = 1.0;
+  double default_ = 0.0;
+  std::vector<double> levels_;  // Ordinal/Categorical only
+};
+
+/// Convenience: the power-of-two ladder {base, base*2, ..., <= max}.
+std::vector<double> pow2_levels(double base, double max);
+
+}  // namespace tunekit::search

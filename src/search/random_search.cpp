@@ -1,0 +1,49 @@
+#include "search/random_search.hpp"
+
+#include <algorithm>
+
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
+
+namespace tunekit::search {
+
+SearchResult RandomSearch::run(Objective& objective, const SearchSpace& space) const {
+  Stopwatch watch;
+  SearchResult result;
+  result.method = "random";
+
+  tunekit::Rng rng(options_.seed);
+  std::vector<Config> configs;
+  configs.reserve(options_.max_evals);
+  for (std::size_t i = 0; i < options_.max_evals; ++i) {
+    configs.push_back(space.sample_valid(rng, options_.max_sample_tries));
+  }
+
+  std::vector<double> values(configs.size());
+  const std::size_t threads =
+      objective.thread_safe() ? std::max<std::size_t>(1, options_.n_threads) : 1;
+  if (threads > 1) {
+    ThreadPool pool(threads);
+    pool.parallel_for(configs.size(),
+                      [&](std::size_t i) { values[i] = objective.evaluate(configs[i]); });
+  } else {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      values[i] = objective.evaluate(configs[i]);
+    }
+  }
+
+  result.values = values;
+  result.trajectory.reserve(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] < result.best_value) {
+      result.best_value = values[i];
+      result.best_config = configs[i];
+    }
+    result.trajectory.push_back(result.best_value);
+  }
+  result.evaluations = values.size();
+  result.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace tunekit::search

@@ -1,0 +1,127 @@
+#include "search/sobol.hpp"
+
+#include <stdexcept>
+
+namespace tunekit::search {
+
+namespace {
+
+/// Primitive polynomial + initial direction numbers per dimension
+/// (Joe & Kuo style table, dimensions 2..24; dimension 1 is van der Corput).
+struct SobolDim {
+  unsigned degree;
+  unsigned poly;  // coefficients a_1..a_{s-1} packed as bits
+  std::uint32_t m[7];
+};
+
+constexpr SobolDim kDims[] = {
+    {1, 0, {1, 0, 0, 0, 0, 0, 0}},          // d = 2
+    {2, 1, {1, 3, 0, 0, 0, 0, 0}},          // d = 3
+    {3, 1, {1, 3, 1, 0, 0, 0, 0}},          // d = 4
+    {3, 2, {1, 1, 1, 0, 0, 0, 0}},          // d = 5
+    {4, 1, {1, 1, 3, 3, 0, 0, 0}},          // d = 6
+    {4, 4, {1, 3, 5, 13, 0, 0, 0}},         // d = 7
+    {5, 2, {1, 1, 5, 5, 17, 0, 0}},         // d = 8
+    {5, 4, {1, 1, 5, 5, 5, 0, 0}},          // d = 9
+    {5, 7, {1, 1, 7, 11, 19, 0, 0}},        // d = 10
+    {5, 11, {1, 1, 5, 1, 1, 0, 0}},         // d = 11
+    {5, 13, {1, 1, 1, 3, 11, 0, 0}},        // d = 12
+    {5, 14, {1, 3, 5, 5, 31, 0, 0}},        // d = 13
+    {6, 1, {1, 3, 3, 9, 7, 49, 0}},         // d = 14
+    {6, 13, {1, 1, 1, 15, 21, 21, 0}},      // d = 15
+    {6, 16, {1, 3, 1, 13, 27, 49, 0}},      // d = 16
+    {6, 19, {1, 1, 1, 15, 7, 5, 0}},        // d = 17
+    {6, 22, {1, 3, 1, 15, 13, 25, 0}},      // d = 18
+    {6, 25, {1, 1, 5, 5, 19, 61, 0}},       // d = 19
+    {7, 1, {1, 3, 7, 11, 23, 15, 103}},     // d = 20
+    {7, 4, {1, 3, 7, 13, 13, 15, 69}},      // d = 21
+    {7, 7, {1, 1, 3, 13, 7, 35, 63}},       // d = 22
+    {7, 8, {1, 3, 5, 9, 1, 25, 53}},        // d = 23
+    {7, 14, {1, 3, 1, 13, 9, 35, 107}},     // d = 24
+};
+
+constexpr int kBits = 32;
+
+}  // namespace
+
+SobolSequence::SobolSequence(std::size_t dims, std::uint64_t scramble_seed)
+    : dims_(dims) {
+  if (dims == 0 || dims > kMaxDims) {
+    throw std::invalid_argument("SobolSequence: dims must be in [1, 24]");
+  }
+  v_.assign(dims, std::vector<std::uint32_t>(kBits, 0));
+  state_.assign(dims, 0);
+  shift_.assign(dims, 0);
+
+  // Dimension 0: van der Corput in base 2.
+  for (int b = 0; b < kBits; ++b) v_[0][b] = 1u << (kBits - 1 - b);
+
+  for (std::size_t d = 1; d < dims; ++d) {
+    const SobolDim& def = kDims[d - 1];
+    const unsigned s = def.degree;
+    for (unsigned k = 0; k < s; ++k) {
+      v_[d][k] = def.m[k] << (kBits - 1 - k);
+    }
+    for (int k = static_cast<int>(s); k < kBits; ++k) {
+      std::uint32_t value = v_[d][k - s] ^ (v_[d][k - s] >> s);
+      for (unsigned i = 1; i < s; ++i) {
+        if ((def.poly >> (s - 1 - i)) & 1u) value ^= v_[d][k - i];
+      }
+      v_[d][k] = value;
+    }
+  }
+
+  if (scramble_seed != 0) {
+    tunekit::Rng rng(scramble_seed);
+    for (auto& mask : shift_) {
+      mask = static_cast<std::uint32_t>(rng.uniform_int(0, 0xFFFFFFFFll));
+    }
+  }
+}
+
+std::vector<double> SobolSequence::next() {
+  std::vector<double> point(dims_);
+  if (index_ > 0) {
+    // Gray-code update: flip the direction number of the lowest zero bit of
+    // index-1.
+    std::size_t c = 0;
+    std::size_t value = index_ - 1;
+    while (value & 1u) {
+      value >>= 1;
+      ++c;
+    }
+    for (std::size_t d = 0; d < dims_; ++d) state_[d] ^= v_[d][c];
+  }
+  for (std::size_t d = 0; d < dims_; ++d) {
+    point[d] = static_cast<double>(state_[d] ^ shift_[d]) * 0x1.0p-32;
+  }
+  ++index_;
+  return point;
+}
+
+void SobolSequence::skip(std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) next();
+}
+
+std::vector<Config> SobolSequence::sample(const SearchSpace& space, std::size_t n,
+                                          std::uint64_t scramble_seed) {
+  SobolSequence seq(space.size(), scramble_seed);
+  seq.skip(16);  // drop the degenerate prefix
+  std::vector<Config> out;
+  out.reserve(n);
+  // Generate up to 20x oversampling before falling back to rejection.
+  for (std::size_t tries = 0; out.size() < n && tries < 20 * n + 64; ++tries) {
+    Config c = space.decode_unit(seq.next());
+    if (space.is_valid(c)) {
+      out.push_back(std::move(c));
+    } else if (space.has_repair()) {
+      Config fixed = space.repair(std::move(c));
+      if (space.is_valid(fixed)) out.push_back(std::move(fixed));
+    }
+  }
+  tunekit::Rng rng(scramble_seed ^ 0x50b01);
+  while (out.size() < n) out.push_back(space.sample_valid(rng));
+  return out;
+}
+
+}  // namespace tunekit::search

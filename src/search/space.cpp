@@ -1,0 +1,131 @@
+#include "search/space.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tunekit::search {
+
+std::size_t SearchSpace::add(ParamSpec spec) {
+  if (has(spec.name())) {
+    throw std::invalid_argument("SearchSpace::add: duplicate parameter '" + spec.name() +
+                                "'");
+  }
+  params_.push_back(std::move(spec));
+  return params_.size() - 1;
+}
+
+void SearchSpace::add_constraint(std::string name,
+                                 std::function<bool(const Config&)> predicate) {
+  if (!predicate) throw std::invalid_argument("SearchSpace::add_constraint: null predicate");
+  constraints_.push_back({std::move(name), std::move(predicate)});
+}
+
+std::size_t SearchSpace::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (params_[i].name() == name) return i;
+  }
+  throw std::out_of_range("SearchSpace: no parameter named '" + name + "'");
+}
+
+bool SearchSpace::has(const std::string& name) const {
+  for (const auto& p : params_) {
+    if (p.name() == name) return true;
+  }
+  return false;
+}
+
+Config SearchSpace::defaults() const {
+  Config c(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) c[i] = params_[i].default_value();
+  return c;
+}
+
+Config SearchSpace::snap(Config config) const {
+  if (config.size() != params_.size()) {
+    throw std::invalid_argument("SearchSpace::snap: arity mismatch");
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) config[i] = params_[i].snap(config[i]);
+  return config;
+}
+
+bool SearchSpace::is_valid(const Config& config) const {
+  return !first_violation(config).has_value();
+}
+
+std::optional<std::string> SearchSpace::first_violation(const Config& config) const {
+  if (config.size() != params_.size()) return "arity";
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (!params_[i].is_valid_value(config[i])) return "range:" + params_[i].name();
+  }
+  for (const auto& c : constraints_) {
+    if (!c.predicate(config)) return c.name;
+  }
+  return std::nullopt;
+}
+
+Config SearchSpace::decode_unit(const std::vector<double>& u) const {
+  if (u.size() != params_.size()) {
+    throw std::invalid_argument("SearchSpace::decode_unit: arity mismatch");
+  }
+  Config c(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) c[i] = params_[i].from_unit(u[i]);
+  return c;
+}
+
+std::vector<double> SearchSpace::encode_unit(const Config& config) const {
+  if (config.size() != params_.size()) {
+    throw std::invalid_argument("SearchSpace::encode_unit: arity mismatch");
+  }
+  std::vector<double> u(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) u[i] = params_[i].to_unit(config[i]);
+  return u;
+}
+
+Config SearchSpace::sample(tunekit::Rng& rng) const {
+  std::vector<double> u(params_.size());
+  for (auto& x : u) x = rng.uniform();
+  return decode_unit(u);
+}
+
+Config SearchSpace::sample_valid(tunekit::Rng& rng, std::size_t max_tries) const {
+  for (std::size_t t = 0; t < max_tries; ++t) {
+    Config c = sample(rng);
+    if (is_valid(c)) return c;
+    if (repair_) {
+      Config fixed = repair(std::move(c));
+      if (is_valid(fixed)) return fixed;
+    }
+  }
+  throw std::runtime_error(
+      "SearchSpace::sample_valid: no valid configuration found; constraints may be "
+      "unsatisfiable or too tight for rejection sampling");
+}
+
+void SearchSpace::set_repair(std::function<Config(const Config&)> repair) {
+  repair_ = std::move(repair);
+}
+
+Config SearchSpace::repair(Config config) const {
+  if (!repair_) return config;
+  return snap(repair_(config));
+}
+
+double SearchSpace::log10_cardinality(std::size_t real_resolution) const {
+  double acc = 0.0;
+  for (const auto& p : params_) {
+    const std::size_t card = p.cardinality();
+    acc += std::log10(static_cast<double>(card ? card : real_resolution));
+  }
+  return acc;
+}
+
+SearchSpace SearchSpace::subspace(const std::vector<std::size_t>& indices) const {
+  SearchSpace sub;
+  for (std::size_t idx : indices) {
+    if (idx >= params_.size()) throw std::out_of_range("SearchSpace::subspace");
+    sub.add(params_[idx]);
+  }
+  return sub;
+}
+
+}  // namespace tunekit::search

@@ -1,0 +1,168 @@
+#include "stats/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace tunekit::stats {
+
+namespace {
+
+struct SplitCandidate {
+  std::size_t feature = static_cast<std::size_t>(-1);
+  double threshold = 0.0;
+  double gain = 0.0;  // weighted variance decrease
+  bool valid() const { return feature != static_cast<std::size_t>(-1); }
+};
+
+double sum_range(const std::vector<double>& y, const std::vector<std::size_t>& rows,
+                 std::size_t begin, std::size_t end) {
+  double s = 0.0;
+  for (std::size_t i = begin; i < end; ++i) s += y[rows[i]];
+  return s;
+}
+
+double sq_sum_range(const std::vector<double>& y, const std::vector<std::size_t>& rows,
+                    std::size_t begin, std::size_t end) {
+  double s = 0.0;
+  for (std::size_t i = begin; i < end; ++i) s += y[rows[i]] * y[rows[i]];
+  return s;
+}
+
+}  // namespace
+
+void RegressionTree::fit(const linalg::Matrix& x, const std::vector<double>& y,
+                         const std::vector<std::size_t>& rows, tunekit::Rng& rng) {
+  if (x.rows() != y.size()) throw std::invalid_argument("RegressionTree::fit: size mismatch");
+  if (rows.empty()) throw std::invalid_argument("RegressionTree::fit: no training rows");
+  nodes_.clear();
+  importance_.assign(x.cols(), 0.0);
+  std::vector<std::size_t> work = rows;
+  build(x, y, work, 0, work.size(), 0, rng);
+}
+
+void RegressionTree::fit(const linalg::Matrix& x, const std::vector<double>& y,
+                         tunekit::Rng& rng) {
+  std::vector<std::size_t> rows(x.rows());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  fit(x, y, rows, rng);
+}
+
+std::size_t RegressionTree::build(const linalg::Matrix& x, const std::vector<double>& y,
+                                  std::vector<std::size_t>& rows, std::size_t begin,
+                                  std::size_t end, std::size_t depth, tunekit::Rng& rng) {
+  const std::size_t n = end - begin;
+  const double sum = sum_range(y, rows, begin, end);
+  const double mean = sum / static_cast<double>(n);
+
+  const std::size_t node_index = nodes_.size();
+  nodes_.push_back({});
+  nodes_[node_index].value = mean;
+  nodes_[node_index].n_samples = n;
+
+  if (depth >= options_.max_depth || n < options_.min_samples_split) return node_index;
+
+  // Parent impurity (biased variance, as CART uses).
+  const double sq = sq_sum_range(y, rows, begin, end);
+  const double parent_impurity = sq / static_cast<double>(n) - mean * mean;
+  if (parent_impurity <= 1e-15) return node_index;
+
+  // Choose the candidate feature subset.
+  const std::size_t d = x.cols();
+  std::size_t n_features = options_.max_features == 0 ? d : std::min(options_.max_features, d);
+  std::vector<std::size_t> features;
+  if (n_features == d) {
+    features.resize(d);
+    std::iota(features.begin(), features.end(), std::size_t{0});
+  } else {
+    features = rng.sample_without_replacement(d, n_features);
+  }
+
+  SplitCandidate best;
+  std::vector<std::pair<double, std::size_t>> sorted(n);  // (feature value, row)
+  for (std::size_t f : features) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t row = rows[begin + i];
+      sorted[i] = {x(row, f), row};
+    }
+    std::sort(sorted.begin(), sorted.end());
+
+    // Prefix scan: evaluate every boundary between distinct feature values.
+    double left_sum = 0.0, left_sq = 0.0;
+    const double total_sq = sq;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const double yi = y[sorted[i].second];
+      left_sum += yi;
+      left_sq += yi * yi;
+      if (sorted[i].first == sorted[i + 1].first) continue;
+      const std::size_t nl = i + 1;
+      const std::size_t nr = n - nl;
+      if (nl < options_.min_samples_leaf || nr < options_.min_samples_leaf) continue;
+      const double right_sum = sum - left_sum;
+      const double right_sq = total_sq - left_sq;
+      const double lmean = left_sum / static_cast<double>(nl);
+      const double rmean = right_sum / static_cast<double>(nr);
+      const double limp = left_sq / static_cast<double>(nl) - lmean * lmean;
+      const double rimp = right_sq / static_cast<double>(nr) - rmean * rmean;
+      const double weighted =
+          (static_cast<double>(nl) * limp + static_cast<double>(nr) * rimp) /
+          static_cast<double>(n);
+      const double gain = parent_impurity - weighted;
+      if (gain > best.gain) {
+        best.feature = f;
+        best.threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+        best.gain = gain;
+      }
+    }
+  }
+
+  if (!best.valid() || best.gain <= 1e-15) return node_index;
+
+  // Partition rows in place around the threshold.
+  auto middle = std::partition(rows.begin() + static_cast<std::ptrdiff_t>(begin),
+                               rows.begin() + static_cast<std::ptrdiff_t>(end),
+                               [&](std::size_t row) {
+                                 return x(row, best.feature) <= best.threshold;
+                               });
+  const auto mid = static_cast<std::size_t>(middle - rows.begin());
+  if (mid == begin || mid == end) return node_index;  // degenerate split
+
+  importance_[best.feature] += best.gain * static_cast<double>(n);
+
+  const std::size_t left = build(x, y, rows, begin, mid, depth + 1, rng);
+  const std::size_t right = build(x, y, rows, mid, end, depth + 1, rng);
+  nodes_[node_index].feature = best.feature;
+  nodes_[node_index].threshold = best.threshold;
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+double RegressionTree::predict(const std::vector<double>& features) const {
+  if (nodes_.empty()) throw std::runtime_error("RegressionTree::predict before fit");
+  std::size_t i = 0;
+  for (;;) {
+    const Node& node = nodes_[i];
+    if (node.feature == npos) return node.value;
+    if (features.at(node.feature) <= node.threshold) {
+      i = node.left;
+    } else {
+      i = node.right;
+    }
+  }
+}
+
+std::size_t RegressionTree::depth() const {
+  if (nodes_.empty()) return 0;
+  std::function<std::size_t(std::size_t)> walk = [&](std::size_t i) -> std::size_t {
+    const Node& node = nodes_[i];
+    if (node.feature == npos) return 1;
+    return 1 + std::max(walk(node.left), walk(node.right));
+  };
+  return walk(0);
+}
+
+}  // namespace tunekit::stats

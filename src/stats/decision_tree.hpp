@@ -1,0 +1,66 @@
+#pragma once
+// CART regression tree: variance-reduction splits over a (samples x
+// features) matrix. Building block of the random forest used for the
+// paper's feature-importance analysis (§IV-B, "leveraging Random Forest
+// trees").
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace tunekit::stats {
+
+struct TreeOptions {
+  std::size_t max_depth = 10;
+  std::size_t min_samples_leaf = 2;
+  std::size_t min_samples_split = 4;
+  /// Features considered per split; 0 means all features.
+  std::size_t max_features = 0;
+};
+
+class RegressionTree {
+ public:
+  explicit RegressionTree(TreeOptions options = {}) : options_(options) {}
+
+  /// Fit on row-indexed samples. `rows` selects the (possibly bootstrapped)
+  /// training rows; duplicates allowed. `rng` drives feature subsampling.
+  void fit(const linalg::Matrix& x, const std::vector<double>& y,
+           const std::vector<std::size_t>& rows, tunekit::Rng& rng);
+
+  /// Fit on all rows.
+  void fit(const linalg::Matrix& x, const std::vector<double>& y, tunekit::Rng& rng);
+
+  double predict(const std::vector<double>& features) const;
+
+  /// Impurity-decrease importance per feature (unnormalized: summed
+  /// weighted variance reduction at every split on that feature).
+  const std::vector<double>& impurity_importance() const { return importance_; }
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t depth() const;
+  bool fitted() const { return !nodes_.empty(); }
+
+ private:
+  struct Node {
+    // Internal node when feature != npos; otherwise a leaf with `value`.
+    std::size_t feature = npos;
+    double threshold = 0.0;
+    std::size_t left = 0;
+    std::size_t right = 0;
+    double value = 0.0;
+    std::size_t n_samples = 0;
+  };
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  std::size_t build(const linalg::Matrix& x, const std::vector<double>& y,
+                    std::vector<std::size_t>& rows, std::size_t begin, std::size_t end,
+                    std::size_t depth, tunekit::Rng& rng);
+
+  TreeOptions options_;
+  std::vector<Node> nodes_;
+  std::vector<double> importance_;
+};
+
+}  // namespace tunekit::stats

@@ -1,0 +1,87 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tunekit::stats {
+
+namespace {
+void require_nonempty(const std::vector<double>& v, const char* what) {
+  if (v.empty()) throw std::invalid_argument(std::string(what) + ": empty input");
+}
+}  // namespace
+
+double mean(const std::vector<double>& v) {
+  require_nonempty(v, "mean");
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+double variance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(v.size() - 1);
+}
+
+double stddev(const std::vector<double>& v) { return std::sqrt(variance(v)); }
+
+double min_value(const std::vector<double>& v) {
+  require_nonempty(v, "min_value");
+  return *std::min_element(v.begin(), v.end());
+}
+
+double max_value(const std::vector<double>& v) {
+  require_nonempty(v, "max_value");
+  return *std::max_element(v.begin(), v.end());
+}
+
+double quantile(std::vector<double> v, double q) {
+  require_nonempty(v, "quantile");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double median(std::vector<double> v) { return quantile(std::move(v), 0.5); }
+
+double r_squared(const std::vector<double>& truth, const std::vector<double>& pred) {
+  if (truth.size() != pred.size() || truth.empty()) {
+    throw std::invalid_argument("r_squared: size mismatch or empty");
+  }
+  const double m = mean(truth);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+    ss_tot += (truth[i] - m) * (truth[i] - m);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+Summary summarize(const std::vector<double>& v) {
+  require_nonempty(v, "summarize");
+  Summary s;
+  s.count = v.size();
+  s.mean = mean(v);
+  s.stddev = stddev(v);
+  s.min = min_value(v);
+  s.median = median(v);
+  s.max = max_value(v);
+  return s;
+}
+
+bool one_in_ten_ok(std::size_t n_observations, std::size_t n_predictors) {
+  return n_observations >= one_in_ten_required(n_predictors);
+}
+
+std::size_t one_in_ten_required(std::size_t n_predictors) { return 10 * n_predictors; }
+
+}  // namespace tunekit::stats

@@ -1,0 +1,40 @@
+#pragma once
+// Descriptive statistics used across the methodology's data-insight step
+// (paper §IV-B) and by the test suite.
+
+#include <cstddef>
+#include <vector>
+
+namespace tunekit::stats {
+
+double mean(const std::vector<double>& v);
+/// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+double variance(const std::vector<double>& v);
+double stddev(const std::vector<double>& v);
+double min_value(const std::vector<double>& v);
+double max_value(const std::vector<double>& v);
+/// Linear-interpolated quantile, q in [0,1].
+double quantile(std::vector<double> v, double q);
+double median(std::vector<double> v);
+
+/// Coefficient of determination of predictions vs. truth.
+double r_squared(const std::vector<double>& truth, const std::vector<double>& pred);
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double median = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(const std::vector<double>& v);
+
+/// Harrell's one-in-ten rule (paper §IV-B): a regression-style analysis over
+/// `n_predictors` independent variables needs at least 10 observations per
+/// predictor to be trustworthy.
+bool one_in_ten_ok(std::size_t n_observations, std::size_t n_predictors);
+std::size_t one_in_ten_required(std::size_t n_predictors);
+
+}  // namespace tunekit::stats

@@ -1,0 +1,124 @@
+#include "stats/orthogonality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/partition.hpp"
+
+namespace tunekit::stats {
+
+OrthogonalityReport::OrthogonalityReport(std::size_t n_params)
+    : interactions_(n_params, n_params, 0.0) {}
+
+double OrthogonalityReport::interaction(std::size_t i, std::size_t j) const {
+  return interactions_.at(i, j);
+}
+
+void OrthogonalityReport::set_interaction(std::size_t i, std::size_t j, double value) {
+  interactions_.at(i, j) = value;
+  interactions_.at(j, i) = value;
+}
+
+std::vector<OrthogonalityReport::Pair> OrthogonalityReport::interacting_pairs(
+    double threshold) const {
+  std::vector<Pair> out;
+  for (std::size_t i = 0; i < interactions_.rows(); ++i) {
+    for (std::size_t j = i + 1; j < interactions_.cols(); ++j) {
+      if (interactions_(i, j) >= threshold) out.push_back({i, j, interactions_(i, j)});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Pair& a, const Pair& b) { return a.strength > b.strength; });
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> OrthogonalityReport::additive_groups(
+    double threshold) const {
+  graph::UnionFind uf(interactions_.rows());
+  for (const auto& p : interacting_pairs(threshold)) uf.unite(p.i, p.j);
+  return uf.groups();
+}
+
+std::size_t OrthogonalityAnalyzer::predicted_observations(std::size_t n_params) const {
+  // f(x) once, f(x + δ_i) per draw and parameter, f(x + δ_i + δ_j) per draw
+  // and pair.
+  const std::size_t pairs = n_params * (n_params - 1) / 2;
+  return 1 + options_.n_draws * (n_params + pairs);
+}
+
+OrthogonalityReport OrthogonalityAnalyzer::analyze(search::Objective& objective,
+                                                   const search::SearchSpace& space,
+                                                   const search::Config& baseline,
+                                                   tunekit::Rng& rng) const {
+  if (!space.is_valid(baseline)) {
+    throw std::invalid_argument("OrthogonalityAnalyzer: invalid baseline");
+  }
+  const std::size_t d = space.size();
+  OrthogonalityReport report(d);
+
+  const double f0 = objective.evaluate(baseline);
+  report.observations = 1;
+  if (f0 == 0.0) {
+    throw std::invalid_argument("OrthogonalityAnalyzer: baseline evaluates to zero");
+  }
+
+  for (std::size_t draw = 0; draw < std::max<std::size_t>(1, options_.n_draws); ++draw) {
+    // One random perturbation per parameter for this draw; sign randomized
+    // so the analysis is not one-sided.
+    std::vector<double> delta(d, 0.0);
+    for (std::size_t i = 0; i < d; ++i) {
+      const auto& p = space.param(i);
+      const double span = p.hi() - p.lo();
+      const double sign = rng.uniform() < 0.5 ? -1.0 : 1.0;
+      delta[i] = sign * options_.step_fraction * span * (0.5 + rng.uniform());
+    }
+
+    // Single-parameter corners f(x + δ_i).
+    std::vector<double> fi(d, std::numeric_limits<double>::quiet_NaN());
+    std::vector<search::Config> xi(d);
+    for (std::size_t i = 0; i < d; ++i) {
+      search::Config c = baseline;
+      c[i] = space.param(i).snap(c[i] + delta[i]);
+      if (c[i] == baseline[i]) {
+        // Snapped back onto the baseline (e.g. at a range edge): flip.
+        c[i] = space.param(i).snap(baseline[i] - delta[i]);
+      }
+      xi[i] = c;
+      if (!space.is_valid(c)) {
+        if (!options_.skip_invalid) {
+          throw std::runtime_error("OrthogonalityAnalyzer: invalid single perturbation");
+        }
+        continue;
+      }
+      fi[i] = objective.evaluate(c);
+      ++report.observations;
+    }
+
+    // Pair corners f(x + δ_i + δ_j).
+    for (std::size_t i = 0; i < d; ++i) {
+      if (std::isnan(fi[i])) continue;
+      for (std::size_t j = i + 1; j < d; ++j) {
+        if (std::isnan(fi[j])) continue;
+        search::Config c = xi[i];
+        c[j] = xi[j][j];
+        if (!space.is_valid(c)) {
+          if (!options_.skip_invalid) {
+            throw std::runtime_error("OrthogonalityAnalyzer: invalid pair perturbation");
+          }
+          continue;
+        }
+        const double fij = objective.evaluate(c);
+        ++report.observations;
+        const double mixed = std::abs(fij - fi[i] - fi[j] + f0) / std::abs(f0);
+        // Average across draws incrementally.
+        const double prev = report.interaction(i, j);
+        report.set_interaction(
+            i, j, prev + (mixed - prev) / static_cast<double>(draw + 1));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace tunekit::stats

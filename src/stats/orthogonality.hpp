@@ -1,0 +1,84 @@
+#pragma once
+// Classical pairwise orthogonality (interaction) analysis — the expensive
+// literature approach (paper §II / [4]) that the sensitivity-based
+// inference replaces.
+//
+// For every parameter pair (i, j) it estimates the mixed effect
+//
+//   I(i, j) = | f(x + δ_i + δ_j) − f(x + δ_i) − f(x + δ_j) + f(x) |
+//
+// averaged over V perturbation draws and normalized by |f(x)|. A value near
+// zero means the parameters contribute (locally) additively — they can be
+// searched separately; a large value flags an interaction.
+//
+// Cost: O(V · D²) objective evaluations versus the sensitivity analysis'
+// O(V · D). bench/ablation_observation_cost quantifies the gap, reproducing
+// the paper's core cost argument.
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+#include "search/objective.hpp"
+#include "search/space.hpp"
+
+namespace tunekit::stats {
+
+struct OrthogonalityOptions {
+  /// Perturbation draws per pair.
+  std::size_t n_draws = 3;
+  /// Perturbation size as a fraction of each parameter's range.
+  double step_fraction = 0.25;
+  /// Invalid perturbed configurations are skipped.
+  bool skip_invalid = true;
+};
+
+class OrthogonalityReport {
+ public:
+  explicit OrthogonalityReport(std::size_t n_params);
+
+  /// Normalized interaction strength of the pair (i, j); symmetric.
+  double interaction(std::size_t i, std::size_t j) const;
+  void set_interaction(std::size_t i, std::size_t j, double value);
+
+  std::size_t n_params() const { return interactions_.rows(); }
+
+  /// Pairs with interaction >= threshold, strongest first.
+  struct Pair {
+    std::size_t i;
+    std::size_t j;
+    double strength;
+  };
+  std::vector<Pair> interacting_pairs(double threshold) const;
+
+  /// Partition of parameters into additive groups: parameters joined by an
+  /// above-threshold interaction end up in the same group (union-find).
+  std::vector<std::vector<std::size_t>> additive_groups(double threshold) const;
+
+  /// Objective evaluations consumed.
+  std::size_t observations = 0;
+
+ private:
+  linalg::Matrix interactions_;
+};
+
+class OrthogonalityAnalyzer {
+ public:
+  explicit OrthogonalityAnalyzer(OrthogonalityOptions options = {})
+      : options_(options) {}
+
+  /// Full pairwise analysis around `baseline`. Throws std::invalid_argument
+  /// if the baseline is invalid or evaluates to zero.
+  OrthogonalityReport analyze(search::Objective& objective,
+                              const search::SearchSpace& space,
+                              const search::Config& baseline, tunekit::Rng& rng) const;
+
+  /// Evaluations a full analysis will need (upper bound): V * (D² + D)/2 * 4
+  /// minus shared corners; exposed so callers can budget ahead.
+  std::size_t predicted_observations(std::size_t n_params) const;
+
+ private:
+  OrthogonalityOptions options_;
+};
+
+}  // namespace tunekit::stats

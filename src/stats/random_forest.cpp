@@ -1,0 +1,118 @@
+#include "stats/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace tunekit::stats {
+
+void RandomForest::fit(const linalg::Matrix& x, const std::vector<double>& y) {
+  if (x.rows() != y.size() || x.rows() == 0) {
+    throw std::invalid_argument("RandomForest::fit: bad training data");
+  }
+  n_features_ = x.cols();
+  trees_.clear();
+  trees_.reserve(options_.n_trees);
+
+  TreeOptions tree_opts = options_.tree;
+  if (options_.max_features == 0) {
+    tree_opts.max_features = std::max<std::size_t>(1, n_features_ / 3);
+  } else {
+    tree_opts.max_features = std::min(options_.max_features, n_features_);
+  }
+
+  tunekit::Rng rng(options_.seed);
+  const auto n = x.rows();
+  const auto n_draw = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(options_.bootstrap_fraction *
+                                               static_cast<double>(n))));
+
+  for (std::size_t t = 0; t < options_.n_trees; ++t) {
+    tunekit::Rng tree_rng = rng.split();
+    std::vector<std::size_t> rows(n_draw);
+    for (auto& r : rows) {
+      r = static_cast<std::size_t>(
+          tree_rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    }
+    RegressionTree tree(tree_opts);
+    tree.fit(x, y, rows, tree_rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForest::predict(const std::vector<double>& features) const {
+  if (trees_.empty()) throw std::runtime_error("RandomForest::predict before fit");
+  double acc = 0.0;
+  for (const auto& t : trees_) acc += t.predict(features);
+  return acc / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForest::predict_all(const linalg::Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict(x.row(r));
+  return out;
+}
+
+double RandomForest::score(const linalg::Matrix& x, const std::vector<double>& y) const {
+  return r_squared(y, predict_all(x));
+}
+
+std::vector<double> RandomForest::impurity_importance() const {
+  if (trees_.empty()) throw std::runtime_error("RandomForest: not fitted");
+  std::vector<double> acc(n_features_, 0.0);
+  for (const auto& t : trees_) {
+    const auto& imp = t.impurity_importance();
+    for (std::size_t f = 0; f < n_features_; ++f) acc[f] += imp[f];
+  }
+  double total = 0.0;
+  for (double v : acc) total += v;
+  if (total > 0.0) {
+    for (double& v : acc) v /= total;
+  }
+  return acc;
+}
+
+std::vector<double> RandomForest::permutation_importance(const linalg::Matrix& x,
+                                                         const std::vector<double>& y,
+                                                         std::size_t n_repeats) const {
+  if (trees_.empty()) throw std::runtime_error("RandomForest: not fitted");
+  if (x.rows() != y.size() || x.rows() < 2) {
+    throw std::invalid_argument("RandomForest::permutation_importance: bad data");
+  }
+
+  auto mse = [&](const linalg::Matrix& data) {
+    double acc = 0.0;
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+      const double d = predict(data.row(r)) - y[r];
+      acc += d * d;
+    }
+    return acc / static_cast<double>(data.rows());
+  };
+
+  const double base_mse = mse(x);
+  tunekit::Rng rng(options_.seed ^ 0xabcdef1234567890ull);
+  std::vector<double> scores(n_features_, 0.0);
+
+  for (std::size_t f = 0; f < n_features_; ++f) {
+    double acc = 0.0;
+    for (std::size_t rep = 0; rep < n_repeats; ++rep) {
+      linalg::Matrix shuffled = x;
+      std::vector<double> column = x.col(f);
+      rng.shuffle(column);
+      for (std::size_t r = 0; r < x.rows(); ++r) shuffled(r, f) = column[r];
+      acc += mse(shuffled) - base_mse;
+    }
+    scores[f] = std::max(0.0, acc / static_cast<double>(n_repeats));
+  }
+
+  double total = 0.0;
+  for (double v : scores) total += v;
+  if (total > 0.0) {
+    for (double& v : scores) v /= total;
+  }
+  return scores;
+}
+
+}  // namespace tunekit::stats

@@ -1,0 +1,56 @@
+#pragma once
+// Random-forest regressor with impurity and permutation feature importance.
+// Used by the methodology's §IV-B insight step: "feature importance analysis,
+// leveraging Random Forest trees" decides which parameters to keep when a
+// merged search exceeds the 10-dimension cap.
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+#include "stats/decision_tree.hpp"
+
+namespace tunekit::stats {
+
+struct ForestOptions {
+  std::size_t n_trees = 100;
+  TreeOptions tree;
+  /// Fraction of rows drawn (with replacement) per tree.
+  double bootstrap_fraction = 1.0;
+  /// Features per split; 0 means d/3 (regression default), capped at d.
+  std::size_t max_features = 0;
+  std::uint64_t seed = 7;
+};
+
+class RandomForest {
+ public:
+  explicit RandomForest(ForestOptions options = {}) : options_(options) {}
+
+  void fit(const linalg::Matrix& x, const std::vector<double>& y);
+
+  double predict(const std::vector<double>& features) const;
+  std::vector<double> predict_all(const linalg::Matrix& x) const;
+
+  /// R^2 of the forest on a dataset.
+  double score(const linalg::Matrix& x, const std::vector<double>& y) const;
+
+  /// Mean impurity-decrease importance per feature, normalized to sum 1
+  /// (all-zero if no split ever used any feature).
+  std::vector<double> impurity_importance() const;
+
+  /// Permutation importance: mean increase in MSE when one feature column
+  /// is shuffled. Normalized to sum 1 over non-negative scores.
+  std::vector<double> permutation_importance(const linalg::Matrix& x,
+                                             const std::vector<double>& y,
+                                             std::size_t n_repeats = 5) const;
+
+  bool fitted() const { return !trees_.empty(); }
+  std::size_t n_trees() const { return trees_.size(); }
+
+ private:
+  ForestOptions options_;
+  std::vector<RegressionTree> trees_;
+  std::size_t n_features_ = 0;
+};
+
+}  // namespace tunekit::stats

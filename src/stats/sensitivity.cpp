@@ -1,0 +1,214 @@
+#include "stats/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace tunekit::stats {
+
+SensitivityReport::SensitivityReport(std::vector<std::string> regions,
+                                     std::vector<std::string> params)
+    : regions_(std::move(regions)),
+      params_(std::move(params)),
+      scores_(regions_.size(), params_.size(), 0.0) {}
+
+std::size_t SensitivityReport::region_index(const std::string& region) const {
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    if (regions_[i] == region) return i;
+  }
+  throw std::out_of_range("SensitivityReport: unknown region '" + region + "'");
+}
+
+double SensitivityReport::score(const std::string& region, std::size_t param_index) const {
+  return scores_.at(region_index(region), param_index);
+}
+
+void SensitivityReport::set_score(const std::string& region, std::size_t param_index,
+                                  double value) {
+  scores_.at(region_index(region), param_index) = value;
+}
+
+std::vector<SensitivityEntry> SensitivityReport::top(const std::string& region,
+                                                     std::size_t k) const {
+  const std::size_t r = region_index(region);
+  std::vector<SensitivityEntry> entries;
+  entries.reserve(params_.size());
+  for (std::size_t p = 0; p < params_.size(); ++p) {
+    entries.push_back({p, params_[p], scores_(r, p)});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const SensitivityEntry& a, const SensitivityEntry& b) {
+              return a.variability > b.variability;
+            });
+  if (entries.size() > k) entries.resize(k);
+  return entries;
+}
+
+std::vector<SensitivityEntry> SensitivityReport::above_cutoff(const std::string& region,
+                                                              double cutoff) const {
+  const std::size_t r = region_index(region);
+  std::vector<SensitivityEntry> entries;
+  for (std::size_t p = 0; p < params_.size(); ++p) {
+    if (scores_(r, p) >= cutoff) entries.push_back({p, params_[p], scores_(r, p)});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const SensitivityEntry& a, const SensitivityEntry& b) {
+              return a.variability > b.variability;
+            });
+  return entries;
+}
+
+std::vector<double> SensitivityAnalyzer::variation_values(const search::ParamSpec& spec,
+                                                          double baseline_value) const {
+  // Expert-provided values take precedence when present.
+  if (options_.mode == VariationMode::ExpertValues) {
+    auto it = options_.expert_values.find(spec.name());
+    if (it != options_.expert_values.end()) {
+      std::vector<double> vals;
+      for (double v : it->second) {
+        const double s = spec.snap(v);
+        if (s != baseline_value) vals.push_back(s);
+      }
+      return vals;
+    }
+  }
+
+  const std::size_t v_count = std::max<std::size_t>(1, options_.n_variations);
+  std::vector<double> vals;
+  vals.reserve(v_count);
+
+  if (spec.cardinality() != 0 && spec.kind() != search::ParamKind::Integer) {
+    // Ordinal / categorical: walk the level list, evenly spread, skipping
+    // the baseline level.
+    const auto& levels = spec.levels();
+    std::vector<double> pool;
+    for (double l : levels) {
+      if (l != baseline_value) pool.push_back(l);
+    }
+    if (pool.empty()) return vals;
+    if (pool.size() <= v_count) return pool;
+    for (std::size_t k = 0; k < v_count; ++k) {
+      const std::size_t idx = k * (pool.size() - 1) / (v_count > 1 ? v_count - 1 : 1);
+      vals.push_back(pool[idx]);
+    }
+    // Deduplicate while keeping order.
+    std::vector<double> dedup;
+    for (double v : vals) {
+      if (std::find(dedup.begin(), dedup.end(), v) == dedup.end()) dedup.push_back(v);
+    }
+    return dedup;
+  }
+
+  // Real / Integer: multiplicative ladder off the baseline. If the baseline
+  // is (near) zero the ladder degenerates, so fall back to a span walk.
+  const double eps = 1e-12 * std::max(1.0, std::abs(spec.hi() - spec.lo()));
+  if (std::abs(baseline_value) < eps) {
+    for (std::size_t k = 1; k <= v_count; ++k) {
+      const double frac = static_cast<double>(k) / static_cast<double>(v_count + 1);
+      const double v = spec.snap(spec.lo() + frac * (spec.hi() - spec.lo()));
+      if (v != baseline_value) vals.push_back(v);
+    }
+  } else {
+    double v = baseline_value;
+    for (std::size_t k = 0; k < v_count; ++k) {
+      v *= options_.ladder_factor;
+      const double snapped = spec.snap(v);
+      if (snapped != baseline_value &&
+          (vals.empty() || snapped != vals.back())) {
+        vals.push_back(snapped);
+      }
+    }
+  }
+  return vals;
+}
+
+SensitivityReport SensitivityAnalyzer::analyze(search::RegionObjective& objective,
+                                               const search::SearchSpace& space,
+                                               const search::Config& baseline) const {
+  if (!space.is_valid(baseline)) {
+    throw std::invalid_argument("SensitivityAnalyzer: baseline configuration is invalid");
+  }
+  const search::RegionTimes base = objective.evaluate_regions(baseline);
+
+  std::vector<std::string> regions;
+  regions.reserve(base.regions.size() + 1);
+  for (const auto& [name, _] : base.regions) regions.push_back(name);
+  regions.push_back("total");
+
+  std::vector<std::string> param_names;
+  param_names.reserve(space.size());
+  for (const auto& p : space.params()) param_names.push_back(p.name());
+
+  SensitivityReport report(regions, param_names);
+  report.observations = 1;  // the baseline evaluation
+
+  auto base_time = [&](const std::string& region) {
+    return region == "total" ? base.total : base.regions.at(region);
+  };
+  for (const auto& r : regions) {
+    if (base_time(r) == 0.0) {
+      throw std::invalid_argument("SensitivityAnalyzer: baseline time for region '" + r +
+                                  "' is zero; variability undefined");
+    }
+  }
+
+  for (std::size_t p = 0; p < space.size(); ++p) {
+    const auto values = variation_values(space.param(p), baseline[p]);
+    std::map<std::string, double> acc;
+    std::size_t used = 0;
+    for (double v : values) {
+      search::Config varied = baseline;
+      varied[p] = v;
+      if (!space.is_valid(varied)) {
+        if (options_.skip_invalid) continue;
+        throw std::runtime_error("SensitivityAnalyzer: invalid variation for '" +
+                                 space.param(p).name() + "'");
+      }
+      const search::RegionTimes t = objective.evaluate_regions(varied);
+      ++report.observations;
+      ++used;
+      for (const auto& r : regions) {
+        const double tb = base_time(r);
+        const double tr = r == "total" ? t.total : t.regions.at(r);
+        acc[r] += std::abs((tb - tr) / tb);
+      }
+    }
+    if (used == 0) {
+      log_debug("sensitivity: no valid variations for parameter ",
+                space.param(p).name());
+      continue;
+    }
+    for (const auto& r : regions) {
+      report.set_score(r, p, acc[r] / static_cast<double>(used));
+    }
+  }
+  return report;
+}
+
+namespace {
+/// Present a scalar objective as a single-region objective.
+class TotalOnly final : public search::RegionObjective {
+ public:
+  explicit TotalOnly(search::Objective& inner) : inner_(inner) {}
+  search::RegionTimes evaluate_regions(const search::Config& c) override {
+    search::RegionTimes t;
+    t.total = inner_.evaluate(c);
+    return t;
+  }
+  bool thread_safe() const override { return inner_.thread_safe(); }
+
+ private:
+  search::Objective& inner_;
+};
+}  // namespace
+
+SensitivityReport SensitivityAnalyzer::analyze_total(search::Objective& objective,
+                                                     const search::SearchSpace& space,
+                                                     const search::Config& baseline) const {
+  TotalOnly wrapper(objective);
+  return analyze(wrapper, space, baseline);
+}
+
+}  // namespace tunekit::stats

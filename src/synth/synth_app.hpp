@@ -1,0 +1,42 @@
+#pragma once
+// TunableApp adapter for the synthetic function family: four routines
+// ("Group1".."Group4") each owning five variables; the per-group transformed
+// values are reported as region "times" and their sum as the total, exactly
+// mirroring how the paper treats groups as independently measurable code
+// regions.
+
+#include <cstdint>
+
+#include "core/tunable_app.hpp"
+#include "synth/synthetic.hpp"
+
+namespace tunekit::synth {
+
+class SynthApp final : public core::TunableApp {
+ public:
+  /// `baseline_seed` picks the paper's "randomly selected baseline"
+  /// configuration reproducibly; values are drawn away from zero so the
+  /// multiplicative variation ladder is well defined.
+  explicit SynthApp(SynthCase which, double noise_scale = 0.01,
+                    std::uint64_t baseline_seed = 12345);
+
+  const search::SearchSpace& space() const override { return space_; }
+  std::vector<core::RoutineSpec> routines() const override;
+  search::Config baseline() const override { return baseline_; }
+  std::string name() const override;
+
+  search::RegionTimes evaluate_regions(const search::Config& config) override;
+  bool thread_safe() const override { return true; }
+
+  const SyntheticFunction& function() const { return fn_; }
+
+  /// Region name of group g (1-based): "Group1".."Group4".
+  static std::string group_region(std::size_t g);
+
+ private:
+  SyntheticFunction fn_;
+  search::SearchSpace space_;
+  search::Config baseline_;
+};
+
+}  // namespace tunekit::synth

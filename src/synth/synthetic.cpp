@@ -1,0 +1,163 @@
+#include "synth/synthetic.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <numbers>
+#include <stdexcept>
+
+namespace tunekit::synth {
+
+const char* to_string(SynthCase c) {
+  switch (c) {
+    case SynthCase::Case1: return "Case 1";
+    case SynthCase::Case2: return "Case 2";
+    case SynthCase::Case3: return "Case 3";
+    case SynthCase::Case4: return "Case 4";
+    case SynthCase::Case5: return "Case 5";
+  }
+  return "?";
+}
+
+const char* group4_influence_label(SynthCase c) {
+  switch (c) {
+    case SynthCase::Case1: return "Very Low";
+    case SynthCase::Case2: return "Low";
+    case SynthCase::Case3: return "Medium";
+    case SynthCase::Case4: return "High";
+    case SynthCase::Case5: return "Extremely High";
+  }
+  return "?";
+}
+
+SyntheticFunction::SyntheticFunction(SynthCase which, double noise_scale,
+                                     std::uint64_t noise_seed)
+    : which_(which), noise_scale_(noise_scale), noise_seed_(noise_seed) {
+  if (noise_scale < 0.0) throw std::invalid_argument("SyntheticFunction: negative noise");
+}
+
+namespace {
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_config(const std::vector<double>& x, std::uint64_t seed) {
+  std::uint64_t h = splitmix(seed ^ 0x243f6a8885a308d3ull);
+  for (double v : x) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    h = splitmix(h ^ bits);
+  }
+  return h;
+}
+}  // namespace
+
+double SyntheticFunction::noise(const std::vector<double>& x, std::uint64_t draw) const {
+  if (noise_scale_ == 0.0) return 0.0;
+  const std::uint64_t h = splitmix(hash_config(x, noise_seed_) ^ splitmix(draw));
+  // Map the top 53 bits to [0, 1).
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u * noise_scale_;
+}
+
+double SyntheticFunction::a_term(const std::vector<double>& x, std::size_t i,
+                                 std::uint64_t draw) const {
+  return 10.0 * std::cos(2.0 * std::numbers::pi * (x[i] - 1.0)) + noise(x, draw);
+}
+
+double SyntheticFunction::group1_raw(const std::vector<double>& x) const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i <= 3; ++i) acc += (x[i] - x[i + 1]) * (x[i] - x[i + 1]);
+  for (std::size_t i = 0; i <= 4; ++i) acc += a_term(x, i, 100 + i);
+  return acc;
+}
+
+double SyntheticFunction::group2_raw(const std::vector<double>& x) const {
+  double acc = 0.0;
+  for (std::size_t k = 5; k <= 8; ++k) {
+    const double d = x[k] - x[k + 1];
+    acc += d * d * d * d;
+  }
+  for (std::size_t k = 5; k <= 9; ++k) acc += a_term(x, k, 200 + k);
+  return acc;
+}
+
+double SyntheticFunction::group3_raw(const std::vector<double>& x) const {
+  double acc = 0.0;
+  switch (which_) {
+    case SynthCase::Case1:
+      for (std::size_t u = 10; u <= 14; ++u) acc += x[u];
+      for (std::size_t v = 15; v <= 19; ++v) {
+        acc += std::cos(2.0 * std::numbers::pi * x[v]);
+      }
+      break;
+    case SynthCase::Case2:
+      for (std::size_t u = 10; u <= 14; ++u) acc += x[u] * x[u];
+      for (std::size_t v = 15; v <= 19; ++v) acc += x[v];
+      break;
+    case SynthCase::Case3:
+      for (std::size_t u = 10; u <= 14; ++u) acc += x[u] * x[u];
+      for (std::size_t v = 15; v <= 19; ++v) acc += x[v] * x[v];
+      break;
+    case SynthCase::Case4:
+      for (std::size_t t = 0; t < 5; ++t) {
+        const double xu = x[10 + t];
+        const double xv = x[15 + t];
+        const double term = xu * xv * xv * xv * xv;  // x_u * x_v^4
+        acc += term * term;
+      }
+      break;
+    case SynthCase::Case5:
+      for (std::size_t t = 0; t < 5; ++t) {
+        const double xu = x[10 + t];
+        const double xv8 = std::pow(x[15 + t], 8.0);
+        const double term = xu * xv8;  // x_u * x_v^8
+        acc += term * term;
+      }
+      break;
+  }
+  return acc + noise(x, 300);
+}
+
+double SyntheticFunction::group4_raw(const std::vector<double>& x) const {
+  double acc = 0.0;
+  for (std::size_t v = 15; v <= 19; ++v) {
+    // Guard the pole at x_v = 0 (the paper's domain is continuous; exact
+    // zeros only appear via deliberately crafted configurations).
+    const double xv = std::abs(x[v]) < 1e-9 ? (x[v] < 0.0 ? -1e-9 : 1e-9) : x[v];
+    acc += 1.0 / xv;
+  }
+  return acc + noise(x, 400);
+}
+
+std::array<double, 4> SyntheticFunction::raw_abs_groups(const std::vector<double>& x) const {
+  if (x.size() != kDim) {
+    throw std::invalid_argument("SyntheticFunction: expected 20 variables");
+  }
+  return {std::abs(group1_raw(x)), std::abs(group2_raw(x)), std::abs(group3_raw(x)),
+          std::abs(group4_raw(x))};
+}
+
+GroupValues SyntheticFunction::evaluate_groups(const std::vector<double>& x) const {
+  if (x.size() != kDim) {
+    throw std::invalid_argument("SyntheticFunction: expected 20 variables");
+  }
+  auto log_abs = [](double v) {
+    const double a = std::abs(v);
+    return std::log(a > 1e-12 ? a : 1e-12);
+  };
+  GroupValues out;
+  out.groups[0] = log_abs(group1_raw(x));
+  out.groups[1] = log_abs(group2_raw(x));
+  out.groups[2] = log_abs(group3_raw(x));
+  out.groups[3] = log_abs(group4_raw(x));
+  return out;
+}
+
+double SyntheticFunction::evaluate(const std::vector<double>& x) const {
+  return evaluate_groups(x).total();
+}
+
+}  // namespace tunekit::synth

@@ -1,0 +1,73 @@
+#pragma once
+// The paper's five 20-dimensional synthetic objective functions (Fig. 1 and
+// Table I). Four groups of five variables each; Group 3's body varies per
+// case and mixes in Group 4's variables with increasing strength:
+//
+//   Group 1:  Σ_{i=0..3} (x_i − x_{i+1})^2 + Σ_{i=0..4} A_i
+//   Group 2:  Σ_{k=5..8} (x_k − x_{k+1})^4 + Σ_{k=5..9} A_k
+//   Group 3:  per Table I (cases 1-5)
+//   Group 4:  Σ_{v=15..19} 1/x_v + ε
+//   A_i = 10 cos(2π (x_i − 1)) + ε,   x_i ∈ [−50, 50]
+//
+// A log(|·|) transform is applied to each group's raw value; the objective
+// is the sum of the transformed groups. Noise ε is deterministic per
+// (configuration, seed, draw index) so evaluations are reproducible and
+// thread-safe while still behaving like runtime jitter.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tunekit::synth {
+
+enum class SynthCase { Case1 = 1, Case2, Case3, Case4, Case5 };
+
+const char* to_string(SynthCase c);
+
+/// Qualitative Group-4-on-Group-3 influence per Table I.
+const char* group4_influence_label(SynthCase c);
+
+struct GroupValues {
+  /// log(|raw group value|) per group.
+  std::array<double, 4> groups{};
+  double total() const { return groups[0] + groups[1] + groups[2] + groups[3]; }
+};
+
+class SyntheticFunction {
+ public:
+  static constexpr std::size_t kDim = 20;
+  static constexpr double kLo = -50.0;
+  static constexpr double kHi = 50.0;
+
+  explicit SyntheticFunction(SynthCase which, double noise_scale = 0.01,
+                             std::uint64_t noise_seed = 0);
+
+  SynthCase which() const { return which_; }
+  double noise_scale() const { return noise_scale_; }
+
+  /// Per-group transformed values; total() is the objective (minimized).
+  GroupValues evaluate_groups(const std::vector<double>& x) const;
+  double evaluate(const std::vector<double>& x) const;
+
+  /// |raw| group values before the log transform — the "group output" whose
+  /// variability Table II reports.
+  std::array<double, 4> raw_abs_groups(const std::vector<double>& x) const;
+
+  /// Raw (pre-log) group values, noise included — exposed for tests.
+  double group1_raw(const std::vector<double>& x) const;
+  double group2_raw(const std::vector<double>& x) const;
+  double group3_raw(const std::vector<double>& x) const;
+  double group4_raw(const std::vector<double>& x) const;
+
+ private:
+  /// Deterministic U(0, noise_scale) draw keyed by (x, draw index).
+  double noise(const std::vector<double>& x, std::uint64_t draw) const;
+  double a_term(const std::vector<double>& x, std::size_t i, std::uint64_t draw) const;
+
+  SynthCase which_;
+  double noise_scale_;
+  std::uint64_t noise_seed_;
+};
+
+}  // namespace tunekit::synth

@@ -1,0 +1,98 @@
+#include "tddft/cpu_pipeline.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tunekit::tddft {
+
+CpuArch CpuArch::perlmutter_cpu() { return CpuArch{}; }
+
+CpuPipeline::CpuPipeline(PhysicalSystem system, CpuArch arch, int total_ranks,
+                         std::uint64_t noise_seed)
+    : system_(std::move(system)),
+      arch_(arch),
+      mpi_(total_ranks, arch.net_latency_us, arch.net_bandwidth_gbs),
+      noise_seed_(noise_seed) {}
+
+bool CpuPipeline::valid(const CpuGrid& grid) const {
+  if (grid.nstb <= 0 || grid.nkpb <= 0 || grid.nspb <= 0 || grid.nqb <= 0) return false;
+  if (grid.ranks() > mpi_.total_ranks()) return false;
+  if (grid.nstb > system_.nbands) return false;
+  if (grid.nkpb > system_.nkpoints) return false;
+  if (grid.nspb > system_.nspin) return false;
+  return true;
+}
+
+CpuBreakdown CpuPipeline::simulate(const CpuGrid& grid) const {
+  if (!valid(grid)) {
+    throw std::invalid_argument("CpuPipeline::simulate: invalid grid");
+  }
+  const MpiGrid outer{grid.nstb, grid.nkpb, grid.nspb};
+  const int bands_loc = mpi_.bands_loc(outer, system_);
+  const int kpts_loc = mpi_.kpoints_loc(outer, system_);
+  const int spins_loc = mpi_.spins_loc(outer, system_);
+
+  const double n = static_cast<double>(system_.fft_size);
+  const double band_bytes = static_cast<double>(system_.band_bytes());
+  const double nqb = static_cast<double>(grid.nqb);
+
+  // Four 3D-FFT equivalents per band (two backward, two forward), each
+  // split into 2D + 1D stages over the nqb ranks.
+  const double fft_flops = 4.0 * 5.0 * n * std::log2(std::max(2.0, n));
+  const double fft_per_band = fft_flops / nqb / (arch_.fft_gflops * 1e9);
+
+  // Transpose & padding: an all-to-all among the nqb ranks per FFT stage
+  // boundary (4 per band). Each rank exchanges its band slice.
+  const double bytes_per_rank = band_bytes / nqb;
+  const double alltoall = bytes_per_rank / (arch_.net_bandwidth_gbs * 1e9) +
+                          (nqb - 1.0) * arch_.net_latency_us * 1e-6;
+  const double transpose_per_band = grid.nqb > 1 ? 4.0 * alltoall : 0.0;
+
+  // Pointwise work (pairwise multiplication, conversions, scaling): ~5
+  // passes over the band slice at memory bandwidth.
+  const double pointwise_per_band =
+      5.0 * bytes_per_rank / (arch_.mem_bandwidth_gbs * 1e9);
+
+  const double bands = static_cast<double>(bands_loc);
+  const double loops = static_cast<double>(spins_loc) * kpts_loc;
+
+  CpuBreakdown out;
+  out.fft_compute = loops * bands * fft_per_band;
+  out.transpose_comm = loops * bands * transpose_per_band;
+  out.pointwise = loops * bands * pointwise_per_band;
+  out.reductions =
+      loops * mpi_.allreduce_seconds(system_.band_bytes(), grid.ranks());
+  out.slater = out.fft_compute + out.transpose_comm + out.pointwise + out.reductions;
+
+  // Non-Slater remainder, as in the GPU model: parallel dense algebra plus
+  // a serial/communication floor.
+  const double work_units = static_cast<double>(system_.nspin) * system_.nkpoints *
+                            system_.nbands * n;
+  const double other_parallel = 0.35 * work_units * 1e-9 / grid.ranks();
+  const double other_serial =
+      0.002 + mpi_.allreduce_seconds(4 * system_.band_bytes(), grid.ranks());
+  out.total = out.slater + other_parallel + other_serial;
+
+  if (noise_seed_ != 0) {
+    // Light multiplicative jitter keyed by the grid.
+    std::uint64_t h = noise_seed_;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    };
+    mix(static_cast<std::uint64_t>(grid.nstb));
+    mix(static_cast<std::uint64_t>(grid.nkpb));
+    mix(static_cast<std::uint64_t>(grid.nspb));
+    mix(static_cast<std::uint64_t>(grid.nqb));
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    const double factor = 1.0 + 0.005 * (2.0 * u - 1.0);
+    out.fft_compute *= factor;
+    out.transpose_comm *= factor;
+    out.pointwise *= factor;
+    out.reductions *= factor;
+    out.slater *= factor;
+    out.total *= factor;
+  }
+  return out;
+}
+
+}  // namespace tunekit::tddft

@@ -1,0 +1,83 @@
+#pragma once
+// The original CPU/MPI Slater-Determinant pipeline (paper §V): before GPU
+// offloading, QBox computes the 3D FFT *distributed* over ngb MPI ranks —
+// a 2D FFT, a transpose & padding step (all-to-all among the ngb ranks),
+// and a 1D FFT. The paper profiles 40-50% of the runtime in communication
+// primitives, dominated by this transpose.
+//
+// This model provides the baseline the GPU version (slater_pipeline.hpp)
+// replaced: the GPU refactoring substitutes the nqb ranks with a single-rank
+// shared-memory 3D FFT (nqb = 1), which is why the MPI grid must be re-tuned
+// after offloading. bench/cpu_vs_gpu reproduces the communication share and
+// the offloading speedup.
+
+#include <cstdint>
+
+#include "tddft/mpi_grid.hpp"
+#include "tddft/physical_system.hpp"
+
+namespace tunekit::tddft {
+
+/// CPU-side machine model (Perlmutter-like node: one EPYC 7763 socket).
+struct CpuArch {
+  std::string name = "EPYC 7763";
+  int cores = 64;
+  /// Effective FFT throughput per rank with OpenMP threads (GFLOP/s).
+  double fft_gflops = 120.0;
+  /// Memory bandwidth per rank (GB/s) for copy/scale phases.
+  double mem_bandwidth_gbs = 204.8;
+  /// Interconnect per-rank bandwidth (GB/s) and latency for the
+  /// transpose all-to-all (Slingshot-11-like).
+  double net_bandwidth_gbs = 22.0;
+  double net_latency_us = 10.0;
+
+  static CpuArch perlmutter_cpu();
+};
+
+/// MPI grid for the CPU version: the GPU grid plus the ngb (G-vector/plane
+/// wave) dimension over which the 3D FFT is distributed.
+struct CpuGrid {
+  int nstb = 1;
+  int nkpb = 1;
+  int nspb = 1;
+  int nqb = 8;
+
+  int ranks() const { return nstb * nkpb * nspb * nqb; }
+};
+
+struct CpuBreakdown {
+  /// Per outer iteration, seconds.
+  double fft_compute = 0.0;
+  double transpose_comm = 0.0;
+  double pointwise = 0.0;
+  double reductions = 0.0;
+  double slater = 0.0;
+  double total = 0.0;
+
+  /// Fraction of the Slater region spent in communication primitives
+  /// (the paper measures 40-50% for the whole run).
+  double comm_share() const {
+    return slater > 0.0 ? (transpose_comm + reductions) / slater : 0.0;
+  }
+};
+
+class CpuPipeline {
+ public:
+  CpuPipeline(PhysicalSystem system, CpuArch arch, int total_ranks,
+              std::uint64_t noise_seed = 0);
+
+  const PhysicalSystem& system() const { return system_; }
+
+  bool valid(const CpuGrid& grid) const;
+
+  /// Simulate one outer iteration of the CPU pipeline.
+  CpuBreakdown simulate(const CpuGrid& grid) const;
+
+ private:
+  PhysicalSystem system_;
+  CpuArch arch_;
+  MpiGridModel mpi_;
+  std::uint64_t noise_seed_;
+};
+
+}  // namespace tunekit::tddft

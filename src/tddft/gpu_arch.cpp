@@ -1,0 +1,22 @@
+#include "tddft/gpu_arch.hpp"
+
+#include <algorithm>
+
+namespace tunekit::tddft {
+
+GpuArch GpuArch::a100() { return GpuArch{}; }
+
+bool GpuArch::valid_kernel_config(int tb, int tb_sm) const {
+  if (tb <= 0 || tb_sm <= 0) return false;
+  if (tb % warp_size != 0) return false;
+  if (tb > max_threads_per_block) return false;
+  if (tb_sm > max_blocks_per_sm) return false;
+  return tb * tb_sm <= max_threads_per_sm;
+}
+
+double GpuArch::occupancy(int tb, int tb_sm) const {
+  const int resident = std::min(tb * tb_sm, max_threads_per_sm);
+  return static_cast<double>(resident) / static_cast<double>(max_threads_per_sm);
+}
+
+}  // namespace tunekit::tddft

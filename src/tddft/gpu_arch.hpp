@@ -1,0 +1,42 @@
+#pragma once
+// GPU architecture model (NVIDIA A100-like, paper §VII). Provides the
+// occupancy calculation and the hardware constraints the tuning space must
+// respect: at most 32 active threadblocks per SM and tb * tb_sm bounded by
+// the maximum resident threads per SM.
+
+#include <string>
+
+namespace tunekit::tddft {
+
+struct GpuArch {
+  std::string name = "A100";
+  int num_sms = 108;
+  int max_threads_per_sm = 2048;
+  int max_blocks_per_sm = 32;
+  int max_threads_per_block = 1024;
+  int warp_size = 32;
+  /// HBM2e effective bandwidth.
+  double mem_bandwidth_gbs = 1555.0;
+  /// PCIe 4.0 x16 effective host<->device bandwidth.
+  double pcie_bandwidth_gbs = 25.0;
+  /// Per-transfer latency (pinned memory, driver overhead).
+  double transfer_latency_us = 20.0;
+  /// Kernel launch overhead.
+  double kernel_launch_us = 5.0;
+  double l2_bytes = 40.0 * 1024 * 1024;
+  /// Effective FP64 throughput for batched Z2Z 3D-FFT workloads.
+  double fft_gflops = 1280.0;
+
+  static GpuArch a100();
+
+  /// True if a (tb, tb_sm) pair is resident on this architecture:
+  /// tb * tb_sm <= max resident threads, tb <= max threads per block,
+  /// tb_sm <= max blocks per SM, tb a multiple of the warp size.
+  bool valid_kernel_config(int tb, int tb_sm) const;
+
+  /// Fraction of the SM's thread capacity occupied by (tb, tb_sm), in
+  /// (0, 1].
+  double occupancy(int tb, int tb_sm) const;
+};
+
+}  // namespace tunekit::tddft

@@ -1,0 +1,50 @@
+#include "tddft/mpi_grid.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tunekit::tddft {
+
+MpiGridModel::MpiGridModel(int total_ranks, double net_latency_us,
+                           double net_bandwidth_gbs)
+    : total_ranks_(total_ranks),
+      net_latency_s_(net_latency_us * 1e-6),
+      net_bandwidth_bs_(net_bandwidth_gbs * 1e9) {
+  if (total_ranks <= 0) throw std::invalid_argument("MpiGridModel: total_ranks <= 0");
+}
+
+bool MpiGridModel::valid(const MpiGrid& grid, const PhysicalSystem& system) const {
+  if (grid.nstb <= 0 || grid.nkpb <= 0 || grid.nspb <= 0) return false;
+  if (grid.ranks() > total_ranks_) return false;
+  if (grid.nstb > system.nbands) return false;
+  if (grid.nkpb > system.nkpoints) return false;
+  if (grid.nspb > system.nspin) return false;
+  return true;
+}
+
+int MpiGridModel::bands_loc(const MpiGrid& grid, const PhysicalSystem& system) const {
+  return (system.nbands + grid.nstb - 1) / grid.nstb;
+}
+
+int MpiGridModel::kpoints_loc(const MpiGrid& grid, const PhysicalSystem& system) const {
+  return (system.nkpoints + grid.nkpb - 1) / grid.nkpb;
+}
+
+int MpiGridModel::spins_loc(const MpiGrid& grid, const PhysicalSystem& system) const {
+  return (system.nspin + grid.nspb - 1) / grid.nspb;
+}
+
+double MpiGridModel::imbalance(int items, int parts) {
+  if (items <= 0 || parts <= 0) throw std::invalid_argument("imbalance: non-positive");
+  const double balanced = static_cast<double>(items) / parts;
+  const double loaded = std::ceil(balanced);
+  return loaded / balanced;
+}
+
+double MpiGridModel::allreduce_seconds(std::size_t bytes, int ranks) const {
+  if (ranks <= 1) return 0.0;
+  const double rounds = std::ceil(std::log2(static_cast<double>(ranks)));
+  return rounds * (net_latency_s_ + static_cast<double>(bytes) / net_bandwidth_bs_);
+}
+
+}  // namespace tunekit::tddft

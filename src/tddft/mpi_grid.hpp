@@ -1,0 +1,51 @@
+#pragma once
+// MPI decomposition model (paper Fig. 3): the wavefunction is distributed
+// over an nspb x nkpb x nstb rank grid (ngb = 1 in the GPU version). The
+// model provides grid validity, local loop extents, load-imbalance factors
+// from non-divisible decompositions, and allreduce cost.
+
+#include <cstddef>
+
+#include "tddft/physical_system.hpp"
+
+namespace tunekit::tddft {
+
+struct MpiGrid {
+  int nstb = 1;
+  int nkpb = 1;
+  int nspb = 1;
+
+  int ranks() const { return nstb * nkpb * nspb; }
+};
+
+class MpiGridModel {
+ public:
+  /// `total_ranks`: the allocation bound (paper: 10 nodes x 4 GPU ranks).
+  explicit MpiGridModel(int total_ranks, double net_latency_us = 10.0,
+                        double net_bandwidth_gbs = 22.0);
+
+  int total_ranks() const { return total_ranks_; }
+
+  /// Grid validity: positive dims, product within the allocation, and no
+  /// dimension exceeding its wavefunction extent.
+  bool valid(const MpiGrid& grid, const PhysicalSystem& system) const;
+
+  /// Local loop extents on the most-loaded rank (ceil division).
+  int bands_loc(const MpiGrid& grid, const PhysicalSystem& system) const;
+  int kpoints_loc(const MpiGrid& grid, const PhysicalSystem& system) const;
+  int spins_loc(const MpiGrid& grid, const PhysicalSystem& system) const;
+
+  /// Ratio of the most-loaded rank's items to the perfectly balanced share
+  /// (1.0 when parts divides items).
+  static double imbalance(int items, int parts);
+
+  /// Allreduce of `bytes` over `ranks` ranks (recursive-doubling model).
+  double allreduce_seconds(std::size_t bytes, int ranks) const;
+
+ private:
+  int total_ranks_;
+  double net_latency_s_;
+  double net_bandwidth_bs_;
+};
+
+}  // namespace tunekit::tddft

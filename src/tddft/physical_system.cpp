@@ -1,0 +1,25 @@
+#include "tddft/physical_system.hpp"
+
+namespace tunekit::tddft {
+
+PhysicalSystem PhysicalSystem::case_study_1() {
+  PhysicalSystem s;
+  s.name = "CS1: Mg-porphyrin molecule";
+  s.nspin = 1;
+  s.nkpoints = 1;
+  s.nbands = 64;
+  s.fft_size = 3'000'000;
+  return s;
+}
+
+PhysicalSystem PhysicalSystem::case_study_2() {
+  PhysicalSystem s;
+  s.name = "CS2: 4x4 h-BN slab";
+  s.nspin = 1;
+  s.nkpoints = 36;
+  s.nbands = 64;
+  s.fft_size = 620'000;
+  return s;
+}
+
+}  // namespace tunekit::tddft

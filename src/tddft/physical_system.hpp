@@ -1,0 +1,31 @@
+#pragma once
+// Physical systems driving the RT-TDDFT workload (paper §VII). The
+// wavefunction is a 4-D (spin, k-point, band, G-vector) object; the
+// dimensions below determine every workload size in the simulator.
+
+#include <cstddef>
+#include <string>
+
+namespace tunekit::tddft {
+
+struct PhysicalSystem {
+  std::string name;
+  int nspin = 1;
+  int nkpoints = 1;
+  int nbands = 64;
+  /// Double-complex elements per band in the FFT grid.
+  std::size_t fft_size = 1;
+
+  /// Case Study 1: magnesium porphyrin molecule (0D). 1 spin, 1 k-point,
+  /// 64 bands, 3M double-complex FFT elements.
+  static PhysicalSystem case_study_1();
+
+  /// Case Study 2: 4x4 hexagonal boron-nitride slab (2D periodic). 1 spin,
+  /// 36 k-points, 64 bands, 620k double-complex FFT elements.
+  static PhysicalSystem case_study_2();
+
+  /// Bytes of one band's wavefunction slice (16 bytes per double complex).
+  std::size_t band_bytes() const { return fft_size * 16; }
+};
+
+}  // namespace tunekit::tddft

@@ -1,0 +1,214 @@
+#include "tddft/slater_pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace tunekit::tddft {
+
+TddftConfig TddftConfig::defaults() {
+  TddftConfig c;
+  c.grid = {4, 1, 1};
+  c.nstreams = 1;
+  c.nbatches = 16;
+  const KernelTuning default_tuning{1, 256, 2};
+  for (KernelId id : {KernelId::Vec2Zvec, KernelId::Zcopy, KernelId::Dscal,
+                      KernelId::Pairwise, KernelId::Zvec2Vec}) {
+    c.tunings[id] = default_tuning;
+  }
+  return c;
+}
+
+SlaterPipeline::SlaterPipeline(PhysicalSystem system, GpuArch arch, int total_ranks,
+                               PipelineTunables tunables, std::uint64_t noise_seed)
+    : system_(std::move(system)),
+      arch_(arch),
+      mpi_(total_ranks),
+      xfer_(arch),
+      fft_(arch),
+      kernels_(make_default_kernels(arch)),
+      tunables_(tunables),
+      noise_seed_(noise_seed) {}
+
+bool SlaterPipeline::valid(const TddftConfig& config) const {
+  if (!mpi_.valid(config.grid, system_)) return false;
+  if (config.nstreams < 1 || config.nbatches < 1) return false;
+  for (const auto& [id, tuning] : config.tunings) {
+    if (tuning.unroll < 1 || !arch_.valid_kernel_config(tuning.tb, tuning.tb_sm)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double SlaterPipeline::pair_cache_interference(const TddftConfig& config) const {
+  // Concurrent cuPairwise threads determine how much of L2 its working set
+  // occupies when Group 3's kernels start; higher occupancy evicts more of
+  // the data Group 3 re-reads.
+  const KernelTuning& pair = config.tunings.at(KernelId::Pairwise);
+  const double pressure = arch_.occupancy(pair.tb, pair.tb_sm);
+  return 1.0 + tunables_.cache_alpha * pressure;
+}
+
+namespace {
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+double SlaterPipeline::noise_factor(const TddftConfig& config,
+                                    std::uint64_t channel) const {
+  if (tunables_.noise_level <= 0.0) return 1.0;
+  std::uint64_t h = splitmix(noise_seed_ ^ channel);
+  auto mix_int = [&h](std::int64_t v) { h = splitmix(h ^ static_cast<std::uint64_t>(v)); };
+  mix_int(config.grid.nstb);
+  mix_int(config.grid.nkpb);
+  mix_int(config.grid.nspb);
+  mix_int(config.nstreams);
+  mix_int(config.nbatches);
+  for (const auto& [id, t] : config.tunings) {
+    mix_int(static_cast<int>(id));
+    mix_int(t.unroll);
+    mix_int(t.tb);
+    mix_int(t.tb_sm);
+  }
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+  return 1.0 + tunables_.noise_level * (2.0 * u - 1.0);
+}
+
+RegionBreakdown SlaterPipeline::simulate(const TddftConfig& config) const {
+  if (!valid(config)) {
+    throw std::invalid_argument("SlaterPipeline::simulate: invalid configuration");
+  }
+  const int bands_loc = mpi_.bands_loc(config.grid, system_);
+  const int kpts_loc = mpi_.kpoints_loc(config.grid, system_);
+  const int spins_loc = mpi_.spins_loc(config.grid, system_);
+
+  // Per-band kernel profiles are reported at the requested batch size (a
+  // profiler's view is dominated by full batches); the Slater loop below
+  // caps the batch at the locally available bands.
+  const int batch = config.nbatches;
+  const int loop_batch = std::min(config.nbatches, bands_loc);
+  const int n_invocations = (bands_loc + loop_batch - 1) / loop_batch;
+
+  const std::size_t n = system_.fft_size;
+  const auto& vec = kernels_.at(KernelId::Vec2Zvec);
+  const auto& zcopy = kernels_.at(KernelId::Zcopy);
+  const auto& dscal = kernels_.at(KernelId::Dscal);
+  const auto& pair = kernels_.at(KernelId::Pairwise);
+  const auto& zvec = kernels_.at(KernelId::Zvec2Vec);
+
+  const KernelTuning& t_vec = config.tunings.at(KernelId::Vec2Zvec);
+  const KernelTuning& t_zcopy = config.tunings.at(KernelId::Zcopy);
+  const KernelTuning& t_dscal = config.tunings.at(KernelId::Dscal);
+  const KernelTuning& t_pair = config.tunings.at(KernelId::Pairwise);
+  const KernelTuning& t_zvec = config.tunings.at(KernelId::Zvec2Vec);
+
+  // Group 3: the whole kernel group re-reads data that cuPairwise's
+  // resident threads evicted from L2, and shares SMs with the asynchronous
+  // DtoH of the previous chunk when several streams are active.
+  const double interference = pair_cache_interference(config);
+  const double stream_penalty =
+      1.0 + tunables_.stream_g3_penalty *
+                static_cast<double>(std::min(config.nstreams, 8) - 1);
+
+  // --- Component times of one batched invocation over `b` bands. ---
+  struct InvocationTimes {
+    double htod, g1, g2, g3, dtoh;
+    double serial() const { return htod + g1 + g2 + g3 + dtoh; }
+  };
+  auto invocation = [&](int b) {
+    InvocationTimes t{};
+    const std::size_t bytes = static_cast<std::size_t>(b) * system_.band_bytes();
+    t.htod = xfer_.seconds(bytes, 1);
+    t.dtoh = xfer_.seconds(
+        static_cast<std::size_t>(tunables_.dtoh_fraction * static_cast<double>(bytes)), 1);
+    t.g1 = vec.launch_seconds(n, b, t_vec) + fft_.launch_seconds(n, b) +
+           zcopy.launch_seconds(n, b, t_zcopy) + fft_.launch_seconds(n, b);
+    t.g2 = pair.launch_seconds(n, b, t_pair);
+    t.g3 = (fft_.launch_seconds(n, b) + dscal.launch_seconds(n, b, t_dscal) +
+            zcopy.launch_seconds(n, b, t_zcopy) + fft_.launch_seconds(n, b) +
+            dscal.launch_seconds(n, b, t_dscal) + zvec.launch_seconds(n, b, t_zvec)) *
+           interference * stream_penalty;
+    return t;
+  };
+
+  // --- Per-band region times (what a per-kernel profile reports). ---
+  const InvocationTimes profile = invocation(batch);
+  RegionBreakdown out;
+  const double inv_batch = 1.0 / static_cast<double>(batch);
+  out.group1 = (profile.htod + profile.g1) * inv_batch * noise_factor(config, 1);
+  out.group2 = profile.g2 * inv_batch * noise_factor(config, 2);
+  out.group3 = (profile.g3 + profile.dtoh) * inv_batch * noise_factor(config, 3);
+
+  // --- Slater Determinant region: the full batched loop with streams. ---
+  const InvocationTimes loop_times = invocation(loop_batch);
+  const double serial_invocation = loop_times.serial();
+  const double per_kpoint_serial = serial_invocation * n_invocations;
+
+  // Streams subdivide each batch and pipeline chunks, so transfers overlap
+  // compute; the overlappable fraction is bounded by the transfer share
+  // plus a slice of inter-chunk concurrency. Extra streams beyond the PCIe
+  // limit only add overhead.
+  const double transfer_share = (loop_times.htod + loop_times.dtoh) / serial_invocation;
+  const double overlappable = std::min(0.65, transfer_share + 0.15);
+  const int s_eff = std::min(config.nstreams, tunables_.max_useful_streams);
+  const double overlap_gain = overlappable * (1.0 - 1.0 / static_cast<double>(s_eff));
+  const double per_kpoint =
+      per_kpoint_serial * (1.0 - overlap_gain) +
+      tunables_.stream_overhead * static_cast<double>(config.nstreams - 1);
+
+  // daxpy accumulation per band plus the k-point reduction.
+  const double daxpy = static_cast<double>(bands_loc) * 2.0 *
+                       static_cast<double>(system_.band_bytes()) /
+                       (arch_.mem_bandwidth_gbs * 1e9);
+  const double reduce =
+      mpi_.allreduce_seconds(system_.band_bytes(), config.grid.ranks());
+
+  out.slater = (static_cast<double>(spins_loc) * kpts_loc) * (per_kpoint + daxpy + reduce) *
+               noise_factor(config, 4);
+
+  // --- Non-offloaded remainder: dense linear algebra, SCF bookkeeping, and
+  // MPI exchanges outside the Slater region. It parallelizes over the rank
+  // grid and is sized so communication + other work is a comparable share
+  // of the runtime (paper: 40-50% in communication primitives). ---
+  const double work_units = static_cast<double>(system_.nspin) * system_.nkpoints *
+                            system_.nbands * static_cast<double>(system_.fft_size);
+  const double other_parallel = 0.35 * work_units * 1e-9 /  // tuned constant
+                                static_cast<double>(config.grid.ranks());
+  const double other_serial =
+      0.002 + mpi_.allreduce_seconds(4 * system_.band_bytes(), config.grid.ranks());
+  out.total = (out.slater + other_parallel + other_serial) * noise_factor(config, 5);
+  return out;
+}
+
+std::map<std::string, double> SlaterPipeline::kernel_breakdown(
+    const TddftConfig& config) const {
+  if (!valid(config)) {
+    throw std::invalid_argument("SlaterPipeline::kernel_breakdown: invalid configuration");
+  }
+  const int batch = config.nbatches;
+  const std::size_t n = system_.fft_size;
+
+  std::map<std::string, double> out;
+  out["cuFFT"] = 4.0 * fft_.launch_seconds(n, batch);
+  out["cuVec2Zvec"] = kernels_.at(KernelId::Vec2Zvec)
+                          .launch_seconds(n, batch, config.tunings.at(KernelId::Vec2Zvec));
+  out["cuZcopy"] = 2.0 * kernels_.at(KernelId::Zcopy)
+                             .launch_seconds(n, batch, config.tunings.at(KernelId::Zcopy));
+  out["cuDscal"] = 2.0 * kernels_.at(KernelId::Dscal)
+                             .launch_seconds(n, batch, config.tunings.at(KernelId::Dscal));
+  out["cuPairwise"] =
+      kernels_.at(KernelId::Pairwise)
+          .launch_seconds(n, batch, config.tunings.at(KernelId::Pairwise));
+  out["cuZvec2Vec"] =
+      kernels_.at(KernelId::Zvec2Vec)
+          .launch_seconds(n, batch, config.tunings.at(KernelId::Zvec2Vec));
+  return out;
+}
+
+}  // namespace tunekit::tddft

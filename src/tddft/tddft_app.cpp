@@ -1,0 +1,188 @@
+#include "tddft/tddft_app.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tunekit::tddft {
+
+namespace {
+/// Divisor-flavoured ordinal levels used for the MPI dimensions; the expert
+/// constraint of §VIII (only divisors of the band/k-point counts to keep
+/// ranks balanced) is applied through the grid validity constraint plus the
+/// imbalance penalty inside the model.
+std::vector<double> nstb_levels() { return {1, 2, 4, 8, 16, 32, 64}; }
+std::vector<double> nkpb_levels() { return {1, 2, 3, 4, 6, 9, 12, 18, 36}; }
+std::vector<double> nspb_levels() { return {1, 2}; }
+std::vector<double> unroll_levels() { return {1, 2, 4, 8}; }
+
+std::vector<double> tb_levels() {
+  std::vector<double> v;
+  for (int tb = 32; tb <= 1024; tb += 32) v.push_back(tb);
+  return v;
+}
+}  // namespace
+
+RtTddftApp::RtTddftApp(PhysicalSystem system, int nodes, PipelineTunables tunables,
+                       std::uint64_t noise_seed)
+    : pipeline_(std::move(system), GpuArch::a100(), nodes * 4, tunables, noise_seed) {
+  if (nodes <= 0) throw std::invalid_argument("RtTddftApp: nodes <= 0");
+  build_space();
+}
+
+void RtTddftApp::build_space() {
+  using search::ParamSpec;
+  space_.add(ParamSpec::ordinal("nstb", nstb_levels(), 4));
+  space_.add(ParamSpec::ordinal("nkpb", nkpb_levels(), 1));
+  space_.add(ParamSpec::ordinal("nspb", nspb_levels(), 1));
+
+  const char* kernels[5] = {"dscal", "pair", "zcopy", "vec", "zvec"};
+  for (const char* k : kernels) {
+    space_.add(ParamSpec::ordinal(std::string("u_") + k, unroll_levels(), 1));
+    space_.add(ParamSpec::ordinal(std::string("tb_") + k, tb_levels(), 256));
+    space_.add(ParamSpec::integer(std::string("tb_sm_") + k, 1, 32, 2));
+  }
+  space_.add(ParamSpec::integer("nstreams", 1, 32, 1));
+  space_.add(ParamSpec::integer("nbatches", 1, 32, 16));
+
+  // Hardware residency: tb * tb_sm bounded per kernel.
+  const GpuArch arch = pipeline_.arch();
+  for (std::size_t k = 0; k < 5; ++k) {
+    const std::size_t tb_idx = 3 + 3 * k + 1;
+    const std::size_t tb_sm_idx = 3 + 3 * k + 2;
+    space_.add_constraint(
+        std::string("residency_") + kernels[k],
+        [arch, tb_idx, tb_sm_idx](const search::Config& c) {
+          return arch.valid_kernel_config(static_cast<int>(c[tb_idx]),
+                                          static_cast<int>(c[tb_sm_idx]));
+        });
+  }
+
+  // MPI grid must fit the allocation and the wavefunction extents.
+  const MpiGridModel mpi = pipeline_.mpi();
+  const PhysicalSystem sys = pipeline_.system();
+  space_.add_constraint("mpi_grid", [mpi, sys](const search::Config& c) {
+    const MpiGrid grid{static_cast<int>(c[kNstb]), static_cast<int>(c[kNkpb]),
+                       static_cast<int>(c[kNspb])};
+    return mpi.valid(grid, sys);
+  });
+
+  // Constraint repair (feasibility projection): residency violations clamp
+  // tb_sm to the largest resident value; oversized MPI grids step their
+  // largest dimension down until the grid fits. Rejection sampling alone
+  // accepts well under 1% of this space.
+  const GpuArch arch_copy = arch;
+  space_.set_repair([arch_copy, mpi, sys](const search::Config& in) {
+    search::Config c = in;
+    for (std::size_t k = 0; k < 5; ++k) {
+      const std::size_t tb_idx = 3 + 3 * k + 1;
+      const std::size_t tb_sm_idx = 3 + 3 * k + 2;
+      const int tb = static_cast<int>(c[tb_idx]);
+      if (tb > 0) {
+        const int max_sm = std::max(1, arch_copy.max_threads_per_sm / tb);
+        c[tb_sm_idx] = std::min(c[tb_sm_idx], static_cast<double>(
+                                                  std::min(max_sm, arch_copy.max_blocks_per_sm)));
+      }
+    }
+    // Clamp grid dims to wavefunction extents, then shrink until it fits.
+    // step_down: the largest level strictly below v.
+    auto step_down = [](const std::vector<double>& levels, double v) {
+      double out = levels.front();
+      for (double l : levels) {
+        if (l < v) out = std::max(out, l);
+      }
+      return out;
+    };
+    c[kNkpb] = std::min(c[kNkpb], static_cast<double>(sys.nkpoints));
+    c[kNspb] = std::min(c[kNspb], static_cast<double>(sys.nspin));
+    c[kNstb] = std::min(c[kNstb], static_cast<double>(sys.nbands));
+    for (int guard = 0; guard < 64; ++guard) {
+      const double product = c[kNstb] * c[kNkpb] * c[kNspb];
+      if (product <= static_cast<double>(mpi.total_ranks())) break;
+      if (c[kNstb] >= c[kNkpb] && c[kNstb] > 1) {
+        c[kNstb] = step_down(nstb_levels(), c[kNstb]);
+      } else if (c[kNkpb] > 1) {
+        c[kNkpb] = step_down(nkpb_levels(), c[kNkpb]);
+      } else if (c[kNspb] > 1) {
+        c[kNspb] = step_down(nspb_levels(), c[kNspb]);
+      } else {
+        break;
+      }
+    }
+    return c;
+  });
+}
+
+TddftConfig RtTddftApp::decode(const search::Config& config) const {
+  if (config.size() != kNumParams) {
+    throw std::invalid_argument("RtTddftApp::decode: expected 20 parameters");
+  }
+  TddftConfig c;
+  c.grid = {static_cast<int>(config[kNstb]), static_cast<int>(config[kNkpb]),
+            static_cast<int>(config[kNspb])};
+  c.nstreams = static_cast<int>(config[kNstreams]);
+  c.nbatches = static_cast<int>(config[kNbatches]);
+  c.tunings[KernelId::Dscal] = {static_cast<int>(config[kUDscal]),
+                                static_cast<int>(config[kTbDscal]),
+                                static_cast<int>(config[kTbSmDscal])};
+  c.tunings[KernelId::Pairwise] = {static_cast<int>(config[kUPair]),
+                                   static_cast<int>(config[kTbPair]),
+                                   static_cast<int>(config[kTbSmPair])};
+  c.tunings[KernelId::Zcopy] = {static_cast<int>(config[kUZcopy]),
+                                static_cast<int>(config[kTbZcopy]),
+                                static_cast<int>(config[kTbSmZcopy])};
+  c.tunings[KernelId::Vec2Zvec] = {static_cast<int>(config[kUVec]),
+                                   static_cast<int>(config[kTbVec]),
+                                   static_cast<int>(config[kTbSmVec])};
+  c.tunings[KernelId::Zvec2Vec] = {static_cast<int>(config[kUZvec]),
+                                   static_cast<int>(config[kTbZvec]),
+                                   static_cast<int>(config[kTbSmZvec])};
+  return c;
+}
+
+std::vector<core::RoutineSpec> RtTddftApp::routines() const {
+  std::vector<core::RoutineSpec> out(3);
+  out[0].name = "Group1";
+  out[0].params = {kUVec, kTbVec, kTbSmVec, kUZcopy, kTbZcopy, kTbSmZcopy};
+  out[1].name = "Group2";
+  out[1].params = {kUPair, kTbPair, kTbSmPair};
+  out[2].name = "Group3";
+  out[2].params = {kUZcopy, kTbZcopy, kTbSmZcopy, kUDscal, kTbDscal, kTbSmDscal,
+                   kUZvec,  kTbZvec,  kTbSmZvec};
+  return out;
+}
+
+std::vector<graph::BoundGroup> RtTddftApp::bound_groups() const {
+  return {{"MPI Grid", {kNstb, kNkpb, kNspb}}, {"Iterations", {kNstreams, kNbatches}}};
+}
+
+std::map<std::string, std::vector<double>> RtTddftApp::expert_variations() const {
+  std::map<std::string, std::vector<double>> vars;
+  vars["nstb"] = {1, 2, 8, 16, 32};
+  vars["nkpb"] = {2, 3, 6, 12, 36};
+  vars["nspb"] = {2};
+  for (const char* k : {"dscal", "pair", "zcopy", "vec", "zvec"}) {
+    vars[std::string("u_") + k] = {2, 4, 8};
+    vars[std::string("tb_") + k] = {32, 64, 128, 512, 1024};
+    vars[std::string("tb_sm_") + k] = {1, 4, 8, 16, 32};
+  }
+  vars["nstreams"] = {2, 4, 8, 16, 32};
+  vars["nbatches"] = {1, 2, 4, 8, 32};
+  return vars;
+}
+
+std::string RtTddftApp::name() const {
+  return "RT-TDDFT (" + pipeline_.system().name + ")";
+}
+
+search::RegionTimes RtTddftApp::evaluate_regions(const search::Config& config) {
+  const RegionBreakdown b = pipeline_.simulate(decode(config));
+  search::RegionTimes t;
+  t.regions["Group1"] = b.group1;
+  t.regions["Group2"] = b.group2;
+  t.regions["Group3"] = b.group3;
+  t.regions["SlaterDet"] = b.slater;
+  t.total = b.total;
+  return t;
+}
+
+}  // namespace tunekit::tddft

@@ -1,0 +1,72 @@
+#pragma once
+// RtTddftApp: the TunableApp facade over the Slater-pipeline simulator,
+// exposing exactly the paper's Table IV tuning space — 3 MPI parameters,
+// 3 knobs for each of the 5 tunable kernels, nstreams, and nbatches
+// (20 parameters) — with the hardware/decomposition validity constraints
+// and the routine/ownership structure of §VI:
+//   Group 1 owns {VEC, ZCOPY} knobs, Group 2 owns {PAIR}, Group 3 owns
+//   {ZCOPY, DSCAL, ZVEC} (cuZcopy shared between Groups 1 and 3), MPI grid
+//   + nstreams + nbatches are application-level, and "SlaterDet" is the
+//   enclosing outer region.
+
+#include <cstdint>
+
+#include "core/tunable_app.hpp"
+#include "tddft/slater_pipeline.hpp"
+
+namespace tunekit::tddft {
+
+class RtTddftApp final : public core::TunableApp {
+ public:
+  /// `nodes`: allocation size (paper budget: 10 nodes, 4 GPU ranks each).
+  explicit RtTddftApp(PhysicalSystem system, int nodes = 10,
+                      PipelineTunables tunables = {}, std::uint64_t noise_seed = 0);
+
+  const search::SearchSpace& space() const override { return space_; }
+  std::vector<core::RoutineSpec> routines() const override;
+  std::vector<std::string> outer_regions() const override { return {"SlaterDet"}; }
+  std::vector<graph::BoundGroup> bound_groups() const override;
+  std::map<std::string, std::vector<double>> expert_variations() const override;
+  std::string name() const override;
+
+  search::RegionTimes evaluate_regions(const search::Config& config) override;
+  bool thread_safe() const override { return true; }
+
+  const SlaterPipeline& pipeline() const { return pipeline_; }
+
+  /// Positional config -> decoded simulator configuration.
+  TddftConfig decode(const search::Config& config) const;
+
+  /// Parameter indices (Table IV order).
+  enum Index : std::size_t {
+    kNstb = 0,
+    kNkpb,
+    kNspb,
+    kUDscal,
+    kTbDscal,
+    kTbSmDscal,
+    kUPair,
+    kTbPair,
+    kTbSmPair,
+    kUZcopy,
+    kTbZcopy,
+    kTbSmZcopy,
+    kUVec,
+    kTbVec,
+    kTbSmVec,
+    kUZvec,
+    kTbZvec,
+    kTbSmZvec,
+    kNstreams,
+    kNbatches,
+    kNumParams
+  };
+
+ private:
+  void build_space();
+
+  SlaterPipeline pipeline_;
+  search::SearchSpace space_;
+};
+
+}  // namespace tunekit::tddft

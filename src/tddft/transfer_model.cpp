@@ -1,0 +1,13 @@
+#include "tddft/transfer_model.hpp"
+
+#include <algorithm>
+
+namespace tunekit::tddft {
+
+double TransferModel::seconds(std::size_t bytes, int n_transfers) const {
+  const double bw = arch_.pcie_bandwidth_gbs * 1e9;
+  const double latency = arch_.transfer_latency_us * 1e-6;
+  return static_cast<double>(bytes) / bw + latency * std::max(1, n_transfers);
+}
+
+}  // namespace tunekit::tddft

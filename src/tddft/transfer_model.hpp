@@ -1,0 +1,23 @@
+#pragma once
+// Host<->device transfer model over PCIe: bandwidth term plus a per-transfer
+// latency, so batching several bands into one copy pays the latency once —
+// one of the two mechanisms behind nbatches' outsized influence.
+
+#include <cstddef>
+
+#include "tddft/gpu_arch.hpp"
+
+namespace tunekit::tddft {
+
+class TransferModel {
+ public:
+  explicit TransferModel(const GpuArch& arch) : arch_(arch) {}
+
+  /// Seconds to move `bytes` in `n_transfers` separate copies.
+  double seconds(std::size_t bytes, int n_transfers = 1) const;
+
+ private:
+  GpuArch arch_;
+};
+
+}  // namespace tunekit::tddft

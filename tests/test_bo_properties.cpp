@@ -1,0 +1,87 @@
+// Parameterized sweeps of the BO driver across its option axes: every
+// acquisition kind, kernel, and initial design must produce a working,
+// budget-respecting, monotone search.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "bo/bayes_opt.hpp"
+
+namespace tunekit::bo {
+namespace {
+
+using search::Config;
+using search::FunctionObjective;
+using search::ParamSpec;
+using search::SearchSpace;
+
+SearchSpace mixed_space() {
+  SearchSpace s;
+  s.add(ParamSpec::real("x", -3.0, 3.0, 0.0));
+  s.add(ParamSpec::ordinal("tile", {8, 16, 32, 64}, 16));
+  s.add(ParamSpec::categorical("algo", 3, 0));
+  return s;
+}
+
+FunctionObjective mixed_objective() {
+  return FunctionObjective([](const Config& c) {
+    const double dx = c[0] - 1.0;
+    const double tile_term = std::abs(std::log2(c[1] / 32.0));
+    const double algo_term = c[2] == 1.0 ? 0.0 : 0.5;
+    return dx * dx + 0.4 * tile_term + algo_term;
+  });
+}
+
+using BoAxes = std::tuple<AcquisitionKind, KernelKind, InitialDesign>;
+
+class BoSweep : public ::testing::TestWithParam<BoAxes> {};
+
+TEST_P(BoSweep, RunsRespectsBudgetAndImproves) {
+  const auto [acq, kernel, init] = GetParam();
+  auto obj = mixed_objective();
+  BoOptions opt;
+  opt.max_evals = 30;
+  opt.n_init = 6;
+  opt.seed = 17;
+  opt.acquisition = acq;
+  opt.kernel = kernel;
+  opt.init_design = init;
+  const auto result = BayesOpt(opt).run(obj, mixed_space());
+
+  EXPECT_EQ(result.evaluations, 30u);
+  EXPECT_TRUE(result.found());
+  // Monotone trajectory ending at the best value.
+  for (std::size_t i = 1; i < result.trajectory.size(); ++i) {
+    EXPECT_LE(result.trajectory[i], result.trajectory[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(result.trajectory.back(), result.best_value);
+  // Meaningful optimization: better than the worst sampled value.
+  const double worst = *std::max_element(result.values.begin(), result.values.end());
+  EXPECT_LT(result.best_value, worst);
+  // Mixed space handled: categorical stays in {0,1,2}.
+  EXPECT_GE(result.best_config[2], 0.0);
+  EXPECT_LE(result.best_config[2], 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOptionCombos, BoSweep,
+    ::testing::Combine(
+        ::testing::Values(AcquisitionKind::ExpectedImprovement,
+                          AcquisitionKind::ProbabilityOfImprovement,
+                          AcquisitionKind::LowerConfidenceBound),
+        ::testing::Values(KernelKind::RBF, KernelKind::Matern32, KernelKind::Matern52),
+        ::testing::Values(InitialDesign::LatinHypercube, InitialDesign::Sobol)),
+    [](const auto& info) {
+      // No structured bindings here: commas inside the macro argument break
+      // INSTANTIATE_TEST_SUITE_P's preprocessing.
+      std::string name = to_string(std::get<0>(info.param));
+      name += "_";
+      name += to_string(std::get<1>(info.param));
+      name += std::get<2>(info.param) == InitialDesign::Sobol ? "_sobol" : "_lhs";
+      return name;
+    });
+
+}  // namespace
+}  // namespace tunekit::bo

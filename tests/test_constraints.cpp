@@ -1,0 +1,78 @@
+#include "search/constraints.hpp"
+
+#include "search/space.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tunekit::search::constraints {
+namespace {
+
+TEST(Constraints, ProductLe) {
+  const auto p = product_le({0, 1}, 12.0);
+  EXPECT_TRUE(p({3.0, 4.0, 99.0}));
+  EXPECT_TRUE(p({12.0, 1.0}));
+  EXPECT_FALSE(p({4.0, 4.0}));
+}
+
+TEST(Constraints, SumLe) {
+  const auto p = sum_le({0, 2}, 5.0);
+  EXPECT_TRUE(p({2.0, 100.0, 3.0}));
+  EXPECT_FALSE(p({3.0, 0.0, 3.0}));
+}
+
+TEST(Constraints, Divides) {
+  const auto p = divides(0, 64);
+  for (double v : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0}) EXPECT_TRUE(p({v}));
+  for (double v : {3.0, 5.0, 6.0, 48.0}) EXPECT_FALSE(p({v}));
+  EXPECT_FALSE(p({0.0}));
+  EXPECT_FALSE(p({2.5}));  // non-integer cannot divide
+  EXPECT_THROW(divides(0, 0), std::invalid_argument);
+}
+
+TEST(Constraints, AtMostAndOrdering) {
+  EXPECT_TRUE(at_most(1, 10.0)({0.0, 10.0}));
+  EXPECT_FALSE(at_most(1, 10.0)({0.0, 10.5}));
+  EXPECT_TRUE(le_param(0, 1)({3.0, 3.0}));
+  EXPECT_FALSE(le_param(0, 1)({4.0, 3.0}));
+}
+
+TEST(Constraints, AllOfAnyOf) {
+  const auto both = all_of({at_most(0, 5.0), at_most(1, 5.0)});
+  EXPECT_TRUE(both({4.0, 4.0}));
+  EXPECT_FALSE(both({4.0, 6.0}));
+
+  const auto either = any_of({at_most(0, 1.0), at_most(1, 1.0)});
+  EXPECT_TRUE(either({0.5, 9.0}));
+  EXPECT_TRUE(either({9.0, 0.5}));
+  EXPECT_FALSE(either({9.0, 9.0}));
+
+  EXPECT_TRUE(all_of({})({1.0}));  // vacuous truth
+  EXPECT_TRUE(any_of({})({1.0}));  // no disjuncts: treated as unconstrained
+}
+
+TEST(Constraints, IfEqualGuardsConditionally) {
+  // If mode (index 0) == 1, then size (index 1) must be <= 8.
+  const auto p = if_equal(0, 1.0, at_most(1, 8.0));
+  EXPECT_TRUE(p({0.0, 100.0}));  // guard inactive
+  EXPECT_TRUE(p({1.0, 8.0}));
+  EXPECT_FALSE(p({1.0, 9.0}));
+}
+
+TEST(Constraints, ComposeIntoSearchSpace) {
+  SearchSpace space;
+  space.add(ParamSpec::integer("a", 1, 16, 1));
+  space.add(ParamSpec::integer("b", 1, 16, 1));
+  space.add_constraint("fits", product_le({0, 1}, 32.0));
+  space.add_constraint("balanced", divides(0, 16));
+  EXPECT_TRUE(space.is_valid({4.0, 8.0}));
+  EXPECT_FALSE(space.is_valid({4.0, 9.0}));   // product
+  EXPECT_FALSE(space.is_valid({5.0, 1.0}));   // 5 does not divide 16
+}
+
+TEST(Constraints, OutOfRangeIndexThrowsAtEvaluation) {
+  const auto p = at_most(5, 1.0);
+  EXPECT_THROW(p({1.0, 2.0}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace tunekit::search::constraints

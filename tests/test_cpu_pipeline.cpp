@@ -1,0 +1,89 @@
+#include "tddft/cpu_pipeline.hpp"
+#include "tddft/slater_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tunekit::tddft {
+namespace {
+
+CpuPipeline make_pipeline(int ranks = 40) {
+  return CpuPipeline(PhysicalSystem::case_study_1(), CpuArch::perlmutter_cpu(), ranks);
+}
+
+TEST(CpuPipeline, ValidityRules) {
+  const auto p = make_pipeline(40);
+  EXPECT_TRUE(p.valid({4, 1, 1, 8}));    // 32 ranks
+  EXPECT_FALSE(p.valid({8, 1, 1, 8}));   // 64 > 40
+  EXPECT_FALSE(p.valid({4, 2, 1, 4}));   // nkpb > nkpoints (CS1 has 1)
+  EXPECT_FALSE(p.valid({0, 1, 1, 1}));
+  EXPECT_FALSE(p.valid({4, 1, 1, 0}));
+  EXPECT_THROW(p.simulate({8, 1, 1, 8}), std::invalid_argument);
+}
+
+TEST(CpuPipeline, BreakdownPositiveAndConsistent) {
+  const auto p = make_pipeline();
+  const auto b = p.simulate({4, 1, 1, 8});
+  EXPECT_GT(b.fft_compute, 0.0);
+  EXPECT_GT(b.transpose_comm, 0.0);
+  EXPECT_GT(b.pointwise, 0.0);
+  EXPECT_NEAR(b.slater, b.fft_compute + b.transpose_comm + b.pointwise + b.reductions,
+              1e-12);
+  EXPECT_GT(b.total, b.slater);
+}
+
+TEST(CpuPipeline, CommShareMatchesPaperRange) {
+  // Paper SS 5: "around 40-50% of the runtime is attributed to communication
+  // primitives" at typical distributed-FFT widths.
+  const auto p = make_pipeline();
+  const auto b = p.simulate({4, 1, 1, 8});
+  EXPECT_GE(b.comm_share(), 0.35);
+  EXPECT_LE(b.comm_share(), 0.60);
+}
+
+TEST(CpuPipeline, NoTransposeWithoutDistribution) {
+  const auto p = make_pipeline();
+  const auto b = p.simulate({4, 1, 1, 1});  // nqb = 1: single-rank FFT
+  EXPECT_DOUBLE_EQ(b.transpose_comm, 0.0);
+}
+
+TEST(CpuPipeline, WiderFftDistributionTradesComputeForComm) {
+  const auto p = make_pipeline();
+  const auto narrow = p.simulate({4, 1, 1, 2});
+  const auto wide = p.simulate({4, 1, 1, 8});
+  EXPECT_LT(wide.fft_compute, narrow.fft_compute);     // compute shrinks
+  // Per-rank transpose traffic shrinks with nqb but latency terms grow;
+  // comm share always grows with nqb.
+  EXPECT_GT(wide.comm_share(), narrow.comm_share());
+}
+
+TEST(CpuPipeline, BandParallelismSpeedsUp) {
+  const auto p = make_pipeline();
+  const auto serial = p.simulate({1, 1, 1, 4});
+  const auto parallel = p.simulate({8, 1, 1, 4});
+  EXPECT_GT(serial.slater, parallel.slater * 4.0);
+}
+
+TEST(CpuPipeline, GpuOffloadIsFasterAtEqualAllocation) {
+  // The motivating comparison of SS 5-A: the offloaded pipeline beats the
+  // CPU version at the same rank budget.
+  const auto cpu = make_pipeline();
+  const auto cpu_best = cpu.simulate({4, 1, 1, 8});
+
+  SlaterPipeline gpu(PhysicalSystem::case_study_1(), GpuArch::a100(), 40);
+  auto config = TddftConfig::defaults();
+  config.grid = {32, 1, 1};
+  const auto g = gpu.simulate(config);
+  EXPECT_LT(g.total, cpu_best.total);
+}
+
+TEST(CpuPipeline, NoiseSeedJittersDeterministically) {
+  CpuPipeline a(PhysicalSystem::case_study_1(), CpuArch::perlmutter_cpu(), 40, 1);
+  CpuPipeline b(PhysicalSystem::case_study_1(), CpuArch::perlmutter_cpu(), 40, 1);
+  CpuPipeline c(PhysicalSystem::case_study_1(), CpuArch::perlmutter_cpu(), 40, 2);
+  const CpuGrid grid{4, 1, 1, 8};
+  EXPECT_DOUBLE_EQ(a.simulate(grid).total, b.simulate(grid).total);
+  EXPECT_NE(a.simulate(grid).total, c.simulate(grid).total);
+}
+
+}  // namespace
+}  // namespace tunekit::tddft

@@ -1,0 +1,121 @@
+#include "stats/decision_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace tunekit::stats {
+namespace {
+
+TEST(RegressionTree, FitsStepFunction) {
+  // y = 1 if x > 0.5 else 0: one split suffices.
+  linalg::Matrix x(20, 1);
+  std::vector<double> y(20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    x(i, 0) = static_cast<double>(i) / 19.0;
+    y[i] = x(i, 0) > 0.5 ? 1.0 : 0.0;
+  }
+  Rng rng(1);
+  RegressionTree tree;
+  tree.fit(x, y, rng);
+  EXPECT_DOUBLE_EQ(tree.predict({0.1}), 0.0);
+  EXPECT_DOUBLE_EQ(tree.predict({0.9}), 1.0);
+}
+
+TEST(RegressionTree, PureTargetsGiveSingleLeaf) {
+  linalg::Matrix x(10, 2);
+  Rng rng(2);
+  for (std::size_t i = 0; i < 10; ++i) {
+    x(i, 0) = rng.uniform();
+    x(i, 1) = rng.uniform();
+  }
+  RegressionTree tree;
+  tree.fit(x, std::vector<double>(10, 4.2), rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict({0.3, 0.3}), 4.2);
+}
+
+TEST(RegressionTree, RespectsMaxDepth) {
+  Rng rng(3);
+  linalg::Matrix x(200, 1);
+  std::vector<double> y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    x(i, 0) = rng.uniform();
+    y[i] = std::sin(20.0 * x(i, 0));
+  }
+  TreeOptions opt;
+  opt.max_depth = 3;
+  RegressionTree tree(opt);
+  tree.fit(x, y, rng);
+  EXPECT_LE(tree.depth(), 4u);  // root at depth 1
+}
+
+TEST(RegressionTree, MinSamplesLeafHonored) {
+  Rng rng(4);
+  linalg::Matrix x(30, 1);
+  std::vector<double> y(30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = static_cast<double>(i % 2);
+  }
+  TreeOptions opt;
+  opt.min_samples_leaf = 10;
+  opt.min_samples_split = 20;
+  RegressionTree tree(opt);
+  tree.fit(x, y, rng);
+  // With leaves >= 10 samples over alternating labels, depth stays small.
+  EXPECT_LE(tree.node_count(), 7u);
+}
+
+TEST(RegressionTree, ImportanceConcentratesOnInformativeFeature) {
+  Rng rng(5);
+  linalg::Matrix x(300, 3);
+  std::vector<double> y(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    for (std::size_t f = 0; f < 3; ++f) x(i, f) = rng.uniform();
+    y[i] = 5.0 * x(i, 1);  // only feature 1 matters
+  }
+  RegressionTree tree;
+  tree.fit(x, y, rng);
+  const auto& imp = tree.impurity_importance();
+  EXPECT_GT(imp[1], imp[0]);
+  EXPECT_GT(imp[1], imp[2]);
+  EXPECT_GT(imp[1], 0.0);
+}
+
+TEST(RegressionTree, BootstrapRowsSupported) {
+  linalg::Matrix x(10, 1);
+  std::vector<double> y(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = static_cast<double>(i);
+  }
+  Rng rng(6);
+  RegressionTree tree;
+  // Train only on the low half (with duplicates).
+  tree.fit(x, y, {0, 1, 2, 2, 3, 4, 4, 0}, rng);
+  EXPECT_LE(tree.predict({9.0}), 4.0);
+}
+
+TEST(RegressionTree, InputValidation) {
+  Rng rng(7);
+  RegressionTree tree;
+  EXPECT_THROW(tree.fit(linalg::Matrix(3, 1), {1.0, 2.0}, rng), std::invalid_argument);
+  EXPECT_THROW(tree.fit(linalg::Matrix(3, 1), {1.0, 2.0, 3.0}, {}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(tree.predict({0.0}), std::runtime_error);
+}
+
+TEST(RegressionTree, PredictsTrainingMeanAtRoot) {
+  linalg::Matrix x(4, 1);
+  for (std::size_t i = 0; i < 4; ++i) x(i, 0) = 0.5;  // no split possible
+  Rng rng(8);
+  RegressionTree tree;
+  tree.fit(x, {1.0, 2.0, 3.0, 4.0}, rng);
+  EXPECT_DOUBLE_EQ(tree.predict({0.5}), 2.5);
+}
+
+}  // namespace
+}  // namespace tunekit::stats

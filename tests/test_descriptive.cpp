@@ -1,0 +1,76 @@
+#include "stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tunekit::stats {
+namespace {
+
+TEST(Descriptive, Mean) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({-5}), -5.0);
+  EXPECT_THROW(mean({}), std::invalid_argument);
+}
+
+TEST(Descriptive, VarianceAndStddev) {
+  EXPECT_DOUBLE_EQ(variance({2, 4, 4, 4, 5, 5, 7, 9}), 32.0 / 7.0);
+  EXPECT_DOUBLE_EQ(variance({3}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({1, 1, 1}), 0.0);
+}
+
+TEST(Descriptive, MinMax) {
+  EXPECT_DOUBLE_EQ(min_value({3, -1, 2}), -1.0);
+  EXPECT_DOUBLE_EQ(max_value({3, -1, 2}), 3.0);
+  EXPECT_THROW(min_value({}), std::invalid_argument);
+}
+
+TEST(Descriptive, QuantileInterpolates) {
+  const std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_THROW(quantile(v, 1.5), std::invalid_argument);
+}
+
+TEST(Descriptive, QuantileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(quantile({4, 1, 3, 2}, 0.5), 2.5);
+}
+
+TEST(Descriptive, Median) {
+  EXPECT_DOUBLE_EQ(median({5, 1, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+}
+
+TEST(Descriptive, RSquaredPerfectAndBaseline) {
+  const std::vector<double> y{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(r_squared(y, y), 1.0);
+  // Predicting the mean gives R^2 = 0.
+  const std::vector<double> mean_pred(4, 2.5);
+  EXPECT_NEAR(r_squared(y, mean_pred), 0.0, 1e-12);
+  EXPECT_THROW(r_squared({1}, {1, 2}), std::invalid_argument);
+}
+
+TEST(Descriptive, RSquaredConstantTruth) {
+  EXPECT_DOUBLE_EQ(r_squared({2, 2, 2}, {2, 2, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(r_squared({2, 2, 2}, {1, 2, 3}), 0.0);
+}
+
+TEST(Descriptive, Summary) {
+  const Summary s = summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_THROW(summarize({}), std::invalid_argument);
+}
+
+TEST(OneInTen, Rule) {
+  EXPECT_EQ(one_in_ten_required(20), 200u);
+  EXPECT_TRUE(one_in_ten_ok(200, 20));
+  EXPECT_FALSE(one_in_ten_ok(199, 20));
+  EXPECT_TRUE(one_in_ten_ok(0, 0));
+}
+
+}  // namespace
+}  // namespace tunekit::stats

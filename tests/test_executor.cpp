@@ -1,0 +1,196 @@
+#include "core/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/methodology.hpp"
+#include "core/tunable_app.hpp"
+
+namespace tunekit::core {
+namespace {
+
+/// Two-routine app with a stage-relevant global: `chunk` affects both
+/// regions; each routine has one knob with a known optimum.
+class StagedApp final : public TunableApp {
+ public:
+  StagedApp() {
+    space_.add(search::ParamSpec::integer("chunk", 1, 16, 1));      // global
+    space_.add(search::ParamSpec::ordinal("a", {1, 2, 4, 8}, 1));   // routine A
+    space_.add(search::ParamSpec::ordinal("b", {1, 2, 4, 8}, 1));   // routine B
+  }
+
+  const search::SearchSpace& space() const override { return space_; }
+
+  std::vector<RoutineSpec> routines() const override {
+    return {{"A", {1}}, {"B", {2}}};
+  }
+
+  std::vector<std::string> outer_regions() const override { return {"Outer"}; }
+
+  search::RegionTimes evaluate_regions(const search::Config& c) override {
+    const double chunk_penalty = 1.0 + 8.0 / c[0];
+    const double ta = (1.0 + std::abs(std::log2(c[1] / 4.0))) * chunk_penalty;
+    const double tb = (1.0 + std::abs(std::log2(c[2] / 2.0))) * chunk_penalty;
+    search::RegionTimes t;
+    t.regions["A"] = ta;
+    t.regions["B"] = tb;
+    t.regions["Outer"] = ta + tb + 0.5 * chunk_penalty;
+    t.total = t.regions["Outer"];
+    return t;
+  }
+
+  bool thread_safe() const override { return true; }
+
+ private:
+  search::SearchSpace space_;
+};
+
+graph::SearchPlan plan_for(StagedApp& app) {
+  MethodologyOptions opt;
+  opt.cutoff = 0.10;
+  opt.importance_samples = 0;
+  Methodology m(opt);
+  const auto analysis = m.analyze(app);
+  return m.make_plan(app, analysis);
+}
+
+TEST(PlanExecutor, BudgetRule) {
+  ExecutorOptions opt;
+  opt.evals_per_param = 10;
+  opt.min_evals = 20;
+  PlanExecutor exec(opt);
+  EXPECT_EQ(exec.budget_for(1), 20u);   // min applies
+  EXPECT_EQ(exec.budget_for(5), 50u);   // 10 x dims
+  EXPECT_EQ(exec.budget_for(10), 100u); // the paper's 10 x num_parameters
+}
+
+TEST(PlanExecutor, ExecutesStagedPlanAndImproves) {
+  StagedApp app;
+  const auto plan = plan_for(app);
+  ASSERT_GE(plan.searches.size(), 3u);  // chunk (stage 0), A, B
+
+  ExecutorOptions opt;
+  opt.evals_per_param = 8;
+  opt.min_evals = 8;
+  opt.bo.seed = 3;
+  PlanExecutor exec(opt);
+  const auto result = exec.execute(app, plan);
+
+  const double baseline = app.evaluate_regions(app.space().defaults()).total;
+  EXPECT_LT(result.final_times.total, baseline);
+  EXPECT_TRUE(app.space().is_valid(result.final_config));
+  EXPECT_EQ(result.outcomes.size(), plan.searches.size());
+  EXPECT_GT(result.total_evaluations, 0u);
+
+  // The tuned config should land near the known optima.
+  EXPECT_GE(result.final_config[0], 8.0);   // chunk as large as possible
+  EXPECT_DOUBLE_EQ(result.final_config[1], 4.0);  // a* = 4
+  EXPECT_DOUBLE_EQ(result.final_config[2], 2.0);  // b* = 2
+}
+
+TEST(PlanExecutor, SmallDiscreteSearchesAreEnumerated) {
+  StagedApp app;
+  const auto plan = plan_for(app);
+  ExecutorOptions opt;
+  opt.evals_per_param = 10;
+  opt.min_evals = 20;
+  opt.enumerate_threshold = 1.0;
+  PlanExecutor exec(opt);
+  const auto result = exec.execute(app, plan);
+  // Routine searches over 4 levels are cheaper to enumerate than to model.
+  std::size_t enumerated = 0;
+  for (const auto& o : result.outcomes) {
+    if (o.result.method == "enumerate") ++enumerated;
+  }
+  EXPECT_GE(enumerated, 2u);
+}
+
+TEST(PlanExecutor, StageZeroResultFeedsLaterStages) {
+  StagedApp app;
+  const auto plan = plan_for(app);
+  ExecutorOptions opt;
+  opt.evals_per_param = 8;
+  opt.min_evals = 8;
+  PlanExecutor exec(opt);
+  const auto result = exec.execute(app, plan);
+
+  // The global search ran first and its tuned value is in the final config.
+  const auto& first = result.outcomes.front();
+  EXPECT_EQ(first.planned.stage, 0u);
+  ASSERT_TRUE(first.tuned_values.count("chunk"));
+  EXPECT_DOUBLE_EQ(result.final_config[0], first.tuned_values.at("chunk"));
+}
+
+TEST(PlanExecutor, ParallelStageMatchesSequential) {
+  StagedApp app_seq, app_par;
+  const auto plan = plan_for(app_seq);
+
+  ExecutorOptions seq;
+  seq.evals_per_param = 6;
+  seq.min_evals = 6;
+  seq.n_threads = 1;
+  seq.bo.seed = 9;
+  ExecutorOptions par = seq;
+  par.n_threads = 4;
+
+  const auto r_seq = PlanExecutor(seq).execute(app_seq, plan);
+  const auto r_par = PlanExecutor(par).execute(app_par, plan);
+  EXPECT_EQ(r_seq.final_config, r_par.final_config);
+}
+
+TEST(PlanExecutor, TotalBudgetTruncatesAndSkips) {
+  StagedApp app;
+  const auto plan = plan_for(app);
+  ASSERT_GE(plan.searches.size(), 3u);
+
+  ExecutorOptions opt;
+  opt.evals_per_param = 10;
+  opt.min_evals = 10;
+  opt.max_total_evals = 12;  // enough for one search plus a stub
+  opt.enumerate_threshold = 1.0;
+  const auto result = PlanExecutor(opt).execute(app, plan);
+
+  // Total evaluations respect the cap (+1 for the final verification run).
+  EXPECT_LE(result.total_evaluations, 13u);
+  // At least one later search was skipped outright.
+  std::size_t skipped = 0;
+  for (const auto& o : result.outcomes) {
+    if (o.result.method == "skipped") ++skipped;
+  }
+  EXPECT_GE(skipped, 1u);
+  // The final configuration is still valid and evaluable.
+  EXPECT_TRUE(app.space().is_valid(result.final_config));
+}
+
+TEST(PlanExecutor, UnlimitedBudgetRunsEverySearch) {
+  StagedApp app;
+  const auto plan = plan_for(app);
+  ExecutorOptions opt;
+  opt.evals_per_param = 5;
+  opt.min_evals = 5;
+  opt.max_total_evals = 0;  // unlimited
+  const auto result = PlanExecutor(opt).execute(app, plan);
+  for (const auto& o : result.outcomes) {
+    EXPECT_NE(o.result.method, "skipped");
+    EXPECT_GT(o.result.evaluations, 0u);
+  }
+}
+
+TEST(PlanExecutor, TunedValuesNamedCorrectly) {
+  StagedApp app;
+  const auto plan = plan_for(app);
+  ExecutorOptions opt;
+  opt.evals_per_param = 5;
+  opt.min_evals = 5;
+  const auto result = PlanExecutor(opt).execute(app, plan);
+  for (const auto& o : result.outcomes) {
+    EXPECT_EQ(o.tuned_values.size(), o.planned.params.size());
+    for (std::size_t p : o.planned.params) {
+      EXPECT_TRUE(o.tuned_values.count(app.space().param(p).name()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tunekit::core

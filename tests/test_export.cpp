@@ -1,0 +1,98 @@
+#include "core/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "synth/synth_app.hpp"
+
+namespace tunekit::core {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(ExportCsv, WritesHeaderAndRows) {
+  const std::string path = temp_path("tunekit_traj.csv");
+  write_trajectories_csv(path, {"a", "b"}, {{3.0, 2.0, 1.0}, {5.0, 4.0, 3.5}});
+  const std::string content = slurp(path);
+  EXPECT_NE(content.find("evaluation,a,b"), std::string::npos);
+  EXPECT_NE(content.find("1,3,5"), std::string::npos);
+  EXPECT_NE(content.find("3,1,3.5"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ExportCsv, PadsShorterSeriesWithFinalValue) {
+  const std::string path = temp_path("tunekit_traj_pad.csv");
+  write_trajectories_csv(path, {"long", "short"}, {{4.0, 3.0, 2.0, 1.0}, {9.0, 8.0}});
+  const std::string content = slurp(path);
+  EXPECT_NE(content.find("4,1,8"), std::string::npos);  // short padded with 8
+  std::remove(path.c_str());
+}
+
+TEST(ExportCsv, ValidatesArity) {
+  EXPECT_THROW(write_trajectories_csv(temp_path("x.csv"), {"a"}, {}),
+               std::invalid_argument);
+}
+
+TEST(ExportJson, SearchResultRoundTrips) {
+  search::SearchSpace space;
+  space.add(search::ParamSpec::real("alpha", 0.0, 1.0, 0.5));
+  search::SearchResult result;
+  result.method = "bo";
+  result.best_config = {0.25};
+  result.best_value = 1.5;
+  result.values = {3.0, 1.5};
+  result.trajectory = {3.0, 1.5};
+  result.evaluations = 2;
+  result.seconds = 0.1;
+
+  const auto v = search_result_to_json(space, result);
+  EXPECT_EQ(v.at("method").as_string(), "bo");
+  EXPECT_DOUBLE_EQ(v.at("best_value").as_number(), 1.5);
+  EXPECT_DOUBLE_EQ(v.at("best_config").at("alpha").as_number(), 0.25);
+  EXPECT_EQ(v.at("trajectory").as_array().size(), 2u);
+
+  // Serializes to parseable JSON.
+  EXPECT_NO_THROW(json::parse(v.dump()));
+}
+
+TEST(ExportJson, MethodologyResultSerializes) {
+  synth::SynthApp app(synth::SynthCase::Case3);
+  MethodologyOptions opt;
+  opt.cutoff = 0.25;
+  opt.sensitivity.n_variations = 20;
+  opt.importance_samples = 0;
+  opt.executor.evals_per_param = 2;
+  opt.executor.min_evals = 6;
+  opt.executor.enumerate_threshold = 0.0;
+  Methodology m(opt);
+  const auto result = m.run(app);
+
+  const auto v = methodology_result_to_json(app, result);
+  EXPECT_TRUE(v.contains("sensitivity"));
+  EXPECT_TRUE(v.at("sensitivity").contains("Group3"));
+  EXPECT_GE(v.at("plan").as_array().size(), 3u);
+  EXPECT_TRUE(v.at("final_config").contains("x0"));
+  EXPECT_GT(v.at("observations_total").as_number(), 0.0);
+
+  const std::string path = temp_path("tunekit_methodology.json");
+  write_json(path, v);
+  const auto loaded = json::load(path);
+  EXPECT_EQ(loaded.at("app").as_string(), app.name());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tunekit::core

@@ -1,0 +1,154 @@
+#include "bo/gp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace tunekit::bo {
+namespace {
+
+linalg::Matrix grid_1d(std::size_t n) {
+  linalg::Matrix x(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = static_cast<double>(i) / static_cast<double>(n - 1);
+  }
+  return x;
+}
+
+TEST(GaussianProcess, InterpolatesTrainingDataWithLowNoise) {
+  const auto x = grid_1d(8);
+  std::vector<double> y(8);
+  for (std::size_t i = 0; i < 8; ++i) y[i] = std::sin(6.0 * x(i, 0));
+
+  GaussianProcess gp(KernelKind::Matern52);
+  gp.set_hyperparams(GpHyperparams::isotropic(1, 0.2, 1.0, 1e-8));
+  gp.fit(x, y);
+
+  for (std::size_t i = 0; i < 8; ++i) {
+    const auto p = gp.predict(x.row(i));
+    EXPECT_NEAR(p.mean, y[i], 1e-3);
+    EXPECT_LT(p.stddev(), 0.05);
+  }
+}
+
+TEST(GaussianProcess, UncertaintyGrowsAwayFromData) {
+  const auto x = grid_1d(5);
+  std::vector<double> y{0.0, 0.5, 1.0, 0.5, 0.0};
+  GaussianProcess gp;
+  gp.set_hyperparams(GpHyperparams::isotropic(1, 0.1, 1.0, 1e-6));
+  gp.fit(x, y);
+
+  const auto at_data = gp.predict({0.5});
+  const auto off_data = gp.predict({0.625});
+  EXPECT_GT(off_data.variance, at_data.variance);
+}
+
+TEST(GaussianProcess, PredictionInterpolatesSmoothly) {
+  // Between two equal training values, the mean stays near that value.
+  linalg::Matrix x(2, 1);
+  x(0, 0) = 0.3;
+  x(1, 0) = 0.7;
+  GaussianProcess gp;
+  gp.set_hyperparams(GpHyperparams::isotropic(1, 0.5, 1.0, 1e-8));
+  gp.fit(x, {2.0, 2.0});
+  EXPECT_NEAR(gp.predict({0.5}).mean, 2.0, 0.05);
+}
+
+TEST(GaussianProcess, HandlesConstantTargets) {
+  const auto x = grid_1d(5);
+  GaussianProcess gp;
+  EXPECT_NO_THROW(gp.fit(x, std::vector<double>(5, 3.0)));
+  EXPECT_NEAR(gp.predict({0.5}).mean, 3.0, 1e-6);
+}
+
+TEST(GaussianProcess, HyperoptImprovesLikelihood) {
+  tunekit::Rng rng(4);
+  const std::size_t n = 25;
+  linalg::Matrix x(n, 1);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform();
+    y[i] = std::sin(8.0 * x(i, 0)) + 0.05 * rng.normal();
+  }
+
+  GaussianProcess fixed;
+  fixed.set_hyperparams(GpHyperparams::isotropic(1, 1e2, 1.0, 0.5));  // bad guess
+  fixed.fit(x, y);
+  const double lml_fixed = fixed.log_marginal_likelihood();
+
+  GaussianProcess tuned;
+  tuned.set_hyperparams(GpHyperparams::isotropic(1, 1e2, 1.0, 0.5));
+  tunekit::Rng hrng(5);
+  tuned.fit_with_hyperopt(x, y, hrng, 3);
+  EXPECT_GT(tuned.log_marginal_likelihood(), lml_fixed);
+}
+
+TEST(GaussianProcess, HyperoptKeepsLengthscalesInBounds) {
+  tunekit::Rng rng(6);
+  linalg::Matrix x(10, 2);
+  std::vector<double> y(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    x(i, 0) = rng.uniform();
+    x(i, 1) = rng.uniform();
+    y[i] = x(i, 0);
+  }
+  GaussianProcess gp;
+  tunekit::Rng hrng(7);
+  gp.fit_with_hyperopt(x, y, hrng, 2);
+  for (double ls : gp.hyperparams().lengthscales) {
+    EXPECT_GE(ls, 1e-2 * 0.99);
+    EXPECT_LE(ls, 1e2 * 1.01);
+  }
+  EXPECT_GT(gp.hyperparams().noise_variance, 0.0);
+}
+
+TEST(GaussianProcess, PriorMeanShiftsPrediction) {
+  // Far from data, prediction reverts to the prior mean, not zero.
+  linalg::Matrix x(2, 1);
+  x(0, 0) = 0.0;
+  x(1, 0) = 0.05;
+  GaussianProcess gp;
+  gp.set_prior_mean([](const std::vector<double>& u) { return 10.0 + u[0]; });
+  gp.set_hyperparams(GpHyperparams::isotropic(1, 0.05, 1.0, 1e-6));
+  gp.fit(x, {10.0, 10.05});  // data agrees with the prior
+  const auto far = gp.predict({1.0});
+  EXPECT_NEAR(far.mean, 11.0, 0.2);
+}
+
+TEST(GaussianProcess, PredictBeforeFitThrows) {
+  GaussianProcess gp;
+  EXPECT_THROW(gp.predict({0.5}), std::runtime_error);
+}
+
+TEST(GaussianProcess, InputValidation) {
+  GaussianProcess gp;
+  EXPECT_THROW(gp.fit(linalg::Matrix(0, 1), {}), std::invalid_argument);
+  EXPECT_THROW(gp.fit(grid_1d(3), {1.0, 2.0}), std::invalid_argument);
+  gp.fit(grid_1d(3), {1.0, 2.0, 3.0});
+  EXPECT_THROW(gp.predict({0.1, 0.2}), std::invalid_argument);
+}
+
+TEST(GaussianProcess, AccessorsReportState) {
+  GaussianProcess gp(KernelKind::RBF);
+  EXPECT_EQ(gp.kernel_kind(), KernelKind::RBF);
+  EXPECT_FALSE(gp.fitted());
+  gp.fit(grid_1d(4), {1, 2, 3, 4});
+  EXPECT_TRUE(gp.fitted());
+  EXPECT_EQ(gp.n_points(), 4u);
+  EXPECT_EQ(gp.dim(), 1u);
+}
+
+TEST(GaussianProcess, VarianceNeverNegative) {
+  const auto x = grid_1d(6);
+  GaussianProcess gp;
+  gp.set_hyperparams(GpHyperparams::isotropic(1, 0.15, 1.0, 1e-9));
+  gp.fit(x, {0, 1, 0, 1, 0, 1});
+  for (double t = 0.0; t <= 1.0; t += 0.05) {
+    EXPECT_GE(gp.predict({t}).variance, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace tunekit::bo

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bo/gp.hpp"
+#include "common/rng.hpp"
+
+namespace tunekit::bo {
+namespace {
+
+struct Data {
+  linalg::Matrix x;
+  std::vector<double> y;
+};
+
+Data smooth_1d(std::size_t n, double noise_sd, std::uint64_t seed) {
+  tunekit::Rng rng(seed);
+  Data d{linalg::Matrix(n, 1), std::vector<double>(n)};
+  for (std::size_t i = 0; i < n; ++i) {
+    d.x(i, 0) = rng.uniform();
+    d.y[i] = std::sin(5.0 * d.x(i, 0)) + noise_sd * rng.normal();
+  }
+  return d;
+}
+
+TEST(GpLoo, WellSpecifiedModelCoversAndCalibrates) {
+  const auto data = smooth_1d(60, 0.05, 1);
+  GaussianProcess gp;
+  tunekit::Rng rng(2);
+  gp.fit_with_hyperopt(data.x, data.y, rng, 3);
+
+  const auto loo = gp.leave_one_out();
+  ASSERT_EQ(loo.mean.size(), 60u);
+  // Coverage of the 95% interval should be near 95%.
+  EXPECT_GE(loo.coverage95, 0.85);
+  // LOO predictions track the function well.
+  EXPECT_LT(loo.rmse, 0.15);
+  // Standardized residuals should have variance near 1 (calibration).
+  double var = 0.0;
+  for (double r : loo.standardized_residuals) var += r * r;
+  var /= static_cast<double>(loo.standardized_residuals.size());
+  EXPECT_GT(var, 0.2);
+  EXPECT_LT(var, 3.0);
+}
+
+TEST(GpLoo, MisspecifiedModelShowsPoorDiagnostics) {
+  // Fit with absurdly long lengthscale and near-zero noise: the model
+  // cannot explain the data and the LOO log density collapses.
+  const auto data = smooth_1d(40, 0.05, 3);
+  GaussianProcess good;
+  tunekit::Rng rng(4);
+  good.fit_with_hyperopt(data.x, data.y, rng, 3);
+
+  GaussianProcess bad;
+  bad.set_hyperparams(GpHyperparams::isotropic(1, 100.0, 1.0, 1e-8));
+  bad.fit(data.x, data.y);
+
+  EXPECT_GT(good.leave_one_out().mean_log_density,
+            bad.leave_one_out().mean_log_density);
+}
+
+TEST(GpLoo, RequiresFit) {
+  GaussianProcess gp;
+  EXPECT_THROW(gp.leave_one_out(), std::runtime_error);
+}
+
+TEST(GpLoo, VarianceIsPositive) {
+  const auto data = smooth_1d(25, 0.1, 5);
+  GaussianProcess gp;
+  gp.set_hyperparams(GpHyperparams::isotropic(1, 0.2, 1.0, 1e-4));
+  gp.fit(data.x, data.y);
+  for (double v : gp.leave_one_out().variance) EXPECT_GT(v, 0.0);
+}
+
+TEST(GpLoo, WorksWithPriorMean) {
+  const auto data = smooth_1d(30, 0.05, 6);
+  GaussianProcess gp;
+  gp.set_prior_mean([](const std::vector<double>&) { return 10.0; });
+  std::vector<double> shifted = data.y;
+  for (double& v : shifted) v += 10.0;
+  gp.set_hyperparams(GpHyperparams::isotropic(1, 0.2, 1.0, 1e-3));
+  gp.fit(data.x, shifted);
+  const auto loo = gp.leave_one_out();
+  // LOO means live in the shifted target range.
+  for (double m : loo.mean) {
+    EXPECT_GT(m, 8.0);
+    EXPECT_LT(m, 12.0);
+  }
+}
+
+}  // namespace
+}  // namespace tunekit::bo

@@ -1,0 +1,126 @@
+#include "graph/influence_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tunekit::graph {
+namespace {
+
+InfluenceGraph make_graph() {
+  // Routines A, B; params p0 (owned by A), p1 (owned by A and B, shared),
+  // p2 (global).
+  InfluenceGraph g({"A", "B"}, {"p0", "p1", "p2"});
+  g.add_owner(0, 0);
+  g.add_owner(1, 0);
+  g.add_owner(1, 1);
+  g.set_influence(0, 0, 0.5);   // p0 on its own routine
+  g.set_influence(0, 1, 0.2);   // p0 crosses to B
+  g.set_influence(1, 0, 0.05);  // p1 weak on A
+  g.set_influence(1, 1, 0.4);   // p1 strong on B
+  g.set_influence(2, 0, 0.3);   // global p2 on A
+  g.set_influence(2, 1, 0.08);  // global p2 weak on B
+  return g;
+}
+
+TEST(InfluenceGraph, ConstructionAndLookup) {
+  const auto g = make_graph();
+  EXPECT_EQ(g.n_routines(), 2u);
+  EXPECT_EQ(g.n_params(), 3u);
+  EXPECT_EQ(g.routine_index("B"), 1u);
+  EXPECT_EQ(g.param_index("p2"), 2u);
+  EXPECT_THROW(g.routine_index("X"), std::out_of_range);
+  EXPECT_THROW(g.param_index("X"), std::out_of_range);
+  EXPECT_THROW(InfluenceGraph({}, {"p"}), std::invalid_argument);
+  EXPECT_THROW(InfluenceGraph({"r"}, {}), std::invalid_argument);
+}
+
+TEST(InfluenceGraph, Ownership) {
+  const auto g = make_graph();
+  EXPECT_TRUE(g.is_owned_by(0, 0));
+  EXPECT_FALSE(g.is_owned_by(0, 1));
+  EXPECT_TRUE(g.is_owned_by(1, 0));
+  EXPECT_TRUE(g.is_owned_by(1, 1));
+  EXPECT_TRUE(g.is_global(2));
+  EXPECT_FALSE(g.is_global(0));
+  EXPECT_EQ(g.owners(1).size(), 2u);
+}
+
+TEST(InfluenceGraph, DuplicateOwnerIgnored) {
+  auto g = make_graph();
+  g.add_owner(0, 0);
+  EXPECT_EQ(g.owners(0).size(), 1u);
+}
+
+TEST(InfluenceGraph, InfluenceRoundTrip) {
+  const auto g = make_graph();
+  EXPECT_DOUBLE_EQ(g.influence(0, 1), 0.2);
+  EXPECT_DOUBLE_EQ(g.influence(2, 0), 0.3);
+}
+
+TEST(InfluenceGraph, PruneZeroesBelowCutoff) {
+  const auto pruned = make_graph().pruned(0.25);
+  EXPECT_DOUBLE_EQ(pruned.influence(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(pruned.influence(0, 1), 0.0);   // 0.2 < 0.25
+  EXPECT_DOUBLE_EQ(pruned.influence(1, 1), 0.4);
+  EXPECT_DOUBLE_EQ(pruned.influence(2, 1), 0.0);
+  // Original untouched.
+  EXPECT_DOUBLE_EQ(make_graph().influence(0, 1), 0.2);
+}
+
+TEST(InfluenceGraph, CrossEdgesExcludeOwnersAndGlobals) {
+  const auto g = make_graph();
+  const auto edges = g.cross_edges();
+  // Only p0 crosses (A -> B); p1 is owned by both; p2 is global.
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].param, 0u);
+  EXPECT_EQ(edges[0].from_routine, 0u);
+  EXPECT_EQ(edges[0].to_routine, 1u);
+  EXPECT_DOUBLE_EQ(edges[0].weight, 0.2);
+}
+
+TEST(InfluenceGraph, CrossEdgesAfterPrune) {
+  const auto pruned = make_graph().pruned(0.25);
+  EXPECT_TRUE(pruned.cross_edges().empty());
+  const auto loose = make_graph().pruned(0.1);
+  EXPECT_EQ(loose.cross_edges().size(), 1u);
+}
+
+TEST(InfluenceGraph, GlobalEdges) {
+  const auto g = make_graph();
+  const auto edges = g.global_edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0].param, 2u);
+  // Pruning drops the weak one.
+  EXPECT_EQ(g.pruned(0.1).global_edges().size(), 1u);
+}
+
+TEST(InfluenceGraph, SharedOwnerParamEmitsCrossEdgesPerOwner) {
+  InfluenceGraph g({"A", "B", "C"}, {"p"});
+  g.add_owner(0, 0);
+  g.add_owner(0, 1);
+  g.set_influence(0, 2, 0.5);  // influences a non-owner
+  const auto edges = g.cross_edges();
+  ASSERT_EQ(edges.size(), 2u);  // one per owner
+  EXPECT_EQ(edges[0].to_routine, 2u);
+  EXPECT_EQ(edges[1].to_routine, 2u);
+}
+
+TEST(InfluenceGraph, DotOutputContainsVerticesAndEdges) {
+  const auto g = make_graph();
+  const std::string dot = g.to_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"A\""), std::string::npos);
+  EXPECT_NE(dot.find("\"B\""), std::string::npos);
+  EXPECT_NE(dot.find("p0"), std::string::npos);  // cross edge label
+  EXPECT_NE(dot.find("p2"), std::string::npos);  // global vertex
+}
+
+TEST(InfluenceGraph, BoundsChecked) {
+  auto g = make_graph();
+  EXPECT_THROW(g.add_owner(9, 0), std::out_of_range);
+  EXPECT_THROW(g.add_owner(0, 9), std::out_of_range);
+  EXPECT_THROW(g.set_influence(9, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(g.influence(0, 9), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace tunekit::graph

@@ -1,0 +1,124 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+namespace tunekit::json {
+namespace {
+
+TEST(Json, ParsePrimitives) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_TRUE(parse("true").as_bool());
+  EXPECT_FALSE(parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse("3.25").as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(parse("-17").as_number(), -17.0);
+  EXPECT_DOUBLE_EQ(parse("1e3").as_number(), 1000.0);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParseNestedStructure) {
+  const auto v = parse(R"({"a": [1, 2, {"b": true}], "c": "x"})");
+  ASSERT_TRUE(v.is_object());
+  const auto& arr = v.at("a").as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_DOUBLE_EQ(arr[0].as_number(), 1.0);
+  EXPECT_TRUE(arr[2].at("b").as_bool());
+  EXPECT_EQ(v.at("c").as_string(), "x");
+}
+
+TEST(Json, ParseWhitespaceTolerant) {
+  const auto v = parse("  {\n\t\"k\" :\r [ ] }  ");
+  EXPECT_TRUE(v.at("k").as_array().empty());
+}
+
+TEST(Json, ParseStringEscapes) {
+  EXPECT_EQ(parse(R"("a\nb\t\"q\"\\")").as_string(), "a\nb\t\"q\"\\");
+  EXPECT_EQ(parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(parse(R"("é")").as_string(), "\xc3\xa9");  // é in UTF-8
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(parse(""), JsonError);
+  EXPECT_THROW(parse("{"), JsonError);
+  EXPECT_THROW(parse("[1,]"), JsonError);
+  EXPECT_THROW(parse("tru"), JsonError);
+  EXPECT_THROW(parse("{\"a\":1} extra"), JsonError);
+  EXPECT_THROW(parse("{\"a\" 1}"), JsonError);
+  EXPECT_THROW(parse("\"unterminated"), JsonError);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const auto v = parse("[1]");
+  EXPECT_THROW(v.as_object(), JsonError);
+  EXPECT_THROW(v.as_string(), JsonError);
+  EXPECT_THROW(v.at("k"), JsonError);
+  EXPECT_THROW(parse("{}").at("missing"), JsonError);
+}
+
+TEST(Json, DumpRoundTrip) {
+  const std::string doc = R"({"arr":[1,2.5,null,true,"s"],"nested":{"x":-3}})";
+  const auto v = parse(doc);
+  const auto round = parse(v.dump());
+  EXPECT_DOUBLE_EQ(round.at("arr").as_array()[1].as_number(), 2.5);
+  EXPECT_TRUE(round.at("arr").as_array()[2].is_null());
+  EXPECT_DOUBLE_EQ(round.at("nested").at("x").as_number(), -3.0);
+}
+
+TEST(Json, DumpCompactAndPretty) {
+  Object obj;
+  obj["a"] = Value(Array{Value(1), Value(2)});
+  const Value v(obj);
+  EXPECT_EQ(v.dump(), "{\"a\":[1,2]}");
+  const std::string pretty = v.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_DOUBLE_EQ(parse(pretty).at("a").as_array()[1].as_number(), 2.0);
+}
+
+TEST(Json, IntegersSerializeWithoutDecimals) {
+  EXPECT_EQ(Value(42.0).dump(), "42");
+  EXPECT_EQ(Value(-7).dump(), "-7");
+  EXPECT_EQ(Value(0.5).dump(), "0.5");
+}
+
+TEST(Json, NonFiniteSerializesAsNull) {
+  EXPECT_EQ(Value(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Value(std::nan("")).dump(), "null");
+}
+
+TEST(Json, PreservesPrecision) {
+  const double x = 0.1234567890123456;
+  EXPECT_DOUBLE_EQ(parse(Value(x).dump()).as_number(), x);
+}
+
+TEST(Json, NumberOrFallback) {
+  const auto v = parse(R"({"present": 2})");
+  EXPECT_DOUBLE_EQ(v.number_or("present", 9.0), 2.0);
+  EXPECT_DOUBLE_EQ(v.number_or("absent", 9.0), 9.0);
+}
+
+TEST(Json, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tunekit_json_test.json").string();
+  Object obj;
+  obj["k"] = Value("v");
+  save(path, Value(obj));
+  const auto loaded = load(path);
+  EXPECT_EQ(loaded.at("k").as_string(), "v");
+  std::remove(path.c_str());
+}
+
+TEST(Json, LoadMissingFileThrows) {
+  EXPECT_THROW(load("/nonexistent/definitely/missing.json"), JsonError);
+}
+
+TEST(Json, AsIntRounds) {
+  EXPECT_EQ(parse("3").as_int(), 3);
+  EXPECT_EQ(parse("2.9999999").as_int(), 3);
+  EXPECT_THROW(parse("\"x\"").as_int(), JsonError);
+}
+
+}  // namespace
+}  // namespace tunekit::json

@@ -1,0 +1,129 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tunekit::linalg {
+namespace {
+
+TEST(Matrix, ConstructionAndFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+  }
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, RowAndColExtraction) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.row(1), (std::vector<double>{4, 5, 6}));
+  EXPECT_EQ(m.col(2), (std::vector<double>{3, 6}));
+  EXPECT_THROW(m.row(5), std::out_of_range);
+  EXPECT_THROW(m.col(5), std::out_of_range);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(t(2, 0), 3.0);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_DOUBLE_EQ(m.transposed().transposed().max_abs_diff(m), 0.0);
+}
+
+TEST(Matrix, AddSubScale) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{4, 3}, {2, 1}};
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(sum(1, 1), 5.0);
+  const Matrix diff = a - b;
+  EXPECT_DOUBLE_EQ(diff(0, 0), -3.0);
+  const Matrix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+  const Matrix scaled2 = 0.5 * a;
+  EXPECT_DOUBLE_EQ(scaled2(0, 1), 1.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2), b(2, 3);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+  EXPECT_THROW(a.max_abs_diff(b), std::invalid_argument);
+}
+
+TEST(Matrix, Product) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  const Matrix p = a * b;
+  EXPECT_DOUBLE_EQ(p(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(p(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(p(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(p(1, 1), 50.0);
+}
+
+TEST(Matrix, ProductShapes) {
+  Matrix a(2, 3, 1.0), b(3, 4, 1.0);
+  const Matrix p = a * b;
+  EXPECT_EQ(p.rows(), 2u);
+  EXPECT_EQ(p.cols(), 4u);
+  EXPECT_DOUBLE_EQ(p(0, 0), 3.0);
+  Matrix bad(2, 2);
+  EXPECT_THROW(a * bad, std::invalid_argument);
+}
+
+TEST(Matrix, IdentityIsNeutral) {
+  Matrix a{{1, 2}, {3, 4}};
+  EXPECT_DOUBLE_EQ((a * Matrix::identity(2)).max_abs_diff(a), 0.0);
+  EXPECT_DOUBLE_EQ((Matrix::identity(2) * a).max_abs_diff(a), 0.0);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  Matrix a{{1, 2}, {3, 4}};
+  const auto v = a.mul({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_DOUBLE_EQ(v[1], 7.0);
+  EXPECT_THROW(a.mul({1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{1, 2}, {3, 4.5}};
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 0.5);
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(a), 0.0);
+}
+
+}  // namespace
+}  // namespace tunekit::linalg

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+#include "minislater/minislater_app.hpp"
+
+namespace tunekit::minislater {
+namespace {
+
+TEST(Fft1d, MatchesAnalyticDft) {
+  // Compare against a direct O(n^2) DFT on random data.
+  const std::size_t n = 16;
+  tunekit::Rng rng(1);
+  std::vector<Complex> data(n), reference(n);
+  for (auto& c : data) c = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc(0, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = -2.0 * std::numbers::pi * static_cast<double>(k * j) /
+                           static_cast<double>(n);
+      acc += data[j] * Complex(std::cos(angle), std::sin(angle));
+    }
+    reference[k] = acc;
+  }
+  fft1d(data.data(), n, -1);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(data[k].real(), reference[k].real(), 1e-9);
+    EXPECT_NEAR(data[k].imag(), reference[k].imag(), 1e-9);
+  }
+}
+
+TEST(Fft1d, RoundTripRecoversInput) {
+  const std::size_t n = 64;
+  tunekit::Rng rng(2);
+  std::vector<Complex> data(n), original;
+  for (auto& c : data) c = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  original = data;
+  fft1d(data.data(), n, -1);
+  fft1d(data.data(), n, +1);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(data[i].real() / static_cast<double>(n), original[i].real(), 1e-9);
+    EXPECT_NEAR(data[i].imag() / static_cast<double>(n), original[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft1d, ParsevalHolds) {
+  const std::size_t n = 32;
+  tunekit::Rng rng(3);
+  std::vector<Complex> data(n);
+  double time_energy = 0.0;
+  for (auto& c : data) {
+    c = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    time_energy += std::norm(c);
+  }
+  fft1d(data.data(), n, -1);
+  double freq_energy = 0.0;
+  for (const auto& c : data) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy, time_energy * static_cast<double>(n), 1e-8);
+}
+
+TEST(Fft1d, ValidatesInput) {
+  std::vector<Complex> data(12);
+  EXPECT_THROW(fft1d(data.data(), 12, -1), std::invalid_argument);
+  EXPECT_THROW(fft1d(data.data(), 8, 0), std::invalid_argument);
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+}
+
+TEST(TransposeXy, IsInvolutionAndCorrect) {
+  Grid3d grid(8);
+  tunekit::Rng rng(4);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    grid.data()[i] = Complex(rng.uniform(), rng.uniform());
+  }
+  Grid3d original = grid;
+  transpose_xy(grid, 4);
+  // Element check.
+  EXPECT_EQ(grid.at(1, 2, 3), original.at(2, 1, 3));
+  EXPECT_EQ(grid.at(7, 0, 5), original.at(0, 7, 5));
+  transpose_xy(grid, 3);  // different block size must still invert
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(grid.data()[i], original.data()[i]);
+  }
+}
+
+TEST(Fft3d, RoundTripAnyTuning) {
+  // The tuning knobs change the access pattern, never the result.
+  Grid3d grid(8);
+  tunekit::Rng rng(5);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    grid.data()[i] = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  }
+  const Grid3d original = grid;
+  const double norm = static_cast<double>(grid.size());
+  for (const Fft3dTuning tuning : {Fft3dTuning{4, 1}, Fft3dTuning{16, 8},
+                                   Fft3dTuning{64, 16}}) {
+    Grid3d work = original;
+    fft3d(work, -1, tuning);
+    fft3d(work, +1, tuning);
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      max_err = std::max(max_err,
+                         std::abs(work.data()[i] / norm - original.data()[i]));
+    }
+    EXPECT_LT(max_err, 1e-9);
+  }
+}
+
+TEST(Fft3d, TuningInvariantResult) {
+  Grid3d a(8), b(8);
+  tunekit::Rng rng(6);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Complex v(rng.uniform(), rng.uniform());
+    a.data()[i] = v;
+    b.data()[i] = v;
+  }
+  fft3d(a, -1, {4, 1});
+  fft3d(b, -1, {32, 16});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(std::abs(a.data()[i] - b.data()[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(Kernels, PackUnpackRoundTrip) {
+  const std::size_t count = 100, stride = 2;
+  tunekit::Rng rng(7);
+  std::vector<Complex> src(count * stride), packed(count), back(count * stride);
+  for (auto& c : src) c = Complex(rng.uniform(), rng.uniform());
+  pack_strided(src.data(), packed.data(), count, stride, 16);
+  unpack_strided(packed.data(), back.data(), count, stride, 7);
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(back[i * stride], src[i * stride]);
+  }
+  EXPECT_THROW(pack_strided(src.data(), packed.data(), count, stride, 0),
+               std::invalid_argument);
+}
+
+TEST(Kernels, UnrollVariantsAgree) {
+  const std::size_t count = 101;  // odd: exercises the tail loop
+  tunekit::Rng rng(8);
+  std::vector<Complex> base(count), other(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    base[i] = Complex(rng.uniform(), rng.uniform());
+    other[i] = Complex(rng.uniform(), rng.uniform());
+  }
+  std::vector<Complex> ref = base;
+  pairwise_multiply(ref.data(), other.data(), count, 1);
+  for (int u : {2, 4, 8}) {
+    std::vector<Complex> v = base;
+    pairwise_multiply(v.data(), other.data(), count, u);
+    for (std::size_t i = 0; i < count; ++i) EXPECT_EQ(v[i], ref[i]);
+  }
+  EXPECT_THROW(pairwise_multiply(base.data(), other.data(), count, 3),
+               std::invalid_argument);
+
+  std::vector<Complex> s_ref = base;
+  scale(s_ref.data(), count, 0.5, 1);
+  for (int u : {2, 4, 8}) {
+    std::vector<Complex> v = base;
+    scale(v.data(), count, 0.5, u);
+    for (std::size_t i = 0; i < count; ++i) EXPECT_EQ(v[i], s_ref[i]);
+  }
+}
+
+class MiniPipelineFixture : public ::testing::Test {
+ protected:
+  MiniPipelineFixture() : pipeline_(16, 2, /*reps=*/1) {}
+  MiniSlaterPipeline pipeline_;
+};
+
+TEST_F(MiniPipelineFixture, RunsAndTimesAllRegions) {
+  const auto t = pipeline_.run(PipelineTuning{});
+  EXPECT_GT(t.group1, 0.0);
+  EXPECT_GT(t.group2, 0.0);
+  EXPECT_GT(t.group3, 0.0);
+  EXPECT_GE(t.slater, t.group1 + t.group2 + t.group3 - 1e-6);
+  EXPECT_GT(t.total, t.slater);
+}
+
+TEST_F(MiniPipelineFixture, TuningNeverChangesTheNumbers) {
+  // The checksum of the accumulated result is tuning-invariant: tuning may
+  // only change performance, never correctness.
+  const double reference = pipeline_.run(PipelineTuning{}).checksum;
+  PipelineTuning fancy;
+  fancy.pack_tile = 4096;
+  fancy.transpose_block = 64;
+  fancy.z_tile = 16;
+  fancy.pair_unroll = 8;
+  fancy.scale_unroll = 4;
+  fancy.batch = 2;
+  EXPECT_NEAR(pipeline_.run(fancy).checksum, reference, 1e-9 * std::abs(reference));
+}
+
+TEST_F(MiniPipelineFixture, RejectsInvalidTuning) {
+  PipelineTuning bad;
+  bad.pair_unroll = 3;
+  EXPECT_FALSE(pipeline_.valid(bad));
+  EXPECT_THROW(pipeline_.run(bad), std::invalid_argument);
+  bad = PipelineTuning{};
+  bad.pack_tile = 0;
+  EXPECT_FALSE(pipeline_.valid(bad));
+}
+
+TEST(MiniSlaterApp, SpaceAndOwnershipStructure) {
+  MiniSlaterApp app(16, 2, 1);
+  EXPECT_EQ(app.space().size(), 6u);
+  const auto routines = app.routines();
+  ASSERT_EQ(routines.size(), 3u);
+  // pack_tile and the FFT knobs are shared between Groups 1 and 3.
+  for (std::size_t p : {MiniSlaterApp::kPackTile, MiniSlaterApp::kTransposeBlock,
+                        MiniSlaterApp::kZTile}) {
+    EXPECT_NE(std::find(routines[0].params.begin(), routines[0].params.end(), p),
+              routines[0].params.end());
+    EXPECT_NE(std::find(routines[2].params.begin(), routines[2].params.end(), p),
+              routines[2].params.end());
+  }
+  EXPECT_EQ(routines[1].params, (std::vector<std::size_t>{MiniSlaterApp::kPairUnroll}));
+  EXPECT_FALSE(app.thread_safe());  // real timing
+}
+
+TEST(MiniSlaterApp, EvaluatesMeasuredRegions) {
+  MiniSlaterApp app(16, 2, 1);
+  const auto t = app.evaluate_regions(app.space().defaults());
+  for (const char* region : {"Group1", "Group2", "Group3", "Slater"}) {
+    ASSERT_TRUE(t.regions.count(region));
+    EXPECT_GT(t.regions.at(region), 0.0);
+  }
+  EXPECT_GT(t.total, 0.0);
+}
+
+TEST(MiniSlaterApp, DecodeMapsKnobs) {
+  MiniSlaterApp app(16, 2, 1);
+  auto config = app.space().defaults();
+  config[MiniSlaterApp::kPairUnroll] = 8;
+  config[MiniSlaterApp::kBatch] = 4;
+  const auto tuning = app.decode(config);
+  EXPECT_EQ(tuning.pair_unroll, 8);
+  EXPECT_EQ(tuning.batch, 4);
+  EXPECT_THROW(app.decode({1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tunekit::minislater

@@ -1,0 +1,110 @@
+#include "bo/nelder_mead.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tunekit::bo {
+namespace {
+
+TEST(NelderMead, MinimizesQuadraticBowl) {
+  const auto f = [](const std::vector<double>& x) {
+    return (x[0] - 2.0) * (x[0] - 2.0) + (x[1] + 1.0) * (x[1] + 1.0);
+  };
+  NelderMeadOptions opt;
+  opt.max_iters = 500;
+  const auto res = nelder_mead(f, {0.0, 0.0}, opt);
+  EXPECT_NEAR(res.x[0], 2.0, 1e-3);
+  EXPECT_NEAR(res.x[1], -1.0, 1e-3);
+  EXPECT_LT(res.value, 1e-5);
+}
+
+TEST(NelderMead, MinimizesRosenbrock) {
+  const auto f = [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  NelderMeadOptions opt;
+  opt.max_iters = 3000;
+  opt.initial_step = 0.5;
+  opt.f_tol = 1e-14;
+  const auto res = nelder_mead(f, {-1.0, 1.0}, opt);
+  EXPECT_NEAR(res.x[0], 1.0, 0.05);
+  EXPECT_NEAR(res.x[1], 1.0, 0.1);
+}
+
+TEST(NelderMead, OneDimensional) {
+  const auto f = [](const std::vector<double>& x) { return std::cosh(x[0] - 0.3); };
+  const auto res = nelder_mead(f, {5.0});
+  EXPECT_NEAR(res.x[0], 0.3, 1e-3);
+}
+
+TEST(NelderMead, RespectsBoxBounds) {
+  // Unconstrained optimum at (2, 2); box caps at 1.
+  const auto f = [](const std::vector<double>& x) {
+    return (x[0] - 2.0) * (x[0] - 2.0) + (x[1] - 2.0) * (x[1] - 2.0);
+  };
+  NelderMeadOptions opt;
+  opt.max_iters = 500;
+  opt.lower = {0.0, 0.0};
+  opt.upper = {1.0, 1.0};
+  const auto res = nelder_mead(f, {0.5, 0.5}, opt);
+  EXPECT_LE(res.x[0], 1.0);
+  EXPECT_LE(res.x[1], 1.0);
+  EXPECT_NEAR(res.x[0], 1.0, 1e-2);
+  EXPECT_NEAR(res.x[1], 1.0, 1e-2);
+}
+
+TEST(NelderMead, StartAtBoundStillMoves) {
+  // Start pinned at the upper corner; initial simplex must step inward.
+  const auto f = [](const std::vector<double>& x) { return x[0] * x[0] + x[1] * x[1]; };
+  NelderMeadOptions opt;
+  opt.lower = {-1.0, -1.0};
+  opt.upper = {1.0, 1.0};
+  opt.max_iters = 300;
+  const auto res = nelder_mead(f, {1.0, 1.0}, opt);
+  EXPECT_LT(res.value, 1e-3);
+}
+
+TEST(NelderMead, ReportsEvaluationCount) {
+  int count = 0;
+  const auto f = [&count](const std::vector<double>& x) {
+    ++count;
+    return x[0] * x[0];
+  };
+  const auto res = nelder_mead(f, {3.0});
+  EXPECT_EQ(static_cast<int>(res.evaluations), count);
+  EXPECT_GT(res.iterations, 0u);
+}
+
+TEST(NelderMead, ConvergesOnFlatFunctionByShrinking) {
+  // Equal values over a non-degenerate simplex must not terminate early —
+  // the simplex shrinks to the x_tol diameter first (~20 halvings of the
+  // 0.1 initial step), well short of max_iters.
+  const auto f = [](const std::vector<double>&) { return 1.0; };
+  NelderMeadOptions opt;
+  opt.max_iters = 1000;
+  const auto res = nelder_mead(f, {0.0, 0.0}, opt);
+  EXPECT_LT(res.iterations, 40u);
+  EXPECT_DOUBLE_EQ(res.value, 1.0);
+}
+
+TEST(NelderMead, SymmetricObjectiveDoesNotStallOnEqualValues) {
+  // cosh(x - 0.3) takes equal values at 0.3 +- w; the diameter criterion
+  // forces a shrink and the search reaches the true minimum.
+  const auto f = [](const std::vector<double>& x) { return std::cosh(x[0] - 0.3); };
+  const auto res = nelder_mead(f, {5.0});
+  EXPECT_NEAR(res.x[0], 0.3, 1e-3);
+}
+
+TEST(NelderMead, ValidatesInput) {
+  const auto f = [](const std::vector<double>& x) { return x[0]; };
+  EXPECT_THROW(nelder_mead(f, {}), std::invalid_argument);
+  NelderMeadOptions opt;
+  opt.lower = {0.0, 0.0};  // arity mismatch with 1-d start
+  EXPECT_THROW(nelder_mead(f, {1.0}, opt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tunekit::bo

@@ -1,0 +1,111 @@
+#include "search/param.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tunekit::search {
+namespace {
+
+TEST(ParamSpec, RealBasics) {
+  const auto p = ParamSpec::real("x", -2.0, 3.0, 0.5);
+  EXPECT_EQ(p.kind(), ParamKind::Real);
+  EXPECT_EQ(p.cardinality(), 0u);
+  EXPECT_TRUE(p.is_valid_value(0.0));
+  EXPECT_TRUE(p.is_valid_value(-2.0));
+  EXPECT_FALSE(p.is_valid_value(3.1));
+  EXPECT_DOUBLE_EQ(p.snap(100.0), 3.0);
+  EXPECT_DOUBLE_EQ(p.snap(-100.0), -2.0);
+}
+
+TEST(ParamSpec, RealValidation) {
+  EXPECT_THROW(ParamSpec::real("x", 1.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ParamSpec::real("x", 0.0, 1.0, 2.0), std::invalid_argument);
+}
+
+TEST(ParamSpec, RealUnitRoundTrip) {
+  const auto p = ParamSpec::real("x", -50.0, 50.0, 0.0);
+  for (double v : {-50.0, -12.3, 0.0, 27.5, 50.0}) {
+    EXPECT_NEAR(p.from_unit(p.to_unit(v)), v, 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(p.from_unit(0.0), -50.0);
+  EXPECT_DOUBLE_EQ(p.from_unit(1.0), 50.0);
+}
+
+TEST(ParamSpec, IntegerBasics) {
+  const auto p = ParamSpec::integer("n", 1, 32, 4);
+  EXPECT_EQ(p.cardinality(), 32u);
+  EXPECT_TRUE(p.is_valid_value(7));
+  EXPECT_FALSE(p.is_valid_value(7.5));
+  EXPECT_FALSE(p.is_valid_value(33));
+  EXPECT_DOUBLE_EQ(p.snap(7.4), 7.0);
+  EXPECT_DOUBLE_EQ(p.snap(100), 32.0);
+}
+
+TEST(ParamSpec, IntegerUnitRoundTrip) {
+  const auto p = ParamSpec::integer("n", 1, 32, 4);
+  for (double v = 1; v <= 32; ++v) {
+    EXPECT_DOUBLE_EQ(p.from_unit(p.to_unit(v)), v);
+  }
+  // from_unit covers the full range uniformly.
+  EXPECT_DOUBLE_EQ(p.from_unit(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.from_unit(0.999999), 32.0);
+}
+
+TEST(ParamSpec, OrdinalBasics) {
+  const auto p = ParamSpec::ordinal("tb", {32, 64, 128, 256}, 64);
+  EXPECT_EQ(p.cardinality(), 4u);
+  EXPECT_TRUE(p.is_valid_value(128));
+  EXPECT_FALSE(p.is_valid_value(100));
+  EXPECT_DOUBLE_EQ(p.snap(100), 128.0);  // nearest level
+  EXPECT_DOUBLE_EQ(p.snap(90), 64.0);
+  EXPECT_DOUBLE_EQ(p.snap(1e9), 256.0);
+}
+
+TEST(ParamSpec, OrdinalValidation) {
+  EXPECT_THROW(ParamSpec::ordinal("x", {}, 0), std::invalid_argument);
+  EXPECT_THROW(ParamSpec::ordinal("x", {1, 1, 2}, 1), std::invalid_argument);
+  EXPECT_THROW(ParamSpec::ordinal("x", {2, 1}, 1), std::invalid_argument);
+  EXPECT_THROW(ParamSpec::ordinal("x", {1, 2}, 3), std::invalid_argument);
+}
+
+TEST(ParamSpec, OrdinalUnitRoundTrip) {
+  const auto p = ParamSpec::ordinal("tb", {1, 2, 4, 8, 16}, 4);
+  for (double v : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    EXPECT_DOUBLE_EQ(p.from_unit(p.to_unit(v)), v);
+  }
+  EXPECT_DOUBLE_EQ(p.from_unit(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.from_unit(0.99), 16.0);
+}
+
+TEST(ParamSpec, CategoricalBasics) {
+  const auto p = ParamSpec::categorical("algo", 3, 1);
+  EXPECT_EQ(p.cardinality(), 3u);
+  EXPECT_DOUBLE_EQ(p.default_value(), 1.0);
+  EXPECT_TRUE(p.is_valid_value(0));
+  EXPECT_TRUE(p.is_valid_value(2));
+  EXPECT_FALSE(p.is_valid_value(3));
+  EXPECT_THROW(ParamSpec::categorical("x", 0, 0), std::invalid_argument);
+  EXPECT_THROW(ParamSpec::categorical("x", 2, 2), std::invalid_argument);
+}
+
+TEST(ParamSpec, FromUnitClampsInput) {
+  const auto p = ParamSpec::real("x", 0.0, 1.0, 0.5);
+  EXPECT_DOUBLE_EQ(p.from_unit(-0.5), 0.0);
+  EXPECT_DOUBLE_EQ(p.from_unit(1.5), 1.0);
+}
+
+TEST(Pow2Levels, GeneratesLadder) {
+  EXPECT_EQ(pow2_levels(32, 1024).size(), 6u);
+  EXPECT_EQ(pow2_levels(1, 8), (std::vector<double>{1, 2, 4, 8}));
+  EXPECT_THROW(pow2_levels(0, 8), std::invalid_argument);
+  EXPECT_THROW(pow2_levels(16, 8), std::invalid_argument);
+}
+
+TEST(ParamKind, Names) {
+  EXPECT_STREQ(to_string(ParamKind::Real), "real");
+  EXPECT_STREQ(to_string(ParamKind::Integer), "integer");
+  EXPECT_STREQ(to_string(ParamKind::Ordinal), "ordinal");
+  EXPECT_STREQ(to_string(ParamKind::Categorical), "categorical");
+}
+
+}  // namespace
+}  // namespace tunekit::search

@@ -1,0 +1,86 @@
+#include "graph/partition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tunekit::graph {
+namespace {
+
+TEST(UnionFind, InitiallyDisjoint) {
+  UnionFind uf(4);
+  EXPECT_EQ(uf.n_sets(), 4u);
+  EXPECT_FALSE(uf.connected(0, 1));
+  EXPECT_TRUE(uf.connected(2, 2));
+}
+
+TEST(UnionFind, UniteAndFind) {
+  UnionFind uf(5);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(1, 2));
+  EXPECT_FALSE(uf.unite(0, 2));  // already connected
+  EXPECT_TRUE(uf.connected(0, 2));
+  EXPECT_FALSE(uf.connected(0, 3));
+  EXPECT_EQ(uf.n_sets(), 3u);
+}
+
+TEST(UnionFind, GroupsSortedAndComplete) {
+  UnionFind uf(6);
+  uf.unite(4, 2);
+  uf.unite(5, 0);
+  const auto groups = uf.groups();
+  ASSERT_EQ(groups.size(), 4u);
+  EXPECT_EQ(groups[0], (std::vector<std::size_t>{0, 5}));
+  EXPECT_EQ(groups[1], (std::vector<std::size_t>{1}));
+  EXPECT_EQ(groups[2], (std::vector<std::size_t>{2, 4}));
+  EXPECT_EQ(groups[3], (std::vector<std::size_t>{3}));
+}
+
+TEST(UnionFind, OutOfRangeThrows) {
+  UnionFind uf(2);
+  EXPECT_THROW(uf.find(2), std::out_of_range);
+}
+
+TEST(UnionFind, LongChainCollapses) {
+  UnionFind uf(100);
+  for (std::size_t i = 0; i + 1 < 100; ++i) uf.unite(i, i + 1);
+  EXPECT_EQ(uf.n_sets(), 1u);
+  EXPECT_TRUE(uf.connected(0, 99));
+}
+
+TEST(MergeRoutines, NoEdgesMeansSingletons) {
+  InfluenceGraph g({"A", "B", "C"}, {"p"});
+  g.add_owner(0, 0);
+  const auto groups = merge_routines(g);
+  EXPECT_EQ(groups.size(), 3u);
+}
+
+TEST(MergeRoutines, CrossEdgeMerges) {
+  InfluenceGraph g({"A", "B", "C"}, {"p"});
+  g.add_owner(0, 1);
+  g.set_influence(0, 2, 0.5);  // B's param influences C
+  const auto groups = merge_routines(g);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], (std::vector<std::size_t>{0}));
+  EXPECT_EQ(groups[1], (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(MergeRoutines, TransitiveMerge) {
+  InfluenceGraph g({"A", "B", "C"}, {"pa", "pb"});
+  g.add_owner(0, 0);
+  g.add_owner(1, 1);
+  g.set_influence(0, 1, 0.3);  // A -> B
+  g.set_influence(1, 2, 0.3);  // B -> C
+  const auto groups = merge_routines(g);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0], (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(MergeRoutines, PrunedGraphControlsMerging) {
+  InfluenceGraph g({"A", "B"}, {"p"});
+  g.add_owner(0, 0);
+  g.set_influence(0, 1, 0.15);
+  EXPECT_EQ(merge_routines(g.pruned(0.25)).size(), 2u);
+  EXPECT_EQ(merge_routines(g.pruned(0.10)).size(), 1u);
+}
+
+}  // namespace
+}  // namespace tunekit::graph

@@ -1,0 +1,122 @@
+#include "stats/random_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace tunekit::stats {
+namespace {
+
+struct Dataset {
+  linalg::Matrix x;
+  std::vector<double> y;
+};
+
+/// y = 4 x0 + sin(3 x2) * 0.5, features 1 and 3 are noise.
+Dataset make_dataset(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset d{linalg::Matrix(n, 4), std::vector<double>(n)};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t f = 0; f < 4; ++f) d.x(i, f) = rng.uniform();
+    d.y[i] = 4.0 * d.x(i, 0) + 0.5 * std::sin(3.0 * d.x(i, 2));
+  }
+  return d;
+}
+
+TEST(RandomForest, FitsSignalWithGoodR2) {
+  const auto train = make_dataset(400, 1);
+  const auto test = make_dataset(100, 2);
+  ForestOptions opt;
+  opt.n_trees = 60;
+  RandomForest forest(opt);
+  forest.fit(train.x, train.y);
+  EXPECT_GT(forest.score(test.x, test.y), 0.8);
+}
+
+TEST(RandomForest, ImpurityImportanceRanksInformativeFeatures) {
+  const auto train = make_dataset(400, 3);
+  ForestOptions opt;
+  opt.n_trees = 60;
+  RandomForest forest(opt);
+  forest.fit(train.x, train.y);
+  const auto imp = forest.impurity_importance();
+  ASSERT_EQ(imp.size(), 4u);
+  // Feature 0 dominates; noise features 1 and 3 rank lowest.
+  EXPECT_GT(imp[0], imp[1]);
+  EXPECT_GT(imp[0], imp[3]);
+  EXPECT_GT(imp[2], imp[1]);
+  // Normalized to 1.
+  EXPECT_NEAR(imp[0] + imp[1] + imp[2] + imp[3], 1.0, 1e-9);
+}
+
+TEST(RandomForest, PermutationImportanceAgreesOnTopFeature) {
+  const auto train = make_dataset(250, 4);
+  ForestOptions opt;
+  opt.n_trees = 40;
+  RandomForest forest(opt);
+  forest.fit(train.x, train.y);
+  const auto imp = forest.permutation_importance(train.x, train.y, 3);
+  ASSERT_EQ(imp.size(), 4u);
+  EXPECT_GT(imp[0], imp[1]);
+  EXPECT_GT(imp[0], imp[3]);
+}
+
+TEST(RandomForest, DeterministicPerSeed) {
+  const auto train = make_dataset(100, 5);
+  ForestOptions opt;
+  opt.n_trees = 10;
+  opt.seed = 99;
+  RandomForest f1(opt), f2(opt);
+  f1.fit(train.x, train.y);
+  f2.fit(train.x, train.y);
+  EXPECT_DOUBLE_EQ(f1.predict({0.5, 0.5, 0.5, 0.5}), f2.predict({0.5, 0.5, 0.5, 0.5}));
+}
+
+TEST(RandomForest, AveragingSmoothsPredictions) {
+  const auto train = make_dataset(200, 6);
+  ForestOptions small;
+  small.n_trees = 1;
+  ForestOptions big;
+  big.n_trees = 80;
+  RandomForest f_small(small), f_big(big);
+  f_small.fit(train.x, train.y);
+  f_big.fit(train.x, train.y);
+  const auto test = make_dataset(100, 7);
+  EXPECT_GE(f_big.score(test.x, test.y), f_small.score(test.x, test.y) - 0.05);
+}
+
+TEST(RandomForest, BootstrapFractionControlsTreeData) {
+  const auto train = make_dataset(100, 8);
+  ForestOptions opt;
+  opt.n_trees = 5;
+  opt.bootstrap_fraction = 0.2;
+  RandomForest forest(opt);
+  EXPECT_NO_THROW(forest.fit(train.x, train.y));
+  EXPECT_EQ(forest.n_trees(), 5u);
+}
+
+TEST(RandomForest, InputValidation) {
+  RandomForest forest;
+  EXPECT_THROW(forest.fit(linalg::Matrix(0, 2), {}), std::invalid_argument);
+  EXPECT_THROW(forest.predict({0.0}), std::runtime_error);
+  EXPECT_THROW(forest.impurity_importance(), std::runtime_error);
+  const auto train = make_dataset(30, 9);
+  forest.fit(train.x, train.y);
+  EXPECT_THROW(forest.permutation_importance(linalg::Matrix(1, 4), {1.0}, 2),
+               std::invalid_argument);
+}
+
+TEST(RandomForest, MaxFeaturesOptionRespected) {
+  const auto train = make_dataset(150, 10);
+  ForestOptions opt;
+  opt.n_trees = 20;
+  opt.max_features = 1;  // heavy feature subsampling still learns something
+  RandomForest forest(opt);
+  forest.fit(train.x, train.y);
+  EXPECT_GT(forest.score(train.x, train.y), 0.5);
+}
+
+}  // namespace
+}  // namespace tunekit::stats

@@ -1,0 +1,71 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synth/synth_app.hpp"
+
+namespace tunekit::core {
+namespace {
+
+class ReportFixture : public ::testing::Test {
+ protected:
+  ReportFixture() : app_(synth::SynthCase::Case3) {
+    MethodologyOptions opt;
+    opt.cutoff = 0.25;
+    opt.sensitivity.n_variations = 20;
+    opt.importance_samples = 0;
+    opt.executor.evals_per_param = 2;
+    opt.executor.min_evals = 6;
+    opt.executor.enumerate_threshold = 0.0;
+    Methodology m(opt);
+    result_ = std::make_unique<MethodologyResult>(m.run(app_));
+  }
+
+  synth::SynthApp app_;
+  std::unique_ptr<MethodologyResult> result_;
+};
+
+TEST_F(ReportFixture, SensitivityTableHasRegionAndEntries) {
+  const std::string t = sensitivity_table(result_->analysis.sensitivity, "Group3", 5);
+  EXPECT_NE(t.find("Region: Group3"), std::string::npos);
+  EXPECT_NE(t.find("Variability"), std::string::npos);
+  EXPECT_NE(t.find('%'), std::string::npos);
+}
+
+TEST_F(ReportFixture, SensitivityTablesSideBySide) {
+  const std::string t =
+      sensitivity_tables(result_->analysis.sensitivity, {"Group1", "Group2"}, 4);
+  EXPECT_NE(t.find("Group1 feature"), std::string::npos);
+  EXPECT_NE(t.find("Group2 feature"), std::string::npos);
+}
+
+TEST_F(ReportFixture, PlanTableListsSearchesAndObjectives) {
+  const std::string t = plan_table(result_->plan, result_->analysis.graph);
+  EXPECT_NE(t.find("Group3+Group4"), std::string::npos);
+  EXPECT_NE(t.find("Objective"), std::string::npos);
+  EXPECT_NE(t.find("Stage"), std::string::npos);
+}
+
+TEST_F(ReportFixture, ExecutionReportShowsFinalConfig) {
+  const std::string t = execution_report(app_, result_->execution);
+  EXPECT_NE(t.find("Final objective"), std::string::npos);
+  EXPECT_NE(t.find("x0="), std::string::npos);
+  EXPECT_NE(t.find("Total search evaluations"), std::string::npos);
+}
+
+TEST_F(ReportFixture, FullReportHasAllSections) {
+  const std::string t = full_report(app_, *result_);
+  for (const char* section : {"Methodology report", "Influence analysis", "Search plan",
+                              "Execution", "Wall time"}) {
+    EXPECT_NE(t.find(section), std::string::npos) << section;
+  }
+  EXPECT_NE(t.find(app_.name()), std::string::npos);
+}
+
+TEST_F(ReportFixture, UnknownRegionThrows) {
+  EXPECT_THROW(sensitivity_table(result_->analysis.sensitivity, "Nope", 3),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace tunekit::core

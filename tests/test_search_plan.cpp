@@ -1,0 +1,225 @@
+#include "graph/search_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace tunekit::graph {
+namespace {
+
+bool contains(const std::vector<std::size_t>& v, std::size_t x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+const PlannedSearch* find_search(const SearchPlan& plan, const std::string& name) {
+  for (const auto& s : plan.searches) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+/// Synthetic-style graph: 4 routines, 2 params each; params of routine 3
+/// influence routine 2 with `coupling`.
+InfluenceGraph synth_graph(double coupling) {
+  InfluenceGraph g({"G1", "G2", "G3", "G4"},
+                   {"a0", "a1", "b0", "b1", "c0", "c1", "d0", "d1"});
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t k = 0; k < 2; ++k) {
+      const std::size_t p = 2 * r + k;
+      g.add_owner(p, r);
+      g.set_influence(p, r, 0.9);
+    }
+  }
+  g.set_influence(6, 2, coupling);  // d0 -> G3
+  g.set_influence(7, 2, coupling);  // d1 -> G3
+  return g;
+}
+
+TEST(BuildPlan, IndependentWhenCouplingBelowCutoff) {
+  PlanOptions opt;
+  opt.cutoff = 0.25;
+  const auto plan = build_plan(synth_graph(0.1), opt);
+  ASSERT_EQ(plan.searches.size(), 4u);
+  for (const auto& s : plan.searches) {
+    EXPECT_EQ(s.params.size(), 2u);
+    EXPECT_EQ(s.kind, SearchStageKind::RoutineGroup);
+    EXPECT_EQ(s.stage, 0u);
+  }
+  EXPECT_TRUE(plan.untuned_params.empty());
+}
+
+TEST(BuildPlan, MergesWhenCouplingAboveCutoff) {
+  PlanOptions opt;
+  opt.cutoff = 0.25;
+  const auto plan = build_plan(synth_graph(0.5), opt);
+  ASSERT_EQ(plan.searches.size(), 3u);
+  const auto* merged = find_search(plan, "G3+G4");
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->params.size(), 4u);
+  EXPECT_EQ(merged->objective_regions, (std::vector<std::string>{"G3", "G4"}));
+}
+
+TEST(BuildPlan, DimCapDropsLeastImportant) {
+  auto g = synth_graph(0.5);
+  PlanOptions opt;
+  opt.cutoff = 0.25;
+  opt.max_dims = 3;
+  // Importance ranks d1 (idx 7) lowest within the merged group.
+  opt.importance = {9, 9, 9, 9, 5, 4, 3, 1};
+  const auto plan = build_plan(g, opt);
+  const auto* merged = find_search(plan, "G3+G4");
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->params.size(), 3u);
+  ASSERT_EQ(merged->dropped_params.size(), 1u);
+  EXPECT_EQ(merged->dropped_params[0], 7u);
+  EXPECT_TRUE(contains(plan.untuned_params, 7u));
+}
+
+TEST(BuildPlan, SharedParamGoesToHighestInfluenceOwner) {
+  // One param owned by both routines; influence higher on B.
+  InfluenceGraph g({"A", "B"}, {"shared", "a_own", "b_own"});
+  g.add_owner(0, 0);
+  g.add_owner(0, 1);
+  g.add_owner(1, 0);
+  g.add_owner(2, 1);
+  g.set_influence(0, 0, 0.1);
+  g.set_influence(0, 1, 0.6);
+  g.set_influence(1, 0, 0.5);
+  g.set_influence(2, 1, 0.5);
+  PlanOptions opt;
+  opt.cutoff = 0.25;
+  const auto plan = build_plan(g, opt);
+  const auto* a = find_search(plan, "A");
+  const auto* b = find_search(plan, "B");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_FALSE(contains(a->params, 0u));
+  EXPECT_TRUE(contains(b->params, 0u));
+}
+
+/// Graph with an outer region and globals of each classification.
+InfluenceGraph global_graph() {
+  InfluenceGraph g({"R1", "R2", "Outer"},
+                   {"r1p", "r2p", "multi", "single", "outer_only", "inert"});
+  g.add_owner(0, 0);
+  g.add_owner(1, 1);
+  g.set_influence(0, 0, 0.8);
+  g.set_influence(1, 1, 0.8);
+  g.set_influence(2, 0, 0.4);  // multi-component global
+  g.set_influence(2, 1, 0.4);
+  g.set_influence(3, 1, 0.5);  // single-component global
+  g.set_influence(4, 2, 0.9);  // outer-only global
+  // param 5 influences nothing above the cutoff
+  g.set_influence(5, 0, 0.01);
+  return g;
+}
+
+TEST(BuildPlan, GlobalsClassified) {
+  PlanOptions opt;
+  opt.cutoff = 0.10;
+  opt.outer_routines = {2};
+  const auto plan = build_plan(global_graph(), opt);
+
+  const auto* shared = find_search(plan, "SharedGlobals");
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(shared->kind, SearchStageKind::SharedGlobal);
+  EXPECT_EQ(shared->stage, 0u);
+  EXPECT_EQ(shared->params, (std::vector<std::size_t>{2}));
+  EXPECT_EQ(shared->objective_regions, (std::vector<std::string>{"Outer"}));
+
+  const auto* structure = find_search(plan, "Structure");
+  ASSERT_NE(structure, nullptr);
+  EXPECT_EQ(structure->kind, SearchStageKind::Structure);
+  EXPECT_EQ(structure->stage, 1u);
+  EXPECT_EQ(structure->params, (std::vector<std::size_t>{4}));
+
+  const auto* r2 = find_search(plan, "R2");
+  ASSERT_NE(r2, nullptr);
+  EXPECT_TRUE(contains(r2->params, 3u));  // single-component global joins R2
+  EXPECT_EQ(r2->stage, 2u);
+
+  EXPECT_TRUE(contains(plan.untuned_params, 5u));
+}
+
+TEST(BuildPlan, OuterRoutineNeverMerges) {
+  // A routine-owned param influencing the outer region must not merge them.
+  InfluenceGraph g({"R1", "Outer"}, {"p"});
+  g.add_owner(0, 0);
+  g.set_influence(0, 0, 0.9);
+  g.set_influence(0, 1, 0.9);  // strongly influences the outer region
+  PlanOptions opt;
+  opt.cutoff = 0.10;
+  opt.outer_routines = {1};
+  const auto plan = build_plan(g, opt);
+  ASSERT_EQ(plan.searches.size(), 1u);
+  EXPECT_EQ(plan.searches[0].name, "R1");
+  EXPECT_EQ(plan.searches[0].routines, (std::vector<std::size_t>{0}));
+}
+
+TEST(BuildPlan, BoundGroupPullsMembersTogether) {
+  auto g = global_graph();
+  PlanOptions opt;
+  opt.cutoff = 0.10;
+  opt.outer_routines = {2};
+  // Bind the outer-only global with the inert param: the inert one must be
+  // pulled into the structure search instead of staying untuned.
+  opt.bound_groups = {{"MPI Grid", {4, 5}}};
+  const auto plan = build_plan(g, opt);
+  const auto* structure = find_search(plan, "MPI Grid");
+  ASSERT_NE(structure, nullptr);
+  EXPECT_TRUE(contains(structure->params, 4u));
+  EXPECT_TRUE(contains(structure->params, 5u));
+  EXPECT_FALSE(contains(plan.untuned_params, 5u));
+}
+
+TEST(BuildPlan, BoundGroupNameAppliesToSharedSearch) {
+  InfluenceGraph g({"R1", "R2", "Outer"}, {"r1p", "r2p", "ga", "gb"});
+  g.add_owner(0, 0);
+  g.add_owner(1, 1);
+  g.set_influence(0, 0, 0.8);
+  g.set_influence(1, 1, 0.8);
+  g.set_influence(2, 0, 0.5);
+  g.set_influence(2, 1, 0.5);
+  g.set_influence(3, 0, 0.5);
+  g.set_influence(3, 1, 0.5);
+  PlanOptions opt;
+  opt.cutoff = 0.10;
+  opt.outer_routines = {2};
+  opt.bound_groups = {{"Iterations", {2, 3}}};
+  const auto plan = build_plan(g, opt);
+  EXPECT_NE(find_search(plan, "Iterations"), nullptr);
+}
+
+TEST(BuildPlan, StagesAndAccessors) {
+  PlanOptions opt;
+  opt.cutoff = 0.10;
+  opt.outer_routines = {2};
+  const auto plan = build_plan(global_graph(), opt);
+  EXPECT_EQ(plan.n_stages(), 3u);
+  EXPECT_EQ(plan.stage_searches(0).size(), 1u);
+  EXPECT_EQ(plan.stage_searches(1).size(), 1u);
+  EXPECT_EQ(plan.stage_searches(2).size(), 2u);
+  EXPECT_TRUE(plan.stage_searches(9).empty());
+}
+
+TEST(BuildPlan, DescribeMentionsSearchesAndUntuned) {
+  PlanOptions opt;
+  opt.cutoff = 0.10;
+  opt.outer_routines = {2};
+  const auto g = global_graph();
+  const auto plan = build_plan(g, opt);
+  const std::string desc = plan.describe(g);
+  EXPECT_NE(desc.find("SharedGlobals"), std::string::npos);
+  EXPECT_NE(desc.find("untuned"), std::string::npos);
+  EXPECT_NE(desc.find("inert"), std::string::npos);
+}
+
+TEST(BuildPlan, ImportanceArityValidated) {
+  PlanOptions opt;
+  opt.cutoff = 0.25;
+  opt.importance = {1.0};  // wrong arity
+  EXPECT_THROW(build_plan(synth_graph(0.5), opt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tunekit::graph

@@ -1,0 +1,122 @@
+#include "search/sobol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace tunekit::search {
+namespace {
+
+TEST(Sobol, FirstDimensionIsVanDerCorput) {
+  SobolSequence seq(1);
+  EXPECT_DOUBLE_EQ(seq.next()[0], 0.0);
+  EXPECT_DOUBLE_EQ(seq.next()[0], 0.5);
+  EXPECT_DOUBLE_EQ(seq.next()[0], 0.75);
+  EXPECT_DOUBLE_EQ(seq.next()[0], 0.25);
+  EXPECT_DOUBLE_EQ(seq.next()[0], 0.375);
+}
+
+TEST(Sobol, PointsInUnitCube) {
+  SobolSequence seq(24);
+  for (int i = 0; i < 500; ++i) {
+    const auto p = seq.next();
+    ASSERT_EQ(p.size(), 24u);
+    for (double x : p) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LT(x, 1.0);
+    }
+  }
+}
+
+TEST(Sobol, DyadicBalanceInEveryDimension) {
+  // A Sobol' sequence of 2^k points puts exactly half of them in each half
+  // of every axis.
+  SobolSequence seq(8);
+  const std::size_t n = 256;
+  std::vector<int> low_count(8, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto p = seq.next();
+    for (std::size_t d = 0; d < 8; ++d) {
+      if (p[d] < 0.5) ++low_count[d];
+    }
+  }
+  for (int c : low_count) EXPECT_EQ(c, 128);
+}
+
+TEST(Sobol, QuadrantBalance2D) {
+  // First two dimensions: 2^k points distribute evenly across quadrants.
+  SobolSequence seq(2);
+  int quadrant[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 64; ++i) {
+    const auto p = seq.next();
+    quadrant[(p[0] >= 0.5 ? 1 : 0) + (p[1] >= 0.5 ? 2 : 0)]++;
+  }
+  for (int q : quadrant) EXPECT_EQ(q, 16);
+}
+
+TEST(Sobol, DistinctPoints) {
+  SobolSequence seq(4);
+  std::set<std::vector<double>> seen;
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(seen.insert(seq.next()).second);
+  }
+}
+
+TEST(Sobol, ScramblingChangesPointsPreservesRange) {
+  SobolSequence plain(3);
+  SobolSequence scrambled(3, 99);
+  plain.skip(8);
+  scrambled.skip(8);
+  bool any_diff = false;
+  for (int i = 0; i < 32; ++i) {
+    const auto a = plain.next();
+    const auto b = scrambled.next();
+    if (a != b) any_diff = true;
+    for (double x : b) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LT(x, 1.0);
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Sobol, ScrambleSeedDeterministic) {
+  SobolSequence a(3, 7), b(3, 7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Sobol, DimensionLimits) {
+  EXPECT_THROW(SobolSequence(0), std::invalid_argument);
+  EXPECT_THROW(SobolSequence(25), std::invalid_argument);
+  EXPECT_NO_THROW(SobolSequence(24));
+}
+
+TEST(Sobol, SampleRespectsConstraints) {
+  SearchSpace space;
+  space.add(ParamSpec::integer("a", 1, 16, 1));
+  space.add(ParamSpec::integer("b", 1, 16, 1));
+  space.add_constraint("prod", [](const Config& c) { return c[0] * c[1] <= 64.0; });
+  const auto configs = SobolSequence::sample(space, 30, 5);
+  EXPECT_EQ(configs.size(), 30u);
+  for (const auto& c : configs) EXPECT_TRUE(space.is_valid(c));
+}
+
+TEST(Sobol, SampleBetterCoverageThanClumping) {
+  // Coarse discrepancy check: 100 Sobol points in 2-d hit at least 14 of a
+  // 4x4 grid's cells.
+  SearchSpace space;
+  space.add(ParamSpec::real("x", 0.0, 1.0, 0.5));
+  space.add(ParamSpec::real("y", 0.0, 1.0, 0.5));
+  const auto configs = SobolSequence::sample(space, 100, 0);
+  std::set<int> cells;
+  for (const auto& c : configs) {
+    const int cx = std::min(3, static_cast<int>(c[0] * 4.0));
+    const int cy = std::min(3, static_cast<int>(c[1] * 4.0));
+    cells.insert(4 * cy + cx);
+  }
+  EXPECT_GE(cells.size(), 14u);
+}
+
+}  // namespace
+}  // namespace tunekit::search

@@ -1,0 +1,146 @@
+#include "search/space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "search/config.hpp"
+
+namespace tunekit::search {
+namespace {
+
+SearchSpace make_space() {
+  SearchSpace s;
+  s.add(ParamSpec::real("x", -1.0, 1.0, 0.0));
+  s.add(ParamSpec::integer("n", 1, 8, 2));
+  s.add(ParamSpec::ordinal("tb", {32, 64, 128}, 64));
+  s.add_constraint("n_times_tb", [](const Config& c) { return c[1] * c[2] <= 512.0; });
+  return s;
+}
+
+TEST(SearchSpace, AddAndLookup) {
+  const auto s = make_space();
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.index_of("n"), 1u);
+  EXPECT_TRUE(s.has("tb"));
+  EXPECT_FALSE(s.has("zzz"));
+  EXPECT_THROW(s.index_of("zzz"), std::out_of_range);
+}
+
+TEST(SearchSpace, DuplicateNameRejected) {
+  SearchSpace s;
+  s.add(ParamSpec::real("x", 0, 1, 0));
+  EXPECT_THROW(s.add(ParamSpec::integer("x", 0, 1, 0)), std::invalid_argument);
+}
+
+TEST(SearchSpace, NullConstraintRejected) {
+  SearchSpace s;
+  EXPECT_THROW(s.add_constraint("bad", nullptr), std::invalid_argument);
+}
+
+TEST(SearchSpace, Defaults) {
+  const auto s = make_space();
+  EXPECT_EQ(s.defaults(), (Config{0.0, 2.0, 64.0}));
+}
+
+TEST(SearchSpace, ValidityChecks) {
+  const auto s = make_space();
+  EXPECT_TRUE(s.is_valid({0.5, 4, 128}));
+  EXPECT_FALSE(s.is_valid({0.5, 8, 128}));   // constraint: 8*128 > 512
+  EXPECT_FALSE(s.is_valid({2.0, 4, 128}));   // x out of range
+  EXPECT_FALSE(s.is_valid({0.5, 4.5, 128})); // n not integer
+  EXPECT_FALSE(s.is_valid({0.5, 4, 100}));   // tb not a level
+  EXPECT_FALSE(s.is_valid({0.5, 4}));        // arity
+}
+
+TEST(SearchSpace, FirstViolationNames) {
+  const auto s = make_space();
+  EXPECT_FALSE(s.first_violation({0.0, 2, 64}).has_value());
+  EXPECT_EQ(s.first_violation({5.0, 2, 64}).value(), "range:x");
+  EXPECT_EQ(s.first_violation({0.0, 8, 128}).value(), "n_times_tb");
+  EXPECT_EQ(s.first_violation({0.0}).value(), "arity");
+}
+
+TEST(SearchSpace, SnapProducesRepresentable) {
+  const auto s = make_space();
+  const Config snapped = s.snap({7.0, 3.3, 90.0});
+  EXPECT_DOUBLE_EQ(snapped[0], 1.0);
+  EXPECT_DOUBLE_EQ(snapped[1], 3.0);
+  EXPECT_DOUBLE_EQ(snapped[2], 64.0);
+}
+
+TEST(SearchSpace, UnitCodecRoundTrip) {
+  const auto s = make_space();
+  const Config c{0.25, 5, 128};
+  const auto u = s.encode_unit(c);
+  ASSERT_EQ(u.size(), 3u);
+  const Config back = s.decode_unit(u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(back[i], c[i], 1e-9);
+}
+
+TEST(SearchSpace, DecodeArityChecked) {
+  const auto s = make_space();
+  EXPECT_THROW(s.decode_unit({0.5}), std::invalid_argument);
+  EXPECT_THROW(s.encode_unit({0.5}), std::invalid_argument);
+}
+
+TEST(SearchSpace, SampleValidRespectsConstraints) {
+  const auto s = make_space();
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(s.is_valid(s.sample_valid(rng)));
+  }
+}
+
+TEST(SearchSpace, SampleValidThrowsOnUnsatisfiable) {
+  SearchSpace s;
+  s.add(ParamSpec::real("x", 0, 1, 0));
+  s.add_constraint("never", [](const Config&) { return false; });
+  Rng rng(1);
+  EXPECT_THROW(s.sample_valid(rng, 100), std::runtime_error);
+}
+
+TEST(SearchSpace, Log10Cardinality) {
+  SearchSpace s;
+  s.add(ParamSpec::integer("a", 1, 10, 1));    // 10
+  s.add(ParamSpec::ordinal("b", {1, 2}, 1));   // 2
+  EXPECT_NEAR(s.log10_cardinality(), std::log10(20.0), 1e-12);
+  s.add(ParamSpec::real("c", 0, 1, 0));        // counted as `real_resolution`
+  EXPECT_NEAR(s.log10_cardinality(100), std::log10(2000.0), 1e-12);
+}
+
+TEST(SearchSpace, Subspace) {
+  const auto s = make_space();
+  const auto sub = s.subspace({2, 0});
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.param(0).name(), "tb");
+  EXPECT_EQ(sub.param(1).name(), "x");
+  EXPECT_THROW(s.subspace({7}), std::out_of_range);
+}
+
+TEST(NamedConfig, RoundTrip) {
+  const auto s = make_space();
+  const Config c{0.5, 3, 128};
+  const auto named = to_named(s, c);
+  EXPECT_DOUBLE_EQ(named.at("x"), 0.5);
+  EXPECT_DOUBLE_EQ(named.at("tb"), 128.0);
+  const Config back = from_named(s, named);
+  EXPECT_EQ(back, c);
+}
+
+TEST(NamedConfig, MissingNamesTakeDefaults) {
+  const auto s = make_space();
+  const Config c = from_named(s, {{"n", 7.0}});
+  EXPECT_EQ(c, (Config{0.0, 7.0, 64.0}));
+}
+
+TEST(NamedConfig, Describe) {
+  const auto s = make_space();
+  const std::string d = describe(s, {0.5, 3, 128});
+  EXPECT_NE(d.find("x=0.5"), std::string::npos);
+  EXPECT_NE(d.find("n=3"), std::string::npos);
+  EXPECT_NE(d.find("tb=128"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tunekit::search

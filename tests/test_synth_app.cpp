@@ -1,0 +1,85 @@
+#include "synth/synth_app.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tunekit::synth {
+namespace {
+
+TEST(SynthApp, SpaceHasTwentyRealParams) {
+  SynthApp app(SynthCase::Case1);
+  EXPECT_EQ(app.space().size(), 20u);
+  for (const auto& p : app.space().params()) {
+    EXPECT_EQ(p.kind(), search::ParamKind::Real);
+    EXPECT_DOUBLE_EQ(p.lo(), -50.0);
+    EXPECT_DOUBLE_EQ(p.hi(), 50.0);
+  }
+  EXPECT_EQ(app.space().index_of("x0"), 0u);
+  EXPECT_EQ(app.space().index_of("x19"), 19u);
+}
+
+TEST(SynthApp, RoutinesOwnFiveVariablesEach) {
+  SynthApp app(SynthCase::Case2);
+  const auto routines = app.routines();
+  ASSERT_EQ(routines.size(), 4u);
+  for (std::size_t g = 0; g < 4; ++g) {
+    EXPECT_EQ(routines[g].name, "Group" + std::to_string(g + 1));
+    ASSERT_EQ(routines[g].params.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i) {
+      EXPECT_EQ(routines[g].params[i], 5 * g + i);
+    }
+  }
+}
+
+TEST(SynthApp, NoOuterRegionsOrBoundGroups) {
+  SynthApp app(SynthCase::Case1);
+  EXPECT_TRUE(app.outer_regions().empty());
+  EXPECT_TRUE(app.bound_groups().empty());
+}
+
+TEST(SynthApp, BaselineValidAndAwayFromZero) {
+  SynthApp app(SynthCase::Case3, 0.01, 555);
+  const auto baseline = app.baseline();
+  ASSERT_EQ(baseline.size(), 20u);
+  EXPECT_TRUE(app.space().is_valid(baseline));
+  for (double v : baseline) {
+    EXPECT_GE(std::abs(v), 2.0);
+    EXPECT_LE(std::abs(v), 15.0);
+  }
+  const auto raw = app.function().raw_abs_groups(baseline);
+  for (double g : raw) EXPECT_GE(g, 0.1);
+}
+
+TEST(SynthApp, BaselineReproduciblePerSeed) {
+  SynthApp a(SynthCase::Case1, 0.01, 42);
+  SynthApp b(SynthCase::Case1, 0.01, 42);
+  EXPECT_EQ(a.baseline(), b.baseline());
+  SynthApp c(SynthCase::Case1, 0.01, 43);
+  EXPECT_NE(a.baseline(), c.baseline());
+}
+
+TEST(SynthApp, RegionsAreRawAbsTotalIsLogSum) {
+  SynthApp app(SynthCase::Case3);
+  const auto config = app.baseline();
+  const auto t = app.evaluate_regions(config);
+  const auto raw = app.function().raw_abs_groups(config);
+  for (std::size_t g = 0; g < 4; ++g) {
+    EXPECT_DOUBLE_EQ(t.regions.at("Group" + std::to_string(g + 1)), raw[g]);
+  }
+  EXPECT_NEAR(t.total, app.function().evaluate(config), 1e-12);
+}
+
+TEST(SynthApp, ThreadSafeAndNamed) {
+  SynthApp app(SynthCase::Case5);
+  EXPECT_TRUE(app.thread_safe());
+  EXPECT_NE(app.name().find("Case 5"), std::string::npos);
+}
+
+TEST(SynthApp, GroupRegionHelper) {
+  EXPECT_EQ(SynthApp::group_region(1), "Group1");
+  EXPECT_EQ(SynthApp::group_region(4), "Group4");
+}
+
+}  // namespace
+}  // namespace tunekit::synth

@@ -1,0 +1,169 @@
+#include "synth/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace tunekit::synth {
+namespace {
+
+std::vector<double> constant_config(double v) {
+  return std::vector<double>(SyntheticFunction::kDim, v);
+}
+
+class AllCases : public ::testing::TestWithParam<SynthCase> {};
+
+TEST_P(AllCases, DeterministicEvaluation) {
+  SyntheticFunction f(GetParam(), 0.01, 7);
+  const auto x = constant_config(3.0);
+  EXPECT_DOUBLE_EQ(f.evaluate(x), f.evaluate(x));
+  const auto g1 = f.evaluate_groups(x);
+  const auto g2 = f.evaluate_groups(x);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(g1.groups[i], g2.groups[i]);
+}
+
+TEST_P(AllCases, TotalIsSumOfGroups) {
+  SyntheticFunction f(GetParam(), 0.01, 3);
+  tunekit::Rng rng(1);
+  std::vector<double> x(SyntheticFunction::kDim);
+  for (auto& v : x) v = rng.uniform(2.0, 15.0);
+  const auto g = f.evaluate_groups(x);
+  EXPECT_NEAR(f.evaluate(x), g.groups[0] + g.groups[1] + g.groups[2] + g.groups[3],
+              1e-12);
+}
+
+TEST_P(AllCases, GroupsAreLogOfRaw) {
+  SyntheticFunction f(GetParam(), 0.0, 0);
+  const auto x = constant_config(4.0);
+  const auto raw = f.raw_abs_groups(x);
+  const auto g = f.evaluate_groups(x);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(g.groups[i], std::log(std::max(raw[i], 1e-12)), 1e-9);
+  }
+}
+
+TEST_P(AllCases, ArityChecked) {
+  SyntheticFunction f(GetParam());
+  EXPECT_THROW(f.evaluate({1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(f.raw_abs_groups({}), std::invalid_argument);
+}
+
+TEST_P(AllCases, Group3VariesWithOwnVariables) {
+  SyntheticFunction f(GetParam(), 0.0, 0);
+  auto x = constant_config(5.0);
+  const double before = f.group3_raw(x);
+  x[12] = 40.0;
+  EXPECT_NE(f.group3_raw(x), before);
+}
+
+TEST_P(AllCases, Group1IgnoresOtherGroupsVariables) {
+  SyntheticFunction f(GetParam(), 0.0, 0);
+  auto x = constant_config(5.0);
+  const double before = f.group1_raw(x);
+  x[10] = 40.0;
+  x[16] = -20.0;
+  EXPECT_DOUBLE_EQ(f.group1_raw(x), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, AllCases,
+                         ::testing::Values(SynthCase::Case1, SynthCase::Case2,
+                                           SynthCase::Case3, SynthCase::Case4,
+                                           SynthCase::Case5),
+                         [](const auto& info) {
+                           return "Case" + std::to_string(static_cast<int>(info.param));
+                         });
+
+TEST(Synthetic, Group1ClosedFormNoNoise) {
+  SyntheticFunction f(SynthCase::Case1, 0.0, 0);
+  // x_i = 1 for all i: differences vanish, A_i = 10*cos(0) = 10.
+  const auto x = constant_config(1.0);
+  EXPECT_NEAR(f.group1_raw(x), 50.0, 1e-9);
+  EXPECT_NEAR(f.group2_raw(x), 50.0, 1e-9);
+}
+
+TEST(Synthetic, Group4ClosedForm) {
+  SyntheticFunction f(SynthCase::Case1, 0.0, 0);
+  const auto x = constant_config(2.0);
+  EXPECT_NEAR(f.group4_raw(x), 5.0 / 2.0, 1e-9);
+}
+
+TEST(Synthetic, Group3Case1ClosedForm) {
+  SyntheticFunction f(SynthCase::Case1, 0.0, 0);
+  // x_u = 3 (sum 15), cos(2pi*3) = 1 per v (sum 5).
+  const auto x = constant_config(3.0);
+  EXPECT_NEAR(f.group3_raw(x), 20.0, 1e-9);
+}
+
+TEST(Synthetic, Group3Case3ClosedForm) {
+  SyntheticFunction f(SynthCase::Case3, 0.0, 0);
+  const auto x = constant_config(2.0);
+  // 5 * 4 + 5 * 4 = 40.
+  EXPECT_NEAR(f.group3_raw(x), 40.0, 1e-9);
+}
+
+TEST(Synthetic, Group3Case4And5Powers) {
+  SyntheticFunction f4(SynthCase::Case4, 0.0, 0);
+  SyntheticFunction f5(SynthCase::Case5, 0.0, 0);
+  const auto x = constant_config(2.0);
+  // Case4 term: (2 * 2^4)^2 = 1024 per pair, 5 pairs.
+  EXPECT_NEAR(f4.group3_raw(x), 5.0 * 1024.0, 1e-6);
+  // Case5 term: (2 * 2^8)^2 = 262144 per pair.
+  EXPECT_NEAR(f5.group3_raw(x), 5.0 * 262144.0, 1e-3);
+}
+
+TEST(Synthetic, Group4InfluenceOnGroup3OrderedByCase) {
+  // Relative impact of perturbing a Group-4 variable on Group 3 must grow
+  // from Case 1 to Case 5 (Table I's influence column).
+  double prev = -1.0;
+  for (auto c : {SynthCase::Case1, SynthCase::Case2, SynthCase::Case3, SynthCase::Case4,
+                 SynthCase::Case5}) {
+    SyntheticFunction f(c, 0.0, 0);
+    auto x = constant_config(5.0);
+    const double base = std::abs(f.group3_raw(x));
+    x[17] = 10.0;  // perturb a Group-4 variable
+    const double moved = std::abs(f.group3_raw(x));
+    const double impact = std::abs(moved - base) / std::max(base, 1e-12);
+    EXPECT_GT(impact, prev * 0.99);  // non-decreasing (cases 4->5 both huge)
+    if (c != SynthCase::Case5) prev = impact;
+  }
+}
+
+TEST(Synthetic, NoiseBoundedByScale) {
+  SyntheticFunction noisy(SynthCase::Case2, 0.05, 1);
+  SyntheticFunction clean(SynthCase::Case2, 0.0, 1);
+  const auto x = constant_config(4.0);
+  // Group 4 raw has 1 noise draw; difference bounded by the scale.
+  EXPECT_LE(std::abs(noisy.group4_raw(x) - clean.group4_raw(x)), 0.05);
+  EXPECT_GE(noisy.group4_raw(x), clean.group4_raw(x));  // noise is U(0, scale)
+}
+
+TEST(Synthetic, NoiseDiffersAcrossConfigs) {
+  SyntheticFunction f(SynthCase::Case1, 0.5, 9);
+  auto x = constant_config(4.0);
+  auto y = constant_config(4.0);
+  y[19] = 4.000001;
+  // Different configs draw different noise (hash-keyed).
+  EXPECT_NE(f.group4_raw(x) - 5.0 / 4.0, f.group4_raw(y) - (4.0 / 4.0 + 1.0 / 4.000001));
+}
+
+TEST(Synthetic, Group4PoleGuard) {
+  SyntheticFunction f(SynthCase::Case1, 0.0, 0);
+  auto x = constant_config(5.0);
+  x[15] = 0.0;  // exact pole
+  EXPECT_TRUE(std::isfinite(f.group4_raw(x)));
+}
+
+TEST(Synthetic, NegativeNoiseScaleRejected) {
+  EXPECT_THROW(SyntheticFunction(SynthCase::Case1, -0.1), std::invalid_argument);
+}
+
+TEST(Synthetic, Labels) {
+  EXPECT_STREQ(to_string(SynthCase::Case3), "Case 3");
+  EXPECT_STREQ(group4_influence_label(SynthCase::Case1), "Very Low");
+  EXPECT_STREQ(group4_influence_label(SynthCase::Case5), "Extremely High");
+}
+
+}  // namespace
+}  // namespace tunekit::synth

@@ -1,0 +1,155 @@
+#include "tddft/tddft_app.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace tunekit::tddft {
+namespace {
+
+TEST(RtTddftApp, SpaceHasTableIvParameters) {
+  RtTddftApp app(PhysicalSystem::case_study_1());
+  const auto& space = app.space();
+  EXPECT_EQ(space.size(), 20u);  // the paper's 20 tuning parameters
+  for (const char* name :
+       {"nstb", "nkpb", "nspb", "u_dscal", "tb_dscal", "tb_sm_dscal", "u_pair",
+        "tb_pair", "tb_sm_pair", "u_zcopy", "tb_zcopy", "tb_sm_zcopy", "u_vec", "tb_vec",
+        "tb_sm_vec", "u_zvec", "tb_zvec", "tb_sm_zvec", "nstreams", "nbatches"}) {
+    EXPECT_TRUE(space.has(name)) << name;
+  }
+  // Per-kernel knob cardinalities from Table IV: 4 x 32 x 32.
+  EXPECT_EQ(space.param(space.index_of("u_pair")).cardinality(), 4u);
+  EXPECT_EQ(space.param(space.index_of("tb_pair")).cardinality(), 32u);
+  EXPECT_EQ(space.param(space.index_of("tb_sm_pair")).cardinality(), 32u);
+  EXPECT_EQ(space.param(space.index_of("nstreams")).cardinality(), 32u);
+  EXPECT_EQ(space.param(space.index_of("nbatches")).cardinality(), 32u);
+}
+
+TEST(RtTddftApp, ResidencyConstraintEnforced) {
+  RtTddftApp app(PhysicalSystem::case_study_1());
+  auto config = app.space().defaults();
+  EXPECT_TRUE(app.space().is_valid(config));
+  config[RtTddftApp::kTbPair] = 1024;
+  config[RtTddftApp::kTbSmPair] = 4;  // 4096 > 2048 threads/SM
+  EXPECT_FALSE(app.space().is_valid(config));
+  config[RtTddftApp::kTbSmPair] = 2;  // exactly 2048: allowed
+  EXPECT_TRUE(app.space().is_valid(config));
+}
+
+TEST(RtTddftApp, MpiConstraintEnforced) {
+  RtTddftApp app(PhysicalSystem::case_study_1(), /*nodes=*/10);
+  auto config = app.space().defaults();
+  config[RtTddftApp::kNstb] = 64;  // 64 ranks > 40 allocated
+  EXPECT_FALSE(app.space().is_valid(config));
+  config[RtTddftApp::kNstb] = 32;
+  EXPECT_TRUE(app.space().is_valid(config));
+  // CS1 has a single k-point: nkpb > 1 invalid.
+  config[RtTddftApp::kNkpb] = 2;
+  EXPECT_FALSE(app.space().is_valid(config));
+}
+
+TEST(RtTddftApp, DecodeMapsAllParameters) {
+  RtTddftApp app(PhysicalSystem::case_study_1());
+  auto config = app.space().defaults();
+  config[RtTddftApp::kNstb] = 8;
+  config[RtTddftApp::kUZcopy] = 4;
+  config[RtTddftApp::kTbVec] = 512;
+  config[RtTddftApp::kNbatches] = 7;
+  const TddftConfig decoded = app.decode(config);
+  EXPECT_EQ(decoded.grid.nstb, 8);
+  EXPECT_EQ(decoded.tunings.at(KernelId::Zcopy).unroll, 4);
+  EXPECT_EQ(decoded.tunings.at(KernelId::Vec2Zvec).tb, 512);
+  EXPECT_EQ(decoded.nbatches, 7);
+  EXPECT_THROW(app.decode({1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(RtTddftApp, RoutinesMatchPaperOwnership) {
+  RtTddftApp app(PhysicalSystem::case_study_1());
+  const auto routines = app.routines();
+  ASSERT_EQ(routines.size(), 3u);
+  EXPECT_EQ(routines[0].name, "Group1");
+  EXPECT_EQ(routines[1].name, "Group2");
+  EXPECT_EQ(routines[2].name, "Group3");
+
+  auto owns = [&](std::size_t r, std::size_t p) {
+    return std::find(routines[r].params.begin(), routines[r].params.end(), p) !=
+           routines[r].params.end();
+  };
+  // cuZcopy is shared between Groups 1 and 3.
+  EXPECT_TRUE(owns(0, RtTddftApp::kTbZcopy));
+  EXPECT_TRUE(owns(2, RtTddftApp::kTbZcopy));
+  // cuPairwise belongs only to Group 2.
+  EXPECT_TRUE(owns(1, RtTddftApp::kTbPair));
+  EXPECT_FALSE(owns(0, RtTddftApp::kTbPair));
+  EXPECT_FALSE(owns(2, RtTddftApp::kTbPair));
+  // VEC in Group 1 only; DSCAL/ZVEC in Group 3 only.
+  EXPECT_TRUE(owns(0, RtTddftApp::kUVec));
+  EXPECT_TRUE(owns(2, RtTddftApp::kUDscal));
+  EXPECT_TRUE(owns(2, RtTddftApp::kUZvec));
+}
+
+TEST(RtTddftApp, OuterRegionAndBoundGroups) {
+  RtTddftApp app(PhysicalSystem::case_study_1());
+  EXPECT_EQ(app.outer_regions(), (std::vector<std::string>{"SlaterDet"}));
+  const auto bound = app.bound_groups();
+  ASSERT_EQ(bound.size(), 2u);
+  EXPECT_EQ(bound[0].name, "MPI Grid");
+  EXPECT_EQ(bound[0].params,
+            (std::vector<std::size_t>{RtTddftApp::kNstb, RtTddftApp::kNkpb,
+                                      RtTddftApp::kNspb}));
+  EXPECT_EQ(bound[1].name, "Iterations");
+}
+
+TEST(RtTddftApp, ExpertVariationsCoverEveryParameter) {
+  RtTddftApp app(PhysicalSystem::case_study_1());
+  const auto vars = app.expert_variations();
+  for (const auto& p : app.space().params()) {
+    ASSERT_TRUE(vars.count(p.name())) << p.name();
+    EXPECT_FALSE(vars.at(p.name()).empty());
+    EXPECT_LE(vars.at(p.name()).size(), 5u);  // paper: five variations
+  }
+}
+
+TEST(RtTddftApp, EvaluateRegionsReportsAllRegions) {
+  RtTddftApp app(PhysicalSystem::case_study_1());
+  const auto t = app.evaluate_regions(app.space().defaults());
+  for (const char* region : {"Group1", "Group2", "Group3", "SlaterDet"}) {
+    ASSERT_TRUE(t.regions.count(region)) << region;
+    EXPECT_GT(t.regions.at(region), 0.0);
+  }
+  EXPECT_GT(t.total, t.regions.at("SlaterDet"));
+}
+
+TEST(RtTddftApp, SamplingProducesValidConfigs) {
+  RtTddftApp app(PhysicalSystem::case_study_2());
+  tunekit::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const auto c = app.space().sample_valid(rng);
+    EXPECT_TRUE(app.space().is_valid(c));
+    const auto decoded = app.decode(c);
+    EXPECT_TRUE(app.pipeline().valid(decoded));
+  }
+}
+
+TEST(RtTddftApp, SearchSpaceSizeMatchesTableIvScale) {
+  RtTddftApp app(PhysicalSystem::case_study_1());
+  // 41,943,040 x N_mpi configurations in the paper. Our per-kernel space is
+  // (4 x 32 x 32)^5 x 32 x 32; check the GPU-parameter block's log10 size.
+  std::vector<std::size_t> gpu_params;
+  for (std::size_t i = 3; i < 20; ++i) gpu_params.push_back(i);
+  const auto gpu_space = app.space().subspace(gpu_params);
+  // (4*32*32)^5 * 32 * 32 ~ 1.2e21.
+  EXPECT_NEAR(gpu_space.log10_cardinality(), 21.1, 0.2);
+}
+
+TEST(RtTddftApp, ThreadSafeAndNamed) {
+  RtTddftApp app(PhysicalSystem::case_study_2());
+  EXPECT_TRUE(app.thread_safe());
+  EXPECT_NE(app.name().find("h-BN"), std::string::npos);
+  EXPECT_THROW(RtTddftApp(PhysicalSystem::case_study_1(), 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tunekit::tddft

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "tddft/gpu_arch.hpp"
+#include "tddft/kernel_models.hpp"
+#include "tddft/mpi_grid.hpp"
+#include "tddft/physical_system.hpp"
+#include "tddft/transfer_model.hpp"
+
+namespace tunekit::tddft {
+namespace {
+
+TEST(GpuArch, A100Characteristics) {
+  const GpuArch a = GpuArch::a100();
+  EXPECT_EQ(a.max_blocks_per_sm, 32);       // paper: up to 32 blocks/SM
+  EXPECT_EQ(a.max_threads_per_block, 1024); // 32 warps per threadblock
+  EXPECT_EQ(a.max_threads_per_sm, 2048);
+}
+
+TEST(GpuArch, KernelConfigValidity) {
+  const GpuArch a = GpuArch::a100();
+  EXPECT_TRUE(a.valid_kernel_config(256, 2));
+  EXPECT_TRUE(a.valid_kernel_config(1024, 2));   // 2048 resident threads
+  EXPECT_FALSE(a.valid_kernel_config(1024, 3));  // exceeds threads/SM
+  EXPECT_FALSE(a.valid_kernel_config(2048, 1));  // exceeds threads/block
+  EXPECT_FALSE(a.valid_kernel_config(100, 2));   // not warp multiple
+  EXPECT_FALSE(a.valid_kernel_config(32, 33));   // too many blocks
+  EXPECT_FALSE(a.valid_kernel_config(0, 1));
+  EXPECT_FALSE(a.valid_kernel_config(32, 0));
+}
+
+TEST(GpuArch, OccupancyFractions) {
+  const GpuArch a = GpuArch::a100();
+  EXPECT_DOUBLE_EQ(a.occupancy(1024, 2), 1.0);
+  EXPECT_DOUBLE_EQ(a.occupancy(256, 2), 0.25);
+  EXPECT_DOUBLE_EQ(a.occupancy(32, 1), 32.0 / 2048.0);
+}
+
+TEST(PhysicalSystem, CaseStudiesMatchPaper) {
+  const auto cs1 = PhysicalSystem::case_study_1();
+  EXPECT_EQ(cs1.nspin, 1);
+  EXPECT_EQ(cs1.nkpoints, 1);
+  EXPECT_EQ(cs1.nbands, 64);
+  EXPECT_EQ(cs1.fft_size, 3'000'000u);
+  EXPECT_EQ(cs1.band_bytes(), 48'000'000u);
+
+  const auto cs2 = PhysicalSystem::case_study_2();
+  EXPECT_EQ(cs2.nkpoints, 36);
+  EXPECT_EQ(cs2.nbands, 64);
+  EXPECT_EQ(cs2.fft_size, 620'000u);
+}
+
+class KernelModelFixture : public ::testing::Test {
+ protected:
+  KernelModelFixture() : arch_(GpuArch::a100()), kernels_(make_default_kernels(arch_)) {}
+
+  const KernelModel& kernel(KernelId id) const { return kernels_.at(id); }
+
+  GpuArch arch_;
+  std::map<KernelId, KernelModel> kernels_;
+  static constexpr std::size_t kElems = 3'000'000;
+};
+
+TEST_F(KernelModelFixture, AllFiveKernelsPresent) {
+  EXPECT_EQ(kernels_.size(), 5u);
+  for (KernelId id : {KernelId::Vec2Zvec, KernelId::Zcopy, KernelId::Dscal,
+                      KernelId::Pairwise, KernelId::Zvec2Vec}) {
+    EXPECT_EQ(kernels_.at(id).id(), id);
+  }
+}
+
+TEST_F(KernelModelFixture, TimePositiveAndScalesWithWork) {
+  const KernelTuning t{2, 256, 4};
+  const auto& zcopy = kernel(KernelId::Zcopy);
+  const double t1 = zcopy.launch_seconds(kElems, 1, t);
+  const double t2 = zcopy.launch_seconds(2 * kElems, 1, t);
+  EXPECT_GT(t1, 0.0);
+  EXPECT_GT(t2, 1.8 * t1);
+}
+
+TEST_F(KernelModelFixture, BatchingAmortizes) {
+  const KernelTuning t{2, 256, 4};
+  const auto& vec = kernel(KernelId::Vec2Zvec);
+  const double per_band_b1 = vec.launch_seconds(kElems, 1, t);
+  const double per_band_b16 = vec.launch_seconds(kElems, 16, t) / 16.0;
+  EXPECT_LT(per_band_b16, per_band_b1);
+}
+
+TEST_F(KernelModelFixture, HigherOccupancyFasterInTypicalRange) {
+  const auto& pair = kernel(KernelId::Pairwise);
+  const double low = pair.launch_seconds(kElems, 8, {4, 128, 1});
+  const double high = pair.launch_seconds(kElems, 8, {4, 128, 8});
+  EXPECT_LT(high, low);
+}
+
+TEST_F(KernelModelFixture, PreferredUnrollIsOptimal) {
+  const auto& dscal = kernel(KernelId::Dscal);  // preferred unroll 4
+  const double at_pref = dscal.launch_seconds(kElems, 8, {4, 256, 4});
+  const double at_one = dscal.launch_seconds(kElems, 8, {1, 256, 4});
+  const double at_eight = dscal.launch_seconds(kElems, 8, {8, 256, 4});
+  EXPECT_LT(at_pref, at_one);
+  EXPECT_LT(at_pref, at_eight);
+}
+
+TEST_F(KernelModelFixture, InterferenceSlowsKernel) {
+  const auto& zvec = kernel(KernelId::Zvec2Vec);
+  const KernelTuning t{2, 256, 4};
+  EXPECT_GT(zvec.launch_seconds(kElems, 8, t, 1.5), zvec.launch_seconds(kElems, 8, t));
+}
+
+TEST_F(KernelModelFixture, InvalidTuningThrows) {
+  const auto& vec = kernel(KernelId::Vec2Zvec);
+  EXPECT_THROW(vec.launch_seconds(kElems, 1, {1, 1024, 3}), std::invalid_argument);
+  EXPECT_THROW(vec.efficiency({1, 100, 2}, 1, kElems), std::invalid_argument);
+}
+
+TEST_F(KernelModelFixture, EfficiencyBounded) {
+  const auto& zcopy = kernel(KernelId::Zcopy);
+  for (int tb : {32, 256, 1024}) {
+    for (int tb_sm : {1, 2}) {
+      const double e = zcopy.efficiency({2, tb, tb_sm}, 16, kElems);
+      EXPECT_GT(e, 0.0);
+      EXPECT_LE(e, 1.0);
+    }
+  }
+}
+
+TEST(FftModel, ScalesWithSizeAndBatch) {
+  const GpuArch arch = GpuArch::a100();
+  FftModel fft(arch);
+  const double small = fft.launch_seconds(620'000, 1);
+  const double large = fft.launch_seconds(3'000'000, 1);
+  EXPECT_GT(large, small);
+  // Batched per-band cost decreases.
+  const double per_band_b1 = fft.launch_seconds(3'000'000, 1);
+  const double per_band_b16 = fft.launch_seconds(3'000'000, 16) / 16.0;
+  EXPECT_LT(per_band_b16, per_band_b1);
+}
+
+TEST(KernelId, Names) {
+  EXPECT_STREQ(to_string(KernelId::Vec2Zvec), "cuVec2Zvec");
+  EXPECT_STREQ(to_string(KernelId::Pairwise), "cuPairwise");
+}
+
+TEST(MpiGridModel, Validity) {
+  const auto sys = PhysicalSystem::case_study_2();
+  MpiGridModel mpi(40);  // 10 nodes x 4
+  EXPECT_TRUE(mpi.valid({4, 9, 1}, sys));    // 36 ranks
+  EXPECT_FALSE(mpi.valid({8, 9, 1}, sys));   // 72 > 40 ranks
+  EXPECT_FALSE(mpi.valid({1, 37, 1}, sys));  // nkpb > k-points
+  EXPECT_FALSE(mpi.valid({1, 1, 2}, sys));   // nspb > spins
+  EXPECT_FALSE(mpi.valid({0, 1, 1}, sys));
+  EXPECT_FALSE(mpi.valid({65, 1, 1}, sys));  // nstb > bands
+}
+
+TEST(MpiGridModel, LocalExtentsUseCeil) {
+  const auto sys = PhysicalSystem::case_study_2();
+  MpiGridModel mpi(40);
+  EXPECT_EQ(mpi.bands_loc({4, 1, 1}, sys), 16);
+  EXPECT_EQ(mpi.bands_loc({3, 1, 1}, sys), 22);  // ceil(64/3)
+  EXPECT_EQ(mpi.kpoints_loc({1, 9, 1}, sys), 4);
+  EXPECT_EQ(mpi.kpoints_loc({1, 12, 1}, sys), 3);
+  EXPECT_EQ(mpi.spins_loc({1, 1, 1}, sys), 1);
+}
+
+TEST(MpiGridModel, ImbalanceFactor) {
+  EXPECT_DOUBLE_EQ(MpiGridModel::imbalance(64, 4), 1.0);
+  EXPECT_GT(MpiGridModel::imbalance(64, 3), 1.0);
+  EXPECT_DOUBLE_EQ(MpiGridModel::imbalance(64, 3), 22.0 / (64.0 / 3.0));
+  EXPECT_THROW(MpiGridModel::imbalance(0, 3), std::invalid_argument);
+}
+
+TEST(MpiGridModel, AllreduceScalesWithRanksAndBytes) {
+  MpiGridModel mpi(64);
+  EXPECT_DOUBLE_EQ(mpi.allreduce_seconds(1024, 1), 0.0);
+  const double r4 = mpi.allreduce_seconds(1 << 20, 4);
+  const double r16 = mpi.allreduce_seconds(1 << 20, 16);
+  EXPECT_GT(r16, r4);
+  EXPECT_GT(mpi.allreduce_seconds(1 << 24, 4), r4);
+}
+
+TEST(MpiGridModel, ConstructionValidated) {
+  EXPECT_THROW(MpiGridModel(0), std::invalid_argument);
+}
+
+TEST(TransferModel, LatencyPlusBandwidth) {
+  const GpuArch arch = GpuArch::a100();
+  TransferModel xfer(arch);
+  const double one = xfer.seconds(100 * 1000 * 1000, 1);
+  const double split = xfer.seconds(100 * 1000 * 1000, 10);
+  EXPECT_GT(split, one);  // more transfers pay more latency
+  // Bandwidth term dominates large transfers: 100 MB at 25 GB/s = 4 ms.
+  EXPECT_NEAR(one, 1e8 / (arch.pcie_bandwidth_gbs * 1e9), 1e-4);
+}
+
+}  // namespace
+}  // namespace tunekit::tddft

@@ -1,0 +1,180 @@
+#include "tddft/slater_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tunekit::tddft {
+namespace {
+
+PipelineTunables quiet_tunables() {
+  PipelineTunables t;
+  t.noise_level = 0.0;
+  return t;
+}
+
+class PipelineFixture : public ::testing::Test {
+ protected:
+  PipelineFixture()
+      : pipeline_(PhysicalSystem::case_study_1(), GpuArch::a100(), 40,
+                  PipelineTunables{}, /*noise_seed=*/0) {}
+
+  SlaterPipeline pipeline_;
+};
+
+TEST_F(PipelineFixture, DefaultConfigValidAndPositiveTimes) {
+  const auto config = TddftConfig::defaults();
+  ASSERT_TRUE(pipeline_.valid(config));
+  const auto b = pipeline_.simulate(config);
+  EXPECT_GT(b.group1, 0.0);
+  EXPECT_GT(b.group2, 0.0);
+  EXPECT_GT(b.group3, 0.0);
+  EXPECT_GT(b.slater, 0.0);
+  EXPECT_GT(b.total, b.slater);  // total adds non-offloaded work
+}
+
+TEST_F(PipelineFixture, InvalidConfigsRejected) {
+  auto config = TddftConfig::defaults();
+  config.grid = {64, 1, 1};  // 64 ranks > 40 allocated
+  EXPECT_FALSE(pipeline_.valid(config));
+  EXPECT_THROW(pipeline_.simulate(config), std::invalid_argument);
+
+  config = TddftConfig::defaults();
+  config.tunings[KernelId::Pairwise].tb_sm = 32;  // 256*32 > 2048
+  EXPECT_FALSE(pipeline_.valid(config));
+
+  config = TddftConfig::defaults();
+  config.nbatches = 0;
+  EXPECT_FALSE(pipeline_.valid(config));
+}
+
+TEST_F(PipelineFixture, DeterministicPerSeed) {
+  const auto config = TddftConfig::defaults();
+  const auto a = pipeline_.simulate(config);
+  const auto b = pipeline_.simulate(config);
+  EXPECT_DOUBLE_EQ(a.total, b.total);
+  EXPECT_DOUBLE_EQ(a.group3, b.group3);
+}
+
+TEST(Pipeline, KernelSplitMatchesPaperAtDefaults) {
+  // Paper §V-A: cuFFT 61.4%, cuZcopy 14.2%, cuVec2Zvec 12.4%, cuPairwise
+  // 4.9%, cuDscal 4.2%, cuZvec2Vec 2.9% of GPU compute time at default
+  // tuning values (transfers excluded).
+  SlaterPipeline pipeline(PhysicalSystem::case_study_1(), GpuArch::a100(), 40);
+  const auto split = pipeline.kernel_breakdown(TddftConfig::defaults());
+  double total = 0.0;
+  for (const auto& [name, t] : split) total += t;
+  const std::map<std::string, double> expected{
+      {"cuFFT", 61.4},     {"cuZcopy", 14.2},   {"cuVec2Zvec", 12.4},
+      {"cuPairwise", 4.9}, {"cuDscal", 4.2},    {"cuZvec2Vec", 2.9}};
+  for (const auto& [name, share] : expected) {
+    EXPECT_NEAR(100.0 * split.at(name) / total, share, 4.0) << name;
+  }
+}
+
+TEST(Pipeline, BatchingReducesPerBandGroupTimes) {
+  SlaterPipeline pipeline(PhysicalSystem::case_study_1(), GpuArch::a100(), 40,
+                          quiet_tunables());
+  auto small = TddftConfig::defaults();
+  small.nbatches = 1;
+  auto large = TddftConfig::defaults();
+  large.nbatches = 32;
+  const auto t_small = pipeline.simulate(small);
+  const auto t_large = pipeline.simulate(large);
+  EXPECT_LT(t_large.group1, t_small.group1);
+  EXPECT_LT(t_large.group2, t_small.group2);
+  EXPECT_LT(t_large.group3, t_small.group3);
+}
+
+TEST(Pipeline, StreamsSpeedUpSlaterButNotWithoutBound) {
+  SlaterPipeline pipeline(PhysicalSystem::case_study_1(), GpuArch::a100(), 40,
+                          quiet_tunables());
+  auto one = TddftConfig::defaults();
+  one.nstreams = 1;
+  auto four = TddftConfig::defaults();
+  four.nstreams = 4;
+  auto many = TddftConfig::defaults();
+  many.nstreams = 32;
+  const double t1 = pipeline.simulate(one).slater;
+  const double t4 = pipeline.simulate(four).slater;
+  const double t32 = pipeline.simulate(many).slater;
+  EXPECT_LT(t4, t1);        // overlap helps
+  EXPECT_GT(t32, t4 * 0.9); // diminishing returns / overhead past the limit
+}
+
+TEST(Pipeline, PairwiseOccupancyInterferesWithGroup3) {
+  // The paper's G2 -> G3 cache interdependence: raising cuPairwise's
+  // resident-thread count slows Group 3 even though Group 3's own tuning is
+  // unchanged.
+  SlaterPipeline pipeline(PhysicalSystem::case_study_1(), GpuArch::a100(), 40,
+                          quiet_tunables());
+  auto low = TddftConfig::defaults();
+  low.tunings[KernelId::Pairwise] = {1, 128, 1};
+  auto high = TddftConfig::defaults();
+  high.tunings[KernelId::Pairwise] = {1, 1024, 2};
+  const auto t_low = pipeline.simulate(low);
+  const auto t_high = pipeline.simulate(high);
+  EXPECT_GT(t_high.group3, t_low.group3 * 1.1);
+  // Group 1 is unaffected by pairwise tuning.
+  EXPECT_NEAR(t_high.group1, t_low.group1, 1e-12);
+}
+
+TEST(Pipeline, ZcopyTuningSharedBetweenGroups) {
+  SlaterPipeline pipeline(PhysicalSystem::case_study_1(), GpuArch::a100(), 40,
+                          quiet_tunables());
+  auto base = TddftConfig::defaults();
+  auto tuned = TddftConfig::defaults();
+  tuned.tunings[KernelId::Zcopy] = {2, 512, 4};  // better zcopy config
+  const auto t_base = pipeline.simulate(base);
+  const auto t_tuned = pipeline.simulate(tuned);
+  // Both groups that call cuZcopy move together.
+  EXPECT_NE(t_tuned.group1, t_base.group1);
+  EXPECT_NE(t_tuned.group3, t_base.group3);
+}
+
+TEST(Pipeline, MoreRanksShrinkSlaterTime) {
+  SlaterPipeline pipeline(PhysicalSystem::case_study_1(), GpuArch::a100(), 40,
+                          quiet_tunables());
+  auto narrow = TddftConfig::defaults();
+  narrow.grid = {1, 1, 1};
+  auto wide = TddftConfig::defaults();
+  wide.grid = {16, 1, 1};
+  EXPECT_GT(pipeline.simulate(narrow).slater, pipeline.simulate(wide).slater * 2.0);
+}
+
+TEST(Pipeline, CaseStudy2SeesKpointScaling) {
+  SlaterPipeline pipeline(PhysicalSystem::case_study_2(), GpuArch::a100(), 40,
+                          quiet_tunables());
+  auto serial_k = TddftConfig::defaults();
+  serial_k.grid = {1, 1, 1};
+  auto parallel_k = TddftConfig::defaults();
+  parallel_k.grid = {1, 36, 1};
+  EXPECT_GT(pipeline.simulate(serial_k).slater,
+            pipeline.simulate(parallel_k).slater * 10.0);
+}
+
+TEST(Pipeline, NoiseIsBoundedAndSeedKeyed) {
+  PipelineTunables noisy;
+  noisy.noise_level = 0.01;
+  SlaterPipeline p1(PhysicalSystem::case_study_1(), GpuArch::a100(), 40, noisy, 1);
+  SlaterPipeline p2(PhysicalSystem::case_study_1(), GpuArch::a100(), 40, noisy, 2);
+  SlaterPipeline quiet(PhysicalSystem::case_study_1(), GpuArch::a100(), 40,
+                       quiet_tunables(), 1);
+  const auto config = TddftConfig::defaults();
+  const double clean = quiet.simulate(config).total;
+  const double n1 = p1.simulate(config).total;
+  const double n2 = p2.simulate(config).total;
+  EXPECT_NE(n1, n2);
+  EXPECT_NEAR(n1, clean, clean * 0.03);
+  EXPECT_NEAR(n2, clean, clean * 0.03);
+}
+
+TEST(Pipeline, KernelBreakdownValidatesConfig) {
+  SlaterPipeline pipeline(PhysicalSystem::case_study_1(), GpuArch::a100(), 40);
+  auto bad = TddftConfig::defaults();
+  bad.grid = {64, 2, 1};
+  EXPECT_THROW(pipeline.kernel_breakdown(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tunekit::tddft

@@ -1,0 +1,99 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace tunekit {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, DefaultsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<int> hits(500, 0);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 500);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "should not run"; });
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t i) {
+                                   if (i == 5) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitReturnsExceptionViaFuture) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::logic_error("bad"); });
+  EXPECT_THROW(f.get(), std::logic_error);
+}
+
+TEST(ThreadPool, TasksRunConcurrently) {
+  // Two tasks that wait on each other only finish if the pool has >= 2
+  // workers actually running them in parallel.
+  ThreadPool pool(2);
+  std::atomic<bool> first_started{false};
+  std::atomic<bool> second_done{false};
+  auto f1 = pool.submit([&] {
+    first_started = true;
+    while (!second_done) {
+      std::this_thread::yield();
+    }
+    return 1;
+  });
+  auto f2 = pool.submit([&] {
+    while (!first_started) {
+      std::this_thread::yield();
+    }
+    second_done = true;
+    return 2;
+  });
+  EXPECT_EQ(f1.get() + f2.get(), 3);
+}
+
+TEST(ThreadPool, DestructionJoinsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor must drain nothing but join safely
+  // Note: tasks submitted but not yet run may be dropped at shutdown only
+  // after completion of queued jobs — here we just require no crash and a
+  // consistent counter value.
+  EXPECT_LE(counter.load(), 50);
+}
+
+}  // namespace
+}  // namespace tunekit

@@ -1,0 +1,232 @@
+// tunekit_cli — command-line front end for the methodology.
+//
+//   tunekit_cli info    --app <name>                  parameter table
+//   tunekit_cli analyze --app <name> [options]        sensitivity + DAG
+//   tunekit_cli plan    --app <name> [options]        the suggested search set
+//   tunekit_cli tune    --app <name> [options]        full methodology run
+//
+// Built-in apps: synth:case1..synth:case5, tddft:cs1, tddft:cs2.
+// Common options:
+//   --cutoff <frac>          influence cut-off (default 0.10; synthetic: 0.25)
+//   --max-dims <n>           per-search dimension cap (default 10)
+//   --variations <n>         sensitivity variations per parameter
+//   --importance-samples <n> random-forest dataset size (0 disables)
+//   --evals-per-param <n>    search budget rule (default 10)
+//   --min-evals <n>          search budget floor (default 20)
+//   --seed <n>               RNG seed
+//   --checkpoint-dir <path>  per-search crash-recovery checkpoints
+//   --dot                    also print the pruned influence DAG as Graphviz
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/methodology.hpp"
+#include "core/report.hpp"
+#include "minislater/minislater_app.hpp"
+#include "synth/synth_app.hpp"
+#include "tddft/tddft_app.hpp"
+
+using namespace tunekit;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::printf(
+      "usage: %s <info|analyze|plan|tune> --app <name> [options]\n"
+      "apps:  synth:case1..case5 | tddft:cs1 | tddft:cs2 | minislater\n"
+      "options: --cutoff F --max-dims N --variations N --importance-samples N\n"
+      "         --evals-per-param N --min-evals N --seed N --checkpoint-dir P --dot\n",
+      argv0);
+  return 2;
+}
+
+struct CliArgs {
+  std::string command;
+  std::string app;
+  double cutoff = -1.0;  // negative = per-app default
+  std::size_t max_dims = 10;
+  std::size_t variations = 0;  // 0 = per-app default
+  std::size_t importance_samples = 0;
+  std::size_t evals_per_param = 10;
+  std::size_t min_evals = 20;
+  std::uint64_t seed = 42;
+  std::string checkpoint_dir;
+  bool dot = false;
+};
+
+bool parse_args(int argc, char** argv, CliArgs& args) {
+  if (argc < 2) return false;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + flag);
+      return argv[++i];
+    };
+    try {
+      if (flag == "--app") args.app = next();
+      else if (flag == "--cutoff") args.cutoff = std::stod(next());
+      else if (flag == "--max-dims") args.max_dims = std::stoul(next());
+      else if (flag == "--variations") args.variations = std::stoul(next());
+      else if (flag == "--importance-samples") args.importance_samples = std::stoul(next());
+      else if (flag == "--evals-per-param") args.evals_per_param = std::stoul(next());
+      else if (flag == "--min-evals") args.min_evals = std::stoul(next());
+      else if (flag == "--seed") args.seed = std::stoull(next());
+      else if (flag == "--checkpoint-dir") args.checkpoint_dir = next();
+      else if (flag == "--dot") args.dot = true;
+      else {
+        std::fprintf(stderr, "unknown option: %s\n", flag.c_str());
+        return false;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad argument for %s: %s\n", flag.c_str(), e.what());
+      return false;
+    }
+  }
+  return true;
+}
+
+struct AppBundle {
+  std::unique_ptr<core::TunableApp> app;
+  double default_cutoff = 0.10;
+  std::size_t default_variations = 5;
+};
+
+AppBundle make_app(const std::string& name, std::uint64_t seed) {
+  AppBundle bundle;
+  if (name.rfind("synth:case", 0) == 0 && name.size() == 11) {
+    const int c = name.back() - '0';
+    if (c >= 1 && c <= 5) {
+      bundle.app = std::make_unique<synth::SynthApp>(static_cast<synth::SynthCase>(c),
+                                                     0.01, seed);
+      bundle.default_cutoff = 0.25;
+      bundle.default_variations = 100;
+      return bundle;
+    }
+  }
+  if (name == "tddft:cs1") {
+    bundle.app = std::make_unique<tddft::RtTddftApp>(tddft::PhysicalSystem::case_study_1());
+    return bundle;
+  }
+  if (name == "tddft:cs2") {
+    bundle.app = std::make_unique<tddft::RtTddftApp>(tddft::PhysicalSystem::case_study_2());
+    return bundle;
+  }
+  if (name == "minislater") {
+    // Real measured kernels: higher cut-off absorbs timer noise.
+    bundle.app = std::make_unique<minislater::MiniSlaterApp>(32, 4, 2, seed);
+    bundle.default_cutoff = 0.15;
+    return bundle;
+  }
+  throw std::runtime_error(
+      "unknown app '" + name +
+      "' (expected synth:case1..case5, tddft:cs1, tddft:cs2, minislater)");
+}
+
+core::MethodologyOptions make_options(const CliArgs& args, const AppBundle& bundle) {
+  core::MethodologyOptions opt;
+  opt.cutoff = args.cutoff >= 0.0 ? args.cutoff : bundle.default_cutoff;
+  opt.max_dims = args.max_dims;
+  opt.sensitivity.n_variations =
+      args.variations > 0 ? args.variations : bundle.default_variations;
+  opt.importance_samples = args.importance_samples;
+  opt.executor.evals_per_param = args.evals_per_param;
+  opt.executor.min_evals = args.min_evals;
+  opt.executor.bo.seed = args.seed;
+  opt.executor.checkpoint_dir = args.checkpoint_dir;
+  opt.seed = args.seed;
+  return opt;
+}
+
+int cmd_info(core::TunableApp& app) {
+  std::cout << "App: " << app.name() << "\n";
+  Table table({"#", "Parameter", "Kind", "Default", "Cardinality"});
+  const auto& space = app.space();
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const auto& p = space.param(i);
+    table.add_row({std::to_string(i), p.name(), search::to_string(p.kind()),
+                   Table::fmt(p.default_value(), 2),
+                   p.cardinality() ? std::to_string(p.cardinality()) : "inf"});
+  }
+  std::cout << table.str();
+  std::cout << "Constraints: " << space.constraints().size()
+            << " | log10(#configs) = " << Table::fmt(space.log10_cardinality(), 2)
+            << "\n";
+  std::cout << "Routines:";
+  for (const auto& r : app.routines()) std::cout << " " << r.name;
+  const auto outer = app.outer_regions();
+  if (!outer.empty()) {
+    std::cout << " | outer:";
+    for (const auto& o : outer) std::cout << " " << o;
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+int cmd_analyze(core::TunableApp& app, const core::MethodologyOptions& opt, bool dot) {
+  core::Methodology m(opt);
+  const auto analysis = m.analyze(app);
+  std::cout << "Observations: " << analysis.observations << "\n\n";
+  std::cout << core::sensitivity_tables(analysis.sensitivity,
+                                        analysis.sensitivity.regions(),
+                                        std::min<std::size_t>(10, app.space().size()));
+  std::cout << "\nCross edges above the " << Table::pct(opt.cutoff, 0) << " cut-off:\n";
+  const auto pruned = analysis.graph.pruned(opt.cutoff);
+  for (const auto& e : pruned.cross_edges()) {
+    std::cout << "  " << analysis.graph.param_name(e.param) << " ("
+              << analysis.graph.routine_name(e.from_routine) << ") -> "
+              << analysis.graph.routine_name(e.to_routine) << " ["
+              << Table::pct(e.weight, 0) << "]\n";
+  }
+  if (dot) std::cout << "\n" << pruned.to_dot();
+  return 0;
+}
+
+int cmd_plan(core::TunableApp& app, const core::MethodologyOptions& opt) {
+  core::Methodology m(opt);
+  const auto analysis = m.analyze(app);
+  const auto plan = m.make_plan(app, analysis);
+  std::cout << core::plan_table(plan, analysis.graph);
+  return 0;
+}
+
+int cmd_tune(core::TunableApp& app, const core::MethodologyOptions& opt) {
+  core::Methodology m(opt);
+  const auto result = m.run(app);
+  std::cout << core::full_report(app, result);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  if (argc >= 2 && (std::string(argv[1]) == "--help" || std::string(argv[1]) == "-h")) {
+    usage(argv[0]);
+    return 0;
+  }
+  if (!parse_args(argc, argv, args)) return usage(argv[0]);
+  if (args.app.empty()) {
+    std::fprintf(stderr, "error: --app is required\n");
+    return usage(argv[0]);
+  }
+
+  try {
+    AppBundle bundle = make_app(args.app, args.seed);
+    const auto opt = make_options(args, bundle);
+    if (args.command == "info") return cmd_info(*bundle.app);
+    if (args.command == "analyze") return cmd_analyze(*bundle.app, opt, args.dot);
+    if (args.command == "plan") return cmd_plan(*bundle.app, opt);
+    if (args.command == "tune") return cmd_tune(*bundle.app, opt);
+    std::fprintf(stderr, "unknown command '%s'\n", args.command.c_str());
+    return usage(argv[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
