@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_acquisitions.dir/ablation_acquisitions.cpp.o"
+  "CMakeFiles/ablation_acquisitions.dir/ablation_acquisitions.cpp.o.d"
+  "ablation_acquisitions"
+  "ablation_acquisitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_acquisitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cutoff_sweep.dir/ablation_cutoff_sweep.cpp.o"
+  "CMakeFiles/ablation_cutoff_sweep.dir/ablation_cutoff_sweep.cpp.o.d"
+  "ablation_cutoff_sweep"
+  "ablation_cutoff_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cutoff_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

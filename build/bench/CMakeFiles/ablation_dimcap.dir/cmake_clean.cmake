@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dimcap.dir/ablation_dimcap.cpp.o"
+  "CMakeFiles/ablation_dimcap.dir/ablation_dimcap.cpp.o.d"
+  "ablation_dimcap"
+  "ablation_dimcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dimcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_highdim_strategies.dir/ablation_highdim_strategies.cpp.o"
+  "CMakeFiles/ablation_highdim_strategies.dir/ablation_highdim_strategies.cpp.o.d"
+  "ablation_highdim_strategies"
+  "ablation_highdim_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_highdim_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_joint_vs_separate.dir/ablation_joint_vs_separate.cpp.o"
+  "CMakeFiles/ablation_joint_vs_separate.dir/ablation_joint_vs_separate.cpp.o.d"
+  "ablation_joint_vs_separate"
+  "ablation_joint_vs_separate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_joint_vs_separate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

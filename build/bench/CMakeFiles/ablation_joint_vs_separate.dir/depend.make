@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_joint_vs_separate.
+# This may be replaced when dependencies are built.

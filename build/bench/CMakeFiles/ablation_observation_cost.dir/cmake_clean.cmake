@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_observation_cost.dir/ablation_observation_cost.cpp.o"
+  "CMakeFiles/ablation_observation_cost.dir/ablation_observation_cost.cpp.o.d"
+  "ablation_observation_cost"
+  "ablation_observation_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_observation_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_transfer_learning.dir/ablation_transfer_learning.cpp.o"
+  "CMakeFiles/ablation_transfer_learning.dir/ablation_transfer_learning.cpp.o.d"
+  "ablation_transfer_learning"
+  "ablation_transfer_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_transfer_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_variations.dir/ablation_variations.cpp.o"
+  "CMakeFiles/ablation_variations.dir/ablation_variations.cpp.o.d"
+  "ablation_variations"
+  "ablation_variations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_variations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_vs_gpu.dir/cpu_vs_gpu.cpp.o"
+  "CMakeFiles/cpu_vs_gpu.dir/cpu_vs_gpu.cpp.o.d"
+  "cpu_vs_gpu"
+  "cpu_vs_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_vs_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

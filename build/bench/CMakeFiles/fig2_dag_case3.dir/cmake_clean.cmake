@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_dag_case3.dir/fig2_dag_case3.cpp.o"
+  "CMakeFiles/fig2_dag_case3.dir/fig2_dag_case3.cpp.o.d"
+  "fig2_dag_case3"
+  "fig2_dag_case3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_dag_case3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_bo_progression.dir/fig6_bo_progression.cpp.o"
+  "CMakeFiles/fig6_bo_progression.dir/fig6_bo_progression.cpp.o.d"
+  "fig6_bo_progression"
+  "fig6_bo_progression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_bo_progression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

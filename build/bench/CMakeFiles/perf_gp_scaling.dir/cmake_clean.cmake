@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_gp_scaling.dir/perf_gp_scaling.cpp.o"
+  "CMakeFiles/perf_gp_scaling.dir/perf_gp_scaling.cpp.o.d"
+  "perf_gp_scaling"
+  "perf_gp_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_gp_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_synthetic_defs.dir/table1_synthetic_defs.cpp.o"
+  "CMakeFiles/table1_synthetic_defs.dir/table1_synthetic_defs.cpp.o.d"
+  "table1_synthetic_defs"
+  "table1_synthetic_defs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_synthetic_defs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_synth_sensitivity.dir/table2_synth_sensitivity.cpp.o"
+  "CMakeFiles/table2_synth_sensitivity.dir/table2_synth_sensitivity.cpp.o.d"
+  "table2_synth_sensitivity"
+  "table2_synth_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_synth_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

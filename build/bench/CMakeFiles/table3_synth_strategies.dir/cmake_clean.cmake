@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_synth_strategies.dir/table3_synth_strategies.cpp.o"
+  "CMakeFiles/table3_synth_strategies.dir/table3_synth_strategies.cpp.o.d"
+  "table3_synth_strategies"
+  "table3_synth_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_synth_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_sensitivity_cs1.dir/table5_sensitivity_cs1.cpp.o"
+  "CMakeFiles/table5_sensitivity_cs1.dir/table5_sensitivity_cs1.cpp.o.d"
+  "table5_sensitivity_cs1"
+  "table5_sensitivity_cs1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_sensitivity_cs1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_search_plan.dir/table7_search_plan.cpp.o"
+  "CMakeFiles/table7_search_plan.dir/table7_search_plan.cpp.o.d"
+  "table7_search_plan"
+  "table7_search_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_search_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_highdim_strategies.dir/highdim_strategies.cpp.o"
+  "CMakeFiles/example_highdim_strategies.dir/highdim_strategies.cpp.o.d"
+  "example_highdim_strategies"
+  "example_highdim_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_highdim_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

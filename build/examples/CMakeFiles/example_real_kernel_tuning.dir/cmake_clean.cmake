@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_real_kernel_tuning.dir/real_kernel_tuning.cpp.o"
+  "CMakeFiles/example_real_kernel_tuning.dir/real_kernel_tuning.cpp.o.d"
+  "example_real_kernel_tuning"
+  "example_real_kernel_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_real_kernel_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

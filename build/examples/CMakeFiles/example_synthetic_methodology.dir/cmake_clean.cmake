@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_synthetic_methodology.dir/synthetic_methodology.cpp.o"
+  "CMakeFiles/example_synthetic_methodology.dir/synthetic_methodology.cpp.o.d"
+  "example_synthetic_methodology"
+  "example_synthetic_methodology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_synthetic_methodology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tddft_tuning.dir/tddft_tuning.cpp.o"
+  "CMakeFiles/example_tddft_tuning.dir/tddft_tuning.cpp.o.d"
+  "example_tddft_tuning"
+  "example_tddft_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tddft_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bo/acquisition.cpp" "src/CMakeFiles/tunekit.dir/bo/acquisition.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/bo/acquisition.cpp.o.d"
+  "/root/repo/src/bo/additive_bo.cpp" "src/CMakeFiles/tunekit.dir/bo/additive_bo.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/bo/additive_bo.cpp.o.d"
+  "/root/repo/src/bo/additive_gp.cpp" "src/CMakeFiles/tunekit.dir/bo/additive_gp.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/bo/additive_gp.cpp.o.d"
+  "/root/repo/src/bo/bayes_opt.cpp" "src/CMakeFiles/tunekit.dir/bo/bayes_opt.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/bo/bayes_opt.cpp.o.d"
+  "/root/repo/src/bo/dropout_bo.cpp" "src/CMakeFiles/tunekit.dir/bo/dropout_bo.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/bo/dropout_bo.cpp.o.d"
+  "/root/repo/src/bo/gp.cpp" "src/CMakeFiles/tunekit.dir/bo/gp.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/bo/gp.cpp.o.d"
+  "/root/repo/src/bo/kernels.cpp" "src/CMakeFiles/tunekit.dir/bo/kernels.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/bo/kernels.cpp.o.d"
+  "/root/repo/src/bo/nelder_mead.cpp" "src/CMakeFiles/tunekit.dir/bo/nelder_mead.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/bo/nelder_mead.cpp.o.d"
+  "/root/repo/src/bo/rembo.cpp" "src/CMakeFiles/tunekit.dir/bo/rembo.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/bo/rembo.cpp.o.d"
+  "/root/repo/src/bo/transfer.cpp" "src/CMakeFiles/tunekit.dir/bo/transfer.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/bo/transfer.cpp.o.d"
+  "/root/repo/src/common/json.cpp" "src/CMakeFiles/tunekit.dir/common/json.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/common/json.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/tunekit.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/tunekit.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/tunekit.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/common/table.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/tunekit.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/common/thread_pool.cpp.o.d"
+  "/root/repo/src/core/executor.cpp" "src/CMakeFiles/tunekit.dir/core/executor.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/core/executor.cpp.o.d"
+  "/root/repo/src/core/export.cpp" "src/CMakeFiles/tunekit.dir/core/export.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/core/export.cpp.o.d"
+  "/root/repo/src/core/methodology.cpp" "src/CMakeFiles/tunekit.dir/core/methodology.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/core/methodology.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/tunekit.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/tunable_app.cpp" "src/CMakeFiles/tunekit.dir/core/tunable_app.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/core/tunable_app.cpp.o.d"
+  "/root/repo/src/graph/influence_graph.cpp" "src/CMakeFiles/tunekit.dir/graph/influence_graph.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/graph/influence_graph.cpp.o.d"
+  "/root/repo/src/graph/partition.cpp" "src/CMakeFiles/tunekit.dir/graph/partition.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/graph/partition.cpp.o.d"
+  "/root/repo/src/graph/search_plan.cpp" "src/CMakeFiles/tunekit.dir/graph/search_plan.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/graph/search_plan.cpp.o.d"
+  "/root/repo/src/linalg/cholesky.cpp" "src/CMakeFiles/tunekit.dir/linalg/cholesky.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/linalg/cholesky.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/CMakeFiles/tunekit.dir/linalg/matrix.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/linalg/matrix.cpp.o.d"
+  "/root/repo/src/linalg/vecops.cpp" "src/CMakeFiles/tunekit.dir/linalg/vecops.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/linalg/vecops.cpp.o.d"
+  "/root/repo/src/minislater/fft.cpp" "src/CMakeFiles/tunekit.dir/minislater/fft.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/minislater/fft.cpp.o.d"
+  "/root/repo/src/minislater/kernels.cpp" "src/CMakeFiles/tunekit.dir/minislater/kernels.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/minislater/kernels.cpp.o.d"
+  "/root/repo/src/minislater/minislater_app.cpp" "src/CMakeFiles/tunekit.dir/minislater/minislater_app.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/minislater/minislater_app.cpp.o.d"
+  "/root/repo/src/minislater/pipeline.cpp" "src/CMakeFiles/tunekit.dir/minislater/pipeline.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/minislater/pipeline.cpp.o.d"
+  "/root/repo/src/search/config.cpp" "src/CMakeFiles/tunekit.dir/search/config.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/search/config.cpp.o.d"
+  "/root/repo/src/search/constraints.cpp" "src/CMakeFiles/tunekit.dir/search/constraints.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/search/constraints.cpp.o.d"
+  "/root/repo/src/search/eval_db.cpp" "src/CMakeFiles/tunekit.dir/search/eval_db.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/search/eval_db.cpp.o.d"
+  "/root/repo/src/search/grid_search.cpp" "src/CMakeFiles/tunekit.dir/search/grid_search.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/search/grid_search.cpp.o.d"
+  "/root/repo/src/search/objective.cpp" "src/CMakeFiles/tunekit.dir/search/objective.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/search/objective.cpp.o.d"
+  "/root/repo/src/search/param.cpp" "src/CMakeFiles/tunekit.dir/search/param.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/search/param.cpp.o.d"
+  "/root/repo/src/search/random_search.cpp" "src/CMakeFiles/tunekit.dir/search/random_search.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/search/random_search.cpp.o.d"
+  "/root/repo/src/search/samplers.cpp" "src/CMakeFiles/tunekit.dir/search/samplers.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/search/samplers.cpp.o.d"
+  "/root/repo/src/search/sobol.cpp" "src/CMakeFiles/tunekit.dir/search/sobol.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/search/sobol.cpp.o.d"
+  "/root/repo/src/search/space.cpp" "src/CMakeFiles/tunekit.dir/search/space.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/search/space.cpp.o.d"
+  "/root/repo/src/stats/correlation.cpp" "src/CMakeFiles/tunekit.dir/stats/correlation.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/stats/correlation.cpp.o.d"
+  "/root/repo/src/stats/decision_tree.cpp" "src/CMakeFiles/tunekit.dir/stats/decision_tree.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/stats/decision_tree.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/CMakeFiles/tunekit.dir/stats/descriptive.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/stats/descriptive.cpp.o.d"
+  "/root/repo/src/stats/orthogonality.cpp" "src/CMakeFiles/tunekit.dir/stats/orthogonality.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/stats/orthogonality.cpp.o.d"
+  "/root/repo/src/stats/random_forest.cpp" "src/CMakeFiles/tunekit.dir/stats/random_forest.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/stats/random_forest.cpp.o.d"
+  "/root/repo/src/stats/sensitivity.cpp" "src/CMakeFiles/tunekit.dir/stats/sensitivity.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/stats/sensitivity.cpp.o.d"
+  "/root/repo/src/synth/synth_app.cpp" "src/CMakeFiles/tunekit.dir/synth/synth_app.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/synth/synth_app.cpp.o.d"
+  "/root/repo/src/synth/synthetic.cpp" "src/CMakeFiles/tunekit.dir/synth/synthetic.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/synth/synthetic.cpp.o.d"
+  "/root/repo/src/tddft/cpu_pipeline.cpp" "src/CMakeFiles/tunekit.dir/tddft/cpu_pipeline.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/tddft/cpu_pipeline.cpp.o.d"
+  "/root/repo/src/tddft/gpu_arch.cpp" "src/CMakeFiles/tunekit.dir/tddft/gpu_arch.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/tddft/gpu_arch.cpp.o.d"
+  "/root/repo/src/tddft/kernel_models.cpp" "src/CMakeFiles/tunekit.dir/tddft/kernel_models.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/tddft/kernel_models.cpp.o.d"
+  "/root/repo/src/tddft/mpi_grid.cpp" "src/CMakeFiles/tunekit.dir/tddft/mpi_grid.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/tddft/mpi_grid.cpp.o.d"
+  "/root/repo/src/tddft/physical_system.cpp" "src/CMakeFiles/tunekit.dir/tddft/physical_system.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/tddft/physical_system.cpp.o.d"
+  "/root/repo/src/tddft/slater_pipeline.cpp" "src/CMakeFiles/tunekit.dir/tddft/slater_pipeline.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/tddft/slater_pipeline.cpp.o.d"
+  "/root/repo/src/tddft/tddft_app.cpp" "src/CMakeFiles/tunekit.dir/tddft/tddft_app.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/tddft/tddft_app.cpp.o.d"
+  "/root/repo/src/tddft/transfer_model.cpp" "src/CMakeFiles/tunekit.dir/tddft/transfer_model.cpp.o" "gcc" "src/CMakeFiles/tunekit.dir/tddft/transfer_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_acquisition.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_acquisition.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_acquisition.cpp.o.d"
+  "/root/repo/tests/test_baseline_search.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_baseline_search.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_baseline_search.cpp.o.d"
+  "/root/repo/tests/test_bayes_opt.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_bayes_opt.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_bayes_opt.cpp.o.d"
+  "/root/repo/tests/test_bo_properties.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_bo_properties.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_bo_properties.cpp.o.d"
+  "/root/repo/tests/test_cholesky.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_cholesky.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_cholesky.cpp.o.d"
+  "/root/repo/tests/test_constraints.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_constraints.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_constraints.cpp.o.d"
+  "/root/repo/tests/test_correlation.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_correlation.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_correlation.cpp.o.d"
+  "/root/repo/tests/test_cpu_pipeline.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_cpu_pipeline.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_cpu_pipeline.cpp.o.d"
+  "/root/repo/tests/test_decision_tree.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_decision_tree.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_decision_tree.cpp.o.d"
+  "/root/repo/tests/test_descriptive.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_descriptive.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_descriptive.cpp.o.d"
+  "/root/repo/tests/test_eval_db.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_eval_db.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_eval_db.cpp.o.d"
+  "/root/repo/tests/test_executor.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_executor.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_executor.cpp.o.d"
+  "/root/repo/tests/test_export.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_export.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_export.cpp.o.d"
+  "/root/repo/tests/test_gp.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_gp.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_gp.cpp.o.d"
+  "/root/repo/tests/test_gp_diagnostics.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_gp_diagnostics.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_gp_diagnostics.cpp.o.d"
+  "/root/repo/tests/test_highdim_strategies.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_highdim_strategies.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_highdim_strategies.cpp.o.d"
+  "/root/repo/tests/test_influence_graph.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_influence_graph.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_influence_graph.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_json.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_json.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_json.cpp.o.d"
+  "/root/repo/tests/test_kernels.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_kernels.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_kernels.cpp.o.d"
+  "/root/repo/tests/test_matrix.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_matrix.cpp.o.d"
+  "/root/repo/tests/test_methodology.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_methodology.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_methodology.cpp.o.d"
+  "/root/repo/tests/test_minislater.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_minislater.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_minislater.cpp.o.d"
+  "/root/repo/tests/test_nelder_mead.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_nelder_mead.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_nelder_mead.cpp.o.d"
+  "/root/repo/tests/test_objective.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_objective.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_objective.cpp.o.d"
+  "/root/repo/tests/test_orthogonality.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_orthogonality.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_orthogonality.cpp.o.d"
+  "/root/repo/tests/test_param.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_param.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_param.cpp.o.d"
+  "/root/repo/tests/test_partition.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_partition.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_partition.cpp.o.d"
+  "/root/repo/tests/test_random_forest.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_random_forest.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_random_forest.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_samplers.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_samplers.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_samplers.cpp.o.d"
+  "/root/repo/tests/test_search_plan.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_search_plan.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_search_plan.cpp.o.d"
+  "/root/repo/tests/test_sensitivity.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_sensitivity.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_sensitivity.cpp.o.d"
+  "/root/repo/tests/test_sobol.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_sobol.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_sobol.cpp.o.d"
+  "/root/repo/tests/test_space.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_space.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_space.cpp.o.d"
+  "/root/repo/tests/test_space_properties.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_space_properties.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_space_properties.cpp.o.d"
+  "/root/repo/tests/test_synth_app.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_synth_app.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_synth_app.cpp.o.d"
+  "/root/repo/tests/test_synthetic.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_synthetic.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_synthetic.cpp.o.d"
+  "/root/repo/tests/test_table_log.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_table_log.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_table_log.cpp.o.d"
+  "/root/repo/tests/test_tddft_app.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_tddft_app.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_tddft_app.cpp.o.d"
+  "/root/repo/tests/test_tddft_models.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_tddft_models.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_tddft_models.cpp.o.d"
+  "/root/repo/tests/test_tddft_pipeline.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_tddft_pipeline.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_tddft_pipeline.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/test_transfer.cpp" "tests/CMakeFiles/tunekit_tests.dir/test_transfer.cpp.o" "gcc" "tests/CMakeFiles/tunekit_tests.dir/test_transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tunekit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunekit_cli.dir/tunekit_cli.cpp.o"
+  "CMakeFiles/tunekit_cli.dir/tunekit_cli.cpp.o.d"
+  "tunekit_cli"
+  "tunekit_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunekit_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_help "/root/repo/build/tools/tunekit_cli" "--help")
+set_tests_properties(cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_info "/root/repo/build/tools/tunekit_cli" "info" "--app" "tddft:cs1")
+set_tests_properties(cli_info PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_analyze "/root/repo/build/tools/tunekit_cli" "analyze" "--app" "synth:case3" "--cutoff" "0.25" "--variations" "50")
+set_tests_properties(cli_analyze PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_plan "/root/repo/build/tools/tunekit_cli" "plan" "--app" "tddft:cs2" "--cutoff" "0.10")
+set_tests_properties(cli_plan PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_tune "/root/repo/build/tools/tunekit_cli" "tune" "--app" "synth:case1" "--cutoff" "0.25" "--variations" "30" "--evals-per-param" "3" "--min-evals" "6" "--seed" "7")
+set_tests_properties(cli_tune PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_minislater_info "/root/repo/build/tools/tunekit_cli" "info" "--app" "minislater")
+set_tests_properties(cli_minislater_info PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_app "/root/repo/build/tools/tunekit_cli" "plan" "--app" "nope:x")
+set_tests_properties(cli_bad_app PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
