@@ -3,8 +3,14 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define TUNEKIT_JSON_HAVE_FSYNC 1
+#endif
 
 namespace tunekit::json {
 
@@ -357,6 +363,30 @@ void save(const std::string& path, const Value& value, int indent) {
   if (!out) throw std::runtime_error("json: cannot write '" + path + "'");
   out << value.dump(indent) << '\n';
   if (!out) throw std::runtime_error("json: write failed for '" + path + "'");
+}
+
+void save_atomic(const std::string& path, const Value& value, int indent) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) throw std::runtime_error("json: cannot write '" + tmp + "'");
+  const std::string text = value.dump(indent) + "\n";
+  const bool written = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  const bool flushed = std::fflush(f) == 0;
+#ifdef TUNEKIT_JSON_HAVE_FSYNC
+  if (written && flushed) ::fsync(::fileno(f));
+#endif
+  std::fclose(f);
+  if (!written || !flushed) {
+    std::filesystem::remove(tmp);
+    throw std::runtime_error("json: write failed for '" + tmp + "'");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp);
+    throw std::runtime_error("json: atomic rename to '" + path + "' failed: " +
+                             ec.message());
+  }
 }
 
 }  // namespace tunekit::json

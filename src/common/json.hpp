@@ -87,4 +87,9 @@ Value parse(const std::string& text);
 Value load(const std::string& path);
 void save(const std::string& path, const Value& value, int indent = 2);
 
+/// As save(), but crash-safe: the document is written to a temporary file in
+/// the same directory, flushed to disk, and atomically renamed over `path` —
+/// a crash mid-save can never leave a truncated or corrupt file behind.
+void save_atomic(const std::string& path, const Value& value, int indent = 2);
+
 }  // namespace tunekit::json

@@ -9,6 +9,8 @@
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 #include "core/tunable_app.hpp"
+#include "service/scheduler.hpp"
+#include "service/session.hpp"
 
 namespace tunekit::core {
 
@@ -114,7 +116,37 @@ ExecutionResult PlanExecutor::execute(TunableApp& app,
           static_cast<double>(card) <=
               options_.enumerate_threshold * static_cast<double>(budget);
 
-      if (enumerate) {
+      if (options_.session_scheduler) {
+        // Session service path: ask/tell batches evaluated concurrently.
+        service::SessionOptions sopts;
+        sopts.bo = options_.bo;
+        sopts.n_init = options_.bo.n_init;
+        sopts.failure_penalty = options_.bo.failure_penalty;
+        sopts.seed = options_.bo.seed + 7919 * (search_id + 1);
+        if (enumerate) {
+          sopts.backend = service::SessionBackend::Grid;
+          sopts.max_evals = options_.max_total_evals > 0 ? std::min(card, budget) : card;
+          log_info("executor: '", planned.name, "' enumerated through the scheduler (",
+                   sopts.max_evals, " configs)");
+        } else {
+          sopts.backend = service::SessionBackend::Bo;
+          sopts.max_evals = budget;
+        }
+        std::string journal;
+        if (!options_.checkpoint_dir.empty()) {
+          journal = options_.checkpoint_dir + "/search_" + std::to_string(search_id) +
+                    ".journal.jsonl";
+        }
+        std::unique_ptr<service::TuningSession> session;
+        if (!journal.empty() && options_.bo.resume && std::filesystem::exists(journal)) {
+          session = service::TuningSession::resume(sub_obj.space(), sopts, journal);
+        } else {
+          session = std::make_unique<service::TuningSession>(sub_obj.space(), sopts,
+                                                             journal);
+        }
+        service::EvalScheduler scheduler({options_.n_threads, 0});
+        result = scheduler.run(*session, sub_obj);
+      } else if (enumerate) {
         log_info("executor: '", planned.name, "' enumerated exhaustively (", card,
                  " configs)");
         search::GridSearchOptions grid_opts;
@@ -146,8 +178,10 @@ ExecutionResult PlanExecutor::execute(TunableApp& app,
       stage_outcomes[si] = std::move(outcome);
     };
 
-    const bool parallel =
-        options_.n_threads > 1 && app.thread_safe() && searches.size() > 1;
+    // With the session scheduler, n_threads parallelizes *within* each
+    // search; running searches concurrently on top would nest thread pools.
+    const bool parallel = options_.n_threads > 1 && app.thread_safe() &&
+                          searches.size() > 1 && !options_.session_scheduler;
     if (parallel) {
       ThreadPool pool(std::min(options_.n_threads, searches.size()));
       pool.parallel_for(searches.size(), run_one);

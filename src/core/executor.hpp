@@ -50,6 +50,17 @@ struct ExecutorOptions {
   /// Parallel searches within a stage (requires a thread-safe app).
   std::size_t n_threads = 1;
 
+  /// Route every search through the session service (service::TuningSession
+  /// + service::EvalScheduler) instead of the blocking drivers: candidates
+  /// are asked in constant-liar batches and evaluated concurrently on
+  /// n_threads workers — *intra-search* parallelism, which pays off when a
+  /// single evaluation is expensive. Requires a thread-safe app; stage-level
+  /// search parallelism is disabled to avoid nesting thread pools. With a
+  /// checkpoint_dir set, each search journals to
+  /// <dir>/search_<id>.journal.jsonl and bo.resume picks a killed search
+  /// back up with its in-flight candidates re-issued.
+  bool session_scheduler = false;
+
   /// Directory for per-search checkpoint files; empty disables.
   std::string checkpoint_dir;
 

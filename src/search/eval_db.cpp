@@ -88,7 +88,9 @@ void EvalDb::save(const std::string& path) const {
   json::Object root;
   root["format"] = json::Value("tunekit-evaldb-v1");
   root["evaluations"] = json::Value(std::move(entries));
-  json::save(path, json::Value(std::move(root)));
+  // Atomic replace: a crash mid-save must never corrupt an existing
+  // checkpoint, or the crash recovery it exists for would be lost.
+  json::save_atomic(path, json::Value(std::move(root)));
 }
 
 EvalDb EvalDb::load(const std::string& path, const SearchSpace& space) {

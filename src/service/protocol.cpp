@@ -1,0 +1,134 @@
+#include "service/protocol.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "common/json.hpp"
+#include "search/config.hpp"
+
+namespace tunekit::service {
+
+namespace {
+
+json::Value named_config(const search::SearchSpace& space, const search::Config& config) {
+  json::Object obj;
+  for (const auto& [name, value] : search::to_named(space, config)) {
+    obj[name] = json::Value(value);
+  }
+  return json::Value(std::move(obj));
+}
+
+std::string error_response(const std::string& message) {
+  json::Object obj;
+  obj["ok"] = json::Value(false);
+  obj["error"] = json::Value(message);
+  return json::Value(std::move(obj)).dump();
+}
+
+void put_status(json::Object& obj, const SessionStatus& status,
+                const search::SearchSpace& space, bool with_best_config) {
+  obj["state"] = json::Value(to_string(status.state));
+  obj["completed"] = json::Value(status.completed);
+  obj["outstanding"] = json::Value(status.outstanding);
+  obj["queued"] = json::Value(status.queued);
+  obj["remaining"] = json::Value(status.remaining);
+  if (status.best) {
+    obj["best_value"] = json::Value(status.best->value);
+    if (with_best_config) obj["best_config"] = named_config(space, status.best->config);
+  }
+}
+
+}  // namespace
+
+std::string SessionServer::handle(const std::string& line, bool& exit_requested) {
+  exit_requested = false;
+  json::Value request;
+  try {
+    request = json::parse(line);
+  } catch (const json::JsonError& e) {
+    return error_response(std::string("bad json: ") + e.what());
+  }
+
+  try {
+    const std::string op = request.at("op").as_string();
+    const search::SearchSpace& space = session_.space();
+    json::Object reply;
+    reply["ok"] = json::Value(true);
+
+    if (op == "ask") {
+      const auto k = static_cast<std::size_t>(request.number_or("k", 1.0));
+      const auto batch = session_.ask(k);
+      json::Array candidates;
+      for (const auto& c : batch) {
+        json::Object cand;
+        cand["id"] = json::Value(static_cast<double>(c.id));
+        cand["attempt"] = json::Value(c.attempt);
+        cand["config"] = named_config(space, c.config);
+        candidates.emplace_back(std::move(cand));
+      }
+      reply["candidates"] = json::Value(std::move(candidates));
+      const auto status = session_.status();
+      reply["state"] = json::Value(to_string(status.state));
+      reply["remaining"] = json::Value(status.remaining);
+    } else if (op == "tell") {
+      const double value = request.at("value").is_null()
+                               ? std::numeric_limits<double>::quiet_NaN()
+                               : request.at("value").as_number();
+      const double cost = request.number_or("cost_seconds", 0.0);
+      bool accepted = true;
+      if (request.contains("id")) {
+        accepted = session_.tell(
+            static_cast<std::uint64_t>(request.at("id").as_number()), value, cost);
+      } else if (request.contains("config")) {
+        search::NamedConfig named;
+        for (const auto& [name, v] : request.at("config").as_object()) {
+          // from_named() silently ignores unknown keys; a client typo must
+          // surface as an error, not be absorbed into the defaults.
+          if (!space.has(name)) {
+            return error_response("unknown parameter '" + name + "'");
+          }
+          named[name] = v.as_number();
+        }
+        session_.observe(search::from_named(space, named), value, cost);
+      } else {
+        return error_response("tell requires an id or a config");
+      }
+      reply["accepted"] = json::Value(accepted);
+      const auto status = session_.status();
+      reply["state"] = json::Value(to_string(status.state));
+      reply["completed"] = json::Value(status.completed);
+      reply["remaining"] = json::Value(status.remaining);
+      if (status.best) reply["best_value"] = json::Value(status.best->value);
+    } else if (op == "fail") {
+      const bool accepted = session_.tell_failure(
+          static_cast<std::uint64_t>(request.at("id").as_number()));
+      reply["accepted"] = json::Value(accepted);
+      reply["state"] = json::Value(to_string(session_.state()));
+    } else if (op == "status") {
+      put_status(reply, session_.status(), space, /*with_best_config=*/true);
+    } else if (op == "exit") {
+      exit_requested = true;
+      put_status(reply, session_.status(), space, /*with_best_config=*/true);
+    } else {
+      return error_response("unknown op '" + op + "'");
+    }
+    return json::Value(std::move(reply)).dump();
+  } catch (const std::exception& e) {
+    return error_response(e.what());
+  }
+}
+
+std::size_t SessionServer::serve(std::istream& in, std::ostream& out) {
+  std::size_t handled = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    bool exit_requested = false;
+    out << handle(line, exit_requested) << '\n' << std::flush;
+    ++handled;
+    if (exit_requested) break;
+  }
+  return handled;
+}
+
+}  // namespace tunekit::service

@@ -1,0 +1,52 @@
+#pragma once
+// Newline-delimited JSON ask/tell protocol over a stream pair, so an
+// application that is NOT linked against tunekit (a Fortran solver, a batch
+// script wrapping srun, a remote harness) can still be tuned: it spawns
+// `tunekit_cli session`, writes one request per line on the child's stdin,
+// and reads one response per line from its stdout.
+//
+// Requests:
+//   {"op":"ask","k":4}
+//   {"op":"tell","id":7,"value":12.5,"cost_seconds":3.2}
+//   {"op":"tell","config":{"name":value,...},"value":12.5}   unsolicited observation
+//   {"op":"fail","id":7}                                     evaluation crashed
+//   {"op":"status"}
+//   {"op":"exit"}
+//
+// Responses (one per request, always a single line):
+//   ask    -> {"ok":true,"state":S,"remaining":R,
+//              "candidates":[{"id":7,"attempt":0,"config":{name:value,...}},...]}
+//   tell   -> {"ok":true,"accepted":B,"completed":N,"best_value":V}
+//   fail   -> {"ok":true,"accepted":B,...}
+//   status -> {"ok":true,"state":S,"completed":N,"outstanding":O,"queued":Q,
+//              "remaining":R,"best_value":V,"best_config":{...}}
+//   exit   -> {"ok":true,"state":S,"completed":N,...}   (then the server returns)
+//   errors -> {"ok":false,"error":"..."}
+//
+// Candidate configs are keyed by parameter name, so the client does not need
+// to know tunekit's positional ordering.
+
+#include <iosfwd>
+#include <string>
+
+#include "service/session.hpp"
+
+namespace tunekit::service {
+
+class SessionServer {
+ public:
+  explicit SessionServer(TuningSession& session) : session_(session) {}
+
+  /// Handle one request line; returns the response line (no newline).
+  /// Sets `exit_requested` to true on {"op":"exit"}.
+  std::string handle(const std::string& line, bool& exit_requested);
+
+  /// Serve until EOF or an exit request; one response line per request,
+  /// flushed after each. Returns the number of requests handled.
+  std::size_t serve(std::istream& in, std::ostream& out);
+
+ private:
+  TuningSession& session_;
+};
+
+}  // namespace tunekit::service

@@ -1,0 +1,42 @@
+#include "service/scheduler.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/log.hpp"
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
+
+namespace tunekit::service {
+
+search::SearchResult EvalScheduler::run(TuningSession& session,
+                                        search::Objective& objective) const {
+  std::size_t n_threads = options_.n_threads;
+  if (n_threads == 0) n_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (!objective.thread_safe()) n_threads = 1;
+  const std::size_t batch_size =
+      options_.batch_size > 0 ? options_.batch_size : n_threads;
+
+  ThreadPool pool(n_threads);
+  while (true) {
+    const auto batch = session.ask(batch_size);
+    if (batch.empty()) break;  // exhausted (this driver resolves all it asks)
+    pool.parallel_for(batch.size(), [&](std::size_t i) {
+      const Candidate& c = batch[i];
+      Stopwatch watch;
+      try {
+        const double value = objective.evaluate(c.config);
+        session.tell(c.id, value, watch.seconds());
+      } catch (const std::exception& e) {
+        log_warn("scheduler: evaluation of candidate ", c.id, " failed (", e.what(),
+                 ")");
+        session.tell_failure(c.id);
+      } catch (...) {
+        session.tell_failure(c.id);
+      }
+    });
+  }
+  return session.to_result();
+}
+
+}  // namespace tunekit::service

@@ -1,0 +1,41 @@
+#pragma once
+// EvalScheduler: drives a TuningSession to exhaustion against an in-process
+// objective, evaluating each asked batch concurrently on a thread pool.
+//
+// This is what gives tunekit *intra-search* parallelism: BayesOpt::run()
+// evaluates strictly one configuration per iteration, while the scheduler
+// asks for `batch_size` constant-liar candidates at a time and spreads them
+// across workers — the win grows with the cost of a single evaluation
+// (real HPC evaluations are minutes, not microseconds). Crashing
+// evaluations are reported with tell_failure(), so the session's retry /
+// failure_penalty policy applies.
+
+#include <cstddef>
+
+#include "search/objective.hpp"
+#include "search/result.hpp"
+#include "service/session.hpp"
+
+namespace tunekit::service {
+
+struct SchedulerOptions {
+  /// Worker threads; 0 = hardware_concurrency(). Forced to 1 when the
+  /// objective is not thread-safe.
+  std::size_t n_threads = 0;
+  /// Candidates requested per ask(); 0 = one per worker.
+  std::size_t batch_size = 0;
+};
+
+class EvalScheduler {
+ public:
+  explicit EvalScheduler(SchedulerOptions options = {}) : options_(options) {}
+
+  /// Ask/evaluate/tell until the session stops issuing candidates. Returns
+  /// the session's result (method "session-<backend>").
+  search::SearchResult run(TuningSession& session, search::Objective& objective) const;
+
+ private:
+  SchedulerOptions options_;
+};
+
+}  // namespace tunekit::service

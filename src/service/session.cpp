@@ -1,0 +1,387 @@
+#include "service/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "search/samplers.hpp"
+#include "search/sobol.hpp"
+
+namespace tunekit::service {
+
+const char* to_string(SessionBackend backend) {
+  switch (backend) {
+    case SessionBackend::Bo: return "bo";
+    case SessionBackend::Random: return "random";
+    case SessionBackend::Grid: return "grid";
+  }
+  return "?";
+}
+
+SessionBackend backend_from_string(const std::string& name) {
+  if (name == "bo") return SessionBackend::Bo;
+  if (name == "random") return SessionBackend::Random;
+  if (name == "grid") return SessionBackend::Grid;
+  throw std::invalid_argument("unknown session backend '" + name +
+                              "' (expected bo, random, or grid)");
+}
+
+const char* to_string(SessionState state) {
+  switch (state) {
+    case SessionState::Active: return "active";
+    case SessionState::Exhausted: return "exhausted";
+    case SessionState::Closed: return "closed";
+  }
+  return "?";
+}
+
+namespace {
+
+bo::BoOptions surrogate_options(const SessionOptions& o) {
+  bo::BoOptions b = o.bo;
+  b.seed = o.seed;
+  b.max_evals = o.max_evals;
+  b.n_init = o.n_init;
+  b.failure_penalty = o.failure_penalty;
+  b.checkpoint_path.clear();
+  b.resume = false;
+  return b;
+}
+
+/// Deterministic per-candidate fallback sample: the same (seed, id) pair
+/// always yields the same configuration, regardless of how asks and tells
+/// interleaved before it — the property the resume determinism relies on.
+search::Config random_candidate(const search::SearchSpace& space, std::uint64_t seed,
+                                std::uint64_t id) {
+  tunekit::Rng rng(seed ^ (0x7f4a7c15ull + id * 0x9e3779b97f4a7c15ull));
+  return space.sample_valid(rng);
+}
+
+}  // namespace
+
+TuningSession::TuningSession(const search::SearchSpace& space, SessionOptions options,
+                             std::unique_ptr<SessionStore> store)
+    : space_(space),
+      options_(std::move(options)),
+      store_(std::move(store)),
+      bo_(surrogate_options(options_)) {
+  if (options_.backend == SessionBackend::Bo && options_.n_init > 0) {
+    const std::size_t n = std::min(options_.n_init, options_.max_evals);
+    tunekit::Rng rng(options_.seed);
+    switch (options_.bo.init_design) {
+      case bo::InitialDesign::LatinHypercube:
+        init_design_ = search::sample_valid_configs(space_, n, rng, /*latin_hypercube=*/true);
+        break;
+      case bo::InitialDesign::Sobol:
+        init_design_ = search::SobolSequence::sample(space_, n, options_.seed | 1);
+        break;
+      case bo::InitialDesign::UniformRandom:
+        init_design_ = search::sample_valid_configs(space_, n, rng, /*latin_hypercube=*/false);
+        break;
+    }
+  }
+  if (options_.backend == SessionBackend::Grid) {
+    grid_ = search::grid_configs(space_, options_.grid_real_levels);
+    std::erase_if(grid_, [&](const search::Config& c) { return !space_.is_valid(c); });
+    if (options_.max_evals > 0 && grid_.size() > options_.max_evals) {
+      // Deterministic stride subsample, as GridSearch does under a budget.
+      std::vector<search::Config> kept;
+      kept.reserve(options_.max_evals);
+      const double step =
+          static_cast<double>(grid_.size()) / static_cast<double>(options_.max_evals);
+      for (std::size_t i = 0; i < options_.max_evals; ++i) {
+        kept.push_back(grid_[static_cast<std::size_t>(static_cast<double>(i) * step)]);
+      }
+      grid_ = std::move(kept);
+    }
+  }
+}
+
+TuningSession::TuningSession(const search::SearchSpace& space, SessionOptions options,
+                             const std::string& journal_path)
+    : TuningSession(space, std::move(options), std::unique_ptr<SessionStore>()) {
+  if (!journal_path.empty()) store_ = SessionStore::create(journal_path, make_header());
+}
+
+std::unique_ptr<TuningSession> TuningSession::resume(const search::SearchSpace& space,
+                                                     SessionOptions options,
+                                                     const std::string& journal_path) {
+  auto replayed = SessionStore::replay(journal_path, space);
+  if (replayed.header.max_evals != options.max_evals) {
+    log_warn("session: resuming '", journal_path, "' with max_evals=", options.max_evals,
+             " (journal was created with ", replayed.header.max_evals, ")");
+  }
+  auto session = std::unique_ptr<TuningSession>(new TuningSession(
+      space, std::move(options), SessionStore::append(journal_path)));
+  for (const auto& e : replayed.completed) {
+    session->db_.record(e.config, e.value, e.cost_seconds);
+  }
+  for (auto& c : replayed.in_flight) session->reissue_.push_back(std::move(c));
+  session->next_id_ = std::max(session->next_id_, replayed.next_id);
+  log_info("session: resumed ", session->db_.size(), " evaluations and ",
+           session->reissue_.size(), " in-flight candidates from ", journal_path);
+  return session;
+}
+
+JournalHeader TuningSession::make_header() const {
+  JournalHeader h;
+  h.space_size = space_.size();
+  h.max_evals = options_.max_evals;
+  h.seed = options_.seed;
+  h.backend = to_string(options_.backend);
+  h.next_id = next_id_;
+  return h;
+}
+
+std::vector<Candidate> TuningSession::ask(std::size_t k) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Candidate> out;
+  if (closed_ || k == 0 || db_.size() >= options_.max_evals) return out;
+  expire_overdue_locked();
+
+  const auto now = std::chrono::steady_clock::now();
+
+  // Re-issues drain first — and exclusively, so a resumed or retrying
+  // session completes its in-flight work before new suggestions (which
+  // would otherwise be conditioned on an incomplete evaluation set).
+  if (!reissue_.empty()) {
+    while (out.size() < k && !reissue_.empty()) {
+      Candidate c = std::move(reissue_.front());
+      reissue_.pop_front();
+      if (store_) store_->ask(c);
+      pending_[c.id] = {c, now};
+      out.push_back(std::move(c));
+    }
+    return out;
+  }
+
+  const std::size_t n_new = std::min(k, issuable_locked());
+  if (n_new == 0) return out;
+  auto configs = generate_locked(n_new);
+  for (auto& cfg : configs) {
+    Candidate c{next_id_++, 0, std::move(cfg)};
+    if (store_) store_->ask(c);
+    pending_[c.id] = {c, now};
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+bool TuningSession::tell(std::uint64_t id, double value, double cost_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return false;
+  if (store_) store_->tell(id, value, cost_seconds);
+  // Erase before recording: record_locked may compact the journal, and a
+  // compaction snapshot must not list this candidate as still in flight.
+  const search::Config config = std::move(it->second.candidate.config);
+  pending_.erase(it);
+  record_locked(config, value, cost_seconds);
+  return true;
+}
+
+bool TuningSession::tell_failure(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return false;
+  Candidate c = std::move(it->second.candidate);
+  pending_.erase(it);
+  fail_attempt_locked(std::move(c));
+  return true;
+}
+
+void TuningSession::observe(search::Config config, double value, double cost_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Candidate c{next_id_++, 0, std::move(config)};
+  if (store_) {
+    store_->ask(c);
+    store_->tell(c.id, value, cost_seconds);
+  }
+  record_locked(c.config, value, cost_seconds);
+}
+
+void TuningSession::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+}
+
+void TuningSession::expire_overdue_locked() {
+  if (!std::isfinite(options_.deadline_seconds)) return;
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<std::uint64_t> overdue;
+  for (const auto& [id, p] : pending_) {
+    const double age = std::chrono::duration<double>(now - p.issued_at).count();
+    if (age > options_.deadline_seconds) overdue.push_back(id);
+  }
+  for (std::uint64_t id : overdue) {
+    auto it = pending_.find(id);
+    Candidate c = std::move(it->second.candidate);
+    pending_.erase(it);
+    log_warn("session: candidate ", id, " missed its ", options_.deadline_seconds,
+             "s deadline (attempt ", c.attempt + 1, "/", options_.max_attempts, ")");
+    fail_attempt_locked(std::move(c));
+  }
+}
+
+void TuningSession::fail_attempt_locked(Candidate candidate) {
+  if (store_) store_->fail(candidate.id);
+  if (candidate.attempt + 1 < options_.max_attempts) {
+    ++candidate.attempt;
+    reissue_.push_back(std::move(candidate));
+  } else {
+    if (store_) store_->drop(candidate.id, options_.failure_penalty);
+    record_locked(candidate.config, options_.failure_penalty, 0.0);
+  }
+}
+
+void TuningSession::record_locked(const search::Config& config, double value,
+                                  double cost_seconds) {
+  db_.record(config, value, cost_seconds);
+  ++completed_since_compact_;
+  maybe_compact_locked();
+}
+
+void TuningSession::maybe_compact_locked() {
+  if (!store_ || options_.compact_every == 0 ||
+      completed_since_compact_ < options_.compact_every) {
+    return;
+  }
+  completed_since_compact_ = 0;
+  std::vector<Candidate> in_flight;
+  in_flight.reserve(pending_.size() + reissue_.size());
+  for (const auto& [id, p] : pending_) in_flight.push_back(p.candidate);
+  for (const auto& c : reissue_) in_flight.push_back(c);
+  store_->compact(make_header(), db_.all(), in_flight);
+}
+
+std::size_t TuningSession::issuable_locked() const {
+  const std::size_t claimed = db_.size() + pending_.size() + reissue_.size();
+  std::size_t left = options_.max_evals > claimed ? options_.max_evals - claimed : 0;
+  if (options_.backend == SessionBackend::Grid) {
+    const std::size_t supply = next_id_ < grid_.size() ? grid_.size() - next_id_ : 0;
+    left = std::min(left, supply);
+  }
+  return left;
+}
+
+std::vector<search::Config> TuningSession::generate_locked(std::size_t n) {
+  std::vector<search::Config> out;
+  out.reserve(n);
+  switch (options_.backend) {
+    case SessionBackend::Grid:
+      for (std::size_t i = 0; i < n && next_id_ + i < grid_.size(); ++i) {
+        out.push_back(grid_[next_id_ + i]);
+      }
+      return out;
+    case SessionBackend::Random:
+      for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(random_candidate(space_, options_.seed, next_id_ + i));
+      }
+      return out;
+    case SessionBackend::Bo:
+      break;
+  }
+
+  // Bo: serve the initial design first.
+  while (out.size() < n && next_id_ + out.size() < init_design_.size()) {
+    out.push_back(init_design_[next_id_ + out.size()]);
+  }
+  if (out.size() == n) return out;
+  const std::size_t want = n - out.size();
+
+  // Constant-liar batch: every unresolved candidate — pending, queued, and
+  // the ones generated above — enters the surrogate at the incumbent best,
+  // so repeated asks without tells still explore distinct regions.
+  const auto evals = db_.all();
+  double incumbent = std::numeric_limits<double>::infinity();
+  for (const auto& e : evals) {
+    if (!std::isnan(e.value) && e.value < incumbent) incumbent = e.value;
+  }
+  if (std::isfinite(incumbent)) {
+    search::EvalDb liar_db;
+    for (const auto& e : evals) liar_db.record(e.config, e.value, e.cost_seconds);
+    for (const auto& [id, p] : pending_) liar_db.record(p.candidate.config, incumbent);
+    for (const auto& c : reissue_) liar_db.record(c.config, incumbent);
+    for (const auto& cfg : out) liar_db.record(cfg, incumbent);
+    try {
+      auto batch = bo_.suggest_batch(liar_db, space_, want);
+      for (auto& cfg : batch) out.push_back(std::move(cfg));
+      return out;
+    } catch (const std::exception& e) {
+      log_warn("session: suggest_batch failed (", e.what(), "); random fill");
+    }
+  }
+  // No usable surrogate yet (everything failed so far, or it broke down):
+  // deterministic per-id random exploration.
+  while (out.size() < n) {
+    out.push_back(random_candidate(space_, options_.seed, next_id_ + out.size()));
+  }
+  return out;
+}
+
+SessionStatus TuningSession::status_locked() const {
+  SessionStatus s;
+  s.completed = db_.size();
+  s.outstanding = pending_.size();
+  s.queued = reissue_.size();
+  s.remaining = issuable_locked();
+  s.best = db_.best();
+  if (closed_) {
+    s.state = SessionState::Closed;
+  } else if (s.completed >= options_.max_evals ||
+             (s.remaining == 0 && s.outstanding == 0 && s.queued == 0)) {
+    s.state = SessionState::Exhausted;
+  } else {
+    s.state = SessionState::Active;
+  }
+  return s;
+}
+
+SessionStatus TuningSession::status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return status_locked();
+}
+
+SessionState TuningSession::state() const { return status().state; }
+
+std::size_t TuningSession::completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return db_.size();
+}
+
+std::size_t TuningSession::outstanding() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+std::optional<search::Evaluation> TuningSession::best() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return db_.best();
+}
+
+std::vector<search::Evaluation> TuningSession::evaluations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return db_.all();
+}
+
+search::SearchResult TuningSession::to_result() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  search::SearchResult result;
+  result.method = std::string("session-") + to_string(options_.backend);
+  const auto evals = db_.all();
+  result.values.reserve(evals.size());
+  for (const auto& e : evals) {
+    result.values.push_back(e.value);
+    if (e.value < result.best_value) {
+      result.best_value = e.value;
+      result.best_config = e.config;
+    }
+    result.trajectory.push_back(result.best_value);
+  }
+  result.evaluations = evals.size();
+  result.seconds = watch_.seconds();
+  return result;
+}
+
+}  // namespace tunekit::service

@@ -1,0 +1,183 @@
+#pragma once
+// TuningSession: an ask/tell state machine decoupling suggestion from
+// evaluation (the GPTune/BoGraph "tuner as a service" shape).
+//
+// Where BayesOpt::run() owns the evaluation loop, a session only *suggests*:
+// ask(k) issues up to k candidate configurations, the caller evaluates them
+// however it likes (in-process, over MPI, on another machine) and reports
+// results back with tell() — out of order and partially is fine. Failed or
+// deadline-expired candidates are retried a bounded number of times and then
+// recorded at `failure_penalty` (the same semantics BayesOpt applies to
+// crashing evaluations). Once `max_evals` results are recorded the session
+// is exhausted and ask() returns nothing.
+//
+// Backends: Bo (initial design, then BayesOpt::suggest_batch constant-liar
+// batches; pending candidates act as liars so repeated asks don't duplicate),
+// Random (each candidate id maps to a deterministic valid sample — the
+// sequence is identical no matter how asks and tells interleave), and Grid
+// (a stride-subsampled factorial enumeration, for the executor's exhaustive
+// searches).
+//
+// With a SessionStore attached every event is journaled durably, and
+// resume() reconstructs a killed session: completed evaluations are
+// restored, in-flight candidates are re-issued (before any new suggestion),
+// and the remaining budget is exactly what it was.
+
+#include <chrono>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "bo/bayes_opt.hpp"
+#include "common/stopwatch.hpp"
+#include "search/eval_db.hpp"
+#include "search/result.hpp"
+#include "search/space.hpp"
+#include "service/session_store.hpp"
+
+namespace tunekit::service {
+
+enum class SessionBackend { Bo, Random, Grid };
+const char* to_string(SessionBackend backend);
+SessionBackend backend_from_string(const std::string& name);
+
+enum class SessionState { Active, Exhausted, Closed };
+const char* to_string(SessionState state);
+
+struct SessionOptions {
+  /// Total recorded evaluations (tells plus dropped failures) before the
+  /// session is exhausted.
+  std::size_t max_evals = 100;
+  /// Initial-design candidates issued before the surrogate takes over
+  /// (Bo backend only).
+  std::size_t n_init = 5;
+
+  SessionBackend backend = SessionBackend::Bo;
+  /// Surrogate/acquisition settings for the Bo backend. Its budget,
+  /// checkpoint, and seed fields are ignored — the session's own fields
+  /// govern those.
+  bo::BoOptions bo;
+
+  /// A candidate not told within this many seconds of issue is treated as a
+  /// failed attempt at the next ask()/status() and re-issued. infinity
+  /// disables deadlines.
+  double deadline_seconds = std::numeric_limits<double>::infinity();
+  /// Total issue attempts per candidate before it is dropped.
+  std::size_t max_attempts = 3;
+  /// Value recorded for a dropped candidate (NaN keeps it out of the
+  /// surrogate but still consumes budget; mirrors BoOptions::failure_penalty).
+  double failure_penalty = std::numeric_limits<double>::quiet_NaN();
+
+  /// Levels used to discretize Real parameters (Grid backend).
+  std::size_t grid_real_levels = 4;
+
+  /// Compact the journal (snapshot + rewrite) every this many completed
+  /// evaluations; 0 disables compaction.
+  std::size_t compact_every = 64;
+
+  std::uint64_t seed = 1;
+};
+
+struct SessionStatus {
+  SessionState state = SessionState::Active;
+  /// Evaluations recorded (tells + drops).
+  std::size_t completed = 0;
+  /// Candidates issued and awaiting their tell.
+  std::size_t outstanding = 0;
+  /// Failed/expired candidates queued for re-issue.
+  std::size_t queued = 0;
+  /// New candidates ask() can still issue.
+  std::size_t remaining = 0;
+  std::optional<search::Evaluation> best;
+};
+
+class TuningSession {
+ public:
+  /// `space` must outlive the session. Pass a store to journal durably.
+  TuningSession(const search::SearchSpace& space, SessionOptions options,
+                std::unique_ptr<SessionStore> store = nullptr);
+
+  /// Convenience: journal to `journal_path` (empty = in-memory only).
+  TuningSession(const search::SearchSpace& space, SessionOptions options,
+                const std::string& journal_path);
+
+  /// Rebuild a session from its journal: completed evaluations restored in
+  /// order, in-flight candidates queued for re-issue, budget unchanged.
+  static std::unique_ptr<TuningSession> resume(const search::SearchSpace& space,
+                                               SessionOptions options,
+                                               const std::string& journal_path);
+
+  TuningSession(const TuningSession&) = delete;
+  TuningSession& operator=(const TuningSession&) = delete;
+
+  /// Up to `k` candidates to evaluate. Re-issues (failed, expired, or
+  /// crash-restored candidates) are served before any new suggestion is
+  /// generated. Returns fewer than `k` — possibly none — when the remaining
+  /// budget or the backend's supply is smaller. Thread-safe.
+  std::vector<Candidate> ask(std::size_t k);
+
+  /// Report an evaluation result. Unknown or already-resolved ids return
+  /// false (harmless: duplicate tells after a retry are expected). Late
+  /// tells for candidates still outstanding past exhaustion are accepted.
+  bool tell(std::uint64_t id, double value, double cost_seconds = 0.0);
+
+  /// Report that an evaluation crashed. Consumes one attempt: the candidate
+  /// is queued for re-issue, or dropped at failure_penalty when attempts are
+  /// exhausted. Returns false for unknown ids.
+  bool tell_failure(std::uint64_t id);
+
+  /// Record an externally-measured observation (e.g. a warm-start point).
+  /// Consumes budget like any other evaluation.
+  void observe(search::Config config, double value, double cost_seconds = 0.0);
+
+  /// No further asks; pending candidates are abandoned (still journaled, so
+  /// a resume would re-issue them).
+  void close();
+
+  SessionStatus status() const;
+  SessionState state() const;
+  std::size_t completed() const;
+  std::size_t outstanding() const;
+  std::optional<search::Evaluation> best() const;
+  std::vector<search::Evaluation> evaluations() const;
+  const search::SearchSpace& space() const { return space_; }
+  const SessionOptions& options() const { return options_; }
+
+  /// Package the session as a SearchResult (method "session-<backend>").
+  search::SearchResult to_result() const;
+
+ private:
+  struct Pending {
+    Candidate candidate;
+    std::chrono::steady_clock::time_point issued_at;
+  };
+
+  JournalHeader make_header() const;
+  void expire_overdue_locked();
+  /// Retry-or-drop a candidate whose attempt failed.
+  void fail_attempt_locked(Candidate candidate);
+  void record_locked(const search::Config& config, double value, double cost_seconds);
+  void maybe_compact_locked();
+  std::size_t issuable_locked() const;
+  std::vector<search::Config> generate_locked(std::size_t n);
+  SessionStatus status_locked() const;
+
+  const search::SearchSpace& space_;
+  SessionOptions options_;
+  std::unique_ptr<SessionStore> store_;
+  bo::BayesOpt bo_;
+  std::vector<search::Config> init_design_;
+  std::vector<search::Config> grid_;
+  search::EvalDb db_;
+  std::map<std::uint64_t, Pending> pending_;
+  std::deque<Candidate> reissue_;
+  std::uint64_t next_id_ = 0;
+  bool closed_ = false;
+  std::size_t completed_since_compact_ = 0;
+  Stopwatch watch_;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace tunekit::service

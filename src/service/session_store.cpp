@@ -1,0 +1,260 @@
+#include "service/session_store.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define TUNEKIT_HAVE_FSYNC 1
+#endif
+
+#include "common/json.hpp"
+
+namespace tunekit::service {
+
+namespace {
+
+json::Value header_value(const JournalHeader& h) {
+  json::Object obj;
+  obj["e"] = json::Value("open");
+  obj["format"] = json::Value(h.format);
+  obj["space"] = json::Value(h.space_size);
+  obj["max_evals"] = json::Value(h.max_evals);
+  obj["seed"] = json::Value(static_cast<double>(h.seed));
+  obj["backend"] = json::Value(h.backend);
+  obj["next_id"] = json::Value(static_cast<double>(h.next_id));
+  if (!h.snapshot.empty()) obj["snapshot"] = json::Value(h.snapshot);
+  return json::Value(std::move(obj));
+}
+
+JournalHeader parse_header(const json::Value& v, const std::string& path) {
+  if (!v.is_object() || !v.contains("e") || v.at("e").as_string() != "open" ||
+      !v.contains("format") || v.at("format").as_string() != "tunekit-session-v1") {
+    throw std::runtime_error("SessionStore: '" + path +
+                             "' does not start with a tunekit-session-v1 header");
+  }
+  JournalHeader h;
+  h.space_size = static_cast<std::size_t>(v.at("space").as_number());
+  h.max_evals = static_cast<std::size_t>(v.at("max_evals").as_number());
+  h.seed = static_cast<std::uint64_t>(v.at("seed").as_number());
+  h.backend = v.at("backend").as_string();
+  h.next_id = static_cast<std::uint64_t>(v.number_or("next_id", 0.0));
+  if (v.contains("snapshot")) h.snapshot = v.at("snapshot").as_string();
+  return h;
+}
+
+json::Value ask_value(const Candidate& c) {
+  json::Array cfg;
+  for (double x : c.config) cfg.emplace_back(x);
+  json::Object obj;
+  obj["e"] = json::Value("ask");
+  obj["id"] = json::Value(static_cast<double>(c.id));
+  obj["attempt"] = json::Value(c.attempt);
+  obj["config"] = json::Value(std::move(cfg));
+  return json::Value(std::move(obj));
+}
+
+search::Config parse_config(const json::Value& entry, std::size_t arity,
+                            const std::string& path) {
+  const auto& arr = entry.at("config").as_array();
+  if (arr.size() != arity) {
+    throw std::runtime_error("SessionStore: config arity mismatch in " + path);
+  }
+  search::Config cfg(arr.size());
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    cfg[i] = arr[i].is_null() ? std::numeric_limits<double>::quiet_NaN()
+                              : arr[i].as_number();
+  }
+  return cfg;
+}
+
+std::FILE* open_or_throw(const std::string& path, const char* mode) {
+  std::FILE* f = std::fopen(path.c_str(), mode);
+  if (!f) {
+    throw std::runtime_error("SessionStore: cannot open '" + path +
+                             "': " + std::strerror(errno));
+  }
+  return f;
+}
+
+}  // namespace
+
+SessionStore::SessionStore(std::FILE* file, std::string path)
+    : file_(file), path_(std::move(path)) {}
+
+SessionStore::~SessionStore() {
+  if (file_) std::fclose(file_);
+}
+
+std::unique_ptr<SessionStore> SessionStore::create(const std::string& path,
+                                                   const JournalHeader& header) {
+  const auto dir = std::filesystem::path(path).parent_path();
+  if (!dir.empty()) std::filesystem::create_directories(dir);
+  std::FILE* f = open_or_throw(path, "wb");
+  auto store = std::unique_ptr<SessionStore>(new SessionStore(f, path));
+  store->append_line(header_value(header).dump());
+  return store;
+}
+
+std::unique_ptr<SessionStore> SessionStore::append(const std::string& path) {
+  if (!std::filesystem::exists(path)) {
+    throw std::runtime_error("SessionStore: no journal at '" + path + "'");
+  }
+  std::FILE* f = open_or_throw(path, "ab");
+  return std::unique_ptr<SessionStore>(new SessionStore(f, path));
+}
+
+void SessionStore::append_line(const std::string& line) {
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fputc('\n', file_) == EOF || std::fflush(file_) != 0) {
+    throw std::runtime_error("SessionStore: write failed for '" + path_ + "'");
+  }
+#ifdef TUNEKIT_HAVE_FSYNC
+  ::fsync(::fileno(file_));
+#endif
+}
+
+void SessionStore::ask(const Candidate& candidate) {
+  append_line(ask_value(candidate).dump());
+}
+
+void SessionStore::tell(std::uint64_t id, double value, double cost_seconds) {
+  json::Object obj;
+  obj["e"] = json::Value("tell");
+  obj["id"] = json::Value(static_cast<double>(id));
+  obj["value"] = json::Value(value);
+  obj["cost"] = json::Value(cost_seconds);
+  append_line(json::Value(std::move(obj)).dump());
+}
+
+void SessionStore::fail(std::uint64_t id) {
+  json::Object obj;
+  obj["e"] = json::Value("fail");
+  obj["id"] = json::Value(static_cast<double>(id));
+  append_line(json::Value(std::move(obj)).dump());
+}
+
+void SessionStore::drop(std::uint64_t id, double value) {
+  json::Object obj;
+  obj["e"] = json::Value("drop");
+  obj["id"] = json::Value(static_cast<double>(id));
+  obj["value"] = json::Value(value);
+  append_line(json::Value(std::move(obj)).dump());
+}
+
+void SessionStore::compact(JournalHeader header,
+                           const std::vector<search::Evaluation>& completed,
+                           const std::vector<Candidate>& in_flight) {
+  // 1. Completed evaluations become an EvalDb checkpoint (atomic rename
+  //    inside EvalDb::save), referenced from the rewritten header.
+  const std::string snapshot = path_ + ".snapshot.json";
+  search::EvalDb db;
+  for (const auto& e : completed) db.record(e.config, e.value, e.cost_seconds);
+  db.save(snapshot);
+  header.snapshot = snapshot;
+
+  // 2. Rewrite the journal as header + in-flight asks, atomically.
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::FILE* old = file_;
+    file_ = open_or_throw(tmp, "wb");
+    try {
+      append_line(header_value(header).dump());
+      for (const auto& c : in_flight) append_line(ask_value(c).dump());
+    } catch (...) {
+      std::fclose(file_);
+      file_ = old;
+      std::filesystem::remove(tmp);
+      throw;
+    }
+    std::fclose(old);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path_, ec);
+  if (ec) {
+    throw std::runtime_error("SessionStore: compaction rename failed for '" + path_ +
+                             "': " + ec.message());
+  }
+}
+
+SessionStore::Replay SessionStore::replay(const std::string& path,
+                                          const search::SearchSpace& space) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("SessionStore: cannot read '" + path + "'");
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty()) lines.push_back(std::move(line));
+  }
+  if (lines.empty()) {
+    throw std::runtime_error("SessionStore: empty journal '" + path + "'");
+  }
+
+  Replay out;
+  out.header = parse_header(json::parse(lines.front()), path);
+  if (out.header.space_size != space.size()) {
+    throw std::runtime_error("SessionStore: journal space size mismatch in " + path);
+  }
+  if (!out.header.snapshot.empty()) {
+    const auto db = search::EvalDb::load(out.header.snapshot, space);
+    out.completed = db.all();
+  }
+
+  // Pending candidates by id; `fail` keeps them around at attempt + 1 (the
+  // live session queues them for re-issue), `tell`/`drop` resolve them.
+  std::map<std::uint64_t, Candidate> open;
+  std::uint64_t max_id_seen = 0;
+  bool any_id = false;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    json::Value v;
+    try {
+      v = json::parse(lines[i]);
+    } catch (const json::JsonError&) {
+      if (i + 1 == lines.size()) break;  // torn final line from a crash
+      throw std::runtime_error("SessionStore: corrupt journal line in " + path);
+    }
+    const std::string& e = v.at("e").as_string();
+    const auto id = static_cast<std::uint64_t>(v.at("id").as_number());
+    max_id_seen = std::max(max_id_seen, id);
+    any_id = true;
+    if (e == "ask") {
+      Candidate c;
+      c.id = id;
+      c.attempt = static_cast<std::size_t>(v.number_or("attempt", 0.0));
+      c.config = parse_config(v, space.size(), path);
+      open[id] = std::move(c);
+    } else if (e == "tell") {
+      auto it = open.find(id);
+      if (it == open.end()) continue;  // duplicate/out-of-order tell
+      const double value = v.at("value").is_null()
+                               ? std::numeric_limits<double>::quiet_NaN()
+                               : v.at("value").as_number();
+      out.completed.push_back({it->second.config, value, v.number_or("cost", 0.0)});
+      open.erase(it);
+    } else if (e == "fail") {
+      auto it = open.find(id);
+      if (it != open.end()) ++it->second.attempt;
+    } else if (e == "drop") {
+      auto it = open.find(id);
+      if (it == open.end()) continue;
+      const double value = v.at("value").is_null()
+                               ? std::numeric_limits<double>::quiet_NaN()
+                               : v.at("value").as_number();
+      out.completed.push_back({it->second.config, value, 0.0});
+      open.erase(it);
+    } else {
+      throw std::runtime_error("SessionStore: unknown journal event '" + e + "' in " +
+                               path);
+    }
+  }
+
+  for (auto& [id, c] : open) out.in_flight.push_back(std::move(c));
+  out.next_id = std::max(out.header.next_id, any_id ? max_id_seen + 1 : 0);
+  return out;
+}
+
+}  // namespace tunekit::service

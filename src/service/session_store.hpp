@@ -1,0 +1,111 @@
+#pragma once
+// SessionStore: durable journal behind a TuningSession.
+//
+// Every ask/tell event of a session is appended as one compact JSON line and
+// fsync'd, so a session killed mid-batch loses nothing: replaying the journal
+// reconstructs the completed evaluations *and* the in-flight candidates that
+// were issued but never resolved — strictly stronger crash recovery than the
+// EvalDb checkpoints, which only persist completed evaluations every
+// `checkpoint_every` steps.
+//
+// Journal line grammar (format "tunekit-session-v1"):
+//   {"e":"open","format":...,"space":N,"max_evals":M,"seed":S,
+//    "backend":"bo","next_id":K[,"snapshot":PATH]}      header, first line
+//   {"e":"ask","id":I,"attempt":A,"config":[...]}       candidate issued
+//   {"e":"tell","id":I,"value":V,"cost":C}              evaluation reported
+//   {"e":"fail","id":I}                                 attempt failed; will retry
+//   {"e":"drop","id":I,"value":V}                       retries exhausted; V recorded
+//
+// Compaction folds completed evaluations into an EvalDb-format snapshot file
+// (written via atomic rename) and rewrites the journal (also via atomic
+// rename) to just the header plus the in-flight asks, bounding journal growth
+// for long sessions.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "search/eval_db.hpp"
+#include "search/space.hpp"
+
+namespace tunekit::service {
+
+/// A configuration issued by ask() and awaiting its tell().
+struct Candidate {
+  std::uint64_t id = 0;
+  /// 0-based issue attempt; incremented when a failed or expired candidate
+  /// is re-issued.
+  std::size_t attempt = 0;
+  search::Config config;
+};
+
+struct JournalHeader {
+  std::string format = "tunekit-session-v1";
+  std::size_t space_size = 0;
+  std::size_t max_evals = 0;
+  std::uint64_t seed = 0;
+  std::string backend;
+  /// First candidate id not yet allocated (advanced by compaction so ids
+  /// stay unique after evaluations are folded into the snapshot).
+  std::uint64_t next_id = 0;
+  /// EvalDb-format snapshot holding evaluations compacted out of the journal
+  /// (empty = none).
+  std::string snapshot;
+};
+
+class SessionStore {
+ public:
+  /// Journal state reconstructed by replay().
+  struct Replay {
+    JournalHeader header;
+    /// Completed evaluations in journal (= tell) order.
+    std::vector<search::Evaluation> completed;
+    /// Candidates issued but never resolved, ascending by id: these are the
+    /// in-flight evaluations a resumed session must re-issue.
+    std::vector<Candidate> in_flight;
+    std::uint64_t next_id = 0;
+  };
+
+  /// Start a fresh journal at `path` (truncating any previous one) and write
+  /// the header line.
+  static std::unique_ptr<SessionStore> create(const std::string& path,
+                                              const JournalHeader& header);
+
+  /// Reopen an existing journal for appending (resume); the header is left
+  /// untouched.
+  static std::unique_ptr<SessionStore> append(const std::string& path);
+
+  /// Parse a journal (following its snapshot reference, if any). Throws
+  /// std::runtime_error on a missing/corrupt header or a config arity
+  /// mismatch against `space`. A trailing partial line (torn write during a
+  /// crash) is ignored.
+  static Replay replay(const std::string& path, const search::SearchSpace& space);
+
+  ~SessionStore();
+  SessionStore(const SessionStore&) = delete;
+  SessionStore& operator=(const SessionStore&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  void ask(const Candidate& candidate);
+  void tell(std::uint64_t id, double value, double cost_seconds);
+  void fail(std::uint64_t id);
+  void drop(std::uint64_t id, double value);
+
+  /// Fold `completed` into an EvalDb snapshot (atomic rename) and rewrite
+  /// the journal to header + in-flight asks (atomic rename).
+  void compact(JournalHeader header, const std::vector<search::Evaluation>& completed,
+               const std::vector<Candidate>& in_flight);
+
+ private:
+  SessionStore(std::FILE* file, std::string path);
+
+  /// Append one line and fsync it to disk.
+  void append_line(const std::string& line);
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace tunekit::service

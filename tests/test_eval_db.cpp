@@ -126,6 +126,37 @@ TEST(EvalDb, NaNValueSurvivesRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(EvalDb, SaveIsAtomicNoTempFileLeftBehind) {
+  const std::string path = temp_path("tunekit_evaldb_atomic.json");
+  EvalDb db;
+  db.record({0.1, 0.2}, 1.0);
+  db.save(path);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(EvalDb, SaveOverwritesExistingCheckpointSafely) {
+  const auto space = two_dim_space();
+  const std::string path = temp_path("tunekit_evaldb_overwrite.json");
+  {
+    EvalDb first;
+    first.record({0.1, 0.2}, 1.0);
+    first.save(path);
+  }
+  // A second save replaces the checkpoint wholesale — never a partial mix.
+  EvalDb second;
+  second.record({0.3, 0.4}, 2.0);
+  second.record({0.5, 0.6}, 3.0);
+  second.save(path);
+
+  const EvalDb loaded = EvalDb::load(path, space);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.all()[0].value, 2.0);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
 TEST(EvalDb, MoveTransfersContents) {
   EvalDb db;
   db.record({0.0, 0.0}, 1.0);

@@ -1,0 +1,202 @@
+#include "service/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "common/stopwatch.hpp"
+#include "search/objective.hpp"
+#include "service/session.hpp"
+
+namespace tunekit::service {
+namespace {
+
+search::SearchSpace two_dim_space() {
+  search::SearchSpace s;
+  s.add(search::ParamSpec::real("x", -5.0, 5.0, 0.0));
+  s.add(search::ParamSpec::real("y", -5.0, 5.0, 0.0));
+  return s;
+}
+
+/// Thread-safe sphere objective that counts calls and records every config
+/// it was asked to evaluate, so the stress test can prove nothing was lost
+/// or evaluated twice.
+class CountingObjective final : public search::Objective {
+ public:
+  explicit CountingObjective(double sleep_ms = 0.0) : sleep_ms_(sleep_ms) {}
+
+  double evaluate(const search::Config& c) override {
+    if (sleep_ms_ > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<long>(sleep_ms_ * 1000.0)));
+    }
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      seen_.push_back(c);
+    }
+    return c[0] * c[0] + c[1] * c[1];
+  }
+
+  bool thread_safe() const override { return true; }
+
+  std::size_t calls() const { return calls_.load(); }
+  std::vector<search::Config> seen() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return seen_;
+  }
+
+ private:
+  double sleep_ms_;
+  std::atomic<std::size_t> calls_{0};
+  mutable std::mutex mutex_;
+  std::vector<search::Config> seen_;
+};
+
+/// Crashes on every first attempt of an unseen config, succeeds on retries.
+class FlakyObjective final : public search::Objective {
+ public:
+  double evaluate(const search::Config& c) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (attempted_.insert(c).second) throw std::runtime_error("transient crash");
+    return c[0] + c[1];
+  }
+  bool thread_safe() const override { return true; }
+
+ private:
+  std::mutex mutex_;
+  std::set<search::Config> attempted_;
+};
+
+TEST(EvalScheduler, NoLostOrDuplicateEvaluations) {
+  const auto space = two_dim_space();
+  SessionOptions opt;
+  opt.max_evals = 64;
+  opt.backend = SessionBackend::Random;
+  opt.seed = 13;
+  TuningSession session(space, opt);
+
+  CountingObjective objective;
+  EvalScheduler scheduler({/*n_threads=*/8, /*batch_size=*/8});
+  const auto result = scheduler.run(session, objective);
+
+  // Budget is consumed exactly: every candidate evaluated once, none lost,
+  // none repeated.
+  EXPECT_EQ(result.evaluations, 64u);
+  EXPECT_EQ(objective.calls(), 64u);
+  const auto seen = objective.seen();
+  std::set<search::Config> unique(seen.begin(), seen.end());
+  EXPECT_EQ(unique.size(), seen.size());
+  EXPECT_EQ(session.state(), SessionState::Exhausted);
+  EXPECT_EQ(session.outstanding(), 0u);
+  ASSERT_TRUE(result.found());
+  EXPECT_TRUE(std::isfinite(result.best_value));
+}
+
+TEST(EvalScheduler, CrashingEvaluationsAreRetried) {
+  const auto space = two_dim_space();
+  SessionOptions opt;
+  opt.max_evals = 16;
+  opt.max_attempts = 3;
+  opt.backend = SessionBackend::Random;
+  TuningSession session(space, opt);
+
+  FlakyObjective objective;
+  EvalScheduler scheduler({4, 4});
+  const auto result = scheduler.run(session, objective);
+
+  // Every candidate crashed once then succeeded on retry — all 16 recorded.
+  EXPECT_EQ(result.evaluations, 16u);
+  EXPECT_TRUE(result.found());
+  for (const auto& e : session.evaluations()) EXPECT_TRUE(std::isfinite(e.value));
+}
+
+TEST(EvalScheduler, AlwaysCrashingConfigsDropAtPenalty) {
+  const auto space = two_dim_space();
+  SessionOptions opt;
+  opt.max_evals = 6;
+  opt.max_attempts = 2;
+  opt.backend = SessionBackend::Random;
+  TuningSession session(space, opt);
+
+  class DoomedObjective final : public search::Objective {
+   public:
+    double evaluate(const search::Config&) override {
+      throw std::runtime_error("always crashes");
+    }
+    bool thread_safe() const override { return true; }
+  } objective;
+
+  EvalScheduler scheduler({2, 2});
+  const auto result = scheduler.run(session, objective);
+  // Attempts exhausted for every candidate; budget fully consumed by drops.
+  EXPECT_EQ(session.completed(), 6u);
+  EXPECT_FALSE(result.found());  // all NaN: no best config
+  for (const auto& e : session.evaluations()) EXPECT_TRUE(std::isnan(e.value));
+}
+
+TEST(EvalScheduler, NonThreadSafeObjectiveForcedSequential) {
+  const auto space = two_dim_space();
+  SessionOptions opt;
+  opt.max_evals = 8;
+  opt.backend = SessionBackend::Random;
+  TuningSession session(space, opt);
+
+  class SerialObjective final : public search::Objective {
+   public:
+    double evaluate(const search::Config& c) override {
+      const int now = ++in_flight_;
+      EXPECT_EQ(now, 1) << "objective entered concurrently";
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      --in_flight_;
+      return c[0];
+    }
+    bool thread_safe() const override { return false; }
+
+   private:
+    std::atomic<int> in_flight_{0};
+  } objective;
+
+  EvalScheduler scheduler({8, 8});
+  const auto result = scheduler.run(session, objective);
+  EXPECT_EQ(result.evaluations, 8u);
+}
+
+TEST(EvalScheduler, ParallelFasterThanSequentialOnSlowObjective) {
+  const auto space = two_dim_space();
+  SessionOptions opt;
+  opt.max_evals = 24;
+  opt.backend = SessionBackend::Random;
+  opt.seed = 99;
+
+  const double sleep_ms = 10.0;
+  Stopwatch w1;
+  {
+    TuningSession session(space, opt);
+    CountingObjective objective(sleep_ms);
+    EvalScheduler scheduler({1, 1});
+    scheduler.run(session, objective);
+  }
+  const double sequential = w1.seconds();
+
+  Stopwatch w8;
+  {
+    TuningSession session(space, opt);
+    CountingObjective objective(sleep_ms);
+    EvalScheduler scheduler({8, 8});
+    scheduler.run(session, objective);
+  }
+  const double parallel = w8.seconds();
+
+  // 24 x 10ms sequentially is ~240ms; eight workers need only ~3 rounds.
+  // Generous 2x margin keeps this robust on loaded CI machines.
+  EXPECT_LT(parallel * 2.0, sequential);
+}
+
+}  // namespace
+}  // namespace tunekit::service

@@ -1,0 +1,144 @@
+#include "service/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/json.hpp"
+#include "service/session.hpp"
+
+namespace tunekit::service {
+namespace {
+
+search::SearchSpace two_dim_space() {
+  search::SearchSpace s;
+  s.add(search::ParamSpec::real("x", -5.0, 5.0, 0.0));
+  s.add(search::ParamSpec::real("y", -5.0, 5.0, 0.0));
+  return s;
+}
+
+json::Value handle(SessionServer& server, const std::string& line,
+                   bool* exited = nullptr) {
+  bool exit_requested = false;
+  const std::string response = server.handle(line, exit_requested);
+  if (exited) *exited = exit_requested;
+  return json::parse(response);
+}
+
+class SessionServerTest : public ::testing::Test {
+ protected:
+  SessionServerTest() : space_(two_dim_space()) {}
+
+  TuningSession& make_session(std::size_t max_evals = 8) {
+    SessionOptions opt;
+    opt.max_evals = max_evals;
+    opt.backend = SessionBackend::Random;
+    opt.seed = 3;
+    session_ = std::make_unique<TuningSession>(space_, opt);
+    return *session_;
+  }
+
+  search::SearchSpace space_;
+  std::unique_ptr<TuningSession> session_;
+};
+
+TEST_F(SessionServerTest, AskTellStatusRoundTrip) {
+  auto& session = make_session();
+  SessionServer server(session);
+
+  auto ask = handle(server, R"({"op":"ask","k":2})");
+  ASSERT_TRUE(ask.at("ok").as_bool());
+  EXPECT_EQ(ask.at("state").as_string(), "active");
+  const auto& candidates = ask.at("candidates").as_array();
+  ASSERT_EQ(candidates.size(), 2u);
+  const auto id = static_cast<std::uint64_t>(candidates[0].at("id").as_number());
+  // Configs are keyed by parameter name.
+  EXPECT_TRUE(candidates[0].at("config").contains("x"));
+  EXPECT_TRUE(candidates[0].at("config").contains("y"));
+
+  auto tell = handle(server, R"({"op":"tell","id":)" + std::to_string(id) +
+                                 R"(,"value":4.5,"cost_seconds":0.1})");
+  ASSERT_TRUE(tell.at("ok").as_bool());
+  EXPECT_TRUE(tell.at("accepted").as_bool());
+  EXPECT_EQ(tell.at("completed").as_number(), 1.0);
+  EXPECT_EQ(tell.at("best_value").as_number(), 4.5);
+
+  auto status = handle(server, R"({"op":"status"})");
+  ASSERT_TRUE(status.at("ok").as_bool());
+  EXPECT_EQ(status.at("completed").as_number(), 1.0);
+  EXPECT_EQ(status.at("outstanding").as_number(), 1.0);
+  EXPECT_TRUE(status.at("best_config").contains("x"));
+}
+
+TEST_F(SessionServerTest, UnsolicitedTellByConfig) {
+  auto& session = make_session();
+  SessionServer server(session);
+
+  auto tell = handle(server, R"({"op":"tell","config":{"x":1.0,"y":2.0},"value":5.0})");
+  ASSERT_TRUE(tell.at("ok").as_bool());
+  EXPECT_TRUE(tell.at("accepted").as_bool());
+  EXPECT_EQ(session.completed(), 1u);
+  EXPECT_DOUBLE_EQ(session.best()->value, 5.0);
+}
+
+TEST_F(SessionServerTest, FailRequeuesCandidate) {
+  auto& session = make_session();
+  SessionServer server(session);
+
+  auto ask = handle(server, R"({"op":"ask","k":1})");
+  const auto id = static_cast<std::uint64_t>(
+      ask.at("candidates").as_array()[0].at("id").as_number());
+  auto fail = handle(server, R"({"op":"fail","id":)" + std::to_string(id) + "}");
+  ASSERT_TRUE(fail.at("ok").as_bool());
+  EXPECT_TRUE(fail.at("accepted").as_bool());
+
+  auto retry = handle(server, R"({"op":"ask","k":1})");
+  const auto& candidates = retry.at("candidates").as_array();
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(static_cast<std::uint64_t>(candidates[0].at("id").as_number()), id);
+  EXPECT_EQ(candidates[0].at("attempt").as_number(), 1.0);
+}
+
+TEST_F(SessionServerTest, ErrorResponses) {
+  auto& session = make_session();
+  SessionServer server(session);
+
+  EXPECT_FALSE(handle(server, "not json at all").at("ok").as_bool());
+  EXPECT_FALSE(handle(server, R"({"op":"warp"})").at("ok").as_bool());
+  EXPECT_FALSE(handle(server, R"({"op":"tell","value":1.0})").at("ok").as_bool());
+  // Unknown id is not an error — it is a rejected (accepted:false) tell.
+  auto tell = handle(server, R"({"op":"tell","id":400,"value":1.0})");
+  EXPECT_TRUE(tell.at("ok").as_bool());
+  EXPECT_FALSE(tell.at("accepted").as_bool());
+  // Unknown parameter name in an unsolicited config is an error.
+  EXPECT_FALSE(handle(server, R"({"op":"tell","config":{"zz":1.0},"value":1.0})")
+                   .at("ok")
+                   .as_bool());
+}
+
+TEST_F(SessionServerTest, ServeStreamsUntilExit) {
+  auto& session = make_session(4);
+  SessionServer server(session);
+
+  std::istringstream in(
+      "{\"op\":\"ask\",\"k\":1}\n"
+      "\n"  // blank lines are skipped
+      "{\"op\":\"status\"}\n"
+      "{\"op\":\"exit\"}\n"
+      "{\"op\":\"status\"}\n");  // after exit: never read
+  std::ostringstream out;
+  const std::size_t handled = server.serve(in, out);
+  EXPECT_EQ(handled, 3u);
+
+  // One response line per request.
+  std::istringstream lines(out.str());
+  std::vector<std::string> responses;
+  for (std::string line; std::getline(lines, line);) responses.push_back(line);
+  ASSERT_EQ(responses.size(), 3u);
+  for (const auto& line : responses) {
+    EXPECT_TRUE(json::parse(line).at("ok").as_bool());
+  }
+}
+
+}  // namespace
+}  // namespace tunekit::service

@@ -4,8 +4,9 @@
 //   tunekit_cli analyze --app <name> [options]        sensitivity + DAG
 //   tunekit_cli plan    --app <name> [options]        the suggested search set
 //   tunekit_cli tune    --app <name> [options]        full methodology run
+//   tunekit_cli session --app <name> [options]        NDJSON ask/tell server
 //
-// Built-in apps: synth:case1..synth:case5, tddft:cs1, tddft:cs2.
+// Built-in apps: synth:case1..synth:case5, tddft:cs1, tddft:cs2, minislater.
 // Common options:
 //   --cutoff <frac>          influence cut-off (default 0.10; synthetic: 0.25)
 //   --max-dims <n>           per-search dimension cap (default 10)
@@ -16,6 +17,12 @@
 //   --seed <n>               RNG seed
 //   --checkpoint-dir <path>  per-search crash-recovery checkpoints
 //   --dot                    also print the pruned influence DAG as Graphviz
+//
+// Session options (see docs/SERVICE.md for the NDJSON protocol):
+//   --max-evals <n>          session evaluation budget (default 100)
+//   --backend <bo|random|grid>  suggestion backend (default bo)
+//   --journal <path>         durable ask/tell journal (JSON lines)
+//   --resume                 resume the session from --journal
 
 #include <cstdio>
 #include <iostream>
@@ -28,6 +35,8 @@
 #include "core/methodology.hpp"
 #include "core/report.hpp"
 #include "minislater/minislater_app.hpp"
+#include "service/protocol.hpp"
+#include "service/session.hpp"
 #include "synth/synth_app.hpp"
 #include "tddft/tddft_app.hpp"
 
@@ -37,10 +46,12 @@ namespace {
 
 int usage(const char* argv0) {
   std::printf(
-      "usage: %s <info|analyze|plan|tune> --app <name> [options]\n"
+      "usage: %s <info|analyze|plan|tune|session> --app <name> [options]\n"
       "apps:  synth:case1..case5 | tddft:cs1 | tddft:cs2 | minislater\n"
       "options: --cutoff F --max-dims N --variations N --importance-samples N\n"
-      "         --evals-per-param N --min-evals N --seed N --checkpoint-dir P --dot\n",
+      "         --evals-per-param N --min-evals N --seed N --checkpoint-dir P --dot\n"
+      "session: speaks NDJSON ask/tell on stdin/stdout (docs/SERVICE.md)\n"
+      "         --max-evals N --backend bo|random|grid --journal P --resume\n",
       argv0);
   return 2;
 }
@@ -57,6 +68,11 @@ struct CliArgs {
   std::uint64_t seed = 42;
   std::string checkpoint_dir;
   bool dot = false;
+  // session command
+  std::size_t max_evals = 100;
+  std::string backend = "bo";
+  std::string journal;
+  bool resume = false;
 };
 
 bool parse_args(int argc, char** argv, CliArgs& args) {
@@ -79,6 +95,10 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       else if (flag == "--seed") args.seed = std::stoull(next());
       else if (flag == "--checkpoint-dir") args.checkpoint_dir = next();
       else if (flag == "--dot") args.dot = true;
+      else if (flag == "--max-evals") args.max_evals = std::stoul(next());
+      else if (flag == "--backend") args.backend = next();
+      else if (flag == "--journal") args.journal = next();
+      else if (flag == "--resume") args.resume = true;
       else {
         std::fprintf(stderr, "unknown option: %s\n", flag.c_str());
         return false;
@@ -202,6 +222,30 @@ int cmd_tune(core::TunableApp& app, const core::MethodologyOptions& opt) {
   return 0;
 }
 
+// Serve the app's search space as an NDJSON ask/tell session: the client (an
+// external, non-linked application) evaluates the suggested configurations
+// itself and reports results back on stdin.
+int cmd_session(core::TunableApp& app, const CliArgs& args) {
+  service::SessionOptions opt;
+  opt.max_evals = args.max_evals;
+  opt.backend = service::backend_from_string(args.backend);
+  opt.seed = args.seed;
+
+  std::unique_ptr<service::TuningSession> session;
+  if (args.resume) {
+    if (args.journal.empty()) {
+      std::fprintf(stderr, "error: --resume requires --journal\n");
+      return 2;
+    }
+    session = service::TuningSession::resume(app.space(), opt, args.journal);
+  } else {
+    session = std::make_unique<service::TuningSession>(app.space(), opt, args.journal);
+  }
+  service::SessionServer server(*session);
+  server.serve(std::cin, std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -223,6 +267,7 @@ int main(int argc, char** argv) {
     if (args.command == "analyze") return cmd_analyze(*bundle.app, opt, args.dot);
     if (args.command == "plan") return cmd_plan(*bundle.app, opt);
     if (args.command == "tune") return cmd_tune(*bundle.app, opt);
+    if (args.command == "session") return cmd_session(*bundle.app, args);
     std::fprintf(stderr, "unknown command '%s'\n", args.command.c_str());
     return usage(argv[0]);
   } catch (const std::exception& e) {
