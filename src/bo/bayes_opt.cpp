@@ -6,6 +6,7 @@
 
 #include "common/log.hpp"
 #include "common/stopwatch.hpp"
+#include "robust/outcome.hpp"
 #include "search/samplers.hpp"
 #include "search/sobol.hpp"
 
@@ -51,15 +52,29 @@ search::SearchResult BayesOpt::run(search::Objective& objective,
 
   auto evaluate_and_record = [&](const search::Config& config) {
     Stopwatch eval_watch;
-    double value;
+    double value = std::numeric_limits<double>::quiet_NaN();
+    robust::EvalOutcome outcome = robust::EvalOutcome::Ok;
     try {
       value = objective.evaluate(config);
+      outcome = robust::classify_value(value);
+    } catch (const robust::EvalFailure& e) {
+      // A hardened objective already classified the failure; keep the why.
+      log_warn("bo: evaluation failed (", e.what(), "); recording as ",
+               robust::to_string(e.outcome()));
+      outcome = e.outcome();
+    } catch (const std::invalid_argument& e) {
+      log_warn("bo: invalid configuration (", e.what(), "); recording as failure");
+      outcome = robust::EvalOutcome::InvalidConfig;
     } catch (const std::exception& e) {
       // Application crash: record the failure and keep searching.
       log_warn("bo: evaluation failed (", e.what(), "); recording as failure");
-      value = std::numeric_limits<double>::quiet_NaN();
+      outcome = robust::EvalOutcome::Crashed;
+    } catch (...) {
+      log_warn("bo: evaluation threw a non-standard exception; recording as crash");
+      outcome = robust::EvalOutcome::Crashed;
     }
-    db.record(config, value, eval_watch.seconds());
+    if (robust::is_failure(outcome)) value = std::numeric_limits<double>::quiet_NaN();
+    db.record(config, value, eval_watch.seconds(), outcome);
     if (!options_.checkpoint_path.empty() && options_.checkpoint_every > 0 &&
         db.size() % options_.checkpoint_every == 0) {
       db.save(options_.checkpoint_path);
@@ -120,7 +135,9 @@ search::SearchResult BayesOpt::run(search::Objective& objective,
     std::vector<double> best_unit;
     for (const auto& e : evals) {
       double value = e.value;
-      if (std::isnan(value)) {
+      // Any non-finite observation (NaN crash sentinel or an overflowed +inf
+      // timing) is a failure: penalize or exclude, never feed it to the GP.
+      if (!std::isfinite(value)) {
         if (std::isnan(options_.failure_penalty)) continue;  // exclude failures
         value = options_.failure_penalty;
       }
@@ -194,7 +211,7 @@ search::SearchResult BayesOpt::run(search::Objective& objective,
   result.values.reserve(evals.size());
   for (const auto& e : evals) {
     result.values.push_back(e.value);
-    if (e.value < result.best_value) {
+    if (std::isfinite(e.value) && e.value < result.best_value) {
       result.best_value = e.value;
       result.best_config = e.config;
     }
@@ -220,7 +237,7 @@ std::vector<search::Config> BayesOpt::suggest_batch(const search::EvalDb& db,
   double best_value = std::numeric_limits<double>::infinity();
   std::vector<double> best_unit;
   for (const auto& e : evals) {
-    if (std::isnan(e.value)) continue;  // failed evaluations carry no target
+    if (!std::isfinite(e.value)) continue;  // failed evaluations carry no target
     unit_points.push_back(space.encode_unit(e.config));
     const double v = std::min(e.value, options_.timeout_value);
     y.push_back(v);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <filesystem>
+#include <limits>
 #include <numeric>
 
 #include "common/log.hpp"
@@ -102,6 +103,14 @@ ExecutionResult PlanExecutor::execute(TunableApp& app,
 
       RegionSumObjective region_obj(app, planned.objective_regions);
       search::SubspaceObjective sub_obj(region_obj, space, planned.params, base);
+      // Hardened evaluation for the blocking drivers: watchdog + repeats per
+      // call, classified failures re-thrown as EvalFailure (which BayesOpt
+      // records and GridSearch tolerates). The session path instead passes
+      // the options to the scheduler, which measures on its own workers.
+      const bool harden = !robust::is_trivial(options_.measure);
+      robust::HardenedObjective hardened_obj(sub_obj, options_.measure);
+      search::Objective& driver_obj =
+          harden ? static_cast<search::Objective&>(hardened_obj) : sub_obj;
 
       const std::size_t budget = budgets[si];
       search::SearchResult result;
@@ -144,7 +153,7 @@ ExecutionResult PlanExecutor::execute(TunableApp& app,
           session = std::make_unique<service::TuningSession>(sub_obj.space(), sopts,
                                                              journal);
         }
-        service::EvalScheduler scheduler({options_.n_threads, 0});
+        service::EvalScheduler scheduler({options_.n_threads, 0, options_.measure});
         result = scheduler.run(*session, sub_obj);
       } else if (enumerate) {
         log_info("executor: '", planned.name, "' enumerated exhaustively (", card,
@@ -152,7 +161,7 @@ ExecutionResult PlanExecutor::execute(TunableApp& app,
         search::GridSearchOptions grid_opts;
         if (options_.max_total_evals > 0) grid_opts.max_evals = budget;
         search::GridSearch grid(grid_opts);
-        result = grid.run(sub_obj, sub_obj.space());
+        result = grid.run(driver_obj, sub_obj.space());
         result.method = "enumerate";
       } else {
         bo::BoOptions bo_opts = options_.bo;
@@ -163,7 +172,7 @@ ExecutionResult PlanExecutor::execute(TunableApp& app,
               options_.checkpoint_dir + "/search_" + std::to_string(search_id) + ".json";
         }
         bo::BayesOpt driver(bo_opts);
-        result = driver.run(sub_obj, sub_obj.space());
+        result = driver.run(driver_obj, sub_obj.space());
       }
 
       SearchOutcome outcome;
@@ -203,7 +212,18 @@ ExecutionResult PlanExecutor::execute(TunableApp& app,
   }
 
   exec.final_config = base;
-  exec.final_times = app.evaluate_regions(base);
+  // The confirming measurement of the tuned configuration runs under the
+  // same hardening. If even the final measurement fails, report NaN times
+  // rather than aborting after the whole campaign succeeded.
+  const robust::RobustMeasurer measurer(options_.measure);
+  const robust::Measurement final_m = measurer.measure_regions(app, base);
+  if (final_m.outcome == robust::EvalOutcome::Ok) {
+    exec.final_times = final_m.regions;
+  } else {
+    log_warn("executor: final measurement failed as ",
+             robust::to_string(final_m.outcome), "; reporting NaN times");
+    exec.final_times.total = std::numeric_limits<double>::quiet_NaN();
+  }
   ++exec.total_evaluations;
   exec.seconds = watch.seconds();
   return exec;

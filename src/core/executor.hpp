@@ -18,6 +18,7 @@
 
 #include "bo/bayes_opt.hpp"
 #include "graph/search_plan.hpp"
+#include "robust/measure.hpp"
 #include "search/grid_search.hpp"
 #include "search/objective.hpp"
 #include "search/result.hpp"
@@ -63,6 +64,11 @@ struct ExecutorOptions {
 
   /// Directory for per-search checkpoint files; empty disables.
   std::string checkpoint_dir;
+
+  /// Hardened-evaluation settings applied to every search evaluation:
+  /// watchdog timeout, transient-crash retries, and repeats with MAD outlier
+  /// rejection. Defaults are the seed behavior (one bare call, no deadline).
+  robust::MeasureOptions measure;
 
   std::uint64_t seed = 1234;
 };

@@ -1,6 +1,8 @@
 #include "core/methodology.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <set>
 
 #include "common/log.hpp"
@@ -44,7 +46,12 @@ InfluenceAnalysis Methodology::analyze(TunableApp& app) const {
   for (std::size_t ri = 0; ri < routines.size(); ++ri) {
     for (std::size_t p : routines[ri].params) g.add_owner(p, ri);
   }
-  // Influence scores from the per-region sensitivity.
+  // Influence scores from the per-region sensitivity. With repeated
+  // measurement the graph gets the lower confidence bound instead of the raw
+  // score, so a cross edge (and the merged search it forces) appears only
+  // when the influence clears the cutoff after measurement noise is
+  // discounted — a noisy spike on a single run cannot inflate the DAG.
+  const bool use_lcb = sens_opts.measure.repeats > 1;
   const auto& report_regions = report.regions();
   for (std::size_t v = 0; v < vertex_names.size(); ++v) {
     const bool have_region = std::find(report_regions.begin(), report_regions.end(),
@@ -55,7 +62,10 @@ InfluenceAnalysis Methodology::analyze(TunableApp& app) const {
       continue;
     }
     for (std::size_t p = 0; p < space.size(); ++p) {
-      g.set_influence(p, v, report.score(vertex_names[v], p));
+      const double influence =
+          use_lcb ? report.lower_bound(vertex_names[v], p, options_.confidence_z)
+                  : report.score(vertex_names[v], p);
+      g.set_influence(p, v, influence);
     }
   }
 
@@ -73,19 +83,44 @@ InfluenceAnalysis Methodology::analyze(TunableApp& app) const {
     }
     tunekit::Rng rng(options_.seed ^ 0xfeedface);
     const auto configs = search::sample_valid_configs(space, n, rng);
-    linalg::Matrix x(n, space.size());
-    std::vector<double> y(n);
+    // A flaky app must not abort the whole analysis: failed or non-finite
+    // samples are dropped and the forest fits whatever survived.
+    std::vector<std::vector<double>> units;
+    std::vector<double> y;
+    units.reserve(n);
+    y.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
-      const auto unit = space.encode_unit(configs[i]);
-      for (std::size_t k = 0; k < unit.size(); ++k) x(i, k) = unit[k];
-      y[i] = app.evaluate(configs[i]);
+      double value = std::numeric_limits<double>::quiet_NaN();
+      try {
+        value = app.evaluate(configs[i]);
+      } catch (const std::exception& e) {
+        log_warn("methodology: importance sample failed (", e.what(), "); dropped");
+      } catch (...) {
+        log_warn("methodology: importance sample threw a non-standard exception; dropped");
+      }
+      if (!std::isfinite(value)) continue;
+      units.push_back(space.encode_unit(configs[i]));
+      y.push_back(value);
     }
     analysis.observations += n;
+    if (units.size() < n) {
+      log_warn("methodology: ", n - units.size(), " of ", n,
+               " importance samples failed");
+    }
 
-    stats::RandomForest forest(options_.forest);
-    forest.fit(x, y);
-    analysis.importance = forest.impurity_importance();
-    analysis.correlated = stats::correlated_pairs(x, options_.correlation_threshold);
+    if (units.size() >= 2) {
+      linalg::Matrix x(units.size(), space.size());
+      for (std::size_t i = 0; i < units.size(); ++i) {
+        for (std::size_t k = 0; k < space.size(); ++k) x(i, k) = units[i][k];
+      }
+      stats::RandomForest forest(options_.forest);
+      forest.fit(x, y);
+      analysis.importance = forest.impurity_importance();
+      analysis.correlated = stats::correlated_pairs(x, options_.correlation_threshold);
+    } else {
+      log_warn("methodology: too few successful importance samples (", units.size(),
+               "); skipping the random-forest step");
+    }
   }
 
   return analysis;

@@ -34,8 +34,16 @@ struct MethodologyOptions {
   /// Per-search dimension cap.
   std::size_t max_dims = 10;
 
-  /// Sensitivity analysis settings (V variations, ladder factor, ...).
+  /// Sensitivity analysis settings (V variations, ladder factor, repeated
+  /// measurement via sensitivity.measure, ...).
   stats::SensitivityOptions sensitivity;
+
+  /// With repeated measurement (sensitivity.measure.repeats > 1) the graph
+  /// influence becomes the score's lower confidence bound
+  /// max(0, score - z * stderr): a DAG cross edge is created only when the
+  /// influence is distinguishable from measurement noise at this z. Ignored
+  /// for single measurements (stderr is 0, the bound is the score).
+  double confidence_z = 1.96;
 
   /// Adopt the app's expert_variations() automatically (the paper's
   /// protocol). Set false to force the configured variation mode, e.g. for

@@ -63,16 +63,24 @@ class RegionSumObjective final : public search::Objective {
       : app_(app), regions_(std::move(regions)) {}
 
   double evaluate(const search::Config& config) override {
-    const auto t = app_.evaluate_regions(config);
+    return sum_regions(app_.evaluate_regions(config));
+  }
+
+  double evaluate_cancellable(const search::Config& config,
+                              const search::CancelFlag& cancel) override {
+    return sum_regions(app_.evaluate_regions_cancellable(config, cancel));
+  }
+
+  bool thread_safe() const override { return app_.thread_safe(); }
+
+ private:
+  double sum_regions(const search::RegionTimes& t) const {
     if (regions_.empty()) return t.total;
     double acc = 0.0;
     for (const auto& r : regions_) acc += t.region_or_total(r);
     return acc;
   }
 
-  bool thread_safe() const override { return app_.thread_safe(); }
-
- private:
   TunableApp& app_;
   std::vector<std::string> regions_;
 };

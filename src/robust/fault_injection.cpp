@@ -1,0 +1,147 @@
+#include "robust/fault_injection.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+
+#include "common/rng.hpp"
+
+namespace tunekit::robust {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic hash of a configuration's coordinate bits.
+std::uint64_t config_hash(const search::Config& config) {
+  std::uint64_t h = 0x51'7c'c1'b7'27'22'0a'95ull;
+  for (double v : config) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    h = splitmix64(h ^ bits);
+  }
+  return h;
+}
+
+/// Heavy-tailed standard variate: normal / sqrt(exponential), a Student-t
+/// flavored draw whose occasional extreme values model timer interference.
+double heavy_tail(Rng& rng) {
+  const double u = rng.uniform();
+  const double denom = std::sqrt(std::max(1e-12, -std::log(1.0 - u)));
+  return rng.normal() / denom;
+}
+
+/// Sleep `seconds` in small slices, bailing out as soon as `cancel` fires.
+/// Returns true when cancelled.
+bool cooperative_sleep(double seconds, const search::CancelFlag& cancel) {
+  using clock = std::chrono::steady_clock;
+  const auto deadline = clock::now() + std::chrono::duration_cast<clock::duration>(
+                                           std::chrono::duration<double>(seconds));
+  while (clock::now() < deadline) {
+    if (cancel.cancelled()) return true;
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+  return cancel.cancelled();
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultOptions options) : options_(options) {}
+
+FaultInjector::Decision FaultInjector::decide(const search::Config& config) {
+  stats_.calls.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t stream =
+      options_.model == FaultModel::PerConfig
+          ? splitmix64(options_.seed ^ config_hash(config))
+          : splitmix64(options_.seed ^
+                       (counter_.fetch_add(1, std::memory_order_relaxed) + 1));
+  Rng rng(stream);
+
+  Decision d;
+  const double u = rng.uniform();
+  double edge = options_.crash_prob;
+  if (u < edge) {
+    d.kind = Kind::Crash;
+  } else if (u < (edge += options_.hang_prob)) {
+    d.kind = Kind::Hang;
+  } else if (u < (edge += options_.nan_prob)) {
+    d.kind = Kind::Nan;
+  } else if (u < (edge += options_.inf_prob)) {
+    d.kind = Kind::Inf;
+  } else if (u < (edge += options_.invalid_prob)) {
+    d.kind = Kind::Invalid;
+  }
+  if (options_.noise_scale > 0.0) {
+    d.noise_factor = std::exp(options_.noise_scale * heavy_tail(rng));
+  }
+  return d;
+}
+
+void FaultInjector::apply_pre(const Decision& decision, const search::CancelFlag& cancel) {
+  switch (decision.kind) {
+    case Kind::Crash:
+      stats_.crashes.fetch_add(1, std::memory_order_relaxed);
+      throw std::runtime_error("injected crash");
+    case Kind::Invalid:
+      stats_.invalids.fetch_add(1, std::memory_order_relaxed);
+      throw std::invalid_argument("injected invalid configuration");
+    case Kind::Hang:
+      stats_.hangs.fetch_add(1, std::memory_order_relaxed);
+      if (cooperative_sleep(options_.hang_seconds, cancel)) {
+        // The watchdog gave up on this attempt; unwind the worker thread
+        // instead of burning cycles on a result nobody will read.
+        throw EvalFailure(EvalOutcome::TimedOut, "injected hang cancelled");
+      }
+      break;  // Survived the hang: proceed as a straggler.
+    case Kind::Nan:
+      stats_.nans.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Kind::Inf:
+      stats_.infs.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Kind::None:
+      break;
+  }
+}
+
+double FaultyObjective::evaluate_cancellable(const search::Config& config,
+                                             const search::CancelFlag& cancel) {
+  const FaultInjector::Decision d = injector_.decide(config);
+  injector_.apply_pre(d, cancel);
+  if (d.kind == FaultInjector::Kind::Nan) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (d.kind == FaultInjector::Kind::Inf) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return inner_.evaluate_cancellable(config, cancel) * d.noise_factor;
+}
+
+search::RegionTimes FaultyApp::evaluate_regions_cancellable(
+    const search::Config& config, const search::CancelFlag& cancel) {
+  const FaultInjector::Decision d = injector_.decide(config);
+  injector_.apply_pre(d, cancel);
+  if (d.kind == FaultInjector::Kind::Nan || d.kind == FaultInjector::Kind::Inf) {
+    search::RegionTimes t;
+    t.total = d.kind == FaultInjector::Kind::Nan
+                  ? std::numeric_limits<double>::quiet_NaN()
+                  : std::numeric_limits<double>::infinity();
+    return t;
+  }
+  search::RegionTimes t = inner_.evaluate_regions_cancellable(config, cancel);
+  // One factor for the whole run keeps total == sum(regions) consistent.
+  for (auto& [name, value] : t.regions) value *= d.noise_factor;
+  t.total *= d.noise_factor;
+  return t;
+}
+
+}  // namespace tunekit::robust

@@ -1,0 +1,148 @@
+#pragma once
+// Fault injection: seeded decorators that make a well-behaved objective
+// misbehave in the ways real HPC evaluations do — crash, hang, return
+// non-finite garbage, or time out under heavy-tailed measurement noise
+// (BoGraph's premise: a structured tuner must ingest failure-laden logs
+// gracefully). Tier-1 tests wrap the synthetic apps with these to prove the
+// search backends, the scheduler, session resume, and the full methodology
+// survive injected faults and still converge.
+//
+// Two fault models:
+//  * PerCall  — every call draws fresh randomness (counter-seeded): faults
+//    are transient, so retries can succeed. Use to exercise retry/backoff.
+//  * PerConfig — the fault is a deterministic function of the configuration:
+//    a crashing point crashes on every attempt and every process restart.
+//    Use for resume-determinism tests (interrupted == uninterrupted).
+//
+// Hang injection is cooperative: the hang sleeps in small slices, polling
+// the CancelFlag, so a watchdogged evaluation is reclaimed at the deadline
+// and the worker thread exits promptly instead of leaking.
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/tunable_app.hpp"
+#include "robust/outcome.hpp"
+#include "search/objective.hpp"
+
+namespace tunekit::robust {
+
+enum class FaultModel { PerCall, PerConfig };
+
+struct FaultOptions {
+  double crash_prob = 0.0;    ///< Throw std::runtime_error.
+  double hang_prob = 0.0;     ///< Sleep hang_seconds (cooperatively) first.
+  double nan_prob = 0.0;      ///< Return NaN.
+  double inf_prob = 0.0;      ///< Return +inf.
+  double invalid_prob = 0.0;  ///< Throw std::invalid_argument.
+
+  /// Injected hang duration; without a watchdog the call proceeds after the
+  /// sleep (a straggler), with one it is cancelled at the deadline.
+  double hang_seconds = 3600.0;
+
+  /// Heavy-tailed multiplicative noise: value *= exp(noise_scale * t) with t
+  /// Student-t-like (normal / sqrt(exponential)) — median 1, occasional
+  /// large spikes, the shape of real timer interference. 0 disables.
+  double noise_scale = 0.0;
+
+  FaultModel model = FaultModel::PerCall;
+  std::uint64_t seed = 1;
+};
+
+/// Thread-safe injection counters (what actually fired).
+struct FaultStats {
+  std::atomic<std::size_t> calls{0};
+  std::atomic<std::size_t> crashes{0};
+  std::atomic<std::size_t> hangs{0};
+  std::atomic<std::size_t> nans{0};
+  std::atomic<std::size_t> infs{0};
+  std::atomic<std::size_t> invalids{0};
+};
+
+/// Shared fault-decision engine used by both decorators.
+class FaultInjector {
+ public:
+  enum class Kind { None, Crash, Hang, Nan, Inf, Invalid };
+
+  struct Decision {
+    Kind kind = Kind::None;
+    double noise_factor = 1.0;
+  };
+
+  explicit FaultInjector(FaultOptions options);
+
+  /// Decide this call's fate. PerCall advances an atomic counter; PerConfig
+  /// hashes the configuration, so the decision is stable across retries.
+  Decision decide(const search::Config& config);
+
+  /// Execute the pre-evaluation side of a decision: count it, throw for
+  /// crash/invalid, sleep (cancellably) for hang. Returns false when the
+  /// decision already determined a non-finite result (nan/inf).
+  void apply_pre(const Decision& decision, const search::CancelFlag& cancel);
+
+  const FaultOptions& options() const { return options_; }
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  FaultOptions options_;
+  FaultStats stats_;
+  std::atomic<std::uint64_t> counter_{0};
+};
+
+/// Scalar-objective decorator.
+class FaultyObjective final : public search::Objective {
+ public:
+  FaultyObjective(search::Objective& inner, FaultOptions options)
+      : inner_(inner), injector_(options) {}
+
+  double evaluate(const search::Config& config) override {
+    return evaluate_cancellable(config, search::CancelFlag());
+  }
+  double evaluate_cancellable(const search::Config& config,
+                              const search::CancelFlag& cancel) override;
+  bool thread_safe() const override { return inner_.thread_safe(); }
+
+  const FaultStats& stats() const { return injector_.stats(); }
+
+ private:
+  search::Objective& inner_;
+  FaultInjector injector_;
+};
+
+/// TunableApp decorator: same faults on the region-timed path, so the full
+/// methodology (sensitivity, importance sampling, plan execution) can be
+/// stress-tested end to end.
+class FaultyApp final : public core::TunableApp {
+ public:
+  FaultyApp(core::TunableApp& inner, FaultOptions options)
+      : inner_(inner), injector_(options) {}
+
+  const search::SearchSpace& space() const override { return inner_.space(); }
+  std::vector<core::RoutineSpec> routines() const override { return inner_.routines(); }
+  std::vector<std::string> outer_regions() const override {
+    return inner_.outer_regions();
+  }
+  std::vector<graph::BoundGroup> bound_groups() const override {
+    return inner_.bound_groups();
+  }
+  search::Config baseline() const override { return inner_.baseline(); }
+  std::map<std::string, std::vector<double>> expert_variations() const override {
+    return inner_.expert_variations();
+  }
+  std::string name() const override { return inner_.name() + "+faults"; }
+  bool thread_safe() const override { return inner_.thread_safe(); }
+
+  search::RegionTimes evaluate_regions(const search::Config& config) override {
+    return evaluate_regions_cancellable(config, search::CancelFlag());
+  }
+  search::RegionTimes evaluate_regions_cancellable(
+      const search::Config& config, const search::CancelFlag& cancel) override;
+
+  const FaultStats& stats() const { return injector_.stats(); }
+
+ private:
+  core::TunableApp& inner_;
+  FaultInjector injector_;
+};
+
+}  // namespace tunekit::robust

@@ -1,0 +1,33 @@
+#include "robust/outcome.hpp"
+
+#include <cmath>
+
+namespace tunekit::robust {
+
+const char* to_string(EvalOutcome outcome) {
+  switch (outcome) {
+    case EvalOutcome::Ok: return "ok";
+    case EvalOutcome::Crashed: return "crashed";
+    case EvalOutcome::TimedOut: return "timed-out";
+    case EvalOutcome::InvalidConfig: return "invalid-config";
+    case EvalOutcome::NonFinite: return "non-finite";
+  }
+  return "?";
+}
+
+EvalOutcome outcome_from_string(const std::string& name) {
+  if (name == "ok") return EvalOutcome::Ok;
+  if (name == "crashed") return EvalOutcome::Crashed;
+  if (name == "timed-out") return EvalOutcome::TimedOut;
+  if (name == "invalid-config") return EvalOutcome::InvalidConfig;
+  if (name == "non-finite") return EvalOutcome::NonFinite;
+  throw std::invalid_argument("unknown EvalOutcome '" + name + "'");
+}
+
+bool is_failure(EvalOutcome outcome) { return outcome != EvalOutcome::Ok; }
+
+EvalOutcome classify_value(double value) {
+  return std::isfinite(value) ? EvalOutcome::Ok : EvalOutcome::NonFinite;
+}
+
+}  // namespace tunekit::robust

@@ -22,8 +22,13 @@ EvalDb& EvalDb::operator=(EvalDb&& other) noexcept {
 }
 
 void EvalDb::record(Config config, double value, double cost_seconds) {
+  record(std::move(config), value, cost_seconds, robust::classify_value(value));
+}
+
+void EvalDb::record(Config config, double value, double cost_seconds,
+                    robust::EvalOutcome outcome, double dispersion) {
   std::lock_guard<std::mutex> lock(mutex_);
-  evals_.push_back({std::move(config), value, cost_seconds});
+  evals_.push_back({std::move(config), value, cost_seconds, outcome, dispersion});
 }
 
 std::size_t EvalDb::size() const {
@@ -40,7 +45,8 @@ std::optional<Evaluation> EvalDb::best() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::optional<Evaluation> best;
   for (const auto& e : evals_) {
-    if (std::isnan(e.value)) continue;
+    // Non-finite covers +inf failure sentinels too, not just NaN.
+    if (!std::isfinite(e.value)) continue;
     if (!best || e.value < best->value) best = e;
   }
   return best;
@@ -51,7 +57,7 @@ std::vector<Evaluation> EvalDb::best_k(std::size_t k) const {
   std::vector<Evaluation> sorted;
   sorted.reserve(evals_.size());
   for (const auto& e : evals_) {
-    if (!std::isnan(e.value)) sorted.push_back(e);
+    if (std::isfinite(e.value)) sorted.push_back(e);
   }
   std::sort(sorted.begin(), sorted.end(),
             [](const Evaluation& a, const Evaluation& b) { return a.value < b.value; });
@@ -65,10 +71,17 @@ std::vector<double> EvalDb::best_trajectory() const {
   out.reserve(evals_.size());
   double best = std::numeric_limits<double>::infinity();
   for (const auto& e : evals_) {
-    if (!std::isnan(e.value) && e.value < best) best = e.value;
+    if (std::isfinite(e.value) && e.value < best) best = e.value;
     out.push_back(best);
   }
   return out;
+}
+
+std::map<robust::EvalOutcome, std::size_t> EvalDb::outcome_counts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<robust::EvalOutcome, std::size_t> counts;
+  for (const auto& e : evals_) ++counts[e.outcome];
+  return counts;
 }
 
 void EvalDb::save(const std::string& path) const {
@@ -82,6 +95,12 @@ void EvalDb::save(const std::string& path) const {
       obj["config"] = json::Value(std::move(cfg));
       obj["value"] = json::Value(e.value);
       obj["cost_seconds"] = json::Value(e.cost_seconds);
+      // Optional fields (absent in seed-era checkpoints): keep the format id
+      // stable so old readers/writers interoperate.
+      if (e.outcome != robust::EvalOutcome::Ok) {
+        obj["outcome"] = json::Value(std::string(robust::to_string(e.outcome)));
+      }
+      if (e.dispersion != 0.0) obj["dispersion"] = json::Value(e.dispersion);
       entries.emplace_back(std::move(obj));
     }
   }
@@ -112,7 +131,12 @@ EvalDb EvalDb::load(const std::string& path, const SearchSpace& space) {
     const double value = entry.at("value").is_null()
                              ? std::numeric_limits<double>::quiet_NaN()
                              : entry.at("value").as_number();
-    db.record(std::move(cfg), value, entry.number_or("cost_seconds", 0.0));
+    robust::EvalOutcome outcome = robust::classify_value(value);
+    if (entry.contains("outcome")) {
+      outcome = robust::outcome_from_string(entry.at("outcome").as_string());
+    }
+    db.record(std::move(cfg), value, entry.number_or("cost_seconds", 0.0), outcome,
+              entry.number_or("dispersion", 0.0));
   }
   return db;
 }

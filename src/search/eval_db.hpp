@@ -5,11 +5,13 @@
 // evaluations already on disk instead of re-running them.
 
 #include <limits>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "robust/outcome.hpp"
 #include "search/space.hpp"
 
 namespace tunekit::search {
@@ -19,6 +21,12 @@ struct Evaluation {
   double value = std::numeric_limits<double>::quiet_NaN();
   /// Seconds the evaluation itself took (0 when unknown).
   double cost_seconds = 0.0;
+  /// Why the evaluation failed (or Ok). Replaces the old implicit "NaN means
+  /// something went wrong" convention: a resumed search or a report can tell
+  /// a crash from a timeout from an invalid configuration.
+  robust::EvalOutcome outcome = robust::EvalOutcome::Ok;
+  /// Robust sigma of the repeated measurement (0 = single measurement).
+  double dispersion = 0.0;
 };
 
 class EvalDb {
@@ -31,8 +39,11 @@ class EvalDb {
   EvalDb(const EvalDb&) = delete;
   EvalDb& operator=(const EvalDb&) = delete;
 
-  /// Thread-safe append.
+  /// Thread-safe append. The outcome defaults to a classification of the
+  /// value itself (finite -> Ok, otherwise NonFinite).
   void record(Config config, double value, double cost_seconds = 0.0);
+  void record(Config config, double value, double cost_seconds,
+              robust::EvalOutcome outcome, double dispersion = 0.0);
 
   std::size_t size() const;
   bool empty() const { return size() == 0; }
@@ -40,11 +51,14 @@ class EvalDb {
   /// Snapshot of all evaluations (copy; safe under concurrent appends).
   std::vector<Evaluation> all() const;
 
-  /// Best (lowest) evaluation so far, if any.
+  /// Best (lowest) finite evaluation so far, if any.
   std::optional<Evaluation> best() const;
 
-  /// The k lowest-value evaluations, ascending (NaN values excluded).
+  /// The k lowest-value evaluations, ascending (non-finite values excluded).
   std::vector<Evaluation> best_k(std::size_t k) const;
+
+  /// How many evaluations ended in each outcome (Ok included).
+  std::map<robust::EvalOutcome, std::size_t> outcome_counts() const;
 
   /// Best-so-far trajectory: entry i is the minimum over evaluations [0..i].
   /// This is the series Figure 6 plots.

@@ -1,5 +1,9 @@
 #include "search/grid_search.hpp"
 
+#include <cmath>
+#include <limits>
+
+#include "common/log.hpp"
 #include "common/stopwatch.hpp"
 #include "search/samplers.hpp"
 
@@ -18,9 +22,17 @@ SearchResult GridSearch::run(Objective& objective, const SearchSpace& space) con
   }
 
   for (std::size_t i = 0; i < grid.size(); i += stride) {
-    const double v = objective.evaluate(grid[i]);
+    double v = std::numeric_limits<double>::quiet_NaN();
+    try {
+      v = objective.evaluate(grid[i]);
+    } catch (const std::exception& e) {
+      // One crashing cell must not abort the whole enumeration.
+      log_warn("grid: evaluation failed (", e.what(), "); recording as failure");
+    } catch (...) {
+      log_warn("grid: evaluation threw a non-standard exception; recording as failure");
+    }
     result.values.push_back(v);
-    if (v < result.best_value) {
+    if (std::isfinite(v) && v < result.best_value) {
       result.best_value = v;
       result.best_config = grid[i];
     }

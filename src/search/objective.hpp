@@ -10,6 +10,7 @@
 // is frozen at a base configuration. This is how the methodology turns one
 // 20-dimensional problem into the optimized set of ≤10-dimensional searches.
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -19,6 +20,22 @@
 #include "search/space.hpp"
 
 namespace tunekit::search {
+
+/// Cooperative-cancellation flag shared between a watchdog and the
+/// evaluation it guards. Copies share state; cancel() is visible to every
+/// holder. Long-running objectives should poll cancelled() at convenient
+/// points and abandon the run (throw, or return any value — a cancelled
+/// evaluation's result is discarded by the watchdog).
+class CancelFlag {
+ public:
+  CancelFlag() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void cancel() const { flag_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
 
 /// Per-routine timing result of one application evaluation.
 struct RegionTimes {
@@ -39,6 +56,14 @@ class Objective {
 
   virtual double evaluate(const Config& config) = 0;
 
+  /// Evaluate under a cooperative-cancellation flag (set by a watchdog when
+  /// the call overruns its deadline). The default ignores the flag; override
+  /// in objectives that can abort a long run early.
+  virtual double evaluate_cancellable(const Config& config, const CancelFlag& cancel) {
+    (void)cancel;
+    return evaluate(config);
+  }
+
   /// True if evaluate() may be called concurrently from several threads.
   virtual bool thread_safe() const { return false; }
 };
@@ -48,7 +73,17 @@ class RegionObjective : public Objective {
  public:
   virtual RegionTimes evaluate_regions(const Config& config) = 0;
 
+  /// Cancellable variant of evaluate_regions; default ignores the flag.
+  virtual RegionTimes evaluate_regions_cancellable(const Config& config,
+                                                   const CancelFlag& cancel) {
+    (void)cancel;
+    return evaluate_regions(config);
+  }
+
   double evaluate(const Config& config) override { return evaluate_regions(config).total; }
+  double evaluate_cancellable(const Config& config, const CancelFlag& cancel) override {
+    return evaluate_regions_cancellable(config, cancel).total;
+  }
 };
 
 /// Wrap a plain function as an Objective.
@@ -113,6 +148,9 @@ class SubspaceObjective final : public Objective {
   const Config& base() const { return base_; }
 
   double evaluate(const Config& sub) override { return inner_.evaluate(embed(sub)); }
+  double evaluate_cancellable(const Config& sub, const CancelFlag& cancel) override {
+    return inner_.evaluate_cancellable(embed(sub), cancel);
+  }
   bool thread_safe() const override { return inner_.thread_safe(); }
 
  private:

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "common/json.hpp"
+#include "robust/outcome.hpp"
 #include "search/config.hpp"
 
 namespace tunekit::service {
@@ -75,10 +76,12 @@ std::string SessionServer::handle(const std::string& line, bool& exit_requested)
                                ? std::numeric_limits<double>::quiet_NaN()
                                : request.at("value").as_number();
       const double cost = request.number_or("cost_seconds", 0.0);
+      const double noise = request.number_or("noise", 0.0);
       bool accepted = true;
       if (request.contains("id")) {
         accepted = session_.tell(
-            static_cast<std::uint64_t>(request.at("id").as_number()), value, cost);
+            static_cast<std::uint64_t>(request.at("id").as_number()), value, cost,
+            noise);
       } else if (request.contains("config")) {
         search::NamedConfig named;
         for (const auto& [name, v] : request.at("config").as_object()) {
@@ -100,8 +103,14 @@ std::string SessionServer::handle(const std::string& line, bool& exit_requested)
       reply["remaining"] = json::Value(status.remaining);
       if (status.best) reply["best_value"] = json::Value(status.best->value);
     } else if (op == "fail") {
+      // Optional "why": an EvalOutcome string; absent keeps the seed-era
+      // crashed classification. A bad string surfaces as an error reply.
+      const robust::EvalOutcome why =
+          request.contains("why")
+              ? robust::outcome_from_string(request.at("why").as_string())
+              : robust::EvalOutcome::Crashed;
       const bool accepted = session_.tell_failure(
-          static_cast<std::uint64_t>(request.at("id").as_number()));
+          static_cast<std::uint64_t>(request.at("id").as_number()), why);
       reply["accepted"] = json::Value(accepted);
       reply["state"] = json::Value(to_string(session_.state()));
     } else if (op == "status") {

@@ -4,7 +4,6 @@
 #include <thread>
 
 #include "common/log.hpp"
-#include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 
 namespace tunekit::service {
@@ -17,22 +16,30 @@ search::SearchResult EvalScheduler::run(TuningSession& session,
   const std::size_t batch_size =
       options_.batch_size > 0 ? options_.batch_size : n_threads;
 
+  const robust::RobustMeasurer measurer(options_.measure);
   ThreadPool pool(n_threads);
   while (true) {
     const auto batch = session.ask(batch_size);
     if (batch.empty()) break;  // exhausted (this driver resolves all it asks)
     pool.parallel_for(batch.size(), [&](std::size_t i) {
       const Candidate& c = batch[i];
-      Stopwatch watch;
       try {
-        const double value = objective.evaluate(c.config);
-        session.tell(c.id, value, watch.seconds());
-      } catch (const std::exception& e) {
-        log_warn("scheduler: evaluation of candidate ", c.id, " failed (", e.what(),
-                 ")");
-        session.tell_failure(c.id);
+        // The measurer catches everything the objective can throw — including
+        // non-std::exception throws — and classifies it; a hung evaluation
+        // comes back TimedOut once the watchdog deadline expires.
+        const robust::Measurement m = measurer.measure(objective, c.config);
+        if (m.outcome == robust::EvalOutcome::Ok) {
+          session.tell(c.id, m.value, m.seconds, m.dispersion);
+        } else {
+          log_warn("scheduler: candidate ", c.id, " failed as ",
+                   robust::to_string(m.outcome),
+                   m.error.empty() ? "" : (" (" + m.error + ")"));
+          session.tell_failure(c.id, m.outcome);
+        }
       } catch (...) {
-        session.tell_failure(c.id);
+        // Belt and braces: nothing above should throw, but a worker must
+        // never leave a candidate unresolved.
+        session.tell_failure(c.id, robust::EvalOutcome::Crashed);
       }
     });
   }

@@ -6,12 +6,19 @@
 // evaluates strictly one configuration per iteration, while the scheduler
 // asks for `batch_size` constant-liar candidates at a time and spreads them
 // across workers — the win grows with the cost of a single evaluation
-// (real HPC evaluations are minutes, not microseconds). Crashing
-// evaluations are reported with tell_failure(), so the session's retry /
-// failure_penalty policy applies.
+// (real HPC evaluations are minutes, not microseconds). Failing
+// evaluations are reported with tell_failure() and their classified
+// EvalOutcome, so the session's retry / failure_penalty policy applies and
+// the journal records *why* each candidate failed.
+//
+// Each evaluation runs through a RobustMeasurer (`measure` options): with a
+// finite watchdog timeout a hung objective is cancelled and classified
+// TimedOut instead of wedging a worker forever; with repeats > 1 the session
+// is told the MAD-trimmed mean and its dispersion.
 
 #include <cstddef>
 
+#include "robust/measure.hpp"
 #include "search/objective.hpp"
 #include "search/result.hpp"
 #include "service/session.hpp"
@@ -24,6 +31,9 @@ struct SchedulerOptions {
   std::size_t n_threads = 0;
   /// Candidates requested per ask(); 0 = one per worker.
   std::size_t batch_size = 0;
+  /// Watchdog timeout, transient-crash retries, and repeat count applied to
+  /// every evaluation. Defaults reproduce the seed behavior (one bare call).
+  robust::MeasureOptions measure;
 };
 
 class EvalScheduler {

@@ -115,7 +115,7 @@ std::unique_ptr<TuningSession> TuningSession::resume(const search::SearchSpace& 
   auto session = std::unique_ptr<TuningSession>(new TuningSession(
       space, std::move(options), SessionStore::append(journal_path)));
   for (const auto& e : replayed.completed) {
-    session->db_.record(e.config, e.value, e.cost_seconds);
+    session->db_.record(e.config, e.value, e.cost_seconds, e.outcome, e.dispersion);
   }
   for (auto& c : replayed.in_flight) session->reissue_.push_back(std::move(c));
   session->next_id_ = std::max(session->next_id_, replayed.next_id);
@@ -168,26 +168,27 @@ std::vector<Candidate> TuningSession::ask(std::size_t k) {
   return out;
 }
 
-bool TuningSession::tell(std::uint64_t id, double value, double cost_seconds) {
+bool TuningSession::tell(std::uint64_t id, double value, double cost_seconds,
+                         double dispersion) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = pending_.find(id);
   if (it == pending_.end()) return false;
-  if (store_) store_->tell(id, value, cost_seconds);
+  if (store_) store_->tell(id, value, cost_seconds, dispersion);
   // Erase before recording: record_locked may compact the journal, and a
   // compaction snapshot must not list this candidate as still in flight.
   const search::Config config = std::move(it->second.candidate.config);
   pending_.erase(it);
-  record_locked(config, value, cost_seconds);
+  record_locked(config, value, cost_seconds, robust::classify_value(value), dispersion);
   return true;
 }
 
-bool TuningSession::tell_failure(std::uint64_t id) {
+bool TuningSession::tell_failure(std::uint64_t id, robust::EvalOutcome why) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = pending_.find(id);
   if (it == pending_.end()) return false;
   Candidate c = std::move(it->second.candidate);
   pending_.erase(it);
-  fail_attempt_locked(std::move(c));
+  fail_attempt_locked(std::move(c), why);
   return true;
 }
 
@@ -198,7 +199,7 @@ void TuningSession::observe(search::Config config, double value, double cost_sec
     store_->ask(c);
     store_->tell(c.id, value, cost_seconds);
   }
-  record_locked(c.config, value, cost_seconds);
+  record_locked(c.config, value, cost_seconds, robust::classify_value(value));
 }
 
 void TuningSession::close() {
@@ -220,24 +221,25 @@ void TuningSession::expire_overdue_locked() {
     pending_.erase(it);
     log_warn("session: candidate ", id, " missed its ", options_.deadline_seconds,
              "s deadline (attempt ", c.attempt + 1, "/", options_.max_attempts, ")");
-    fail_attempt_locked(std::move(c));
+    fail_attempt_locked(std::move(c), robust::EvalOutcome::TimedOut);
   }
 }
 
-void TuningSession::fail_attempt_locked(Candidate candidate) {
-  if (store_) store_->fail(candidate.id);
+void TuningSession::fail_attempt_locked(Candidate candidate, robust::EvalOutcome why) {
+  if (store_) store_->fail(candidate.id, why);
   if (candidate.attempt + 1 < options_.max_attempts) {
     ++candidate.attempt;
     reissue_.push_back(std::move(candidate));
   } else {
-    if (store_) store_->drop(candidate.id, options_.failure_penalty);
-    record_locked(candidate.config, options_.failure_penalty, 0.0);
+    if (store_) store_->drop(candidate.id, options_.failure_penalty, why);
+    record_locked(candidate.config, options_.failure_penalty, 0.0, why);
   }
 }
 
 void TuningSession::record_locked(const search::Config& config, double value,
-                                  double cost_seconds) {
-  db_.record(config, value, cost_seconds);
+                                  double cost_seconds, robust::EvalOutcome outcome,
+                                  double dispersion) {
+  db_.record(config, value, cost_seconds, outcome, dispersion);
   ++completed_since_compact_;
   maybe_compact_locked();
 }
@@ -296,7 +298,7 @@ std::vector<search::Config> TuningSession::generate_locked(std::size_t n) {
   const auto evals = db_.all();
   double incumbent = std::numeric_limits<double>::infinity();
   for (const auto& e : evals) {
-    if (!std::isnan(e.value) && e.value < incumbent) incumbent = e.value;
+    if (std::isfinite(e.value) && e.value < incumbent) incumbent = e.value;
   }
   if (std::isfinite(incumbent)) {
     search::EvalDb liar_db;
@@ -373,7 +375,7 @@ search::SearchResult TuningSession::to_result() const {
   result.values.reserve(evals.size());
   for (const auto& e : evals) {
     result.values.push_back(e.value);
-    if (e.value < result.best_value) {
+    if (std::isfinite(e.value) && e.value < result.best_value) {
       result.best_value = e.value;
       result.best_config = e.config;
     }

@@ -121,12 +121,17 @@ class TuningSession {
   /// Report an evaluation result. Unknown or already-resolved ids return
   /// false (harmless: duplicate tells after a retry are expected). Late
   /// tells for candidates still outstanding past exhaustion are accepted.
-  bool tell(std::uint64_t id, double value, double cost_seconds = 0.0);
+  /// `dispersion` is the robust sigma of a repeated measurement (0 = single
+  /// measurement); it is journaled and fed to the evaluation record.
+  bool tell(std::uint64_t id, double value, double cost_seconds = 0.0,
+            double dispersion = 0.0);
 
-  /// Report that an evaluation crashed. Consumes one attempt: the candidate
+  /// Report that an evaluation failed, with its classified outcome (defaults
+  /// to Crashed, the seed-era semantics). Consumes one attempt: the candidate
   /// is queued for re-issue, or dropped at failure_penalty when attempts are
   /// exhausted. Returns false for unknown ids.
-  bool tell_failure(std::uint64_t id);
+  bool tell_failure(std::uint64_t id,
+                    robust::EvalOutcome why = robust::EvalOutcome::Crashed);
 
   /// Record an externally-measured observation (e.g. a warm-start point).
   /// Consumes budget like any other evaluation.
@@ -156,9 +161,10 @@ class TuningSession {
 
   JournalHeader make_header() const;
   void expire_overdue_locked();
-  /// Retry-or-drop a candidate whose attempt failed.
-  void fail_attempt_locked(Candidate candidate);
-  void record_locked(const search::Config& config, double value, double cost_seconds);
+  /// Retry-or-drop a candidate whose attempt failed for reason `why`.
+  void fail_attempt_locked(Candidate candidate, robust::EvalOutcome why);
+  void record_locked(const search::Config& config, double value, double cost_seconds,
+                     robust::EvalOutcome outcome, double dispersion = 0.0);
   void maybe_compact_locked();
   std::size_t issuable_locked() const;
   std::vector<search::Config> generate_locked(std::size_t n);

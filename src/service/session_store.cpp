@@ -123,27 +123,31 @@ void SessionStore::ask(const Candidate& candidate) {
   append_line(ask_value(candidate).dump());
 }
 
-void SessionStore::tell(std::uint64_t id, double value, double cost_seconds) {
+void SessionStore::tell(std::uint64_t id, double value, double cost_seconds,
+                        double noise) {
   json::Object obj;
   obj["e"] = json::Value("tell");
   obj["id"] = json::Value(static_cast<double>(id));
   obj["value"] = json::Value(value);
   obj["cost"] = json::Value(cost_seconds);
+  if (noise != 0.0) obj["noise"] = json::Value(noise);
   append_line(json::Value(std::move(obj)).dump());
 }
 
-void SessionStore::fail(std::uint64_t id) {
+void SessionStore::fail(std::uint64_t id, robust::EvalOutcome why) {
   json::Object obj;
   obj["e"] = json::Value("fail");
   obj["id"] = json::Value(static_cast<double>(id));
+  obj["why"] = json::Value(std::string(robust::to_string(why)));
   append_line(json::Value(std::move(obj)).dump());
 }
 
-void SessionStore::drop(std::uint64_t id, double value) {
+void SessionStore::drop(std::uint64_t id, double value, robust::EvalOutcome why) {
   json::Object obj;
   obj["e"] = json::Value("drop");
   obj["id"] = json::Value(static_cast<double>(id));
   obj["value"] = json::Value(value);
+  obj["why"] = json::Value(std::string(robust::to_string(why)));
   append_line(json::Value(std::move(obj)).dump());
 }
 
@@ -154,7 +158,9 @@ void SessionStore::compact(JournalHeader header,
   //    inside EvalDb::save), referenced from the rewritten header.
   const std::string snapshot = path_ + ".snapshot.json";
   search::EvalDb db;
-  for (const auto& e : completed) db.record(e.config, e.value, e.cost_seconds);
+  for (const auto& e : completed) {
+    db.record(e.config, e.value, e.cost_seconds, e.outcome, e.dispersion);
+  }
   db.save(snapshot);
   header.snapshot = snapshot;
 
@@ -233,7 +239,9 @@ SessionStore::Replay SessionStore::replay(const std::string& path,
       const double value = v.at("value").is_null()
                                ? std::numeric_limits<double>::quiet_NaN()
                                : v.at("value").as_number();
-      out.completed.push_back({it->second.config, value, v.number_or("cost", 0.0)});
+      out.completed.push_back({it->second.config, value, v.number_or("cost", 0.0),
+                               robust::classify_value(value),
+                               v.number_or("noise", 0.0)});
       open.erase(it);
     } else if (e == "fail") {
       auto it = open.find(id);
@@ -244,7 +252,11 @@ SessionStore::Replay SessionStore::replay(const std::string& path,
       const double value = v.at("value").is_null()
                                ? std::numeric_limits<double>::quiet_NaN()
                                : v.at("value").as_number();
-      out.completed.push_back({it->second.config, value, 0.0});
+      // Seed-era drops carried no "why": assume a crash, the old semantics.
+      const robust::EvalOutcome why =
+          v.contains("why") ? robust::outcome_from_string(v.at("why").as_string())
+                            : robust::EvalOutcome::Crashed;
+      out.completed.push_back({it->second.config, value, 0.0, why, 0.0});
       open.erase(it);
     } else {
       throw std::runtime_error("SessionStore: unknown journal event '" + e + "' in " +

@@ -12,9 +12,14 @@
 //   {"e":"open","format":...,"space":N,"max_evals":M,"seed":S,
 //    "backend":"bo","next_id":K[,"snapshot":PATH]}      header, first line
 //   {"e":"ask","id":I,"attempt":A,"config":[...]}       candidate issued
-//   {"e":"tell","id":I,"value":V,"cost":C}              evaluation reported
-//   {"e":"fail","id":I}                                 attempt failed; will retry
-//   {"e":"drop","id":I,"value":V}                       retries exhausted; V recorded
+//   {"e":"tell","id":I,"value":V,"cost":C[,"noise":D]}  evaluation reported
+//   {"e":"fail","id":I[,"why":W]}                       attempt failed; will retry
+//   {"e":"drop","id":I,"value":V[,"why":W]}             retries exhausted; V recorded
+//
+// "why" is an EvalOutcome string ("crashed", "timed-out", "invalid-config",
+// "non-finite"; absent = crashed, the seed-era assumption), "noise" the robust
+// dispersion of a repeated measurement. Both are optional, so seed-era
+// journals replay unchanged.
 //
 // Compaction folds completed evaluations into an EvalDb-format snapshot file
 // (written via atomic rename) and rewrites the journal (also via atomic
@@ -26,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "robust/outcome.hpp"
 #include "search/eval_db.hpp"
 #include "search/space.hpp"
 
@@ -89,9 +95,11 @@ class SessionStore {
   const std::string& path() const { return path_; }
 
   void ask(const Candidate& candidate);
-  void tell(std::uint64_t id, double value, double cost_seconds);
-  void fail(std::uint64_t id);
-  void drop(std::uint64_t id, double value);
+  void tell(std::uint64_t id, double value, double cost_seconds, double noise = 0.0);
+  void fail(std::uint64_t id,
+            robust::EvalOutcome why = robust::EvalOutcome::Crashed);
+  void drop(std::uint64_t id, double value,
+            robust::EvalOutcome why = robust::EvalOutcome::Crashed);
 
   /// Fold `completed` into an EvalDb snapshot (atomic rename) and rewrite
   /// the journal to header + in-flight asks (atomic rename).

@@ -12,7 +12,8 @@ SensitivityReport::SensitivityReport(std::vector<std::string> regions,
                                      std::vector<std::string> params)
     : regions_(std::move(regions)),
       params_(std::move(params)),
-      scores_(regions_.size(), params_.size(), 0.0) {}
+      scores_(regions_.size(), params_.size(), 0.0),
+      stderrs_(regions_.size(), params_.size(), 0.0) {}
 
 std::size_t SensitivityReport::region_index(const std::string& region) const {
   for (std::size_t i = 0; i < regions_.size(); ++i) {
@@ -28,6 +29,22 @@ double SensitivityReport::score(const std::string& region, std::size_t param_ind
 void SensitivityReport::set_score(const std::string& region, std::size_t param_index,
                                   double value) {
   scores_.at(region_index(region), param_index) = value;
+}
+
+double SensitivityReport::score_stderr(const std::string& region,
+                                       std::size_t param_index) const {
+  return stderrs_.at(region_index(region), param_index);
+}
+
+void SensitivityReport::set_score_stderr(const std::string& region,
+                                         std::size_t param_index, double value) {
+  stderrs_.at(region_index(region), param_index) = value;
+}
+
+double SensitivityReport::lower_bound(const std::string& region,
+                                      std::size_t param_index, double z) const {
+  const std::size_t r = region_index(region);
+  return std::max(0.0, scores_.at(r, param_index) - z * stderrs_.at(r, param_index));
 }
 
 std::vector<SensitivityEntry> SensitivityReport::top(const std::string& region,
@@ -130,7 +147,18 @@ SensitivityReport SensitivityAnalyzer::analyze(search::RegionObjective& objectiv
   if (!space.is_valid(baseline)) {
     throw std::invalid_argument("SensitivityAnalyzer: baseline configuration is invalid");
   }
-  const search::RegionTimes base = objective.evaluate_regions(baseline);
+  // The baseline anchors every score in the analysis, so it gets the full
+  // robust treatment: watchdog, repeats, outlier rejection. If even the
+  // re-measured baseline fails there is nothing to normalize against.
+  const robust::RobustMeasurer measurer(options_.measure);
+  const robust::Measurement base_m = measurer.measure_regions(objective, baseline);
+  if (base_m.outcome != robust::EvalOutcome::Ok) {
+    throw std::invalid_argument(
+        std::string("SensitivityAnalyzer: baseline measurement failed as ") +
+        robust::to_string(base_m.outcome) +
+        (base_m.error.empty() ? "" : (": " + base_m.error)));
+  }
+  const search::RegionTimes& base = base_m.regions;
 
   std::vector<std::string> regions;
   regions.reserve(base.regions.size() + 1);
@@ -142,7 +170,7 @@ SensitivityReport SensitivityAnalyzer::analyze(search::RegionObjective& objectiv
   for (const auto& p : space.params()) param_names.push_back(p.name());
 
   SensitivityReport report(regions, param_names);
-  report.observations = 1;  // the baseline evaluation
+  report.observations = base_m.n_samples;
 
   auto base_time = [&](const std::string& region) {
     return region == "total" ? base.total : base.regions.at(region);
@@ -154,9 +182,19 @@ SensitivityReport SensitivityAnalyzer::analyze(search::RegionObjective& objectiv
     }
   }
 
+  // Standard error of a region's measured mean (0 when measured once).
+  auto sigma_of = [](const robust::Measurement& m, const std::string& r) {
+    if (r == "total") return m.stderr_of_mean;
+    auto it = m.region_dispersion.find(r);
+    if (it == m.region_dispersion.end()) return 0.0;
+    const auto n = static_cast<double>(std::max<std::size_t>(1, m.n_kept()));
+    return it->second / std::sqrt(n);
+  };
+
   for (std::size_t p = 0; p < space.size(); ++p) {
     const auto values = variation_values(space.param(p), baseline[p]);
     std::map<std::string, double> acc;
+    std::map<std::string, double> var_acc;
     std::size_t used = 0;
     for (double v : values) {
       search::Config varied = baseline;
@@ -166,13 +204,30 @@ SensitivityReport SensitivityAnalyzer::analyze(search::RegionObjective& objectiv
         throw std::runtime_error("SensitivityAnalyzer: invalid variation for '" +
                                  space.param(p).name() + "'");
       }
-      const search::RegionTimes t = objective.evaluate_regions(varied);
-      ++report.observations;
+      const robust::Measurement m = measurer.measure_regions(objective, varied);
+      report.observations += m.n_samples;
+      if (m.outcome != robust::EvalOutcome::Ok) {
+        // A failed variation is data lost, not an analysis abort: the score
+        // averages over the variations that survived.
+        ++report.failed_observations;
+        log_warn("sensitivity: variation of '", space.param(p).name(), "' failed as ",
+                 robust::to_string(m.outcome), "; skipping");
+        continue;
+      }
+      const search::RegionTimes& t = m.regions;
       ++used;
       for (const auto& r : regions) {
         const double tb = base_time(r);
         const double tr = r == "total" ? t.total : t.regions.at(r);
         acc[r] += std::abs((tb - tr) / tb);
+        // First-order error propagation of d = (tb - tr)/tb through both
+        // measured means: var(d) = (s_r^2 + s_b^2 (tr/tb)^2) / tb^2. The
+        // shared baseline makes terms weakly correlated; ignoring that keeps
+        // the estimate simple and slightly conservative per-term.
+        const double sr = sigma_of(m, r);
+        const double sb = sigma_of(base_m, r);
+        const double ratio = tr / tb;
+        var_acc[r] += (sr * sr + sb * sb * ratio * ratio) / (tb * tb);
       }
     }
     if (used == 0) {
@@ -182,6 +237,8 @@ SensitivityReport SensitivityAnalyzer::analyze(search::RegionObjective& objectiv
     }
     for (const auto& r : regions) {
       report.set_score(r, p, acc[r] / static_cast<double>(used));
+      report.set_score_stderr(r, p,
+                              std::sqrt(var_acc[r]) / static_cast<double>(used));
     }
   }
   return report;
@@ -195,6 +252,12 @@ class TotalOnly final : public search::RegionObjective {
   search::RegionTimes evaluate_regions(const search::Config& c) override {
     search::RegionTimes t;
     t.total = inner_.evaluate(c);
+    return t;
+  }
+  search::RegionTimes evaluate_regions_cancellable(
+      const search::Config& c, const search::CancelFlag& cancel) override {
+    search::RegionTimes t;
+    t.total = inner_.evaluate_cancellable(c, cancel);
     return t;
   }
   bool thread_safe() const override { return inner_.thread_safe(); }

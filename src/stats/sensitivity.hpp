@@ -25,6 +25,7 @@
 
 #include "common/rng.hpp"
 #include "linalg/matrix.hpp"
+#include "robust/measure.hpp"
 #include "search/objective.hpp"
 #include "search/space.hpp"
 
@@ -44,6 +45,14 @@ struct SensitivityOptions {
   /// Invalid variations (constraint violations) are skipped; if every
   /// variation of a parameter is invalid its variability is 0.
   bool skip_invalid = true;
+
+  /// Hardened measurement per observation: the baseline is re-measured
+  /// `measure.repeats` times (it anchors every score, so it deserves the most
+  /// trustworthy estimate), each variation likewise, and the repeat
+  /// dispersion propagates into a per-score standard error. Failed variation
+  /// measurements are skipped and counted instead of aborting the analysis.
+  /// Defaults reproduce the seed behavior (one bare call per observation).
+  robust::MeasureOptions measure;
 };
 
 struct SensitivityEntry {
@@ -64,6 +73,16 @@ class SensitivityReport {
   double score(const std::string& region, std::size_t param_index) const;
   void set_score(const std::string& region, std::size_t param_index, double value);
 
+  /// Standard error of the score, propagated from the repeat dispersions of
+  /// the baseline and variation measurements; 0 when measured once.
+  double score_stderr(const std::string& region, std::size_t param_index) const;
+  void set_score_stderr(const std::string& region, std::size_t param_index, double value);
+
+  /// Lower confidence bound max(0, score - z * stderr): the influence the
+  /// data still supports after measurement noise is discounted. With single
+  /// measurements (stderr 0) this is the score itself.
+  double lower_bound(const std::string& region, std::size_t param_index, double z) const;
+
   /// Top-k parameters by variability for one region (descending) — the
   /// paper's Tables II, V, VI rows.
   std::vector<SensitivityEntry> top(const std::string& region, std::size_t k) const;
@@ -72,15 +91,20 @@ class SensitivityReport {
   std::vector<SensitivityEntry> above_cutoff(const std::string& region,
                                              double cutoff) const;
 
-  /// Total objective evaluations consumed by the analysis.
+  /// Total objective evaluations consumed by the analysis (every repeat and
+  /// retry counts).
   std::size_t observations = 0;
+  /// Variation measurements that failed (crash/timeout/non-finite) and were
+  /// skipped; their scores average over the surviving variations only.
+  std::size_t failed_observations = 0;
 
  private:
   std::size_t region_index(const std::string& region) const;
 
   std::vector<std::string> regions_;
   std::vector<std::string> params_;
-  linalg::Matrix scores_;  // regions x params
+  linalg::Matrix scores_;   // regions x params
+  linalg::Matrix stderrs_;  // regions x params
 };
 
 class SensitivityAnalyzer {

@@ -157,6 +157,88 @@ TEST(EvalDb, SaveOverwritesExistingCheckpointSafely) {
   std::remove(path.c_str());
 }
 
+TEST(EvalDb, BestIgnoresInfinitySentinels) {
+  EvalDb db;
+  db.record({0.0, 0.0}, std::numeric_limits<double>::infinity());
+  db.record({0.1, 0.1}, -std::numeric_limits<double>::infinity());
+  EXPECT_FALSE(db.best().has_value());
+  EXPECT_TRUE(db.best_k(5).empty());
+  db.record({0.2, 0.2}, 4.0);
+  ASSERT_TRUE(db.best().has_value());
+  EXPECT_DOUBLE_EQ(db.best()->value, 4.0);
+  // -inf must not become the incumbent; the trajectory stays at +inf until a
+  // finite value lands.
+  const auto traj = db.best_trajectory();
+  ASSERT_EQ(traj.size(), 3u);
+  EXPECT_TRUE(std::isinf(traj[0]) && traj[0] > 0.0);
+  EXPECT_TRUE(std::isinf(traj[1]) && traj[1] > 0.0);
+  EXPECT_DOUBLE_EQ(traj[2], 4.0);
+}
+
+TEST(EvalDb, RecordClassifiesValueByDefault) {
+  EvalDb db;
+  db.record({0.0, 0.0}, 1.0);
+  db.record({0.1, 0.1}, std::nan(""));
+  db.record({0.2, 0.2}, std::numeric_limits<double>::infinity());
+  const auto all = db.all();
+  EXPECT_EQ(all[0].outcome, robust::EvalOutcome::Ok);
+  EXPECT_EQ(all[1].outcome, robust::EvalOutcome::NonFinite);
+  EXPECT_EQ(all[2].outcome, robust::EvalOutcome::NonFinite);
+}
+
+TEST(EvalDb, OutcomeCountsTallyEveryKind) {
+  EvalDb db;
+  db.record({0.0, 0.0}, 1.0);
+  db.record({0.1, 0.1}, 2.0);
+  db.record({0.2, 0.2}, std::nan(""), 0.0, robust::EvalOutcome::Crashed);
+  db.record({0.3, 0.3}, std::nan(""), 0.0, robust::EvalOutcome::TimedOut);
+  const auto counts = db.outcome_counts();
+  EXPECT_EQ(counts.at(robust::EvalOutcome::Ok), 2u);
+  EXPECT_EQ(counts.at(robust::EvalOutcome::Crashed), 1u);
+  EXPECT_EQ(counts.at(robust::EvalOutcome::TimedOut), 1u);
+  EXPECT_EQ(counts.count(robust::EvalOutcome::InvalidConfig), 0u);
+}
+
+TEST(EvalDb, OutcomeAndDispersionSurviveRoundTrip) {
+  const auto space = two_dim_space();
+  const std::string path = temp_path("tunekit_evaldb_outcome.json");
+  EvalDb db;
+  db.record({0.25, 0.75}, 1.25, 0.5, robust::EvalOutcome::Ok, 0.125);
+  db.record({0.5, 0.5}, std::nan(""), 2.0, robust::EvalOutcome::TimedOut);
+  db.record({0.0, 1.0}, std::nan(""), 0.0, robust::EvalOutcome::InvalidConfig);
+  db.save(path);
+
+  const EvalDb loaded = EvalDb::load(path, space);
+  ASSERT_EQ(loaded.size(), 3u);
+  const auto all = loaded.all();
+  EXPECT_EQ(all[0].outcome, robust::EvalOutcome::Ok);
+  EXPECT_DOUBLE_EQ(all[0].dispersion, 0.125);
+  EXPECT_EQ(all[1].outcome, robust::EvalOutcome::TimedOut);
+  EXPECT_TRUE(std::isnan(all[1].value));
+  EXPECT_EQ(all[2].outcome, robust::EvalOutcome::InvalidConfig);
+  EXPECT_DOUBLE_EQ(all[2].dispersion, 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(EvalDb, LegacyCheckpointWithoutOutcomeClassifiesFromValue) {
+  // A seed-era checkpoint has no outcome/dispersion fields: finite values
+  // load as Ok, null (NaN) values as NonFinite.
+  const std::string path = temp_path("tunekit_evaldb_legacy.json");
+  {
+    std::ofstream out(path);
+    out << R"({"format": "tunekit-evaldb-v1", "evaluations": [)"
+        << R"({"config": [0.1, 0.2], "value": 3.5, "cost_seconds": 1.0},)"
+        << R"({"config": [0.3, 0.4], "value": null}]})";
+  }
+  const EvalDb loaded = EvalDb::load(path, two_dim_space());
+  ASSERT_EQ(loaded.size(), 2u);
+  const auto all = loaded.all();
+  EXPECT_EQ(all[0].outcome, robust::EvalOutcome::Ok);
+  EXPECT_DOUBLE_EQ(all[0].dispersion, 0.0);
+  EXPECT_EQ(all[1].outcome, robust::EvalOutcome::NonFinite);
+  std::remove(path.c_str());
+}
+
 TEST(EvalDb, MoveTransfersContents) {
   EvalDb db;
   db.record({0.0, 0.0}, 1.0);

@@ -82,7 +82,7 @@ TEST(EvalScheduler, NoLostOrDuplicateEvaluations) {
   TuningSession session(space, opt);
 
   CountingObjective objective;
-  EvalScheduler scheduler({/*n_threads=*/8, /*batch_size=*/8});
+  EvalScheduler scheduler({/*n_threads=*/8, /*batch_size=*/8, {}});
   const auto result = scheduler.run(session, objective);
 
   // Budget is consumed exactly: every candidate evaluated once, none lost,
@@ -107,7 +107,7 @@ TEST(EvalScheduler, CrashingEvaluationsAreRetried) {
   TuningSession session(space, opt);
 
   FlakyObjective objective;
-  EvalScheduler scheduler({4, 4});
+  EvalScheduler scheduler({4, 4, {}});
   const auto result = scheduler.run(session, objective);
 
   // Every candidate crashed once then succeeded on retry — all 16 recorded.
@@ -132,7 +132,7 @@ TEST(EvalScheduler, AlwaysCrashingConfigsDropAtPenalty) {
     bool thread_safe() const override { return true; }
   } objective;
 
-  EvalScheduler scheduler({2, 2});
+  EvalScheduler scheduler({2, 2, {}});
   const auto result = scheduler.run(session, objective);
   // Attempts exhausted for every candidate; budget fully consumed by drops.
   EXPECT_EQ(session.completed(), 6u);
@@ -162,7 +162,7 @@ TEST(EvalScheduler, NonThreadSafeObjectiveForcedSequential) {
     std::atomic<int> in_flight_{0};
   } objective;
 
-  EvalScheduler scheduler({8, 8});
+  EvalScheduler scheduler({8, 8, {}});
   const auto result = scheduler.run(session, objective);
   EXPECT_EQ(result.evaluations, 8u);
 }
@@ -179,7 +179,7 @@ TEST(EvalScheduler, ParallelFasterThanSequentialOnSlowObjective) {
   {
     TuningSession session(space, opt);
     CountingObjective objective(sleep_ms);
-    EvalScheduler scheduler({1, 1});
+    EvalScheduler scheduler({1, 1, {}});
     scheduler.run(session, objective);
   }
   const double sequential = w1.seconds();
@@ -188,7 +188,7 @@ TEST(EvalScheduler, ParallelFasterThanSequentialOnSlowObjective) {
   {
     TuningSession session(space, opt);
     CountingObjective objective(sleep_ms);
-    EvalScheduler scheduler({8, 8});
+    EvalScheduler scheduler({8, 8, {}});
     scheduler.run(session, objective);
   }
   const double parallel = w8.seconds();
@@ -196,6 +196,109 @@ TEST(EvalScheduler, ParallelFasterThanSequentialOnSlowObjective) {
   // 24 x 10ms sequentially is ~240ms; eight workers need only ~3 rounds.
   // Generous 2x margin keeps this robust on loaded CI machines.
   EXPECT_LT(parallel * 2.0, sequential);
+}
+
+TEST(EvalScheduler, NonStandardThrowClassifiedAsCrash) {
+  const auto space = two_dim_space();
+  SessionOptions opt;
+  opt.max_evals = 4;
+  opt.max_attempts = 1;
+  opt.backend = SessionBackend::Random;
+  TuningSession session(space, opt);
+
+  // Throwing a non-std::exception must not kill the worker pool; it is
+  // classified as a crash like any other.
+  class RudeObjective final : public search::Objective {
+   public:
+    double evaluate(const search::Config&) override { throw 42; }
+    bool thread_safe() const override { return true; }
+  } objective;
+
+  EvalScheduler scheduler({2, 2, {}});
+  scheduler.run(session, objective);
+  EXPECT_EQ(session.completed(), 4u);
+  for (const auto& e : session.evaluations()) {
+    EXPECT_EQ(e.outcome, robust::EvalOutcome::Crashed);
+    EXPECT_TRUE(std::isnan(e.value));
+  }
+}
+
+TEST(EvalScheduler, HungEvaluationsTimeOutAndAreClassified) {
+  const auto space = two_dim_space();
+  SessionOptions opt;
+  opt.max_evals = 4;
+  opt.max_attempts = 1;
+  opt.backend = SessionBackend::Random;
+  TuningSession session(space, opt);
+
+  // Hangs forever unless the watchdog's cancel flag fires.
+  class HangingObjective final : public search::Objective {
+   public:
+    double evaluate(const search::Config& c) override {
+      return evaluate_cancellable(c, search::CancelFlag());
+    }
+    double evaluate_cancellable(const search::Config&,
+                                const search::CancelFlag& cancel) override {
+      while (!cancel.cancelled()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      throw robust::EvalFailure(robust::EvalOutcome::TimedOut, "cancelled");
+    }
+    bool thread_safe() const override { return true; }
+  } objective;
+
+  SchedulerOptions sched;
+  sched.n_threads = 2;
+  sched.batch_size = 2;
+  sched.measure.watchdog.timeout_seconds = 0.05;
+  Stopwatch watch;
+  EvalScheduler(sched).run(session, objective);
+  // Reclaimed at the deadline, not wedged forever: 4 candidates on 2 workers
+  // cost ~2 deadlines.
+  EXPECT_LT(watch.seconds(), 5.0);
+  EXPECT_EQ(session.completed(), 4u);
+  for (const auto& e : session.evaluations()) {
+    EXPECT_EQ(e.outcome, robust::EvalOutcome::TimedOut);
+    EXPECT_TRUE(std::isnan(e.value));
+  }
+}
+
+TEST(EvalScheduler, RepeatedMeasurementTellsDispersion) {
+  const auto space = two_dim_space();
+  SessionOptions opt;
+  opt.max_evals = 6;
+  opt.backend = SessionBackend::Random;
+  TuningSession session(space, opt);
+
+  // Deterministic per-call jitter around the sphere value: repeats of one
+  // config disagree slightly, so the session learns a dispersion.
+  class JitteryObjective final : public search::Objective {
+   public:
+    double evaluate(const search::Config& c) override {
+      const auto k = calls_.fetch_add(1, std::memory_order_relaxed);
+      const double jitter = 1.0 + 0.02 * static_cast<double>(k % 3);
+      return (1.0 + c[0] * c[0] + c[1] * c[1]) * jitter;
+    }
+    bool thread_safe() const override { return true; }
+
+   private:
+    std::atomic<std::size_t> calls_{0};
+  } objective;
+
+  SchedulerOptions sched;
+  sched.n_threads = 2;
+  sched.batch_size = 2;
+  sched.measure.repeats = 3;
+  sched.measure.mad_threshold = 0.0;  // jitter is the signal — keep all
+  EvalScheduler(sched).run(session, objective);
+
+  EXPECT_EQ(session.completed(), 6u);
+  std::size_t with_dispersion = 0;
+  for (const auto& e : session.evaluations()) {
+    EXPECT_EQ(e.outcome, robust::EvalOutcome::Ok);
+    if (e.dispersion > 0.0) ++with_dispersion;
+  }
+  EXPECT_GT(with_dispersion, 0u);
 }
 
 }  // namespace

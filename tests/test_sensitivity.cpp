@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace tunekit::stats {
 namespace {
@@ -199,6 +201,102 @@ TEST(Sensitivity, LadderFromZeroBaselineUsesSpanWalk) {
   const auto vals = analyzer.variation_values(spec, 0.0);
   EXPECT_FALSE(vals.empty());
   for (double v : vals) EXPECT_NE(v, 0.0);
+}
+
+TEST(Sensitivity, SingleMeasurementKeepsStderrZero) {
+  TwoRegionApp app;
+  const auto space = three_param_space();
+  SensitivityAnalyzer analyzer;
+  const auto report = analyzer.analyze(app, space, {1.0, 1.0, 1.0});
+  for (const auto& r : report.regions()) {
+    for (std::size_t p = 0; p < space.size(); ++p) {
+      EXPECT_DOUBLE_EQ(report.score_stderr(r, p), 0.0);
+      // With zero stderr the lower bound is the score itself: the seed-era
+      // influence semantics are unchanged.
+      EXPECT_DOUBLE_EQ(report.lower_bound(r, p, 1.96), report.score(r, p));
+    }
+  }
+  EXPECT_EQ(report.failed_observations, 0u);
+}
+
+TEST(Sensitivity, RepeatedMeasurementPropagatesStderr) {
+  // Each call jitters the region time deterministically, so repeats of the
+  // same configuration disperse and the score gets a standard error.
+  class Jittery final : public search::RegionObjective {
+   public:
+    RegionTimes evaluate_regions(const Config& c) override {
+      const double jitter = 1.0 + 0.01 * static_cast<double>(call_++ % 5);
+      RegionTimes t;
+      t.regions["R"] = (10.0 + 2.0 * c[0]) * jitter;
+      t.total = t.regions["R"];
+      return t;
+    }
+
+   private:
+    std::size_t call_ = 0;
+  };
+  SearchSpace s;
+  s.add(ParamSpec::real("p", 0.1, 100.0, 1.0));
+  Jittery app;
+  SensitivityOptions opt;
+  opt.n_variations = 3;
+  opt.measure.repeats = 5;
+  opt.measure.mad_threshold = 0.0;  // keep all samples: jitter is the signal
+  SensitivityAnalyzer analyzer(opt);
+  const auto report = analyzer.analyze(app, s, {1.0});
+
+  EXPECT_GT(report.score("R", 0), 0.0);
+  EXPECT_GT(report.score_stderr("R", 0), 0.0);
+  EXPECT_LE(report.lower_bound("R", 0, 1.96), report.score("R", 0));
+  EXPECT_GE(report.lower_bound("R", 0, 1.96), 0.0);
+  // Every repeat counts as an observation: baseline + variations, 5 each.
+  EXPECT_GE(report.observations, 5u * (1u + 2u));
+}
+
+TEST(Sensitivity, FailedVariationsAreCountedNotFatal) {
+  // Configurations beyond a threshold crash; their variations are dropped
+  // and counted, and the score averages over the survivors.
+  class Fragile final : public search::RegionObjective {
+   public:
+    RegionTimes evaluate_regions(const Config& c) override {
+      if (c[0] > 10.0) throw std::runtime_error("injected crash");
+      RegionTimes t;
+      t.regions["R"] = c[0];
+      t.total = c[0];
+      return t;
+    }
+  };
+  SearchSpace s;
+  s.add(ParamSpec::real("p", 1.0, 100.0, 4.0));
+  Fragile app;
+  SensitivityOptions opt;
+  opt.n_variations = 5;
+  opt.ladder_factor = 1.5;  // 6, 9, 13.5, 20.25, 30.4 — last three crash
+  SensitivityAnalyzer analyzer(opt);
+  const auto report = analyzer.analyze(app, s, {4.0});
+
+  EXPECT_EQ(report.failed_observations, 3u);
+  // Score from the two surviving variations: mean(|4-6|/4, |4-9|/4).
+  EXPECT_NEAR(report.score("R", 0), (0.5 + 1.25) / 2.0, 1e-12);
+}
+
+TEST(Sensitivity, FailingBaselineThrowsWithOutcome) {
+  class Doomed final : public search::RegionObjective {
+   public:
+    RegionTimes evaluate_regions(const Config&) override {
+      throw std::runtime_error("always dead");
+    }
+  };
+  SearchSpace s;
+  s.add(ParamSpec::real("p", 0.1, 10.0, 1.0));
+  Doomed app;
+  SensitivityAnalyzer analyzer;
+  try {
+    analyzer.analyze(app, s, {1.0});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("crashed"), std::string::npos);
+  }
 }
 
 TEST(Sensitivity, AnalyzeTotalWrapsScalarObjective) {

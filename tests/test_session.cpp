@@ -285,6 +285,64 @@ TEST(TuningSession, JournalResumeMatchesUninterruptedRun) {
   std::filesystem::remove(path_b + ".snapshot.json");
 }
 
+// Failed and dropped candidates survive a crash-resume round trip: the
+// classified failure outcomes, the NaN failure_penalty records, the measured
+// dispersions, and the per-candidate retry budget all come back.
+TEST(TuningSession, FailureRecordsSurviveResume) {
+  const auto space = two_dim_space();
+  const std::string path = temp_path("tunekit_session_failures.jsonl");
+  SessionOptions opt;
+  opt.max_evals = 6;
+  opt.max_attempts = 2;
+  opt.backend = SessionBackend::Random;
+
+  std::uint64_t midretry_id = 0;
+  {
+    TuningSession session(space, opt, path);
+    auto batch = session.ask(3);
+    ASSERT_EQ(batch.size(), 3u);
+    // Candidate 0 times out twice — attempts exhausted, dropped at penalty.
+    session.tell_failure(batch[0].id, robust::EvalOutcome::TimedOut);
+    auto retry = session.ask(1);
+    ASSERT_EQ(retry.size(), 1u);
+    ASSERT_EQ(retry[0].id, batch[0].id);
+    session.tell_failure(retry[0].id, robust::EvalOutcome::TimedOut);
+    // Candidate 1 crashes once and is awaiting its retry when the process
+    // "dies".
+    session.tell_failure(batch[1].id, robust::EvalOutcome::Crashed);
+    // Candidate 2 succeeds, with a repeat-measurement dispersion.
+    session.tell(batch[2].id, 4.0, /*cost_seconds=*/0.5, /*dispersion=*/0.25);
+    midretry_id = batch[1].id;
+  }
+
+  auto resumed = TuningSession::resume(space, opt, path);
+  EXPECT_EQ(resumed->completed(), 2u);
+  const auto evals = resumed->evaluations();
+  ASSERT_EQ(evals.size(), 2u);
+  // The drop kept its classified outcome, not a generic crash.
+  EXPECT_EQ(evals[0].outcome, robust::EvalOutcome::TimedOut);
+  EXPECT_TRUE(std::isnan(evals[0].value));  // default failure_penalty
+  EXPECT_EQ(evals[1].outcome, robust::EvalOutcome::Ok);
+  EXPECT_DOUBLE_EQ(evals[1].value, 4.0);
+  EXPECT_DOUBLE_EQ(evals[1].dispersion, 0.25);
+
+  // The mid-retry candidate is re-issued with its attempt count intact, so
+  // one more failure exhausts the budget exactly as it would have pre-kill.
+  auto reissued = resumed->ask(1);
+  ASSERT_EQ(reissued.size(), 1u);
+  EXPECT_EQ(reissued[0].id, midretry_id);
+  EXPECT_EQ(reissued[0].attempt, 1u);
+  resumed->tell_failure(reissued[0].id, robust::EvalOutcome::Crashed);
+  EXPECT_EQ(resumed->completed(), 3u);
+  const auto after = resumed->evaluations();
+  ASSERT_EQ(after.size(), 3u);
+  EXPECT_EQ(after[2].outcome, robust::EvalOutcome::Crashed);
+  EXPECT_TRUE(std::isnan(after[2].value));
+
+  std::remove(path.c_str());
+  std::filesystem::remove(path + ".snapshot.json");
+}
+
 TEST(TuningSession, CompactionBoundsJournalAndPreservesState) {
   const auto space = two_dim_space();
   const std::string path = temp_path("tunekit_session_compact.jsonl");

@@ -26,6 +26,7 @@
 
 #include <cstdio>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -33,6 +34,7 @@
 
 #include "common/table.hpp"
 #include "core/methodology.hpp"
+#include "robust/measure.hpp"
 #include "core/report.hpp"
 #include "minislater/minislater_app.hpp"
 #include "service/protocol.hpp"
@@ -50,6 +52,10 @@ int usage(const char* argv0) {
       "apps:  synth:case1..case5 | tddft:cs1 | tddft:cs2 | minislater\n"
       "options: --cutoff F --max-dims N --variations N --importance-samples N\n"
       "         --evals-per-param N --min-evals N --seed N --checkpoint-dir P --dot\n"
+      "robust:  --repeats N (measurements per config, MAD-trimmed)\n"
+      "         --eval-timeout S (watchdog deadline per measurement)\n"
+      "         --eval-retries N (re-attempts after a transient crash)\n"
+      "         --mad-threshold F (outlier cut in scaled MADs; 0 disables)\n"
       "session: speaks NDJSON ask/tell on stdin/stdout (docs/SERVICE.md)\n"
       "         --max-evals N --backend bo|random|grid --journal P --resume\n",
       argv0);
@@ -68,6 +74,11 @@ struct CliArgs {
   std::uint64_t seed = 42;
   std::string checkpoint_dir;
   bool dot = false;
+  // hardened evaluation (applies to sensitivity and search evaluations)
+  std::size_t repeats = 1;
+  double eval_timeout = std::numeric_limits<double>::infinity();
+  std::size_t eval_retries = 0;
+  double mad_threshold = 3.5;
   // session command
   std::size_t max_evals = 100;
   std::string backend = "bo";
@@ -95,6 +106,10 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       else if (flag == "--seed") args.seed = std::stoull(next());
       else if (flag == "--checkpoint-dir") args.checkpoint_dir = next();
       else if (flag == "--dot") args.dot = true;
+      else if (flag == "--repeats") args.repeats = std::stoul(next());
+      else if (flag == "--eval-timeout") args.eval_timeout = std::stod(next());
+      else if (flag == "--eval-retries") args.eval_retries = std::stoul(next());
+      else if (flag == "--mad-threshold") args.mad_threshold = std::stod(next());
       else if (flag == "--max-evals") args.max_evals = std::stoul(next());
       else if (flag == "--backend") args.backend = next();
       else if (flag == "--journal") args.journal = next();
@@ -160,6 +175,16 @@ core::MethodologyOptions make_options(const CliArgs& args, const AppBundle& bund
   opt.executor.bo.seed = args.seed;
   opt.executor.checkpoint_dir = args.checkpoint_dir;
   opt.seed = args.seed;
+  // One hardened-measurement policy for the whole pipeline: the sensitivity
+  // analysis and every search evaluation measure under the same rules.
+  robust::MeasureOptions measure;
+  measure.repeats = args.repeats;
+  measure.mad_threshold = args.mad_threshold;
+  measure.watchdog.timeout_seconds = args.eval_timeout;
+  measure.watchdog.max_retries = args.eval_retries;
+  measure.watchdog.backoff_seconds = args.eval_retries > 0 ? 0.05 : 0.0;
+  opt.sensitivity.measure = measure;
+  opt.executor.measure = measure;
   return opt;
 }
 
