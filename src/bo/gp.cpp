@@ -54,7 +54,20 @@ void GaussianProcess::refit() {
   for (std::size_t i = 0; i < n; ++i) y_std_[i] = (resid[i] - y_shift_) / y_scale_;
 
   const linalg::Matrix gram = kernel_gram(kind_, x_, hp_);
-  chol_ = linalg::cholesky(gram);
+  // Jitter escalation before the model is rejected: the quiet ladder
+  // (1e-10 → 1e-6) handles ordinary round-off; if the Gram is genuinely
+  // rank-deficient — duplicate configs with near-zero noise, exactly what a
+  // tuning session that retries crashed candidates produces — a second,
+  // wider ladder up to 1e-2 is tried, loudly, before the failure propagates
+  // (hyperopt then scores the region at 1e12 and moves on).
+  last_jitter_ = 0.0;
+  try {
+    chol_ = linalg::cholesky(gram, 1e-10, 1e-6, &last_jitter_);
+  } catch (const std::exception&) {
+    chol_ = linalg::cholesky(gram, 1e-5, 1e-2, &last_jitter_);
+    log_warn("GP: Gram matrix rank-deficient; factored with escalated jitter ",
+             last_jitter_, " (duplicate training points with near-zero noise?)");
+  }
   alpha_ = linalg::solve_with_cholesky(chol_, y_std_);
 
   // LML = -1/2 y^T alpha - 1/2 log|K| - n/2 log 2π   (standardized y).

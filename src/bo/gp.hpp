@@ -76,6 +76,12 @@ class GaussianProcess {
   std::size_t n_points() const { return x_.rows(); }
   std::size_t dim() const { return x_.cols(); }
 
+  /// Diagonal jitter the last (re)fit needed to factor the Gram matrix
+  /// (0 = it was numerically PD as-is). A persistently non-zero value means
+  /// the model is rank-deficient — duplicate training rows with near-zero
+  /// noise — and its uncertainty estimates should be treated with suspicion.
+  double last_jitter() const { return last_jitter_; }
+
  private:
   void refit();
 
@@ -92,6 +98,7 @@ class GaussianProcess {
   linalg::Matrix chol_;
   std::vector<double> alpha_;
   double lml_ = 0.0;
+  double last_jitter_ = 0.0;
   bool fitted_ = false;
 };
 

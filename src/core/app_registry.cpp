@@ -1,0 +1,45 @@
+#include "core/app_registry.hpp"
+
+#include <stdexcept>
+
+#include "minislater/minislater_app.hpp"
+#include "synth/synth_app.hpp"
+#include "tddft/tddft_app.hpp"
+
+namespace tunekit::core {
+
+const char* builtin_app_names() {
+  return "synth:case1..case5, tddft:cs1, tddft:cs2, minislater";
+}
+
+AppBundle make_builtin_app(const std::string& name, std::uint64_t seed) {
+  AppBundle bundle;
+  if (name.rfind("synth:case", 0) == 0 && name.size() == 11) {
+    const int c = name.back() - '0';
+    if (c >= 1 && c <= 5) {
+      bundle.app = std::make_unique<synth::SynthApp>(static_cast<synth::SynthCase>(c),
+                                                     0.01, seed);
+      bundle.default_cutoff = 0.25;
+      bundle.default_variations = 100;
+      return bundle;
+    }
+  }
+  if (name == "tddft:cs1") {
+    bundle.app = std::make_unique<tddft::RtTddftApp>(tddft::PhysicalSystem::case_study_1());
+    return bundle;
+  }
+  if (name == "tddft:cs2") {
+    bundle.app = std::make_unique<tddft::RtTddftApp>(tddft::PhysicalSystem::case_study_2());
+    return bundle;
+  }
+  if (name == "minislater") {
+    // Real measured kernels: higher cut-off absorbs timer noise.
+    bundle.app = std::make_unique<minislater::MiniSlaterApp>(32, 4, 2, seed);
+    bundle.default_cutoff = 0.15;
+    return bundle;
+  }
+  throw std::runtime_error("unknown app '" + name + "' (expected " +
+                           builtin_app_names() + ")");
+}
+
+}  // namespace tunekit::core

@@ -1,0 +1,30 @@
+#pragma once
+// Registry of the built-in TunableApps, shared by tunekit_cli and
+// tunekit_worker: both sides of the process sandbox must construct the
+// *same* application from the same "--app <name> --seed N" spec, or the
+// worker would evaluate a different space than the supervisor searches.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/tunable_app.hpp"
+
+namespace tunekit::core {
+
+/// A built-in app plus the per-app defaults the CLI applies when the user
+/// did not override them.
+struct AppBundle {
+  std::unique_ptr<TunableApp> app;
+  double default_cutoff = 0.10;
+  std::size_t default_variations = 5;
+};
+
+/// Construct a built-in app by name: synth:case1..case5, tddft:cs1,
+/// tddft:cs2, minislater. Throws std::runtime_error on an unknown name.
+AppBundle make_builtin_app(const std::string& name, std::uint64_t seed);
+
+/// The names make_builtin_app accepts, for usage/error messages.
+const char* builtin_app_names();
+
+}  // namespace tunekit::core

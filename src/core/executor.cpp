@@ -4,6 +4,7 @@
 #include <cmath>
 #include <filesystem>
 #include <limits>
+#include <memory>
 #include <numeric>
 
 #include "common/log.hpp"
@@ -44,6 +45,21 @@ ExecutionResult PlanExecutor::execute(TunableApp& app,
                                       const graph::SearchPlan& plan) const {
   Stopwatch watch;
   const search::SearchSpace& space = app.space();
+
+  // Process isolation: evaluate through sandboxed worker processes. The
+  // wrap happens at TunableApp level so subspace embedding stays on this
+  // side of the process boundary (full-space configs cross the wire), and
+  // the pool's SIGKILL deadline takes over from the in-process watchdog.
+  const auto sandbox = robust::WorkerPool::create(
+      options_.isolation, std::max<std::size_t>(1, options_.n_threads));
+  robust::MeasureOptions measure = options_.measure;
+  std::unique_ptr<robust::SandboxedApp> sandboxed;
+  if (sandbox) {
+    sandboxed = std::make_unique<robust::SandboxedApp>(
+        app, sandbox, measure.watchdog.timeout_seconds);
+    measure.watchdog.timeout_seconds = std::numeric_limits<double>::infinity();
+  }
+  TunableApp& eval_app = sandboxed ? *sandboxed : app;
 
   ExecutionResult exec;
   search::Config base = app.baseline();
@@ -101,14 +117,14 @@ ExecutionResult PlanExecutor::execute(TunableApp& app,
         return;
       }
 
-      RegionSumObjective region_obj(app, planned.objective_regions);
+      RegionSumObjective region_obj(eval_app, planned.objective_regions);
       search::SubspaceObjective sub_obj(region_obj, space, planned.params, base);
       // Hardened evaluation for the blocking drivers: watchdog + repeats per
       // call, classified failures re-thrown as EvalFailure (which BayesOpt
       // records and GridSearch tolerates). The session path instead passes
       // the options to the scheduler, which measures on its own workers.
-      const bool harden = !robust::is_trivial(options_.measure);
-      robust::HardenedObjective hardened_obj(sub_obj, options_.measure);
+      const bool harden = !robust::is_trivial(measure);
+      robust::HardenedObjective hardened_obj(sub_obj, measure);
       search::Objective& driver_obj =
           harden ? static_cast<search::Objective&>(hardened_obj) : sub_obj;
 
@@ -153,7 +169,10 @@ ExecutionResult PlanExecutor::execute(TunableApp& app,
           session = std::make_unique<service::TuningSession>(sub_obj.space(), sopts,
                                                              journal);
         }
-        service::EvalScheduler scheduler({options_.n_threads, 0, options_.measure});
+        // The scheduler gets the stripped measure options and default
+        // (thread) isolation: sub_obj already routes through the sandbox, so
+        // giving the scheduler its own pool would double-sandbox.
+        service::EvalScheduler scheduler({options_.n_threads, 0, measure, {}});
         result = scheduler.run(*session, sub_obj);
       } else if (enumerate) {
         log_info("executor: '", planned.name, "' enumerated exhaustively (", card,
@@ -189,7 +208,8 @@ ExecutionResult PlanExecutor::execute(TunableApp& app,
 
     // With the session scheduler, n_threads parallelizes *within* each
     // search; running searches concurrently on top would nest thread pools.
-    const bool parallel = options_.n_threads > 1 && app.thread_safe() &&
+    // (A sandboxed app is always thread-safe: workers are processes.)
+    const bool parallel = options_.n_threads > 1 && eval_app.thread_safe() &&
                           searches.size() > 1 && !options_.session_scheduler;
     if (parallel) {
       ThreadPool pool(std::min(options_.n_threads, searches.size()));
@@ -215,8 +235,8 @@ ExecutionResult PlanExecutor::execute(TunableApp& app,
   // The confirming measurement of the tuned configuration runs under the
   // same hardening. If even the final measurement fails, report NaN times
   // rather than aborting after the whole campaign succeeded.
-  const robust::RobustMeasurer measurer(options_.measure);
-  const robust::Measurement final_m = measurer.measure_regions(app, base);
+  const robust::RobustMeasurer measurer(measure);
+  const robust::Measurement final_m = measurer.measure_regions(eval_app, base);
   if (final_m.outcome == robust::EvalOutcome::Ok) {
     exec.final_times = final_m.regions;
   } else {

@@ -19,6 +19,7 @@
 #include "bo/bayes_opt.hpp"
 #include "graph/search_plan.hpp"
 #include "robust/measure.hpp"
+#include "robust/worker_pool.hpp"
 #include "search/grid_search.hpp"
 #include "search/objective.hpp"
 #include "search/result.hpp"
@@ -69,6 +70,13 @@ struct ExecutorOptions {
   /// watchdog timeout, transient-crash retries, and repeats with MAD outlier
   /// rejection. Defaults are the seed behavior (one bare call, no deadline).
   robust::MeasureOptions measure;
+
+  /// IsolationMode::Process wraps the app in a SandboxedApp: every search
+  /// evaluation and the final confirming measurement run in worker
+  /// processes, the watchdog deadline becomes the workers' SIGKILL deadline,
+  /// and repeatedly-crashing configurations are quarantined. Defaults to
+  /// Thread — the in-process path.
+  robust::IsolationOptions isolation;
 
   std::uint64_t seed = 1234;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <set>
 
 #include "common/log.hpp"
@@ -15,13 +16,36 @@ namespace tunekit::core {
 
 Methodology::Methodology(MethodologyOptions options) : options_(std::move(options)) {}
 
+std::shared_ptr<robust::WorkerPool> Methodology::make_pool() const {
+  // The executor's spec wins when both phases request isolation — it carries
+  // the parallelism the pool should be sized for.
+  const robust::IsolationOptions* iso = nullptr;
+  if (options_.executor.isolation.mode == robust::IsolationMode::Process) {
+    iso = &options_.executor.isolation;
+  } else if (options_.sensitivity.isolation.mode == robust::IsolationMode::Process) {
+    iso = &options_.sensitivity.isolation;
+  }
+  if (!iso) return nullptr;
+  return robust::WorkerPool::create(
+      *iso, std::max<std::size_t>(1, options_.executor.n_threads));
+}
+
 InfluenceAnalysis Methodology::analyze(TunableApp& app) const {
+  return analyze_impl(app, make_pool());
+}
+
+InfluenceAnalysis Methodology::analyze_impl(
+    TunableApp& app, std::shared_ptr<robust::WorkerPool> pool) const {
   const search::SearchSpace& space = app.space();
   const auto routines = app.routines();
   const auto outer = app.outer_regions();
 
   // --- Phase 1/2: sensitivity analysis around the app's baseline. ---
   stats::SensitivityOptions sens_opts = options_.sensitivity;
+  if (pool) {
+    sens_opts.isolation.mode = robust::IsolationMode::Process;
+    sens_opts.isolation.pool = pool;
+  }
   if (options_.use_app_expert_variations) {
     const auto expert = app.expert_variations();
     if (!expert.empty() && sens_opts.expert_values.empty()) {
@@ -83,6 +107,15 @@ InfluenceAnalysis Methodology::analyze(TunableApp& app) const {
     }
     tunekit::Rng rng(options_.seed ^ 0xfeedface);
     const auto configs = search::sample_valid_configs(space, n, rng);
+    // Importance samples are random configurations — exactly the kind of
+    // probing most likely to hit a crashing corner of the space, so with
+    // isolation active they run out of process too.
+    std::unique_ptr<robust::SandboxedApp> sandboxed;
+    if (pool) {
+      sandboxed = std::make_unique<robust::SandboxedApp>(
+          app, pool, options_.sensitivity.measure.watchdog.timeout_seconds);
+    }
+    TunableApp& eval_app = sandboxed ? *sandboxed : app;
     // A flaky app must not abort the whole analysis: failed or non-finite
     // samples are dropped and the forest fits whatever survived.
     std::vector<std::vector<double>> units;
@@ -92,7 +125,7 @@ InfluenceAnalysis Methodology::analyze(TunableApp& app) const {
     for (std::size_t i = 0; i < n; ++i) {
       double value = std::numeric_limits<double>::quiet_NaN();
       try {
-        value = app.evaluate(configs[i]);
+        value = eval_app.evaluate(configs[i]);
       } catch (const std::exception& e) {
         log_warn("methodology: importance sample failed (", e.what(), "); dropped");
       } catch (...) {
@@ -143,10 +176,19 @@ graph::SearchPlan Methodology::make_plan(TunableApp& app,
 
 MethodologyResult Methodology::run(TunableApp& app) const {
   Stopwatch watch;
-  MethodologyResult result{analyze(app), {}, {}, 0, 0.0};
+  // One shared pool for every phase: quarantine knowledge gathered during
+  // the analysis protects the execution phase (and vice versa), and workers
+  // survive across phases instead of respawning.
+  const auto pool = make_pool();
+  MethodologyResult result{analyze_impl(app, pool), {}, {}, 0, 0.0};
   result.plan = make_plan(app, result.analysis);
 
-  PlanExecutor executor(options_.executor);
+  ExecutorOptions exec_opts = options_.executor;
+  if (pool) {
+    exec_opts.isolation.mode = robust::IsolationMode::Process;
+    exec_opts.isolation.pool = pool;
+  }
+  PlanExecutor executor(exec_opts);
   result.execution = executor.execute(app, result.plan);
 
   result.total_observations = result.analysis.observations +

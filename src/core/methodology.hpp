@@ -14,6 +14,7 @@
 // PlanExecutor.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "bo/bayes_opt.hpp"
@@ -103,6 +104,14 @@ class Methodology {
   MethodologyResult run(TunableApp& app) const;
 
  private:
+  /// One worker pool for the whole pipeline, built from whichever phase
+  /// requested process isolation — sensitivity, importance sampling, and
+  /// execution then share workers and quarantine knowledge. Null when no
+  /// phase asked for isolation (or the pool could not start).
+  std::shared_ptr<robust::WorkerPool> make_pool() const;
+  InfluenceAnalysis analyze_impl(TunableApp& app,
+                                 std::shared_ptr<robust::WorkerPool> pool) const;
+
   MethodologyOptions options_;
 };
 

@@ -1,0 +1,427 @@
+#include "robust/process_sandbox.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+
+#include "common/json.hpp"
+#include "common/log.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define TUNEKIT_HAVE_PROCESS_SANDBOX 1
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace tunekit::robust {
+
+bool process_sandbox_supported() {
+#ifdef TUNEKIT_HAVE_PROCESS_SANDBOX
+  return true;
+#else
+  return false;
+#endif
+}
+
+#ifdef TUNEKIT_HAVE_PROCESS_SANDBOX
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Serialize one eval request line.
+std::string eval_request(std::uint64_t id, const search::Config& config,
+                         double deadline_seconds) {
+  json::Object obj;
+  obj["op"] = json::Value("eval");
+  obj["id"] = json::Value(static_cast<double>(id));
+  json::Array cfg;
+  for (double x : config) cfg.emplace_back(x);
+  obj["config"] = json::Value(std::move(cfg));
+  if (std::isfinite(deadline_seconds)) {
+    obj["deadline_s"] = json::Value(deadline_seconds);
+  }
+  return json::Value(std::move(obj)).dump();
+}
+
+/// Parse a worker result line into a SandboxResult; returns false when the
+/// line is not a valid result for `id` (heartbeats return true with
+/// outcome untouched via the `is_heartbeat` flag).
+bool parse_reply(const std::string& line, std::uint64_t id, SandboxResult& out,
+                 bool& is_heartbeat) {
+  is_heartbeat = false;
+  json::Value v;
+  try {
+    v = json::parse(line);
+  } catch (const json::JsonError&) {
+    return false;
+  }
+  if (!v.is_object() || !v.contains("e")) return false;
+  const std::string& e = v.at("e").as_string();
+  if (e == "hb" || e == "pong" || e == "ready") {
+    is_heartbeat = true;
+    return true;
+  }
+  if (e != "result") return false;
+  try {
+    if (v.contains("id") &&
+        static_cast<std::uint64_t>(v.at("id").as_number()) != id) {
+      // A stale reply from a previous (killed) request on a reused worker
+      // would be a supervisor bug — workers are killed on deadline, so a
+      // mismatched id means protocol corruption.
+      return false;
+    }
+    out.outcome = outcome_from_string(v.at("outcome").as_string());
+    if (v.contains("value") && !v.at("value").is_null()) {
+      out.value = v.at("value").as_number();
+    }
+    out.cost_seconds = v.number_or("cost", 0.0);
+    out.dispersion = v.number_or("dispersion", 0.0);
+    if (v.contains("error")) out.error = v.at("error").as_string();
+    if (v.contains("regions")) {
+      for (const auto& [name, t] : v.at("regions").as_object()) {
+        out.regions.regions[name] = t.as_number();
+      }
+    }
+    out.regions.total = v.number_or("total", out.value);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+WaitClassification classify_wait_status(int wait_status) {
+  WaitClassification c;
+  if (WIFSIGNALED(wait_status)) {
+    c.term_signal = WTERMSIG(wait_status);
+    c.outcome = EvalOutcome::Crashed;
+    c.detail = "worker killed by signal " + std::to_string(c.term_signal);
+    const char* name = ::strsignal(c.term_signal);
+    if (name) c.detail += std::string(" (") + name + ")";
+    return c;
+  }
+  if (WIFEXITED(wait_status)) {
+    c.exit_code = WEXITSTATUS(wait_status);
+    if (c.exit_code == 0) {
+      // Exiting cleanly in the middle of a request is still a broken
+      // evaluation — the reply never arrived.
+      c.outcome = EvalOutcome::Crashed;
+      c.detail = "worker exited without replying";
+    } else {
+      // A deliberate nonzero exit is the worker's way of rejecting the
+      // request/protocol state, not a crash.
+      c.outcome = EvalOutcome::InvalidConfig;
+      c.detail = "worker exited with code " + std::to_string(c.exit_code);
+    }
+    return c;
+  }
+  c.outcome = EvalOutcome::Crashed;
+  c.detail = "worker stopped with unrecognized wait status";
+  return c;
+}
+
+WorkerProcess::WorkerProcess(SandboxOptions options)
+    : options_(std::move(options)) {}
+
+WorkerProcess::~WorkerProcess() { kill_now(); }
+
+bool WorkerProcess::spawn() {
+  if (alive() || options_.argv.empty()) return alive();
+
+  int to_child[2];   // supervisor writes requests
+  int from_child[2]; // supervisor reads replies
+  if (::pipe(to_child) != 0) return false;
+  if (::pipe(from_child) != 0) {
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    return false;
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    return false;
+  }
+
+  if (pid == 0) {
+    // --- Child: wire pipes to stdio, apply rlimits, exec the worker. ---
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+
+    if (!options_.stderr_path.empty()) {
+      const int fd = ::open(options_.stderr_path.c_str(),
+                            O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (fd >= 0) {
+        ::dup2(fd, STDERR_FILENO);
+        ::close(fd);
+      }
+    }
+
+    // No core dumps: a campaign crashing hundreds of configs must not fill
+    // the disk with them.
+    struct rlimit no_core = {0, 0};
+    ::setrlimit(RLIMIT_CORE, &no_core);
+    if (options_.mem_limit_mb > 0.0) {
+      const rlim_t bytes =
+          static_cast<rlim_t>(options_.mem_limit_mb * 1024.0 * 1024.0);
+      struct rlimit mem = {bytes, bytes};
+      ::setrlimit(RLIMIT_AS, &mem);
+    }
+    if (options_.cpu_limit_seconds > 0.0) {
+      const rlim_t secs =
+          static_cast<rlim_t>(std::ceil(options_.cpu_limit_seconds));
+      struct rlimit cpu = {secs, secs};
+      ::setrlimit(RLIMIT_CPU, &cpu);
+    }
+
+    std::vector<char*> argv;
+    argv.reserve(options_.argv.size() + 1);
+    for (const auto& a : options_.argv) argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(nullptr);
+    ::execvp(argv[0], argv.data());
+    // exec failed: exit with a distinctive code (classified InvalidConfig
+    // by the handshake failure path; the pool then degrades).
+    _exit(127);
+  }
+
+  // --- Supervisor side. ---
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  pid_ = pid;
+  stdin_fd_ = to_child[1];
+  stdout_fd_ = from_child[0];
+  rx_buffer_.clear();
+
+  // Never die on EPIPE when a worker crashes mid-write.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  // Handshake: the worker must announce itself before the first request.
+  std::string line;
+  if (read_line(line, options_.spawn_timeout_seconds) != 1) {
+    log_warn("sandbox: worker '", options_.argv[0],
+             "' produced no handshake within ", options_.spawn_timeout_seconds,
+             "s; giving up on it");
+    kill_now();
+    return false;
+  }
+  bool is_hs = false;
+  SandboxResult ignored;
+  if (!parse_reply(line, 0, ignored, is_hs) || !is_hs) {
+    log_warn("sandbox: worker '", options_.argv[0],
+             "' sent a malformed handshake; giving up on it");
+    kill_now();
+    return false;
+  }
+  return true;
+}
+
+int WorkerProcess::read_line(std::string& line, double timeout_seconds) {
+  const double deadline = now_seconds() + timeout_seconds;
+  while (true) {
+    const auto nl = rx_buffer_.find('\n');
+    if (nl != std::string::npos) {
+      line = rx_buffer_.substr(0, nl);
+      rx_buffer_.erase(0, nl + 1);
+      return 1;
+    }
+    const double remaining = deadline - now_seconds();
+    if (remaining <= 0.0) return 0;
+
+    struct pollfd pfd = {stdout_fd_, POLLIN, 0};
+    const int timeout_ms =
+        static_cast<int>(std::min(remaining * 1000.0, 1000.0 * 3600.0)) + 1;
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (rc == 0) return 0;  // timeout
+    char buf[4096];
+    const ssize_t n = ::read(stdout_fd_, buf, sizeof(buf));
+    if (n < 0) return errno == EINTR ? 0 : -1;
+    if (n == 0) return -1;  // EOF: the worker closed its stdout
+    rx_buffer_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+WaitClassification WorkerProcess::reap() {
+  WaitClassification c;
+  if (pid_ <= 0) return c;
+  int status = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(static_cast<pid_t>(pid_), &status, 0);
+  } while (r < 0 && errno == EINTR);
+  if (r == static_cast<pid_t>(pid_)) c = classify_wait_status(status);
+  pid_ = -1;
+  close_fd(stdin_fd_);
+  close_fd(stdout_fd_);
+  rx_buffer_.clear();
+  return c;
+}
+
+void WorkerProcess::kill_now() {
+  if (pid_ <= 0) return;
+  ::kill(static_cast<pid_t>(pid_), SIGKILL);
+  reap();
+}
+
+SandboxResult WorkerProcess::evaluate(std::uint64_t id,
+                                      const search::Config& config,
+                                      double deadline_seconds) {
+  SandboxResult result;
+  const double start = now_seconds();
+  auto finish = [&]() -> SandboxResult& {
+    result.seconds = now_seconds() - start;
+    return result;
+  };
+
+  if (!alive()) {
+    result.worker_died = true;
+    result.error = "worker not running";
+    return finish();
+  }
+
+  const std::string request = eval_request(id, config, deadline_seconds) + "\n";
+  std::size_t written = 0;
+  while (written < request.size()) {
+    const ssize_t n =
+        ::write(stdin_fd_, request.data() + written, request.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // The worker died before/while reading the request.
+      const WaitClassification c = [&] {
+        ::kill(static_cast<pid_t>(pid_), SIGKILL);
+        return reap();
+      }();
+      result.outcome = c.outcome;
+      result.error = c.detail.empty() ? "request write failed" : c.detail;
+      result.term_signal = c.term_signal;
+      result.exit_code = c.exit_code;
+      result.worker_died = true;
+      return finish();
+    }
+    written += static_cast<std::size_t>(n);
+  }
+
+  const bool have_deadline = std::isfinite(deadline_seconds);
+  const bool have_liveness = options_.liveness_timeout_seconds > 0.0;
+  const double hard_deadline =
+      have_deadline ? start + deadline_seconds
+                    : std::numeric_limits<double>::infinity();
+
+  std::string line;
+  while (true) {
+    // Wait until the next of: reply/heartbeat arrives, the deadline passes,
+    // or the liveness window closes.
+    double wait = hard_deadline - now_seconds();
+    if (have_liveness) wait = std::min(wait, options_.liveness_timeout_seconds);
+    if (!std::isfinite(wait)) wait = 3600.0;  // re-poll hourly, effectively forever
+
+    if (wait <= 0.0 && have_deadline) {
+      // Deadline: hard kill. Unlike the cooperative thread watchdog this
+      // reclaims the worker no matter what the evaluation is doing.
+      kill_now();
+      result.outcome = EvalOutcome::TimedOut;
+      result.error = "deadline of " + std::to_string(deadline_seconds) +
+                     "s enforced with SIGKILL";
+      result.worker_died = true;
+      return finish();
+    }
+
+    const int rr = read_line(line, std::max(wait, 0.0));
+    if (rr == 1) {
+      bool is_hb = false;
+      SandboxResult parsed;
+      if (!parse_reply(line, id, parsed, is_hb)) {
+        // Garbage on the protocol stream: the worker is not trustworthy any
+        // more. Classify the request InvalidConfig and replace the worker.
+        kill_now();
+        result.outcome = EvalOutcome::InvalidConfig;
+        result.error = "malformed worker reply";
+        result.worker_died = true;
+        return finish();
+      }
+      if (is_hb) continue;  // heartbeat: the worker is alive, keep waiting
+      parsed.seconds = 0.0;
+      result = parsed;
+      return finish();
+    }
+
+    if (rr == -1) {
+      // EOF: the worker is dead or dying — reap (blocking; death is
+      // imminent) and classify the wait status.
+      const WaitClassification c = reap();
+      result.outcome = c.outcome;
+      result.error = c.detail;
+      result.term_signal = c.term_signal;
+      result.exit_code = c.exit_code;
+      result.worker_died = true;
+      return finish();
+    }
+
+    // rr == 0: the wait slice elapsed with total silence.
+    const double now = now_seconds();
+    if (have_deadline && now >= hard_deadline) continue;  // top of loop kills
+
+    if (have_liveness) {
+      // Neither output nor death for a full liveness window: presumed
+      // wedged beyond even heartbeating. Killed and classified Crashed.
+      kill_now();
+      result.outcome = EvalOutcome::Crashed;
+      result.error = "worker went silent (no heartbeat for " +
+                     std::to_string(options_.liveness_timeout_seconds) + "s)";
+      result.worker_died = true;
+      return finish();
+    }
+  }
+}
+
+#else  // !TUNEKIT_HAVE_PROCESS_SANDBOX
+
+WaitClassification classify_wait_status(int) {
+  return {EvalOutcome::Crashed, "process sandbox unsupported on this platform", 0, -1};
+}
+
+WorkerProcess::WorkerProcess(SandboxOptions options) : options_(std::move(options)) {}
+WorkerProcess::~WorkerProcess() = default;
+bool WorkerProcess::spawn() { return false; }
+void WorkerProcess::kill_now() {}
+int WorkerProcess::read_line(std::string&, double) { return -1; }
+WaitClassification WorkerProcess::reap() { return {}; }
+
+SandboxResult WorkerProcess::evaluate(std::uint64_t, const search::Config&, double) {
+  SandboxResult r;
+  r.error = "process sandbox unsupported on this platform";
+  r.worker_died = true;
+  return r;
+}
+
+#endif  // TUNEKIT_HAVE_PROCESS_SANDBOX
+
+}  // namespace tunekit::robust

@@ -1,0 +1,161 @@
+#pragma once
+// Process-isolated evaluation: one worker process per WorkerProcess object.
+//
+// The PR-2 watchdog contains exceptions and cooperative hangs, but a genuine
+// SIGSEGV in the measured application still kills the whole tuning service,
+// and a hang in uninterruptible code wedges a worker thread forever. The
+// only containment that survives both is an OS process boundary — the shape
+// GPTune and every production tuner use. WorkerProcess fork/execs a
+// `tunekit_worker` (or any binary speaking the same protocol), talks
+// newline-delimited JSON over pipes, and enforces the deadline with SIGKILL:
+// a hard kill no amount of uncooperative code can ignore.
+//
+// Wire protocol ("tunekit-worker-v1", one JSON object per line):
+//
+//   supervisor -> worker (stdin):
+//     {"op":"eval","id":N,"config":[...],"deadline_s":S}
+//     {"op":"ping"}           liveness probe
+//     {"op":"exit"}           orderly shutdown
+//
+//   worker -> supervisor (stdout):
+//     {"e":"ready","format":"tunekit-worker-v1",...}   handshake, once
+//     {"e":"hb"}                                       heartbeat during eval
+//     {"e":"pong"}                                     ping reply
+//     {"e":"result","id":N,"outcome":"ok","value":V,"cost":C,
+//      "regions":{...}[,"dispersion":D][,"error":MSG]}
+//
+// Wait-status classification (the taxonomy mapping the tests pin down):
+//   reply line with outcome      -> that outcome
+//   SIGKILL on deadline          -> TimedOut
+//   death by signal              -> Crashed   ("killed by signal N")
+//   nonzero exit code            -> InvalidConfig ("worker exited with N")
+//   clean exit, no reply         -> Crashed
+//   malformed reply line         -> InvalidConfig (worker killed + replaced)
+//   heartbeat silence            -> Crashed   ("worker went silent")
+//
+// The child also gets setrlimit caps: RLIMIT_AS (mem_limit_mb),
+// RLIMIT_CPU (cpu_limit_seconds), and RLIMIT_CORE = 0 (a tuning campaign
+// that crashes hundreds of configs must not litter core dumps).
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "robust/outcome.hpp"
+#include "search/objective.hpp"
+#include "search/space.hpp"
+
+namespace tunekit::robust {
+
+/// True when this platform can run the process sandbox at all (POSIX
+/// fork/exec/pipes). On other platforms WorkerPool::create returns null and
+/// callers degrade to the in-process watchdog path.
+bool process_sandbox_supported();
+
+struct SandboxOptions {
+  /// Worker command line; argv[0] is the binary path. Empty = sandbox
+  /// unavailable (degrade to the thread path).
+  std::vector<std::string> argv;
+
+  /// RLIMIT_AS cap for the worker, in MiB; 0 = unlimited. Note: address-
+  /// space limits are incompatible with ASan-instrumented workers (the
+  /// shadow mapping alone exceeds any sane cap).
+  double mem_limit_mb = 0.0;
+  /// RLIMIT_CPU cap for the worker, in seconds; 0 = unlimited.
+  double cpu_limit_seconds = 0.0;
+
+  /// Seconds to wait for the "ready" handshake after spawn.
+  double spawn_timeout_seconds = 10.0;
+  /// A worker that produces neither a reply nor a heartbeat for this long
+  /// during an evaluation is presumed wedged and SIGKILLed (classified
+  /// Crashed, not TimedOut — it died silent, it did not run out of budget).
+  /// 0 disables the liveness check (the per-eval deadline still applies).
+  double liveness_timeout_seconds = 0.0;
+
+  /// Consecutive worker deaths tolerated before a pool slot gives up
+  /// respawning (resets on any successful evaluation round trip).
+  std::size_t max_restarts = 5;
+  /// Backoff before a respawn after a crash: doubled per consecutive death,
+  /// capped at restart_backoff_max_seconds.
+  double restart_backoff_seconds = 0.02;
+  double restart_backoff_max_seconds = 1.0;
+
+  /// Append the worker's stderr to this file ("" = inherit the supervisor's
+  /// stderr). CI sets this to capture crash diagnostics as artifacts.
+  std::string stderr_path;
+};
+
+/// Outcome of one sandboxed evaluation round trip.
+struct SandboxResult {
+  EvalOutcome outcome = EvalOutcome::Crashed;
+  double value = std::numeric_limits<double>::quiet_NaN();
+  double cost_seconds = 0.0;
+  double dispersion = 0.0;
+  search::RegionTimes regions;
+  std::string error;
+
+  /// Wall-clock seconds for the round trip (including any kill + reap).
+  double seconds = 0.0;
+  /// The worker process died (or was killed) and must be respawned before
+  /// the next evaluation.
+  bool worker_died = false;
+  /// Terminating signal when the worker died by signal, else 0.
+  int term_signal = 0;
+  /// Exit code when the worker exited, else -1.
+  int exit_code = -1;
+};
+
+/// Map a waitpid() status to the failure taxonomy. Exposed so the
+/// classification matrix is unit-testable against real child processes.
+struct WaitClassification {
+  EvalOutcome outcome = EvalOutcome::Crashed;
+  std::string detail;
+  int term_signal = 0;
+  int exit_code = -1;
+};
+WaitClassification classify_wait_status(int wait_status);
+
+/// One supervised worker process. Not thread-safe: a WorkerProcess belongs
+/// to exactly one pool slot at a time (WorkerPool serializes access).
+class WorkerProcess {
+ public:
+  explicit WorkerProcess(SandboxOptions options);
+  ~WorkerProcess();
+
+  WorkerProcess(const WorkerProcess&) = delete;
+  WorkerProcess& operator=(const WorkerProcess&) = delete;
+
+  /// Fork/exec the worker and wait for its handshake. Returns false (with
+  /// the child reaped) on spawn or handshake failure.
+  bool spawn();
+
+  bool alive() const { return pid_ > 0; }
+  long pid() const { return pid_; }
+
+  /// Send one evaluation request and wait for the reply, the deadline, or
+  /// the worker's death — whichever comes first. On deadline or silence the
+  /// worker is SIGKILLed and reaped before returning.
+  SandboxResult evaluate(std::uint64_t id, const search::Config& config,
+                         double deadline_seconds);
+
+  /// SIGKILL + reap immediately (idempotent).
+  void kill_now();
+
+ private:
+  /// Read one complete line from the worker's stdout, waiting at most
+  /// `timeout_seconds`. Returns 1 on a line, 0 on timeout, -1 on EOF/error
+  /// (the worker closed its stdout — it is dead or dying).
+  int read_line(std::string& line, double timeout_seconds);
+
+  /// waitpid (blocking) and classify; resets pid/fds.
+  WaitClassification reap();
+
+  SandboxOptions options_;
+  long pid_ = -1;
+  int stdin_fd_ = -1;
+  int stdout_fd_ = -1;
+  std::string rx_buffer_;
+};
+
+}  // namespace tunekit::robust

@@ -1,0 +1,58 @@
+#include "robust/quarantine.hpp"
+
+#include <cstring>
+
+namespace tunekit::robust {
+
+std::string CrashQuarantine::key_of(const search::Config& config) {
+  // Exact bit patterns: the identity that survives a journal round trip
+  // (json serializes doubles with enough digits to reparse exactly).
+  std::string key(config.size() * sizeof(double), '\0');
+  if (!config.empty()) {
+    std::memcpy(key.data(), config.data(), config.size() * sizeof(double));
+  }
+  return key;
+}
+
+std::size_t CrashQuarantine::record_crash(const search::Config& config) {
+  if (!enabled()) return 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entries_[key_of(config)];
+  if (e.config.empty()) e.config = config;
+  return ++e.crashes;
+}
+
+bool CrashQuarantine::quarantined(const search::Config& config) const {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key_of(config));
+  return it != entries_.end() && it->second.crashes >= threshold_;
+}
+
+void CrashQuarantine::quarantine_now(const search::Config& config) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entries_[key_of(config)];
+  if (e.config.empty()) e.config = config;
+  if (e.crashes < threshold_) e.crashes = threshold_;
+}
+
+std::size_t CrashQuarantine::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [key, e] : entries_) {
+    if (e.crashes >= threshold_) ++n;
+  }
+  return n;
+}
+
+std::vector<search::Config> CrashQuarantine::configs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<search::Config> out;
+  for (const auto& [key, e] : entries_) {
+    if (e.crashes >= threshold_) out.push_back(e.config);
+  }
+  return out;
+}
+
+}  // namespace tunekit::robust

@@ -1,0 +1,67 @@
+#pragma once
+// CrashQuarantine: a per-configuration crash circuit breaker.
+//
+// A configuration that keeps killing its evaluation process is almost always
+// deterministic (a tile size that overruns a buffer, a thread count that
+// deadlocks the runtime) — retrying it wastes a worker restart per attempt
+// and, in the worst case, turns the tuning run into a crash loop. After
+// `threshold` observed crashes a configuration is quarantined: the supervisor
+// refuses to dispatch it again and reports the attempt as Crashed without
+// spawning anything. The session layer journals the same event ("quar"
+// lines) so the quarantine survives a supervisor kill + resume.
+//
+// Keys are the exact double bit patterns of the configuration, so two
+// configs compare equal iff every coordinate is bit-identical — the same
+// identity the journal round-trips.
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "search/space.hpp"
+
+namespace tunekit::robust {
+
+class CrashQuarantine {
+ public:
+  /// `threshold` crashes of one config trip the breaker; 0 disables.
+  explicit CrashQuarantine(std::size_t threshold = 2) : threshold_(threshold) {}
+
+  std::size_t threshold() const { return threshold_; }
+  bool enabled() const { return threshold_ > 0; }
+
+  /// Record one crash of `config`; returns the updated crash count (so the
+  /// caller can detect the exact transition into quarantine: count ==
+  /// threshold()). No-op returning 0 when disabled.
+  std::size_t record_crash(const search::Config& config);
+
+  /// True once `config` has crashed at least `threshold` times (or was
+  /// force-quarantined by quarantine_now).
+  bool quarantined(const search::Config& config) const;
+
+  /// Force `config` into quarantine regardless of its crash count — used
+  /// when restoring journaled quarantine records on resume.
+  void quarantine_now(const search::Config& config);
+
+  /// Number of quarantined configurations.
+  std::size_t size() const;
+
+  /// The quarantined configurations (unordered).
+  std::vector<search::Config> configs() const;
+
+ private:
+  struct Entry {
+    search::Config config;
+    std::size_t crashes = 0;
+  };
+
+  static std::string key_of(const search::Config& config);
+
+  std::size_t threshold_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace tunekit::robust

@@ -1,6 +1,8 @@
 #include "service/scheduler.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <memory>
 #include <thread>
 
 #include "common/log.hpp"
@@ -12,11 +14,26 @@ search::SearchResult EvalScheduler::run(TuningSession& session,
                                         search::Objective& objective) const {
   std::size_t n_threads = options_.n_threads;
   if (n_threads == 0) n_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  if (!objective.thread_safe()) n_threads = 1;
+
+  // Process isolation: evaluations go to sandboxed worker processes. The
+  // pool's SIGKILL deadline takes over from the in-process watchdog (two
+  // competing timers would double-classify), and thread-safety of the
+  // in-process objective no longer matters — workers are separate processes.
+  const auto sandbox = robust::WorkerPool::create(options_.isolation, n_threads);
+  if (!sandbox && !objective.thread_safe()) n_threads = 1;
   const std::size_t batch_size =
       options_.batch_size > 0 ? options_.batch_size : n_threads;
 
-  const robust::RobustMeasurer measurer(options_.measure);
+  robust::MeasureOptions measure = options_.measure;
+  std::unique_ptr<robust::SandboxedObjective> sandboxed;
+  if (sandbox) {
+    sandboxed = std::make_unique<robust::SandboxedObjective>(
+        sandbox, measure.watchdog.timeout_seconds);
+    measure.watchdog.timeout_seconds = std::numeric_limits<double>::infinity();
+  }
+  search::Objective& eval_obj = sandboxed ? *sandboxed : objective;
+
+  const robust::RobustMeasurer measurer(measure);
   ThreadPool pool(n_threads);
   while (true) {
     const auto batch = session.ask(batch_size);
@@ -27,7 +44,7 @@ search::SearchResult EvalScheduler::run(TuningSession& session,
         // The measurer catches everything the objective can throw — including
         // non-std::exception throws — and classifies it; a hung evaluation
         // comes back TimedOut once the watchdog deadline expires.
-        const robust::Measurement m = measurer.measure(objective, c.config);
+        const robust::Measurement m = measurer.measure(eval_obj, c.config);
         if (m.outcome == robust::EvalOutcome::Ok) {
           session.tell(c.id, m.value, m.seconds, m.dispersion);
         } else {

@@ -19,6 +19,7 @@
 #include <cstddef>
 
 #include "robust/measure.hpp"
+#include "robust/worker_pool.hpp"
 #include "search/objective.hpp"
 #include "search/result.hpp"
 #include "service/session.hpp"
@@ -27,13 +28,18 @@ namespace tunekit::service {
 
 struct SchedulerOptions {
   /// Worker threads; 0 = hardware_concurrency(). Forced to 1 when the
-  /// objective is not thread-safe.
+  /// objective is not thread-safe (unless process isolation is active —
+  /// worker processes are independent regardless of the objective).
   std::size_t n_threads = 0;
   /// Candidates requested per ask(); 0 = one per worker.
   std::size_t batch_size = 0;
   /// Watchdog timeout, transient-crash retries, and repeat count applied to
   /// every evaluation. Defaults reproduce the seed behavior (one bare call).
   robust::MeasureOptions measure;
+  /// IsolationMode::Process routes every evaluation to a pool of sandboxed
+  /// worker processes; the in-process watchdog timeout is then disabled in
+  /// favor of the pool's SIGKILL deadline. Defaults to Thread (old behavior).
+  robust::IsolationOptions isolation;
 };
 
 class EvalScheduler {

@@ -65,6 +65,7 @@ TuningSession::TuningSession(const search::SearchSpace& space, SessionOptions op
     : space_(space),
       options_(std::move(options)),
       store_(std::move(store)),
+      quarantine_(options_.quarantine_after),
       bo_(surrogate_options(options_)) {
   if (options_.backend == SessionBackend::Bo && options_.n_init > 0) {
     const std::size_t n = std::min(options_.n_init, options_.max_evals);
@@ -118,9 +119,14 @@ std::unique_ptr<TuningSession> TuningSession::resume(const search::SearchSpace& 
     session->db_.record(e.config, e.value, e.cost_seconds, e.outcome, e.dispersion);
   }
   for (auto& c : replayed.in_flight) session->reissue_.push_back(std::move(c));
+  // Quarantine knowledge survives the crash: a configuration that earned its
+  // "quar" record is refused immediately, not re-learned two crashes at a
+  // time.
+  for (const auto& q : replayed.quarantined) session->quarantine_.quarantine_now(q);
   session->next_id_ = std::max(session->next_id_, replayed.next_id);
-  log_info("session: resumed ", session->db_.size(), " evaluations and ",
-           session->reissue_.size(), " in-flight candidates from ", journal_path);
+  log_info("session: resumed ", session->db_.size(), " evaluations, ",
+           session->reissue_.size(), " in-flight candidates, and ",
+           replayed.quarantined.size(), " quarantined configs from ", journal_path);
   return session;
 }
 
@@ -144,23 +150,48 @@ std::vector<Candidate> TuningSession::ask(std::size_t k) {
 
   // Re-issues drain first — and exclusively, so a resumed or retrying
   // session completes its in-flight work before new suggestions (which
-  // would otherwise be conditioned on an incomplete evaluation set).
-  if (!reissue_.empty()) {
-    while (out.size() < k && !reissue_.empty()) {
-      Candidate c = std::move(reissue_.front());
-      reissue_.pop_front();
-      if (store_) store_->ask(c);
-      pending_[c.id] = {c, now};
-      out.push_back(std::move(c));
+  // would otherwise be conditioned on an incomplete evaluation set). A
+  // queued candidate whose config has since been quarantined (e.g. restored
+  // by resume) is dropped here instead of re-issued: it is still open in the
+  // journal from its original ask, so the drop resolves it on replay.
+  while (out.size() < k && !reissue_.empty()) {
+    Candidate c = std::move(reissue_.front());
+    reissue_.pop_front();
+    if (quarantine_.quarantined(c.config)) {
+      log_warn("session: candidate ", c.id, " is quarantined; dropping");
+      if (store_) store_->drop(c.id, options_.failure_penalty,
+                               robust::EvalOutcome::Crashed);
+      record_locked(c.config, options_.failure_penalty, 0.0,
+                    robust::EvalOutcome::Crashed);
+      continue;
     }
-    return out;
+    if (store_) store_->ask(c);
+    pending_[c.id] = {c, now};
+    out.push_back(std::move(c));
   }
+  // Dropping quarantined re-issues consumes budget; recheck before
+  // generating fresh suggestions (and never mix the two in one batch).
+  if (!out.empty() || db_.size() >= options_.max_evals) return out;
 
   const std::size_t n_new = std::min(k, issuable_locked());
   if (n_new == 0) return out;
   auto configs = generate_locked(n_new);
   for (auto& cfg : configs) {
     Candidate c{next_id_++, 0, std::move(cfg)};
+    if (quarantine_.quarantined(c.config)) {
+      // A backend is free to re-suggest a quarantined point (discrete spaces
+      // make collisions likely); record the refusal without dispatching.
+      // Ask-then-drop keeps the journal replayable: drop resolves only an
+      // open candidate.
+      log_warn("session: suggestion ", c.id, " is quarantined; dropping");
+      if (store_) {
+        store_->ask(c);
+        store_->drop(c.id, options_.failure_penalty, robust::EvalOutcome::Crashed);
+      }
+      record_locked(c.config, options_.failure_penalty, 0.0,
+                    robust::EvalOutcome::Crashed);
+      continue;
+    }
     if (store_) store_->ask(c);
     pending_[c.id] = {c, now};
     out.push_back(std::move(c));
@@ -227,7 +258,22 @@ void TuningSession::expire_overdue_locked() {
 
 void TuningSession::fail_attempt_locked(Candidate candidate, robust::EvalOutcome why) {
   if (store_) store_->fail(candidate.id, why);
-  if (candidate.attempt + 1 < options_.max_attempts) {
+  // Crash quarantine: a configuration that keeps killing its evaluator is
+  // withdrawn from circulation even if the retry budget would allow another
+  // attempt — retries are for transient failures, and a second crash of the
+  // *same* config is evidence the crash is deterministic. The "quar" journal
+  // record (written exactly once, at the threshold) makes the ban survive
+  // kill + resume.
+  if (why == robust::EvalOutcome::Crashed && quarantine_.enabled()) {
+    const std::size_t crashes = quarantine_.record_crash(candidate.config);
+    if (crashes == quarantine_.threshold()) {
+      log_warn("session: configuration of candidate ", candidate.id,
+               " quarantined after ", crashes, " crashes");
+      if (store_) store_->quarantine(candidate.config);
+    }
+  }
+  const bool banned = quarantine_.quarantined(candidate.config);
+  if (!banned && candidate.attempt + 1 < options_.max_attempts) {
     ++candidate.attempt;
     reissue_.push_back(std::move(candidate));
   } else {
@@ -254,7 +300,7 @@ void TuningSession::maybe_compact_locked() {
   in_flight.reserve(pending_.size() + reissue_.size());
   for (const auto& [id, p] : pending_) in_flight.push_back(p.candidate);
   for (const auto& c : reissue_) in_flight.push_back(c);
-  store_->compact(make_header(), db_.all(), in_flight);
+  store_->compact(make_header(), db_.all(), in_flight, quarantine_.configs());
 }
 
 std::size_t TuningSession::issuable_locked() const {

@@ -32,6 +32,7 @@
 
 #include "bo/bayes_opt.hpp"
 #include "common/stopwatch.hpp"
+#include "robust/quarantine.hpp"
 #include "search/eval_db.hpp"
 #include "search/result.hpp"
 #include "search/space.hpp"
@@ -72,6 +73,12 @@ struct SessionOptions {
 
   /// Levels used to discretize Real parameters (Grid backend).
   std::size_t grid_real_levels = 4;
+
+  /// Crashed attempts of one configuration before it is quarantined: dropped
+  /// at failure_penalty immediately, journaled as a "quar" record, and never
+  /// issued again — not by retry, not by re-suggestion, not after a resume.
+  /// 0 disables quarantine (the retry policy alone governs, old behavior).
+  std::size_t quarantine_after = 0;
 
   /// Compact the journal (snapshot + rewrite) every this many completed
   /// evaluations; 0 disables compaction.
@@ -173,6 +180,7 @@ class TuningSession {
   const search::SearchSpace& space_;
   SessionOptions options_;
   std::unique_ptr<SessionStore> store_;
+  robust::CrashQuarantine quarantine_;
   bo::BayesOpt bo_;
   std::vector<search::Config> init_design_;
   std::vector<search::Config> grid_;

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
 #include <unistd.h>
 #define TUNEKIT_HAVE_FSYNC 1
 #endif
@@ -115,7 +116,18 @@ void SessionStore::append_line(const std::string& line) {
     throw std::runtime_error("SessionStore: write failed for '" + path_ + "'");
   }
 #ifdef TUNEKIT_HAVE_FSYNC
-  ::fsync(::fileno(file_));
+  // The durability contract — "an acked tell survives a kill" — holds only
+  // if the fsync actually succeeded; a silently-ignored EIO here would turn
+  // into lost evaluations at the next resume. EINTR is the one retryable
+  // failure.
+  int rc;
+  do {
+    rc = ::fsync(::fileno(file_));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    throw std::runtime_error("SessionStore: fsync failed for '" + path_ +
+                             "': " + std::strerror(errno));
+  }
 #endif
 }
 
@@ -151,9 +163,19 @@ void SessionStore::drop(std::uint64_t id, double value, robust::EvalOutcome why)
   append_line(json::Value(std::move(obj)).dump());
 }
 
+void SessionStore::quarantine(const search::Config& config) {
+  json::Array cfg;
+  for (double x : config) cfg.emplace_back(x);
+  json::Object obj;
+  obj["e"] = json::Value("quar");
+  obj["config"] = json::Value(std::move(cfg));
+  append_line(json::Value(std::move(obj)).dump());
+}
+
 void SessionStore::compact(JournalHeader header,
                            const std::vector<search::Evaluation>& completed,
-                           const std::vector<Candidate>& in_flight) {
+                           const std::vector<Candidate>& in_flight,
+                           const std::vector<search::Config>& quarantined) {
   // 1. Completed evaluations become an EvalDb checkpoint (atomic rename
   //    inside EvalDb::save), referenced from the rewritten header.
   const std::string snapshot = path_ + ".snapshot.json";
@@ -172,6 +194,7 @@ void SessionStore::compact(JournalHeader header,
     try {
       append_line(header_value(header).dump());
       for (const auto& c : in_flight) append_line(ask_value(c).dump());
+      for (const auto& q : quarantined) quarantine(q);
     } catch (...) {
       std::fclose(file_);
       file_ = old;
@@ -186,6 +209,17 @@ void SessionStore::compact(JournalHeader header,
     throw std::runtime_error("SessionStore: compaction rename failed for '" + path_ +
                              "': " + ec.message());
   }
+#ifdef TUNEKIT_HAVE_FSYNC
+  // The rename is atomic but not durable until the directory entry itself
+  // is synced; without this a power cut can resurrect the pre-compaction
+  // journal while the snapshot file it references already exists.
+  const auto dir = std::filesystem::path(path_).parent_path();
+  const int dfd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+#endif
 }
 
 SessionStore::Replay SessionStore::replay(const std::string& path,
@@ -224,6 +258,11 @@ SessionStore::Replay SessionStore::replay(const std::string& path,
       throw std::runtime_error("SessionStore: corrupt journal line in " + path);
     }
     const std::string& e = v.at("e").as_string();
+    if (e == "quar") {
+      // Quarantine records carry a config, not a candidate id.
+      out.quarantined.push_back(parse_config(v, space.size(), path));
+      continue;
+    }
     const auto id = static_cast<std::uint64_t>(v.at("id").as_number());
     max_id_seen = std::max(max_id_seen, id);
     any_id = true;

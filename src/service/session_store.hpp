@@ -15,6 +15,10 @@
 //   {"e":"tell","id":I,"value":V,"cost":C[,"noise":D]}  evaluation reported
 //   {"e":"fail","id":I[,"why":W]}                       attempt failed; will retry
 //   {"e":"drop","id":I,"value":V[,"why":W]}             retries exhausted; V recorded
+//   {"e":"quar","config":[...]}                         config quarantined: crashed
+//                                                       its way past the threshold;
+//                                                       never re-issued, even after
+//                                                       resume
 //
 // "why" is an EvalOutcome string ("crashed", "timed-out", "invalid-config",
 // "non-finite"; absent = crashed, the seed-era assumption), "noise" the robust
@@ -70,6 +74,9 @@ class SessionStore {
     /// Candidates issued but never resolved, ascending by id: these are the
     /// in-flight evaluations a resumed session must re-issue.
     std::vector<Candidate> in_flight;
+    /// Configurations quarantined for repeated crashes; a resumed session
+    /// must never issue them again.
+    std::vector<search::Config> quarantined;
     std::uint64_t next_id = 0;
   };
 
@@ -100,11 +107,16 @@ class SessionStore {
             robust::EvalOutcome why = robust::EvalOutcome::Crashed);
   void drop(std::uint64_t id, double value,
             robust::EvalOutcome why = robust::EvalOutcome::Crashed);
+  /// Record that `config` crashed past the quarantine threshold and must
+  /// never be issued again (survives compaction and resume).
+  void quarantine(const search::Config& config);
 
   /// Fold `completed` into an EvalDb snapshot (atomic rename) and rewrite
-  /// the journal to header + in-flight asks (atomic rename).
+  /// the journal to header + in-flight asks + quarantine records (atomic
+  /// rename).
   void compact(JournalHeader header, const std::vector<search::Evaluation>& completed,
-               const std::vector<Candidate>& in_flight);
+               const std::vector<Candidate>& in_flight,
+               const std::vector<search::Config>& quarantined = {});
 
  private:
   SessionStore(std::FILE* file, std::string path);

@@ -150,5 +150,35 @@ TEST(GaussianProcess, VarianceNeverNegative) {
   }
 }
 
+TEST(GaussianProcess, RankDeficientGramFitsViaJitterEscalation) {
+  // Duplicate training rows with (numerically) zero noise make the Gram
+  // matrix exactly singular — the degenerate case a tuning session produces
+  // when a retried configuration is recorded more than once. The fit must
+  // survive via the jitter ladder instead of throwing, report the jitter it
+  // needed, and still predict finite values.
+  linalg::Matrix x(6, 1);
+  x(0, 0) = 0.1; x(1, 0) = 0.1; x(2, 0) = 0.1;  // triple duplicate
+  x(3, 0) = 0.5; x(4, 0) = 0.5;                 // double duplicate
+  x(5, 0) = 0.9;
+  const std::vector<double> y{1.0, 1.0, 1.0, 2.0, 2.0, 3.0};
+
+  GaussianProcess gp;
+  gp.set_hyperparams(GpHyperparams::isotropic(1, 0.3, 1.0, 0.0));
+  ASSERT_NO_THROW(gp.fit(x, y));
+  EXPECT_GT(gp.last_jitter(), 0.0) << "singular Gram factored without jitter?";
+  EXPECT_TRUE(std::isfinite(gp.log_marginal_likelihood()));
+  for (double q : {0.1, 0.5, 0.9, 0.3}) {
+    const auto p = gp.predict({q});
+    EXPECT_TRUE(std::isfinite(p.mean));
+    EXPECT_TRUE(std::isfinite(p.variance));
+    EXPECT_GE(p.variance, 0.0);
+  }
+  // A clean, well-separated fit needs no jitter and says so.
+  GaussianProcess clean;
+  clean.set_hyperparams(GpHyperparams::isotropic(1, 0.3, 1.0, 1e-4));
+  clean.fit(grid_1d(6), std::vector<double>{0., 1., 2., 3., 4., 5.});
+  EXPECT_EQ(clean.last_jitter(), 0.0);
+}
+
 }  // namespace
 }  // namespace tunekit::bo

@@ -1,0 +1,223 @@
+// Durability regression tests for the session journal (SessionStore).
+//
+// The contract under test: once tell() has returned true, that evaluation
+// survives a SIGKILL of the whole process — the journal line was fsync'd
+// before the ack. The kill is simulated with fork() + _exit(), which skips
+// every destructor and stdio flush exactly like a kill would; the only bytes
+// on disk are the ones append_line() pushed through fsync.
+
+#include "service/session.hpp"
+#include "service/session_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#include <unistd.h>
+#define TUNEKIT_HAVE_FORK 1
+#endif
+
+namespace tunekit::service {
+namespace {
+
+search::SearchSpace two_dim_space() {
+  search::SearchSpace s;
+  s.add(search::ParamSpec::real("x", -5.0, 5.0, 0.0));
+  s.add(search::ParamSpec::real("y", -5.0, 5.0, 0.0));
+  return s;
+}
+
+/// A space with exactly one valid configuration: every backend suggestion
+/// collides with it, which makes quarantine behavior deterministic.
+search::SearchSpace singleton_space() {
+  search::SearchSpace s;
+  s.add(search::ParamSpec::ordinal("mode", {3}, 3));
+  return s;
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+SessionOptions random_options(std::size_t max_evals) {
+  SessionOptions opt;
+  opt.max_evals = max_evals;
+  opt.backend = SessionBackend::Random;
+  opt.seed = 17;
+  return opt;
+}
+
+#ifdef TUNEKIT_HAVE_FORK
+TEST(SessionDurability, AckedTellsSurviveKill) {
+  const auto space = two_dim_space();
+  const std::string journal = temp_path("tunekit_durability_kill.jsonl");
+  std::filesystem::remove(journal);
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    // Child: issue four candidates, tell three, then die without cleanup.
+    // _exit() runs no destructors and flushes nothing — any acked tell that
+    // was still sitting in a stdio buffer would be lost here.
+    TuningSession session(space, random_options(8), journal);
+    auto batch = session.ask(4);
+    if (batch.size() != 4) _exit(3);
+    if (!session.tell(batch[0].id, 10.0, 0.5)) _exit(4);
+    if (!session.tell(batch[1].id, 20.0)) _exit(4);
+    if (!session.tell(batch[2].id, 30.0)) _exit(4);
+    // Simulate the kill landing mid-append: a torn, unterminated line is
+    // exactly what a crash during a later write leaves behind.
+    if (std::FILE* f = std::fopen(journal.c_str(), "ab")) {
+      std::fputs("{\"e\":\"tell\",\"id\":3,\"val", f);
+      std::fflush(f);
+    }
+    _exit(0);
+  }
+
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status)) << "child died abnormally";
+  ASSERT_EQ(WEXITSTATUS(status), 0) << "child setup failed";
+
+  const auto replay = SessionStore::replay(journal, space);
+  ASSERT_EQ(replay.completed.size(), 3u) << "an acked tell was lost";
+  EXPECT_DOUBLE_EQ(replay.completed[0].value, 10.0);
+  EXPECT_DOUBLE_EQ(replay.completed[0].cost_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(replay.completed[1].value, 20.0);
+  EXPECT_DOUBLE_EQ(replay.completed[2].value, 30.0);
+  // The un-told fourth candidate is still in flight and must be re-issued.
+  ASSERT_EQ(replay.in_flight.size(), 1u);
+
+  auto resumed = TuningSession::resume(space, random_options(8), journal);
+  EXPECT_EQ(resumed->completed(), 3u);
+  auto reissued = resumed->ask(4);
+  ASSERT_EQ(reissued.size(), 1u) << "re-issue must drain before new asks";
+  EXPECT_EQ(reissued[0].id, replay.in_flight[0].id);
+  std::filesystem::remove(journal);
+}
+#endif  // TUNEKIT_HAVE_FORK
+
+TEST(SessionDurability, TornFinalLineIgnoredMidJournalCorruptionFatal) {
+  const auto space = two_dim_space();
+  const std::string journal = temp_path("tunekit_durability_torn.jsonl");
+  std::filesystem::remove(journal);
+  {
+    TuningSession session(space, random_options(8), journal);
+    auto batch = session.ask(2);
+    ASSERT_EQ(batch.size(), 2u);
+    ASSERT_TRUE(session.tell(batch[0].id, 1.0));
+    ASSERT_TRUE(session.tell(batch[1].id, 2.0));
+  }
+  // A torn final line (no newline, half a JSON object) is a normal crash
+  // artifact and must be tolerated...
+  {
+    std::ofstream out(journal, std::ios::app);
+    out << "{\"e\":\"ask\",\"id\":9,\"conf";
+  }
+  const auto replay = SessionStore::replay(journal, space);
+  EXPECT_EQ(replay.completed.size(), 2u);
+  EXPECT_TRUE(replay.in_flight.empty());
+
+  // ...but garbage in the *middle* of the journal is real corruption and
+  // must be an error, not silently skipped.
+  {
+    std::ofstream out(journal, std::ios::app);
+    out << "\n{\"e\":\"ask\",\"id\":10,\"attempt\":0,\"config\":[0.0,0.0]}\n";
+  }
+  EXPECT_THROW(SessionStore::replay(journal, space), std::runtime_error);
+  std::filesystem::remove(journal);
+}
+
+TEST(SessionDurability, QuarantineBanSurvivesResume) {
+  const auto space = singleton_space();
+  const std::string journal = temp_path("tunekit_durability_quar.jsonl");
+  std::filesystem::remove(journal);
+
+  SessionOptions opt;
+  opt.max_evals = 6;
+  opt.backend = SessionBackend::Random;
+  opt.max_attempts = 5;  // retries alone would keep re-issuing
+  opt.quarantine_after = 2;
+  opt.seed = 17;
+  {
+    TuningSession session(space, opt, journal);
+    auto first = session.ask(1);
+    ASSERT_EQ(first.size(), 1u);
+    ASSERT_TRUE(session.tell_failure(first[0].id, robust::EvalOutcome::Crashed));
+    // Crash #1: below threshold, the candidate is queued for retry.
+    auto retry = session.ask(1);
+    ASSERT_EQ(retry.size(), 1u);
+    EXPECT_EQ(retry[0].id, first[0].id);
+    ASSERT_TRUE(session.tell_failure(retry[0].id, robust::EvalOutcome::Crashed));
+    // Crash #2: quarantined — dropped at penalty despite remaining attempts.
+    EXPECT_EQ(session.completed(), 1u);
+    // The only configuration in the space is banned: asks cannot issue it
+    // again (each refused re-suggestion is recorded and consumes budget).
+    const std::size_t before = session.completed();
+    EXPECT_TRUE(session.ask(1).empty());
+    EXPECT_GT(session.completed(), before);
+  }
+
+  // The "quar" record must be on disk in the journal.
+  bool has_quar = false;
+  {
+    std::ifstream in(journal);
+    for (std::string line; std::getline(in, line);) {
+      if (line.find("\"quar\"") != std::string::npos) has_quar = true;
+    }
+  }
+  EXPECT_TRUE(has_quar) << "quarantine event was not journaled";
+
+  // A resumed session inherits the ban: it never issues the quarantined
+  // configuration, burning the remaining budget on refused suggestions
+  // instead of dispatching a config known to crash its evaluator.
+  auto resumed = TuningSession::resume(space, opt, journal);
+  while (resumed->state() == SessionState::Active) {
+    ASSERT_TRUE(resumed->ask(1).empty())
+        << "resumed session re-issued a quarantined config";
+  }
+  EXPECT_EQ(resumed->completed(), opt.max_evals);
+  std::filesystem::remove(journal);
+}
+
+TEST(SessionDurability, QuarantineSurvivesCompaction) {
+  const auto space = singleton_space();
+  const std::string journal = temp_path("tunekit_durability_quar_compact.jsonl");
+  std::filesystem::remove(journal);
+
+  SessionOptions opt;
+  opt.max_evals = 8;
+  opt.backend = SessionBackend::Random;
+  opt.max_attempts = 5;
+  opt.quarantine_after = 2;
+  opt.compact_every = 1;  // compact after every recorded evaluation
+  opt.seed = 17;
+  {
+    TuningSession session(space, opt, journal);
+    for (int crash = 0; crash < 2; ++crash) {
+      auto batch = session.ask(1);
+      ASSERT_EQ(batch.size(), 1u);
+      ASSERT_TRUE(session.tell_failure(batch[0].id, robust::EvalOutcome::Crashed));
+    }
+    // The drop at the quarantine threshold triggered a compaction: the
+    // journal was rewritten. The quarantine record must have survived it.
+    EXPECT_TRUE(session.ask(1).empty());
+  }
+  const auto replay = SessionStore::replay(journal, space);
+  ASSERT_EQ(replay.quarantined.size(), 1u);
+  EXPECT_DOUBLE_EQ(replay.quarantined[0][0], 3.0);
+
+  auto resumed = TuningSession::resume(space, opt, journal);
+  EXPECT_TRUE(resumed->ask(1).empty())
+      << "compaction dropped the quarantine record";
+  std::filesystem::remove(journal);
+}
+
+}  // namespace
+}  // namespace tunekit::service

@@ -25,6 +25,7 @@
 //   --resume                 resume the session from --journal
 
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 #include <limits>
 #include <map>
@@ -33,14 +34,13 @@
 #include <vector>
 
 #include "common/table.hpp"
+#include "core/app_registry.hpp"
 #include "core/methodology.hpp"
 #include "robust/measure.hpp"
+#include "robust/worker_pool.hpp"
 #include "core/report.hpp"
-#include "minislater/minislater_app.hpp"
 #include "service/protocol.hpp"
 #include "service/session.hpp"
-#include "synth/synth_app.hpp"
-#include "tddft/tddft_app.hpp"
 
 using namespace tunekit;
 
@@ -56,6 +56,13 @@ int usage(const char* argv0) {
       "         --eval-timeout S (watchdog deadline per measurement)\n"
       "         --eval-retries N (re-attempts after a transient crash)\n"
       "         --mad-threshold F (outlier cut in scaled MADs; 0 disables)\n"
+      "sandbox: --isolate thread|process (default thread; process runs every\n"
+      "           evaluation in a supervised tunekit_worker with SIGKILL\n"
+      "           deadlines and crash quarantine)\n"
+      "         --worker-bin P (worker binary; default: tunekit_worker next\n"
+      "           to this executable; requires --isolate process)\n"
+      "         --mem-limit-mb N (RLIMIT_AS cap per worker; requires\n"
+      "           --isolate process)\n"
       "session: speaks NDJSON ask/tell on stdin/stdout (docs/SERVICE.md)\n"
       "         --max-evals N --backend bo|random|grid --journal P --resume\n",
       argv0);
@@ -84,14 +91,30 @@ struct CliArgs {
   std::string backend = "bo";
   std::string journal;
   bool resume = false;
+  // process isolation
+  std::string isolate;  // "" = default (thread), else "thread"/"process"
+  std::string worker_bin;
+  double mem_limit_mb = -1.0;  // negative = unset
 };
 
 bool parse_args(int argc, char** argv, CliArgs& args) {
   if (argc < 2) return false;
   args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
-    const std::string flag = argv[i];
-    auto next = [&]() -> const char* {
+    std::string flag = argv[i];
+    // Accept both "--flag value" and "--flag=value".
+    std::string inline_value;
+    bool has_inline = false;
+    if (flag.rfind("--", 0) == 0) {
+      const auto eq = flag.find('=');
+      if (eq != std::string::npos) {
+        inline_value = flag.substr(eq + 1);
+        flag.erase(eq);
+        has_inline = true;
+      }
+    }
+    auto next = [&]() -> std::string {
+      if (has_inline) return inline_value;
       if (i + 1 >= argc) throw std::runtime_error("missing value for " + flag);
       return argv[++i];
     };
@@ -114,6 +137,9 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       else if (flag == "--backend") args.backend = next();
       else if (flag == "--journal") args.journal = next();
       else if (flag == "--resume") args.resume = true;
+      else if (flag == "--isolate") args.isolate = next();
+      else if (flag == "--worker-bin") args.worker_bin = next();
+      else if (flag == "--mem-limit-mb") args.mem_limit_mb = std::stod(next());
       else {
         std::fprintf(stderr, "unknown option: %s\n", flag.c_str());
         return false;
@@ -126,44 +152,41 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
   return true;
 }
 
-struct AppBundle {
-  std::unique_ptr<core::TunableApp> app;
-  double default_cutoff = 0.10;
-  std::size_t default_variations = 5;
-};
-
-AppBundle make_app(const std::string& name, std::uint64_t seed) {
-  AppBundle bundle;
-  if (name.rfind("synth:case", 0) == 0 && name.size() == 11) {
-    const int c = name.back() - '0';
-    if (c >= 1 && c <= 5) {
-      bundle.app = std::make_unique<synth::SynthApp>(static_cast<synth::SynthCase>(c),
-                                                     0.01, seed);
-      bundle.default_cutoff = 0.25;
-      bundle.default_variations = 100;
-      return bundle;
+// Validate the isolation flag combination (before any work happens) and
+// translate it into IsolationOptions. Conflicting flags are hard errors, not
+// warnings: a user who passed --mem-limit-mb expects the cap to be enforced,
+// and silently ignoring it under thread isolation would be worse than
+// refusing to run.
+robust::IsolationOptions make_isolation(const CliArgs& args, const char* argv0) {
+  robust::IsolationOptions iso;
+  if (!args.isolate.empty()) {
+    iso.mode = robust::isolation_from_string(args.isolate);  // throws on junk
+  }
+  if (iso.mode != robust::IsolationMode::Process) {
+    if (!args.worker_bin.empty()) {
+      throw std::runtime_error(
+          "--worker-bin requires --isolate process (worker binaries are only "
+          "used by the process sandbox)");
     }
+    if (args.mem_limit_mb >= 0.0) {
+      throw std::runtime_error(
+          "--mem-limit-mb requires --isolate process (thread isolation cannot "
+          "enforce a per-evaluation memory cap)");
+    }
+    return iso;
   }
-  if (name == "tddft:cs1") {
-    bundle.app = std::make_unique<tddft::RtTddftApp>(tddft::PhysicalSystem::case_study_1());
-    return bundle;
+  if (args.mem_limit_mb >= 0.0) iso.sandbox.mem_limit_mb = args.mem_limit_mb;
+  std::string bin = args.worker_bin;
+  if (bin.empty()) {
+    // Default: the tunekit_worker built next to this executable.
+    bin = (std::filesystem::path(argv0).parent_path() / "tunekit_worker").string();
   }
-  if (name == "tddft:cs2") {
-    bundle.app = std::make_unique<tddft::RtTddftApp>(tddft::PhysicalSystem::case_study_2());
-    return bundle;
-  }
-  if (name == "minislater") {
-    // Real measured kernels: higher cut-off absorbs timer noise.
-    bundle.app = std::make_unique<minislater::MiniSlaterApp>(32, 4, 2, seed);
-    bundle.default_cutoff = 0.15;
-    return bundle;
-  }
-  throw std::runtime_error(
-      "unknown app '" + name +
-      "' (expected synth:case1..case5, tddft:cs1, tddft:cs2, minislater)");
+  iso.sandbox.argv = {bin, "--app", args.app, "--seed", std::to_string(args.seed)};
+  return iso;
 }
 
-core::MethodologyOptions make_options(const CliArgs& args, const AppBundle& bundle) {
+core::MethodologyOptions make_options(const CliArgs& args, const core::AppBundle& bundle,
+                                      const robust::IsolationOptions& iso) {
   core::MethodologyOptions opt;
   opt.cutoff = args.cutoff >= 0.0 ? args.cutoff : bundle.default_cutoff;
   opt.max_dims = args.max_dims;
@@ -185,6 +208,8 @@ core::MethodologyOptions make_options(const CliArgs& args, const AppBundle& bund
   measure.watchdog.backoff_seconds = args.eval_retries > 0 ? 0.05 : 0.0;
   opt.sensitivity.measure = measure;
   opt.executor.measure = measure;
+  opt.sensitivity.isolation = iso;
+  opt.executor.isolation = iso;
   return opt;
 }
 
@@ -286,8 +311,9 @@ int main(int argc, char** argv) {
   }
 
   try {
-    AppBundle bundle = make_app(args.app, args.seed);
-    const auto opt = make_options(args, bundle);
+    core::AppBundle bundle = core::make_builtin_app(args.app, args.seed);
+    const auto iso = make_isolation(args, argv[0]);
+    const auto opt = make_options(args, bundle, iso);
     if (args.command == "info") return cmd_info(*bundle.app);
     if (args.command == "analyze") return cmd_analyze(*bundle.app, opt, args.dot);
     if (args.command == "plan") return cmd_plan(*bundle.app, opt);
