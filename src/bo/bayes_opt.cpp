@@ -6,6 +6,7 @@
 
 #include "common/log.hpp"
 #include "common/stopwatch.hpp"
+#include "obs/telemetry.hpp"
 #include "robust/outcome.hpp"
 #include "search/samplers.hpp"
 #include "search/sobol.hpp"
@@ -42,6 +43,8 @@ search::SearchResult BayesOpt::run(search::Objective& objective,
                                    search::EvalDb& db) const {
   Stopwatch watch;
   tunekit::Rng rng(options_.seed);
+  obs::Telemetry* telemetry = options_.telemetry;
+  const bool traced = telemetry != nullptr && telemetry->enabled();
 
   // Crash recovery: restore prior evaluations if asked to.
   if (options_.resume && !options_.checkpoint_path.empty() &&
@@ -51,6 +54,8 @@ search::SearchResult BayesOpt::run(search::Objective& objective,
   }
 
   auto evaluate_and_record = [&](const search::Config& config) {
+    obs::ScopedSpan eval_span(telemetry, "eval");
+    if (traced) telemetry->metrics().counter(obs::metric::kEvalsStarted).inc();
     Stopwatch eval_watch;
     double value = std::numeric_limits<double>::quiet_NaN();
     robust::EvalOutcome outcome = robust::EvalOutcome::Ok;
@@ -73,8 +78,16 @@ search::SearchResult BayesOpt::run(search::Objective& objective,
       log_warn("bo: evaluation threw a non-standard exception; recording as crash");
       outcome = robust::EvalOutcome::Crashed;
     }
+    const double seconds = eval_watch.seconds();
+    eval_span.end();
+    if (traced) {
+      obs::outcome_counter(telemetry->metrics(), robust::to_string(outcome)).inc();
+      telemetry->metrics()
+          .histogram(obs::metric::kEvalSeconds, obs::default_time_buckets())
+          .observe(seconds);
+    }
     if (robust::is_failure(outcome)) value = std::numeric_limits<double>::quiet_NaN();
-    db.record(config, value, eval_watch.seconds(), outcome);
+    db.record(config, value, seconds, outcome);
     if (!options_.checkpoint_path.empty() && options_.checkpoint_every > 0 &&
         db.size() % options_.checkpoint_every == 0) {
       db.save(options_.checkpoint_path);
@@ -126,6 +139,7 @@ search::SearchResult BayesOpt::run(search::Objective& objective,
 
   std::size_t iteration = 0;
   while (db.size() < options_.max_evals) {
+    obs::ScopedSpan iter_span(telemetry, "bo.iteration");
     // Assemble training data in unit coordinates; clamp timeouts and handle
     // failed evaluations per failure_penalty.
     const auto evals = db.all();
@@ -163,11 +177,17 @@ search::SearchResult BayesOpt::run(search::Objective& objective,
     }
 
     try {
+      Stopwatch fit_watch;
       if (options_.hyperopt_every > 0 && iteration % options_.hyperopt_every == 0) {
         gp.fit_with_hyperopt(std::move(x), std::move(y), rng, options_.hyperopt_restarts,
                              options_.hyperopt_max_iters);
       } else {
         gp.fit(std::move(x), std::move(y));
+      }
+      if (traced) {
+        telemetry->metrics()
+            .histogram(obs::metric::kGpFitSeconds, obs::default_time_buckets())
+            .observe(fit_watch.seconds());
       }
     } catch (const std::exception& e) {
       // Surrogate breakdown (e.g. all-identical targets): fall back to a
@@ -178,6 +198,7 @@ search::SearchResult BayesOpt::run(search::Objective& objective,
       continue;
     }
 
+    Stopwatch acq_watch;
     std::vector<double> proposal_unit = maximize_acquisition(
         gp, options_.acquisition, options_.acq_params, best_value, best_unit, rng,
         options_.maximizer, accept_unit);
@@ -194,6 +215,13 @@ search::SearchResult BayesOpt::run(search::Objective& objective,
     }
     if (already_evaluated(evals, proposal)) {
       proposal = space.sample_valid(rng);
+    }
+    // Proposal-selection time including duplicate retries: each retry is a
+    // full argmax, and their cost is what this histogram exists to expose.
+    if (traced) {
+      telemetry->metrics()
+          .histogram(obs::metric::kAcqArgmaxSeconds, obs::default_time_buckets())
+          .observe(acq_watch.seconds());
     }
 
     evaluate_and_record(proposal);
@@ -230,6 +258,8 @@ std::vector<search::Config> BayesOpt::suggest_batch(const search::EvalDb& db,
     throw std::invalid_argument("BayesOpt::suggest_batch: empty evaluation database");
   }
   tunekit::Rng rng(options_.seed ^ 0xba7c4);
+  obs::Telemetry* telemetry = options_.telemetry;
+  const bool traced = telemetry != nullptr && telemetry->enabled();
 
   // Observed data plus the growing liar set.
   std::vector<std::vector<double>> unit_points;
@@ -270,11 +300,17 @@ std::vector<search::Config> BayesOpt::suggest_batch(const search::EvalDb& db,
       for (std::size_t c = 0; c < space.size(); ++c) x(i, c) = unit_points[i][c];
     }
     try {
+      Stopwatch fit_watch;
       if (b == 0) {
         gp.fit_with_hyperopt(std::move(x), y, rng, options_.hyperopt_restarts,
                              options_.hyperopt_max_iters);
       } else {
         gp.fit(std::move(x), y);
+      }
+      if (traced) {
+        telemetry->metrics()
+            .histogram(obs::metric::kGpFitSeconds, obs::default_time_buckets())
+            .observe(fit_watch.seconds());
       }
     } catch (const std::exception& e) {
       log_warn("bo: suggest_batch surrogate failed (", e.what(), "); random fill");
@@ -282,6 +318,7 @@ std::vector<search::Config> BayesOpt::suggest_batch(const search::EvalDb& db,
       continue;
     }
 
+    Stopwatch acq_watch;
     auto proposal_unit =
         maximize_acquisition(gp, options_.acquisition, options_.acq_params, best_value,
                              best_unit, rng, options_.maximizer, accept_unit);
@@ -295,6 +332,11 @@ std::vector<search::Config> BayesOpt::suggest_batch(const search::EvalDb& db,
       ++retries;
     }
     if (already_evaluated(seen, proposal)) proposal = space.sample_valid(rng);
+    if (traced) {
+      telemetry->metrics()
+          .histogram(obs::metric::kAcqArgmaxSeconds, obs::default_time_buckets())
+          .observe(acq_watch.seconds());
+    }
 
     // Constant liar: pretend the proposal observed the incumbent best.
     unit_points.push_back(space.encode_unit(proposal));

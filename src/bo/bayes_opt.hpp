@@ -20,6 +20,10 @@
 #include "search/objective.hpp"
 #include "search/result.hpp"
 
+namespace tunekit::obs {
+class Telemetry;
+}
+
 namespace tunekit::bo {
 
 enum class InitialDesign { LatinHypercube, Sobol, UniformRandom };
@@ -79,6 +83,10 @@ struct BoOptions {
   /// excludes failed points from the surrogate entirely. Failures count
   /// toward the budget, so a crash-looping application still terminates.
   double failure_penalty = std::numeric_limits<double>::quiet_NaN();
+
+  /// Spans ("bo.iteration" → "eval"), evaluation counters, and GP-fit /
+  /// acquisition-argmax timing histograms (null = disabled, the default).
+  obs::Telemetry* telemetry = nullptr;
 };
 
 class BayesOpt {

@@ -2,7 +2,14 @@
 // Minimal leveled logger. Searches can take minutes; the drivers emit
 // progress at Info level, internals at Debug. Quiet by default so bench
 // table output stays clean.
+//
+// The sink is pluggable (tests capture log lines, the CLI tees to a file via
+// --log-file); the default sink writes the historical stable format
+// "[tunekit LEVEL] msg" to stderr. An optional decoration mode prefixes each
+// message with a wall-clock timestamp and a dense thread id — off by default
+// so existing output and anything parsing it stay unchanged.
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -13,6 +20,25 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 /// Global log threshold; messages below it are dropped.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Receives every emitted message. `msg` is the bare text (no level prefix,
+/// no decorations) so sinks can format as they like; format_log_line() gives
+/// the default rendering.
+using LogSink = std::function<void(LogLevel level, const std::string& msg)>;
+
+/// Replace the sink (nullptr restores the default stderr sink). Returns the
+/// previous sink so callers can chain or restore it. Thread-safe.
+LogSink set_log_sink(LogSink sink);
+
+/// When on, format_log_line() (and thus the default sink) prefixes messages
+/// with an ISO-8601 UTC wall-clock timestamp and a dense thread id:
+/// "[tunekit LEVEL 2026-08-06T12:34:56.789Z t=3] msg". Off by default.
+void set_log_decorations(bool on);
+bool log_decorations();
+
+/// The default rendering: "[tunekit LEVEL] msg", with timestamp + thread id
+/// inserted when decorations are on. For custom sinks that tee to files.
+std::string format_log_line(LogLevel level, const std::string& msg);
 
 /// Emit a message (thread-safe) if `level` passes the threshold.
 void log_message(LogLevel level, const std::string& msg);

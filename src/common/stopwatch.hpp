@@ -1,8 +1,13 @@
 #pragma once
-// Wall-clock stopwatch used by search drivers to report search time
-// (Table III columns) and by the bench harnesses.
+// Monotonic stopwatch used by search drivers to report search time
+// (Table III columns), by the bench harnesses, and by the telemetry layer.
+//
+// Deliberately std::chrono::steady_clock, never system_clock: elapsed times
+// must not jump when NTP steps the wall clock mid-run (robust/measure.cpp
+// and service/scheduler.cpp time evaluations that can span minutes).
 
 #include <chrono>
+#include <cstdint>
 
 namespace tunekit {
 
@@ -18,6 +23,15 @@ class Stopwatch {
   }
 
   double milliseconds() const { return seconds() * 1e3; }
+
+  /// Elapsed nanoseconds (integer; for span timestamps).
+  std::uint64_t ns() const {
+    const auto elapsed = clock::now() - start_;
+    return elapsed.count() > 0
+               ? static_cast<std::uint64_t>(
+                     std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count())
+               : 0;
+  }
 
  private:
   using clock = std::chrono::steady_clock;

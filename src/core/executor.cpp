@@ -11,6 +11,7 @@
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 #include "core/tunable_app.hpp"
+#include "obs/telemetry.hpp"
 #include "service/scheduler.hpp"
 #include "service/session.hpp"
 
@@ -45,13 +46,16 @@ ExecutionResult PlanExecutor::execute(TunableApp& app,
                                       const graph::SearchPlan& plan) const {
   Stopwatch watch;
   const search::SearchSpace& space = app.space();
+  obs::Telemetry* telemetry = options_.telemetry;
 
   // Process isolation: evaluate through sandboxed worker processes. The
   // wrap happens at TunableApp level so subspace embedding stays on this
   // side of the process boundary (full-space configs cross the wire), and
   // the pool's SIGKILL deadline takes over from the in-process watchdog.
+  robust::IsolationOptions isolation = options_.isolation;
+  if (isolation.telemetry == nullptr) isolation.telemetry = telemetry;
   const auto sandbox = robust::WorkerPool::create(
-      options_.isolation, std::max<std::size_t>(1, options_.n_threads));
+      isolation, std::max<std::size_t>(1, options_.n_threads));
   robust::MeasureOptions measure = options_.measure;
   std::unique_ptr<robust::SandboxedApp> sandboxed;
   if (sandbox) {
@@ -105,9 +109,15 @@ ExecutionResult PlanExecutor::execute(TunableApp& app,
       budgets[si] = b;
     }
 
+    // Captured before the fan-out: stage searches may run on pool threads,
+    // where the ambient span would otherwise be empty.
+    const obs::SpanId stage_parent = obs::Telemetry::current_span();
+
     auto run_one = [&](std::size_t si) {
       const graph::PlannedSearch& planned = *searches[si];
       const std::size_t search_id = search_counter + si;
+      obs::CurrentSpanScope ambient(stage_parent);
+      obs::ScopedSpan search_span(telemetry, "search." + planned.name);
 
       if (budgets[si] == 0) {
         SearchOutcome skipped;
@@ -144,6 +154,7 @@ ExecutionResult PlanExecutor::execute(TunableApp& app,
       if (options_.session_scheduler) {
         // Session service path: ask/tell batches evaluated concurrently.
         service::SessionOptions sopts;
+        sopts.telemetry = telemetry;
         sopts.bo = options_.bo;
         sopts.n_init = options_.bo.n_init;
         sopts.failure_penalty = options_.bo.failure_penalty;
@@ -172,7 +183,9 @@ ExecutionResult PlanExecutor::execute(TunableApp& app,
         // The scheduler gets the stripped measure options and default
         // (thread) isolation: sub_obj already routes through the sandbox, so
         // giving the scheduler its own pool would double-sandbox.
-        service::EvalScheduler scheduler({options_.n_threads, 0, measure, {}});
+        service::SchedulerOptions sched_opts{options_.n_threads, 0, measure, {}};
+        sched_opts.telemetry = telemetry;
+        service::EvalScheduler scheduler(sched_opts);
         result = scheduler.run(*session, sub_obj);
       } else if (enumerate) {
         log_info("executor: '", planned.name, "' enumerated exhaustively (", card,
@@ -184,6 +197,7 @@ ExecutionResult PlanExecutor::execute(TunableApp& app,
         result.method = "enumerate";
       } else {
         bo::BoOptions bo_opts = options_.bo;
+        bo_opts.telemetry = telemetry;
         bo_opts.max_evals = budget;
         bo_opts.seed = options_.bo.seed + 7919 * (search_id + 1);
         if (!options_.checkpoint_dir.empty()) {
@@ -236,7 +250,9 @@ ExecutionResult PlanExecutor::execute(TunableApp& app,
   // same hardening. If even the final measurement fails, report NaN times
   // rather than aborting after the whole campaign succeeded.
   const robust::RobustMeasurer measurer(measure);
+  obs::ScopedSpan final_span(telemetry, "eval");
   const robust::Measurement final_m = measurer.measure_regions(eval_app, base);
+  final_span.end();
   if (final_m.outcome == robust::EvalOutcome::Ok) {
     exec.final_times = final_m.regions;
   } else {

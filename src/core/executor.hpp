@@ -24,6 +24,10 @@
 #include "search/objective.hpp"
 #include "search/result.hpp"
 
+namespace tunekit::obs {
+class Telemetry;
+}
+
 namespace tunekit::core {
 
 class TunableApp;  // fwd
@@ -77,6 +81,10 @@ struct ExecutorOptions {
   /// and repeatedly-crashing configurations are quarantined. Defaults to
   /// Thread — the in-process path.
   robust::IsolationOptions isolation;
+
+  /// Spans ("search.<name>" per planned search, propagated into the drivers)
+  /// and evaluation metrics (null = disabled, the default).
+  obs::Telemetry* telemetry = nullptr;
 
   std::uint64_t seed = 1234;
 };

@@ -8,11 +8,27 @@
 
 #include "common/log.hpp"
 #include "common/stopwatch.hpp"
+#include "obs/telemetry.hpp"
 #include "search/samplers.hpp"
 #include "stats/correlation.hpp"
 #include "stats/descriptive.hpp"
 
 namespace tunekit::core {
+
+namespace {
+
+/// Per-phase wall time as a gauge: tunekit_phase_<name>_seconds. The gauge is
+/// set from a Stopwatch started/stopped at the same points as the phase span,
+/// so `tunekit_cli report` reproduces the span totals from the metrics
+/// snapshot alone.
+void add_phase_seconds(obs::Telemetry* telemetry, const char* phase, double seconds) {
+  if (telemetry == nullptr || !telemetry->enabled()) return;
+  telemetry->metrics()
+      .gauge(std::string("tunekit_phase_") + phase + "_seconds")
+      .add(seconds);
+}
+
+}  // namespace
 
 Methodology::Methodology(MethodologyOptions options) : options_(std::move(options)) {}
 
@@ -26,8 +42,10 @@ std::shared_ptr<robust::WorkerPool> Methodology::make_pool() const {
     iso = &options_.sensitivity.isolation;
   }
   if (!iso) return nullptr;
+  robust::IsolationOptions iso_copy = *iso;
+  if (iso_copy.telemetry == nullptr) iso_copy.telemetry = options_.telemetry;
   return robust::WorkerPool::create(
-      *iso, std::max<std::size_t>(1, options_.executor.n_threads));
+      iso_copy, std::max<std::size_t>(1, options_.executor.n_threads));
 }
 
 InfluenceAnalysis Methodology::analyze(TunableApp& app) const {
@@ -39,9 +57,11 @@ InfluenceAnalysis Methodology::analyze_impl(
   const search::SearchSpace& space = app.space();
   const auto routines = app.routines();
   const auto outer = app.outer_regions();
+  obs::Telemetry* telemetry = options_.telemetry;
 
   // --- Phase 1/2: sensitivity analysis around the app's baseline. ---
   stats::SensitivityOptions sens_opts = options_.sensitivity;
+  if (sens_opts.telemetry == nullptr) sens_opts.telemetry = telemetry;
   if (pool) {
     sens_opts.isolation.mode = robust::IsolationMode::Process;
     sens_opts.isolation.pool = pool;
@@ -54,7 +74,11 @@ InfluenceAnalysis Methodology::analyze_impl(
     }
   }
   stats::SensitivityAnalyzer analyzer(sens_opts);
+  obs::ScopedSpan sens_span(telemetry, "phase.sensitivity");
+  Stopwatch sens_watch;
   stats::SensitivityReport report = analyzer.analyze(app, space, app.baseline());
+  add_phase_seconds(telemetry, "sensitivity", sens_watch.seconds());
+  sens_span.end();
 
   // --- Build the influence graph: routines + outer regions as vertices. ---
   std::vector<std::string> vertex_names;
@@ -98,6 +122,9 @@ InfluenceAnalysis Methodology::analyze_impl(
 
   // --- Feature importance + correlations over a sampled dataset. ---
   if (options_.importance_samples > 0) {
+    obs::ScopedSpan imp_span(telemetry, "phase.importance");
+    Stopwatch imp_watch;
+    const bool traced = telemetry != nullptr && telemetry->enabled();
     const std::size_t n = options_.importance_samples;
     if (!stats::one_in_ten_ok(n, space.size())) {
       log_warn("methodology: ", n, " samples for ", space.size(),
@@ -123,13 +150,21 @@ InfluenceAnalysis Methodology::analyze_impl(
     units.reserve(n);
     y.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
+      obs::ScopedSpan eval_span(telemetry, "eval");
+      if (traced) telemetry->metrics().counter(obs::metric::kEvalsStarted).inc();
       double value = std::numeric_limits<double>::quiet_NaN();
+      robust::EvalOutcome outcome = robust::EvalOutcome::Crashed;
       try {
         value = eval_app.evaluate(configs[i]);
+        outcome = robust::classify_value(value);
       } catch (const std::exception& e) {
         log_warn("methodology: importance sample failed (", e.what(), "); dropped");
       } catch (...) {
         log_warn("methodology: importance sample threw a non-standard exception; dropped");
+      }
+      eval_span.end();
+      if (traced) {
+        obs::outcome_counter(telemetry->metrics(), robust::to_string(outcome)).inc();
       }
       if (!std::isfinite(value)) continue;
       units.push_back(space.encode_unit(configs[i]));
@@ -154,6 +189,7 @@ InfluenceAnalysis Methodology::analyze_impl(
       log_warn("methodology: too few successful importance samples (", units.size(),
                "); skipping the random-forest step");
     }
+    add_phase_seconds(telemetry, "importance", imp_watch.seconds());
   }
 
   return analysis;
@@ -176,20 +212,33 @@ graph::SearchPlan Methodology::make_plan(TunableApp& app,
 
 MethodologyResult Methodology::run(TunableApp& app) const {
   Stopwatch watch;
+  obs::Telemetry* telemetry = options_.telemetry;
+  obs::ScopedSpan run_span(telemetry, "methodology.run");
   // One shared pool for every phase: quarantine knowledge gathered during
   // the analysis protects the execution phase (and vice versa), and workers
   // survive across phases instead of respawning.
   const auto pool = make_pool();
   MethodologyResult result{analyze_impl(app, pool), {}, {}, 0, 0.0};
-  result.plan = make_plan(app, result.analysis);
+  {
+    obs::ScopedSpan part_span(telemetry, "phase.partition");
+    Stopwatch part_watch;
+    result.plan = make_plan(app, result.analysis);
+    add_phase_seconds(telemetry, "partition", part_watch.seconds());
+  }
 
   ExecutorOptions exec_opts = options_.executor;
+  if (exec_opts.telemetry == nullptr) exec_opts.telemetry = telemetry;
   if (pool) {
     exec_opts.isolation.mode = robust::IsolationMode::Process;
     exec_opts.isolation.pool = pool;
   }
   PlanExecutor executor(exec_opts);
-  result.execution = executor.execute(app, result.plan);
+  {
+    obs::ScopedSpan exec_span(telemetry, "phase.execution");
+    Stopwatch exec_watch;
+    result.execution = executor.execute(app, result.plan);
+    add_phase_seconds(telemetry, "execution", exec_watch.seconds());
+  }
 
   result.total_observations = result.analysis.observations +
                               result.execution.total_evaluations;

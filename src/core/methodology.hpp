@@ -27,6 +27,10 @@
 #include "stats/random_forest.hpp"
 #include "stats/sensitivity.hpp"
 
+namespace tunekit::obs {
+class Telemetry;
+}
+
 namespace tunekit::core {
 
 struct MethodologyOptions {
@@ -62,6 +66,11 @@ struct MethodologyOptions {
 
   /// Search execution settings (budget rule, backend, parallelism).
   ExecutorOptions executor;
+
+  /// Root of the span tree ("methodology.run" → "phase.*") plus
+  /// tunekit_phase_<name>_seconds gauges; propagated into every phase (null =
+  /// disabled, the default).
+  obs::Telemetry* telemetry = nullptr;
 
   std::uint64_t seed = 42;
 };

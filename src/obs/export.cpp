@@ -1,0 +1,147 @@
+#include "obs/export.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace tunekit::obs {
+
+namespace {
+
+// Prometheus float formatting: shortest round-trippable representation is
+// overkill here; %.17g round-trips doubles and %g keeps integers clean.
+std::string format_number(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double parsed = 0.0;
+  std::sscanf(buf, "%lg", &parsed);
+  if (parsed == v) {
+    // Try a shorter form that still round-trips.
+    char short_buf[64];
+    std::snprintf(short_buf, sizeof(short_buf), "%g", v);
+    std::sscanf(short_buf, "%lg", &parsed);
+    if (parsed == v) return short_buf;
+  }
+  return buf;
+}
+
+}  // namespace
+
+json::Value chrome_trace(const Telemetry& telemetry) {
+  const std::int64_t self_pid = static_cast<std::int64_t>(::getpid());
+  json::Array events;
+  for (const SpanRecord& span : telemetry.spans()) {
+    json::Object event;
+    event["name"] = span.name;
+    event["cat"] = span.category.empty() ? std::string("tunekit") : span.category;
+    event["ph"] = "X";
+    // trace_event timestamps are microseconds; keep sub-microsecond precision
+    // as a fraction (Perfetto accepts non-integer ts/dur).
+    event["ts"] = static_cast<double>(span.start_ns) / 1e3;
+    event["dur"] = static_cast<double>(span.dur_ns) / 1e3;
+    event["pid"] = span.pid != 0 ? span.pid : self_pid;
+    event["tid"] = static_cast<std::size_t>(span.tid);
+    json::Object args;
+    args["span"] = static_cast<std::size_t>(span.id);
+    if (span.parent != 0) args["parent"] = static_cast<std::size_t>(span.parent);
+    event["args"] = json::Value(std::move(args));
+    events.push_back(json::Value(std::move(event)));
+  }
+  json::Object doc;
+  doc["traceEvents"] = json::Value(std::move(events));
+  doc["displayTimeUnit"] = "ms";
+  if (telemetry.dropped_spans() > 0) {
+    doc["tunekit_dropped_spans"] = static_cast<std::size_t>(telemetry.dropped_spans());
+  }
+  return json::Value(std::move(doc));
+}
+
+void write_chrome_trace(const Telemetry& telemetry, const std::string& path) {
+  json::save_atomic(path, chrome_trace(telemetry), /*indent=*/-1);
+}
+
+std::string prometheus_text(const MetricsRegistry& metrics) {
+  std::ostringstream out;
+  for (const auto& [name, counter] : metrics.counters()) {
+    const std::string help = metrics.help(name);
+    if (!help.empty()) out << "# HELP " << name << ' ' << help << '\n';
+    out << "# TYPE " << name << " counter\n";
+    out << name << ' ' << counter->value() << '\n';
+  }
+  for (const auto& [name, gauge] : metrics.gauges()) {
+    const std::string help = metrics.help(name);
+    if (!help.empty()) out << "# HELP " << name << ' ' << help << '\n';
+    out << "# TYPE " << name << " gauge\n";
+    out << name << ' ' << format_number(gauge->value()) << '\n';
+  }
+  for (const auto& [name, histogram] : metrics.histograms()) {
+    const std::string help = metrics.help(name);
+    if (!help.empty()) out << "# HELP " << name << ' ' << help << '\n';
+    out << "# TYPE " << name << " histogram\n";
+    const auto& bounds = histogram->bounds();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += histogram->bucket_count(i);
+      out << name << "_bucket{le=\"" << format_number(bounds[i]) << "\"} " << cumulative
+          << '\n';
+    }
+    cumulative += histogram->bucket_count(bounds.size());
+    out << name << "_bucket{le=\"+Inf\"} " << cumulative << '\n';
+    out << name << "_sum " << format_number(histogram->sum()) << '\n';
+    out << name << "_count " << histogram->count() << '\n';
+  }
+  return out.str();
+}
+
+void write_prometheus_text(const MetricsRegistry& metrics, const std::string& path) {
+  // Reuse the JSON module's atomic-write behavior by writing via a temp file.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) throw std::runtime_error("cannot open " + tmp + " for writing");
+  const std::string text = prometheus_text(metrics);
+  const bool wrote = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (!wrote || !flushed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("failed writing metrics to " + path);
+  }
+}
+
+json::Value metrics_to_json(const MetricsRegistry& metrics) {
+  json::Object counters;
+  for (const auto& [name, counter] : metrics.counters()) {
+    counters[name] = static_cast<std::size_t>(counter->value());
+  }
+  json::Object gauges;
+  for (const auto& [name, gauge] : metrics.gauges()) {
+    gauges[name] = gauge->value();
+  }
+  json::Object histograms;
+  for (const auto& [name, histogram] : metrics.histograms()) {
+    json::Array bounds;
+    for (double b : histogram->bounds()) bounds.push_back(b);
+    json::Array counts;
+    for (std::size_t i = 0; i <= histogram->bounds().size(); ++i) {
+      counts.push_back(static_cast<std::size_t>(histogram->bucket_count(i)));
+    }
+    json::Object h;
+    h["bounds"] = json::Value(std::move(bounds));
+    h["counts"] = json::Value(std::move(counts));
+    h["sum"] = histogram->sum();
+    h["count"] = static_cast<std::size_t>(histogram->count());
+    histograms[name] = json::Value(std::move(h));
+  }
+  json::Object doc;
+  doc["counters"] = json::Value(std::move(counters));
+  doc["gauges"] = json::Value(std::move(gauges));
+  doc["histograms"] = json::Value(std::move(histograms));
+  return json::Value(std::move(doc));
+}
+
+}  // namespace tunekit::obs

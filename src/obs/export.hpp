@@ -1,0 +1,32 @@
+#pragma once
+// Telemetry exporters: Chrome trace_event JSON (open in chrome://tracing or
+// https://ui.perfetto.dev), Prometheus text exposition, and a JSON metrics
+// snapshot (the shape journaled into SessionStore "metrics" records).
+
+#include <string>
+
+#include "common/json.hpp"
+#include "obs/telemetry.hpp"
+
+namespace tunekit::obs {
+
+/// Chrome trace_event "JSON object format": {"traceEvents": [...]} where every
+/// span becomes a complete "X" event with microsecond ts/dur. Worker-side
+/// spans carry their worker pid; supervisor spans use the supervisor pid.
+json::Value chrome_trace(const Telemetry& telemetry);
+
+/// Write chrome_trace() to `path` (atomically, via a temp file + rename).
+void write_chrome_trace(const Telemetry& telemetry, const std::string& path);
+
+/// Prometheus text exposition format (# HELP / # TYPE, histogram _bucket
+/// cumulative counts with le labels, _sum, _count).
+std::string prometheus_text(const MetricsRegistry& metrics);
+
+void write_prometheus_text(const MetricsRegistry& metrics, const std::string& path);
+
+/// {"counters": {...}, "gauges": {...}, "histograms": {name: {"bounds": [...],
+/// "counts": [...], "sum": s, "count": n}}}. Counts has bounds.size()+1
+/// entries (last = overflow bucket).
+json::Value metrics_to_json(const MetricsRegistry& metrics);
+
+}  // namespace tunekit::obs

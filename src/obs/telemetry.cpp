@@ -1,0 +1,141 @@
+#include "obs/telemetry.hpp"
+
+#include <cctype>
+#include <chrono>
+
+namespace tunekit::obs {
+
+namespace {
+
+thread_local SpanId t_current_span = 0;
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Dense thread index for trace readability (0 = first thread seen).
+std::uint32_t this_thread_index() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local std::uint32_t index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+}  // namespace
+
+Telemetry& Telemetry::noop() {
+  static Telemetry instance;
+  return instance;
+}
+
+void Telemetry::enable(std::size_t max_spans) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_.load(std::memory_order_relaxed)) {
+    epoch_ns_ = steady_now_ns();
+    done_.reserve(std::min<std::size_t>(max_spans, 4096));
+  }
+  max_spans_ = max_spans;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+std::uint64_t Telemetry::now_ns() const {
+  const std::uint64_t now = steady_now_ns();
+  return now >= epoch_ns_ ? now - epoch_ns_ : 0;
+}
+
+SpanId Telemetry::begin_span(std::string_view name, SpanId parent,
+                             std::string_view category) {
+  if (!enabled()) return 0;
+  SpanRecord record;
+  record.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  record.parent = (parent == kInheritParent) ? t_current_span : parent;
+  record.start_ns = now_ns();
+  record.tid = this_thread_index();
+  record.name.assign(name.data(), name.size());
+  record.category.assign(category.data(), category.size());
+  const SpanId id = record.id;
+  std::lock_guard<std::mutex> lock(mutex_);
+  open_.emplace(id, OpenSpan{std::move(record)});
+  return id;
+}
+
+void Telemetry::end_span(SpanId id) {
+  if (id == 0 || !enabled()) return;
+  const std::uint64_t end_ns = now_ns();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = open_.find(id);
+  if (it == open_.end()) return;
+  SpanRecord record = std::move(it->second.record);
+  open_.erase(it);
+  record.dur_ns = end_ns >= record.start_ns ? end_ns - record.start_ns : 0;
+  if (done_.size() >= max_spans_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  done_.push_back(std::move(record));
+}
+
+SpanId Telemetry::record_span(std::string_view name, SpanId parent,
+                              std::uint64_t start_ns, std::uint64_t dur_ns,
+                              std::int64_t pid, std::string_view category) {
+  if (!enabled()) return 0;
+  SpanRecord record;
+  record.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  record.parent = (parent == kInheritParent) ? t_current_span : parent;
+  record.start_ns = start_ns;
+  record.dur_ns = dur_ns;
+  record.tid = this_thread_index();
+  record.pid = pid;
+  record.name.assign(name.data(), name.size());
+  record.category.assign(category.data(), category.size());
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (done_.size() >= max_spans_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  const SpanId id = record.id;
+  done_.push_back(std::move(record));
+  return id;
+}
+
+SpanId Telemetry::current_span() { return t_current_span; }
+
+SpanId Telemetry::exchange_current_span(SpanId id) {
+  const SpanId previous = t_current_span;
+  t_current_span = id;
+  return previous;
+}
+
+std::vector<SpanRecord> Telemetry::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return done_;
+}
+
+ScopedSpan::ScopedSpan(Telemetry* telemetry, std::string_view name, SpanId parent,
+                       std::string_view category) {
+  if (telemetry == nullptr || !telemetry->enabled()) return;
+  telemetry_ = telemetry;
+  id_ = telemetry->begin_span(name, parent, category);
+  saved_ = Telemetry::exchange_current_span(id_);
+}
+
+void ScopedSpan::end() {
+  if (telemetry_ == nullptr) return;
+  Telemetry::exchange_current_span(saved_);
+  telemetry_->end_span(id_);
+  telemetry_ = nullptr;
+  id_ = 0;
+}
+
+Counter& outcome_counter(MetricsRegistry& metrics, std::string_view outcome) {
+  std::string name = "tunekit_evals_";
+  for (char c : outcome) {
+    name.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  }
+  name += "_total";
+  return metrics.counter(name);
+}
+
+}  // namespace tunekit::obs

@@ -1,0 +1,168 @@
+#pragma once
+// Telemetry: nested tracing spans plus a metrics registry behind one facade.
+//
+// A span is a named interval with an explicit parent id, forming the tree
+//
+//   methodology.run
+//     ├─ phase.sensitivity ── eval ── worker.rpc ── worker.objective
+//     ├─ phase.importance  ── eval ...
+//     ├─ phase.partition
+//     └─ phase.execution ── search.<name> ── bo.iteration ── eval ── ...
+//
+// Parents propagate two ways:
+//   * implicitly — each thread carries a "current span" (set by ScopedSpan /
+//     CurrentSpanScope), and begin_span() defaults its parent to it; or
+//   * explicitly — cross-thread and cross-process work passes the parent id
+//     by hand (the scheduler hands its batch span to pool threads, the
+//     worker protocol carries the rpc span id over the pipe).
+//
+// Telemetry is DISABLED by default and every layer takes it as a nullable
+// pointer: the disabled/null hot path is one branch (guarded by a test to
+// cost < 1 µs per evaluation). When enabled, finished spans are moved into a
+// bounded in-memory buffer; once full, new spans are counted as dropped
+// rather than growing memory during a long tuning run.
+//
+// Spans measured in another process (the worker reports setup/objective/
+// teardown timings relative to its own request handling) are stitched in via
+// record_span() with supervisor-side anchoring — see WorkerPool::evaluate.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace tunekit::obs {
+
+/// Span identifier; 0 means "no span".
+using SpanId = std::uint64_t;
+
+struct SpanRecord {
+  SpanId id = 0;
+  SpanId parent = 0;
+  /// Nanoseconds since the Telemetry instance's (steady-clock) epoch.
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  /// Dense per-process thread index (stable across Telemetry instances).
+  std::uint32_t tid = 0;
+  /// 0 = this process; a worker's OS pid for imported worker-side spans.
+  std::int64_t pid = 0;
+  std::string name;
+  std::string category;
+};
+
+class Telemetry {
+ public:
+  /// Sentinel parent meaning "use the calling thread's current span".
+  static constexpr SpanId kInheritParent = ~SpanId{0};
+
+  Telemetry() = default;  // disabled until enable()
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  /// Shared always-disabled instance for call sites that want a reference.
+  static Telemetry& noop();
+
+  void enable(std::size_t max_spans = 1 << 20);
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Steady-clock nanoseconds since this instance's epoch.
+  std::uint64_t now_ns() const;
+
+  /// Open a span. Returns 0 (and records nothing) when disabled.
+  SpanId begin_span(std::string_view name, SpanId parent = kInheritParent,
+                    std::string_view category = {});
+  /// Close a span opened by begin_span(); unknown/zero ids are ignored.
+  void end_span(SpanId id);
+
+  /// Record a complete span measured elsewhere (worker-side timings). Returns
+  /// the id assigned to it, 0 when disabled.
+  SpanId record_span(std::string_view name, SpanId parent, std::uint64_t start_ns,
+                     std::uint64_t dur_ns, std::int64_t pid = 0,
+                     std::string_view category = {});
+
+  /// The calling thread's ambient span (0 if none). Static so cross-layer
+  /// code can read/seed it without holding a Telemetry reference.
+  static SpanId current_span();
+  static SpanId exchange_current_span(SpanId id);
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Snapshot of finished spans (open spans are not included).
+  std::vector<SpanRecord> spans() const;
+  std::uint64_t dropped_spans() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  struct OpenSpan {
+    SpanRecord record;
+  };
+
+  void finish(SpanRecord&& record);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::uint64_t epoch_ns_ = 0;
+  std::size_t max_spans_ = 0;
+  mutable std::mutex mutex_;
+  std::unordered_map<SpanId, OpenSpan> open_;
+  std::vector<SpanRecord> done_;
+  MetricsRegistry metrics_;
+};
+
+/// RAII span. Safe with a null or disabled Telemetry (then a no-op). While
+/// alive it is the calling thread's current span, so nested spans inherit it.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(Telemetry* telemetry, std::string_view name,
+             SpanId parent = Telemetry::kInheritParent, std::string_view category = {});
+  ~ScopedSpan() { end(); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  SpanId id() const { return id_; }
+  /// Close early (idempotent); also restores the previous current span.
+  void end();
+
+ private:
+  Telemetry* telemetry_ = nullptr;
+  SpanId id_ = 0;
+  SpanId saved_ = 0;
+};
+
+/// Seeds the calling thread's current span (for work handed to another
+/// thread: capture the parent id, then open one of these in the worker).
+class CurrentSpanScope {
+ public:
+  explicit CurrentSpanScope(SpanId id) : saved_(Telemetry::exchange_current_span(id)) {}
+  ~CurrentSpanScope() { Telemetry::exchange_current_span(saved_); }
+  CurrentSpanScope(const CurrentSpanScope&) = delete;
+  CurrentSpanScope& operator=(const CurrentSpanScope&) = delete;
+
+ private:
+  SpanId saved_;
+};
+
+// Canonical metric names (Prometheus conventions: *_total counters, *_seconds
+// histograms, plain gauges). Shared by the instrumented layers and exporters.
+namespace metric {
+inline constexpr const char* kEvalsStarted = "tunekit_evals_started_total";
+inline constexpr const char* kWorkerRestarts = "tunekit_worker_restarts_total";
+inline constexpr const char* kEvalsQuarantined = "tunekit_evals_quarantined_total";
+inline constexpr const char* kQueueDepth = "tunekit_queue_depth";
+inline constexpr const char* kEvalSeconds = "tunekit_eval_seconds";
+inline constexpr const char* kGpFitSeconds = "tunekit_gp_fit_seconds";
+inline constexpr const char* kAcqArgmaxSeconds = "tunekit_acq_argmax_seconds";
+inline constexpr const char* kJournalFsyncSeconds = "tunekit_journal_fsync_seconds";
+}  // namespace metric
+
+/// Counter for a classified evaluation outcome: "ok" → tunekit_evals_ok_total,
+/// "timed-out" → tunekit_evals_timed_out_total, etc. (non-alnum → '_').
+Counter& outcome_counter(MetricsRegistry& metrics, std::string_view outcome);
+
+}  // namespace tunekit::obs

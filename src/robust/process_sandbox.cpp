@@ -40,7 +40,7 @@ double now_seconds() {
 
 /// Serialize one eval request line.
 std::string eval_request(std::uint64_t id, const search::Config& config,
-                         double deadline_seconds) {
+                         double deadline_seconds, std::uint64_t trace_span) {
   json::Object obj;
   obj["op"] = json::Value("eval");
   obj["id"] = json::Value(static_cast<double>(id));
@@ -50,6 +50,9 @@ std::string eval_request(std::uint64_t id, const search::Config& config,
   if (std::isfinite(deadline_seconds)) {
     obj["deadline_s"] = json::Value(deadline_seconds);
   }
+  // Trace propagation: opt the worker into reporting phase timings. Old
+  // workers ignore the unknown key.
+  if (trace_span != 0) obj["span"] = json::Value(static_cast<double>(trace_span));
   return json::Value(std::move(obj)).dump();
 }
 
@@ -93,6 +96,16 @@ bool parse_reply(const std::string& line, std::uint64_t id, SandboxResult& out,
       }
     }
     out.regions.total = v.number_or("total", out.value);
+    if (v.contains("spans") && v.at("spans").is_array()) {
+      for (const auto& s : v.at("spans").as_array()) {
+        if (!s.is_object() || !s.contains("name")) continue;
+        WorkerSpan span;
+        span.name = s.at("name").as_string();
+        span.start_ns = static_cast<std::uint64_t>(s.number_or("start_ns", 0.0));
+        span.dur_ns = static_cast<std::uint64_t>(s.number_or("dur_ns", 0.0));
+        out.worker_spans.push_back(std::move(span));
+      }
+    }
     return true;
   } catch (const std::exception&) {
     return false;
@@ -293,9 +306,11 @@ void WorkerProcess::kill_now() {
 
 SandboxResult WorkerProcess::evaluate(std::uint64_t id,
                                       const search::Config& config,
-                                      double deadline_seconds) {
+                                      double deadline_seconds,
+                                      std::uint64_t trace_span) {
   SandboxResult result;
   const double start = now_seconds();
+  result.worker_pid = pid_ > 0 ? pid_ : 0;
   auto finish = [&]() -> SandboxResult& {
     result.seconds = now_seconds() - start;
     return result;
@@ -307,7 +322,8 @@ SandboxResult WorkerProcess::evaluate(std::uint64_t id,
     return finish();
   }
 
-  const std::string request = eval_request(id, config, deadline_seconds) + "\n";
+  const std::string request =
+      eval_request(id, config, deadline_seconds, trace_span) + "\n";
   std::size_t written = 0;
   while (written < request.size()) {
     const ssize_t n =
@@ -369,6 +385,7 @@ SandboxResult WorkerProcess::evaluate(std::uint64_t id,
       }
       if (is_hb) continue;  // heartbeat: the worker is alive, keep waiting
       parsed.seconds = 0.0;
+      parsed.worker_pid = result.worker_pid;
       result = parsed;
       return finish();
     }
@@ -415,7 +432,8 @@ void WorkerProcess::kill_now() {}
 int WorkerProcess::read_line(std::string&, double) { return -1; }
 WaitClassification WorkerProcess::reap() { return {}; }
 
-SandboxResult WorkerProcess::evaluate(std::uint64_t, const search::Config&, double) {
+SandboxResult WorkerProcess::evaluate(std::uint64_t, const search::Config&, double,
+                                      std::uint64_t) {
   SandboxResult r;
   r.error = "process sandbox unsupported on this platform";
   r.worker_died = true;

@@ -13,7 +13,7 @@
 // Wire protocol ("tunekit-worker-v1", one JSON object per line):
 //
 //   supervisor -> worker (stdin):
-//     {"op":"eval","id":N,"config":[...],"deadline_s":S}
+//     {"op":"eval","id":N,"config":[...],"deadline_s":S[,"span":P]}
 //     {"op":"ping"}           liveness probe
 //     {"op":"exit"}           orderly shutdown
 //
@@ -22,7 +22,17 @@
 //     {"e":"hb"}                                       heartbeat during eval
 //     {"e":"pong"}                                     ping reply
 //     {"e":"result","id":N,"outcome":"ok","value":V,"cost":C,
-//      "regions":{...}[,"dispersion":D][,"error":MSG]}
+//      "regions":{...}[,"dispersion":D][,"error":MSG]
+//      [,"span":P,"spans":[{"name":"objective","start_ns":A,"dur_ns":B},..]]}
+//
+// Trace propagation (telemetry era, still tunekit-worker-v1 — both fields
+// are optional and unknown keys are ignored on both sides, so old workers
+// and old supervisors interoperate): when the supervisor sends a "span"
+// trace id, the worker times its request phases (setup / objective /
+// teardown) and reports them as "spans", each with start_ns/dur_ns measured
+// on the worker's steady clock *relative to request receipt*. The supervisor
+// anchors them at its own dispatch timestamp so they stitch into the parent
+// trace as children of the worker.rpc span.
 //
 // Wait-status classification (the taxonomy mapping the tests pin down):
 //   reply line with outcome      -> that outcome
@@ -86,6 +96,14 @@ struct SandboxOptions {
   std::string stderr_path;
 };
 
+/// Worker-side phase timing from a reply's "spans" array: start_ns is
+/// relative to the worker's receipt of the eval request.
+struct WorkerSpan {
+  std::string name;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+};
+
 /// Outcome of one sandboxed evaluation round trip.
 struct SandboxResult {
   EvalOutcome outcome = EvalOutcome::Crashed;
@@ -104,6 +122,14 @@ struct SandboxResult {
   int term_signal = 0;
   /// Exit code when the worker exited, else -1.
   int exit_code = -1;
+
+  /// Worker-reported phase timings (empty unless the request carried a
+  /// trace span id and the worker understands the extension).
+  std::vector<WorkerSpan> worker_spans;
+  /// OS pid of the worker that produced the reply (0 when it never ran).
+  long worker_pid = 0;
+  /// Pool slot that ran the evaluation (-1 when not run via a WorkerPool).
+  int worker_slot = -1;
 };
 
 /// Map a waitpid() status to the failure taxonomy. Exposed so the
@@ -135,9 +161,11 @@ class WorkerProcess {
 
   /// Send one evaluation request and wait for the reply, the deadline, or
   /// the worker's death — whichever comes first. On deadline or silence the
-  /// worker is SIGKILLed and reaped before returning.
+  /// worker is SIGKILLed and reaped before returning. A nonzero `trace_span`
+  /// is propagated on the wire and asks the worker for phase timings
+  /// (returned in SandboxResult::worker_spans).
   SandboxResult evaluate(std::uint64_t id, const search::Config& config,
-                         double deadline_seconds);
+                         double deadline_seconds, std::uint64_t trace_span = 0);
 
   /// SIGKILL + reap immediately (idempotent).
   void kill_now();

@@ -6,8 +6,15 @@
 #include <thread>
 
 #include "common/log.hpp"
+#include "obs/telemetry.hpp"
 
 namespace tunekit::robust {
+
+namespace {
+thread_local int t_last_worker_slot = -1;
+}
+
+int last_worker_slot() { return t_last_worker_slot; }
 
 const char* to_string(IsolationMode mode) {
   switch (mode) {
@@ -40,7 +47,7 @@ std::shared_ptr<WorkerPool> WorkerPool::create(const IsolationOptions& iso,
   }
   auto pool = std::make_shared<WorkerPool>(iso.sandbox,
                                            std::max<std::size_t>(1, n_workers),
-                                           iso.quarantine_after);
+                                           iso.quarantine_after, iso.telemetry);
   // Spawn-check one worker up front: a missing or broken binary should
   // degrade immediately (and loudly), not fail every evaluation one by one.
   if (!pool->healthy()) {
@@ -52,10 +59,11 @@ std::shared_ptr<WorkerPool> WorkerPool::create(const IsolationOptions& iso,
 }
 
 WorkerPool::WorkerPool(SandboxOptions sandbox, std::size_t n_workers,
-                       std::size_t quarantine_after)
+                       std::size_t quarantine_after, obs::Telemetry* telemetry)
     : sandbox_(std::move(sandbox)),
       quarantine_(quarantine_after),
-      slots_(std::max<std::size_t>(1, n_workers)) {
+      slots_(std::max<std::size_t>(1, n_workers)),
+      telemetry_(telemetry) {
   // Eagerly spawn the first worker so health is known at construction; the
   // rest spawn lazily on first checkout.
   slots_[0].worker = std::make_unique<WorkerProcess>(sandbox_);
@@ -119,6 +127,10 @@ SandboxResult WorkerPool::evaluate(const search::Config& config,
   // is refused before any worker is touched.
   if (quarantine_.quarantined(config)) {
     stats_.quarantine_hits.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry_ != nullptr && telemetry_->enabled()) {
+      telemetry_->metrics().counter(obs::metric::kEvalsQuarantined).inc();
+    }
+    t_last_worker_slot = -1;
     SandboxResult r;
     r.outcome = EvalOutcome::Crashed;
     r.error = "configuration quarantined after " +
@@ -127,6 +139,7 @@ SandboxResult WorkerPool::evaluate(const search::Config& config,
   }
 
   const std::size_t si = acquire_slot();
+  t_last_worker_slot = static_cast<int>(si);
   Slot& slot = slots_[si];
 
   // (Re)spawn the slot's worker if needed, with bounded backoff.
@@ -137,6 +150,7 @@ SandboxResult WorkerPool::evaluate(const search::Config& config,
       r.outcome = EvalOutcome::Crashed;
       r.error = "worker restart budget exhausted (" +
                 std::to_string(sandbox_.max_restarts) + " consecutive deaths)";
+      r.worker_slot = static_cast<int>(si);
       return r;
     }
     if (slot.consecutive_deaths > 0) {
@@ -149,6 +163,9 @@ SandboxResult WorkerPool::evaluate(const search::Config& config,
         std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
       }
       stats_.restarts.fetch_add(1, std::memory_order_relaxed);
+      if (telemetry_ != nullptr && telemetry_->enabled()) {
+        telemetry_->metrics().counter(obs::metric::kWorkerRestarts).inc();
+      }
     }
     slot.worker = std::make_unique<WorkerProcess>(sandbox_);
     if (!slot.worker->spawn()) {
@@ -170,13 +187,38 @@ SandboxResult WorkerPool::evaluate(const search::Config& config,
       r.outcome = EvalOutcome::Crashed;
       r.error = "worker failed to spawn";
       r.worker_died = true;
+      r.worker_slot = static_cast<int>(si);
       return r;
     }
   }
 
   const std::uint64_t request_id =
       stats_.dispatched.fetch_add(1, std::memory_order_relaxed) + 1;
-  SandboxResult r = slot.worker->evaluate(request_id, config, deadline_seconds);
+
+  // Trace the round trip: the rpc span inherits the calling thread's current
+  // span (the driver's "eval"), its id rides the request over the pipe, and
+  // the worker's phase timings come back anchored at our dispatch timestamp
+  // so they nest inside the rpc span on a single consistent timeline.
+  obs::ScopedSpan rpc_span(telemetry_, "worker.rpc");
+  const std::uint64_t dispatch_ns =
+      rpc_span.id() != 0 ? telemetry_->now_ns() : 0;
+  SandboxResult r =
+      slot.worker->evaluate(request_id, config, deadline_seconds, rpc_span.id());
+  r.worker_slot = static_cast<int>(si);
+  if (rpc_span.id() != 0 && !r.worker_spans.empty()) {
+    const std::uint64_t end_ns = telemetry_->now_ns();
+    for (const WorkerSpan& w : r.worker_spans) {
+      // Clamp into [dispatch, reply] so the trace stays monotonically
+      // consistent even if the worker's clock disagrees slightly.
+      std::uint64_t start = dispatch_ns + w.start_ns;
+      if (start > end_ns) start = end_ns;
+      std::uint64_t dur = w.dur_ns;
+      if (start + dur > end_ns) dur = end_ns - start;
+      telemetry_->record_span("worker." + w.name, rpc_span.id(), start, dur,
+                              r.worker_pid);
+    }
+  }
+  rpc_span.end();
 
   switch (r.outcome) {
     case EvalOutcome::Ok: stats_.ok.fetch_add(1, std::memory_order_relaxed); break;

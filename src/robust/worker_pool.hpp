@@ -31,6 +31,10 @@
 #include "robust/quarantine.hpp"
 #include "search/objective.hpp"
 
+namespace tunekit::obs {
+class Telemetry;
+}
+
 namespace tunekit::robust {
 
 enum class IsolationMode {
@@ -54,6 +58,9 @@ struct IsolationOptions {
   /// sensitivity and execution against the same workers). When null, each
   /// consumer creates its own from `sandbox`.
   std::shared_ptr<WorkerPool> pool;
+  /// Telemetry to trace rpc round trips and worker-side timings into
+  /// (null = disabled; the hot path then costs one branch).
+  obs::Telemetry* telemetry = nullptr;
 };
 
 class WorkerPool {
@@ -77,7 +84,8 @@ class WorkerPool {
                                             std::size_t n_workers);
 
   WorkerPool(SandboxOptions sandbox, std::size_t n_workers,
-             std::size_t quarantine_after = 2);
+             std::size_t quarantine_after = 2,
+             obs::Telemetry* telemetry = nullptr);
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
@@ -93,6 +101,7 @@ class WorkerPool {
 
   std::size_t n_workers() const { return slots_.size(); }
   const Stats& stats() const { return stats_; }
+  obs::Telemetry* telemetry() const { return telemetry_; }
   CrashQuarantine& quarantine() { return quarantine_; }
   const CrashQuarantine& quarantine() const { return quarantine_; }
 
@@ -111,9 +120,17 @@ class WorkerPool {
   CrashQuarantine quarantine_;
   std::vector<Slot> slots_;
   Stats stats_;
+  obs::Telemetry* telemetry_ = nullptr;
   mutable std::mutex mutex_;
   std::condition_variable slot_free_;
 };
+
+/// Pool slot that ran the calling thread's most recent WorkerPool::evaluate
+/// (-1 before any). The sandboxed adapters erase the SandboxResult on the way
+/// up (they return plain values / throw EvalFailure), so drivers that want to
+/// attribute an evaluation to a slot — EvalDb duration_ms/worker_slot
+/// provenance — read it here right after the measurement returns.
+int last_worker_slot();
 
 /// Scalar objective whose evaluations run on a WorkerPool. Failures are
 /// re-thrown as EvalFailure with the classified outcome, the contract every

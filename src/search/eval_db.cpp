@@ -27,8 +27,18 @@ void EvalDb::record(Config config, double value, double cost_seconds) {
 
 void EvalDb::record(Config config, double value, double cost_seconds,
                     robust::EvalOutcome outcome, double dispersion) {
+  Evaluation e;
+  e.config = std::move(config);
+  e.value = value;
+  e.cost_seconds = cost_seconds;
+  e.outcome = outcome;
+  e.dispersion = dispersion;
+  record(std::move(e));
+}
+
+void EvalDb::record(Evaluation evaluation) {
   std::lock_guard<std::mutex> lock(mutex_);
-  evals_.push_back({std::move(config), value, cost_seconds, outcome, dispersion});
+  evals_.push_back(std::move(evaluation));
 }
 
 std::size_t EvalDb::size() const {
@@ -101,6 +111,8 @@ void EvalDb::save(const std::string& path) const {
         obj["outcome"] = json::Value(std::string(robust::to_string(e.outcome)));
       }
       if (e.dispersion != 0.0) obj["dispersion"] = json::Value(e.dispersion);
+      if (e.duration_ms > 0.0) obj["duration_ms"] = json::Value(e.duration_ms);
+      if (e.worker_slot >= 0) obj["worker_slot"] = json::Value(e.worker_slot);
       entries.emplace_back(std::move(obj));
     }
   }
@@ -135,8 +147,16 @@ EvalDb EvalDb::load(const std::string& path, const SearchSpace& space) {
     if (entry.contains("outcome")) {
       outcome = robust::outcome_from_string(entry.at("outcome").as_string());
     }
-    db.record(std::move(cfg), value, entry.number_or("cost_seconds", 0.0), outcome,
-              entry.number_or("dispersion", 0.0));
+    Evaluation e;
+    e.config = std::move(cfg);
+    e.value = value;
+    e.cost_seconds = entry.number_or("cost_seconds", 0.0);
+    e.outcome = outcome;
+    e.dispersion = entry.number_or("dispersion", 0.0);
+    // Absent in checkpoints written before the telemetry era; keep defaults.
+    e.duration_ms = entry.number_or("duration_ms", 0.0);
+    e.worker_slot = static_cast<int>(entry.number_or("worker_slot", -1.0));
+    db.record(std::move(e));
   }
   return db;
 }

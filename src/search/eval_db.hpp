@@ -27,6 +27,13 @@ struct Evaluation {
   robust::EvalOutcome outcome = robust::EvalOutcome::Ok;
   /// Robust sigma of the repeated measurement (0 = single measurement).
   double dispersion = 0.0;
+  /// Wall-clock milliseconds the whole evaluation round trip took (dispatch
+  /// to result, including retries/timeouts) — distinct from cost_seconds,
+  /// which is the application-reported runtime. 0 = unknown.
+  double duration_ms = 0.0;
+  /// Worker-pool slot that ran the evaluation (-1 = in-process or unknown),
+  /// so reports can attribute failures to a sick slot.
+  int worker_slot = -1;
 };
 
 class EvalDb {
@@ -44,6 +51,8 @@ class EvalDb {
   void record(Config config, double value, double cost_seconds = 0.0);
   void record(Config config, double value, double cost_seconds,
               robust::EvalOutcome outcome, double dispersion = 0.0);
+  /// Full-provenance append (telemetry-era records).
+  void record(Evaluation evaluation);
 
   std::size_t size() const;
   bool empty() const { return size() == 0; }

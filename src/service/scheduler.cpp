@@ -6,7 +6,9 @@
 #include <thread>
 
 #include "common/log.hpp"
+#include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/telemetry.hpp"
 
 namespace tunekit::service {
 
@@ -15,11 +17,16 @@ search::SearchResult EvalScheduler::run(TuningSession& session,
   std::size_t n_threads = options_.n_threads;
   if (n_threads == 0) n_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
 
+  obs::Telemetry* telemetry = options_.telemetry;
+  const bool traced = telemetry != nullptr && telemetry->enabled();
+
   // Process isolation: evaluations go to sandboxed worker processes. The
   // pool's SIGKILL deadline takes over from the in-process watchdog (two
   // competing timers would double-classify), and thread-safety of the
   // in-process objective no longer matters — workers are separate processes.
-  const auto sandbox = robust::WorkerPool::create(options_.isolation, n_threads);
+  robust::IsolationOptions isolation = options_.isolation;
+  if (isolation.telemetry == nullptr) isolation.telemetry = telemetry;
+  const auto sandbox = robust::WorkerPool::create(isolation, n_threads);
   if (!sandbox && !objective.thread_safe()) n_threads = 1;
   const std::size_t batch_size =
       options_.batch_size > 0 ? options_.batch_size : n_threads;
@@ -38,15 +45,39 @@ search::SearchResult EvalScheduler::run(TuningSession& session,
   while (true) {
     const auto batch = session.ask(batch_size);
     if (batch.empty()) break;  // exhausted (this driver resolves all it asks)
+    // The batch span is opened on this thread; pool threads adopt its id via
+    // CurrentSpanScope so their "eval" spans nest under it (thread-local
+    // ambient spans do not cross thread boundaries by themselves).
+    obs::ScopedSpan batch_span(telemetry, "scheduler.batch");
+    if (traced) {
+      telemetry->metrics().gauge(obs::metric::kQueueDepth)
+          .set(static_cast<double>(batch.size()));
+    }
     pool.parallel_for(batch.size(), [&](std::size_t i) {
       const Candidate& c = batch[i];
+      obs::CurrentSpanScope ambient(batch_span.id());
+      obs::ScopedSpan eval_span(telemetry, "eval");
+      if (traced) telemetry->metrics().counter(obs::metric::kEvalsStarted).inc();
+      Stopwatch round_trip;
       try {
         // The measurer catches everything the objective can throw — including
         // non-std::exception throws — and classifies it; a hung evaluation
         // comes back TimedOut once the watchdog deadline expires.
         const robust::Measurement m = measurer.measure(eval_obj, c.config);
+        eval_span.end();
+        if (traced) {
+          obs::outcome_counter(telemetry->metrics(), robust::to_string(m.outcome)).inc();
+          telemetry->metrics()
+              .histogram(obs::metric::kEvalSeconds, obs::default_time_buckets())
+              .observe(m.seconds);
+        }
+        // Thread-local slot provenance: set by WorkerPool::evaluate whether
+        // the pool is ours or wraps the objective upstream (the executor
+        // sandboxes at app level); -1 when no pool ever ran on this thread.
+        const int slot = robust::last_worker_slot();
         if (m.outcome == robust::EvalOutcome::Ok) {
-          session.tell(c.id, m.value, m.seconds, m.dispersion);
+          session.tell(c.id, m.value, m.seconds, m.dispersion,
+                       round_trip.seconds() * 1e3, slot);
         } else {
           log_warn("scheduler: candidate ", c.id, " failed as ",
                    robust::to_string(m.outcome),
@@ -59,6 +90,9 @@ search::SearchResult EvalScheduler::run(TuningSession& session,
         session.tell_failure(c.id, robust::EvalOutcome::Crashed);
       }
     });
+    if (traced) telemetry->metrics().gauge(obs::metric::kQueueDepth).set(0.0);
+    // A kill between batches loses at most this batch's counter updates.
+    session.flush_metrics();
   }
   return session.to_result();
 }

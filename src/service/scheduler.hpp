@@ -24,6 +24,10 @@
 #include "search/result.hpp"
 #include "service/session.hpp"
 
+namespace tunekit::obs {
+class Telemetry;
+}
+
 namespace tunekit::service {
 
 struct SchedulerOptions {
@@ -40,6 +44,9 @@ struct SchedulerOptions {
   /// worker processes; the in-process watchdog timeout is then disabled in
   /// favor of the pool's SIGKILL deadline. Defaults to Thread (old behavior).
   robust::IsolationOptions isolation;
+  /// Spans ("scheduler.batch" → "eval") and evaluation counters/histograms
+  /// (null = disabled, the default; the disabled path is a single branch).
+  obs::Telemetry* telemetry = nullptr;
 };
 
 class EvalScheduler {

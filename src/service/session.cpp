@@ -36,6 +36,39 @@ const char* to_string(SessionState state) {
   return "?";
 }
 
+json::Value SessionMetrics::to_json() const {
+  json::Object snap;
+  snap["tells"] = json::Value(tells);
+  snap["fails"] = json::Value(fails);
+  snap["drops"] = json::Value(drops);
+  snap["cost_seconds"] = json::Value(cost_seconds);
+  snap["eval_duration_ms"] = json::Value(eval_duration_ms);
+  snap["wall_seconds"] = json::Value(wall_seconds);
+  if (!failure_outcomes.empty()) {
+    json::Object outcomes;
+    for (const auto& [why, n] : failure_outcomes) outcomes[why] = json::Value(n);
+    snap["outcomes"] = json::Value(std::move(outcomes));
+  }
+  return json::Value(std::move(snap));
+}
+
+SessionMetrics SessionMetrics::from_json(const json::Value& snapshot) {
+  SessionMetrics m;
+  if (!snapshot.is_object()) return m;
+  m.tells = static_cast<std::size_t>(snapshot.number_or("tells", 0.0));
+  m.fails = static_cast<std::size_t>(snapshot.number_or("fails", 0.0));
+  m.drops = static_cast<std::size_t>(snapshot.number_or("drops", 0.0));
+  m.cost_seconds = snapshot.number_or("cost_seconds", 0.0);
+  m.eval_duration_ms = snapshot.number_or("eval_duration_ms", 0.0);
+  m.wall_seconds = snapshot.number_or("wall_seconds", 0.0);
+  if (snapshot.contains("outcomes")) {
+    for (const auto& [why, n] : snapshot.at("outcomes").as_object()) {
+      m.failure_outcomes[why] = static_cast<std::size_t>(n.as_number());
+    }
+  }
+  return m;
+}
+
 namespace {
 
 bo::BoOptions surrogate_options(const SessionOptions& o) {
@@ -46,6 +79,7 @@ bo::BoOptions surrogate_options(const SessionOptions& o) {
   b.failure_penalty = o.failure_penalty;
   b.checkpoint_path.clear();
   b.resume = false;
+  if (b.telemetry == nullptr) b.telemetry = o.telemetry;
   return b;
 }
 
@@ -67,6 +101,7 @@ TuningSession::TuningSession(const search::SearchSpace& space, SessionOptions op
       store_(std::move(store)),
       quarantine_(options_.quarantine_after),
       bo_(surrogate_options(options_)) {
+  if (store_) store_->set_telemetry(options_.telemetry);
   if (options_.backend == SessionBackend::Bo && options_.n_init > 0) {
     const std::size_t n = std::min(options_.n_init, options_.max_evals);
     tunekit::Rng rng(options_.seed);
@@ -102,7 +137,10 @@ TuningSession::TuningSession(const search::SearchSpace& space, SessionOptions op
 TuningSession::TuningSession(const search::SearchSpace& space, SessionOptions options,
                              const std::string& journal_path)
     : TuningSession(space, std::move(options), std::unique_ptr<SessionStore>()) {
-  if (!journal_path.empty()) store_ = SessionStore::create(journal_path, make_header());
+  if (!journal_path.empty()) {
+    store_ = SessionStore::create(journal_path, make_header());
+    store_->set_telemetry(options_.telemetry);
+  }
 }
 
 std::unique_ptr<TuningSession> TuningSession::resume(const search::SearchSpace& space,
@@ -115,10 +153,14 @@ std::unique_ptr<TuningSession> TuningSession::resume(const search::SearchSpace& 
   }
   auto session = std::unique_ptr<TuningSession>(new TuningSession(
       space, std::move(options), SessionStore::append(journal_path)));
-  for (const auto& e : replayed.completed) {
-    session->db_.record(e.config, e.value, e.cost_seconds, e.outcome, e.dispersion);
-  }
+  for (const auto& e : replayed.completed) session->db_.record(e);
   for (auto& c : replayed.in_flight) session->reissue_.push_back(std::move(c));
+  // Session metrics continue from the journaled snapshot: the counters are
+  // cumulative across kill + resume, like the evaluations they describe.
+  if (!replayed.metrics.is_null()) {
+    session->metrics_ = SessionMetrics::from_json(replayed.metrics);
+    session->wall_base_seconds_ = session->metrics_.wall_seconds;
+  }
   // Quarantine knowledge survives the crash: a configuration that earned its
   // "quar" record is refused immediately, not re-learned two crashes at a
   // time.
@@ -161,6 +203,7 @@ std::vector<Candidate> TuningSession::ask(std::size_t k) {
       log_warn("session: candidate ", c.id, " is quarantined; dropping");
       if (store_) store_->drop(c.id, options_.failure_penalty,
                                robust::EvalOutcome::Crashed);
+      ++metrics_.drops;
       record_locked(c.config, options_.failure_penalty, 0.0,
                     robust::EvalOutcome::Crashed);
       continue;
@@ -188,6 +231,7 @@ std::vector<Candidate> TuningSession::ask(std::size_t k) {
         store_->ask(c);
         store_->drop(c.id, options_.failure_penalty, robust::EvalOutcome::Crashed);
       }
+      ++metrics_.drops;
       record_locked(c.config, options_.failure_penalty, 0.0,
                     robust::EvalOutcome::Crashed);
       continue;
@@ -200,16 +244,20 @@ std::vector<Candidate> TuningSession::ask(std::size_t k) {
 }
 
 bool TuningSession::tell(std::uint64_t id, double value, double cost_seconds,
-                         double dispersion) {
+                         double dispersion, double duration_ms, int worker_slot) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = pending_.find(id);
   if (it == pending_.end()) return false;
-  if (store_) store_->tell(id, value, cost_seconds, dispersion);
+  if (store_) store_->tell(id, value, cost_seconds, dispersion, duration_ms, worker_slot);
+  ++metrics_.tells;
+  metrics_.cost_seconds += cost_seconds;
+  metrics_.eval_duration_ms += duration_ms;
   // Erase before recording: record_locked may compact the journal, and a
   // compaction snapshot must not list this candidate as still in flight.
   const search::Config config = std::move(it->second.candidate.config);
   pending_.erase(it);
-  record_locked(config, value, cost_seconds, robust::classify_value(value), dispersion);
+  record_locked(config, value, cost_seconds, robust::classify_value(value), dispersion,
+                duration_ms, worker_slot);
   return true;
 }
 
@@ -235,7 +283,27 @@ void TuningSession::observe(search::Config config, double value, double cost_sec
 
 void TuningSession::close() {
   std::lock_guard<std::mutex> lock(mutex_);
+  const bool flush = !closed_;
   closed_ = true;
+  if (flush && store_) store_->metrics(metrics_snapshot_locked());
+}
+
+SessionMetrics TuningSession::metrics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SessionMetrics m = metrics_;
+  m.wall_seconds = wall_base_seconds_ + watch_.seconds();
+  return m;
+}
+
+void TuningSession::flush_metrics() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (store_) store_->metrics(metrics_snapshot_locked());
+}
+
+json::Value TuningSession::metrics_snapshot_locked() const {
+  SessionMetrics m = metrics_;
+  m.wall_seconds = wall_base_seconds_ + watch_.seconds();
+  return m.to_json();
 }
 
 void TuningSession::expire_overdue_locked() {
@@ -258,6 +326,8 @@ void TuningSession::expire_overdue_locked() {
 
 void TuningSession::fail_attempt_locked(Candidate candidate, robust::EvalOutcome why) {
   if (store_) store_->fail(candidate.id, why);
+  ++metrics_.fails;
+  ++metrics_.failure_outcomes[robust::to_string(why)];
   // Crash quarantine: a configuration that keeps killing its evaluator is
   // withdrawn from circulation even if the retry budget would allow another
   // attempt — retries are for transient failures, and a second crash of the
@@ -278,16 +348,31 @@ void TuningSession::fail_attempt_locked(Candidate candidate, robust::EvalOutcome
     reissue_.push_back(std::move(candidate));
   } else {
     if (store_) store_->drop(candidate.id, options_.failure_penalty, why);
+    ++metrics_.drops;
     record_locked(candidate.config, options_.failure_penalty, 0.0, why);
   }
 }
 
 void TuningSession::record_locked(const search::Config& config, double value,
                                   double cost_seconds, robust::EvalOutcome outcome,
-                                  double dispersion) {
-  db_.record(config, value, cost_seconds, outcome, dispersion);
+                                  double dispersion, double duration_ms,
+                                  int worker_slot) {
+  search::Evaluation e;
+  e.config = config;
+  e.value = value;
+  e.cost_seconds = cost_seconds;
+  e.outcome = outcome;
+  e.dispersion = dispersion;
+  e.duration_ms = duration_ms;
+  e.worker_slot = worker_slot;
+  db_.record(std::move(e));
   ++completed_since_compact_;
   maybe_compact_locked();
+  // A session that just consumed its budget journals its final counters, so
+  // a report over the journal alone sees the complete picture.
+  if (store_ && db_.size() == options_.max_evals) {
+    store_->metrics(metrics_snapshot_locked());
+  }
 }
 
 void TuningSession::maybe_compact_locked() {
@@ -300,7 +385,8 @@ void TuningSession::maybe_compact_locked() {
   in_flight.reserve(pending_.size() + reissue_.size());
   for (const auto& [id, p] : pending_) in_flight.push_back(p.candidate);
   for (const auto& c : reissue_) in_flight.push_back(c);
-  store_->compact(make_header(), db_.all(), in_flight, quarantine_.configs());
+  store_->compact(make_header(), db_.all(), in_flight, quarantine_.configs(),
+                  metrics_snapshot_locked());
 }
 
 std::size_t TuningSession::issuable_locked() const {

@@ -38,6 +38,10 @@
 #include "search/space.hpp"
 #include "service/session_store.hpp"
 
+namespace tunekit::obs {
+class Telemetry;
+}
+
 namespace tunekit::service {
 
 enum class SessionBackend { Bo, Random, Grid };
@@ -85,6 +89,30 @@ struct SessionOptions {
   std::size_t compact_every = 64;
 
   std::uint64_t seed = 1;
+
+  /// Telemetry for journal fsync latency and the per-session metrics
+  /// snapshot record (null = disabled, the default).
+  obs::Telemetry* telemetry = nullptr;
+};
+
+/// Session-level counters journaled as the {"e":"metrics"} snapshot record.
+/// They survive compaction (the record is rewritten) and resume (a restored
+/// session keeps accumulating from the replayed values).
+struct SessionMetrics {
+  std::size_t tells = 0;  ///< successful value reports
+  std::size_t fails = 0;  ///< failed attempts (incl. deadline expiries)
+  std::size_t drops = 0;  ///< candidates recorded at failure_penalty
+  /// Failed attempts by EvalOutcome string ("crashed", "timed-out", ...).
+  std::map<std::string, std::size_t> failure_outcomes;
+  /// Sum of application-reported evaluation costs (seconds).
+  double cost_seconds = 0.0;
+  /// Sum of wall-clock evaluation round trips (milliseconds).
+  double eval_duration_ms = 0.0;
+  /// Session wall-clock seconds (cumulative across resumes).
+  double wall_seconds = 0.0;
+
+  json::Value to_json() const;
+  static SessionMetrics from_json(const json::Value& snapshot);
 };
 
 struct SessionStatus {
@@ -130,8 +158,12 @@ class TuningSession {
   /// tells for candidates still outstanding past exhaustion are accepted.
   /// `dispersion` is the robust sigma of a repeated measurement (0 = single
   /// measurement); it is journaled and fed to the evaluation record.
+  /// `duration_ms` (wall-clock round trip) and `worker_slot` (pool slot that
+  /// ran it, -1 unknown) are provenance for reports; both are journaled and
+  /// recorded when provided.
   bool tell(std::uint64_t id, double value, double cost_seconds = 0.0,
-            double dispersion = 0.0);
+            double dispersion = 0.0, double duration_ms = 0.0,
+            int worker_slot = -1);
 
   /// Report that an evaluation failed, with its classified outcome (defaults
   /// to Crashed, the seed-era semantics). Consumes one attempt: the candidate
@@ -145,8 +177,15 @@ class TuningSession {
   void observe(search::Config config, double value, double cost_seconds = 0.0);
 
   /// No further asks; pending candidates are abandoned (still journaled, so
-  /// a resume would re-issue them).
+  /// a resume would re-issue them). Journals a final metrics snapshot.
   void close();
+
+  /// Current session metrics (cumulative across resumes).
+  SessionMetrics metrics() const;
+  /// Journal a metrics snapshot record now (no-op without a store). Drivers
+  /// call this when a batch completes so a kill loses at most one batch of
+  /// counter updates.
+  void flush_metrics();
 
   SessionStatus status() const;
   SessionState state() const;
@@ -167,11 +206,13 @@ class TuningSession {
   };
 
   JournalHeader make_header() const;
+  json::Value metrics_snapshot_locked() const;
   void expire_overdue_locked();
   /// Retry-or-drop a candidate whose attempt failed for reason `why`.
   void fail_attempt_locked(Candidate candidate, robust::EvalOutcome why);
   void record_locked(const search::Config& config, double value, double cost_seconds,
-                     robust::EvalOutcome outcome, double dispersion = 0.0);
+                     robust::EvalOutcome outcome, double dispersion = 0.0,
+                     double duration_ms = 0.0, int worker_slot = -1);
   void maybe_compact_locked();
   std::size_t issuable_locked() const;
   std::vector<search::Config> generate_locked(std::size_t n);
@@ -190,6 +231,10 @@ class TuningSession {
   std::uint64_t next_id_ = 0;
   bool closed_ = false;
   std::size_t completed_since_compact_ = 0;
+  SessionMetrics metrics_;
+  /// Wall seconds accumulated by previous incarnations (restored on resume);
+  /// the live watch_ reading is added on top.
+  double wall_base_seconds_ = 0.0;
   Stopwatch watch_;
   mutable std::mutex mutex_;
 };

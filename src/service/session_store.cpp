@@ -15,6 +15,8 @@
 #endif
 
 #include "common/json.hpp"
+#include "common/stopwatch.hpp"
+#include "obs/telemetry.hpp"
 
 namespace tunekit::service {
 
@@ -120,10 +122,17 @@ void SessionStore::append_line(const std::string& line) {
   // if the fsync actually succeeded; a silently-ignored EIO here would turn
   // into lost evaluations at the next resume. EINTR is the one retryable
   // failure.
+  const bool timing = telemetry_ != nullptr && telemetry_->enabled();
+  Stopwatch fsync_watch;
   int rc;
   do {
     rc = ::fsync(::fileno(file_));
   } while (rc != 0 && errno == EINTR);
+  if (timing) {
+    telemetry_->metrics()
+        .histogram(obs::metric::kJournalFsyncSeconds)
+        .observe(fsync_watch.seconds());
+  }
   if (rc != 0) {
     throw std::runtime_error("SessionStore: fsync failed for '" + path_ +
                              "': " + std::strerror(errno));
@@ -136,13 +145,15 @@ void SessionStore::ask(const Candidate& candidate) {
 }
 
 void SessionStore::tell(std::uint64_t id, double value, double cost_seconds,
-                        double noise) {
+                        double noise, double duration_ms, int worker_slot) {
   json::Object obj;
   obj["e"] = json::Value("tell");
   obj["id"] = json::Value(static_cast<double>(id));
   obj["value"] = json::Value(value);
   obj["cost"] = json::Value(cost_seconds);
   if (noise != 0.0) obj["noise"] = json::Value(noise);
+  if (duration_ms > 0.0) obj["dur_ms"] = json::Value(duration_ms);
+  if (worker_slot >= 0) obj["slot"] = json::Value(worker_slot);
   append_line(json::Value(std::move(obj)).dump());
 }
 
@@ -172,21 +183,28 @@ void SessionStore::quarantine(const search::Config& config) {
   append_line(json::Value(std::move(obj)).dump());
 }
 
+void SessionStore::metrics(const json::Value& snapshot) {
+  json::Object obj;
+  obj["e"] = json::Value("metrics");
+  obj["snap"] = snapshot;
+  append_line(json::Value(std::move(obj)).dump());
+}
+
 void SessionStore::compact(JournalHeader header,
                            const std::vector<search::Evaluation>& completed,
                            const std::vector<Candidate>& in_flight,
-                           const std::vector<search::Config>& quarantined) {
+                           const std::vector<search::Config>& quarantined,
+                           const json::Value& metrics_snapshot) {
   // 1. Completed evaluations become an EvalDb checkpoint (atomic rename
   //    inside EvalDb::save), referenced from the rewritten header.
   const std::string snapshot = path_ + ".snapshot.json";
   search::EvalDb db;
-  for (const auto& e : completed) {
-    db.record(e.config, e.value, e.cost_seconds, e.outcome, e.dispersion);
-  }
+  for (const auto& e : completed) db.record(e);
   db.save(snapshot);
   header.snapshot = snapshot;
 
-  // 2. Rewrite the journal as header + in-flight asks, atomically.
+  // 2. Rewrite the journal as header + in-flight asks (+ quarantine and
+  //    metrics records, so both survive the rewrite), atomically.
   const std::string tmp = path_ + ".tmp";
   {
     std::FILE* old = file_;
@@ -195,6 +213,7 @@ void SessionStore::compact(JournalHeader header,
       append_line(header_value(header).dump());
       for (const auto& c : in_flight) append_line(ask_value(c).dump());
       for (const auto& q : quarantined) quarantine(q);
+      if (!metrics_snapshot.is_null()) metrics(metrics_snapshot);
     } catch (...) {
       std::fclose(file_);
       file_ = old;
@@ -263,6 +282,11 @@ SessionStore::Replay SessionStore::replay(const std::string& path,
       out.quarantined.push_back(parse_config(v, space.size(), path));
       continue;
     }
+    if (e == "metrics") {
+      // Latest snapshot wins; absent "snap" (foreign writer) is tolerated.
+      if (v.contains("snap")) out.metrics = v.at("snap");
+      continue;
+    }
     const auto id = static_cast<std::uint64_t>(v.at("id").as_number());
     max_id_seen = std::max(max_id_seen, id);
     any_id = true;
@@ -278,9 +302,15 @@ SessionStore::Replay SessionStore::replay(const std::string& path,
       const double value = v.at("value").is_null()
                                ? std::numeric_limits<double>::quiet_NaN()
                                : v.at("value").as_number();
-      out.completed.push_back({it->second.config, value, v.number_or("cost", 0.0),
-                               robust::classify_value(value),
-                               v.number_or("noise", 0.0)});
+      search::Evaluation done;
+      done.config = it->second.config;
+      done.value = value;
+      done.cost_seconds = v.number_or("cost", 0.0);
+      done.outcome = robust::classify_value(value);
+      done.dispersion = v.number_or("noise", 0.0);
+      done.duration_ms = v.number_or("dur_ms", 0.0);
+      done.worker_slot = static_cast<int>(v.number_or("slot", -1.0));
+      out.completed.push_back(std::move(done));
       open.erase(it);
     } else if (e == "fail") {
       auto it = open.find(id);

@@ -12,18 +12,23 @@
 //   {"e":"open","format":...,"space":N,"max_evals":M,"seed":S,
 //    "backend":"bo","next_id":K[,"snapshot":PATH]}      header, first line
 //   {"e":"ask","id":I,"attempt":A,"config":[...]}       candidate issued
-//   {"e":"tell","id":I,"value":V,"cost":C[,"noise":D]}  evaluation reported
+//   {"e":"tell","id":I,"value":V,"cost":C[,"noise":D]
+//    [,"dur_ms":T][,"slot":S]}                          evaluation reported
 //   {"e":"fail","id":I[,"why":W]}                       attempt failed; will retry
 //   {"e":"drop","id":I,"value":V[,"why":W]}             retries exhausted; V recorded
 //   {"e":"quar","config":[...]}                         config quarantined: crashed
 //                                                       its way past the threshold;
 //                                                       never re-issued, even after
 //                                                       resume
+//   {"e":"metrics","snap":{...}}                        session metrics snapshot
+//                                                       (latest wins; rewritten by
+//                                                       compaction so it survives)
 //
 // "why" is an EvalOutcome string ("crashed", "timed-out", "invalid-config",
 // "non-finite"; absent = crashed, the seed-era assumption), "noise" the robust
-// dispersion of a repeated measurement. Both are optional, so seed-era
-// journals replay unchanged.
+// dispersion of a repeated measurement, "dur_ms" the wall-clock round-trip
+// milliseconds of the evaluation, and "slot" the worker-pool slot that ran it.
+// All are optional, so seed-era journals replay unchanged.
 //
 // Compaction folds completed evaluations into an EvalDb-format snapshot file
 // (written via atomic rename) and rewrites the journal (also via atomic
@@ -35,9 +40,14 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "robust/outcome.hpp"
 #include "search/eval_db.hpp"
 #include "search/space.hpp"
+
+namespace tunekit::obs {
+class Telemetry;
+}
 
 namespace tunekit::service {
 
@@ -77,6 +87,10 @@ class SessionStore {
     /// Configurations quarantined for repeated crashes; a resumed session
     /// must never issue them again.
     std::vector<search::Config> quarantined;
+    /// Latest metrics snapshot in the journal (null Value when none): the
+    /// session-level counters a resumed session continues from, and what
+    /// `tunekit_cli report` aggregates without replaying the evaluations.
+    json::Value metrics;
     std::uint64_t next_id = 0;
   };
 
@@ -101,8 +115,13 @@ class SessionStore {
 
   const std::string& path() const { return path_; }
 
+  /// Observe journal fsync latency into `telemetry` (null disables; safe to
+  /// leave unset — the default costs nothing).
+  void set_telemetry(obs::Telemetry* telemetry) { telemetry_ = telemetry; }
+
   void ask(const Candidate& candidate);
-  void tell(std::uint64_t id, double value, double cost_seconds, double noise = 0.0);
+  void tell(std::uint64_t id, double value, double cost_seconds, double noise = 0.0,
+            double duration_ms = 0.0, int worker_slot = -1);
   void fail(std::uint64_t id,
             robust::EvalOutcome why = robust::EvalOutcome::Crashed);
   void drop(std::uint64_t id, double value,
@@ -110,13 +129,17 @@ class SessionStore {
   /// Record that `config` crashed past the quarantine threshold and must
   /// never be issued again (survives compaction and resume).
   void quarantine(const search::Config& config);
+  /// Journal a metrics snapshot (any JSON object; latest record wins on
+  /// replay). Pass the same snapshot to compact() so it survives rewrites.
+  void metrics(const json::Value& snapshot);
 
   /// Fold `completed` into an EvalDb snapshot (atomic rename) and rewrite
-  /// the journal to header + in-flight asks + quarantine records (atomic
-  /// rename).
+  /// the journal to header + in-flight asks + quarantine records + the
+  /// latest metrics snapshot (atomic rename).
   void compact(JournalHeader header, const std::vector<search::Evaluation>& completed,
                const std::vector<Candidate>& in_flight,
-               const std::vector<search::Config>& quarantined = {});
+               const std::vector<search::Config>& quarantined = {},
+               const json::Value& metrics_snapshot = json::Value());
 
  private:
   SessionStore(std::FILE* file, std::string path);
@@ -126,6 +149,7 @@ class SessionStore {
 
   std::FILE* file_ = nullptr;
   std::string path_;
+  obs::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace tunekit::service

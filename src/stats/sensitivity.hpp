@@ -30,6 +30,10 @@
 #include "search/objective.hpp"
 #include "search/space.hpp"
 
+namespace tunekit::obs {
+class Telemetry;
+}
+
 namespace tunekit::stats {
 
 enum class VariationMode { MultiplicativeLadder, ExpertValues };
@@ -59,6 +63,10 @@ struct SensitivityOptions {
   /// process (the in-process watchdog deadline then becomes the worker's
   /// SIGKILL deadline). Defaults to Thread — the in-process path.
   robust::IsolationOptions isolation;
+
+  /// Spans ("eval" per baseline/variation measurement) and evaluation
+  /// counters (null = disabled, the default).
+  obs::Telemetry* telemetry = nullptr;
 };
 
 struct SensitivityEntry {

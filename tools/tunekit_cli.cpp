@@ -5,6 +5,8 @@
 //   tunekit_cli plan    --app <name> [options]        the suggested search set
 //   tunekit_cli tune    --app <name> [options]        full methodology run
 //   tunekit_cli session --app <name> [options]        NDJSON ask/tell server
+//   tunekit_cli report  --session <dir>               time/failure breakdown
+//                                                     from session journals
 //
 // Built-in apps: synth:case1..synth:case5, tddft:cs1, tddft:cs2, minislater.
 // Common options:
@@ -18,14 +20,23 @@
 //   --checkpoint-dir <path>  per-search crash-recovery checkpoints
 //   --dot                    also print the pruned influence DAG as Graphviz
 //
+// Observability:
+//   --trace-out <file>       write a Chrome trace_event JSON of the run
+//                            (open in chrome://tracing or ui.perfetto.dev)
+//   --metrics-out <file>     write Prometheus text exposition at exit
+//   --log-file <file>        tee log lines (with wall-clock timestamp and
+//                            thread id) to a file
+//
 // Session options (see docs/SERVICE.md for the NDJSON protocol):
 //   --max-evals <n>          session evaluation budget (default 100)
 //   --backend <bo|random|grid>  suggestion backend (default bo)
 //   --journal <path>         durable ask/tell journal (JSON lines)
 //   --resume                 resume the session from --journal
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <map>
@@ -33,14 +44,18 @@
 #include <string>
 #include <vector>
 
+#include "common/log.hpp"
 #include "common/table.hpp"
 #include "core/app_registry.hpp"
 #include "core/methodology.hpp"
+#include "obs/export.hpp"
+#include "obs/telemetry.hpp"
 #include "robust/measure.hpp"
 #include "robust/worker_pool.hpp"
 #include "core/report.hpp"
 #include "service/protocol.hpp"
 #include "service/session.hpp"
+#include "service/session_store.hpp"
 
 using namespace tunekit;
 
@@ -52,6 +67,9 @@ int usage(const char* argv0) {
       "apps:  synth:case1..case5 | tddft:cs1 | tddft:cs2 | minislater\n"
       "options: --cutoff F --max-dims N --variations N --importance-samples N\n"
       "         --evals-per-param N --min-evals N --seed N --checkpoint-dir P --dot\n"
+      "         --session-scheduler (journaled ask/tell searches; with\n"
+      "           --checkpoint-dir each search writes a crash-proof journal\n"
+      "           that `report` aggregates)\n"
       "robust:  --repeats N (measurements per config, MAD-trimmed)\n"
       "         --eval-timeout S (watchdog deadline per measurement)\n"
       "         --eval-retries N (re-attempts after a transient crash)\n"
@@ -64,7 +82,13 @@ int usage(const char* argv0) {
       "         --mem-limit-mb N (RLIMIT_AS cap per worker; requires\n"
       "           --isolate process)\n"
       "session: speaks NDJSON ask/tell on stdin/stdout (docs/SERVICE.md)\n"
-      "         --max-evals N --backend bo|random|grid --journal P --resume\n",
+      "         --max-evals N --backend bo|random|grid --journal P --resume\n"
+      "observability (docs/OBSERVABILITY.md):\n"
+      "         --trace-out P (Chrome trace_event JSON of the run)\n"
+      "         --metrics-out P (Prometheus text exposition at exit)\n"
+      "         --log-file P (tee timestamped log lines to a file)\n"
+      "report:  per-phase/per-search time and failure breakdown from the\n"
+      "         journals in a checkpoint dir: report --session DIR\n",
       argv0);
   return 2;
 }
@@ -81,6 +105,10 @@ struct CliArgs {
   std::uint64_t seed = 42;
   std::string checkpoint_dir;
   bool dot = false;
+  /// Route searches through TuningSession + EvalScheduler (journaled
+  /// ask/tell); with --checkpoint-dir each search writes
+  /// search_<id>.journal.jsonl, which `report` aggregates.
+  bool session_scheduler = false;
   // hardened evaluation (applies to sensitivity and search evaluations)
   std::size_t repeats = 1;
   double eval_timeout = std::numeric_limits<double>::infinity();
@@ -95,6 +123,11 @@ struct CliArgs {
   std::string isolate;  // "" = default (thread), else "thread"/"process"
   std::string worker_bin;
   double mem_limit_mb = -1.0;  // negative = unset
+  // observability
+  std::string trace_out;
+  std::string metrics_out;
+  std::string log_file;
+  std::string session_dir;  // report command
 };
 
 bool parse_args(int argc, char** argv, CliArgs& args) {
@@ -129,6 +162,7 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       else if (flag == "--seed") args.seed = std::stoull(next());
       else if (flag == "--checkpoint-dir") args.checkpoint_dir = next();
       else if (flag == "--dot") args.dot = true;
+      else if (flag == "--session-scheduler") args.session_scheduler = true;
       else if (flag == "--repeats") args.repeats = std::stoul(next());
       else if (flag == "--eval-timeout") args.eval_timeout = std::stod(next());
       else if (flag == "--eval-retries") args.eval_retries = std::stoul(next());
@@ -140,6 +174,10 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       else if (flag == "--isolate") args.isolate = next();
       else if (flag == "--worker-bin") args.worker_bin = next();
       else if (flag == "--mem-limit-mb") args.mem_limit_mb = std::stod(next());
+      else if (flag == "--trace-out") args.trace_out = next();
+      else if (flag == "--metrics-out") args.metrics_out = next();
+      else if (flag == "--log-file") args.log_file = next();
+      else if (flag == "--session") args.session_dir = next();
       else {
         std::fprintf(stderr, "unknown option: %s\n", flag.c_str());
         return false;
@@ -186,7 +224,8 @@ robust::IsolationOptions make_isolation(const CliArgs& args, const char* argv0) 
 }
 
 core::MethodologyOptions make_options(const CliArgs& args, const core::AppBundle& bundle,
-                                      const robust::IsolationOptions& iso) {
+                                      const robust::IsolationOptions& iso,
+                                      obs::Telemetry* telemetry) {
   core::MethodologyOptions opt;
   opt.cutoff = args.cutoff >= 0.0 ? args.cutoff : bundle.default_cutoff;
   opt.max_dims = args.max_dims;
@@ -197,6 +236,7 @@ core::MethodologyOptions make_options(const CliArgs& args, const core::AppBundle
   opt.executor.min_evals = args.min_evals;
   opt.executor.bo.seed = args.seed;
   opt.executor.checkpoint_dir = args.checkpoint_dir;
+  opt.executor.session_scheduler = args.session_scheduler;
   opt.seed = args.seed;
   // One hardened-measurement policy for the whole pipeline: the sensitivity
   // analysis and every search evaluation measure under the same rules.
@@ -210,6 +250,7 @@ core::MethodologyOptions make_options(const CliArgs& args, const core::AppBundle
   opt.executor.measure = measure;
   opt.sensitivity.isolation = iso;
   opt.executor.isolation = iso;
+  opt.telemetry = telemetry;
   return opt;
 }
 
@@ -275,11 +316,12 @@ int cmd_tune(core::TunableApp& app, const core::MethodologyOptions& opt) {
 // Serve the app's search space as an NDJSON ask/tell session: the client (an
 // external, non-linked application) evaluates the suggested configurations
 // itself and reports results back on stdin.
-int cmd_session(core::TunableApp& app, const CliArgs& args) {
+int cmd_session(core::TunableApp& app, const CliArgs& args, obs::Telemetry* telemetry) {
   service::SessionOptions opt;
   opt.max_evals = args.max_evals;
   opt.backend = service::backend_from_string(args.backend);
   opt.seed = args.seed;
+  opt.telemetry = telemetry;
 
   std::unique_ptr<service::TuningSession> session;
   if (args.resume) {
@@ -296,6 +338,173 @@ int cmd_session(core::TunableApp& app, const CliArgs& args) {
   return 0;
 }
 
+// --- report: offline breakdown from the journals in a checkpoint dir. ---
+
+/// Per-journal aggregate, built by a tolerant line-by-line parse. We do not
+/// go through SessionStore::replay here: journals in one checkpoint dir
+/// belong to different subspace searches (different config arities) and the
+/// report needs no configs — only counts, times, and the metrics snapshots.
+struct JournalSummary {
+  std::string name;
+  std::string backend;
+  std::size_t tells = 0;
+  std::size_t fails = 0;
+  std::size_t drops = 0;
+  double cost_seconds = 0.0;
+  double duration_ms = 0.0;
+  std::map<std::string, std::size_t> failure_outcomes;  // from "fail" records
+  std::map<int, std::size_t> slot_tells;                // tells per worker slot
+  json::Value metrics;  // latest {"e":"metrics"} snapshot (null = none)
+};
+
+JournalSummary summarize_journal(const std::filesystem::path& path) {
+  JournalSummary s;
+  s.name = path.stem().stem().string();  // strip .journal.jsonl
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    json::Value rec;
+    try {
+      rec = json::parse(line);
+    } catch (const std::exception&) {
+      continue;  // torn tail line from a crash — exactly what replay skips
+    }
+    if (!rec.is_object() || !rec.contains("e")) continue;
+    const std::string& e = rec.at("e").as_string();
+    if (e == "open") {
+      if (rec.contains("backend")) s.backend = rec.at("backend").as_string();
+    } else if (e == "tell") {
+      ++s.tells;
+      s.cost_seconds += rec.number_or("cost", 0.0);
+      s.duration_ms += rec.number_or("dur_ms", 0.0);
+      const int slot = static_cast<int>(rec.number_or("slot", -1.0));
+      if (slot >= 0) ++s.slot_tells[slot];
+    } else if (e == "fail") {
+      ++s.fails;
+      const std::string why =
+          rec.contains("why") ? rec.at("why").as_string() : "crashed";
+      ++s.failure_outcomes[why];
+    } else if (e == "drop") {
+      ++s.drops;
+    } else if (e == "metrics") {
+      if (rec.contains("snap")) s.metrics = rec.at("snap");
+    }
+  }
+  return s;
+}
+
+int cmd_report(const std::string& dir) {
+  if (!std::filesystem::is_directory(dir)) {
+    std::fprintf(stderr, "error: --session '%s' is not a directory\n", dir.c_str());
+    return 1;
+  }
+  std::vector<JournalSummary> sessions;
+  json::Value telemetry_snap;  // from the telemetry journal, if present
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 14 && name.substr(name.size() - 14) == ".journal.jsonl") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& path : files) {
+    JournalSummary s = summarize_journal(path);
+    if (s.backend == "telemetry") {
+      telemetry_snap = s.metrics;
+    } else {
+      sessions.push_back(std::move(s));
+    }
+  }
+  if (sessions.empty() && telemetry_snap.is_null()) {
+    std::fprintf(stderr, "error: no *.journal.jsonl files under '%s'\n", dir.c_str());
+    return 1;
+  }
+
+  // Per-search breakdown. "fails" are attempts (a candidate retried twice
+  // counts two fails); "drops" are candidates that consumed budget at the
+  // failure penalty.
+  if (!sessions.empty()) {
+    Table table({"Search", "Backend", "Tells", "Fails", "Drops", "Cost s",
+                 "Eval ms (mean)", "Wall s"});
+    JournalSummary total;
+    double total_wall = 0.0;
+    for (const auto& s : sessions) {
+      const double wall =
+          s.metrics.is_null() ? 0.0 : s.metrics.number_or("wall_seconds", 0.0);
+      table.add_row({s.name, s.backend, std::to_string(s.tells),
+                     std::to_string(s.fails), std::to_string(s.drops),
+                     Table::fmt(s.cost_seconds, 3),
+                     s.tells > 0
+                         ? Table::fmt(s.duration_ms / static_cast<double>(s.tells), 3)
+                         : "-",
+                     wall > 0.0 ? Table::fmt(wall, 3) : "-"});
+      total.tells += s.tells;
+      total.fails += s.fails;
+      total.drops += s.drops;
+      total.cost_seconds += s.cost_seconds;
+      total.duration_ms += s.duration_ms;
+      total_wall += wall;
+      for (const auto& [why, n] : s.failure_outcomes) total.failure_outcomes[why] += n;
+      for (const auto& [slot, n] : s.slot_tells) total.slot_tells[slot] += n;
+    }
+    if (sessions.size() > 1) {
+      table.add_row({"total", "", std::to_string(total.tells),
+                     std::to_string(total.fails), std::to_string(total.drops),
+                     Table::fmt(total.cost_seconds, 3),
+                     total.tells > 0
+                         ? Table::fmt(total.duration_ms /
+                                          static_cast<double>(total.tells), 3)
+                         : "-",
+                     total_wall > 0.0 ? Table::fmt(total_wall, 3) : "-"});
+    }
+    std::cout << "Searches (" << dir << "):\n" << table.str();
+
+    if (!total.failure_outcomes.empty()) {
+      std::cout << "\nFailed attempts by outcome:\n";
+      for (const auto& [why, n] : total.failure_outcomes) {
+        std::cout << "  " << why << ": " << n << "\n";
+      }
+    }
+    if (!total.slot_tells.empty()) {
+      std::cout << "\nEvaluations by worker slot:\n";
+      for (const auto& [slot, n] : total.slot_tells) {
+        std::cout << "  slot " << slot << ": " << n << "\n";
+      }
+    }
+  }
+
+  // Phase breakdown: the tunekit_phase_<name>_seconds gauges journaled by a
+  // traced `tune` run (telemetry.journal.jsonl). These are measured by
+  // stopwatches co-located with the phase spans, so the totals here match
+  // the trace within a millisecond.
+  if (telemetry_snap.is_object() && telemetry_snap.contains("gauges")) {
+    const auto& gauges = telemetry_snap.at("gauges").as_object();
+    Table table({"Phase", "Time ms"});
+    const std::string prefix = "tunekit_phase_";
+    const std::string suffix = "_seconds";
+    for (const auto& [name, value] : gauges) {
+      if (name.size() <= prefix.size() + suffix.size()) continue;
+      if (name.compare(0, prefix.size(), prefix) != 0) continue;
+      if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) continue;
+      const std::string phase =
+          name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+      table.add_row({phase, Table::fmt(value.as_number() * 1e3, 3)});
+    }
+    std::cout << "\nPhases:\n" << table.str();
+    if (telemetry_snap.contains("counters")) {
+      const auto& counters = telemetry_snap.at("counters").as_object();
+      std::cout << "\nCounters:\n";
+      for (const auto& [name, value] : counters) {
+        std::cout << "  " << name << ": "
+                  << static_cast<std::uint64_t>(value.as_number()) << "\n";
+      }
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -305,24 +514,102 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (!parse_args(argc, argv, args)) return usage(argv[0]);
+
+  // Offline report: reads journals only, no app (and no telemetry) needed.
+  if (args.command == "report") {
+    if (args.session_dir.empty()) {
+      std::fprintf(stderr, "error: report requires --session <dir>\n");
+      return 2;
+    }
+    try {
+      return cmd_report(args.session_dir);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+
   if (args.app.empty()) {
     std::fprintf(stderr, "error: --app is required\n");
     return usage(argv[0]);
   }
 
+  // --log-file tees every log line to a file; both streams then carry the
+  // decorated format (wall-clock timestamp + thread id) so the file can be
+  // correlated with external events. Without the flag the stderr format is
+  // the historical "[tunekit LEVEL] msg", unchanged.
+  std::FILE* log_fp = nullptr;
+  if (!args.log_file.empty()) {
+    log_fp = std::fopen(args.log_file.c_str(), "a");
+    if (log_fp == nullptr) {
+      std::fprintf(stderr, "error: cannot open --log-file '%s'\n",
+                   args.log_file.c_str());
+      return 1;
+    }
+    set_log_decorations(true);
+    set_log_sink([log_fp](LogLevel level, const std::string& msg) {
+      const std::string line = format_log_line(level, msg);
+      std::fprintf(stderr, "%s\n", line.c_str());
+      std::fprintf(log_fp, "%s\n", line.c_str());
+      std::fflush(log_fp);
+    });
+  }
+
+  // Telemetry is enabled only when an exporter asked for it; every layer
+  // below receives either this instance or a null pointer (zero overhead).
+  obs::Telemetry telemetry;
+  const bool want_telemetry = !args.trace_out.empty() || !args.metrics_out.empty();
+  if (want_telemetry) telemetry.enable();
+  obs::Telemetry* tel = want_telemetry ? &telemetry : nullptr;
+
+  int rc = 1;
   try {
     core::AppBundle bundle = core::make_builtin_app(args.app, args.seed);
     const auto iso = make_isolation(args, argv[0]);
-    const auto opt = make_options(args, bundle, iso);
-    if (args.command == "info") return cmd_info(*bundle.app);
-    if (args.command == "analyze") return cmd_analyze(*bundle.app, opt, args.dot);
-    if (args.command == "plan") return cmd_plan(*bundle.app, opt);
-    if (args.command == "tune") return cmd_tune(*bundle.app, opt);
-    if (args.command == "session") return cmd_session(*bundle.app, args);
-    std::fprintf(stderr, "unknown command '%s'\n", args.command.c_str());
-    return usage(argv[0]);
+    const auto opt = make_options(args, bundle, iso, tel);
+    if (args.command == "info") rc = cmd_info(*bundle.app);
+    else if (args.command == "analyze") rc = cmd_analyze(*bundle.app, opt, args.dot);
+    else if (args.command == "plan") rc = cmd_plan(*bundle.app, opt);
+    else if (args.command == "tune") rc = cmd_tune(*bundle.app, opt);
+    else if (args.command == "session") rc = cmd_session(*bundle.app, args, tel);
+    else {
+      std::fprintf(stderr, "unknown command '%s'\n", args.command.c_str());
+      return usage(argv[0]);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
+
+  if (want_telemetry) {
+    try {
+      if (!args.trace_out.empty()) {
+        obs::write_chrome_trace(telemetry, args.trace_out);
+        log_info("cli: trace written to ", args.trace_out);
+      }
+      if (!args.metrics_out.empty()) {
+        obs::write_prometheus_text(telemetry.metrics(), args.metrics_out);
+        log_info("cli: metrics written to ", args.metrics_out);
+      }
+      // A traced tune with a checkpoint dir also journals the full metrics
+      // snapshot (phase gauges included) next to the per-search journals, so
+      // `report --session <dir>` reproduces the breakdown offline.
+      if (!args.checkpoint_dir.empty() && args.command == "tune") {
+        std::filesystem::create_directories(args.checkpoint_dir);
+        service::JournalHeader header;
+        header.backend = "telemetry";
+        auto store = service::SessionStore::create(
+            args.checkpoint_dir + "/telemetry.journal.jsonl", header);
+        store->metrics(obs::metrics_to_json(telemetry.metrics()));
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: telemetry export failed: %s\n", e.what());
+      if (rc == 0) rc = 1;
+    }
+  }
+  if (log_fp != nullptr) {
+    set_log_sink(nullptr);  // before the FILE* goes away
+    std::fclose(log_fp);
+  }
+  return rc;
 }

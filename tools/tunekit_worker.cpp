@@ -122,9 +122,19 @@ double chaos_draw(const std::vector<double>& config, std::uint64_t chaos_seed) {
 tunekit::json::Value handle_eval(tunekit::core::TunableApp& app,
                                  const WorkerArgs& args,
                                  const tunekit::json::Value& request) {
+  // Trace propagation: a "span" id in the request asks for phase timings
+  // (setup / objective / teardown) relative to request receipt. Old
+  // supervisors never send it, and ignore the reply fields if they do.
+  const bool traced = request.contains("span");
+  const auto received = std::chrono::steady_clock::now();
+  auto rel_ns = [&](std::chrono::steady_clock::time_point t) -> std::int64_t {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(t - received).count();
+  };
+
   tunekit::json::Object reply;
   reply["e"] = "result";
   reply["id"] = request.at("id").as_int();
+  if (traced) reply["span"] = request.at("span").as_number();
 
   std::vector<double> config;
   for (const auto& v : request.at("config").as_array()) {
@@ -167,8 +177,8 @@ tunekit::json::Value handle_eval(tunekit::core::TunableApp& app,
     outcome = EvalOutcome::Crashed;
     error = "unknown exception";
   }
-  const double cost =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double cost = std::chrono::duration<double>(t1 - t0).count();
 
   reply["outcome"] = tunekit::robust::to_string(outcome);
   reply["cost"] = cost;
@@ -180,6 +190,23 @@ tunekit::json::Value handle_eval(tunekit::core::TunableApp& app,
     reply["regions"] = tunekit::json::Value(std::move(regions));
   }
   if (!error.empty()) reply["error"] = error;
+
+  if (traced) {
+    auto make_span = [](const char* name, std::int64_t start_ns,
+                        std::int64_t dur_ns) {
+      tunekit::json::Object s;
+      s["name"] = name;
+      s["start_ns"] = static_cast<double>(start_ns < 0 ? 0 : start_ns);
+      s["dur_ns"] = static_cast<double>(dur_ns < 0 ? 0 : dur_ns);
+      return tunekit::json::Value(std::move(s));
+    };
+    const auto t2 = std::chrono::steady_clock::now();  // reply built
+    tunekit::json::Array spans;
+    spans.push_back(make_span("setup", 0, rel_ns(t0)));
+    spans.push_back(make_span("objective", rel_ns(t0), rel_ns(t1) - rel_ns(t0)));
+    spans.push_back(make_span("teardown", rel_ns(t1), rel_ns(t2) - rel_ns(t1)));
+    reply["spans"] = tunekit::json::Value(std::move(spans));
+  }
   return tunekit::json::Value(std::move(reply));
 }
 
