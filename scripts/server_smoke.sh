@@ -1,0 +1,103 @@
+#!/usr/bin/env sh
+# End-to-end smoke test for the remote tuning server.
+#
+# Exercises the full deployment story with real processes and real sockets:
+#   1. `tunekit_cli serve` on an ephemeral port with a journal directory
+#   2. a complete remote tune driven through the client commands
+#   3. /metrics and /healthz scraped over plain HTTP (curl)
+#   4. malformed traffic answered with 4xx, server stays up
+#   5. SIGTERM -> graceful drain, journals flushed
+#   6. a fresh server on the same journal dir resumes the session by id
+#
+# Usage: scripts/server_smoke.sh <path-to-tunekit_cli>
+# Exits nonzero (with a FAIL line) on the first broken invariant.
+set -eu
+
+CLI=${1:?usage: server_smoke.sh <path-to-tunekit_cli>}
+WORK=$(mktemp -d)
+SERVER_PID=""
+
+fail() {
+    echo "FAIL: $*" >&2
+    [ -f "$WORK/serve.log" ] && sed 's/^/  serve: /' "$WORK/serve.log" >&2
+    exit 1
+}
+
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+start_server() {
+    "$CLI" serve --port 0 --journal-dir "$WORK/journals" \
+        --threads 2 --request-timeout 10 >"$WORK/serve.log" 2>&1 &
+    SERVER_PID=$!
+    # The serve command prints its bound address once the listener is up.
+    for _ in $(seq 1 50); do
+        ADDR=$(sed -n 's#.*listening on http://##p' "$WORK/serve.log" | head -n1)
+        [ -n "$ADDR" ] && break
+        kill -0 "$SERVER_PID" 2>/dev/null || fail "server died on startup"
+        sleep 0.1
+    done
+    [ -n "$ADDR" ] || fail "server never printed its address"
+    PORT=${ADDR##*:}
+    echo "server up on port $PORT (pid $SERVER_PID)"
+}
+
+stop_server() {
+    kill -TERM "$SERVER_PID"
+    for _ in $(seq 1 100); do
+        kill -0 "$SERVER_PID" 2>/dev/null || break
+        sleep 0.1
+    done
+    kill -0 "$SERVER_PID" 2>/dev/null && fail "server ignored SIGTERM"
+    SERVER_PID=""
+}
+
+# --- 1. serve ---------------------------------------------------------------
+start_server
+
+# --- 2. full remote tune through the client commands ------------------------
+"$CLI" remote-create --server "$ADDR" --app synth:case1 \
+    --session-id smoke --max-evals 8 --backend random --seed 7 \
+    || fail "remote-create"
+"$CLI" remote-drive --server "$ADDR" --app synth:case1 --session-id smoke \
+    >"$WORK/drive.txt" || fail "remote-drive"
+grep -q 'exhausted' "$WORK/drive.txt" || fail "drive did not exhaust the budget"
+
+"$CLI" remote-report --server "$ADDR" --session-id smoke >"$WORK/report.txt" \
+    || fail "remote-report"
+grep -q '"completed": 8' "$WORK/report.txt" || fail "report lost evaluations"
+
+# --- 3. observability endpoints over plain HTTP -----------------------------
+curl -sf "http://$ADDR/healthz" >/dev/null || fail "healthz"
+curl -sf "http://$ADDR/metrics" >"$WORK/metrics.prom" || fail "metrics scrape"
+grep -q 'tunekit_http_requests_total' "$WORK/metrics.prom" \
+    || fail "metrics missing http counters"
+grep -q 'tunekit_sessions_created_total' "$WORK/metrics.prom" \
+    || fail "metrics missing session counters"
+
+# --- 4. malformed traffic is rejected, server survives ----------------------
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+    -d '{broken json' "http://$ADDR/v1/sessions")
+[ "$CODE" = 400 ] || fail "malformed JSON answered $CODE, want 400"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/no/such/route")
+[ "$CODE" = 404 ] || fail "unknown route answered $CODE, want 404"
+curl -sf "http://$ADDR/healthz" >/dev/null || fail "server down after bad traffic"
+
+# --- 5. SIGTERM drains and flushes journals ---------------------------------
+stop_server
+grep -q 'drained, journals flushed' "$WORK/serve.log" || fail "no drain message"
+[ -f "$WORK/journals/smoke.journal.jsonl" ] || fail "journal missing after drain"
+[ -f "$WORK/journals/smoke.spec.json" ] || fail "spec sidecar missing after drain"
+
+# --- 6. a new server resumes the session from its journal -------------------
+start_server
+"$CLI" remote-report --server "$ADDR" --session-id smoke >"$WORK/resumed.txt" \
+    || fail "resume-by-id after restart"
+grep -q '"completed": 8' "$WORK/resumed.txt" || fail "restart lost journaled evals"
+grep -q '"state": "exhausted"' "$WORK/resumed.txt" || fail "restart lost state"
+stop_server
+
+echo "PASS: server smoke (tune, metrics, chaos, drain, resume)"

@@ -1,8 +1,10 @@
 #include "common/json.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -175,7 +177,7 @@ class Parser {
   explicit Parser(const std::string& text) : text_(text) {}
 
   Value parse_document() {
-    Value v = parse_value();
+    Value v = parse_value(0);
     skip_ws();
     if (pos_ != text_.size()) fail("trailing characters after document");
     return v;
@@ -219,12 +221,12 @@ class Parser {
     return false;
   }
 
-  Value parse_value() {
+  Value parse_value(std::size_t depth) {
     skip_ws();
     char c = peek();
     switch (c) {
-      case '{': return parse_object();
-      case '[': return parse_array();
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
       case '"': return Value(parse_string());
       case 't':
         if (consume_literal("true")) return Value(true);
@@ -287,24 +289,51 @@ class Parser {
     }
   }
 
+  bool digit_at(std::size_t p) const {
+    return p < text_.size() && std::isdigit(static_cast<unsigned char>(text_[p]));
+  }
+
+  // Strict RFC 8259 number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+  // The previous scanner swallowed any run of number-ish characters and let
+  // std::stod accept a prefix, so "1.2.3" or "1e+" parsed silently; network
+  // input must be rejected, not reinterpreted.
   Value parse_number() {
     const std::size_t start = pos_;
     if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
-            text_[pos_] == '-')) {
+    if (!digit_at(pos_)) fail("expected a value");
+    if (text_[pos_] == '0') {
       ++pos_;
+      if (digit_at(pos_)) fail("bad number: leading zero");
+    } else {
+      while (digit_at(pos_)) ++pos_;
     }
-    if (pos_ == start) fail("expected a value");
-    try {
-      return Value(std::stod(text_.substr(start, pos_ - start)));
-    } catch (const std::exception&) {
-      fail("bad number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digit_at(pos_)) fail("bad number: missing fraction digits");
+      while (digit_at(pos_)) ++pos_;
     }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (!digit_at(pos_)) fail("bad number: missing exponent digits");
+      while (digit_at(pos_)) ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    // strtod instead of stod: overflow must be a clean error, but underflow
+    // (subnormals our own dump emits, or "1e-999") must still parse.
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("bad number");
+    if (errno == ERANGE && (d == HUGE_VAL || d == -HUGE_VAL)) {
+      fail("number out of range");
+    }
+    return Value(d);
   }
 
-  Value parse_array() {
+  Value parse_array(std::size_t depth) {
+    // `depth` counts enclosing containers, so this one is number depth + 1.
+    if (depth + 1 >= kMaxParseDepth) fail("nesting too deep");
     expect('[');
     Array arr;
     skip_ws();
@@ -313,7 +342,7 @@ class Parser {
       return Value(std::move(arr));
     }
     for (;;) {
-      arr.push_back(parse_value());
+      arr.push_back(parse_value(depth + 1));
       skip_ws();
       char c = next();
       if (c == ']') return Value(std::move(arr));
@@ -321,7 +350,8 @@ class Parser {
     }
   }
 
-  Value parse_object() {
+  Value parse_object(std::size_t depth) {
+    if (depth + 1 >= kMaxParseDepth) fail("nesting too deep");
     expect('{');
     Object obj;
     skip_ws();
@@ -334,7 +364,7 @@ class Parser {
       std::string key = parse_string();
       skip_ws();
       expect(':');
-      obj[std::move(key)] = parse_value();
+      obj[std::move(key)] = parse_value(depth + 1);
       skip_ws();
       char c = next();
       if (c == '}') return Value(std::move(obj));

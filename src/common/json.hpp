@@ -79,7 +79,17 @@ class Value {
   Object obj_;
 };
 
+/// Container nesting bound for parse(): a document nested kMaxParseDepth
+/// deep (or deeper) is rejected; kMaxParseDepth - 1 is the deepest accepted.
+/// Untrusted network input (a request body of 100k '[' bytes) must produce a
+/// JsonError, not a stack overflow — the parser is recursive, so depth is
+/// bounded explicitly.
+inline constexpr std::size_t kMaxParseDepth = 192;
+
 /// Parse a complete JSON document; throws JsonError on malformed input.
+/// Hardened for untrusted input: container nesting beyond kMaxParseDepth,
+/// numbers outside double range (e.g. "1e999"), and non-grammar numbers
+/// ("01", "1.", "+5", "1e") are all rejected with a clean JsonError.
 Value parse(const std::string& text);
 
 /// Convenience: read/write a JSON file. `load` throws JsonError if the file

@@ -1,0 +1,243 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace tunekit::net {
+
+namespace {
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+Client::Client(std::string host, std::uint16_t port, double timeout_seconds)
+    : host_(std::move(host)), port_(port), timeout_seconds_(timeout_seconds) {}
+
+Client::~Client() { disconnect(); }
+
+void Client::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::connect() {
+  disconnect();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw std::runtime_error("socket() failed");
+
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_seconds_);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (timeout_seconds_ - std::floor(timeout_seconds_)) * 1e6);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    disconnect();
+    throw std::runtime_error("invalid server address '" + host_ + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    disconnect();
+    throw std::runtime_error("cannot connect to " + host_ + ":" +
+                             std::to_string(port_) + ": " + std::strerror(err));
+  }
+}
+
+ClientResponse Client::request(const std::string& method, const std::string& target,
+                               const std::string& body) {
+  std::string wire = method + " " + target + " HTTP/1.1\r\n";
+  wire += "Host: " + host_ + ":" + std::to_string(port_) + "\r\n";
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    wire += "Content-Type: application/json\r\n";
+    wire += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  wire += "\r\n";
+  wire += body;
+
+  // One retry on a stale keep-alive connection: the server may have closed
+  // it (idle timeout, restart) between our requests.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const bool fresh = fd_ < 0;
+    if (fresh) connect();
+
+    bool send_failed = false;
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+      const ssize_t n =
+          ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        send_failed = true;
+        break;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    if (send_failed) {
+      disconnect();
+      if (fresh) throw std::runtime_error("send to server failed");
+      continue;  // stale connection: reconnect and retry once
+    }
+
+    // Read the status line + headers.
+    std::string buf;
+    std::size_t header_end = std::string::npos;
+    bool peer_closed = false;
+    while (header_end == std::string::npos) {
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        peer_closed = true;
+        break;
+      }
+      buf.append(chunk, static_cast<std::size_t>(n));
+      header_end = buf.find("\r\n\r\n");
+      if (buf.size() > (1u << 20)) throw std::runtime_error("response headers too large");
+    }
+    if (peer_closed) {
+      disconnect();
+      if (fresh || !buf.empty()) {
+        throw std::runtime_error("server closed the connection mid-response");
+      }
+      continue;  // clean close before any bytes: retry on a new connection
+    }
+
+    const std::string head = buf.substr(0, header_end);
+    std::string rest = buf.substr(header_end + 4);
+
+    ClientResponse response;
+    {
+      // "HTTP/1.1 200 OK"
+      const std::size_t sp1 = head.find(' ');
+      if (sp1 == std::string::npos || head.compare(0, 5, "HTTP/") != 0) {
+        disconnect();
+        throw std::runtime_error("malformed response status line");
+      }
+      response.status = std::atoi(head.c_str() + sp1 + 1);
+      if (response.status < 100 || response.status > 599) {
+        disconnect();
+        throw std::runtime_error("malformed response status");
+      }
+    }
+
+    // Headers we care about: content-length, connection.
+    std::size_t content_length = 0;
+    bool server_closes = false;
+    std::size_t pos = head.find("\r\n");
+    while (pos != std::string::npos) {
+      const std::size_t line_start = pos + 2;
+      std::size_t line_end = head.find("\r\n", line_start);
+      const std::string line = head.substr(
+          line_start, line_end == std::string::npos ? std::string::npos
+                                                    : line_end - line_start);
+      const std::size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        const std::string name = lower(line.substr(0, colon));
+        std::string value = line.substr(colon + 1);
+        while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+          value.erase(value.begin());
+        }
+        if (name == "content-length") {
+          content_length = static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10));
+        } else if (name == "connection" && lower(value).find("close") != std::string::npos) {
+          server_closes = true;
+        }
+      }
+      pos = line_end;
+    }
+
+    // Interim 1xx responses carry no body; keep reading for the real one.
+    if (response.status >= 100 && response.status < 200) {
+      throw std::runtime_error("unexpected interim response from server");
+    }
+
+    while (rest.size() < content_length) {
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        disconnect();
+        throw std::runtime_error("server closed the connection mid-body");
+      }
+      rest.append(chunk, static_cast<std::size_t>(n));
+    }
+    response.body = rest.substr(0, content_length);
+    if (server_closes) disconnect();
+    return response;
+  }
+  throw std::runtime_error("request failed after reconnect");
+}
+
+json::Value Client::round_trip(const std::string& method, const std::string& target,
+                               const json::Value& body) {
+  const std::string payload = body.is_null() ? std::string() : body.dump();
+  const ClientResponse response = request(method, target, payload);
+  json::Value parsed;
+  try {
+    parsed = response.json();
+  } catch (const json::JsonError&) {
+    throw std::runtime_error("HTTP " + std::to_string(response.status) +
+                             " with non-JSON body from " + target);
+  }
+  if (!response.ok()) {
+    std::string message = "HTTP " + std::to_string(response.status);
+    if (parsed.contains("error")) message += ": " + parsed.at("error").as_string();
+    throw std::runtime_error(message);
+  }
+  return parsed;
+}
+
+json::Value Client::create_session(const json::Value& spec) {
+  return round_trip("POST", "/v1/sessions", spec);
+}
+
+json::Value Client::ask(const std::string& id, std::size_t k) {
+  json::Object body;
+  body["k"] = json::Value(k);
+  return round_trip("POST", "/v1/sessions/" + id + "/ask", json::Value(std::move(body)));
+}
+
+json::Value Client::tell(const std::string& id, const json::Value& body) {
+  return round_trip("POST", "/v1/sessions/" + id + "/tell", body);
+}
+
+json::Value Client::report(const std::string& id) {
+  return round_trip("GET", "/v1/sessions/" + id + "/report", json::Value());
+}
+
+json::Value Client::close_session(const std::string& id) {
+  return round_trip("DELETE", "/v1/sessions/" + id, json::Value());
+}
+
+std::string Client::metrics() {
+  const ClientResponse response = request("GET", "/metrics");
+  if (!response.ok()) {
+    throw std::runtime_error("GET /metrics -> HTTP " + std::to_string(response.status));
+  }
+  return response.body;
+}
+
+bool Client::healthy() {
+  try {
+    return request("GET", "/healthz").ok();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace tunekit::net

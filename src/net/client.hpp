@@ -1,0 +1,62 @@
+#pragma once
+// net::Client: a small blocking HTTP/1.1 client for the tuning server —
+// what the remote-* CLI commands and the integration tests speak. One
+// keep-alive connection, reconnected on demand; send/receive timeouts so a
+// dead server fails the call instead of hanging it.
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.hpp"
+#include "net/http.hpp"
+
+namespace tunekit::net {
+
+/// A completed HTTP exchange from the client's point of view.
+struct ClientResponse {
+  int status = 0;
+  std::string body;
+
+  bool ok() const { return status >= 200 && status < 300; }
+  /// Parse the body as JSON (throws json::JsonError on non-JSON bodies).
+  json::Value json() const { return json::parse(body); }
+};
+
+class Client {
+ public:
+  /// No connection is made until the first request.
+  Client(std::string host, std::uint16_t port, double timeout_seconds = 30.0);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One request/response round trip. Reconnects if the keep-alive
+  /// connection was closed. Throws std::runtime_error when the server is
+  /// unreachable or the response is unparseable; HTTP error statuses are
+  /// returned, not thrown.
+  ClientResponse request(const std::string& method, const std::string& target,
+                         const std::string& body = "");
+
+  /// JSON conveniences. Non-2xx replies raise std::runtime_error carrying
+  /// the server's {"error": ...} message.
+  json::Value create_session(const json::Value& spec);
+  json::Value ask(const std::string& id, std::size_t k = 1);
+  json::Value tell(const std::string& id, const json::Value& body);
+  json::Value report(const std::string& id);
+  json::Value close_session(const std::string& id);
+  std::string metrics();
+  bool healthy();
+
+ private:
+  void connect();
+  void disconnect();
+  json::Value round_trip(const std::string& method, const std::string& target,
+                         const json::Value& body);
+
+  std::string host_;
+  std::uint16_t port_;
+  double timeout_seconds_;
+  int fd_ = -1;
+};
+
+}  // namespace tunekit::net

@@ -1,0 +1,229 @@
+#include "net/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <vector>
+
+namespace tunekit::net {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(const std::string& name) const {
+  auto it = headers.find(name);
+  return it == headers.end() ? nullptr : &it->second;
+}
+
+bool HttpRequest::keep_alive() const {
+  const std::string* conn = header("connection");
+  if (conn != nullptr) {
+    const std::string v = lower(*conn);
+    if (v.find("close") != std::string::npos) return false;
+    if (v.find("keep-alive") != std::string::npos) return true;
+  }
+  return version != "HTTP/1.0";
+}
+
+HttpResponse HttpResponse::json(int status, const json::Value& value) {
+  HttpResponse r;
+  r.status = status;
+  r.body = value.dump();
+  r.body += '\n';
+  return r;
+}
+
+HttpResponse HttpResponse::error(int status, const std::string& message) {
+  json::Object obj;
+  obj["error"] = json::Value(message);
+  return json(status, json::Value(std::move(obj)));
+}
+
+HttpResponse HttpResponse::text(int status, std::string body, std::string content_type) {
+  HttpResponse r;
+  r.status = status;
+  r.body = std::move(body);
+  r.content_type = std::move(content_type);
+  return r;
+}
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 100: return "Continue";
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 422: return "Unprocessable Entity";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string serialize(const HttpResponse& response, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    status_reason(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += std::string("Connection: ") +
+         (keep_alive && !response.close ? "keep-alive" : "close") + "\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+RequestParser::RequestParser(HttpLimits limits) : limits_(limits) {}
+
+RequestParser::Status RequestParser::fail(int status, std::string reason) {
+  state_ = State::Error;
+  error_status_ = status;
+  error_reason_ = std::move(reason);
+  return Status::Error;
+}
+
+RequestParser::Status RequestParser::feed(const char* data, std::size_t n) {
+  buffer_.append(data, n);
+  return advance();
+}
+
+RequestParser::Status RequestParser::advance() {
+  if (state_ == State::Error) return Status::Error;
+  if (state_ == State::Complete) return Status::Complete;
+  if (state_ == State::Headers) {
+    const Status s = parse_headers();
+    if (s != Status::Complete) return s;  // NeedMore or Error
+    // Headers done; fall through to the body.
+  }
+  if (buffer_.size() < content_length_) return Status::NeedMore;
+  request_.body = buffer_.substr(0, content_length_);
+  buffer_.erase(0, content_length_);
+  state_ = State::Complete;
+  return Status::Complete;
+}
+
+// Parse the start line + header block once it is fully buffered. Returns
+// Complete when the header block is consumed (the caller then handles the
+// body), NeedMore when the terminating blank line has not arrived yet.
+RequestParser::Status RequestParser::parse_headers() {
+  // Find the blank line ending the header block, scanning line by line so a
+  // bare-LF client still works.
+  std::size_t pos = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> line_spans;  // [begin, end)
+  bool block_done = false;
+  while (pos <= buffer_.size()) {
+    const std::size_t line_begin = pos;
+    std::size_t nl = buffer_.find('\n', pos);
+    if (nl == std::string::npos) break;
+    std::size_t line_end = nl;
+    if (line_end > line_begin && buffer_[line_end - 1] == '\r') --line_end;
+    if (line_end == line_begin) {  // blank line: end of header block
+      pos = nl + 1;
+      block_done = true;
+      break;
+    }
+    line_spans.emplace_back(line_begin, line_end);
+    pos = nl + 1;
+  }
+  if (!block_done) {
+    if (buffer_.size() > limits_.max_header_bytes) {
+      return fail(431, "header block exceeds " +
+                           std::to_string(limits_.max_header_bytes) + " bytes");
+    }
+    return Status::NeedMore;
+  }
+  if (pos > limits_.max_header_bytes) {
+    return fail(431, "header block exceeds " +
+                         std::to_string(limits_.max_header_bytes) + " bytes");
+  }
+  if (line_spans.empty()) return fail(400, "missing request line");
+
+  // Request line: METHOD SP target SP HTTP/x.y
+  const std::string start(buffer_, line_spans[0].first,
+                          line_spans[0].second - line_spans[0].first);
+  const std::size_t sp1 = start.find(' ');
+  const std::size_t sp2 = start.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) {
+    return fail(400, "malformed request line");
+  }
+  request_.method = start.substr(0, sp1);
+  std::string target = start.substr(sp1 + 1, sp2 - sp1 - 1);
+  request_.version = start.substr(sp2 + 1);
+  if (request_.method.empty() || target.empty() || target[0] != '/') {
+    return fail(400, "malformed request target");
+  }
+  if (request_.version != "HTTP/1.1" && request_.version != "HTTP/1.0") {
+    return fail(400, "unsupported HTTP version '" + request_.version + "'");
+  }
+  const std::size_t q = target.find('?');
+  if (q != std::string::npos) {
+    request_.query = target.substr(q + 1);
+    target.erase(q);
+  }
+  request_.path = std::move(target);
+
+  // Header fields.
+  for (std::size_t i = 1; i < line_spans.size(); ++i) {
+    const std::string line(buffer_, line_spans[i].first,
+                           line_spans[i].second - line_spans[i].first);
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return fail(400, "malformed header line");
+    }
+    request_.headers[lower(trim(line.substr(0, colon)))] = trim(line.substr(colon + 1));
+  }
+
+  if (request_.header("transfer-encoding") != nullptr) {
+    return fail(501, "transfer-encoding is not supported");
+  }
+  content_length_ = 0;
+  if (const std::string* cl = request_.header("content-length")) {
+    // Strict digits-only parse: a negative, empty, or junk length is a 400.
+    if (cl->empty() || cl->size() > 12 ||
+        !std::all_of(cl->begin(), cl->end(),
+                     [](unsigned char c) { return std::isdigit(c) != 0; })) {
+      return fail(400, "malformed content-length");
+    }
+    content_length_ = static_cast<std::size_t>(std::stoull(*cl));
+    if (content_length_ > limits_.max_body_bytes) {
+      return fail(413, "body exceeds " + std::to_string(limits_.max_body_bytes) +
+                           " bytes");
+    }
+  }
+
+  buffer_.erase(0, pos);
+  state_ = State::Body;
+  return Status::Complete;
+}
+
+void RequestParser::reset() {
+  state_ = State::Headers;
+  request_ = HttpRequest{};
+  content_length_ = 0;
+  error_status_ = 400;
+  error_reason_.clear();
+}
+
+}  // namespace tunekit::net

@@ -1,0 +1,116 @@
+#pragma once
+// Minimal dependency-free HTTP/1.1 message layer for the remote tuning
+// server: request/response types, an incremental request parser with hard
+// byte limits (the first line of defense against untrusted input), and the
+// matching serializers. No sockets here — the parser consumes bytes from
+// anywhere, which is what makes it unit-testable byte by byte.
+//
+// Scope is deliberately the subset a JSON API needs: methods with optional
+// Content-Length bodies, keep-alive, Expect: 100-continue. Chunked
+// transfer-encoding is answered with 501 rather than implemented.
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "common/json.hpp"
+
+namespace tunekit::net {
+
+struct HttpRequest {
+  std::string method;   ///< "GET", "POST", ... (uppercase as received)
+  std::string path;     ///< request target without the query string
+  std::string query;    ///< raw query string ("" when absent)
+  std::string version;  ///< "HTTP/1.1" or "HTTP/1.0"
+  /// Header fields, keys lower-cased (field names are case-insensitive).
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  /// nullptr when absent; `name` must be lower-case.
+  const std::string* header(const std::string& name) const;
+  /// HTTP/1.1 defaults to keep-alive; "Connection: close" (or HTTP/1.0
+  /// without "keep-alive") turns it off.
+  bool keep_alive() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  /// Force "Connection: close" regardless of what the client asked for.
+  bool close = false;
+
+  static HttpResponse json(int status, const json::Value& value);
+  /// Convenience error body: {"error": message}.
+  static HttpResponse error(int status, const std::string& message);
+  static HttpResponse text(int status, std::string body,
+                           std::string content_type = "text/plain; charset=utf-8");
+};
+
+/// Reason phrase for the status codes the server emits ("Unknown" otherwise).
+const char* status_reason(int status);
+
+/// Serialize a response. `keep_alive` decides the Connection header unless
+/// the response forces close.
+std::string serialize(const HttpResponse& response, bool keep_alive);
+
+struct HttpLimits {
+  /// Cap on the start line + headers, in bytes. Exceeding it is a 431.
+  std::size_t max_header_bytes = 16 * 1024;
+  /// Cap on the declared/received body size. Exceeding it is a 413.
+  std::size_t max_body_bytes = 1 << 20;
+};
+
+/// Incremental HTTP/1.1 request parser. Feed it bytes as they arrive;
+/// it buffers internally and yields complete requests. Bytes beyond one
+/// complete request (a pipelined follow-up) are retained across reset().
+class RequestParser {
+ public:
+  enum class Status {
+    NeedMore,  ///< incomplete; feed more bytes
+    Complete,  ///< request() is ready; call reset() before the next one
+    Error,     ///< malformed/over-limit; error_status()/error_reason() say why
+  };
+
+  explicit RequestParser(HttpLimits limits = {});
+
+  /// Append bytes and advance. Returns the parser state after consuming.
+  Status feed(const char* data, std::size_t n);
+  /// Advance on already-buffered bytes only (after reset(), a pipelined
+  /// request may already be complete without another read).
+  Status advance();
+
+  /// Valid when the last feed()/advance() returned Complete.
+  const HttpRequest& request() const { return request_; }
+
+  /// Valid when the last feed()/advance() returned Error: the HTTP status to
+  /// answer with (400, 413, 431, 501) and a human-readable reason.
+  int error_status() const { return error_status_; }
+  const std::string& error_reason() const { return error_reason_; }
+
+  /// True once the header block is parsed (request line + headers valid) —
+  /// the point where Expect: 100-continue should be answered.
+  bool headers_complete() const { return state_ == State::Body; }
+
+  /// Discard the completed request and start over on any leftover bytes.
+  void reset();
+
+  /// Bytes currently buffered (diagnostics/tests).
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  enum class State { Headers, Body, Complete, Error };
+
+  Status fail(int status, std::string reason);
+  Status parse_headers();
+
+  HttpLimits limits_;
+  State state_ = State::Headers;
+  std::string buffer_;
+  HttpRequest request_;
+  std::size_t content_length_ = 0;
+  int error_status_ = 400;
+  std::string error_reason_;
+};
+
+}  // namespace tunekit::net

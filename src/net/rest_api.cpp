@@ -1,0 +1,121 @@
+#include "net/rest_api.hpp"
+
+#include <vector>
+
+#include "net/session_manager.hpp"
+#include "obs/export.hpp"
+#include "obs/telemetry.hpp"
+
+namespace tunekit::net {
+
+namespace {
+
+/// Split "/v1/sessions/s1/ask" into {"v1","sessions","s1","ask"}.
+std::vector<std::string> split_path(const std::string& path) {
+  std::vector<std::string> segments;
+  std::size_t pos = 0;
+  while (pos < path.size()) {
+    if (path[pos] == '/') {
+      ++pos;
+      continue;
+    }
+    std::size_t end = path.find('/', pos);
+    if (end == std::string::npos) end = path.size();
+    segments.push_back(path.substr(pos, end - pos));
+    pos = end;
+  }
+  return segments;
+}
+
+json::Value parse_body(const HttpRequest& request) {
+  if (request.body.empty()) return json::Value(json::Object{});
+  try {
+    return json::parse(request.body);
+  } catch (const json::JsonError& e) {
+    throw ApiError(400, std::string("malformed JSON body: ") + e.what());
+  }
+}
+
+}  // namespace
+
+RestApi::RestApi(SessionManager& manager, obs::Telemetry* telemetry)
+    : manager_(manager), telemetry_(telemetry) {}
+
+HttpResponse RestApi::handle(const HttpRequest& request) {
+  try {
+    return route(request);
+  } catch (const ApiError& e) {
+    return HttpResponse::error(e.status(), e.what());
+  } catch (const json::JsonError& e) {
+    return HttpResponse::error(400, e.what());
+  } catch (const std::exception& e) {
+    return HttpResponse::error(500, e.what());
+  }
+}
+
+HttpResponse RestApi::route(const HttpRequest& request) {
+  const auto seg = split_path(request.path);
+
+  if (request.path == "/healthz") {
+    if (request.method != "GET") return HttpResponse::error(405, "use GET");
+    json::Object body;
+    body["status"] = json::Value(std::string("ok"));
+    return HttpResponse::json(200, json::Value(std::move(body)));
+  }
+
+  if (request.path == "/metrics") {
+    if (request.method != "GET") return HttpResponse::error(405, "use GET");
+    static obs::MetricsRegistry empty_registry;
+    const obs::MetricsRegistry& metrics =
+        telemetry_ != nullptr ? telemetry_->metrics() : empty_registry;
+    return HttpResponse::text(200, obs::prometheus_text(metrics),
+                              "text/plain; version=0.0.4; charset=utf-8");
+  }
+
+  if (seg.size() >= 2 && seg[0] == "v1" && seg[1] == "sessions") {
+    if (seg.size() == 2) {
+      if (request.method == "POST") {
+        return HttpResponse::json(201, manager_.create(parse_body(request)));
+      }
+      if (request.method == "GET") {
+        return HttpResponse::json(200, manager_.list());
+      }
+      return HttpResponse::error(405, "use POST or GET");
+    }
+    const std::string& id = seg[2];
+    if (seg.size() == 3) {
+      if (request.method == "GET") {
+        return HttpResponse::json(200, manager_.report(id));
+      }
+      if (request.method == "DELETE") {
+        return HttpResponse::json(200, manager_.close(id));
+      }
+      return HttpResponse::error(405, "use GET or DELETE");
+    }
+    if (seg.size() == 4) {
+      if (seg[3] == "ask") {
+        if (request.method != "POST") return HttpResponse::error(405, "use POST");
+        const json::Value body = parse_body(request);
+        const double k = body.number_or("k", 1.0);
+        if (!(k >= 1.0) || k > 1024.0) {
+          throw ApiError(422, "\"k\" must be in [1, 1024]");
+        }
+        return HttpResponse::json(200,
+                                  manager_.ask(id, static_cast<std::size_t>(k)));
+      }
+      if (seg[3] == "tell") {
+        if (request.method != "POST") return HttpResponse::error(405, "use POST");
+        return HttpResponse::json(200, manager_.tell(id, parse_body(request)));
+      }
+      if (seg[3] == "report") {
+        if (request.method != "GET") return HttpResponse::error(405, "use GET");
+        return HttpResponse::json(200, manager_.report(id));
+      }
+    }
+  }
+
+  return HttpResponse::error(404, "no route for " + request.method + " " +
+                                      request.path);
+}
+
+}  // namespace tunekit::net

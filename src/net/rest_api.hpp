@@ -1,0 +1,46 @@
+#pragma once
+// RestApi: routes HTTP requests onto a SessionManager — the glue between
+// HttpServer (bytes) and the session layer (json::Value in/out).
+//
+//   POST   /v1/sessions             create (spec in body)
+//   GET    /v1/sessions             list
+//   POST   /v1/sessions/{id}/ask    {"k": N}  (default 1)
+//   POST   /v1/sessions/{id}/tell   result/failure/observation body
+//   GET    /v1/sessions/{id}/report status + best + metrics
+//   DELETE /v1/sessions/{id}        graceful close (journal kept)
+//   GET    /metrics                 Prometheus text exposition
+//   GET    /healthz                 {"status":"ok"}
+//
+// Errors are {"error": "..."} JSON bodies with the ApiError's status;
+// malformed JSON bodies are 400s. The handler is thread-safe — HttpServer
+// workers call it concurrently and SessionManager serializes per session.
+
+#include <string>
+
+#include "net/http.hpp"
+
+namespace tunekit::obs {
+class Telemetry;
+}
+
+namespace tunekit::net {
+
+class SessionManager;
+
+class RestApi {
+ public:
+  /// `manager` must outlive the api. `telemetry` feeds /metrics (nullable:
+  /// /metrics then exports an empty registry).
+  RestApi(SessionManager& manager, obs::Telemetry* telemetry);
+
+  /// Route one request. Never throws; failures become error responses.
+  HttpResponse handle(const HttpRequest& request);
+
+ private:
+  HttpResponse route(const HttpRequest& request);
+
+  SessionManager& manager_;
+  obs::Telemetry* telemetry_;
+};
+
+}  // namespace tunekit::net

@@ -1,0 +1,475 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "obs/telemetry.hpp"
+
+namespace tunekit::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+struct HttpServer::Connection {
+  int fd = -1;
+  RequestParser parser;
+  std::string outbuf;
+  bool in_flight = false;         ///< a worker owns the current request
+  bool close_after_flush = false;
+  bool sent_continue = false;
+  Clock::time_point last_activity = Clock::now();
+  Clock::time_point request_start = Clock::now();
+  std::string method;  ///< of the request being handled (for metrics)
+
+  explicit Connection(int fd_, HttpLimits limits)
+      : fd(fd_), parser(limits) {}
+};
+
+struct HttpServer::Job {
+  std::uint64_t conn_id = 0;
+  HttpRequest request;
+};
+
+struct HttpServer::Impl {
+  std::map<std::uint64_t, Connection> conns;
+  std::uint64_t next_conn_id = 1;
+
+  std::mutex jobs_mutex;
+  std::condition_variable jobs_cv;
+  std::deque<Job> jobs;
+  bool jobs_stop = false;
+
+  struct Done {
+    std::uint64_t conn_id = 0;
+    HttpResponse response;
+    bool keep_alive = false;
+  };
+  std::mutex done_mutex;
+  std::deque<Done> done;
+};
+
+HttpServer::HttpServer(ServerOptions options, Handler handler)
+    : options_(std::move(options)),
+      handler_(std::move(handler)),
+      impl_(std::make_unique<Impl>()) {}
+
+HttpServer::~HttpServer() {
+  if (running_.load(std::memory_order_acquire)) shutdown();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (int fd : wake_fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void HttpServer::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("invalid listen address '" + options_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw std::runtime_error("cannot bind " + options_.host + ":" +
+                             std::to_string(options_.port) + ": " +
+                             std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    throw std::runtime_error(std::string("listen() failed: ") + std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  if (::pipe(wake_fds_) != 0) throw std::runtime_error("pipe() failed");
+  set_nonblocking(wake_fds_[0]);
+  set_nonblocking(wake_fds_[1]);
+
+  running_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this] { run_loop(); });
+  const std::size_t n_workers = std::max<std::size_t>(1, options_.worker_threads);
+  workers_.reserve(n_workers);
+  for (std::size_t i = 0; i < n_workers; ++i) {
+    workers_.emplace_back([this] { run_worker(); });
+  }
+}
+
+void HttpServer::request_shutdown() {
+  // Async-signal-safe: one atomic store and one write(2). Anything else
+  // (locks, allocation, logging) is off-limits here.
+  stop_requested_.store(true, std::memory_order_release);
+  if (wake_fds_[1] >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] ssize_t rc = ::write(wake_fds_[1], &byte, 1);
+  }
+}
+
+void HttpServer::wait() {
+  if (loop_thread_.joinable()) loop_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(impl_->jobs_mutex);
+    impl_->jobs_stop = true;
+  }
+  impl_->jobs_cv.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void HttpServer::shutdown() {
+  request_shutdown();
+  wait();
+}
+
+void HttpServer::observe_request(const char* method, int status, double seconds) {
+  if (options_.telemetry == nullptr || !options_.telemetry->enabled()) return;
+  auto& m = options_.telemetry->metrics();
+  m.counter("tunekit_http_requests_total").inc();
+  const std::string klass = std::to_string(status / 100) + "xx";
+  m.counter("tunekit_http_responses_" + klass + "_total").inc();
+  m.histogram("tunekit_http_request_seconds").observe(seconds);
+  (void)method;
+}
+
+void HttpServer::run_worker() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(impl_->jobs_mutex);
+      impl_->jobs_cv.wait(lock,
+                          [this] { return impl_->jobs_stop || !impl_->jobs.empty(); });
+      if (impl_->jobs.empty()) {
+        if (impl_->jobs_stop) return;
+        continue;
+      }
+      job = std::move(impl_->jobs.front());
+      impl_->jobs.pop_front();
+    }
+    HttpResponse response;
+    try {
+      response = handler_(job.request);
+    } catch (const std::exception& e) {
+      response = HttpResponse::error(500, e.what());
+    } catch (...) {
+      response = HttpResponse::error(500, "internal error");
+    }
+    {
+      std::lock_guard<std::mutex> lock(impl_->done_mutex);
+      impl_->done.push_back(
+          Impl::Done{job.conn_id, std::move(response), job.request.keep_alive()});
+    }
+    const char byte = 'r';
+    [[maybe_unused]] ssize_t rc = ::write(wake_fds_[1], &byte, 1);
+  }
+}
+
+void HttpServer::close_connection(std::uint64_t id) {
+  auto it = impl_->conns.find(id);
+  if (it == impl_->conns.end()) return;
+  ::close(it->second.fd);
+  impl_->conns.erase(it);
+  if (options_.telemetry != nullptr && options_.telemetry->enabled()) {
+    options_.telemetry->metrics().gauge("tunekit_http_connections")
+        .set(static_cast<double>(impl_->conns.size()));
+  }
+}
+
+void HttpServer::handle_writable(std::uint64_t id) {
+  auto it = impl_->conns.find(id);
+  if (it == impl_->conns.end()) return;
+  Connection& conn = it->second;
+  while (!conn.outbuf.empty()) {
+    const ssize_t n = ::send(conn.fd, conn.outbuf.data(), conn.outbuf.size(),
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.outbuf.erase(0, static_cast<std::size_t>(n));
+      conn.last_activity = Clock::now();
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    close_connection(id);  // peer gone or hard error
+    return;
+  }
+  if (conn.close_after_flush) close_connection(id);
+}
+
+void HttpServer::enqueue_response(std::uint64_t id, const HttpResponse& response,
+                                  bool keep_alive) {
+  auto it = impl_->conns.find(id);
+  if (it == impl_->conns.end()) return;
+  Connection& conn = it->second;
+  const bool drain = stop_requested_.load(std::memory_order_acquire);
+  const bool keep = keep_alive && !response.close && !drain;
+  observe_request(conn.method.c_str(), response.status,
+                  seconds_since(conn.request_start));
+  conn.outbuf += serialize(response, keep);
+  conn.in_flight = false;
+  conn.close_after_flush = !keep;
+  conn.sent_continue = false;
+  handle_writable(id);
+  // The connection may be gone now (flush error or close-after-flush).
+  auto again = impl_->conns.find(id);
+  if (again == impl_->conns.end() || again->second.close_after_flush) return;
+  // Keep-alive: recycle the parser and serve any pipelined bytes already
+  // buffered without waiting for another read event.
+  again->second.parser.reset();
+  pump_parser(id);
+}
+
+void HttpServer::pump_parser(std::uint64_t id) {
+  auto it = impl_->conns.find(id);
+  if (it == impl_->conns.end()) return;
+  Connection& conn = it->second;
+  if (conn.in_flight) return;
+  const RequestParser::Status status = conn.parser.advance();
+  switch (status) {
+    case RequestParser::Status::NeedMore: {
+      // Interim 100-continue once the header block of an Expect-ing request
+      // is parsed; clients like curl wait for it before sending the body.
+      if (conn.parser.headers_complete() && !conn.sent_continue) {
+        const std::string* expect = conn.parser.request().header("expect");
+        if (expect != nullptr && expect->find("100-continue") != std::string::npos) {
+          conn.sent_continue = true;
+          conn.outbuf += "HTTP/1.1 100 Continue\r\n\r\n";
+          handle_writable(id);
+        }
+      }
+      return;
+    }
+    case RequestParser::Status::Error: {
+      const HttpResponse response =
+          HttpResponse::error(conn.parser.error_status(), conn.parser.error_reason());
+      observe_request(conn.method.c_str(), response.status,
+                      seconds_since(conn.last_activity));
+      conn.outbuf += serialize(response, /*keep_alive=*/false);
+      conn.close_after_flush = true;
+      handle_writable(id);
+      return;
+    }
+    case RequestParser::Status::Complete:
+      break;
+  }
+
+  conn.in_flight = true;
+  conn.request_start = Clock::now();
+  conn.method = conn.parser.request().method;
+  bool overloaded = false;
+  {
+    std::lock_guard<std::mutex> lock(impl_->jobs_mutex);
+    if (impl_->jobs.size() >= options_.max_queue) {
+      overloaded = true;
+    } else {
+      impl_->jobs.push_back(Job{id, conn.parser.request()});
+    }
+  }
+  if (overloaded) {
+    if (options_.telemetry != nullptr && options_.telemetry->enabled()) {
+      options_.telemetry->metrics().counter("tunekit_http_rejected_total").inc();
+    }
+    const bool keep = conn.parser.request().keep_alive();
+    enqueue_response(id, HttpResponse::error(429, "server overloaded, retry later"),
+                     keep);
+    return;
+  }
+  impl_->jobs_cv.notify_one();
+}
+
+void HttpServer::handle_readable(std::uint64_t id) {
+  auto it = impl_->conns.find(id);
+  if (it == impl_->conns.end()) return;
+  Connection& conn = it->second;
+  char buf[8192];
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.last_activity = Clock::now();
+      conn.parser.feed(buf, static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    close_connection(id);  // EOF or hard error
+    return;
+  }
+  pump_parser(id);
+}
+
+void HttpServer::run_loop() {
+  bool draining = false;
+  Clock::time_point drain_deadline{};
+
+  while (true) {
+    if (stop_requested_.load(std::memory_order_acquire) && !draining) {
+      draining = true;
+      drain_deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                          std::chrono::duration<double>(
+                                              options_.drain_timeout_seconds));
+      if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+      }
+      // Idle connections have nothing to finish; drop them now.
+      std::vector<std::uint64_t> idle;
+      for (const auto& [id, conn] : impl_->conns) {
+        if (!conn.in_flight && conn.outbuf.empty()) idle.push_back(id);
+      }
+      for (std::uint64_t id : idle) close_connection(id);
+    }
+    if (draining) {
+      if (impl_->conns.empty()) break;
+      if (Clock::now() >= drain_deadline) {
+        std::vector<std::uint64_t> all;
+        for (const auto& [id, conn] : impl_->conns) all.push_back(id);
+        for (std::uint64_t id : all) close_connection(id);
+        break;
+      }
+    }
+
+    std::vector<pollfd> fds;
+    std::vector<std::uint64_t> fd_conn;  // conn id per pollfd (0 for specials)
+    fds.push_back(pollfd{wake_fds_[0], POLLIN, 0});
+    fd_conn.push_back(0);
+    if (listen_fd_ >= 0) {
+      fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+      fd_conn.push_back(0);
+    }
+    const std::size_t first_conn = fds.size();
+    for (const auto& [id, conn] : impl_->conns) {
+      short events = 0;
+      if (!conn.in_flight) events |= POLLIN;
+      if (!conn.outbuf.empty()) events |= POLLOUT;
+      if (events == 0) events = POLLIN;  // still notice EOF/reset
+      fds.push_back(pollfd{conn.fd, events, 0});
+      fd_conn.push_back(id);
+    }
+
+    const int rc = ::poll(fds.data(), fds.size(), /*timeout_ms=*/250);
+    if (rc < 0 && errno != EINTR) break;
+
+    // Drain the wake pipe.
+    if (fds[0].revents != 0) {
+      char buf[256];
+      while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+
+    // Finished handler responses.
+    for (;;) {
+      Impl::Done done;
+      {
+        std::lock_guard<std::mutex> lock(impl_->done_mutex);
+        if (impl_->done.empty()) break;
+        done = std::move(impl_->done.front());
+        impl_->done.pop_front();
+      }
+      enqueue_response(done.conn_id, done.response, done.keep_alive);
+    }
+
+    // New connections.
+    if (listen_fd_ >= 0) {
+      for (;;) {
+        const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) break;
+        if (impl_->conns.size() >= options_.max_connections) {
+          // Best-effort 503 so the client sees backpressure, not a RST.
+          const std::string reply =
+              serialize(HttpResponse::error(503, "connection limit reached"),
+                        /*keep_alive=*/false);
+          (void)::send(fd, reply.data(), reply.size(), MSG_NOSIGNAL);
+          ::close(fd);
+          if (options_.telemetry != nullptr && options_.telemetry->enabled()) {
+            options_.telemetry->metrics()
+                .counter("tunekit_http_rejected_total")
+                .inc();
+          }
+          continue;
+        }
+        const std::uint64_t id = impl_->next_conn_id++;
+        impl_->conns.emplace(id, Connection(fd, options_.limits));
+        if (options_.telemetry != nullptr && options_.telemetry->enabled()) {
+          options_.telemetry->metrics().gauge("tunekit_http_connections")
+              .set(static_cast<double>(impl_->conns.size()));
+        }
+      }
+    }
+
+    // Socket events. Connections may close as we go, so look ids up again.
+    for (std::size_t i = first_conn; i < fds.size(); ++i) {
+      const std::uint64_t id = fd_conn[i];
+      if (fds[i].revents == 0) continue;
+      if ((fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+          (fds[i].revents & (POLLIN | POLLOUT)) == 0) {
+        close_connection(id);
+        continue;
+      }
+      if ((fds[i].revents & POLLOUT) != 0) handle_writable(id);
+      if ((fds[i].revents & POLLIN) != 0) handle_readable(id);
+    }
+
+    // Request deadlines.
+    const auto now = Clock::now();
+    std::vector<std::uint64_t> expired;
+    for (const auto& [id, conn] : impl_->conns) {
+      if (conn.in_flight) continue;  // handler latency is not client latency
+      const double idle = std::chrono::duration<double>(now - conn.last_activity).count();
+      if (idle > options_.request_timeout_seconds) expired.push_back(id);
+    }
+    for (std::uint64_t id : expired) {
+      auto it = impl_->conns.find(id);
+      if (it == impl_->conns.end()) continue;
+      Connection& conn = it->second;
+      if (conn.parser.buffered() > 0 || conn.parser.headers_complete()) {
+        // Mid-request: tell the client before hanging up.
+        conn.outbuf += serialize(HttpResponse::error(408, "request timed out"),
+                                 /*keep_alive=*/false);
+        conn.close_after_flush = true;
+        handle_writable(id);
+      } else {
+        close_connection(id);
+      }
+    }
+  }
+
+  // Loop exited: stop the workers (wait() joins them).
+  {
+    std::lock_guard<std::mutex> lock(impl_->jobs_mutex);
+    impl_->jobs_stop = true;
+    impl_->jobs.clear();
+  }
+  impl_->jobs_cv.notify_all();
+}
+
+}  // namespace tunekit::net

@@ -1,0 +1,118 @@
+#pragma once
+// HttpServer: a small poll()-based HTTP/1.1 server for the remote tuning
+// API. One event-loop thread owns every socket (non-blocking, bounded
+// per-connection buffers); a fixed pool of worker threads runs the handler
+// so a slow session operation never stalls the loop. Backpressure is
+// first-class: over max_connections new sockets get a best-effort 503 and
+// are closed, a full worker queue answers 429 immediately, request bodies
+// and headers are capped by HttpLimits (413/431), and connections idle past
+// request_timeout_seconds are timed out (408 mid-request, silent close when
+// between requests).
+//
+// Shutdown comes in two flavors: shutdown() (request + join, for tests) and
+// request_shutdown(), which is async-signal-safe — a SIGTERM handler can
+// call it directly; the loop then stops accepting, drains in-flight requests
+// for up to drain_timeout_seconds, and exits. wait() joins from the thread
+// that started the server.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/http.hpp"
+
+namespace tunekit::obs {
+class Telemetry;
+}
+
+namespace tunekit::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back with port()).
+  std::uint16_t port = 0;
+  /// Concurrent connections; excess sockets get a best-effort 503 + close.
+  std::size_t max_connections = 256;
+  /// Header/body byte caps, enforced by the request parser (431/413).
+  HttpLimits limits;
+  /// Handler threads. The event loop never runs handlers itself.
+  std::size_t worker_threads = 2;
+  /// Parsed requests waiting for a worker; beyond this the reply is 429.
+  std::size_t max_queue = 64;
+  /// A connection idle longer than this is closed (408 mid-request).
+  double request_timeout_seconds = 30.0;
+  /// After request_shutdown(): how long in-flight requests may finish
+  /// before their connections are dropped.
+  double drain_timeout_seconds = 5.0;
+  /// HTTP server metrics (request counts/latency, connections, rejects).
+  obs::Telemetry* telemetry = nullptr;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer(ServerOptions options, Handler handler);
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Bind, listen, and start the event loop + workers. Throws
+  /// std::runtime_error when the address cannot be bound.
+  void start();
+
+  /// The bound port (resolves port 0 after start()).
+  std::uint16_t port() const { return port_; }
+
+  /// Async-signal-safe shutdown request: sets a flag and pokes the event
+  /// loop via the self-pipe. Returns immediately.
+  void request_shutdown();
+
+  /// Block until the event loop has drained and every thread has exited.
+  void wait();
+
+  /// request_shutdown() + wait().
+  void shutdown();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  struct Connection;
+  struct Job;
+
+  void run_loop();
+  void run_worker();
+  void close_connection(std::uint64_t id);
+  void handle_readable(std::uint64_t id);
+  void handle_writable(std::uint64_t id);
+  /// Queue `response` for `id` and try to flush it. `keep_alive` is the
+  /// request's wish; the response (or parser state) can still force close.
+  void enqueue_response(std::uint64_t id, const HttpResponse& response,
+                        bool keep_alive);
+  /// Advance a connection's parser on buffered bytes: dispatch complete
+  /// requests, answer parse errors, send 100-continue interim replies.
+  void pump_parser(std::uint64_t id);
+  void observe_request(const char* method, int status, double seconds);
+
+  ServerOptions options_;
+  Handler handler_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe: [0] read by poll, [1] written
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+
+  // Everything below is owned by the event-loop thread except the two
+  // queues, which have their own locks.
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tunekit::net

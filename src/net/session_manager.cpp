@@ -1,0 +1,436 @@
+#include "net/session_manager.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <limits>
+#include <vector>
+
+#include "common/log.hpp"
+#include "core/app_registry.hpp"
+#include "obs/telemetry.hpp"
+#include "robust/outcome.hpp"
+#include "search/config.hpp"
+#include "service/space_codec.hpp"
+
+namespace tunekit::net {
+
+namespace {
+
+bool valid_session_id(const std::string& id) {
+  if (id.empty() || id.size() > 64) return false;
+  return std::all_of(id.begin(), id.end(), [](unsigned char c) {
+    return std::isalnum(c) != 0 || c == '-' || c == '_';
+  });
+}
+
+json::Value named_config(const search::SearchSpace& space,
+                         const search::Config& config) {
+  json::Object obj;
+  for (const auto& [name, value] : search::to_named(space, config)) {
+    obj[name] = json::Value(value);
+  }
+  return json::Value(std::move(obj));
+}
+
+service::SessionOptions options_from_spec(const json::Value& spec,
+                                          obs::Telemetry* telemetry) {
+  service::SessionOptions o;
+  o.max_evals = static_cast<std::size_t>(spec.number_or("max_evals", 100.0));
+  o.n_init = static_cast<std::size_t>(spec.number_or("n_init", 5.0));
+  o.seed = static_cast<std::uint64_t>(spec.number_or("seed", 1.0));
+  o.deadline_seconds =
+      spec.number_or("deadline_seconds", std::numeric_limits<double>::infinity());
+  o.max_attempts = static_cast<std::size_t>(spec.number_or("max_attempts", 3.0));
+  o.quarantine_after =
+      static_cast<std::size_t>(spec.number_or("quarantine_after", 0.0));
+  o.grid_real_levels =
+      static_cast<std::size_t>(spec.number_or("grid_real_levels", 4.0));
+  if (spec.contains("backend")) {
+    o.backend = service::backend_from_string(spec.at("backend").as_string());
+  }
+  if (o.max_evals == 0) throw ApiError(422, "max_evals must be positive");
+  o.telemetry = telemetry;
+  return o;
+}
+
+void put_status(json::Object& obj, const service::TuningSession& session,
+                bool with_best_config) {
+  const auto status = session.status();
+  obj["state"] = json::Value(to_string(status.state));
+  obj["completed"] = json::Value(status.completed);
+  obj["outstanding"] = json::Value(status.outstanding);
+  obj["queued"] = json::Value(status.queued);
+  obj["remaining"] = json::Value(status.remaining);
+  if (status.best) {
+    obj["best_value"] = json::Value(status.best->value);
+    if (with_best_config) {
+      obj["best_config"] = named_config(session.space(), status.best->config);
+    }
+  }
+}
+
+}  // namespace
+
+SessionManager::SessionManager(SessionManagerOptions options)
+    : options_(std::move(options)) {
+  if (!options_.journal_dir.empty()) {
+    std::filesystem::create_directories(options_.journal_dir);
+  }
+}
+
+std::string SessionManager::journal_path(const std::string& id) const {
+  return (std::filesystem::path(options_.journal_dir) / (id + ".journal.jsonl"))
+      .string();
+}
+
+std::string SessionManager::spec_path(const std::string& id) const {
+  return (std::filesystem::path(options_.journal_dir) / (id + ".spec.json")).string();
+}
+
+void SessionManager::count(const char* name) {
+  if (options_.telemetry != nullptr && options_.telemetry->enabled()) {
+    options_.telemetry->metrics().counter(name).inc();
+  }
+}
+
+// Build the entry's space + session from its spec. Entry mutex held by the
+// caller. `resume_from_journal` distinguishes first creation from a
+// re-materialization (after eviction or a server restart).
+void SessionManager::materialize(Entry& entry, bool resume_from_journal) {
+  const json::Value& spec = entry.spec;
+  try {
+    if (spec.contains("app")) {
+      const auto seed = static_cast<std::uint64_t>(spec.number_or("seed", 1.0));
+      entry.app = core::make_builtin_app(spec.at("app").as_string(), seed).app;
+      entry.space = &entry.app->space();
+    } else if (spec.contains("space")) {
+      entry.owned_space = std::make_unique<search::SearchSpace>(
+          service::space_from_json(spec.at("space")));
+      entry.space = entry.owned_space.get();
+    } else {
+      throw ApiError(422, "session spec needs an \"app\" name or a \"space\" spec");
+    }
+    const auto options = options_from_spec(spec, options_.telemetry);
+    const std::string journal =
+        options_.journal_dir.empty() ? std::string() : journal_path(entry.id);
+    if (resume_from_journal && !journal.empty()) {
+      entry.session = service::TuningSession::resume(*entry.space, options, journal);
+      count("tunekit_sessions_resumed_total");
+    } else {
+      entry.session =
+          std::make_unique<service::TuningSession>(*entry.space, options, journal);
+    }
+  } catch (const ApiError&) {
+    throw;
+  } catch (const json::JsonError& e) {
+    throw ApiError(422, e.what());
+  } catch (const std::invalid_argument& e) {
+    throw ApiError(422, e.what());
+  } catch (const std::exception& e) {
+    // Unknown app names, unreadable journals, ...: the client can fix these.
+    throw ApiError(resume_from_journal ? 500 : 422, e.what());
+  }
+}
+
+json::Value SessionManager::create(const json::Value& spec) {
+  if (!spec.is_object()) throw ApiError(400, "session spec must be a JSON object");
+
+  std::string id;
+  if (spec.contains("id")) {
+    if (!spec.at("id").is_string() || !valid_session_id(spec.at("id").as_string())) {
+      throw ApiError(422,
+                     "session id must be 1-64 characters of [A-Za-z0-9_-]");
+    }
+    id = spec.at("id").as_string();
+  }
+
+  auto entry = std::make_shared<Entry>();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (map_.size() >= options_.max_sessions) {
+      throw ApiError(429, "session limit reached (" +
+                              std::to_string(options_.max_sessions) + ")");
+    }
+    if (id.empty()) {
+      do {
+        id = "s";
+        id += std::to_string(next_id_++);
+      } while (map_.count(id) > 0 ||
+               (!options_.journal_dir.empty() &&
+                std::filesystem::exists(spec_path(id))));
+    } else if (map_.count(id) > 0 ||
+               (!options_.journal_dir.empty() &&
+                std::filesystem::exists(spec_path(id)))) {
+      throw ApiError(409, "session '" + id + "' already exists");
+    }
+    entry->id = id;
+    entry->spec = spec;
+    entry->spec.as_object()["id"] = json::Value(id);
+    entry->last_used = std::chrono::steady_clock::now();
+    map_[id] = entry;
+  }
+
+  try {
+    std::lock_guard<std::mutex> entry_lock(entry->mutex);
+    materialize(*entry, /*resume_from_journal=*/false);
+    if (!options_.journal_dir.empty()) {
+      // The sidecar is what makes the id resumable after a restart: it holds
+      // everything needed to rebuild the space and options.
+      json::save_atomic(spec_path(id), entry->spec);
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.erase(id);
+    throw;
+  }
+
+  count("tunekit_sessions_created_total");
+  evict_excess();
+
+  json::Object body;
+  body["id"] = json::Value(id);
+  body["backend"] = json::Value(
+      std::string(to_string(entry->session->options().backend)));
+  body["space_size"] = json::Value(entry->space->size());
+  body["max_evals"] = json::Value(entry->session->options().max_evals);
+  body["state"] = json::Value(to_string(entry->session->state()));
+  return json::Value(std::move(body));
+}
+
+std::shared_ptr<SessionManager::Entry> SessionManager::find_or_load(
+    const std::string& id) {
+  if (!valid_session_id(id)) {
+    throw ApiError(404, "no session '" + id + "'");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    it->second->last_used = std::chrono::steady_clock::now();
+    return it->second;
+  }
+  // Unknown in memory: resumable from a spec sidecar written before a
+  // restart?
+  if (options_.journal_dir.empty() || !std::filesystem::exists(spec_path(id))) {
+    throw ApiError(404, "no session '" + id + "'");
+  }
+  auto entry = std::make_shared<Entry>();
+  entry->id = id;
+  try {
+    entry->spec = json::load(spec_path(id));
+  } catch (const std::exception& e) {
+    throw ApiError(500, "session '" + id + "' spec unreadable: " + e.what());
+  }
+  entry->last_used = std::chrono::steady_clock::now();
+  map_[id] = entry;
+  return entry;
+}
+
+json::Value SessionManager::ask(const std::string& id, std::size_t k) {
+  auto entry = find_or_load(id);
+  json::Object body;
+  {
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    if (!entry->session) materialize(*entry, /*resume_from_journal=*/true);
+    const auto batch = entry->session->ask(k);
+    json::Array candidates;
+    for (const auto& c : batch) {
+      json::Object cand;
+      cand["id"] = json::Value(static_cast<double>(c.id));
+      cand["attempt"] = json::Value(c.attempt);
+      cand["config"] = named_config(*entry->space, c.config);
+      candidates.emplace_back(std::move(cand));
+    }
+    body["id"] = json::Value(id);
+    body["candidates"] = json::Value(std::move(candidates));
+    put_status(body, *entry->session, /*with_best_config=*/false);
+  }
+  count("tunekit_session_asks_total");
+  evict_excess();
+  return json::Value(std::move(body));
+}
+
+json::Value SessionManager::tell(const std::string& id, const json::Value& body) {
+  if (!body.is_object()) throw ApiError(400, "tell body must be a JSON object");
+  auto entry = find_or_load(id);
+  json::Object reply;
+  {
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    if (!entry->session) materialize(*entry, /*resume_from_journal=*/true);
+    service::TuningSession& session = *entry->session;
+
+    try {
+      bool accepted = true;
+      robust::EvalOutcome outcome = robust::EvalOutcome::Ok;
+      if (body.contains("outcome")) {
+        outcome = robust::outcome_from_string(body.at("outcome").as_string());
+      }
+      if (body.contains("config")) {
+        // Unsolicited observation (warm-start point measured elsewhere).
+        search::NamedConfig named;
+        for (const auto& [name, v] : body.at("config").as_object()) {
+          if (!entry->space->has(name)) {
+            throw ApiError(422, "unknown parameter '" + name + "'");
+          }
+          named[name] = v.as_number();
+        }
+        if (!body.contains("value")) throw ApiError(422, "observation needs a value");
+        session.observe(search::from_named(*entry->space, named),
+                        body.at("value").as_number(),
+                        body.number_or("cost_seconds", 0.0));
+      } else if (body.contains("id")) {
+        const auto eval_id = static_cast<std::uint64_t>(body.at("id").as_number());
+        if (robust::is_failure(outcome)) {
+          accepted = session.tell_failure(eval_id, outcome);
+        } else {
+          if (!body.contains("value")) throw ApiError(422, "tell needs a value");
+          const double value = body.at("value").is_null()
+                                   ? std::numeric_limits<double>::quiet_NaN()
+                                   : body.at("value").as_number();
+          accepted = session.tell(eval_id, value, body.number_or("cost_seconds", 0.0),
+                                  body.number_or("noise", 0.0),
+                                  body.number_or("duration_ms", 0.0),
+                                  static_cast<int>(body.number_or("worker_slot", -1.0)));
+        }
+      } else {
+        throw ApiError(422, "tell needs an \"id\" or a \"config\"");
+      }
+      reply["accepted"] = json::Value(accepted);
+    } catch (const ApiError&) {
+      throw;
+    } catch (const json::JsonError& e) {
+      throw ApiError(422, e.what());
+    } catch (const std::invalid_argument& e) {
+      throw ApiError(422, e.what());
+    }
+    reply["id"] = json::Value(id);
+    put_status(reply, session, /*with_best_config=*/false);
+  }
+  count("tunekit_session_tells_total");
+  return json::Value(std::move(reply));
+}
+
+json::Value SessionManager::report(const std::string& id) {
+  auto entry = find_or_load(id);
+  json::Object body;
+  std::lock_guard<std::mutex> lock(entry->mutex);
+  if (!entry->session) materialize(*entry, /*resume_from_journal=*/true);
+  body["id"] = json::Value(id);
+  body["backend"] = json::Value(
+      std::string(to_string(entry->session->options().backend)));
+  body["max_evals"] = json::Value(entry->session->options().max_evals);
+  body["space_size"] = json::Value(entry->space->size());
+  put_status(body, *entry->session, /*with_best_config=*/true);
+  body["metrics"] = entry->session->metrics().to_json();
+  return json::Value(std::move(body));
+}
+
+json::Value SessionManager::close(const std::string& id) {
+  auto entry = find_or_load(id);
+  json::Object body;
+  {
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    if (!entry->session) materialize(*entry, /*resume_from_journal=*/true);
+    entry->session->close();
+    body["id"] = json::Value(id);
+    put_status(body, *entry->session, /*with_best_config=*/true);
+    entry->session.reset();
+    entry->app.reset();
+    entry->owned_space.reset();
+    entry->space = nullptr;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.erase(id);
+  }
+  count("tunekit_sessions_closed_total");
+  return json::Value(std::move(body));
+}
+
+json::Value SessionManager::list() const {
+  std::vector<std::shared_ptr<Entry>> entries;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries.reserve(map_.size());
+    for (const auto& [id, entry] : map_) entries.push_back(entry);
+  }
+  json::Array sessions;
+  for (const auto& entry : entries) {
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    json::Object obj;
+    obj["id"] = json::Value(entry->id);
+    obj["resident"] = json::Value(entry->session != nullptr);
+    if (entry->session) {
+      obj["state"] = json::Value(to_string(entry->session->state()));
+      obj["completed"] = json::Value(entry->session->completed());
+    }
+    sessions.emplace_back(std::move(obj));
+  }
+  json::Object body;
+  body["sessions"] = json::Value(std::move(sessions));
+  return json::Value(std::move(body));
+}
+
+void SessionManager::flush_all() {
+  std::vector<std::shared_ptr<Entry>> entries;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, entry] : map_) entries.push_back(entry);
+  }
+  for (const auto& entry : entries) {
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    if (entry->session) entry->session->flush_metrics();
+  }
+}
+
+std::size_t SessionManager::resident() const {
+  std::vector<std::shared_ptr<Entry>> entries;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, entry] : map_) entries.push_back(entry);
+  }
+  std::size_t n = 0;
+  for (const auto& entry : entries) {
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    if (entry->session) ++n;
+  }
+  return n;
+}
+
+// LRU-evict idle journaled sessions down to max_resident: flush the metrics
+// snapshot, destroy the session (its journal is the durable state), and let
+// the next touch resume it. Busy entries (mutex held by a live request) are
+// skipped — eviction must never block or deadlock a request.
+void SessionManager::evict_excess() {
+  if (options_.journal_dir.empty()) return;
+  std::vector<std::shared_ptr<Entry>> entries;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, entry] : map_) entries.push_back(entry);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a->last_used < b->last_used; });
+  // Count residents with a non-blocking pass; stale counts only make
+  // eviction slightly late, never wrong.
+  std::size_t live = 0;
+  for (const auto& entry : entries) {
+    std::unique_lock<std::mutex> lock(entry->mutex, std::try_to_lock);
+    if (!lock.owns_lock() || entry->session) ++live;
+  }
+  if (live <= options_.max_resident) return;
+  for (const auto& entry : entries) {
+    if (live <= options_.max_resident) break;
+    std::unique_lock<std::mutex> lock(entry->mutex, std::try_to_lock);
+    if (!lock.owns_lock() || !entry->session) continue;
+    entry->session->flush_metrics();
+    entry->session.reset();
+    entry->app.reset();
+    entry->owned_space.reset();
+    entry->space = nullptr;
+    --live;
+    count("tunekit_sessions_evicted_total");
+    log_debug("SessionManager: evicted idle session '", entry->id, "'");
+  }
+}
+
+}  // namespace tunekit::net

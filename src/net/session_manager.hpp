@@ -1,0 +1,139 @@
+#pragma once
+// SessionManager: many concurrent journaled TuningSessions behind string ids.
+//
+// This is the multiplexing layer of the remote tuning server: each HTTP
+// client addresses a session by id, the manager serializes access per
+// session (one entry mutex each — two clients interleaving ask/tell on the
+// same session can never double-issue a candidate), and keeps memory bounded
+// by LRU-evicting idle sessions back to their journals (flush, destroy,
+// resume on next touch). With a journal directory configured every session
+// also survives a full server restart: the creation spec is persisted as a
+// sidecar JSON next to the journal, so `ask`/`tell`/`report` for an id the
+// restarted process has never seen transparently rebuilds the space and
+// resumes the session from disk.
+//
+// All operations take and return json::Value — the REST layer maps them 1:1
+// onto endpoints — and signal client-addressable failures with ApiError,
+// which carries the HTTP status to answer with.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "common/json.hpp"
+#include "service/session.hpp"
+
+namespace tunekit::obs {
+class Telemetry;
+}
+namespace tunekit::core {
+class TunableApp;
+}
+
+namespace tunekit::net {
+
+/// A failure the client can be told about: carries the HTTP status code.
+class ApiError : public std::runtime_error {
+ public:
+  ApiError(int status, const std::string& message)
+      : std::runtime_error(message), status_(status) {}
+  int status() const { return status_; }
+
+ private:
+  int status_;
+};
+
+struct SessionManagerOptions {
+  /// Journals + spec sidecars live here ("<id>.journal.jsonl",
+  /// "<id>.spec.json"). Empty = in-memory sessions only: no crash recovery,
+  /// no idle eviction, no resume across restarts.
+  std::string journal_dir;
+  /// Live TuningSessions kept in memory before LRU eviction kicks in
+  /// (journaled sessions only; in-memory sessions are never evicted).
+  std::size_t max_resident = 64;
+  /// Hard cap on concurrently known sessions; create beyond it is a 429.
+  std::size_t max_sessions = 1024;
+  /// Telemetry for session counters and journal fsync latency (nullable).
+  obs::Telemetry* telemetry = nullptr;
+};
+
+class SessionManager {
+ public:
+  explicit SessionManager(SessionManagerOptions options);
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Create a session from a spec:
+  ///   {"app": "synth:case1", ...}        built-in app's space, or
+  ///   {"space": {"params": [...]}, ...}  inline space (service/space_codec)
+  /// plus session options: "id" (optional; generated when absent), "backend"
+  /// (bo|random|grid), "max_evals", "n_init", "seed", "deadline_seconds",
+  /// "max_attempts", "quarantine_after", "grid_real_levels".
+  /// Returns {"id", "backend", "state", "space_size", "max_evals"}.
+  json::Value create(const json::Value& spec);
+
+  /// Ask up to k candidates. {"id","state","remaining","completed",
+  /// "candidates":[{"id","attempt","config":{name:value}}]}.
+  json::Value ask(const std::string& id, std::size_t k);
+
+  /// Report a result. Body is one of
+  ///   {"id":N, "value":V[, "cost_seconds"][, "noise"][, "duration_ms"]
+  ///           [, "worker_slot"][, "outcome":"ok"]}
+  ///   {"id":N, "outcome":"crashed"|"timed-out"|"invalid-config"|"non-finite"}
+  ///   {"config":{name:value}, "value":V[, "cost_seconds"]}   (observation)
+  json::Value tell(const std::string& id, const json::Value& body);
+
+  /// Status + best + session metrics snapshot.
+  json::Value report(const std::string& id);
+
+  /// Graceful close: journals the final metrics snapshot and forgets the
+  /// session (the journal stays on disk).
+  json::Value close(const std::string& id);
+
+  /// {"sessions":[{"id","state","completed","resident"}...]}
+  json::Value list() const;
+
+  /// Flush every resident session's metrics snapshot to its journal — the
+  /// SIGTERM drain path. Safe to call repeatedly.
+  void flush_all();
+
+  /// Live TuningSessions currently in memory.
+  std::size_t resident() const;
+
+ private:
+  struct Entry {
+    std::string id;
+    json::Value spec;  ///< creation spec (source of truth for re-materialize)
+    /// The space either belongs to a built-in app ("app" specs — app
+    /// constraints may reference app state, so the app must stay alive) or is
+    /// owned directly (inline "space" specs). `space` points at whichever.
+    std::unique_ptr<core::TunableApp> app;
+    std::unique_ptr<search::SearchSpace> owned_space;
+    const search::SearchSpace* space = nullptr;
+    std::unique_ptr<service::TuningSession> session;  ///< null when evicted
+    std::chrono::steady_clock::time_point last_used;
+    std::mutex mutex;  ///< serializes all session access for this id
+  };
+
+  std::string journal_path(const std::string& id) const;
+  std::string spec_path(const std::string& id) const;
+  /// Look up an entry, lazily loading it from a spec sidecar after a
+  /// restart. Throws ApiError(404) when the id is unknown everywhere.
+  std::shared_ptr<Entry> find_or_load(const std::string& id);
+  /// Build (or resume) the TuningSession for an entry. Entry mutex held.
+  void materialize(Entry& entry, bool resume_from_journal);
+  /// Evict least-recently-used idle sessions down to max_resident.
+  void evict_excess();
+  void count(const char* name);
+
+  SessionManagerOptions options_;
+  mutable std::mutex mutex_;  ///< guards map_ and next_id_
+  std::map<std::string, std::shared_ptr<Entry>> map_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace tunekit::net

@@ -15,6 +15,7 @@
 #endif
 
 #include "common/json.hpp"
+#include "common/log.hpp"
 #include "common/stopwatch.hpp"
 #include "obs/telemetry.hpp"
 
@@ -269,67 +270,83 @@ SessionStore::Replay SessionStore::replay(const std::string& path,
   std::uint64_t max_id_seen = 0;
   bool any_id = false;
   for (std::size_t i = 1; i < lines.size(); ++i) {
+    // A crash mid-append leaves the *final* line partially written: usually
+    // unparseable JSON, but possibly a parseable fragment missing keys. Any
+    // failure on that line means "the last record never fully landed" —
+    // recover with a warning instead of failing the whole resume. Earlier
+    // lines stay strict: corruption there is real damage, not a torn tail.
+    const bool final_line = i + 1 == lines.size();
     json::Value v;
     try {
       v = json::parse(lines[i]);
-    } catch (const json::JsonError&) {
-      if (i + 1 == lines.size()) break;  // torn final line from a crash
+    } catch (const json::JsonError& err) {
+      if (final_line) {
+        log_warn("SessionStore: ignoring torn trailing record in '", path,
+                 "': ", err.what());
+        break;
+      }
       throw std::runtime_error("SessionStore: corrupt journal line in " + path);
     }
-    const std::string& e = v.at("e").as_string();
-    if (e == "quar") {
-      // Quarantine records carry a config, not a candidate id.
-      out.quarantined.push_back(parse_config(v, space.size(), path));
-      continue;
-    }
-    if (e == "metrics") {
-      // Latest snapshot wins; absent "snap" (foreign writer) is tolerated.
-      if (v.contains("snap")) out.metrics = v.at("snap");
-      continue;
-    }
-    const auto id = static_cast<std::uint64_t>(v.at("id").as_number());
-    max_id_seen = std::max(max_id_seen, id);
-    any_id = true;
-    if (e == "ask") {
-      Candidate c;
-      c.id = id;
-      c.attempt = static_cast<std::size_t>(v.number_or("attempt", 0.0));
-      c.config = parse_config(v, space.size(), path);
-      open[id] = std::move(c);
-    } else if (e == "tell") {
-      auto it = open.find(id);
-      if (it == open.end()) continue;  // duplicate/out-of-order tell
-      const double value = v.at("value").is_null()
-                               ? std::numeric_limits<double>::quiet_NaN()
-                               : v.at("value").as_number();
-      search::Evaluation done;
-      done.config = it->second.config;
-      done.value = value;
-      done.cost_seconds = v.number_or("cost", 0.0);
-      done.outcome = robust::classify_value(value);
-      done.dispersion = v.number_or("noise", 0.0);
-      done.duration_ms = v.number_or("dur_ms", 0.0);
-      done.worker_slot = static_cast<int>(v.number_or("slot", -1.0));
-      out.completed.push_back(std::move(done));
-      open.erase(it);
-    } else if (e == "fail") {
-      auto it = open.find(id);
-      if (it != open.end()) ++it->second.attempt;
-    } else if (e == "drop") {
-      auto it = open.find(id);
-      if (it == open.end()) continue;
-      const double value = v.at("value").is_null()
-                               ? std::numeric_limits<double>::quiet_NaN()
-                               : v.at("value").as_number();
-      // Seed-era drops carried no "why": assume a crash, the old semantics.
-      const robust::EvalOutcome why =
-          v.contains("why") ? robust::outcome_from_string(v.at("why").as_string())
-                            : robust::EvalOutcome::Crashed;
-      out.completed.push_back({it->second.config, value, 0.0, why, 0.0});
-      open.erase(it);
-    } else {
-      throw std::runtime_error("SessionStore: unknown journal event '" + e + "' in " +
-                               path);
+    try {
+      const std::string& e = v.at("e").as_string();
+      if (e == "quar") {
+        // Quarantine records carry a config, not a candidate id.
+        out.quarantined.push_back(parse_config(v, space.size(), path));
+        continue;
+      }
+      if (e == "metrics") {
+        // Latest snapshot wins; absent "snap" (foreign writer) is tolerated.
+        if (v.contains("snap")) out.metrics = v.at("snap");
+        continue;
+      }
+      const auto id = static_cast<std::uint64_t>(v.at("id").as_number());
+      max_id_seen = std::max(max_id_seen, id);
+      any_id = true;
+      if (e == "ask") {
+        Candidate c;
+        c.id = id;
+        c.attempt = static_cast<std::size_t>(v.number_or("attempt", 0.0));
+        c.config = parse_config(v, space.size(), path);
+        open[id] = std::move(c);
+      } else if (e == "tell") {
+        auto it = open.find(id);
+        if (it == open.end()) continue;  // duplicate/out-of-order tell
+        const double value = v.at("value").is_null()
+                                 ? std::numeric_limits<double>::quiet_NaN()
+                                 : v.at("value").as_number();
+        search::Evaluation done;
+        done.config = it->second.config;
+        done.value = value;
+        done.cost_seconds = v.number_or("cost", 0.0);
+        done.outcome = robust::classify_value(value);
+        done.dispersion = v.number_or("noise", 0.0);
+        done.duration_ms = v.number_or("dur_ms", 0.0);
+        done.worker_slot = static_cast<int>(v.number_or("slot", -1.0));
+        out.completed.push_back(std::move(done));
+        open.erase(it);
+      } else if (e == "fail") {
+        auto it = open.find(id);
+        if (it != open.end()) ++it->second.attempt;
+      } else if (e == "drop") {
+        auto it = open.find(id);
+        if (it == open.end()) continue;
+        const double value = v.at("value").is_null()
+                                 ? std::numeric_limits<double>::quiet_NaN()
+                                 : v.at("value").as_number();
+        // Seed-era drops carried no "why": assume a crash, the old semantics.
+        const robust::EvalOutcome why =
+            v.contains("why") ? robust::outcome_from_string(v.at("why").as_string())
+                              : robust::EvalOutcome::Crashed;
+        out.completed.push_back({it->second.config, value, 0.0, why, 0.0});
+        open.erase(it);
+      } else {
+        throw std::runtime_error("SessionStore: unknown journal event '" + e +
+                                 "' in " + path);
+      }
+    } catch (const std::exception& err) {
+      if (!final_line) throw;
+      log_warn("SessionStore: ignoring malformed trailing record in '", path,
+               "': ", err.what());
     }
   }
 

@@ -105,8 +105,9 @@ class SessionStore {
 
   /// Parse a journal (following its snapshot reference, if any). Throws
   /// std::runtime_error on a missing/corrupt header or a config arity
-  /// mismatch against `space`. A trailing partial line (torn write during a
-  /// crash) is ignored.
+  /// mismatch against `space`. A trailing partial record (torn write during
+  /// a crash — unparseable JSON *or* a parseable fragment missing keys) is
+  /// logged as a warning and skipped; corruption anywhere else still throws.
   static Replay replay(const std::string& path, const search::SearchSpace& space);
 
   ~SessionStore();

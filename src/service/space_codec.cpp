@@ -1,0 +1,146 @@
+#include "service/space_codec.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace tunekit::service {
+
+using search::ParamKind;
+using search::ParamSpec;
+
+json::Value space_to_json(const search::SearchSpace& space) {
+  json::Array params;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const ParamSpec& p = space.param(i);
+    json::Object obj;
+    obj["name"] = json::Value(p.name());
+    obj["kind"] = json::Value(std::string(search::to_string(p.kind())));
+    obj["default"] = json::Value(p.default_value());
+    switch (p.kind()) {
+      case ParamKind::Real:
+      case ParamKind::Integer:
+        obj["lo"] = json::Value(p.lo());
+        obj["hi"] = json::Value(p.hi());
+        break;
+      case ParamKind::Ordinal: {
+        json::Array levels;
+        for (double v : p.levels()) levels.emplace_back(v);
+        obj["levels"] = json::Value(std::move(levels));
+        break;
+      }
+      case ParamKind::Categorical:
+        obj["n"] = json::Value(p.cardinality());
+        break;
+    }
+    params.emplace_back(std::move(obj));
+  }
+  json::Object spec;
+  spec["params"] = json::Value(std::move(params));
+  return json::Value(std::move(spec));
+}
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& what) {
+  throw json::JsonError("space spec: " + what);
+}
+
+double require_number(const json::Value& obj, const std::string& key,
+                      const std::string& where) {
+  if (!obj.contains(key)) bad_spec("missing '" + key + "' in " + where);
+  const json::Value& v = obj.at(key);
+  if (!v.is_number()) bad_spec("'" + key + "' must be a number in " + where);
+  return v.as_number();
+}
+
+ParamSpec param_from_json(const json::Value& entry) {
+  if (!entry.is_object()) bad_spec("every params entry must be an object");
+  if (!entry.contains("name") || !entry.at("name").is_string()) {
+    bad_spec("params entry missing a string 'name'");
+  }
+  const std::string& name = entry.at("name").as_string();
+  if (name.empty()) bad_spec("parameter name must not be empty");
+  const std::string where = "parameter '" + name + "'";
+  if (!entry.contains("kind") || !entry.at("kind").is_string()) {
+    bad_spec("missing string 'kind' in " + where);
+  }
+  const std::string& kind = entry.at("kind").as_string();
+
+  if (kind == "real") {
+    const double lo = require_number(entry, "lo", where);
+    const double hi = require_number(entry, "hi", where);
+    const double dflt = require_number(entry, "default", where);
+    if (!(lo < hi)) bad_spec("lo must be < hi in " + where);
+    if (dflt < lo || dflt > hi) bad_spec("default outside [lo, hi] in " + where);
+    return ParamSpec::real(name, lo, hi, dflt);
+  }
+  if (kind == "integer") {
+    const double lo = require_number(entry, "lo", where);
+    const double hi = require_number(entry, "hi", where);
+    const double dflt = require_number(entry, "default", where);
+    if (lo != std::floor(lo) || hi != std::floor(hi) || dflt != std::floor(dflt)) {
+      bad_spec("integer bounds/default must be whole numbers in " + where);
+    }
+    if (!(lo <= hi)) bad_spec("lo must be <= hi in " + where);
+    if (dflt < lo || dflt > hi) bad_spec("default outside [lo, hi] in " + where);
+    return ParamSpec::integer(name, static_cast<std::int64_t>(lo),
+                              static_cast<std::int64_t>(hi),
+                              static_cast<std::int64_t>(dflt));
+  }
+  if (kind == "ordinal") {
+    if (!entry.contains("levels") || !entry.at("levels").is_array()) {
+      bad_spec("missing 'levels' array in " + where);
+    }
+    const auto& arr = entry.at("levels").as_array();
+    if (arr.empty()) bad_spec("'levels' must not be empty in " + where);
+    std::vector<double> levels;
+    levels.reserve(arr.size());
+    for (const auto& v : arr) {
+      if (!v.is_number()) bad_spec("'levels' must hold numbers in " + where);
+      if (!levels.empty() && v.as_number() <= levels.back()) {
+        bad_spec("'levels' must be strictly increasing in " + where);
+      }
+      levels.push_back(v.as_number());
+    }
+    const double dflt = require_number(entry, "default", where);
+    return ParamSpec::ordinal(name, std::move(levels), dflt);
+  }
+  if (kind == "categorical") {
+    const double n = require_number(entry, "n", where);
+    if (n < 1 || n != std::floor(n)) {
+      bad_spec("'n' must be a positive whole number in " + where);
+    }
+    const double dflt = require_number(entry, "default", where);
+    if (dflt < 0 || dflt >= n || dflt != std::floor(dflt)) {
+      bad_spec("default category outside [0, n) in " + where);
+    }
+    return ParamSpec::categorical(name, static_cast<std::size_t>(n),
+                                  static_cast<std::size_t>(dflt));
+  }
+  bad_spec("unknown kind '" + kind + "' in " + where +
+           " (expected real, integer, ordinal, or categorical)");
+}
+
+}  // namespace
+
+search::SearchSpace space_from_json(const json::Value& spec) {
+  if (!spec.is_object() || !spec.contains("params") ||
+      !spec.at("params").is_array()) {
+    bad_spec("expected an object with a 'params' array");
+  }
+  const auto& params = spec.at("params").as_array();
+  if (params.empty()) bad_spec("'params' must not be empty");
+  search::SearchSpace space;
+  for (const auto& entry : params) {
+    try {
+      space.add(param_from_json(entry));
+    } catch (const std::invalid_argument& e) {
+      // ParamSpec factories and SearchSpace::add validate too (duplicate
+      // names, default not a level, ...); surface those as spec errors.
+      bad_spec(e.what());
+    }
+  }
+  return space;
+}
+
+}  // namespace tunekit::service

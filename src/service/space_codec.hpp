@@ -1,0 +1,31 @@
+#pragma once
+// SearchSpace <-> JSON codec, so a remote client can define a tuning space
+// without linking tunekit: POST /v1/sessions carries either a built-in app
+// name or an inline space spec in this format.
+//
+// Spec shape:
+//   {"params": [
+//     {"name":"x",  "kind":"real",    "lo":-50, "hi":50, "default":0},
+//     {"name":"tb", "kind":"integer", "lo":1,   "hi":1024, "default":128},
+//     {"name":"u",  "kind":"ordinal", "levels":[1,2,4,8], "default":4},
+//     {"name":"alg","kind":"categorical", "n":3, "default":0}
+//   ]}
+//
+// Validity constraints are C++ predicates and do not round-trip; a space
+// built from JSON has none (the session's is_valid then only checks
+// representability — remote clients report invalid-config outcomes instead).
+
+#include "common/json.hpp"
+#include "search/space.hpp"
+
+namespace tunekit::service {
+
+/// Serialize the parameter list (constraints are not representable).
+json::Value space_to_json(const search::SearchSpace& space);
+
+/// Build a space from a spec. Throws json::JsonError on a malformed spec
+/// (unknown kind, missing fields, bad ranges) with a message naming the
+/// offending parameter.
+search::SearchSpace space_from_json(const json::Value& spec);
+
+}  // namespace tunekit::service

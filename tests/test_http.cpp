@@ -1,0 +1,189 @@
+// Unit tests for the HTTP/1.1 message layer (net/http): incremental parsing
+// byte by byte, limit enforcement (413/431), error classification, keep-alive
+// semantics, pipelining, and response serialization. No sockets — the parser
+// consumes bytes from anywhere.
+
+#include "net/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace tunekit::net {
+namespace {
+
+RequestParser::Status feed_all(RequestParser& p, const std::string& bytes) {
+  return p.feed(bytes.data(), bytes.size());
+}
+
+TEST(HttpParser, ParsesSimpleGet) {
+  RequestParser p;
+  const std::string wire = "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_EQ(feed_all(p, wire), RequestParser::Status::Complete);
+  EXPECT_EQ(p.request().method, "GET");
+  EXPECT_EQ(p.request().path, "/healthz");
+  EXPECT_EQ(p.request().version, "HTTP/1.1");
+  EXPECT_TRUE(p.request().body.empty());
+  EXPECT_TRUE(p.request().keep_alive());
+}
+
+TEST(HttpParser, ByteByByteDelivery) {
+  // The parser must yield exactly one Complete no matter how the bytes are
+  // chunked — one at a time is the adversarial extreme.
+  RequestParser p;
+  const std::string wire =
+      "POST /v1/sessions HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"a\"";
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    ASSERT_EQ(p.feed(&wire[i], 1), RequestParser::Status::NeedMore)
+        << "premature completion at byte " << i;
+  }
+  ASSERT_EQ(p.feed(&wire[wire.size() - 1], 1), RequestParser::Status::Complete);
+  EXPECT_EQ(p.request().method, "POST");
+  EXPECT_EQ(p.request().body, "{\"a\"");
+}
+
+TEST(HttpParser, QuerySplitAndHeaderNormalization) {
+  RequestParser p;
+  ASSERT_EQ(feed_all(p,
+                     "GET /v1/sessions?limit=5&offset=2 HTTP/1.1\r\n"
+                     "X-Custom-HEADER:   padded value  \r\n\r\n"),
+            RequestParser::Status::Complete);
+  EXPECT_EQ(p.request().path, "/v1/sessions");
+  EXPECT_EQ(p.request().query, "limit=5&offset=2");
+  // Field names are case-insensitive: stored lower-cased, values trimmed.
+  const std::string* v = p.request().header("x-custom-header");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, "padded value");
+}
+
+TEST(HttpParser, KeepAliveSemantics) {
+  {
+    RequestParser p;
+    feed_all(p, "GET / HTTP/1.1\r\n\r\n");
+    EXPECT_TRUE(p.request().keep_alive()) << "HTTP/1.1 defaults to keep-alive";
+  }
+  {
+    RequestParser p;
+    feed_all(p, "GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+    EXPECT_FALSE(p.request().keep_alive());
+  }
+  {
+    RequestParser p;
+    feed_all(p, "GET / HTTP/1.0\r\n\r\n");
+    EXPECT_FALSE(p.request().keep_alive()) << "HTTP/1.0 defaults to close";
+  }
+  {
+    RequestParser p;
+    feed_all(p, "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+    EXPECT_TRUE(p.request().keep_alive());
+  }
+}
+
+TEST(HttpParser, PipelinedRequestsSurviveReset) {
+  RequestParser p;
+  const std::string two =
+      "POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi"
+      "GET /b HTTP/1.1\r\n\r\n";
+  ASSERT_EQ(feed_all(p, two), RequestParser::Status::Complete);
+  EXPECT_EQ(p.request().path, "/a");
+  EXPECT_EQ(p.request().body, "hi");
+  p.reset();
+  // The second request was already buffered; no further bytes needed.
+  ASSERT_EQ(p.advance(), RequestParser::Status::Complete);
+  EXPECT_EQ(p.request().path, "/b");
+}
+
+TEST(HttpParser, BareLfLineEndingsTolerated) {
+  RequestParser p;
+  ASSERT_EQ(feed_all(p, "GET /x HTTP/1.1\nHost: y\n\n"),
+            RequestParser::Status::Complete);
+  EXPECT_EQ(p.request().path, "/x");
+}
+
+TEST(HttpParser, MalformedRequestLineIs400) {
+  RequestParser p;
+  ASSERT_EQ(feed_all(p, "NONSENSE\r\n\r\n"), RequestParser::Status::Error);
+  EXPECT_EQ(p.error_status(), 400);
+}
+
+TEST(HttpParser, UnsupportedVersionIs400) {
+  RequestParser p;
+  ASSERT_EQ(feed_all(p, "GET / HTTP/2.0\r\n\r\n"), RequestParser::Status::Error);
+  EXPECT_EQ(p.error_status(), 400);
+}
+
+TEST(HttpParser, TransferEncodingIs501) {
+  RequestParser p;
+  ASSERT_EQ(feed_all(p, "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            RequestParser::Status::Error);
+  EXPECT_EQ(p.error_status(), 501);
+}
+
+TEST(HttpParser, NegativeOrJunkContentLengthIs400) {
+  for (const char* bad : {"-5", "abc", "", "1e3", "18446744073709551616"}) {
+    RequestParser p;
+    const std::string wire = std::string("POST / HTTP/1.1\r\nContent-Length: ") +
+                             bad + "\r\n\r\n";
+    ASSERT_EQ(feed_all(p, wire), RequestParser::Status::Error) << bad;
+    EXPECT_EQ(p.error_status(), 400) << bad;
+  }
+}
+
+TEST(HttpParser, OversizedBodyIs413BeforeTheBodyArrives) {
+  HttpLimits limits;
+  limits.max_body_bytes = 16;
+  RequestParser p(limits);
+  // Rejected on the declared length alone — the server never buffers it.
+  ASSERT_EQ(feed_all(p, "POST / HTTP/1.1\r\nContent-Length: 17\r\n\r\n"),
+            RequestParser::Status::Error);
+  EXPECT_EQ(p.error_status(), 413);
+}
+
+TEST(HttpParser, OversizedHeaderBlockIs431) {
+  HttpLimits limits;
+  limits.max_header_bytes = 64;
+  RequestParser p(limits);
+  std::string wire = "GET / HTTP/1.1\r\nX-Pad: ";
+  wire.append(200, 'a');
+  // No terminating blank line needed: the cap fires while still buffering.
+  ASSERT_EQ(feed_all(p, wire), RequestParser::Status::Error);
+  EXPECT_EQ(p.error_status(), 431);
+}
+
+TEST(HttpParser, HeadersCompleteSignalsExpectContinueWindow) {
+  RequestParser p;
+  ASSERT_EQ(feed_all(p,
+                     "POST / HTTP/1.1\r\nContent-Length: 5\r\n"
+                     "Expect: 100-continue\r\n\r\n"),
+            RequestParser::Status::NeedMore);
+  EXPECT_TRUE(p.headers_complete());
+  ASSERT_NE(p.request().header("expect"), nullptr);
+  ASSERT_EQ(feed_all(p, "hello"), RequestParser::Status::Complete);
+  EXPECT_EQ(p.request().body, "hello");
+}
+
+TEST(HttpResponseTest, SerializationCarriesLengthAndConnection) {
+  HttpResponse r = HttpResponse::text(200, "hi", "text/plain");
+  const std::string keep = serialize(r, /*keep_alive=*/true);
+  EXPECT_NE(keep.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(keep.find("Content-Length: 2\r\n"), std::string::npos);
+  EXPECT_NE(keep.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_EQ(keep.substr(keep.size() - 2), "hi");
+
+  const std::string close = serialize(r, /*keep_alive=*/false);
+  EXPECT_NE(close.find("Connection: close\r\n"), std::string::npos);
+
+  r.close = true;  // the response can force close over the request's wish
+  EXPECT_NE(serialize(r, true).find("Connection: close\r\n"), std::string::npos);
+}
+
+TEST(HttpResponseTest, ErrorBodyIsJson) {
+  const HttpResponse r = HttpResponse::error(422, "bad spec");
+  EXPECT_EQ(r.status, 422);
+  EXPECT_EQ(r.content_type, "application/json");
+  const json::Value body = json::parse(r.body);
+  EXPECT_EQ(body.at("error").as_string(), "bad spec");
+}
+
+}  // namespace
+}  // namespace tunekit::net

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
+#include <string>
 
 namespace tunekit::json {
 namespace {
@@ -48,6 +50,63 @@ TEST(Json, ParseErrors) {
   EXPECT_THROW(parse("{\"a\":1} extra"), JsonError);
   EXPECT_THROW(parse("{\"a\" 1}"), JsonError);
   EXPECT_THROW(parse("\"unterminated"), JsonError);
+}
+
+// Untrusted network input: truncated documents must throw, never crash or
+// silently reinterpret.
+TEST(Json, TruncatedInputThrows) {
+  const std::string full = R"({"op":"tell","id":7,"value":12.5,"cfg":[1,2,3]})";
+  for (std::size_t n = 0; n < full.size(); ++n) {
+    EXPECT_THROW(parse(full.substr(0, n)), JsonError) << "prefix length " << n;
+  }
+}
+
+TEST(Json, DeepNestingIsRejectedNotStackOverflow) {
+  // 100k open brackets: without the depth bound this recursed to a stack
+  // overflow (UB); with it, a clean JsonError.
+  const std::string deep_arrays(100000, '[');
+  EXPECT_THROW(parse(deep_arrays), JsonError);
+  std::string deep_objects;
+  for (int i = 0; i < 100000; ++i) deep_objects += "{\"k\":";
+  EXPECT_THROW(parse(deep_objects), JsonError);
+  // A balanced document at the limit is also rejected...
+  std::string at_limit(kMaxParseDepth, '[');
+  at_limit.append(kMaxParseDepth, ']');
+  EXPECT_THROW(parse(at_limit), JsonError);
+  // ...while one just below it parses fine.
+  std::string below_limit(kMaxParseDepth - 1, '[');
+  below_limit.append(kMaxParseDepth - 1, ']');
+  EXPECT_NO_THROW(parse(below_limit));
+}
+
+TEST(Json, HugeNumbersAreRejectedCleanly) {
+  EXPECT_THROW(parse("1e999"), JsonError);
+  EXPECT_THROW(parse("-1e999"), JsonError);
+  EXPECT_THROW(parse("[1, 2, 1e309]"), JsonError);
+  // Underflow is not an error: it rounds toward zero like strtod does.
+  EXPECT_DOUBLE_EQ(parse("1e-999").as_number(), 0.0);
+  // Subnormals (what %.17g emits for them) still round-trip.
+  EXPECT_GT(parse("4.9406564584124654e-324").as_number(), 0.0);
+  // The largest finite double round-trips.
+  EXPECT_DOUBLE_EQ(parse("1.7976931348623157e308").as_number(),
+                   std::numeric_limits<double>::max());
+}
+
+TEST(Json, MalformedNumbersAreRejected) {
+  EXPECT_THROW(parse("01"), JsonError);
+  EXPECT_THROW(parse("+1"), JsonError);
+  EXPECT_THROW(parse("--5"), JsonError);
+  EXPECT_THROW(parse("1."), JsonError);
+  EXPECT_THROW(parse(".5"), JsonError);
+  EXPECT_THROW(parse("1e"), JsonError);
+  EXPECT_THROW(parse("1e+"), JsonError);
+  EXPECT_THROW(parse("1.2.3"), JsonError);
+  EXPECT_THROW(parse("[1-2]"), JsonError);
+  EXPECT_THROW(parse("-"), JsonError);
+  // Valid forms stay valid.
+  EXPECT_DOUBLE_EQ(parse("0").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(parse("-0.5e-2").as_number(), -0.005);
+  EXPECT_DOUBLE_EQ(parse("10.25E+1").as_number(), 102.5);
 }
 
 TEST(Json, TypeMismatchThrows) {

@@ -1,0 +1,197 @@
+// In-process integration tests for the HTTP server + REST API + client:
+// a real socket server on an ephemeral port, driven by net::Client and, for
+// the protocol-abuse cases, by a raw TCP socket sending malformed bytes.
+
+#include "net/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+
+#include "net/client.hpp"
+#include "net/rest_api.hpp"
+#include "net/session_manager.hpp"
+#include "obs/telemetry.hpp"
+
+namespace tunekit::net {
+namespace {
+
+json::Value tiny_session_spec(const std::string& id) {
+  json::Object spec;
+  spec["id"] = json::Value(id);
+  spec["backend"] = json::Value(std::string("random"));
+  spec["max_evals"] = json::Value(3);
+  spec["space"] = json::parse(
+      "{\"params\":[{\"name\":\"x\",\"kind\":\"real\",\"lo\":0,\"hi\":1,"
+      "\"default\":0.5}]}");
+  return json::Value(std::move(spec));
+}
+
+/// Server + manager + api wired together on 127.0.0.1:<ephemeral>.
+struct TestServer {
+  obs::Telemetry telemetry;
+  std::unique_ptr<SessionManager> manager;
+  std::unique_ptr<RestApi> api;
+  std::unique_ptr<HttpServer> server;
+
+  explicit TestServer(ServerOptions options = {}) {
+    telemetry.enable();
+    SessionManagerOptions mopt;
+    mopt.telemetry = &telemetry;
+    manager = std::make_unique<SessionManager>(mopt);
+    api = std::make_unique<RestApi>(*manager, &telemetry);
+    options.host = "127.0.0.1";
+    options.port = 0;
+    options.telemetry = &telemetry;
+    server = std::make_unique<HttpServer>(
+        options, [this](const HttpRequest& r) { return api->handle(r); });
+    server->start();
+  }
+
+  ~TestServer() { server->shutdown(); }
+
+  Client client() { return Client("127.0.0.1", server->port(), 10.0); }
+};
+
+/// Send raw bytes on a fresh TCP connection, return everything the server
+/// answers until it closes (or the 2s receive timeout fires).
+std::string raw_exchange(std::uint16_t port, const std::string& bytes) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  timeval tv{2, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  (void)::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+  std::string reply;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    reply.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return reply;
+}
+
+TEST(NetServer, HealthzAndMetrics) {
+  TestServer ts;
+  Client client = ts.client();
+  EXPECT_TRUE(client.healthy());
+  const std::string metrics = client.metrics();
+  EXPECT_NE(metrics.find("tunekit_http_requests_total"), std::string::npos)
+      << "the server's own requests must show up in /metrics";
+}
+
+TEST(NetServer, FullSessionCycleOverOneKeepAliveConnection) {
+  TestServer ts;
+  Client client = ts.client();
+  const json::Value created = client.create_session(tiny_session_spec("cycle"));
+  EXPECT_EQ(created.at("id").as_string(), "cycle");
+
+  std::size_t completed = 0;
+  while (completed < 3) {
+    const json::Value batch = client.ask("cycle", 2);
+    const auto& cands = batch.at("candidates").as_array();
+    if (cands.empty()) break;
+    for (const auto& cand : cands) {
+      json::Object tell;
+      tell["id"] = cand.at("id");
+      tell["value"] = json::Value(cand.at("config").at("x").as_number());
+      const json::Value reply = client.tell("cycle", json::Value(std::move(tell)));
+      EXPECT_TRUE(reply.at("accepted").as_bool());
+      ++completed;
+    }
+  }
+  const json::Value report = client.report("cycle");
+  EXPECT_EQ(report.at("state").as_string(), "exhausted");
+  EXPECT_TRUE(report.contains("best_value"));
+
+  const json::Value closed = client.close_session("cycle");
+  EXPECT_EQ(closed.at("id").as_string(), "cycle");
+  // Closed means gone: the id now 404s.
+  const ClientResponse after = client.request("GET", "/v1/sessions/cycle/report");
+  EXPECT_EQ(after.status, 404);
+}
+
+TEST(NetServer, FailureOutcomesRoundTrip) {
+  TestServer ts;
+  Client client = ts.client();
+  client.create_session(tiny_session_spec("fail"));
+  const json::Value batch = client.ask("fail", 1);
+  const json::Value& id = batch.at("candidates").as_array().at(0).at("id");
+
+  json::Object tell;
+  tell["id"] = id;
+  tell["outcome"] = json::Value(std::string("timed-out"));
+  const json::Value reply = client.tell("fail", json::Value(std::move(tell)));
+  EXPECT_TRUE(reply.at("accepted").as_bool());
+  const json::Value report = client.report("fail");
+  EXPECT_DOUBLE_EQ(
+      report.at("metrics").at("outcomes").at("timed-out").as_number(), 1.0);
+}
+
+TEST(NetServer, ClientErrorsDoNotKillTheServer) {
+  TestServer ts;
+  Client client = ts.client();
+
+  // Unknown route.
+  EXPECT_EQ(client.request("GET", "/nope").status, 404);
+  // Wrong method.
+  EXPECT_EQ(client.request("DELETE", "/healthz").status, 405);
+  // Malformed JSON body.
+  EXPECT_EQ(client.request("POST", "/v1/sessions", "{not json").status, 400);
+  // Valid JSON, bad spec.
+  EXPECT_EQ(client.request("POST", "/v1/sessions", "{\"app\":\"nope\"}").status, 422);
+  // Unknown session.
+  EXPECT_EQ(client.request("POST", "/v1/sessions/ghost/ask", "{}").status, 404);
+
+  // Raw protocol garbage on fresh connections.
+  EXPECT_NE(raw_exchange(ts.server->port(), "GARBAGE\r\n\r\n").find("400"),
+            std::string::npos);
+  EXPECT_NE(raw_exchange(ts.server->port(),
+                         "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+                .find("501"),
+            std::string::npos);
+
+  // After all that abuse the server still works.
+  EXPECT_TRUE(client.healthy());
+}
+
+TEST(NetServer, OversizedBodyIs413) {
+  ServerOptions options;
+  options.limits.max_body_bytes = 256;
+  TestServer ts(options);
+  Client client = ts.client();
+  const std::string big(1024, 'x');
+  const ClientResponse r = client.request("POST", "/v1/sessions", big);
+  EXPECT_EQ(r.status, 413);
+}
+
+TEST(NetServer, ShutdownDrainsAndStopsAccepting) {
+  auto ts = std::make_unique<TestServer>();
+  const std::uint16_t port = ts->server->port();
+  {
+    Client client("127.0.0.1", port, 5.0);
+    EXPECT_TRUE(client.healthy());
+  }
+  ts->server->shutdown();
+  EXPECT_FALSE(ts->server->running());
+  Client client("127.0.0.1", port, 1.0);
+  EXPECT_FALSE(client.healthy()) << "a drained server must not accept connections";
+}
+
+}  // namespace
+}  // namespace tunekit::net

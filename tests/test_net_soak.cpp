@@ -1,0 +1,253 @@
+// Acceptance soak for the remote tuning server (ISSUE acceptance criteria):
+// eight concurrent HTTP clients drive four journaled sessions, a chaos client
+// interleaves malformed requests, and the server is drained mid-run and
+// restarted on the same journal directory. Asserts: zero double-issued
+// candidates, malformed traffic answered with 4xx while real work continues,
+// and every session resumes by id after the restart and runs to completion.
+
+#include "net/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/rest_api.hpp"
+#include "net/session_manager.hpp"
+#include "obs/telemetry.hpp"
+
+namespace tunekit::net {
+namespace {
+
+constexpr std::size_t kSessions = 4;
+constexpr std::size_t kMaxEvals = 24;
+constexpr std::size_t kClients = 8;
+
+std::vector<std::string> session_ids() {
+  std::vector<std::string> ids;
+  for (std::size_t i = 0; i < kSessions; ++i) ids.push_back("soak" + std::to_string(i));
+  return ids;
+}
+
+json::Value soak_spec(const std::string& id) {
+  json::Object spec;
+  spec["id"] = json::Value(id);
+  spec["backend"] = json::Value(std::string("random"));
+  spec["max_evals"] = json::Value(kMaxEvals);
+  spec["space"] = json::parse(
+      "{\"params\": ["
+      "{\"name\":\"x\",\"kind\":\"real\",\"lo\":-2,\"hi\":2,\"default\":0},"
+      "{\"name\":\"tb\",\"kind\":\"integer\",\"lo\":1,\"hi\":64,\"default\":8}"
+      "]}");
+  return json::Value(std::move(spec));
+}
+
+/// One server generation: manager + api + server over a shared journal dir.
+struct Generation {
+  obs::Telemetry telemetry;
+  std::unique_ptr<SessionManager> manager;
+  std::unique_ptr<RestApi> api;
+  std::unique_ptr<HttpServer> server;
+
+  explicit Generation(const std::string& journal_dir) {
+    telemetry.enable();
+    SessionManagerOptions mopt;
+    mopt.journal_dir = journal_dir;
+    mopt.telemetry = &telemetry;
+    manager = std::make_unique<SessionManager>(mopt);
+    api = std::make_unique<RestApi>(*manager, &telemetry);
+    ServerOptions sopt;
+    sopt.host = "127.0.0.1";
+    sopt.port = 0;
+    sopt.worker_threads = 4;
+    sopt.telemetry = &telemetry;
+    server = std::make_unique<HttpServer>(
+        sopt, [this](const HttpRequest& r) { return api->handle(r); });
+    server->start();
+  }
+
+  /// The same sequence `tunekit_cli serve` runs on SIGTERM: stop accepting,
+  /// drain in-flight requests, flush every journal.
+  void drain() {
+    server->request_shutdown();
+    server->wait();
+    manager->flush_all();
+  }
+
+  ~Generation() { server->shutdown(); }
+};
+
+/// Issued-candidate ledger shared by all clients of one server generation; a
+/// second insert of the same (session, eval id, attempt) means the server
+/// double-issued a candidate. (One ledger per generation: after a restart the
+/// journal legitimately re-issues in-flight candidates at the same attempt.)
+struct Ledger {
+  std::mutex mutex;
+  std::set<std::tuple<std::string, std::uint64_t, std::size_t>> issued;
+  std::size_t duplicates = 0;
+
+  void record(const std::string& session, const json::Value& cand) {
+    const auto key = std::make_tuple(
+        session, static_cast<std::uint64_t>(cand.at("id").as_number()),
+        static_cast<std::size_t>(cand.at("attempt").as_number()));
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!issued.insert(key).second) ++duplicates;
+  }
+};
+
+/// Ask/tell worker: round-robins over all sessions until every one reports a
+/// terminal state (or `stop` is raised for the mid-run drain).
+void run_client(std::uint16_t port, Ledger& ledger, const std::atomic<bool>& stop,
+                std::atomic<std::size_t>& tells) {
+  Client client("127.0.0.1", port, 10.0);
+  std::set<std::string> done;
+  const auto ids = session_ids();
+  while (!stop.load() && done.size() < ids.size()) {
+    for (const auto& id : ids) {
+      if (stop.load() || done.count(id)) continue;
+      json::Value batch;
+      try {
+        batch = client.ask(id, 2);
+      } catch (const std::exception&) {
+        done.insert(id);  // drained under us; phase 2 finishes the rest
+        continue;
+      }
+      const auto& cands = batch.at("candidates").as_array();
+      if (cands.empty()) {
+        if (batch.at("state").as_string() != "active") done.insert(id);
+        continue;
+      }
+      for (const auto& cand : cands) {
+        ledger.record(id, cand);
+        json::Object tell;
+        tell["id"] = cand.at("id");
+        tell["value"] = json::Value(cand.at("config").at("x").as_number());
+        try {
+          client.tell(id, json::Value(std::move(tell)));
+          tells.fetch_add(1);
+        } catch (const std::exception&) {
+          done.insert(id);
+          break;
+        }
+      }
+    }
+  }
+}
+
+/// Chaos client: hammers the API with malformed traffic and asserts every
+/// answer is a 4xx — never a 5xx, never a dropped connection.
+void run_chaos(std::uint16_t port, const std::atomic<bool>& stop,
+               std::atomic<std::size_t>& rejections) {
+  Client client("127.0.0.1", port, 10.0);
+  const std::pair<const char*, const char*> attacks[] = {
+      {"/v1/sessions", "{\"nope\""},                       // malformed JSON
+      {"/v1/sessions", "{\"space\":{\"params\":[]}}"},     // invalid spec
+      {"/v1/sessions/soak0/tell", "{\"id\":999999}"},      // unknown eval id
+      {"/v1/sessions/absent/ask", "{\"k\":1}"},            // unknown session
+      {"/v1/sessions/soak0/ask", "{\"k\":0}"},             // k out of range
+  };
+  while (!stop.load()) {
+    for (const auto& [path, body] : attacks) {
+      if (stop.load()) return;
+      ClientResponse r;
+      try {
+        r = client.request("POST", path, body);
+      } catch (const std::exception&) {
+        return;  // server drained mid-attack
+      }
+      EXPECT_GE(r.status, 400) << path;
+      EXPECT_LT(r.status, 500) << path << " must be a client error, got "
+                               << r.status << ": " << r.body;
+      rejections.fetch_add(1);
+    }
+  }
+}
+
+TEST(NetSoak, ConcurrentClientsSurviveChaosDrainAndResume) {
+  const auto dir = std::filesystem::temp_directory_path() / "tunekit_net_soak";
+  std::filesystem::remove_all(dir);
+  const std::string journal_dir = dir.string();
+
+  Ledger ledger1, ledger2;
+  std::atomic<std::size_t> tells{0};
+  std::atomic<std::size_t> rejections{0};
+  std::map<std::string, double> completed_at_drain;
+
+  // --- Phase 1: partial run, then SIGTERM-style drain mid-flight. ---------
+  {
+    Generation gen(journal_dir);
+    Client admin("127.0.0.1", gen.server->port(), 10.0);
+    for (const auto& id : session_ids()) admin.create_session(soak_spec(id));
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> clients;
+    for (std::size_t i = 0; i < kClients; ++i)
+      clients.emplace_back(run_client, gen.server->port(), std::ref(ledger1),
+                           std::cref(stop), std::ref(tells));
+    std::thread chaos(run_chaos, gen.server->port(), std::cref(stop),
+                      std::ref(rejections));
+
+    // Let roughly half the total budget complete under chaos, then drain.
+    while (tells.load() < kSessions * kMaxEvals / 2) std::this_thread::yield();
+    EXPECT_TRUE(admin.healthy()) << "server must stay up under malformed traffic";
+    for (const auto& id : session_ids())
+      completed_at_drain[id] = admin.report(id).at("completed").as_number();
+
+    stop.store(true);
+    for (auto& t : clients) t.join();
+    chaos.join();
+    gen.drain();
+    EXPECT_FALSE(gen.server->running());
+  }
+  EXPECT_GT(rejections.load(), 0u) << "chaos client never got through";
+
+  // --- Phase 2: new server generation on the same journal dir. ------------
+  {
+    Generation gen(journal_dir);
+    Client admin("127.0.0.1", gen.server->port(), 10.0);
+
+    // Every session resumes by id with at least its pre-drain progress.
+    for (const auto& id : session_ids()) {
+      const json::Value report = admin.report(id);
+      EXPECT_GE(report.at("completed").as_number(), completed_at_drain[id])
+          << id << " lost journaled progress across the restart";
+    }
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> clients;
+    for (std::size_t i = 0; i < kClients; ++i)
+      clients.emplace_back(run_client, gen.server->port(), std::ref(ledger2),
+                           std::cref(stop), std::ref(tells));
+    for (auto& t : clients) t.join();
+
+    for (const auto& id : session_ids()) {
+      const json::Value report = admin.report(id);
+      EXPECT_EQ(report.at("state").as_string(), "exhausted") << id;
+      EXPECT_DOUBLE_EQ(report.at("completed").as_number(),
+                       static_cast<double>(kMaxEvals))
+          << id;
+      EXPECT_TRUE(report.contains("best_value")) << id;
+    }
+    gen.drain();
+  }
+
+  EXPECT_EQ(ledger1.duplicates, 0u)
+      << "a candidate was double-issued to concurrent clients before the drain";
+  EXPECT_EQ(ledger2.duplicates, 0u)
+      << "a candidate was double-issued to concurrent clients after resume";
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace tunekit::net

@@ -134,6 +134,58 @@ TEST(SessionDurability, TornFinalLineIgnoredMidJournalCorruptionFatal) {
   std::filesystem::remove(journal);
 }
 
+// The satellite case the torn-line test above does not cover: the file is cut
+// at an arbitrary *byte* offset inside the final record — the exact artifact
+// of a crash (or full disk) partway through a write. Every truncation point
+// within the last record must replay the prior records and resume cleanly.
+TEST(SessionDurability, TruncationAtEveryByteOfTheLastRecordIsTolerated) {
+  const auto space = two_dim_space();
+  const std::string journal = temp_path("tunekit_durability_truncate.jsonl");
+  std::filesystem::remove(journal);
+  {
+    TuningSession session(space, random_options(8), journal);
+    auto batch = session.ask(3);
+    ASSERT_EQ(batch.size(), 3u);
+    ASSERT_TRUE(session.tell(batch[0].id, 1.0));
+    ASSERT_TRUE(session.tell(batch[1].id, 2.0));
+    ASSERT_TRUE(session.tell(batch[2].id, 3.0));
+  }
+  const auto full_size = std::filesystem::file_size(journal);
+  // Locate the start of the final record (the byte after the second-to-last
+  // newline; the file ends with a newline).
+  std::string bytes(full_size, '\0');
+  {
+    std::ifstream in(journal, std::ios::binary);
+    in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(in) << "could not read the journal back";
+  }
+  ASSERT_EQ(bytes.back(), '\n');
+  const auto last_start = bytes.rfind('\n', bytes.size() - 2) + 1;
+
+  const std::string backup = bytes;
+  const auto restore = [&] {
+    std::ofstream out(journal, std::ios::binary | std::ios::trunc);
+    out.write(backup.data(), static_cast<std::streamsize>(full_size));
+  };
+  // Cuts strictly inside the record leave unparseable JSON: the third tell is
+  // gone and its candidate must come back in flight for re-issue.
+  for (std::uintmax_t cut = last_start; cut + 1 < full_size; ++cut) {
+    restore();
+    std::filesystem::resize_file(journal, cut);
+    const auto replay = SessionStore::replay(journal, space);
+    EXPECT_EQ(replay.completed.size(), 2u) << "cut at byte " << cut;
+    ASSERT_EQ(replay.in_flight.size(), 1u) << "cut at byte " << cut;
+    auto resumed = TuningSession::resume(space, random_options(8), journal);
+    EXPECT_EQ(resumed->completed(), 2u) << "cut at byte " << cut;
+  }
+  // Losing only the trailing newline leaves the record's JSON complete: the
+  // acked tell must NOT be dropped in that case.
+  restore();
+  std::filesystem::resize_file(journal, full_size - 1);
+  EXPECT_EQ(SessionStore::replay(journal, space).completed.size(), 3u);
+  std::filesystem::remove(journal);
+}
+
 TEST(SessionDurability, QuarantineBanSurvivesResume) {
   const auto space = singleton_space();
   const std::string journal = temp_path("tunekit_durability_quar.jsonl");

@@ -1,0 +1,98 @@
+// SearchSpace <-> JSON codec tests: every parameter kind round-trips, and
+// malformed specs are rejected with a JsonError naming the offending
+// parameter (this is the validation boundary for untrusted session specs).
+
+#include "service/space_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace tunekit::service {
+namespace {
+
+search::SearchSpace all_kinds_space() {
+  search::SearchSpace s;
+  s.add(search::ParamSpec::real("x", -50.0, 50.0, 0.0));
+  s.add(search::ParamSpec::integer("tb", 1, 1024, 128));
+  s.add(search::ParamSpec::ordinal("u", {1.0, 2.0, 4.0, 8.0}, 4.0));
+  s.add(search::ParamSpec::categorical("alg", 3, 1));
+  return s;
+}
+
+TEST(SpaceCodec, RoundTripsEveryKind) {
+  const auto space = all_kinds_space();
+  const json::Value spec = space_to_json(space);
+  const auto rebuilt = space_from_json(spec);
+
+  ASSERT_EQ(rebuilt.size(), space.size());
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const auto& a = space.param(i);
+    const auto& b = rebuilt.param(i);
+    EXPECT_EQ(a.name(), b.name());
+    EXPECT_EQ(a.kind(), b.kind());
+    EXPECT_DOUBLE_EQ(a.default_value(), b.default_value());
+    EXPECT_EQ(a.cardinality(), b.cardinality());
+  }
+  EXPECT_EQ(rebuilt.defaults(), space.defaults());
+  // Representability carries over: a config valid in one is valid in the
+  // other (no constraints are registered on either side).
+  EXPECT_TRUE(rebuilt.is_valid(space.defaults()));
+}
+
+TEST(SpaceCodec, SerializedSpecIsSelfDescribing) {
+  const json::Value spec = space_to_json(all_kinds_space());
+  const auto& params = spec.at("params").as_array();
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_EQ(params[0].at("kind").as_string(), "real");
+  EXPECT_DOUBLE_EQ(params[0].at("lo").as_number(), -50.0);
+  EXPECT_EQ(params[2].at("kind").as_string(), "ordinal");
+  EXPECT_EQ(params[2].at("levels").as_array().size(), 4u);
+  EXPECT_EQ(params[3].at("kind").as_string(), "categorical");
+  EXPECT_DOUBLE_EQ(params[3].at("n").as_number(), 3.0);
+}
+
+TEST(SpaceCodec, MalformedSpecsAreRejected) {
+  const auto expect_bad = [](const std::string& text, const char* hint) {
+    EXPECT_THROW(space_from_json(json::parse(text)), json::JsonError) << hint;
+  };
+  expect_bad("{}", "missing params");
+  expect_bad("{\"params\": []}", "empty params");
+  expect_bad("{\"params\": [1]}", "non-object entry");
+  expect_bad("{\"params\": [{\"kind\":\"real\"}]}", "missing name");
+  expect_bad("{\"params\": [{\"name\":\"x\",\"kind\":\"fuzzy\"}]}", "unknown kind");
+  expect_bad("{\"params\": [{\"name\":\"x\",\"kind\":\"real\",\"lo\":1,\"hi\":0,"
+             "\"default\":0}]}",
+             "lo >= hi");
+  expect_bad("{\"params\": [{\"name\":\"x\",\"kind\":\"real\",\"lo\":0,\"hi\":1,"
+             "\"default\":7}]}",
+             "default outside range");
+  expect_bad("{\"params\": [{\"name\":\"x\",\"kind\":\"integer\",\"lo\":0.5,"
+             "\"hi\":2,\"default\":1}]}",
+             "fractional integer bound");
+  expect_bad("{\"params\": [{\"name\":\"u\",\"kind\":\"ordinal\","
+             "\"levels\":[4,2,1],\"default\":2}]}",
+             "levels not increasing");
+  expect_bad("{\"params\": [{\"name\":\"a\",\"kind\":\"categorical\",\"n\":0,"
+             "\"default\":0}]}",
+             "zero categories");
+  expect_bad("{\"params\": [{\"name\":\"x\",\"kind\":\"real\",\"lo\":0,\"hi\":1,"
+             "\"default\":0},{\"name\":\"x\",\"kind\":\"real\",\"lo\":0,\"hi\":1,"
+             "\"default\":0}]}",
+             "duplicate name");
+}
+
+TEST(SpaceCodec, ErrorsNameTheOffendingParameter) {
+  try {
+    space_from_json(json::parse(
+        "{\"params\": [{\"name\":\"tb_sm\",\"kind\":\"real\",\"lo\":1,\"hi\":0,"
+        "\"default\":0}]}"));
+    FAIL() << "expected JsonError";
+  } catch (const json::JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("tb_sm"), std::string::npos)
+        << "message should say which parameter is broken: " << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace tunekit::service

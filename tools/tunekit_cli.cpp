@@ -7,6 +7,13 @@
 //   tunekit_cli session --app <name> [options]        NDJSON ask/tell server
 //   tunekit_cli report  --session <dir>               time/failure breakdown
 //                                                     from session journals
+//   tunekit_cli serve   [options]                     HTTP/JSON tuning server
+//   tunekit_cli remote-create|remote-ask|remote-tell|remote-report|
+//               remote-close|remote-drive --server host:port [options]
+//                                                     HTTP client commands
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error (unknown flag or
+// command, missing/conflicting options).
 //
 // Built-in apps: synth:case1..synth:case5, tddft:cs1, tddft:cs2, minislater.
 // Common options:
@@ -34,6 +41,7 @@
 //   --resume                 resume the session from --journal
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -48,11 +56,16 @@
 #include "common/table.hpp"
 #include "core/app_registry.hpp"
 #include "core/methodology.hpp"
+#include "net/client.hpp"
+#include "net/rest_api.hpp"
+#include "net/server.hpp"
+#include "net/session_manager.hpp"
 #include "obs/export.hpp"
 #include "obs/telemetry.hpp"
 #include "robust/measure.hpp"
 #include "robust/worker_pool.hpp"
 #include "core/report.hpp"
+#include "search/config.hpp"
 #include "service/protocol.hpp"
 #include "service/session.hpp"
 #include "service/session_store.hpp"
@@ -61,9 +74,17 @@ using namespace tunekit;
 
 namespace {
 
+/// A mistake in how the tool was invoked (exit code 2), as opposed to a
+/// failure while doing the work (exit code 1). Scripts and CI key off the
+/// distinction.
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 int usage(const char* argv0) {
   std::printf(
-      "usage: %s <info|analyze|plan|tune|session> --app <name> [options]\n"
+      "usage: %s <info|analyze|plan|tune|session|serve|remote-*> [options]\n"
       "apps:  synth:case1..case5 | tddft:cs1 | tddft:cs2 | minislater\n"
       "options: --cutoff F --max-dims N --variations N --importance-samples N\n"
       "         --evals-per-param N --min-evals N --seed N --checkpoint-dir P --dot\n"
@@ -88,7 +109,20 @@ int usage(const char* argv0) {
       "         --metrics-out P (Prometheus text exposition at exit)\n"
       "         --log-file P (tee timestamped log lines to a file)\n"
       "report:  per-phase/per-search time and failure breakdown from the\n"
-      "         journals in a checkpoint dir: report --session DIR\n",
+      "         journals in a checkpoint dir: report --session DIR\n"
+      "serve:   HTTP/JSON tuning server (docs/SERVICE.md \"Remote service\")\n"
+      "         --host A --port N (0 = ephemeral) --journal-dir P\n"
+      "         --max-sessions N --max-resident N --max-connections N\n"
+      "         --threads N --max-queue N --request-timeout S --drain-timeout S\n"
+      "remote-create: --server H:P --app NAME [--session-id ID --backend B\n"
+      "         --max-evals N --seed N]\n"
+      "remote-ask:    --server H:P --session-id ID [--k N]\n"
+      "remote-tell:   --server H:P --session-id ID --eval-id N\n"
+      "         (--value V | --outcome crashed|timed-out|invalid-config|non-finite)\n"
+      "remote-report / remote-close: --server H:P --session-id ID\n"
+      "remote-drive:  full remote tune, evaluating --app locally:\n"
+      "         --server H:P --app NAME [--session-id ID --backend B\n"
+      "         --max-evals N --seed N]\n",
       argv0);
   return 2;
 }
@@ -128,6 +162,25 @@ struct CliArgs {
   std::string metrics_out;
   std::string log_file;
   std::string session_dir;  // report command
+  // serve command
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 8077;
+  std::string journal_dir;
+  std::size_t max_sessions = 1024;
+  std::size_t max_resident = 64;
+  std::size_t max_connections = 256;
+  std::size_t threads = 2;
+  std::size_t max_queue = 64;
+  double request_timeout = 30.0;
+  double drain_timeout = 5.0;
+  // remote-* commands
+  std::string server;      // host:port
+  std::string session_id;  // remote session id
+  std::uint64_t eval_id = 0;
+  bool has_eval_id = false;
+  std::string value;  // kept as text so "absent" is distinguishable
+  std::string outcome;
+  std::size_t k = 1;
 };
 
 bool parse_args(int argc, char** argv, CliArgs& args) {
@@ -178,6 +231,22 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       else if (flag == "--metrics-out") args.metrics_out = next();
       else if (flag == "--log-file") args.log_file = next();
       else if (flag == "--session") args.session_dir = next();
+      else if (flag == "--host") args.host = next();
+      else if (flag == "--port") args.port = static_cast<std::uint16_t>(std::stoul(next()));
+      else if (flag == "--journal-dir") args.journal_dir = next();
+      else if (flag == "--max-sessions") args.max_sessions = std::stoul(next());
+      else if (flag == "--max-resident") args.max_resident = std::stoul(next());
+      else if (flag == "--max-connections") args.max_connections = std::stoul(next());
+      else if (flag == "--threads") args.threads = std::stoul(next());
+      else if (flag == "--max-queue") args.max_queue = std::stoul(next());
+      else if (flag == "--request-timeout") args.request_timeout = std::stod(next());
+      else if (flag == "--drain-timeout") args.drain_timeout = std::stod(next());
+      else if (flag == "--server") args.server = next();
+      else if (flag == "--session-id") args.session_id = next();
+      else if (flag == "--eval-id") { args.eval_id = std::stoull(next()); args.has_eval_id = true; }
+      else if (flag == "--value") args.value = next();
+      else if (flag == "--outcome") args.outcome = next();
+      else if (flag == "--k") args.k = std::stoul(next());
       else {
         std::fprintf(stderr, "unknown option: %s\n", flag.c_str());
         return false;
@@ -198,16 +267,20 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
 robust::IsolationOptions make_isolation(const CliArgs& args, const char* argv0) {
   robust::IsolationOptions iso;
   if (!args.isolate.empty()) {
-    iso.mode = robust::isolation_from_string(args.isolate);  // throws on junk
+    try {
+      iso.mode = robust::isolation_from_string(args.isolate);
+    } catch (const std::invalid_argument& e) {
+      throw UsageError(e.what());
+    }
   }
   if (iso.mode != robust::IsolationMode::Process) {
     if (!args.worker_bin.empty()) {
-      throw std::runtime_error(
+      throw UsageError(
           "--worker-bin requires --isolate process (worker binaries are only "
           "used by the process sandbox)");
     }
     if (args.mem_limit_mb >= 0.0) {
-      throw std::runtime_error(
+      throw UsageError(
           "--mem-limit-mb requires --isolate process (thread isolation cannot "
           "enforce a per-evaluation memory cap)");
     }
@@ -505,6 +578,213 @@ int cmd_report(const std::string& dir) {
   return 0;
 }
 
+// --- serve: the HTTP/JSON remote tuning server (docs/SERVICE.md). ---
+
+net::HttpServer* g_server = nullptr;
+
+void handle_shutdown_signal(int) {
+  if (g_server != nullptr) g_server->request_shutdown();  // async-signal-safe
+}
+
+int cmd_serve(const CliArgs& args, obs::Telemetry* telemetry) {
+  net::SessionManagerOptions mopt;
+  mopt.journal_dir = args.journal_dir;
+  mopt.max_resident = args.max_resident;
+  mopt.max_sessions = args.max_sessions;
+  mopt.telemetry = telemetry;
+  net::SessionManager manager(mopt);
+
+  net::RestApi api(manager, telemetry);
+  net::ServerOptions sopt;
+  sopt.host = args.host;
+  sopt.port = args.port;
+  sopt.max_connections = args.max_connections;
+  sopt.worker_threads = args.threads;
+  sopt.max_queue = args.max_queue;
+  sopt.request_timeout_seconds = args.request_timeout;
+  sopt.drain_timeout_seconds = args.drain_timeout;
+  sopt.telemetry = telemetry;
+  net::HttpServer server(sopt,
+                         [&api](const net::HttpRequest& r) { return api.handle(r); });
+  server.start();
+
+  g_server = &server;
+  struct sigaction sa {};
+  sa.sa_handler = handle_shutdown_signal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  // Scripts parse this line to learn the bound port (--port 0 is ephemeral).
+  std::printf("tunekit_cli: listening on http://%s:%u\n", args.host.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  server.wait();
+  g_server = nullptr;
+  // Drain: every resident session journals a final metrics snapshot, so a
+  // restart resumes with nothing lost but what was never told.
+  manager.flush_all();
+  std::printf("tunekit_cli: drained, journals flushed\n");
+  return 0;
+}
+
+// --- remote-*: client commands against a running serve instance. ---
+
+std::pair<std::string, std::uint16_t> parse_server(const std::string& server) {
+  const std::size_t colon = server.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= server.size()) {
+    throw UsageError("--server must be host:port (e.g. 127.0.0.1:8077)");
+  }
+  unsigned long port = 0;
+  try {
+    port = std::stoul(server.substr(colon + 1));
+  } catch (const std::exception&) {
+    throw UsageError("bad port in --server '" + server + "'");
+  }
+  if (port == 0 || port > 65535) {
+    throw UsageError("bad port in --server '" + server + "'");
+  }
+  return {server.substr(0, colon), static_cast<std::uint16_t>(port)};
+}
+
+net::Client make_client(const CliArgs& args) {
+  if (args.server.empty()) throw UsageError("remote commands require --server host:port");
+  auto [host, port] = parse_server(args.server);
+  return net::Client(host, port);
+}
+
+json::Value make_session_spec(const CliArgs& args) {
+  if (args.app.empty()) throw UsageError("remote session creation requires --app");
+  json::Object spec;
+  spec["app"] = json::Value(args.app);
+  spec["backend"] = json::Value(args.backend);
+  spec["max_evals"] = json::Value(args.max_evals);
+  spec["seed"] = json::Value(args.seed);
+  if (!args.session_id.empty()) spec["id"] = json::Value(args.session_id);
+  return json::Value(std::move(spec));
+}
+
+std::string require_session_id(const CliArgs& args) {
+  if (args.session_id.empty()) throw UsageError("this command requires --session-id");
+  return args.session_id;
+}
+
+int cmd_remote_create(const CliArgs& args) {
+  net::Client client = make_client(args);
+  std::cout << client.create_session(make_session_spec(args)).dump(2) << "\n";
+  return 0;
+}
+
+int cmd_remote_ask(const CliArgs& args) {
+  net::Client client = make_client(args);
+  std::cout << client.ask(require_session_id(args), args.k).dump(2) << "\n";
+  return 0;
+}
+
+int cmd_remote_tell(const CliArgs& args) {
+  if (!args.has_eval_id) throw UsageError("remote-tell requires --eval-id");
+  if (args.value.empty() == args.outcome.empty()) {
+    throw UsageError("remote-tell needs exactly one of --value or --outcome");
+  }
+  json::Object body;
+  body["id"] = json::Value(args.eval_id);
+  if (!args.value.empty()) {
+    try {
+      body["value"] = json::Value(std::stod(args.value));
+    } catch (const std::exception&) {
+      throw UsageError("--value must be a number");
+    }
+  } else {
+    body["outcome"] = json::Value(args.outcome);
+  }
+  net::Client client = make_client(args);
+  std::cout << client.tell(require_session_id(args), json::Value(std::move(body))).dump(2)
+            << "\n";
+  return 0;
+}
+
+int cmd_remote_report(const CliArgs& args) {
+  net::Client client = make_client(args);
+  std::cout << client.report(require_session_id(args)).dump(2) << "\n";
+  return 0;
+}
+
+int cmd_remote_close(const CliArgs& args) {
+  net::Client client = make_client(args);
+  std::cout << client.close_session(require_session_id(args)).dump(2) << "\n";
+  return 0;
+}
+
+// A full remote tune in one command: create (or attach to) a server-side
+// session for --app, then loop ask -> evaluate locally -> tell until the
+// budget is exhausted. This is the CI smoke path and the reference client
+// implementation for external integrations.
+int cmd_remote_drive(const CliArgs& args) {
+  if (args.app.empty()) throw UsageError("remote-drive requires --app");
+  net::Client client = make_client(args);
+
+  std::string id = args.session_id;
+  try {
+    const json::Value created = client.create_session(make_session_spec(args));
+    id = created.at("id").as_string();
+    log_info("remote-drive: created session '", id, "'");
+  } catch (const std::exception& e) {
+    // With an explicit --session-id a conflict means "resume it".
+    if (id.empty() || std::string(e.what()).find("HTTP 409") == std::string::npos) {
+      throw;
+    }
+    log_info("remote-drive: attaching to existing session '", id, "'");
+  }
+
+  core::AppBundle bundle = core::make_builtin_app(args.app, args.seed);
+  core::RegionSumObjective objective(*bundle.app, {});
+  const search::SearchSpace& space = bundle.app->space();
+
+  std::string state = "active";
+  while (state == "active") {
+    const json::Value batch = client.ask(id, 4);
+    state = batch.at("state").as_string();
+    const auto& candidates = batch.at("candidates").as_array();
+    if (candidates.empty()) {
+      if (state == "active" && batch.number_or("outstanding", 0.0) > 0.0) {
+        // Another client holds the outstanding candidates; nothing to do.
+        break;
+      }
+      continue;
+    }
+    for (const auto& cand : candidates) {
+      search::NamedConfig named;
+      for (const auto& [name, v] : cand.at("config").as_object()) {
+        named[name] = v.as_number();
+      }
+      const search::Config config = search::from_named(space, named);
+      json::Object tell_body;
+      tell_body["id"] = cand.at("id");
+      try {
+        const double value = objective.evaluate(config);
+        tell_body["value"] = json::Value(value);
+        tell_body["cost_seconds"] = json::Value(value);
+      } catch (const std::exception&) {
+        tell_body["outcome"] = json::Value(std::string("crashed"));
+      }
+      client.tell(id, json::Value(std::move(tell_body)));
+    }
+  }
+
+  std::cout << client.report(id).dump(2) << "\n";
+  return 0;
+}
+
+int cmd_remote(const CliArgs& args) {
+  if (args.command == "remote-create") return cmd_remote_create(args);
+  if (args.command == "remote-ask") return cmd_remote_ask(args);
+  if (args.command == "remote-tell") return cmd_remote_tell(args);
+  if (args.command == "remote-report") return cmd_remote_report(args);
+  if (args.command == "remote-close") return cmd_remote_close(args);
+  if (args.command == "remote-drive") return cmd_remote_drive(args);
+  throw UsageError("unknown remote command '" + args.command + "'");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -529,7 +809,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (args.app.empty()) {
+  const bool is_serve = args.command == "serve";
+  const bool is_remote = args.command.rfind("remote-", 0) == 0;
+  if (!is_serve && !is_remote && args.app.empty()) {
     std::fprintf(stderr, "error: --app is required\n");
     return usage(argv[0]);
   }
@@ -557,25 +839,36 @@ int main(int argc, char** argv) {
 
   // Telemetry is enabled only when an exporter asked for it; every layer
   // below receives either this instance or a null pointer (zero overhead).
+  // serve always carries telemetry: /metrics is part of its contract.
   obs::Telemetry telemetry;
-  const bool want_telemetry = !args.trace_out.empty() || !args.metrics_out.empty();
+  const bool want_telemetry =
+      !args.trace_out.empty() || !args.metrics_out.empty() || is_serve;
   if (want_telemetry) telemetry.enable();
   obs::Telemetry* tel = want_telemetry ? &telemetry : nullptr;
 
   int rc = 1;
   try {
-    core::AppBundle bundle = core::make_builtin_app(args.app, args.seed);
-    const auto iso = make_isolation(args, argv[0]);
-    const auto opt = make_options(args, bundle, iso, tel);
-    if (args.command == "info") rc = cmd_info(*bundle.app);
-    else if (args.command == "analyze") rc = cmd_analyze(*bundle.app, opt, args.dot);
-    else if (args.command == "plan") rc = cmd_plan(*bundle.app, opt);
-    else if (args.command == "tune") rc = cmd_tune(*bundle.app, opt);
-    else if (args.command == "session") rc = cmd_session(*bundle.app, args, tel);
-    else {
-      std::fprintf(stderr, "unknown command '%s'\n", args.command.c_str());
-      return usage(argv[0]);
+    if (is_serve) {
+      rc = cmd_serve(args, tel);
+    } else if (is_remote) {
+      rc = cmd_remote(args);
+    } else {
+      core::AppBundle bundle = core::make_builtin_app(args.app, args.seed);
+      const auto iso = make_isolation(args, argv[0]);
+      const auto opt = make_options(args, bundle, iso, tel);
+      if (args.command == "info") rc = cmd_info(*bundle.app);
+      else if (args.command == "analyze") rc = cmd_analyze(*bundle.app, opt, args.dot);
+      else if (args.command == "plan") rc = cmd_plan(*bundle.app, opt);
+      else if (args.command == "tune") rc = cmd_tune(*bundle.app, opt);
+      else if (args.command == "session") rc = cmd_session(*bundle.app, args, tel);
+      else {
+        std::fprintf(stderr, "unknown command '%s'\n", args.command.c_str());
+        return usage(argv[0]);
+      }
     }
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    rc = 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     rc = 1;
