@@ -1,0 +1,112 @@
+#!/usr/bin/env sh
+# End-to-end smoke test for the distributed evaluation fleet.
+#
+# Real processes, real sockets:
+#   1. `tunekit_cli serve --fleet` (HTTP API + TCP evaluation dispatcher)
+#   2. two `tunekit_fleet_node` processes dial in and register
+#   3. fleet-status shows both nodes live
+#   4. a session is created and driven end-to-end on the fleet (fleet-drive)
+#   5. one node is SIGKILLed; the registry declares it dead, and a second
+#      drive still completes on the survivor (re-dispatch under the
+#      existing failure taxonomy)
+#   6. /metrics carries the fleet gauges
+#
+# Usage: scripts/fleet_smoke.sh <path-to-tunekit_cli> <path-to-tunekit_fleet_node>
+# Exits nonzero (with a FAIL line) on the first broken invariant. Keeps the
+# server and node logs in $WORK for CI to upload on failure; set
+# TUNEKIT_SMOKE_LOG_DIR to put them somewhere durable.
+set -eu
+
+CLI=${1:?usage: fleet_smoke.sh <path-to-tunekit_cli> <path-to-tunekit_fleet_node>}
+NODE_BIN=${2:?usage: fleet_smoke.sh <path-to-tunekit_cli> <path-to-tunekit_fleet_node>}
+WORK=${TUNEKIT_SMOKE_LOG_DIR:-$(mktemp -d)}
+mkdir -p "$WORK"
+SERVER_PID=""
+NODE1_PID=""
+NODE2_PID=""
+
+fail() {
+    echo "FAIL: $*" >&2
+    for log in serve.log node1.log node2.log; do
+        [ -f "$WORK/$log" ] && sed "s/^/  $log: /" "$WORK/$log" >&2
+    done
+    exit 1
+}
+
+cleanup() {
+    for pid in "$SERVER_PID" "$NODE1_PID" "$NODE2_PID"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    done
+    [ -z "${TUNEKIT_SMOKE_LOG_DIR:-}" ] && rm -rf "$WORK" || true
+}
+trap cleanup EXIT
+
+# --- 1. serve --fleet --------------------------------------------------------
+"$CLI" serve --port 0 --fleet --fleet-port 0 --journal-dir "$WORK/journals" \
+    --shards 4 --threads 2 --request-timeout 60 >"$WORK/serve.log" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's#.*listening on http://##p' "$WORK/serve.log" | head -n1)
+    FLEET=$(sed -n 's#.*fleet dispatcher on ##p' "$WORK/serve.log" | head -n1)
+    [ -n "$ADDR" ] && [ -n "$FLEET" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server died on startup"
+    sleep 0.1
+done
+[ -n "$ADDR" ] || fail "server never printed its HTTP address"
+[ -n "$FLEET" ] || fail "server never printed its fleet address"
+echo "server on $ADDR, dispatcher on $FLEET (pid $SERVER_PID)"
+
+# --- 2. two evaluation nodes dial in -----------------------------------------
+"$NODE_BIN" --server "$FLEET" --app synth:case1 --node-id smoke-a --slots 2 \
+    >"$WORK/node1.log" 2>&1 &
+NODE1_PID=$!
+"$NODE_BIN" --server "$FLEET" --app synth:case1 --node-id smoke-b --slots 2 \
+    >"$WORK/node2.log" 2>&1 &
+NODE2_PID=$!
+
+# --- 3. both nodes visible in the registry -----------------------------------
+NODES=0
+for _ in $(seq 1 50); do
+    NODES=$("$CLI" fleet-status --server "$ADDR" \
+        | grep -c '"alive": true' || true)
+    [ "$NODES" -ge 2 ] && break
+    sleep 0.2
+done
+[ "$NODES" -ge 2 ] || fail "expected 2 live nodes, registry shows $NODES"
+echo "both nodes registered"
+
+# --- 4. create a session and drive it on the fleet ---------------------------
+"$CLI" remote-create --server "$ADDR" --app synth:case1 \
+    --session-id fleet-smoke --max-evals 12 --backend random --seed 7 \
+    || fail "remote-create"
+"$CLI" fleet-drive --server "$ADDR" --session-id fleet-smoke \
+    >"$WORK/drive1.txt" || fail "fleet-drive"
+grep -q '"state": "exhausted"' "$WORK/drive1.txt" || fail "drive did not exhaust"
+grep -q '"completed": 12' "$WORK/drive1.txt" || fail "drive lost evaluations"
+echo "first drive exhausted its budget on the fleet"
+
+# --- 5. SIGKILL one node; the fleet keeps working ----------------------------
+kill -9 "$NODE1_PID"
+NODE1_PID=""
+for _ in $(seq 1 50); do
+    ALIVE=$("$CLI" fleet-status --server "$ADDR" \
+        | grep -c '"alive": true' || true)
+    [ "$ALIVE" -eq 1 ] && break
+    sleep 0.2
+done
+[ "$ALIVE" -eq 1 ] || fail "killed node never expired from the registry"
+
+"$CLI" remote-create --server "$ADDR" --app synth:case1 \
+    --session-id fleet-smoke-2 --max-evals 8 --backend random --seed 8 \
+    || fail "remote-create (post-kill)"
+"$CLI" fleet-drive --server "$ADDR" --session-id fleet-smoke-2 \
+    >"$WORK/drive2.txt" || fail "fleet-drive after node kill"
+grep -q '"completed": 8' "$WORK/drive2.txt" || fail "post-kill drive lost evals"
+echo "fleet survived a SIGKILLed node"
+
+# --- 6. fleet metrics exposed ------------------------------------------------
+curl -sf "http://$ADDR/metrics" >"$WORK/metrics.prom" || fail "metrics scrape"
+grep -q 'tunekit_fleet_nodes_up' "$WORK/metrics.prom" \
+    || fail "metrics missing fleet gauges"
+
+echo "PASS: fleet smoke (register, drive, node kill, re-drive, metrics)"

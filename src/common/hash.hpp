@@ -1,0 +1,32 @@
+#pragma once
+// Stable string hashing for shard assignment.
+//
+// The sharded SessionManager and the fleet registry both need a hash that is
+// stable across processes, platforms, and releases: a session journaled into
+// shard 3 must resolve to shard 3 after a server restart, an upgrade, or on a
+// different machine reading the same journal directory. std::hash guarantees
+// none of that, so we pin FNV-1a (64-bit) here and test the exact mapping.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tunekit::common {
+
+/// 64-bit FNV-1a over the bytes of `s`. Deterministic everywhere.
+inline std::uint64_t stable_hash(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Shard index for `id` in [0, n_shards). n_shards == 0 is treated as 1.
+inline std::size_t shard_of(const std::string& id, std::size_t n_shards) {
+  if (n_shards <= 1) return 0;
+  return static_cast<std::size_t>(stable_hash(id) % n_shards);
+}
+
+}  // namespace tunekit::common

@@ -183,7 +183,9 @@ ExecutionResult PlanExecutor::execute(TunableApp& app,
         // The scheduler gets the stripped measure options and default
         // (thread) isolation: sub_obj already routes through the sandbox, so
         // giving the scheduler its own pool would double-sandbox.
-        service::SchedulerOptions sched_opts{options_.n_threads, 0, measure, {}};
+        service::SchedulerOptions sched_opts;
+        sched_opts.n_threads = options_.n_threads;
+        sched_opts.measure = measure;
         sched_opts.telemetry = telemetry;
         service::EvalScheduler scheduler(sched_opts);
         result = scheduler.run(*session, sub_obj);

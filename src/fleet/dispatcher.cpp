@@ -1,0 +1,498 @@
+#include "fleet/dispatcher.hpp"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "obs/telemetry.hpp"
+
+namespace tunekit::fleet {
+
+namespace {
+
+int listen_tcp(const std::string& host, std::uint16_t port, std::string* error) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE | AI_NUMERICSERV;
+  addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               service.c_str(), &hints, &res);
+  if (rc != 0) {
+    if (error) *error = std::string("resolve '") + host + "': " + gai_strerror(rc);
+    return -1;
+  }
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 && ::listen(fd, 64) == 0) {
+      break;
+    }
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0 && error) {
+    *error = "bind " + host + ":" + service + ": " + std::strerror(errno);
+  }
+  return fd;
+}
+
+std::uint16_t bound_port(int fd) {
+  sockaddr_storage addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) return 0;
+  if (addr.ss_family == AF_INET) {
+    return ntohs(reinterpret_cast<sockaddr_in*>(&addr)->sin_port);
+  }
+  if (addr.ss_family == AF_INET6) {
+    return ntohs(reinterpret_cast<sockaddr_in6*>(&addr)->sin6_port);
+  }
+  return 0;
+}
+
+std::string metric_suffix(const std::string& node_id) {
+  std::string out = "_node_";
+  for (const char c : node_id) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+FleetDispatcher::FleetDispatcher(DispatcherOptions options)
+    : options_(options),
+      registry_(options.registry),
+      quarantine_(options.quarantine_after),
+      telemetry_(options.telemetry) {
+  std::string error;
+  listen_fd_ = listen_tcp(options_.host, options_.port, &error);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("fleet: cannot listen: " + error);
+  }
+  port_ = bound_port(listen_fd_);
+  accept_thread_ = std::thread(&FleetDispatcher::accept_loop, this);
+  monitor_thread_ = std::thread(&FleetDispatcher::monitor_loop, this);
+}
+
+FleetDispatcher::~FleetDispatcher() { stop(); }
+
+double FleetDispatcher::now_s() const {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void FleetDispatcher::accept_loop() {
+  while (!stopping_) {
+    pollfd p{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&p, 1, 200);
+    if (stopping_) break;
+    if (rc <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(readers_mutex_);
+    readers_.emplace_back(&FleetDispatcher::serve_connection, this, fd);
+  }
+}
+
+void FleetDispatcher::monitor_loop() {
+  while (!stopping_) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    if (stopping_) break;
+    for (const std::string& id : registry_.expire(now_s())) {
+      log_warn("fleet: node '", id, "' missed its heartbeat deadline");
+      node_down(id, "missed heartbeat deadline");
+    }
+    update_gauges();
+  }
+}
+
+void FleetDispatcher::serve_connection(int fd) {
+  auto link = std::make_shared<NdjsonLink>(fd);
+  json::Value msg;
+  // Short recv slices so stop() is never stuck behind a silent dialer.
+  const net::Deadline register_by = net::Deadline::after(10.0);
+  NdjsonLink::RecvStatus st;
+  do {
+    st = link->recv(msg, net::Deadline::after(0.5));
+  } while (st == NdjsonLink::RecvStatus::Timeout && !stopping_ &&
+           !register_by.expired());
+  if (st != NdjsonLink::RecvStatus::Line) {
+    return;  // never registered; drop silently
+  }
+  std::string id;
+  std::size_t slots = 1;
+  try {
+    if (msg.at("op").as_string() != "register" ||
+        msg.at("format").as_string() != kFleetFormat) {
+      return;
+    }
+    id = msg.at("node").as_string();
+    slots = static_cast<std::size_t>(
+        std::max(1.0, msg.number_or("slots", 1.0)));
+  } catch (const std::exception&) {
+    return;
+  }
+
+  const NodeRegistry::Admit admit = registry_.admit(id, slots, now_s());
+  if (!admit.ok) {
+    json::Object reject;
+    reject["op"] = "reject";
+    reject["reason"] = json::Value(admit.reason);
+    if (admit.retry_after_s > 0.0) {
+      reject["retry_after_s"] = json::Value(admit.retry_after_s);
+    }
+    link->send(json::Value(std::move(reject)), net::Deadline::after(5.0));
+    return;
+  }
+
+  auto node = std::make_shared<Node>();
+  node->id = id;
+  node->link = link;
+  node->slots = slots;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    nodes_[id] = node;
+  }
+  json::Object ack;
+  ack["op"] = "registered";
+  ack["node"] = json::Value(id);
+  ack["hb_interval_s"] = json::Value(options_.heartbeat_interval_s);
+  if (!link->send(json::Value(std::move(ack)), net::Deadline::after(5.0))) {
+    node_down(id, "registration ack failed", link.get());
+    return;
+  }
+  log_info("fleet: node '", id, "' joined with ", slots, " slots");
+  update_gauges();
+  pump(true);  // fresh capacity steals queued work immediately
+  node_loop(id, link);
+}
+
+void FleetDispatcher::node_loop(const std::string& id,
+                                const std::shared_ptr<NdjsonLink>& link) {
+  while (!stopping_) {
+    json::Value msg;
+    switch (link->recv(msg, net::Deadline::after(0.5))) {
+      case NdjsonLink::RecvStatus::Timeout:
+        continue;  // liveness is the monitor's job
+      case NdjsonLink::RecvStatus::Closed:
+        node_down(id, "connection closed", link.get());
+        return;
+      case NdjsonLink::RecvStatus::Malformed:
+        node_down(id, "malformed message", link.get());
+        return;
+      case NdjsonLink::RecvStatus::Line:
+        break;
+    }
+    std::string op;
+    try {
+      op = msg.at("op").as_string();
+    } catch (const std::exception&) {
+      node_down(id, "message without op", link.get());
+      return;
+    }
+    if (op == "hb") {
+      registry_.heartbeat(
+          id, static_cast<std::size_t>(std::max(0.0, msg.number_or("busy", 0.0))),
+          now_s());
+    } else if (op == "result") {
+      const auto ticket_id =
+          static_cast<std::uint64_t>(msg.number_or("id", 0.0));
+      complete_ticket(ticket_id, id, result_from_wire(msg));
+    }
+    // Unknown ops are ignored (forward compatibility).
+  }
+}
+
+void FleetDispatcher::node_down(const std::string& id, const std::string& reason,
+                                const NdjsonLink* expect) {
+  if (expect == nullptr && registry_.alive(id)) {
+    return;  // a fresh registration already replaced the expired entry
+  }
+  std::shared_ptr<Node> node;
+  std::vector<std::uint64_t> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = nodes_.find(id);
+    if (it == nodes_.end()) return;  // already torn down (or replaced)
+    if (expect != nullptr && it->second->link.get() != expect) return;
+    node = it->second;
+    nodes_.erase(it);
+    orphans = std::move(node->inflight);
+  }
+  registry_.mark_dead(id, now_s());
+  node->link->close();
+
+  bool requeued = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::uint64_t tid : orphans) {
+      auto it = tickets_.find(tid);
+      if (it == tickets_.end() || it->second.done) continue;
+      Ticket& t = it->second;
+      t.node.clear();
+      if (++t.redispatches > options_.max_redispatch) {
+        t.done = true;
+        t.result.outcome = robust::EvalOutcome::Crashed;
+        t.result.worker_died = true;
+        t.result.error = "fleet node '" + id + "' died under the evaluation (" +
+                         reason + "); redispatch limit reached";
+        continue;
+      }
+      // Front of the queue: work already paid for waits the least.
+      t.queued = true;
+      queue_.push_front(tid);
+      requeued = true;
+      redispatches_.fetch_add(1, std::memory_order_relaxed);
+      if (telemetry_ != nullptr && telemetry_->enabled()) {
+        telemetry_->metrics().counter(obs::metric::kFleetRedispatches).inc();
+      }
+    }
+  }
+  done_cv_.notify_all();
+  update_gauges();
+  if (requeued) pump(false);
+}
+
+void FleetDispatcher::pump(bool stolen) {
+  struct Send {
+    std::shared_ptr<NdjsonLink> link;
+    std::string node;
+    json::Value msg;
+  };
+  std::vector<Send> sends;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (!queue_.empty()) {
+      std::shared_ptr<Node> best;
+      for (auto& [id, node] : nodes_) {
+        if (node->inflight.size() >= node->slots) continue;
+        if (!best || node->inflight.size() < best->inflight.size()) best = node;
+      }
+      if (!best) break;
+      const std::uint64_t tid = queue_.front();
+      queue_.pop_front();
+      auto it = tickets_.find(tid);
+      if (it == tickets_.end() || it->second.done) continue;
+      Ticket& t = it->second;
+      t.queued = false;
+      t.node = best->id;
+      best->inflight.push_back(tid);
+      sends.push_back({best->link, best->id,
+                       eval_message(tid, t.config, t.deadline_s)});
+      if (stolen) {
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        if (telemetry_ != nullptr && telemetry_->enabled()) {
+          telemetry_->metrics().counter(obs::metric::kFleetSteals).inc();
+        }
+      }
+    }
+  }
+  for (Send& s : sends) {
+    if (!s.link->send(s.msg, net::Deadline::after(5.0))) {
+      node_down(s.node, "eval dispatch failed", s.link.get());
+    }
+  }
+  update_gauges();
+}
+
+void FleetDispatcher::complete_ticket(std::uint64_t id, const std::string& node_id,
+                                      robust::SandboxResult result) {
+  const bool eval_ok = result.outcome == robust::EvalOutcome::Ok;
+  double waited_s = -1.0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = tickets_.find(id);
+    // A result from a node the ticket was already re-dispatched away from is
+    // stale: exactly one delivery may win, or a tell could be double-issued.
+    if (it == tickets_.end() || it->second.done || it->second.node != node_id) {
+      return;
+    }
+    Ticket& t = it->second;
+    t.done = true;
+    t.result = std::move(result);
+    t.node.clear();
+    waited_s = now_s() - t.submitted_s;
+    auto nit = nodes_.find(node_id);
+    if (nit != nodes_.end()) {
+      auto& inflight = nit->second->inflight;
+      inflight.erase(std::remove(inflight.begin(), inflight.end(), id),
+                     inflight.end());
+    }
+    if (t.result.outcome == robust::EvalOutcome::Crashed &&
+        t.result.worker_died && quarantine_.enabled()) {
+      const std::size_t crashes = quarantine_.record_crash(t.config);
+      if (crashes == quarantine_.threshold()) {
+        log_warn("fleet: configuration quarantined fleet-wide after ", crashes,
+                 " crashes (", t.result.error, ")");
+      }
+    }
+  }
+  registry_.record_eval(node_id, eval_ok);
+  if (telemetry_ != nullptr && telemetry_->enabled() && waited_s >= 0.0) {
+    telemetry_->metrics().histogram(obs::metric::kFleetEvalSeconds).observe(waited_s);
+    telemetry_->metrics()
+        .histogram(obs::metric::kFleetEvalSeconds + metric_suffix(node_id))
+        .observe(waited_s);
+  }
+  done_cv_.notify_all();
+  pump(true);  // the freed slot pulls the next queued ticket
+}
+
+robust::SandboxResult FleetDispatcher::evaluate(const search::Config& config,
+                                                double deadline_seconds) {
+  if (quarantine_.quarantined(config)) {
+    if (telemetry_ != nullptr && telemetry_->enabled()) {
+      telemetry_->metrics().counter(obs::metric::kEvalsQuarantined).inc();
+    }
+    robust::set_last_worker_slot(-1);
+    robust::SandboxResult r;
+    r.outcome = robust::EvalOutcome::Crashed;
+    r.error = "configuration quarantined after " +
+              std::to_string(quarantine_.threshold()) + " crashes";
+    return r;
+  }
+
+  std::uint64_t tid = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tid = next_ticket_++;
+    Ticket t;
+    t.id = tid;
+    t.config = config;
+    t.deadline_s = deadline_seconds;
+    t.queued = true;
+    t.submitted_s = now_s();
+    tickets_.emplace(tid, std::move(t));
+    queue_.push_back(tid);
+  }
+  pump(false);
+
+  robust::SandboxResult result;
+  double starved_since = now_s();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+      auto it = tickets_.find(tid);
+      if (it == tickets_.end()) {  // cannot happen; defensive
+        result.outcome = robust::EvalOutcome::Crashed;
+        result.error = "fleet ticket lost";
+        break;
+      }
+      Ticket& t = it->second;
+      if (t.done) {
+        result = std::move(t.result);
+        tickets_.erase(it);
+        break;
+      }
+      if (stopping_) {
+        queue_.erase(std::remove(queue_.begin(), queue_.end(), tid), queue_.end());
+        tickets_.erase(it);
+        result.outcome = robust::EvalOutcome::Crashed;
+        result.error = "fleet dispatcher stopped";
+        break;
+      }
+      // Starvation guard: queued with zero live nodes for too long. The clock
+      // resets whenever the ticket is on a node or capacity exists.
+      if (!t.queued || registry_.nodes_alive() > 0) {
+        starved_since = now_s();
+      } else if (now_s() - starved_since > options_.no_nodes_timeout_s) {
+        queue_.erase(std::remove(queue_.begin(), queue_.end(), tid), queue_.end());
+        tickets_.erase(it);
+        result.outcome = robust::EvalOutcome::Crashed;
+        result.error = "no fleet nodes available";
+        break;
+      }
+      done_cv_.wait_for(lock, std::chrono::milliseconds(100));
+    }
+  }
+  robust::set_last_worker_slot(result.worker_slot);
+  return result;
+}
+
+std::size_t FleetDispatcher::concurrency() const {
+  return std::max<std::size_t>(1, registry_.slots_total());
+}
+
+std::size_t FleetDispatcher::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+json::Value FleetDispatcher::status_json() const {
+  json::Value out = registry_.to_json();
+  json::Object& obj = out.as_object();
+  obj["port"] = json::Value(static_cast<double>(port_));
+  obj["queue_depth"] = json::Value(queue_depth());
+  obj["steals"] = json::Value(static_cast<double>(steals()));
+  obj["redispatches"] = json::Value(static_cast<double>(redispatches()));
+  return out;
+}
+
+void FleetDispatcher::update_gauges() {
+  if (telemetry_ == nullptr || !telemetry_->enabled()) return;
+  std::size_t busy = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, node] : nodes_) busy += node->inflight.size();
+  }
+  telemetry_->metrics().gauge(obs::metric::kFleetNodesUp)
+      .set(static_cast<double>(registry_.nodes_alive()));
+  telemetry_->metrics().gauge(obs::metric::kFleetSlotsBusy)
+      .set(static_cast<double>(busy));
+}
+
+void FleetDispatcher::stop() {
+  if (stopping_.exchange(true)) {
+    // Second caller (destructor after an explicit stop): threads are joined.
+    return;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (monitor_thread_.joinable()) monitor_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [id, node] : nodes_) node->link->close();
+  }
+  {
+    std::lock_guard<std::mutex> lock(readers_mutex_);
+    for (std::thread& t : readers_) {
+      if (t.joinable()) t.join();
+    }
+    readers_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [tid, t] : tickets_) {
+      if (t.done) continue;
+      t.done = true;
+      t.result.outcome = robust::EvalOutcome::Crashed;
+      t.result.error = "fleet dispatcher stopped";
+    }
+    queue_.clear();
+  }
+  done_cv_.notify_all();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+}  // namespace tunekit::fleet

@@ -1,0 +1,157 @@
+#pragma once
+// FleetDispatcher: an EvalBackend whose slots live on other machines.
+//
+// Nodes dial the dispatcher's listen port, register over tunekit-fleet-v1,
+// and then hold one persistent connection each. evaluate() turns a config
+// into a ticket; tickets queue centrally and are pushed to whichever live
+// node has a free slot — when a node finishes an eval (or a fresh node
+// joins), its freed slot immediately pulls the next queued ticket, which is
+// the work-stealing shape: idle capacity drains the shared queue, nothing is
+// pre-partitioned.
+//
+// Failure handling reuses the local taxonomy end to end. A node that drops
+// its connection or goes silent past the heartbeat deadline is declared dead
+// (per-node quarantine backoff via NodeRegistry); its in-flight tickets are
+// re-queued at the front and re-dispatched elsewhere, up to a redispatch cap
+// — past the cap the eval reports Crashed, exactly like a worker process
+// dying under the work. Per-config CrashQuarantine runs dispatcher-side, so
+// a config that kills workers on any node is refused fleet-wide.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "fleet/registry.hpp"
+#include "fleet/remote_worker.hpp"
+#include "robust/eval_backend.hpp"
+#include "robust/quarantine.hpp"
+
+namespace tunekit::obs {
+class Telemetry;
+}
+
+namespace tunekit::fleet {
+
+struct DispatcherOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; the bound port via port()
+  /// Heartbeat cadence advertised to nodes; liveness policy in `registry`.
+  double heartbeat_interval_s = 1.0;
+  RegistryOptions registry;
+  /// Crashes of one config before fleet-wide refusal (0 disables).
+  std::size_t quarantine_after = 2;
+  /// Times one ticket may survive a node death before reporting Crashed.
+  std::size_t max_redispatch = 3;
+  /// evaluate() fails after this long queued with zero live nodes.
+  double no_nodes_timeout_s = 30.0;
+  obs::Telemetry* telemetry = nullptr;
+};
+
+class FleetDispatcher final : public robust::EvalBackend {
+ public:
+  /// Bind + listen + start the accept/monitor threads. Throws
+  /// std::runtime_error when the port cannot be bound.
+  explicit FleetDispatcher(DispatcherOptions options);
+  ~FleetDispatcher() override;
+
+  FleetDispatcher(const FleetDispatcher&) = delete;
+  FleetDispatcher& operator=(const FleetDispatcher&) = delete;
+
+  /// Queue the config, push it to a free node slot, wait for the result.
+  /// Never throws; transport failures come back classified. Thread-safe.
+  robust::SandboxResult evaluate(const search::Config& config,
+                                 double deadline_seconds) override;
+
+  bool healthy() const override { return !stopping_; }
+  /// Live fleet slots (1 while empty, so schedulers keep a working thread
+  /// ready for the first node to join).
+  std::size_t concurrency() const override;
+
+  std::uint16_t port() const { return port_; }
+  NodeRegistry& registry() { return registry_; }
+  const NodeRegistry& registry() const { return registry_; }
+  robust::CrashQuarantine& quarantine() { return quarantine_; }
+
+  std::size_t queue_depth() const;
+  std::uint64_t steals() const { return steals_; }
+  std::uint64_t redispatches() const { return redispatches_; }
+
+  /// {"nodes":[...],"queue_depth":N,"steals":S,"redispatches":R,...}
+  json::Value status_json() const;
+
+  /// Stop accepting, fail queued + in-flight tickets, join all threads.
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+ private:
+  struct Ticket {
+    std::uint64_t id = 0;
+    search::Config config;
+    double deadline_s = 0.0;
+    std::string node;  ///< assigned node id; empty while queued
+    std::size_t redispatches = 0;
+    bool queued = false;
+    bool done = false;
+    double submitted_s = 0.0;
+    robust::SandboxResult result;
+  };
+
+  struct Node {
+    std::string id;
+    std::shared_ptr<NdjsonLink> link;
+    std::size_t slots = 1;
+    std::vector<std::uint64_t> inflight;
+  };
+
+  void accept_loop();
+  void monitor_loop();
+  void serve_connection(int fd);
+  /// Reader loop after a successful registration handshake.
+  void node_loop(const std::string& id, const std::shared_ptr<NdjsonLink>& link);
+  /// Tear down a node: quarantine it in the registry and re-queue (or fail)
+  /// its in-flight tickets. Safe to call twice. `expect` guards against a
+  /// re-registered node being torn down by its predecessor's cleanup: when
+  /// non-null the current entry must still hold that link; when null (the
+  /// heartbeat monitor) the registry must still consider the id dead.
+  void node_down(const std::string& id, const std::string& reason,
+                 const NdjsonLink* expect = nullptr);
+  /// Push queued tickets onto free slots. `stolen` marks assignments made
+  /// when capacity freed up (vs. at submit time) for the steal counter.
+  void pump(bool stolen);
+  void complete_ticket(std::uint64_t id, const std::string& node,
+                       robust::SandboxResult result);
+  double now_s() const;
+  void update_gauges();
+
+  DispatcherOptions options_;
+  NodeRegistry registry_;
+  robust::CrashQuarantine quarantine_;
+  obs::Telemetry* telemetry_ = nullptr;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex mutex_;
+  std::condition_variable done_cv_;
+  std::map<std::uint64_t, Ticket> tickets_;
+  std::deque<std::uint64_t> queue_;
+  std::map<std::string, std::shared_ptr<Node>> nodes_;
+  std::uint64_t next_ticket_ = 1;
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> redispatches_{0};
+
+  std::thread accept_thread_;
+  std::thread monitor_thread_;
+  std::mutex readers_mutex_;
+  std::vector<std::thread> readers_;
+};
+
+}  // namespace tunekit::fleet

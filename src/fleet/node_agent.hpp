@@ -1,0 +1,111 @@
+#pragma once
+// NodeAgent: the machine-side half of the fleet. It dials the dispatcher,
+// registers its slot count, heartbeats, and executes the eval messages pushed
+// down the link against a local EvalBackend — by default a WorkerPool of
+// sandboxed tunekit_worker processes, so the node inherits respawn backoff
+// and SIGKILL deadlines for free. Per-config crash quarantine is disabled
+// node-side: that knowledge belongs in the dispatcher, which sees crashes
+// from every node.
+//
+// The agent reconnects with bounded exponential backoff when the dispatcher
+// goes away, and honors the dispatcher's re-admission quarantine by sleeping
+// out a rejected registration's retry_after_s. Chaos hooks (mute, spin) let
+// the soak test and the throughput bench simulate hung and slow nodes
+// without bespoke binaries.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/remote_worker.hpp"
+#include "robust/eval_backend.hpp"
+#include "robust/process_sandbox.hpp"
+
+namespace tunekit::obs {
+class Telemetry;
+}
+
+namespace tunekit::fleet {
+
+struct NodeAgentOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Fleet-unique node id; empty = "<hostname>-<pid>".
+  std::string node_id;
+  std::size_t slots = 2;
+  /// Worker process settings for the default WorkerPool backend.
+  robust::SandboxOptions sandbox;
+  /// Pre-built local backend (tests inject synthetic ones); when null a
+  /// WorkerPool is built from `sandbox`.
+  std::shared_ptr<robust::EvalBackend> backend;
+  double connect_timeout_s = 5.0;
+  double reconnect_base_s = 0.5;
+  double reconnect_max_s = 10.0;
+  /// Chaos: go silent (no heartbeats, evals held un-run) this long after the
+  /// first registration. 0 disables. The dispatcher must detect the hang and
+  /// re-dispatch the held work.
+  double chaos_mute_after_s = 0.0;
+  /// Bench: extra artificial cost added to every eval, to make dispatch
+  /// overhead measurable against a realistic per-eval duration.
+  double spin_ms = 0.0;
+  obs::Telemetry* telemetry = nullptr;
+};
+
+class NodeAgent {
+ public:
+  explicit NodeAgent(NodeAgentOptions options);
+  ~NodeAgent();
+
+  NodeAgent(const NodeAgent&) = delete;
+  NodeAgent& operator=(const NodeAgent&) = delete;
+
+  /// Connect-serve-reconnect until stop(). Returns false when the local
+  /// backend could not be built (no worker binary).
+  bool run();
+
+  /// Async-signal-compatible: flips a flag and shuts the active link.
+  void stop();
+
+  const std::string& node_id() const { return node_id_; }
+  std::uint64_t evals_served() const { return evals_served_; }
+
+ private:
+  struct PendingEval {
+    std::uint64_t id = 0;
+    search::Config config;
+    double deadline_s = 0.0;
+  };
+
+  /// One registration + message-pump cycle. Returns false on a quarantine
+  /// reject (after sleeping out retry_after_s) or transport failure.
+  void serve(const std::shared_ptr<NdjsonLink>& link, double hb_interval_s);
+  void eval_loop(const std::shared_ptr<NdjsonLink>& link);
+  bool muted() const;
+  void sleep_interruptible(double seconds);
+
+  NodeAgentOptions options_;
+  std::string node_id_;
+  std::shared_ptr<robust::EvalBackend> backend_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> session_done_{false};
+  std::atomic<std::size_t> busy_{0};
+  std::atomic<std::uint64_t> evals_served_{0};
+  /// Steady-clock second at which chaos mute engages (0 = never).
+  std::atomic<double> mute_at_s_{0.0};
+
+  std::mutex link_mutex_;
+  std::shared_ptr<NdjsonLink> active_link_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingEval> queue_;
+};
+
+}  // namespace tunekit::fleet

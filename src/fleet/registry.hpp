@@ -1,0 +1,91 @@
+#pragma once
+// NodeRegistry: membership bookkeeping for a fleet of evaluation nodes.
+//
+// The registry is deliberately passive — it holds no sockets and spawns no
+// threads. The dispatcher feeds it events (a node registered, a heartbeat
+// arrived, time passed) and asks it questions (who just missed their
+// liveness deadline, may this node re-register yet). Time is injected as a
+// plain seconds value so liveness and backoff policy are unit-testable
+// without sleeping.
+//
+// Per-node quarantine mirrors the per-config CrashQuarantine one level up:
+// a node whose connection keeps dying is refused re-admission for an
+// exponentially growing backoff window, so a flapping machine cannot churn
+// the fleet — it re-joins only once it has been quiet for a while.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace tunekit::fleet {
+
+struct RegistryOptions {
+  /// A node silent (no heartbeat, no result) for this long is declared dead.
+  double heartbeat_timeout_s = 10.0;
+  /// Re-admission backoff after a node death: base * 2^(deaths-1), capped.
+  double readmit_base_s = 1.0;
+  double readmit_max_s = 60.0;
+};
+
+struct NodeInfo {
+  std::string id;
+  std::size_t slots = 0;
+  std::size_t busy = 0;
+  bool alive = false;
+  double last_seen_s = 0.0;
+  std::size_t deaths = 0;         ///< consecutive connection losses
+  double readmit_at_s = 0.0;      ///< earliest re-admission time (quarantine)
+  std::uint64_t evals_ok = 0;
+  std::uint64_t evals_failed = 0;
+};
+
+class NodeRegistry {
+ public:
+  explicit NodeRegistry(RegistryOptions options = {}) : options_(options) {}
+
+  struct Admit {
+    bool ok = false;
+    double retry_after_s = 0.0;  ///< when refused: seconds until re-admission
+    std::string reason;
+  };
+
+  /// A node asked to join (or re-join). Refused while its quarantine backoff
+  /// is still running, or while a live node already holds the id.
+  Admit admit(const std::string& id, std::size_t slots, double now_s);
+
+  /// Heartbeat (or any sign of life) from a live node. Returns false for an
+  /// unknown or dead node — the dispatcher should drop that connection.
+  bool heartbeat(const std::string& id, std::size_t busy, double now_s);
+
+  /// Declare every node silent past the liveness deadline dead; returns their
+  /// ids so the dispatcher can tear down links and re-queue in-flight work.
+  std::vector<std::string> expire(double now_s);
+
+  /// A node's connection dropped (or it was expired). Starts its re-admission
+  /// backoff. Idempotent for already-dead nodes.
+  void mark_dead(const std::string& id, double now_s);
+
+  /// Outcome accounting for status surfaces. Any delivered result clears the
+  /// node's death streak, so its next re-admission backoff starts small.
+  void record_eval(const std::string& id, bool ok);
+
+  bool alive(const std::string& id) const;
+  std::size_t nodes_alive() const;
+  std::size_t slots_total() const;  ///< across live nodes
+
+  std::vector<NodeInfo> snapshot() const;
+  json::Value to_json() const;
+
+  const RegistryOptions& options() const { return options_; }
+
+ private:
+  RegistryOptions options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, NodeInfo> nodes_;
+};
+
+}  // namespace tunekit::fleet

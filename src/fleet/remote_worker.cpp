@@ -1,0 +1,147 @@
+#include "fleet/remote_worker.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <limits>
+
+#include "robust/outcome.hpp"
+
+namespace tunekit::fleet {
+
+NdjsonLink::~NdjsonLink() {
+  close();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void NdjsonLink::close() {
+  if (!shut_.exchange(true, std::memory_order_acq_rel) && fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+bool NdjsonLink::send(const json::Value& message, const net::Deadline& deadline) {
+  if (closed()) return false;
+  std::string line = message.dump();
+  line.push_back('\n');
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  if (closed()) return false;
+  const net::IoResult r = net::write_all(fd_, line.data(), line.size(), deadline);
+  if (!r.ok()) {
+    close();
+    return false;
+  }
+  return true;
+}
+
+NdjsonLink::RecvStatus NdjsonLink::recv(json::Value& out,
+                                        const net::Deadline& deadline) {
+  while (true) {
+    const std::size_t nl = rx_buffer_.find('\n');
+    if (nl != std::string::npos) {
+      const std::string line = rx_buffer_.substr(0, nl);
+      rx_buffer_.erase(0, nl + 1);
+      if (line.empty()) continue;
+      try {
+        out = json::parse(line);
+      } catch (const json::JsonError&) {
+        return RecvStatus::Malformed;
+      }
+      if (!out.is_object()) return RecvStatus::Malformed;
+      return RecvStatus::Line;
+    }
+    if (closed()) return RecvStatus::Closed;
+    // One NDJSON line is small; a peer that streams a megabyte without a
+    // newline has lost framing.
+    if (rx_buffer_.size() > (1u << 20)) return RecvStatus::Malformed;
+    char chunk[4096];
+    const net::IoResult r = net::read_some(fd_, chunk, sizeof(chunk), deadline);
+    switch (r.status) {
+      case net::IoResult::Status::Ok:
+        rx_buffer_.append(chunk, r.n);
+        break;
+      case net::IoResult::Status::Timeout:
+        return RecvStatus::Timeout;
+      case net::IoResult::Status::Eof:
+      case net::IoResult::Status::Error:
+        return RecvStatus::Closed;
+    }
+  }
+}
+
+json::Value eval_message(std::uint64_t id, const search::Config& config,
+                         double deadline_seconds) {
+  json::Object msg;
+  msg["op"] = "eval";
+  msg["id"] = json::Value(static_cast<double>(id));
+  json::Array coords;
+  for (const double v : config) coords.emplace_back(v);
+  msg["config"] = json::Value(std::move(coords));
+  if (std::isfinite(deadline_seconds)) {
+    msg["deadline_s"] = json::Value(deadline_seconds);
+  }
+  return json::Value(std::move(msg));
+}
+
+json::Value result_message(std::uint64_t id, const robust::SandboxResult& result) {
+  json::Object msg;
+  msg["op"] = "result";
+  msg["id"] = json::Value(static_cast<double>(id));
+  msg["outcome"] = json::Value(std::string(robust::to_string(result.outcome)));
+  msg["cost"] = json::Value(result.cost_seconds);
+  if (result.outcome == robust::EvalOutcome::Ok) {
+    msg["value"] = json::Value(result.value);
+    if (result.dispersion > 0.0) msg["dispersion"] = json::Value(result.dispersion);
+    json::Object regions;
+    for (const auto& [name, seconds] : result.regions.regions) {
+      regions[name] = json::Value(seconds);
+    }
+    msg["regions"] = json::Value(std::move(regions));
+  }
+  if (!result.error.empty()) msg["error"] = json::Value(result.error);
+  if (result.worker_died) msg["died"] = json::Value(true);
+  if (result.worker_slot >= 0) {
+    msg["slot"] = json::Value(static_cast<double>(result.worker_slot));
+  }
+  return json::Value(std::move(msg));
+}
+
+robust::SandboxResult result_from_wire(const json::Value& message) {
+  robust::SandboxResult r;
+  r.outcome = robust::EvalOutcome::InvalidConfig;
+  try {
+    r.outcome = robust::outcome_from_string(message.at("outcome").as_string());
+  } catch (const std::exception&) {
+    r.error = "malformed result from fleet node";
+    return r;
+  }
+  r.cost_seconds = message.number_or("cost", 0.0);
+  r.dispersion = message.number_or("dispersion", 0.0);
+  r.worker_died = message.contains("died") && message.at("died").is_bool() &&
+                  message.at("died").as_bool();
+  r.worker_slot = static_cast<int>(message.number_or("slot", -1.0));
+  if (message.contains("error")) {
+    try {
+      r.error = message.at("error").as_string();
+    } catch (const std::exception&) {
+    }
+  }
+  if (r.outcome == robust::EvalOutcome::Ok) {
+    if (!message.contains("value")) {
+      r.outcome = robust::EvalOutcome::InvalidConfig;
+      r.error = "ok result without a value";
+      return r;
+    }
+    r.value = message.number_or("value", std::numeric_limits<double>::quiet_NaN());
+    if (message.contains("regions") && message.at("regions").is_object()) {
+      for (const auto& [name, v] : message.at("regions").as_object()) {
+        r.regions.regions[name] = v.as_number();
+      }
+    }
+    r.regions.total = r.value;
+  }
+  return r;
+}
+
+}  // namespace tunekit::fleet

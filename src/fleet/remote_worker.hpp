@@ -1,0 +1,97 @@
+#pragma once
+// Remote worker transport: the tunekit-worker NDJSON protocol lifted onto
+// TCP, so evaluation slots can live on other machines.
+//
+// Wire protocol ("tunekit-fleet-v1", one JSON object per line, UTF-8, '\n'
+// terminated — the same framing the process sandbox speaks over pipes):
+//
+//   node -> dispatcher:
+//     {"op":"register","format":"tunekit-fleet-v1","node":ID,"slots":N,
+//      "app":NAME}                                   once, after connect
+//     {"op":"hb","busy":K}                           periodic heartbeat
+//     {"op":"result","id":T,"outcome":"ok","value":V,"cost":C,
+//      "regions":{...}[,"dispersion":D][,"error":MSG][,"slot":S]}
+//
+//   dispatcher -> node:
+//     {"op":"registered","node":ID,"hb_interval_s":X} registration accepted
+//     {"op":"reject","reason":MSG[,"retry_after_s":S]} refused (per-node
+//                                                      quarantine backoff)
+//     {"op":"eval","id":T,"config":[...],"deadline_s":S}
+//     {"op":"exit"}                                   orderly drain
+//
+// Unknown keys are ignored on both sides, so the protocol can grow without
+// a version bump (the same policy tunekit-worker-v1 follows). Transport
+// failures map onto the existing robust::EvalOutcome taxonomy: a dropped
+// connection or a missed heartbeat is a Crashed evaluation — the node died
+// under the work, exactly like a worker process dying under an eval — so
+// quarantine, retry, and journaling behave identically local or remote.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/json.hpp"
+#include "net/deadline.hpp"
+#include "robust/process_sandbox.hpp"
+#include "search/space.hpp"
+
+namespace tunekit::fleet {
+
+inline constexpr const char* kFleetFormat = "tunekit-fleet-v1";
+
+/// One NDJSON-framed TCP connection. Sends are serialized by an internal
+/// mutex (the dispatcher writes to a node from several threads); recv() must
+/// be called from a single reader thread. Takes ownership of `fd`.
+class NdjsonLink {
+ public:
+  explicit NdjsonLink(int fd) : fd_(fd) {}
+  ~NdjsonLink();
+  NdjsonLink(const NdjsonLink&) = delete;
+  NdjsonLink& operator=(const NdjsonLink&) = delete;
+
+  enum class RecvStatus {
+    Line,       ///< `out` holds a parsed object
+    Timeout,    ///< deadline passed with no complete line
+    Closed,     ///< peer closed (or the link was shut down locally)
+    Malformed,  ///< a line arrived but did not parse as a JSON object
+  };
+
+  /// Serialize + send one message under the deadline. Returns false when the
+  /// peer is gone or the deadline expired (the link is closed either way —
+  /// a transport that cannot make progress is dead).
+  bool send(const json::Value& message, const net::Deadline& deadline);
+
+  /// Read the next line. On Malformed the connection stays open but the
+  /// caller should treat the peer as broken (one bad line means framing is
+  /// lost).
+  RecvStatus recv(json::Value& out, const net::Deadline& deadline);
+
+  /// Shut the socket down (wakes a blocked recv with Closed and fails any
+  /// later send). Idempotent, safe from any thread. The fd itself is closed
+  /// only by the destructor, so a concurrent recv never touches a recycled
+  /// descriptor.
+  void close();
+
+  bool closed() const { return shut_.load(std::memory_order_acquire); }
+
+ private:
+  int fd_ = -1;
+  std::atomic<bool> shut_{false};
+  std::mutex send_mutex_;
+  std::string rx_buffer_;
+};
+
+/// Build the {"op":"eval",...} request for ticket `id`.
+json::Value eval_message(std::uint64_t id, const search::Config& config,
+                         double deadline_seconds);
+
+/// Build the {"op":"result",...} reply from a completed local evaluation.
+json::Value result_message(std::uint64_t id, const robust::SandboxResult& result);
+
+/// Decode a {"op":"result",...} line into the sandbox taxonomy. Missing or
+/// unknown outcome strings classify InvalidConfig (the node replied but the
+/// reply is unusable), mirroring the process sandbox's malformed-reply rule.
+robust::SandboxResult result_from_wire(const json::Value& message);
+
+}  // namespace tunekit::fleet

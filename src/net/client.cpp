@@ -11,6 +11,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "net/deadline.hpp"
+
 namespace tunekit::net {
 
 namespace {
@@ -36,29 +38,20 @@ void Client::disconnect() {
 
 void Client::connect() {
   disconnect();
-  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd_ < 0) throw std::runtime_error("socket() failed");
+  // Bounded non-blocking dial: a black-holed server address fails the call
+  // after timeout_seconds_ instead of hanging in connect().
+  std::string error;
+  fd_ = dial_tcp(host_, port_, Deadline::after(timeout_seconds_), &error);
+  if (fd_ < 0) throw std::runtime_error(error);
 
+  // Established-connection IO keeps using socket timeouts: the send/recv
+  // loops below stay simple and every call is still bounded.
   timeval tv{};
   tv.tv_sec = static_cast<time_t>(timeout_seconds_);
   tv.tv_usec = static_cast<suseconds_t>(
       (timeout_seconds_ - std::floor(timeout_seconds_)) * 1e6);
   ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port_);
-  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
-    disconnect();
-    throw std::runtime_error("invalid server address '" + host_ + "'");
-  }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const int err = errno;
-    disconnect();
-    throw std::runtime_error("cannot connect to " + host_ + ":" +
-                             std::to_string(port_) + ": " + std::strerror(err));
-  }
 }
 
 ClientResponse Client::request(const std::string& method, const std::string& target,
@@ -222,6 +215,14 @@ json::Value Client::report(const std::string& id) {
 
 json::Value Client::close_session(const std::string& id) {
   return round_trip("DELETE", "/v1/sessions/" + id, json::Value());
+}
+
+json::Value Client::fleet_status() {
+  return round_trip("GET", "/v1/fleet", json::Value());
+}
+
+json::Value Client::drive_session(const std::string& id, const json::Value& body) {
+  return round_trip("POST", "/v1/sessions/" + id + "/drive", body);
 }
 
 std::string Client::metrics() {

@@ -44,6 +44,9 @@ class Client {
   json::Value tell(const std::string& id, const json::Value& body);
   json::Value report(const std::string& id);
   json::Value close_session(const std::string& id);
+  /// Fleet endpoints (serve --fleet): registry status, synchronous drive.
+  json::Value fleet_status();
+  json::Value drive_session(const std::string& id, const json::Value& body);
   std::string metrics();
   bool healthy();
 

@@ -1,0 +1,194 @@
+#include "net/deadline.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace tunekit::net {
+
+Deadline Deadline::after(double seconds) {
+  Deadline d;
+  if (!std::isfinite(seconds)) return d;  // unbounded
+  if (seconds < 0.0) seconds = 0.0;
+  d.unbounded_ = false;
+  d.at_ = std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(seconds));
+  return d;
+}
+
+Deadline Deadline::infinite() { return Deadline{}; }
+
+double Deadline::remaining_seconds() const {
+  if (unbounded_) return std::numeric_limits<double>::infinity();
+  const auto left = at_ - std::chrono::steady_clock::now();
+  const double s = std::chrono::duration<double>(left).count();
+  return s > 0.0 ? s : 0.0;
+}
+
+int Deadline::poll_timeout_ms() const {
+  if (unbounded_) return -1;
+  const double s = remaining_seconds();
+  if (s <= 0.0) return 0;
+  const double ms = std::ceil(s * 1e3);
+  return ms > 1e9 ? 1000000000 : static_cast<int>(ms);
+}
+
+namespace {
+
+bool set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, next) == 0;
+}
+
+/// poll() one fd for `events`, honoring the deadline. Returns >0 ready,
+/// 0 deadline expired, <0 error.
+int poll_one(int fd, short events, const Deadline& deadline) {
+  while (true) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    const int rc = ::poll(&p, 1, deadline.poll_timeout_ms());
+    if (rc < 0 && errno == EINTR) continue;
+    return rc;
+  }
+}
+
+}  // namespace
+
+int dial_tcp(const std::string& host, std::uint16_t port, const Deadline& deadline,
+             std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return -1;
+  };
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    // Not a numeric address: resolve (bounded only by the resolver itself).
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    const int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &res);
+    if (rc != 0 || res == nullptr) {
+      return fail("cannot resolve '" + host + "': " + ::gai_strerror(rc));
+    }
+    addr.sin_addr = reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+    ::freeaddrinfo(res);
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return fail(std::string("socket() failed: ") + std::strerror(errno));
+  if (!set_nonblocking(fd, true)) {
+    ::close(fd);
+    return fail("cannot make socket non-blocking");
+  }
+
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      const int err = errno;
+      ::close(fd);
+      return fail("cannot connect to " + host + ":" + std::to_string(port) + ": " +
+                  std::strerror(err));
+    }
+    const int ready = poll_one(fd, POLLOUT, deadline);
+    if (ready <= 0) {
+      ::close(fd);
+      return fail(ready == 0
+                      ? "connect to " + host + ":" + std::to_string(port) + " timed out"
+                      : std::string("poll() failed: ") + std::strerror(errno));
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 || so_error != 0) {
+      ::close(fd);
+      return fail("cannot connect to " + host + ":" + std::to_string(port) + ": " +
+                  std::strerror(so_error != 0 ? so_error : errno));
+    }
+  }
+
+  if (!set_nonblocking(fd, false)) {
+    ::close(fd);
+    return fail("cannot restore blocking mode");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+IoResult write_all(int fd, const char* data, std::size_t size,
+                   const Deadline& deadline) {
+  IoResult r;
+  std::size_t sent = 0;
+  while (sent < size) {
+    const int ready = poll_one(fd, POLLOUT, deadline);
+    if (ready == 0) {
+      r.status = IoResult::Status::Timeout;
+      r.n = sent;
+      return r;
+    }
+    if (ready < 0) {
+      r.status = IoResult::Status::Error;
+      r.err = errno;
+      return r;
+    }
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      r.status = errno == EPIPE ? IoResult::Status::Eof : IoResult::Status::Error;
+      r.err = errno;
+      return r;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  r.status = IoResult::Status::Ok;
+  r.n = sent;
+  return r;
+}
+
+IoResult read_some(int fd, char* buf, std::size_t size, const Deadline& deadline) {
+  IoResult r;
+  while (true) {
+    const int ready = poll_one(fd, POLLIN, deadline);
+    if (ready == 0) {
+      r.status = IoResult::Status::Timeout;
+      return r;
+    }
+    if (ready < 0) {
+      r.status = IoResult::Status::Error;
+      r.err = errno;
+      return r;
+    }
+    const ssize_t n = ::recv(fd, buf, size, 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      r.status = IoResult::Status::Error;
+      r.err = errno;
+      return r;
+    }
+    if (n == 0) {
+      r.status = IoResult::Status::Eof;
+      return r;
+    }
+    r.status = IoResult::Status::Ok;
+    r.n = static_cast<std::size_t>(n);
+    return r;
+  }
+}
+
+}  // namespace tunekit::net

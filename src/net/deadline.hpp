@@ -1,0 +1,67 @@
+#pragma once
+// Socket deadline utilities: every blocking network operation in tunekit
+// goes through these so nothing can block unboundedly.
+//
+// The seed-era net::Client relied on SO_SNDTIMEO to bound its connect() —
+// subtle, platform-dependent, and unavailable for the poll-driven fleet
+// transport. A Deadline is an explicit steady-clock point carried through a
+// whole operation (dial, then write, then read): each step polls with the
+// *remaining* time, so a slow dial eats into the read budget instead of
+// resetting it. Infinite deadlines are first-class (remaining() = +inf,
+// poll timeout = -1).
+//
+// All helpers are EINTR-safe and SIGPIPE-safe (MSG_NOSIGNAL); none throw.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tunekit::net {
+
+class Deadline {
+ public:
+  /// Expires `seconds` from now; infinity (or any non-finite/negative-free
+  /// huge value) never expires.
+  static Deadline after(double seconds);
+  static Deadline infinite();
+
+  /// Seconds left; 0 when expired, +inf when unbounded.
+  double remaining_seconds() const;
+  bool expired() const { return remaining_seconds() <= 0.0; }
+
+  /// Milliseconds for poll(): -1 when unbounded, 0 when expired, else the
+  /// remaining time rounded up (so a 0.4 ms remainder still polls).
+  int poll_timeout_ms() const;
+
+ private:
+  bool unbounded_ = true;
+  std::chrono::steady_clock::time_point at_{};
+};
+
+/// One socket-IO step's outcome, explicit about the four ways it can end.
+struct IoResult {
+  enum class Status { Ok, Eof, Timeout, Error };
+  Status status = Status::Error;
+  std::size_t n = 0;  ///< bytes transferred (Ok only)
+  int err = 0;        ///< errno (Error only)
+
+  bool ok() const { return status == Status::Ok; }
+};
+
+/// Dial host:port with a bounded non-blocking connect (numeric IPv4 address
+/// or a name resolvable by getaddrinfo). Returns a connected blocking
+/// CLOEXEC fd, or -1 with `error` describing why (including "connect timed
+/// out" when the deadline expired mid-handshake).
+int dial_tcp(const std::string& host, std::uint16_t port, const Deadline& deadline,
+             std::string* error);
+
+/// Write all of `data`, polling for writability under the deadline.
+IoResult write_all(int fd, const char* data, std::size_t size,
+                   const Deadline& deadline);
+
+/// Read up to `size` bytes once the fd is readable. Status::Eof when the
+/// peer closed, Status::Timeout when the deadline passed first.
+IoResult read_some(int fd, char* buf, std::size_t size, const Deadline& deadline);
+
+}  // namespace tunekit::net

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "fleet/dispatcher.hpp"
 #include "net/session_manager.hpp"
 #include "obs/export.hpp"
 #include "obs/telemetry.hpp"
@@ -38,8 +39,9 @@ json::Value parse_body(const HttpRequest& request) {
 
 }  // namespace
 
-RestApi::RestApi(SessionManager& manager, obs::Telemetry* telemetry)
-    : manager_(manager), telemetry_(telemetry) {}
+RestApi::RestApi(SessionManager& manager, obs::Telemetry* telemetry,
+                 std::shared_ptr<fleet::FleetDispatcher> fleet)
+    : manager_(manager), telemetry_(telemetry), fleet_(std::move(fleet)) {}
 
 HttpResponse RestApi::handle(const HttpRequest& request) {
   try {
@@ -70,6 +72,12 @@ HttpResponse RestApi::route(const HttpRequest& request) {
         telemetry_ != nullptr ? telemetry_->metrics() : empty_registry;
     return HttpResponse::text(200, obs::prometheus_text(metrics),
                               "text/plain; version=0.0.4; charset=utf-8");
+  }
+
+  if (seg.size() == 2 && seg[0] == "v1" && seg[1] == "fleet") {
+    if (request.method != "GET") return HttpResponse::error(405, "use GET");
+    if (!fleet_) return HttpResponse::error(503, "no fleet dispatcher running");
+    return HttpResponse::json(200, fleet_->status_json());
   }
 
   if (seg.size() >= 2 && seg[0] == "v1" && seg[1] == "sessions") {
@@ -110,6 +118,12 @@ HttpResponse RestApi::route(const HttpRequest& request) {
       if (seg[3] == "report") {
         if (request.method != "GET") return HttpResponse::error(405, "use GET");
         return HttpResponse::json(200, manager_.report(id));
+      }
+      if (seg[3] == "drive") {
+        if (request.method != "POST") return HttpResponse::error(405, "use POST");
+        if (!fleet_) return HttpResponse::error(503, "no fleet dispatcher running");
+        return HttpResponse::json(200,
+                                  manager_.drive(id, fleet_, parse_body(request)));
       }
     }
   }

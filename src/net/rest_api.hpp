@@ -7,7 +7,11 @@
 //   POST   /v1/sessions/{id}/ask    {"k": N}  (default 1)
 //   POST   /v1/sessions/{id}/tell   result/failure/observation body
 //   GET    /v1/sessions/{id}/report status + best + metrics
+//   POST   /v1/sessions/{id}/drive  run the session on the fleet (serve
+//                                   --fleet only; synchronous, holds the
+//                                   session lock until exhausted)
 //   DELETE /v1/sessions/{id}        graceful close (journal kept)
+//   GET    /v1/fleet                fleet registry + dispatcher status
 //   GET    /metrics                 Prometheus text exposition
 //   GET    /healthz                 {"status":"ok"}
 //
@@ -15,12 +19,16 @@
 // malformed JSON bodies are 400s. The handler is thread-safe — HttpServer
 // workers call it concurrently and SessionManager serializes per session.
 
+#include <memory>
 #include <string>
 
 #include "net/http.hpp"
 
 namespace tunekit::obs {
 class Telemetry;
+}
+namespace tunekit::fleet {
+class FleetDispatcher;
 }
 
 namespace tunekit::net {
@@ -30,8 +38,10 @@ class SessionManager;
 class RestApi {
  public:
   /// `manager` must outlive the api. `telemetry` feeds /metrics (nullable:
-  /// /metrics then exports an empty registry).
-  RestApi(SessionManager& manager, obs::Telemetry* telemetry);
+  /// /metrics then exports an empty registry). `fleet` enables /v1/fleet and
+  /// /v1/sessions/{id}/drive; null answers those routes with 503.
+  RestApi(SessionManager& manager, obs::Telemetry* telemetry,
+          std::shared_ptr<fleet::FleetDispatcher> fleet = nullptr);
 
   /// Route one request. Never throws; failures become error responses.
   HttpResponse handle(const HttpRequest& request);
@@ -41,6 +51,7 @@ class RestApi {
 
   SessionManager& manager_;
   obs::Telemetry* telemetry_;
+  std::shared_ptr<fleet::FleetDispatcher> fleet_;
 };
 
 }  // namespace tunekit::net

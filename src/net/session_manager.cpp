@@ -6,11 +6,13 @@
 #include <limits>
 #include <vector>
 
+#include "common/hash.hpp"
 #include "common/log.hpp"
 #include "core/app_registry.hpp"
 #include "obs/telemetry.hpp"
 #include "robust/outcome.hpp"
 #include "search/config.hpp"
+#include "service/scheduler.hpp"
 #include "service/space_codec.hpp"
 
 namespace tunekit::net {
@@ -74,18 +76,55 @@ void put_status(json::Object& obj, const service::TuningSession& session,
 
 SessionManager::SessionManager(SessionManagerOptions options)
     : options_(std::move(options)) {
+  const std::size_t n = std::min<std::size_t>(
+      256, std::max<std::size_t>(1, options_.shards));
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
   if (!options_.journal_dir.empty()) {
-    std::filesystem::create_directories(options_.journal_dir);
+    if (shards_.size() == 1) {
+      std::filesystem::create_directories(options_.journal_dir);
+    } else {
+      for (std::size_t i = 0; i < shards_.size(); ++i) {
+        std::filesystem::create_directories(
+            std::filesystem::path(options_.journal_dir) /
+            ("shard-" + std::to_string(i)));
+      }
+    }
   }
 }
 
+SessionManager::Shard& SessionManager::shard_for(const std::string& id) {
+  return *shards_[common::shard_of(id, shards_.size())];
+}
+
+const SessionManager::Shard& SessionManager::shard_for(const std::string& id) const {
+  return *shards_[common::shard_of(id, shards_.size())];
+}
+
+std::string SessionManager::journal_dir(const std::string& id) const {
+  if (shards_.size() == 1) return options_.journal_dir;
+  return (std::filesystem::path(options_.journal_dir) /
+          ("shard-" + std::to_string(common::shard_of(id, shards_.size()))))
+      .string();
+}
+
 std::string SessionManager::journal_path(const std::string& id) const {
-  return (std::filesystem::path(options_.journal_dir) / (id + ".journal.jsonl"))
+  return (std::filesystem::path(journal_dir(id)) / (id + ".journal.jsonl"))
       .string();
 }
 
 std::string SessionManager::spec_path(const std::string& id) const {
-  return (std::filesystem::path(options_.journal_dir) / (id + ".spec.json")).string();
+  return (std::filesystem::path(journal_dir(id)) / (id + ".spec.json")).string();
+}
+
+std::vector<std::shared_ptr<SessionManager::Entry>> SessionManager::all_entries()
+    const {
+  std::vector<std::shared_ptr<Entry>> entries;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [id, entry] : shard->map) entries.push_back(entry);
+  }
+  return entries;
 }
 
 void SessionManager::count(const char* name) {
@@ -145,30 +184,38 @@ json::Value SessionManager::create(const json::Value& spec) {
     id = spec.at("id").as_string();
   }
 
+  if (known_.load(std::memory_order_relaxed) >= options_.max_sessions) {
+    throw ApiError(429, "session limit reached (" +
+                            std::to_string(options_.max_sessions) + ")");
+  }
+
   auto entry = std::make_shared<Entry>();
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (map_.size() >= options_.max_sessions) {
-      throw ApiError(429, "session limit reached (" +
-                              std::to_string(options_.max_sessions) + ")");
-    }
+  bool inserted = false;
+  // Generated ids come from one atomic counter; each candidate id hashes to
+  // its own shard, so only that shard's lock is taken per attempt.
+  while (!inserted) {
     if (id.empty()) {
-      do {
-        id = "s";
-        id += std::to_string(next_id_++);
-      } while (map_.count(id) > 0 ||
-               (!options_.journal_dir.empty() &&
-                std::filesystem::exists(spec_path(id))));
-    } else if (map_.count(id) > 0 ||
-               (!options_.journal_dir.empty() &&
-                std::filesystem::exists(spec_path(id)))) {
-      throw ApiError(409, "session '" + id + "' already exists");
+      id = "s" + std::to_string(next_id_.fetch_add(1, std::memory_order_relaxed));
+    }
+    Shard& shard = shard_for(id);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const bool taken = shard.map.count(id) > 0 ||
+                       (!options_.journal_dir.empty() &&
+                        std::filesystem::exists(spec_path(id)));
+    if (taken) {
+      if (spec.contains("id")) {
+        throw ApiError(409, "session '" + id + "' already exists");
+      }
+      id.clear();  // collision with a generated id: draw the next one
+      continue;
     }
     entry->id = id;
     entry->spec = spec;
     entry->spec.as_object()["id"] = json::Value(id);
     entry->last_used = std::chrono::steady_clock::now();
-    map_[id] = entry;
+    shard.map[id] = entry;
+    known_.fetch_add(1, std::memory_order_relaxed);
+    inserted = true;
   }
 
   try {
@@ -180,8 +227,11 @@ json::Value SessionManager::create(const json::Value& spec) {
       json::save_atomic(spec_path(id), entry->spec);
     }
   } catch (...) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    map_.erase(id);
+    Shard& shard = shard_for(id);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.map.erase(id) > 0) {
+      known_.fetch_sub(1, std::memory_order_relaxed);
+    }
     throw;
   }
 
@@ -203,9 +253,10 @@ std::shared_ptr<SessionManager::Entry> SessionManager::find_or_load(
   if (!valid_session_id(id)) {
     throw ApiError(404, "no session '" + id + "'");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = map_.find(id);
-  if (it != map_.end()) {
+  Shard& shard = shard_for(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(id);
+  if (it != shard.map.end()) {
     it->second->last_used = std::chrono::steady_clock::now();
     return it->second;
   }
@@ -222,7 +273,8 @@ std::shared_ptr<SessionManager::Entry> SessionManager::find_or_load(
     throw ApiError(500, "session '" + id + "' spec unreadable: " + e.what());
   }
   entry->last_used = std::chrono::steady_clock::now();
-  map_[id] = entry;
+  shard.map[id] = entry;
+  known_.fetch_add(1, std::memory_order_relaxed);
   return entry;
 }
 
@@ -325,6 +377,37 @@ json::Value SessionManager::report(const std::string& id) {
   return json::Value(std::move(body));
 }
 
+json::Value SessionManager::drive(
+    const std::string& id, const std::shared_ptr<robust::EvalBackend>& backend,
+    const json::Value& body) {
+  if (!backend) throw ApiError(503, "no evaluation backend configured");
+  if (!backend->healthy()) throw ApiError(503, "evaluation backend unavailable");
+  auto entry = find_or_load(id);
+  json::Object reply;
+  {
+    // The entry lock is held for the whole run: drive is a synchronous,
+    // exclusive operation on the session (concurrent ask/tell on the same id
+    // block until it finishes — same contract as any other request, just
+    // longer).
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    if (!entry->session) materialize(*entry, /*resume_from_journal=*/true);
+    service::SchedulerOptions sched;
+    sched.backend = backend;
+    sched.n_threads =
+        static_cast<std::size_t>(body.number_or("n_threads", 0.0));
+    sched.batch_size =
+        static_cast<std::size_t>(body.number_or("batch_size", 0.0));
+    sched.telemetry = options_.telemetry;
+    service::EvalScheduler(sched).run(*entry->session);
+    reply["id"] = json::Value(id);
+    put_status(reply, *entry->session, /*with_best_config=*/true);
+    reply["metrics"] = entry->session->metrics().to_json();
+  }
+  count("tunekit_sessions_driven_total");
+  evict_excess();
+  return json::Value(std::move(reply));
+}
+
 json::Value SessionManager::close(const std::string& id) {
   auto entry = find_or_load(id);
   json::Object body;
@@ -340,20 +423,18 @@ json::Value SessionManager::close(const std::string& id) {
     entry->space = nullptr;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    map_.erase(id);
+    Shard& shard = shard_for(id);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.map.erase(id) > 0) {
+      known_.fetch_sub(1, std::memory_order_relaxed);
+    }
   }
   count("tunekit_sessions_closed_total");
   return json::Value(std::move(body));
 }
 
 json::Value SessionManager::list() const {
-  std::vector<std::shared_ptr<Entry>> entries;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    entries.reserve(map_.size());
-    for (const auto& [id, entry] : map_) entries.push_back(entry);
-  }
+  const auto entries = all_entries();
   json::Array sessions;
   for (const auto& entry : entries) {
     std::lock_guard<std::mutex> lock(entry->mutex);
@@ -372,25 +453,15 @@ json::Value SessionManager::list() const {
 }
 
 void SessionManager::flush_all() {
-  std::vector<std::shared_ptr<Entry>> entries;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (const auto& [id, entry] : map_) entries.push_back(entry);
-  }
-  for (const auto& entry : entries) {
+  for (const auto& entry : all_entries()) {
     std::lock_guard<std::mutex> lock(entry->mutex);
     if (entry->session) entry->session->flush_metrics();
   }
 }
 
 std::size_t SessionManager::resident() const {
-  std::vector<std::shared_ptr<Entry>> entries;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (const auto& [id, entry] : map_) entries.push_back(entry);
-  }
   std::size_t n = 0;
-  for (const auto& entry : entries) {
+  for (const auto& entry : all_entries()) {
     std::lock_guard<std::mutex> lock(entry->mutex);
     if (entry->session) ++n;
   }
@@ -403,11 +474,7 @@ std::size_t SessionManager::resident() const {
 // skipped — eviction must never block or deadlock a request.
 void SessionManager::evict_excess() {
   if (options_.journal_dir.empty()) return;
-  std::vector<std::shared_ptr<Entry>> entries;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (const auto& [id, entry] : map_) entries.push_back(entry);
-  }
+  auto entries = all_entries();
   std::sort(entries.begin(), entries.end(),
             [](const auto& a, const auto& b) { return a->last_used < b->last_used; });
   // Count residents with a non-blocking pass; stale counts only make

@@ -15,7 +15,17 @@
 // All operations take and return json::Value — the REST layer maps them 1:1
 // onto endpoints — and signal client-addressable failures with ApiError,
 // which carries the HTTP status to answer with.
+//
+// At fleet scale (thousands of sessions driven concurrently) a single map
+// mutex becomes the bottleneck, so the manager shards: session ids hash
+// (FNV-1a, common::shard_of) into N shards, each with its own lock, map, and
+// — when journaling — its own `shard-<k>/` journal subdirectory, spreading
+// directory pressure as well as lock pressure. The assignment is stable
+// across restarts (pure function of the id), so resume finds every sidecar.
+// `shards = 1` (the default) preserves the exact flat single-lock layout of
+// earlier releases.
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -23,6 +33,7 @@
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "common/json.hpp"
 #include "service/session.hpp"
@@ -32,6 +43,9 @@ class Telemetry;
 }
 namespace tunekit::core {
 class TunableApp;
+}
+namespace tunekit::robust {
+class EvalBackend;
 }
 
 namespace tunekit::net {
@@ -57,6 +71,9 @@ struct SessionManagerOptions {
   std::size_t max_resident = 64;
   /// Hard cap on concurrently known sessions; create beyond it is a 429.
   std::size_t max_sessions = 1024;
+  /// Lock/journal shards; ids hash into one each. 1 = the legacy flat
+  /// single-lock layout; values are clamped to [1, 256].
+  std::size_t shards = 1;
   /// Telemetry for session counters and journal fsync latency (nullable).
   obs::Telemetry* telemetry = nullptr;
 };
@@ -97,12 +114,22 @@ class SessionManager {
   /// {"sessions":[{"id","state","completed","resident"}...]}
   json::Value list() const;
 
+  /// Run the session to exhaustion on an evaluation backend (the fleet
+  /// drive path): ask/evaluate/tell batches via EvalScheduler until no
+  /// candidates remain, holding the session's entry lock throughout.
+  /// `body` may set "batch_size" and "n_threads". Returns the final report.
+  json::Value drive(const std::string& id,
+                    const std::shared_ptr<robust::EvalBackend>& backend,
+                    const json::Value& body);
+
   /// Flush every resident session's metrics snapshot to its journal — the
   /// SIGTERM drain path. Safe to call repeatedly.
   void flush_all();
 
   /// Live TuningSessions currently in memory.
   std::size_t resident() const;
+
+  std::size_t shards() const { return shards_.size(); }
 
  private:
   struct Entry {
@@ -119,8 +146,21 @@ class SessionManager {
     std::mutex mutex;  ///< serializes all session access for this id
   };
 
+  /// One lock domain: a slice of the session map plus its journal subdir.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::string, std::shared_ptr<Entry>> map;
+  };
+
+  Shard& shard_for(const std::string& id);
+  const Shard& shard_for(const std::string& id) const;
+  /// Journal directory for `id` ("<dir>/shard-<k>" when sharded, "<dir>"
+  /// flat otherwise).
+  std::string journal_dir(const std::string& id) const;
   std::string journal_path(const std::string& id) const;
   std::string spec_path(const std::string& id) const;
+  /// All entries across shards (for list/flush/evict sweeps).
+  std::vector<std::shared_ptr<Entry>> all_entries() const;
   /// Look up an entry, lazily loading it from a spec sidecar after a
   /// restart. Throws ApiError(404) when the id is unknown everywhere.
   std::shared_ptr<Entry> find_or_load(const std::string& id);
@@ -131,9 +171,9 @@ class SessionManager {
   void count(const char* name);
 
   SessionManagerOptions options_;
-  mutable std::mutex mutex_;  ///< guards map_ and next_id_
-  std::map<std::string, std::shared_ptr<Entry>> map_;
-  std::uint64_t next_id_ = 1;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::size_t> known_{0};  ///< sessions across all shards
 };
 
 }  // namespace tunekit::net

@@ -159,6 +159,12 @@ inline constexpr const char* kEvalSeconds = "tunekit_eval_seconds";
 inline constexpr const char* kGpFitSeconds = "tunekit_gp_fit_seconds";
 inline constexpr const char* kAcqArgmaxSeconds = "tunekit_acq_argmax_seconds";
 inline constexpr const char* kJournalFsyncSeconds = "tunekit_journal_fsync_seconds";
+inline constexpr const char* kFleetNodesUp = "tunekit_fleet_nodes_up";
+inline constexpr const char* kFleetSlotsBusy = "tunekit_fleet_slots_busy";
+inline constexpr const char* kFleetSteals = "tunekit_fleet_steals_total";
+inline constexpr const char* kFleetRedispatches = "tunekit_fleet_redispatches_total";
+/// Queue-to-result dispatch latency; per-node variants append "_node_<id>".
+inline constexpr const char* kFleetEvalSeconds = "tunekit_fleet_eval_seconds";
 }  // namespace metric
 
 /// Counter for a classified evaluation outcome: "ok" → tunekit_evals_ok_total,

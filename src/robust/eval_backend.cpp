@@ -1,0 +1,12 @@
+#include "robust/eval_backend.hpp"
+
+namespace tunekit::robust {
+
+namespace {
+thread_local int t_last_worker_slot = -1;
+}
+
+int last_worker_slot() { return t_last_worker_slot; }
+void set_last_worker_slot(int slot) { t_last_worker_slot = slot; }
+
+}  // namespace tunekit::robust

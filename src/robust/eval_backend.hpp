@@ -1,0 +1,48 @@
+#pragma once
+// EvalBackend: the one interface every evaluation substrate implements.
+//
+// EvalScheduler (and anything else that dispatches candidate configurations)
+// used to know about WorkerPool concretely, which made "evaluate somewhere
+// else" — on a fleet of remote nodes, in a simulator, on a batch system — a
+// scheduler change instead of a backend swap. The contract is deliberately
+// the narrow one WorkerPool already honored: evaluate() never throws, every
+// failure mode comes back as a classified SandboxResult, and the call blocks
+// until a slot is free (callers bound concurrency themselves).
+//
+// Implementations: robust::WorkerPool (local fork/exec slots) and
+// fleet::FleetDispatcher (TCP worker nodes with work stealing).
+
+#include <cstddef>
+
+#include "robust/process_sandbox.hpp"
+#include "search/space.hpp"
+
+namespace tunekit::robust {
+
+class EvalBackend {
+ public:
+  virtual ~EvalBackend() = default;
+
+  /// Evaluate `config`, blocking until capacity is available. Never throws:
+  /// crashes, timeouts, and transport failures all come back classified.
+  /// Must be thread-safe.
+  virtual SandboxResult evaluate(const search::Config& config,
+                                 double deadline_seconds) = 0;
+
+  /// The backend can still run evaluations (some slot/node is usable).
+  virtual bool healthy() const = 0;
+
+  /// Evaluations the backend can run concurrently — drivers size their
+  /// thread pools and batches from this.
+  virtual std::size_t concurrency() const = 0;
+};
+
+/// Slot/node that ran the calling thread's most recent EvalBackend::evaluate
+/// (-1 before any). The sandboxed adapters erase the SandboxResult on the way
+/// up (plain values / EvalFailure), so drivers that want per-slot provenance
+/// (EvalDb worker_slot) read it here right after the measurement returns.
+int last_worker_slot();
+/// Record provenance for the calling thread; every backend sets this.
+void set_last_worker_slot(int slot);
+
+}  // namespace tunekit::robust

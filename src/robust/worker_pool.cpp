@@ -10,12 +10,6 @@
 
 namespace tunekit::robust {
 
-namespace {
-thread_local int t_last_worker_slot = -1;
-}
-
-int last_worker_slot() { return t_last_worker_slot; }
-
 const char* to_string(IsolationMode mode) {
   switch (mode) {
     case IsolationMode::Thread: return "thread";
@@ -130,7 +124,7 @@ SandboxResult WorkerPool::evaluate(const search::Config& config,
     if (telemetry_ != nullptr && telemetry_->enabled()) {
       telemetry_->metrics().counter(obs::metric::kEvalsQuarantined).inc();
     }
-    t_last_worker_slot = -1;
+    set_last_worker_slot(-1);
     SandboxResult r;
     r.outcome = EvalOutcome::Crashed;
     r.error = "configuration quarantined after " +
@@ -139,7 +133,7 @@ SandboxResult WorkerPool::evaluate(const search::Config& config,
   }
 
   const std::size_t si = acquire_slot();
-  t_last_worker_slot = static_cast<int>(si);
+  set_last_worker_slot(static_cast<int>(si));
   Slot& slot = slots_[si];
 
   // (Re)spawn the slot's worker if needed, with bounded backoff.

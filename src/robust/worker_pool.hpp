@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/tunable_app.hpp"
+#include "robust/eval_backend.hpp"
 #include "robust/process_sandbox.hpp"
 #include "robust/quarantine.hpp"
 #include "search/objective.hpp"
@@ -63,7 +64,7 @@ struct IsolationOptions {
   obs::Telemetry* telemetry = nullptr;
 };
 
-class WorkerPool {
+class WorkerPool final : public EvalBackend {
  public:
   struct Stats {
     std::atomic<std::size_t> dispatched{0};      ///< requests sent to a worker
@@ -86,7 +87,7 @@ class WorkerPool {
   WorkerPool(SandboxOptions sandbox, std::size_t n_workers,
              std::size_t quarantine_after = 2,
              obs::Telemetry* telemetry = nullptr);
-  ~WorkerPool();
+  ~WorkerPool() override;
 
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
@@ -94,11 +95,13 @@ class WorkerPool {
   /// Evaluate `config` on some worker, waiting for a free slot if needed.
   /// Never throws: every failure mode comes back as a classified
   /// SandboxResult. Thread-safe.
-  SandboxResult evaluate(const search::Config& config, double deadline_seconds);
+  SandboxResult evaluate(const search::Config& config,
+                         double deadline_seconds) override;
 
   /// At least one slot can still (re)spawn a worker.
-  bool healthy() const;
+  bool healthy() const override;
 
+  std::size_t concurrency() const override { return slots_.size(); }
   std::size_t n_workers() const { return slots_.size(); }
   const Stats& stats() const { return stats_; }
   obs::Telemetry* telemetry() const { return telemetry_; }
@@ -125,19 +128,13 @@ class WorkerPool {
   std::condition_variable slot_free_;
 };
 
-/// Pool slot that ran the calling thread's most recent WorkerPool::evaluate
-/// (-1 before any). The sandboxed adapters erase the SandboxResult on the way
-/// up (they return plain values / throw EvalFailure), so drivers that want to
-/// attribute an evaluation to a slot — EvalDb duration_ms/worker_slot
-/// provenance — read it here right after the measurement returns.
-int last_worker_slot();
-
-/// Scalar objective whose evaluations run on a WorkerPool. Failures are
-/// re-thrown as EvalFailure with the classified outcome, the contract every
-/// driver (RobustMeasurer, BayesOpt, schedulers) already understands.
+/// Scalar objective whose evaluations run on an EvalBackend (a local
+/// WorkerPool or a fleet dispatcher). Failures are re-thrown as EvalFailure
+/// with the classified outcome, the contract every driver (RobustMeasurer,
+/// BayesOpt, schedulers) already understands.
 class SandboxedObjective final : public search::Objective {
  public:
-  SandboxedObjective(std::shared_ptr<WorkerPool> pool, double deadline_seconds)
+  SandboxedObjective(std::shared_ptr<EvalBackend> pool, double deadline_seconds)
       : pool_(std::move(pool)), deadline_seconds_(deadline_seconds) {}
 
   double evaluate(const search::Config& config) override;
@@ -149,14 +146,14 @@ class SandboxedObjective final : public search::Objective {
   bool thread_safe() const override { return true; }
 
  private:
-  std::shared_ptr<WorkerPool> pool_;
+  std::shared_ptr<EvalBackend> pool_;
   double deadline_seconds_;
 };
 
 /// Region-reporting variant: what the sensitivity analysis consumes.
 class SandboxedRegionObjective final : public search::RegionObjective {
  public:
-  SandboxedRegionObjective(std::shared_ptr<WorkerPool> pool, double deadline_seconds)
+  SandboxedRegionObjective(std::shared_ptr<EvalBackend> pool, double deadline_seconds)
       : pool_(std::move(pool)), deadline_seconds_(deadline_seconds) {}
 
   search::RegionTimes evaluate_regions(const search::Config& config) override;
@@ -167,7 +164,7 @@ class SandboxedRegionObjective final : public search::RegionObjective {
   bool thread_safe() const override { return true; }
 
  private:
-  std::shared_ptr<WorkerPool> pool_;
+  std::shared_ptr<EvalBackend> pool_;
   double deadline_seconds_;
 };
 
@@ -178,7 +175,7 @@ class SandboxedRegionObjective final : public search::RegionObjective {
 /// stays supervisor-side where the base configuration lives.
 class SandboxedApp final : public core::TunableApp {
  public:
-  SandboxedApp(core::TunableApp& inner, std::shared_ptr<WorkerPool> pool,
+  SandboxedApp(core::TunableApp& inner, std::shared_ptr<EvalBackend> pool,
                double deadline_seconds)
       : inner_(inner), eval_(std::move(pool), deadline_seconds) {}
 

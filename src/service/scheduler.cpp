@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <memory>
+#include <stdexcept>
 #include <thread>
 
 #include "common/log.hpp"
@@ -14,31 +15,51 @@ namespace tunekit::service {
 
 search::SearchResult EvalScheduler::run(TuningSession& session,
                                         search::Objective& objective) const {
-  std::size_t n_threads = options_.n_threads;
-  if (n_threads == 0) n_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  return run_impl(session, &objective);
+}
 
+search::SearchResult EvalScheduler::run(TuningSession& session) const {
+  if (!options_.backend) {
+    throw std::invalid_argument(
+        "EvalScheduler::run(session) needs SchedulerOptions::backend");
+  }
+  return run_impl(session, nullptr);
+}
+
+search::SearchResult EvalScheduler::run_impl(TuningSession& session,
+                                             search::Objective* objective) const {
+  std::size_t n_threads = options_.n_threads;
   obs::Telemetry* telemetry = options_.telemetry;
   const bool traced = telemetry != nullptr && telemetry->enabled();
 
-  // Process isolation: evaluations go to sandboxed worker processes. The
-  // pool's SIGKILL deadline takes over from the in-process watchdog (two
-  // competing timers would double-classify), and thread-safety of the
-  // in-process objective no longer matters — workers are separate processes.
-  robust::IsolationOptions isolation = options_.isolation;
-  if (isolation.telemetry == nullptr) isolation.telemetry = telemetry;
-  const auto sandbox = robust::WorkerPool::create(isolation, n_threads);
-  if (!sandbox && !objective.thread_safe()) n_threads = 1;
+  // Resolve the evaluation backend: an explicit one (shared pool or fleet
+  // dispatcher) wins; otherwise process isolation builds a WorkerPool. The
+  // backend's SIGKILL/transport deadline takes over from the in-process
+  // watchdog (two competing timers would double-classify), and thread-safety
+  // of the in-process objective no longer matters — slots are independent.
+  std::shared_ptr<robust::EvalBackend> backend = options_.backend;
+  if (backend) {
+    if (n_threads == 0) n_threads = std::max<std::size_t>(1, backend->concurrency());
+  } else {
+    if (n_threads == 0) {
+      n_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    robust::IsolationOptions isolation = options_.isolation;
+    if (isolation.telemetry == nullptr) isolation.telemetry = telemetry;
+    backend = robust::WorkerPool::create(isolation, n_threads);
+    if (!backend && !objective->thread_safe()) n_threads = 1;
+  }
   const std::size_t batch_size =
       options_.batch_size > 0 ? options_.batch_size : n_threads;
 
   robust::MeasureOptions measure = options_.measure;
   std::unique_ptr<robust::SandboxedObjective> sandboxed;
-  if (sandbox) {
+  if (backend) {
     sandboxed = std::make_unique<robust::SandboxedObjective>(
-        sandbox, measure.watchdog.timeout_seconds);
+        backend, measure.watchdog.timeout_seconds);
     measure.watchdog.timeout_seconds = std::numeric_limits<double>::infinity();
   }
-  search::Objective& eval_obj = sandboxed ? *sandboxed : objective;
+  search::Objective& eval_obj = sandboxed ? *sandboxed : *objective;
 
   const robust::RobustMeasurer measurer(measure);
   ThreadPool pool(n_threads);

@@ -44,6 +44,11 @@ struct SchedulerOptions {
   /// worker processes; the in-process watchdog timeout is then disabled in
   /// favor of the pool's SIGKILL deadline. Defaults to Thread (old behavior).
   robust::IsolationOptions isolation;
+  /// Explicit evaluation backend (a shared WorkerPool or a fleet
+  /// dispatcher). When set it wins over `isolation` — the scheduler drives
+  /// it directly, with no branching on where the slots live — and
+  /// `n_threads`/`batch_size` default to its concurrency().
+  std::shared_ptr<robust::EvalBackend> backend;
   /// Spans ("scheduler.batch" → "eval") and evaluation counters/histograms
   /// (null = disabled, the default; the disabled path is a single branch).
   obs::Telemetry* telemetry = nullptr;
@@ -57,7 +62,15 @@ class EvalScheduler {
   /// the session's result (method "session-<backend>").
   search::SearchResult run(TuningSession& session, search::Objective& objective) const;
 
+  /// Backend-only variant: every evaluation goes to SchedulerOptions::backend
+  /// (throws std::invalid_argument when none is set). This is what the fleet
+  /// drive path uses — there is no in-process objective at all.
+  search::SearchResult run(TuningSession& session) const;
+
  private:
+  search::SearchResult run_impl(TuningSession& session,
+                                search::Objective* objective) const;
+
   SchedulerOptions options_;
 };
 

@@ -8,6 +8,16 @@
 //   tunekit_cli report  --session <dir>               time/failure breakdown
 //                                                     from session journals
 //   tunekit_cli serve   [options]                     HTTP/JSON tuning server
+//                                                     (--fleet adds a TCP
+//                                                     evaluation dispatcher)
+//   tunekit_cli fleet-node   --server host:port --app <name> [options]
+//                                                     evaluation node: dials
+//                                                     the dispatcher, hosts
+//                                                     worker slots
+//   tunekit_cli fleet-status --server host:port       fleet registry snapshot
+//   tunekit_cli fleet-drive  --server host:port --session-id ID
+//                                                     run a session on the
+//                                                     fleet, synchronously
 //   tunekit_cli remote-create|remote-ask|remote-tell|remote-report|
 //               remote-close|remote-drive --server host:port [options]
 //                                                     HTTP client commands
@@ -56,6 +66,8 @@
 #include "common/table.hpp"
 #include "core/app_registry.hpp"
 #include "core/methodology.hpp"
+#include "fleet/dispatcher.hpp"
+#include "fleet/node_agent.hpp"
 #include "net/client.hpp"
 #include "net/rest_api.hpp"
 #include "net/server.hpp"
@@ -114,6 +126,15 @@ int usage(const char* argv0) {
       "         --host A --port N (0 = ephemeral) --journal-dir P\n"
       "         --max-sessions N --max-resident N --max-connections N\n"
       "         --threads N --max-queue N --request-timeout S --drain-timeout S\n"
+      "         --shards N (session lock/journal shards, default 1)\n"
+      "         --fleet (accept TCP evaluation nodes) --fleet-port N\n"
+      "           (default 8078; 0 = ephemeral)\n"
+      "fleet-node: evaluation node for a serve --fleet dispatcher\n"
+      "         --server H:P --app NAME [--slots N --node-id ID\n"
+      "         --worker-bin P --mem-limit-mb N --seed N]\n"
+      "fleet-status: --server H:P (GET /v1/fleet snapshot)\n"
+      "fleet-drive:  --server H:P --session-id ID (run the session on the\n"
+      "         fleet; synchronous, see docs/SERVICE.md \"Distributed fleet\")\n"
       "remote-create: --server H:P --app NAME [--session-id ID --backend B\n"
       "         --max-evals N --seed N]\n"
       "remote-ask:    --server H:P --session-id ID [--k N]\n"
@@ -173,6 +194,14 @@ struct CliArgs {
   std::size_t max_queue = 64;
   double request_timeout = 30.0;
   double drain_timeout = 5.0;
+  std::size_t shards = 1;
+  // fleet (serve --fleet dispatcher + fleet-node command)
+  bool fleet = false;
+  std::uint16_t fleet_port = 8078;
+  std::size_t slots = 2;
+  std::string node_id;
+  double chaos_mute_s = 0.0;
+  double spin_ms = 0.0;
   // remote-* commands
   std::string server;      // host:port
   std::string session_id;  // remote session id
@@ -241,6 +270,13 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       else if (flag == "--max-queue") args.max_queue = std::stoul(next());
       else if (flag == "--request-timeout") args.request_timeout = std::stod(next());
       else if (flag == "--drain-timeout") args.drain_timeout = std::stod(next());
+      else if (flag == "--shards") args.shards = std::stoul(next());
+      else if (flag == "--fleet") args.fleet = true;
+      else if (flag == "--fleet-port") args.fleet_port = static_cast<std::uint16_t>(std::stoul(next()));
+      else if (flag == "--slots") args.slots = std::stoul(next());
+      else if (flag == "--node-id") args.node_id = next();
+      else if (flag == "--chaos-mute-s") args.chaos_mute_s = std::stod(next());
+      else if (flag == "--spin-ms") args.spin_ms = std::stod(next());
       else if (flag == "--server") args.server = next();
       else if (flag == "--session-id") args.session_id = next();
       else if (flag == "--eval-id") { args.eval_id = std::stoull(next()); args.has_eval_id = true; }
@@ -591,10 +627,20 @@ int cmd_serve(const CliArgs& args, obs::Telemetry* telemetry) {
   mopt.journal_dir = args.journal_dir;
   mopt.max_resident = args.max_resident;
   mopt.max_sessions = args.max_sessions;
+  mopt.shards = args.shards;
   mopt.telemetry = telemetry;
   net::SessionManager manager(mopt);
 
-  net::RestApi api(manager, telemetry);
+  std::shared_ptr<fleet::FleetDispatcher> dispatcher;
+  if (args.fleet) {
+    fleet::DispatcherOptions fopt;
+    fopt.host = args.host;
+    fopt.port = args.fleet_port;
+    fopt.telemetry = telemetry;
+    dispatcher = std::make_shared<fleet::FleetDispatcher>(fopt);
+  }
+
+  net::RestApi api(manager, telemetry, dispatcher);
   net::ServerOptions sopt;
   sopt.host = args.host;
   sopt.port = args.port;
@@ -617,14 +663,94 @@ int cmd_serve(const CliArgs& args, obs::Telemetry* telemetry) {
   // Scripts parse this line to learn the bound port (--port 0 is ephemeral).
   std::printf("tunekit_cli: listening on http://%s:%u\n", args.host.c_str(),
               static_cast<unsigned>(server.port()));
+  if (dispatcher) {
+    // Same contract for the fleet port: node scripts parse this line.
+    std::printf("tunekit_cli: fleet dispatcher on %s:%u\n", args.host.c_str(),
+                static_cast<unsigned>(dispatcher->port()));
+  }
   std::fflush(stdout);
 
   server.wait();
   g_server = nullptr;
+  if (dispatcher) dispatcher->stop();
   // Drain: every resident session journals a final metrics snapshot, so a
   // restart resumes with nothing lost but what was never told.
   manager.flush_all();
   std::printf("tunekit_cli: drained, journals flushed\n");
+  return 0;
+}
+
+// --- fleet-*: evaluation fleet commands (docs/SERVICE.md "Distributed
+// fleet"). fleet-node runs in the foreground until SIGTERM/SIGINT. ---
+
+fleet::NodeAgent* g_node_agent = nullptr;
+
+void handle_node_signal(int) {
+  if (g_node_agent != nullptr) g_node_agent->stop();  // async-signal-compatible
+}
+
+std::pair<std::string, std::uint16_t> parse_server(const std::string& server);
+
+int cmd_fleet_node(const CliArgs& args, const char* argv0,
+                   obs::Telemetry* telemetry) {
+  if (args.server.empty()) {
+    throw UsageError("fleet-node requires --server host:port (the dispatcher)");
+  }
+  if (args.app.empty()) throw UsageError("fleet-node requires --app");
+  auto [host, port] = parse_server(args.server);
+
+  fleet::NodeAgentOptions opt;
+  opt.host = host;
+  opt.port = port;
+  opt.node_id = args.node_id;
+  opt.slots = std::max<std::size_t>(1, args.slots);
+  opt.chaos_mute_after_s = args.chaos_mute_s;
+  opt.spin_ms = args.spin_ms;
+  opt.telemetry = telemetry;
+  std::string bin = args.worker_bin;
+  if (bin.empty()) {
+    bin = (std::filesystem::path(argv0).parent_path() / "tunekit_worker").string();
+  }
+  opt.sandbox.argv = {bin, "--app", args.app, "--seed", std::to_string(args.seed)};
+  if (args.mem_limit_mb >= 0.0) opt.sandbox.mem_limit_mb = args.mem_limit_mb;
+
+  fleet::NodeAgent agent(opt);
+  g_node_agent = &agent;
+  struct sigaction sa {};
+  sa.sa_handler = handle_node_signal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  // Scripts parse this line (same contract as serve's listening line).
+  std::printf("tunekit_cli: fleet node '%s' serving %zu slots for %s\n",
+              agent.node_id().c_str(), opt.slots, args.server.c_str());
+  std::fflush(stdout);
+  const bool ok = agent.run();
+  g_node_agent = nullptr;
+  std::printf("tunekit_cli: fleet node '%s' stopped after %llu evals\n",
+              agent.node_id().c_str(),
+              static_cast<unsigned long long>(agent.evals_served()));
+  return ok ? 0 : 1;
+}
+
+int cmd_fleet_status(const CliArgs& args) {
+  if (args.server.empty()) throw UsageError("fleet-status requires --server host:port");
+  auto [host, port] = parse_server(args.server);
+  net::Client client(host, port);
+  std::cout << client.fleet_status().dump(2) << "\n";
+  return 0;
+}
+
+int cmd_fleet_drive(const CliArgs& args) {
+  if (args.server.empty()) throw UsageError("fleet-drive requires --server host:port");
+  if (args.session_id.empty()) throw UsageError("fleet-drive requires --session-id");
+  auto [host, port] = parse_server(args.server);
+  // A drive holds the connection for the whole run; give it a long leash.
+  net::Client client(host, port, /*timeout_seconds=*/3600.0);
+  json::Object body;
+  if (args.k > 1) body["batch_size"] = json::Value(args.k);
+  std::cout << client.drive_session(args.session_id, json::Value(std::move(body))).dump(2)
+            << "\n";
   return 0;
 }
 
@@ -811,7 +937,10 @@ int main(int argc, char** argv) {
 
   const bool is_serve = args.command == "serve";
   const bool is_remote = args.command.rfind("remote-", 0) == 0;
-  if (!is_serve && !is_remote && args.app.empty()) {
+  const bool is_fleet = args.command.rfind("fleet-", 0) == 0;
+  // fleet-status / fleet-drive are pure clients; fleet-node needs --app to
+  // build its worker sandbox (checked in cmd_fleet_node).
+  if (!is_serve && !is_remote && !is_fleet && args.app.empty()) {
     std::fprintf(stderr, "error: --app is required\n");
     return usage(argv[0]);
   }
@@ -852,6 +981,14 @@ int main(int argc, char** argv) {
       rc = cmd_serve(args, tel);
     } else if (is_remote) {
       rc = cmd_remote(args);
+    } else if (is_fleet) {
+      if (args.command == "fleet-node") rc = cmd_fleet_node(args, argv[0], tel);
+      else if (args.command == "fleet-status") rc = cmd_fleet_status(args);
+      else if (args.command == "fleet-drive") rc = cmd_fleet_drive(args);
+      else {
+        std::fprintf(stderr, "unknown command '%s'\n", args.command.c_str());
+        return usage(argv[0]);
+      }
     } else {
       core::AppBundle bundle = core::make_builtin_app(args.app, args.seed);
       const auto iso = make_isolation(args, argv[0]);

@@ -1,0 +1,134 @@
+// tunekit_fleet_node: standalone evaluation node for a fleet dispatcher
+// (tunekit_cli serve --fleet). Speaks "tunekit-fleet-v1" NDJSON over TCP —
+// see src/fleet/remote_worker.hpp for the protocol. Each slot hosts a
+// sandboxed tunekit_worker process, so the node inherits SIGKILL deadlines
+// and respawn backoff; the dispatcher owns crash quarantine and re-dispatch.
+//
+// This is the binary the fleet-smoke CI job and production deployments run
+// on worker machines; `tunekit_cli fleet-node` is the same agent embedded in
+// the CLI for one-machine setups.
+//
+//   tunekit_fleet_node --server host:port --app <name>
+//                      [--slots N] [--node-id ID] [--seed N]
+//                      [--worker-bin P] [--mem-limit-mb N]
+//                      [--chaos-mute-s S] [--spin-ms MS]
+//
+// Chaos flags exist for the soak/bench harnesses: --chaos-mute-s makes the
+// node go silent (heartbeats stop, evals held) that long after registration;
+// --spin-ms adds artificial per-eval cost.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "core/app_registry.hpp"
+#include "fleet/node_agent.hpp"
+
+namespace {
+
+struct NodeArgs {
+  std::string server;
+  std::string app;
+  std::string node_id;
+  std::string worker_bin;
+  std::size_t slots = 2;
+  std::uint64_t seed = 42;
+  double mem_limit_mb = -1.0;
+  double chaos_mute_s = 0.0;
+  double spin_ms = 0.0;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: tunekit_fleet_node --server host:port --app <name>\n"
+               "                          [--slots N] [--node-id ID] [--seed N]\n"
+               "                          [--worker-bin P] [--mem-limit-mb N]\n"
+               "                          [--chaos-mute-s S] [--spin-ms MS]\n"
+               "apps: %s\n",
+               tunekit::core::builtin_app_names());
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, NodeArgs& out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (flag == "--server" && (v = next())) out.server = v;
+    else if (flag == "--app" && (v = next())) out.app = v;
+    else if (flag == "--node-id" && (v = next())) out.node_id = v;
+    else if (flag == "--worker-bin" && (v = next())) out.worker_bin = v;
+    else if (flag == "--slots" && (v = next())) out.slots = std::strtoull(v, nullptr, 10);
+    else if (flag == "--seed" && (v = next())) out.seed = std::strtoull(v, nullptr, 10);
+    else if (flag == "--mem-limit-mb" && (v = next())) out.mem_limit_mb = std::atof(v);
+    else if (flag == "--chaos-mute-s" && (v = next())) out.chaos_mute_s = std::atof(v);
+    else if (flag == "--spin-ms" && (v = next())) out.spin_ms = std::atof(v);
+    else return false;
+  }
+  return !out.server.empty() && !out.app.empty();
+}
+
+tunekit::fleet::NodeAgent* g_agent = nullptr;
+
+void handle_signal(int) {
+  if (g_agent != nullptr) g_agent->stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  NodeArgs args;
+  if (!parse_args(argc, argv, args)) return usage();
+
+  const std::size_t colon = args.server.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= args.server.size()) {
+    std::fprintf(stderr, "tunekit_fleet_node: --server must be host:port\n");
+    return 2;
+  }
+  const unsigned long port = std::strtoul(args.server.c_str() + colon + 1, nullptr, 10);
+  if (port == 0 || port > 65535) {
+    std::fprintf(stderr, "tunekit_fleet_node: bad port in --server '%s'\n",
+                 args.server.c_str());
+    return 2;
+  }
+
+  tunekit::fleet::NodeAgentOptions opt;
+  opt.host = args.server.substr(0, colon);
+  opt.port = static_cast<std::uint16_t>(port);
+  opt.node_id = args.node_id;
+  opt.slots = args.slots > 0 ? args.slots : 1;
+  opt.chaos_mute_after_s = args.chaos_mute_s;
+  opt.spin_ms = args.spin_ms;
+  std::string bin = args.worker_bin;
+  if (bin.empty()) {
+    // Default: the tunekit_worker built next to this executable.
+    bin = (std::filesystem::path(argv[0]).parent_path() / "tunekit_worker").string();
+  }
+  opt.sandbox.argv = {bin, "--app", args.app, "--seed", std::to_string(args.seed)};
+  if (args.mem_limit_mb >= 0.0) opt.sandbox.mem_limit_mb = args.mem_limit_mb;
+
+  tunekit::fleet::NodeAgent agent(opt);
+  g_agent = &agent;
+  struct sigaction sa {};
+  sa.sa_handler = handle_signal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // Scripts parse this line (same contract as the CLI's listening line).
+  std::printf("tunekit_fleet_node: node '%s' serving %zu slots for %s\n",
+              agent.node_id().c_str(), opt.slots, args.server.c_str());
+  std::fflush(stdout);
+
+  const bool ok = agent.run();
+  g_agent = nullptr;
+  std::printf("tunekit_fleet_node: node '%s' stopped after %llu evals\n",
+              agent.node_id().c_str(),
+              static_cast<unsigned long long>(agent.evals_served()));
+  return ok ? 0 : 1;
+}
