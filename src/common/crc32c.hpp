@@ -1,0 +1,25 @@
+#pragma once
+// CRC32C (Castagnoli, reflected polynomial 0x82F63B78): the checksum framing
+// journal records against bit rot. Software table-driven implementation —
+// journal appends are fsync-bound, so a hardware CRC instruction would be
+// invisible in profiles.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tunekit::common {
+
+/// CRC32C of `size` bytes at `data`. Known vector: "123456789" -> 0xE3069283.
+std::uint32_t crc32c(const void* data, std::size_t size);
+
+inline std::uint32_t crc32c(std::string_view s) {
+  return crc32c(s.data(), s.size());
+}
+
+/// Fixed-width lowercase hex rendering used by the journal record framing
+/// ("tunekit-session-v2"): exactly 8 characters, zero-padded.
+std::string crc32c_hex(std::string_view s);
+
+}  // namespace tunekit::common

@@ -1,0 +1,187 @@
+#include "common/io.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace tunekit::common {
+namespace {
+
+class RealIo final : public Io {
+ public:
+  std::FILE* open(const std::string& path, const char* mode) override {
+    return std::fopen(path.c_str(), mode);
+  }
+
+  std::size_t write(std::FILE* f, const char* data, std::size_t size) override {
+    return std::fwrite(data, 1, size, f);
+  }
+
+  int flush(std::FILE* f) override { return std::fflush(f); }
+
+  int fsync_file(std::FILE* f) override {
+    int rc;
+    do {
+      rc = ::fsync(::fileno(f));
+    } while (rc != 0 && errno == EINTR);
+    return rc;
+  }
+
+  int fsync_dir(const std::string& dir) override {
+    const int dfd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY);
+    if (dfd < 0) return -1;
+    int rc;
+    do {
+      rc = ::fsync(dfd);
+    } while (rc != 0 && errno == EINTR);
+    const int saved = errno;
+    ::close(dfd);
+    errno = saved;
+    return rc;
+  }
+
+  bool rename(const std::string& from, const std::string& to,
+              std::error_code& ec) override {
+    std::filesystem::rename(from, to, ec);
+    return !ec;
+  }
+
+  int close(std::FILE* f) override { return std::fclose(f); }
+};
+
+}  // namespace
+
+Io& real_io() {
+  static RealIo io;
+  return io;
+}
+
+FaultIo::FaultIo(FaultScript script, Io& base)
+    : script_(std::move(script)), base_(base) {}
+
+bool FaultIo::matches(const std::string& path) const {
+  return script_.path_contains.empty() ||
+         path.find(script_.path_contains) != std::string::npos;
+}
+
+bool FaultIo::faulted(std::FILE* f) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = files_.find(f);
+  // Files we did not open (e.g. opened before the FaultIo was installed) are
+  // passed through untouched.
+  return it != files_.end() && it->second;
+}
+
+std::FILE* FaultIo::open(const std::string& path, const char* mode) {
+  std::FILE* f = base_.open(path, mode);
+  if (f != nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    files_[f] = matches(path);
+  }
+  return f;
+}
+
+std::size_t FaultIo::write(std::FILE* f, const char* data, std::size_t size) {
+  if (!faulted(f)) return base_.write(f, data, size);
+  if (crashed_.load()) return size;  // post-crash: swallow silently
+
+  const std::uint64_t call = write_calls_.fetch_add(1) + 1;
+  if (script_.torn_write_at != 0 && call == script_.torn_write_at) {
+    // "Power cut" mid-write: a prefix lands, the caller is told everything
+    // did, and the instance goes dead.
+    const std::size_t prefix = size / 2;
+    if (prefix > 0) base_.write(f, data, prefix);
+    base_.flush(f);
+    base_.fsync_file(f);
+    crashed_.store(true);
+    faults_injected_.fetch_add(1);
+    return size;
+  }
+  if (script_.short_write_at != 0 && call == script_.short_write_at) {
+    const std::size_t half = size / 2;
+    const std::size_t n = base_.write(f, data, half);
+    faults_injected_.fetch_add(1);
+    errno = EINTR;
+    return n;
+  }
+  if (script_.enospc_after_bytes != 0 &&
+      bytes_written_.load() + size > script_.enospc_after_bytes) {
+    faults_injected_.fetch_add(1);
+    errno = ENOSPC;
+    return 0;
+  }
+  const std::size_t n = base_.write(f, data, size);
+  bytes_written_.fetch_add(n);
+  return n;
+}
+
+int FaultIo::flush(std::FILE* f) {
+  if (faulted(f) && crashed_.load()) return 0;
+  return base_.flush(f);
+}
+
+int FaultIo::fsync_file(std::FILE* f) {
+  if (!faulted(f)) return base_.fsync_file(f);
+  if (crashed_.load()) return 0;
+  const std::uint64_t call = fsync_calls_.fetch_add(1) + 1;
+  if (script_.fail_fsync_at != 0) {
+    if (call == script_.fail_fsync_at) {
+      faults_injected_.fetch_add(1);
+      fsync_failed_.store(true);
+      errno = EIO;
+      return -1;
+    }
+    // fsyncgate: after the EIO the kernel dropped the dirty pages and marked
+    // the error as seen — a retried fsync "succeeds" without persisting what
+    // was lost. Modelled by succeeding without touching the base.
+    if (fsync_failed_.load()) return 0;
+  }
+  return base_.fsync_file(f);
+}
+
+int FaultIo::fsync_dir(const std::string& dir) {
+  if (!matches(dir)) return base_.fsync_dir(dir);
+  if (crashed_.load()) return 0;
+  const std::uint64_t call = fsync_calls_.fetch_add(1) + 1;
+  if (script_.fail_fsync_at != 0) {
+    if (call == script_.fail_fsync_at) {
+      faults_injected_.fetch_add(1);
+      fsync_failed_.store(true);
+      errno = EIO;
+      return -1;
+    }
+    if (fsync_failed_.load()) return 0;
+  }
+  return base_.fsync_dir(dir);
+}
+
+bool FaultIo::rename(const std::string& from, const std::string& to,
+                     std::error_code& ec) {
+  if (!matches(from) && !matches(to)) return base_.rename(from, to, ec);
+  if (crashed_.load()) {
+    ec.clear();
+    return true;
+  }
+  const std::uint64_t call = rename_calls_.fetch_add(1) + 1;
+  if (script_.rename_fail_at != 0 && call == script_.rename_fail_at) {
+    faults_injected_.fetch_add(1);
+    ec = std::make_error_code(std::errc::io_error);
+    return false;
+  }
+  return base_.rename(from, to, ec);
+}
+
+int FaultIo::close(std::FILE* f) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    files_.erase(f);
+  }
+  // Nothing of ours is buffered post-crash (the dead write path never touches
+  // the FILE*), so close cannot leak "swallowed" bytes onto disk.
+  return base_.close(f);
+}
+
+}  // namespace tunekit::common

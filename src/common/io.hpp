@@ -1,0 +1,121 @@
+#pragma once
+// File-IO seam for deterministic fault injection.
+//
+// Everything durability-critical (session journals, EvalDb snapshots) funnels
+// its writes through an `Io` so tests can script hostile-disk scenarios the
+// way `FaultyApp` / `--chaos-segv` already script hostile evaluations:
+//
+//   - ENOSPC after N bytes (disk fills mid-append),
+//   - EIO on the K-th fsync, with later fsyncs falsely succeeding
+//     (fsyncgate semantics: the dirty page was dropped, retrying lies),
+//   - short writes (interrupted write syscall),
+//   - torn writes ("crash": a prefix reaches disk, everything after is
+//     silently dropped while still reporting success to the caller),
+//   - rename failure (atomic-replace step of compaction fails).
+//
+// `real_io()` is the zero-overhead passthrough used in production; `FaultIo`
+// wraps any base Io with a seeded `FaultScript`. An optional path filter
+// confines faults to one session's files even when a whole SessionManager
+// shares the instance, which is how the chaos tests poison exactly one
+// session out of many.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <system_error>
+#include <unordered_map>
+
+namespace tunekit::common {
+
+/// Abstract file-IO surface. Semantics mirror the underlying libc calls:
+/// `write` returns bytes accepted (short counts possible) and sets errno on
+/// failure; `flush`/`fsync_file`/`fsync_dir`/`close` return 0 or -1+errno;
+/// `rename` reports failure through `ec`.
+class Io {
+ public:
+  virtual ~Io() = default;
+  virtual std::FILE* open(const std::string& path, const char* mode) = 0;
+  virtual std::size_t write(std::FILE* f, const char* data, std::size_t size) = 0;
+  virtual int flush(std::FILE* f) = 0;
+  virtual int fsync_file(std::FILE* f) = 0;
+  virtual int fsync_dir(const std::string& dir) = 0;
+  virtual bool rename(const std::string& from, const std::string& to,
+                      std::error_code& ec) = 0;
+  virtual int close(std::FILE* f) = 0;
+};
+
+/// The passthrough Io every production path uses (fsync_file retries EINTR).
+Io& real_io();
+
+/// Deterministic fault scenario. Indices are 1-based and count calls made
+/// through one FaultIo instance against files matching `path_contains`
+/// (empty = all files). 0 disables a fault.
+struct FaultScript {
+  /// Writes fail with ENOSPC once this many bytes were accepted.
+  std::uint64_t enospc_after_bytes = 0;
+  /// This fsync (1-based) fails with EIO; every later fsync on the same
+  /// instance *falsely succeeds* — matching the kernel behavior that made
+  /// retrying fsync after EIO unsafe.
+  std::uint64_t fail_fsync_at = 0;
+  /// This write (1-based) accepts only half its bytes.
+  std::uint64_t short_write_at = 0;
+  /// "Crash" at this write (1-based): a prefix of it reaches the file, the
+  /// call still reports full success, and every later write/flush/fsync on
+  /// faulted files is silently dropped — what the file contains afterwards
+  /// is exactly what a power cut would have left.
+  std::uint64_t torn_write_at = 0;
+  /// This rename (1-based) fails with EIO.
+  std::uint64_t rename_fail_at = 0;
+  /// Only paths containing this substring are subject to faults.
+  std::string path_contains;
+  /// Scenario seed, echoed into logs/reports so a failing chaos run can be
+  /// replayed exactly.
+  std::uint64_t seed = 0;
+};
+
+/// Io wrapper injecting the faults scripted in `FaultScript`. Thread-safe;
+/// counters let tests assert how far a scenario progressed.
+class FaultIo : public Io {
+ public:
+  explicit FaultIo(FaultScript script, Io& base = real_io());
+
+  std::FILE* open(const std::string& path, const char* mode) override;
+  std::size_t write(std::FILE* f, const char* data, std::size_t size) override;
+  int flush(std::FILE* f) override;
+  int fsync_file(std::FILE* f) override;
+  int fsync_dir(const std::string& dir) override;
+  bool rename(const std::string& from, const std::string& to,
+              std::error_code& ec) override;
+  int close(std::FILE* f) override;
+
+  const FaultScript& script() const { return script_; }
+  std::uint64_t bytes_written() const { return bytes_written_.load(); }
+  std::uint64_t write_calls() const { return write_calls_.load(); }
+  std::uint64_t fsync_calls() const { return fsync_calls_.load(); }
+  std::uint64_t rename_calls() const { return rename_calls_.load(); }
+  std::uint64_t faults_injected() const { return faults_injected_.load(); }
+  /// True once the torn-write "crash" fired: the instance is dead — faulted
+  /// files silently swallow everything.
+  bool crashed() const { return crashed_.load(); }
+
+ private:
+  bool matches(const std::string& path) const;
+  bool faulted(std::FILE* f);
+
+  FaultScript script_;
+  Io& base_;
+  std::mutex mutex_;
+  /// FILE* -> subject-to-faults, recorded at open() against the path filter.
+  std::unordered_map<std::FILE*, bool> files_;
+  std::atomic<std::uint64_t> bytes_written_{0};
+  std::atomic<std::uint64_t> write_calls_{0};
+  std::atomic<std::uint64_t> fsync_calls_{0};
+  std::atomic<std::uint64_t> rename_calls_{0};
+  std::atomic<std::uint64_t> faults_injected_{0};
+  std::atomic<bool> fsync_failed_{false};
+  std::atomic<bool> crashed_{false};
+};
+
+}  // namespace tunekit::common

@@ -1,5 +1,7 @@
 #include "common/json.hpp"
 
+#include "common/io.hpp"
+
 #include <cctype>
 #include <cerrno>
 #include <cmath>
@@ -396,26 +398,37 @@ void save(const std::string& path, const Value& value, int indent) {
 }
 
 void save_atomic(const std::string& path, const Value& value, int indent) {
+  save_atomic(path, value, indent, common::real_io());
+}
+
+void save_atomic(const std::string& path, const Value& value, int indent,
+                 common::Io& io) {
   const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  std::FILE* f = io.open(tmp, "wb");
   if (!f) throw std::runtime_error("json: cannot write '" + tmp + "'");
   const std::string text = value.dump(indent) + "\n";
-  const bool written = std::fwrite(text.data(), 1, text.size(), f) == text.size();
-  const bool flushed = std::fflush(f) == 0;
-#ifdef TUNEKIT_JSON_HAVE_FSYNC
-  if (written && flushed) ::fsync(::fileno(f));
-#endif
-  std::fclose(f);
-  if (!written || !flushed) {
+  const bool written = io.write(f, text.data(), text.size()) == text.size();
+  const bool flushed = written && io.flush(f) == 0;
+  // An unchecked fsync here would quietly trade away the crash-safety this
+  // function exists to provide (fsyncgate: the dirty page is gone, retrying
+  // lies) — treat it exactly like a failed write.
+  const bool synced = flushed && io.fsync_file(f) == 0;
+  io.close(f);
+  if (!synced) {
     std::filesystem::remove(tmp);
     throw std::runtime_error("json: write failed for '" + tmp + "'");
   }
   std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
+  if (!io.rename(tmp, path, ec)) {
     std::filesystem::remove(tmp);
     throw std::runtime_error("json: atomic rename to '" + path + "' failed: " +
                              ec.message());
+  }
+  // The rename is durable only once the directory entry is synced.
+  const auto dir = std::filesystem::path(path).parent_path();
+  if (io.fsync_dir(dir.empty() ? "." : dir.string()) != 0) {
+    throw std::runtime_error("json: directory fsync failed after rename to '" +
+                             path + "'");
   }
 }
 

@@ -12,6 +12,10 @@
 #include <string>
 #include <vector>
 
+namespace tunekit::common {
+class Io;
+}
+
 namespace tunekit::json {
 
 class Value;
@@ -101,5 +105,11 @@ void save(const std::string& path, const Value& value, int indent = 2);
 /// the same directory, flushed to disk, and atomically renamed over `path` —
 /// a crash mid-save can never leave a truncated or corrupt file behind.
 void save_atomic(const std::string& path, const Value& value, int indent = 2);
+
+/// As save_atomic(), routed through an IO seam so fault-injection tests can
+/// script disk failures; fsync results are checked (write/fsync/rename
+/// failure throws) and the directory entry is synced after the rename.
+void save_atomic(const std::string& path, const Value& value, int indent,
+                 common::Io& io);
 
 }  // namespace tunekit::json

@@ -1,0 +1,142 @@
+#include "fleet/circuit_breaker.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace tunekit::fleet {
+
+const char* to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::Closed:
+      return "closed";
+    case BreakerState::Open:
+      return "open";
+    case BreakerState::HalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+bool CircuitBreaker::allow(double now_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == BreakerState::Open) {
+    if (now_s - opened_at_s_ < options_.open_duration_s) return false;
+    state_ = BreakerState::HalfOpen;
+    probes_inflight_ = 0;
+  }
+  if (state_ == BreakerState::HalfOpen) {
+    if (probes_inflight_ >= options_.half_open_probes) return false;
+    ++probes_inflight_;
+    return true;
+  }
+  return true;
+}
+
+bool CircuitBreaker::record(bool ok, double latency_s, double now_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == BreakerState::Open && now_s - opened_at_s_ >= options_.open_duration_s) {
+    state_ = BreakerState::HalfOpen;
+    probes_inflight_ = 0;
+  }
+  if (state_ == BreakerState::HalfOpen) {
+    if (probes_inflight_ > 0) --probes_inflight_;
+    if (!ok) {
+      // The probe failed: back to open with the cool-down restarted.
+      open_locked(now_s);
+      return true;
+    }
+    // One good probe is the recovery signal; resume with a clean window.
+    state_ = BreakerState::Closed;
+    window_.clear();
+    return false;
+  }
+  if (state_ == BreakerState::Open) {
+    // A straggler result from before the trip: ignore for state purposes.
+    return false;
+  }
+  window_.push_back({ok, latency_s});
+  while (window_.size() > options_.window) window_.pop_front();
+  if (window_unhealthy_locked()) {
+    open_locked(now_s);
+    return true;
+  }
+  return false;
+}
+
+BreakerState CircuitBreaker::state(double now_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == BreakerState::Open && now_s - opened_at_s_ >= options_.open_duration_s) {
+    state_ = BreakerState::HalfOpen;
+    probes_inflight_ = 0;
+  }
+  return state_;
+}
+
+bool CircuitBreaker::open_now(double now_s) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_ == BreakerState::Open &&
+         now_s - opened_at_s_ < options_.open_duration_s;
+}
+
+double CircuitBreaker::error_rate() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (window_.empty()) return 0.0;
+  std::size_t failures = 0;
+  for (const Sample& s : window_) {
+    if (!s.ok) ++failures;
+  }
+  return static_cast<double>(failures) / static_cast<double>(window_.size());
+}
+
+json::Value CircuitBreaker::to_json(double now_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == BreakerState::Open && now_s - opened_at_s_ >= options_.open_duration_s) {
+    state_ = BreakerState::HalfOpen;
+    probes_inflight_ = 0;
+  }
+  const BreakerState st = state_;
+  json::Object out;
+  out["state"] = json::Value(to_string(st));
+  std::size_t failures = 0;
+  for (const Sample& s : window_) {
+    if (!s.ok) ++failures;
+  }
+  out["window"] = json::Value(window_.size());
+  out["failures"] = json::Value(failures);
+  out["opens"] = json::Value(static_cast<double>(opens_));
+  if (st == BreakerState::Open) {
+    out["reopens_in_s"] = json::Value(
+        std::max(0.0, options_.open_duration_s - (now_s - opened_at_s_)));
+  }
+  return json::Value(std::move(out));
+}
+
+void CircuitBreaker::open_locked(double now_s) {
+  state_ = BreakerState::Open;
+  opened_at_s_ = now_s;
+  probes_inflight_ = 0;
+  window_.clear();
+  ++opens_;
+}
+
+bool CircuitBreaker::window_unhealthy_locked() const {
+  if (window_.size() < options_.min_samples) return false;
+  std::size_t failures = 0;
+  for (const Sample& s : window_) {
+    if (!s.ok) ++failures;
+  }
+  const double rate =
+      static_cast<double>(failures) / static_cast<double>(window_.size());
+  if (rate >= options_.error_rate_open) return true;
+  if (std::isfinite(options_.latency_open_s)) {
+    std::vector<double> lat;
+    lat.reserve(window_.size());
+    for (const Sample& s : window_) lat.push_back(s.latency_s);
+    std::nth_element(lat.begin(), lat.begin() + lat.size() / 2, lat.end());
+    if (lat[lat.size() / 2] > options_.latency_open_s) return true;
+  }
+  return false;
+}
+
+}  // namespace tunekit::fleet

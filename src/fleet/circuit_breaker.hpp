@@ -1,0 +1,93 @@
+#pragma once
+// CircuitBreaker: per-node failure isolation for the fleet dispatcher.
+//
+// The registry's quarantine handles nodes that *disconnect*; the breaker
+// handles nodes that stay connected but return garbage — evals that crash,
+// time out, or crawl. Outcomes feed a sliding window per node; when the
+// window's error rate (or median latency) crosses the open threshold the
+// breaker trips and the dispatcher stops assigning that node work. After a
+// cool-down the breaker goes half-open and lets a bounded number of probe
+// evals through: one success closes it, one failure re-opens it with the
+// cool-down restarted.
+//
+// Like NodeRegistry, the breaker is passive and clock-injected (plain
+// seconds), so the whole state machine is unit-testable without sleeping.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <string>
+
+#include "common/json.hpp"
+
+namespace tunekit::fleet {
+
+struct BreakerOptions {
+  /// Outcomes remembered per node (sliding window).
+  std::size_t window = 16;
+  /// Outcomes required before the error-rate threshold can trip (a single
+  /// early failure must not open a cold breaker).
+  std::size_t min_samples = 8;
+  /// Open when window failures / window size reaches this rate.
+  double error_rate_open = 0.5;
+  /// Open when the window's median eval latency exceeds this many seconds
+  /// (infinity disables the latency trip).
+  double latency_open_s = std::numeric_limits<double>::infinity();
+  /// Seconds an open breaker refuses work before going half-open.
+  double open_duration_s = 5.0;
+  /// Probe evals admitted while half-open; any failure among them re-opens.
+  std::size_t half_open_probes = 1;
+};
+
+enum class BreakerState { Closed, Open, HalfOpen };
+const char* to_string(BreakerState state);
+
+/// One node's breaker. The dispatcher owns a map of these keyed by node id.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerOptions options = {}) : options_(options) {}
+
+  /// May work be assigned right now? Open breakers whose cool-down has
+  /// elapsed transition to half-open here; half-open admits up to
+  /// `half_open_probes` in-flight probes.
+  bool allow(double now_s);
+
+  /// Record an eval outcome (`ok`) and its wall latency. Returns true when
+  /// this record tripped the breaker open (for the open-transition counter).
+  bool record(bool ok, double latency_s, double now_s);
+
+  /// Current state, with the open→half-open time transition applied.
+  BreakerState state(double now_s);
+
+  /// True while the breaker is open and its cool-down has not elapsed —
+  /// the "skip this node" predicate. Const: no transition is applied.
+  bool open_now(double now_s) const;
+
+  /// Window failure rate (0 when the window is empty).
+  double error_rate() const;
+
+  json::Value to_json(double now_s);
+
+ private:
+  struct Sample {
+    bool ok = false;
+    double latency_s = 0.0;
+  };
+
+  /// Trip open: stamp the cool-down and clear the window (history from
+  /// before the trip must not influence the post-probe verdict).
+  void open_locked(double now_s);
+  bool window_unhealthy_locked() const;
+
+  BreakerOptions options_;
+  mutable std::mutex mutex_;
+  BreakerState state_ = BreakerState::Closed;
+  std::deque<Sample> window_;
+  double opened_at_s_ = 0.0;
+  std::size_t probes_inflight_ = 0;
+  std::uint64_t opens_ = 0;  ///< lifetime closed/half-open -> open transitions
+};
+
+}  // namespace tunekit::fleet

@@ -239,6 +239,9 @@ void FleetDispatcher::node_down(const std::string& id, const std::string& reason
     orphans = std::move(node->inflight);
   }
   registry_.mark_dead(id, now_s());
+  // The connection dying is an eval-grade failure signal too: a node that
+  // flaps under load should come back from quarantine into a wary breaker.
+  breaker_record(id, /*ok=*/false, 0.0);
   node->link->close();
 
   bool requeued = false;
@@ -279,15 +282,25 @@ void FleetDispatcher::pump(bool stolen) {
     json::Value msg;
   };
   std::vector<Send> sends;
+  const double now = now_s();
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    // Nodes whose breaker refused a half-open probe this pump (bounded
+    // probes are in flight already); excluded from re-selection below.
+    std::vector<std::string> barred;
     while (!queue_.empty()) {
       std::shared_ptr<Node> best;
       for (auto& [id, node] : nodes_) {
         if (node->inflight.size() >= node->slots) continue;
+        if (breaker_for(id).open_now(now)) continue;
+        if (std::find(barred.begin(), barred.end(), id) != barred.end()) continue;
         if (!best || node->inflight.size() < best->inflight.size()) best = node;
       }
       if (!best) break;
+      if (!breaker_for(best->id).allow(now)) {
+        barred.push_back(best->id);
+        continue;
+      }
       const std::uint64_t tid = queue_.front();
       queue_.pop_front();
       auto it = tickets_.find(tid);
@@ -317,6 +330,13 @@ void FleetDispatcher::pump(bool stolen) {
 void FleetDispatcher::complete_ticket(std::uint64_t id, const std::string& node_id,
                                       robust::SandboxResult result) {
   const bool eval_ok = result.outcome == robust::EvalOutcome::Ok;
+  // Breaker failure taxonomy: the node broke the eval (its worker died or it
+  // went silent past the deadline). A config crashing deterministically is
+  // the config's fault — quarantine handles that — so it must not trip the
+  // node's breaker.
+  const bool node_fault =
+      (result.outcome == robust::EvalOutcome::Crashed && result.worker_died) ||
+      result.outcome == robust::EvalOutcome::TimedOut;
   double waited_s = -1.0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -347,6 +367,7 @@ void FleetDispatcher::complete_ticket(std::uint64_t id, const std::string& node_
     }
   }
   registry_.record_eval(node_id, eval_ok);
+  breaker_record(node_id, !node_fault, waited_s >= 0.0 ? waited_s : 0.0);
   if (telemetry_ != nullptr && telemetry_->enabled() && waited_s >= 0.0) {
     telemetry_->metrics().histogram(obs::metric::kFleetEvalSeconds).observe(waited_s);
     telemetry_->metrics()
@@ -422,10 +443,49 @@ robust::SandboxResult FleetDispatcher::evaluate(const search::Config& config,
         break;
       }
       done_cv_.wait_for(lock, std::chrono::milliseconds(100));
+      // Re-offer a ticket that is still queued: dispatch capacity can
+      // reappear without any event that pumps — a breaker's cool-down
+      // elapsing admits half-open probes — so a waiter must not depend on
+      // results or registrations to get its work re-considered.
+      if (t.queued && !stopping_) {
+        lock.unlock();
+        pump(false);
+        lock.lock();
+      }
     }
   }
   robust::set_last_worker_slot(result.worker_slot);
   return result;
+}
+
+CircuitBreaker& FleetDispatcher::breaker_for(const std::string& id) {
+  std::lock_guard<std::mutex> lock(breakers_mutex_);
+  return breakers_.try_emplace(id, options_.breaker).first->second;
+}
+
+void FleetDispatcher::breaker_record(const std::string& id, bool ok,
+                                     double latency_s) {
+  if (breaker_for(id).record(ok, latency_s, now_s())) {
+    log_warn("fleet: node '", id,
+             "' circuit breaker opened; holding dispatch for cool-down");
+    if (telemetry_ != nullptr && telemetry_->enabled()) {
+      telemetry_->metrics().counter(obs::metric::kBreakerOpens).inc();
+    }
+  }
+}
+
+bool FleetDispatcher::degraded() const {
+  const double now = now_s();
+  std::size_t live = 0;
+  std::size_t open = 0;
+  for (const NodeInfo& node : registry_.snapshot()) {
+    if (!node.alive) continue;
+    ++live;
+    std::lock_guard<std::mutex> lock(breakers_mutex_);
+    auto it = breakers_.find(node.id);
+    if (it != breakers_.end() && it->second.open_now(now)) ++open;
+  }
+  return live > 0 && open == live;
 }
 
 std::size_t FleetDispatcher::concurrency() const {
@@ -444,6 +504,16 @@ json::Value FleetDispatcher::status_json() const {
   obj["queue_depth"] = json::Value(queue_depth());
   obj["steals"] = json::Value(static_cast<double>(steals()));
   obj["redispatches"] = json::Value(static_cast<double>(redispatches()));
+  {
+    const double now = now_s();
+    json::Object breakers;
+    std::lock_guard<std::mutex> lock(breakers_mutex_);
+    for (auto& [id, breaker] : breakers_) {
+      breakers[id] = breaker.to_json(now);
+    }
+    obj["breakers"] = json::Value(std::move(breakers));
+  }
+  obj["degraded"] = json::Value(degraded());
   return out;
 }
 
@@ -458,6 +528,16 @@ void FleetDispatcher::update_gauges() {
       .set(static_cast<double>(registry_.nodes_alive()));
   telemetry_->metrics().gauge(obs::metric::kFleetSlotsBusy)
       .set(static_cast<double>(busy));
+  std::size_t open = 0;
+  {
+    const double now = now_s();
+    std::lock_guard<std::mutex> lock(breakers_mutex_);
+    for (const auto& [id, breaker] : breakers_) {
+      if (breaker.open_now(now)) ++open;
+    }
+  }
+  telemetry_->metrics().gauge(obs::metric::kBreakerNodesOpen)
+      .set(static_cast<double>(open));
 }
 
 void FleetDispatcher::stop() {

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "fleet/circuit_breaker.hpp"
 #include "fleet/registry.hpp"
 #include "fleet/remote_worker.hpp"
 #include "robust/eval_backend.hpp"
@@ -51,6 +52,10 @@ struct DispatcherOptions {
   std::size_t max_redispatch = 3;
   /// evaluate() fails after this long queued with zero live nodes.
   double no_nodes_timeout_s = 30.0;
+  /// Per-node circuit breaker policy: a node whose evals keep crashing or
+  /// timing out stays registered but is skipped by dispatch until its
+  /// cool-down passes and a probe eval succeeds.
+  BreakerOptions breaker;
   obs::Telemetry* telemetry = nullptr;
 };
 
@@ -70,6 +75,9 @@ class FleetDispatcher final : public robust::EvalBackend {
                                  double deadline_seconds) override;
 
   bool healthy() const override { return !stopping_; }
+  /// True when live nodes exist but every one of them has an open breaker:
+  /// the fleet is up yet refusing work, so callers should shed and retry.
+  bool degraded() const override;
   /// Live fleet slots (1 while empty, so schedulers keep a working thread
   /// ready for the first node to join).
   std::size_t concurrency() const override;
@@ -127,12 +135,25 @@ class FleetDispatcher final : public robust::EvalBackend {
   void pump(bool stolen);
   void complete_ticket(std::uint64_t id, const std::string& node,
                        robust::SandboxResult result);
+  /// The node's breaker (created on first use; survives re-registration so a
+  /// flapping node cannot reset its own history by reconnecting).
+  CircuitBreaker& breaker_for(const std::string& id);
+  /// Feed an eval outcome to the node's breaker; logs + counts the
+  /// open transition when this outcome trips it.
+  void breaker_record(const std::string& id, bool ok, double latency_s);
   double now_s() const;
   void update_gauges();
 
   DispatcherOptions options_;
   NodeRegistry registry_;
   robust::CrashQuarantine quarantine_;
+  /// Per-node breakers, keyed by node id. std::map keeps references stable
+  /// across inserts; each breaker carries its own lock, this mutex only
+  /// guards the map itself.
+  mutable std::mutex breakers_mutex_;
+  /// mutable: reading a breaker's state applies its time-based open→half-open
+  /// transition, so even const status surfaces tick the state machine.
+  mutable std::map<std::string, CircuitBreaker> breakers_;
   obs::Telemetry* telemetry_ = nullptr;
 
   int listen_fd_ = -1;

@@ -4,8 +4,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <thread>
 
+#include "common/hash.hpp"
 #include "common/log.hpp"
 #include "net/deadline.hpp"
 #include "robust/worker_pool.hpp"
@@ -25,6 +27,21 @@ std::string default_node_id() {
   ::gethostname(host, sizeof(host) - 1);
   host[sizeof(host) - 1] = '\0';
   return std::string(host) + "-" + std::to_string(::getpid());
+}
+
+/// Reconnect backoff: exponential in `failures`, capped, then shortened by
+/// up to 20% by a deterministic (node_id, failures) factor — when the
+/// dispatcher restarts, a whole fleet of agents must not redial in lockstep.
+double reconnect_backoff_s(const NodeAgentOptions& options,
+                           const std::string& node_id, std::size_t failures) {
+  const double base = std::min(
+      options.reconnect_base_s *
+          static_cast<double>(1ull << std::min<std::size_t>(failures, 10)),
+      options.reconnect_max_s);
+  const std::uint64_t h =
+      common::stable_hash(node_id) ^ static_cast<std::uint64_t>(failures);
+  const double jitter = 1.0 - 0.2 * (static_cast<double>(h % 1000) / 999.0);
+  return base * jitter;
 }
 
 }  // namespace
@@ -82,10 +99,7 @@ bool NodeAgent::run() {
                                  net::Deadline::after(options_.connect_timeout_s),
                                  &error);
     if (fd < 0) {
-      const double backoff = std::min(
-          options_.reconnect_base_s *
-              static_cast<double>(1ull << std::min<std::size_t>(failures, 10)),
-          options_.reconnect_max_s);
+      const double backoff = reconnect_backoff_s(options_, node_id_, failures);
       ++failures;
       log_warn("fleet-node: ", error, "; retrying in ", backoff, "s");
       sleep_interruptible(backoff);
@@ -134,10 +148,7 @@ bool NodeAgent::run() {
     }
     link->close();
     if (!registered && !stop_) {
-      const double backoff = std::min(
-          options_.reconnect_base_s *
-              static_cast<double>(1ull << std::min<std::size_t>(failures, 10)),
-          options_.reconnect_max_s);
+      const double backoff = reconnect_backoff_s(options_, node_id_, failures);
       ++failures;
       sleep_interruptible(backoff);
     }
@@ -191,7 +202,11 @@ void NodeAgent::serve(const std::shared_ptr<NdjsonLink>& link,
     if (op == "eval") {
       PendingEval ev;
       ev.id = static_cast<std::uint64_t>(msg.number_or("id", 0.0));
-      ev.deadline_s = msg.number_or("deadline_s", 0.0);
+      // The dispatcher omits `deadline_s` when the eval has no deadline; a
+      // missing field must mean "unbounded", not "0 seconds" (which the
+      // sandbox would enforce with an instant SIGKILL).
+      ev.deadline_s = msg.number_or("deadline_s",
+                                    std::numeric_limits<double>::infinity());
       bool ok = true;
       try {
         for (const json::Value& v : msg.at("config").as_array()) {

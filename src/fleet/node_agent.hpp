@@ -17,6 +17,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -79,7 +80,7 @@ class NodeAgent {
   struct PendingEval {
     std::uint64_t id = 0;
     search::Config config;
-    double deadline_s = 0.0;
+    double deadline_s = std::numeric_limits<double>::infinity();
   };
 
   /// One registration + message-pump cycle. Returns false on a quarantine

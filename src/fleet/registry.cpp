@@ -2,7 +2,31 @@
 
 #include <algorithm>
 
+#include "common/hash.hpp"
+
 namespace tunekit::fleet {
+
+namespace {
+
+/// Re-admission backoff with deterministic jitter: base * 2^(deaths-1),
+/// capped, then shortened by up to 20% by a factor derived from (id, deaths).
+/// Without jitter a correlated outage (rack power blip) synchronizes every
+/// node's backoff clock and they all stampede the dispatcher at the same
+/// instant. Subtract-only jitter keeps the exponential window an upper bound
+/// (a node is never quarantined longer than the advertised policy), and
+/// hashing keeps the spread reproducible for tests.
+double backoff_s(const RegistryOptions& options, const std::string& id,
+                 std::size_t deaths) {
+  const double base = std::min(
+      options.readmit_base_s *
+          static_cast<double>(1ull << std::min<std::size_t>(deaths - 1, 20)),
+      options.readmit_max_s);
+  const std::uint64_t h = common::stable_hash(id) ^ static_cast<std::uint64_t>(deaths);
+  const double jitter = 1.0 - 0.2 * (static_cast<double>(h % 1000) / 999.0);
+  return base * jitter;
+}
+
+}  // namespace
 
 NodeRegistry::Admit NodeRegistry::admit(const std::string& id,
                                         std::size_t slots, double now_s) {
@@ -51,11 +75,7 @@ std::vector<std::string> NodeRegistry::expire(double now_s) {
     if (now_s - node.last_seen_s <= options_.heartbeat_timeout_s) continue;
     node.alive = false;
     ++node.deaths;
-    const double backoff = std::min(
-        options_.readmit_base_s *
-            static_cast<double>(1ull << std::min<std::size_t>(node.deaths - 1, 20)),
-        options_.readmit_max_s);
-    node.readmit_at_s = now_s + backoff;
+    node.readmit_at_s = now_s + backoff_s(options_, id, node.deaths);
     dead.push_back(id);
   }
   return dead;
@@ -68,11 +88,7 @@ void NodeRegistry::mark_dead(const std::string& id, double now_s) {
   NodeInfo& node = it->second;
   node.alive = false;
   ++node.deaths;
-  const double backoff = std::min(
-      options_.readmit_base_s *
-          static_cast<double>(1ull << std::min<std::size_t>(node.deaths - 1, 20)),
-      options_.readmit_max_s);
-  node.readmit_at_s = now_s + backoff;
+  node.readmit_at_s = now_s + backoff_s(options_, id, node.deaths);
 }
 
 void NodeRegistry::record_eval(const std::string& id, bool ok) {

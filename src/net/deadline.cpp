@@ -14,7 +14,36 @@
 #include <cstring>
 #include <limits>
 
+#include <algorithm>
+#include <atomic>
+
 namespace tunekit::net {
+
+namespace {
+std::atomic<FaultNet*> g_fault_net{nullptr};
+}  // namespace
+
+void set_fault_net(FaultNet* hook) {
+  g_fault_net.store(hook, std::memory_order_release);
+}
+
+FaultNet* fault_net() { return g_fault_net.load(std::memory_order_acquire); }
+
+bool ScriptedFaultNet::fires(const std::vector<std::uint64_t>& at,
+                             std::atomic<std::uint64_t>& counter) {
+  const std::uint64_t call = counter.fetch_add(1) + 1;
+  if (std::find(at.begin(), at.end(), call) == at.end()) return false;
+  ++faults_;
+  return true;
+}
+
+bool ScriptedFaultNet::refuse_connect(const std::string&, std::uint16_t) {
+  return fires(script_.refuse_connect_at, connects_);
+}
+
+bool ScriptedFaultNet::reset_write(int) { return fires(script_.reset_write_at, writes_); }
+
+bool ScriptedFaultNet::stall_read(int) { return fires(script_.stall_read_at, reads_); }
 
 Deadline Deadline::after(double seconds) {
   Deadline d;
@@ -75,6 +104,12 @@ int dial_tcp(const std::string& host, std::uint16_t port, const Deadline& deadli
     return -1;
   };
 
+  if (FaultNet* fault = fault_net();
+      fault != nullptr && fault->refuse_connect(host, port)) {
+    return fail("cannot connect to " + host + ":" + std::to_string(port) + ": " +
+                std::strerror(ECONNREFUSED) + " (injected)");
+  }
+
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -134,6 +169,11 @@ int dial_tcp(const std::string& host, std::uint16_t port, const Deadline& deadli
 IoResult write_all(int fd, const char* data, std::size_t size,
                    const Deadline& deadline) {
   IoResult r;
+  if (FaultNet* fault = fault_net(); fault != nullptr && fault->reset_write(fd)) {
+    r.status = IoResult::Status::Error;
+    r.err = ECONNRESET;
+    return r;
+  }
   std::size_t sent = 0;
   while (sent < size) {
     const int ready = poll_one(fd, POLLOUT, deadline);
@@ -163,6 +203,10 @@ IoResult write_all(int fd, const char* data, std::size_t size,
 
 IoResult read_some(int fd, char* buf, std::size_t size, const Deadline& deadline) {
   IoResult r;
+  if (FaultNet* fault = fault_net(); fault != nullptr && fault->stall_read(fd)) {
+    r.status = IoResult::Status::Timeout;
+    return r;
+  }
   while (true) {
     const int ready = poll_one(fd, POLLIN, deadline);
     if (ready == 0) {

@@ -12,10 +12,12 @@
 //
 // All helpers are EINTR-safe and SIGPIPE-safe (MSG_NOSIGNAL); none throw.
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace tunekit::net {
 
@@ -47,6 +49,55 @@ struct IoResult {
   int err = 0;        ///< errno (Error only)
 
   bool ok() const { return status == Status::Ok; }
+};
+
+/// Network fault-injection seam. When installed (tests only) every dial,
+/// write, and read consults it first, so connection refusal, mid-frame
+/// resets, and stalls can be scripted deterministically without a hostile
+/// network. The three hooks answer "should this step fail now?":
+///   refuse_connect  dial_tcp fails as if the peer sent RST
+///   reset_write     write_all fails with ECONNRESET before sending
+///   stall_read      read_some reports Timeout without touching the socket
+/// A null hook (production) costs one relaxed atomic load per step.
+class FaultNet {
+ public:
+  virtual ~FaultNet() = default;
+  virtual bool refuse_connect(const std::string& host, std::uint16_t port) = 0;
+  virtual bool reset_write(int fd) = 0;
+  virtual bool stall_read(int fd) = 0;
+};
+
+/// Install (or clear, with nullptr) the process-wide fault hook. The caller
+/// keeps ownership and must clear the hook before destroying it. Test-only.
+void set_fault_net(FaultNet* hook);
+FaultNet* fault_net();
+
+/// Deterministic seeded FaultNet: each category fires on scripted 1-based
+/// call indices (empty = never). Counters are per-instance, so a fresh
+/// script starts a fresh schedule.
+class ScriptedFaultNet final : public FaultNet {
+ public:
+  struct Script {
+    std::vector<std::uint64_t> refuse_connect_at;
+    std::vector<std::uint64_t> reset_write_at;
+    std::vector<std::uint64_t> stall_read_at;
+  };
+  explicit ScriptedFaultNet(Script script) : script_(std::move(script)) {}
+
+  bool refuse_connect(const std::string& host, std::uint16_t port) override;
+  bool reset_write(int fd) override;
+  bool stall_read(int fd) override;
+
+  std::uint64_t faults_injected() const { return faults_; }
+
+ private:
+  bool fires(const std::vector<std::uint64_t>& at, std::atomic<std::uint64_t>& counter);
+
+  Script script_;
+  std::atomic<std::uint64_t> connects_{0};
+  std::atomic<std::uint64_t> writes_{0};
+  std::atomic<std::uint64_t> reads_{0};
+  std::atomic<std::uint64_t> faults_{0};
 };
 
 /// Dial host:port with a bounded non-blocking connect (numeric IPv4 address

@@ -88,6 +88,9 @@ std::string serialize(const HttpResponse& response, bool keep_alive) {
                     status_reason(response.status) + "\r\n";
   out += "Content-Type: " + response.content_type + "\r\n";
   out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  if (response.retry_after_seconds > 0) {
+    out += "Retry-After: " + std::to_string(response.retry_after_seconds) + "\r\n";
+  }
   out += std::string("Connection: ") +
          (keep_alive && !response.close ? "keep-alive" : "close") + "\r\n";
   out += "\r\n";

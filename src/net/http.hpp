@@ -39,6 +39,9 @@ struct HttpResponse {
   std::string body;
   /// Force "Connection: close" regardless of what the client asked for.
   bool close = false;
+  /// Emit a "Retry-After: N" header (seconds) when > 0 — transient refusals
+  /// (degraded storage, open circuit breakers) tell clients when to return.
+  int retry_after_seconds = 0;
 
   static HttpResponse json(int status, const json::Value& value);
   /// Convenience error body: {"error": message}.

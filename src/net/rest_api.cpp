@@ -47,7 +47,9 @@ HttpResponse RestApi::handle(const HttpRequest& request) {
   try {
     return route(request);
   } catch (const ApiError& e) {
-    return HttpResponse::error(e.status(), e.what());
+    HttpResponse response = HttpResponse::error(e.status(), e.what());
+    response.retry_after_seconds = e.retry_after_seconds();
+    return response;
   } catch (const json::JsonError& e) {
     return HttpResponse::error(400, e.what());
   } catch (const std::exception& e) {
@@ -122,6 +124,17 @@ HttpResponse RestApi::route(const HttpRequest& request) {
       if (seg[3] == "drive") {
         if (request.method != "POST") return HttpResponse::error(405, "use POST");
         if (!fleet_) return HttpResponse::error(503, "no fleet dispatcher running");
+        // Degraded-mode policy: drive queues a whole session's worth of work,
+        // so it is shed first — ask/tell stay available for clients running
+        // their own evaluations.
+        if (fleet_->degraded()) {
+          if (telemetry_ != nullptr && telemetry_->enabled()) {
+            telemetry_->metrics().counter(obs::metric::kBreakerShed).inc();
+          }
+          throw ApiError(503,
+                         "fleet degraded: every node's circuit breaker is open",
+                         5);
+        }
         return HttpResponse::json(200,
                                   manager_.drive(id, fleet_, parse_body(request)));
       }

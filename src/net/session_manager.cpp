@@ -56,6 +56,11 @@ service::SessionOptions options_from_spec(const json::Value& spec,
   return o;
 }
 
+/// Retry-After advertised on storage-degraded 503s: long enough for an
+/// operator (or the self-healing resume) to act, short enough that a healthy
+/// retry loop picks the session back up promptly.
+constexpr int kStorageRetryAfterSeconds = 5;
+
 void put_status(json::Object& obj, const service::TuningSession& session,
                 bool with_best_config) {
   const auto status = session.status();
@@ -150,7 +155,9 @@ void SessionManager::materialize(Entry& entry, bool resume_from_journal) {
     } else {
       throw ApiError(422, "session spec needs an \"app\" name or a \"space\" spec");
     }
-    const auto options = options_from_spec(spec, options_.telemetry);
+    auto options = options_from_spec(spec, options_.telemetry);
+    options.io = options_.io;
+    options.rotate_bytes = options_.rotate_bytes;
     const std::string journal =
         options_.journal_dir.empty() ? std::string() : journal_path(entry.id);
     if (resume_from_journal && !journal.empty()) {
@@ -170,6 +177,24 @@ void SessionManager::materialize(Entry& entry, bool resume_from_journal) {
     // Unknown app names, unreadable journals, ...: the client can fix these.
     throw ApiError(resume_from_journal ? 500 : 422, e.what());
   }
+}
+
+void SessionManager::storage_degraded(Entry& entry, const std::exception& err) {
+  log_error("SessionManager: storage poisoned for session '", entry.id,
+            "': ", err.what());
+  // Self-heal: the poisoned handle is useless, but the journal holds every
+  // acked record up to the failed fsync — drop the in-memory session and let
+  // the next touch resume from disk. Only this session degrades; the 503
+  // tells the client exactly that.
+  entry.session.reset();
+  entry.app.reset();
+  entry.owned_space.reset();
+  entry.space = nullptr;
+  count("tunekit_sessions_poisoned_total");
+  throw ApiError(503,
+                 "session '" + entry.id + "' storage degraded: " +
+                     std::string(err.what()),
+                 kStorageRetryAfterSeconds);
 }
 
 json::Value SessionManager::create(const json::Value& spec) {
@@ -284,7 +309,12 @@ json::Value SessionManager::ask(const std::string& id, std::size_t k) {
   {
     std::lock_guard<std::mutex> lock(entry->mutex);
     if (!entry->session) materialize(*entry, /*resume_from_journal=*/true);
-    const auto batch = entry->session->ask(k);
+    std::vector<service::Candidate> batch;
+    try {
+      batch = entry->session->ask(k);
+    } catch (const service::StorePoisonedError& e) {
+      storage_degraded(*entry, e);
+    }
     json::Array candidates;
     for (const auto& c : batch) {
       json::Object cand;
@@ -350,6 +380,8 @@ json::Value SessionManager::tell(const std::string& id, const json::Value& body)
       reply["accepted"] = json::Value(accepted);
     } catch (const ApiError&) {
       throw;
+    } catch (const service::StorePoisonedError& e) {
+      storage_degraded(*entry, e);
     } catch (const json::JsonError& e) {
       throw ApiError(422, e.what());
     } catch (const std::invalid_argument& e) {
@@ -398,7 +430,11 @@ json::Value SessionManager::drive(
     sched.batch_size =
         static_cast<std::size_t>(body.number_or("batch_size", 0.0));
     sched.telemetry = options_.telemetry;
-    service::EvalScheduler(sched).run(*entry->session);
+    try {
+      service::EvalScheduler(sched).run(*entry->session);
+    } catch (const service::StorePoisonedError& e) {
+      storage_degraded(*entry, e);
+    }
     reply["id"] = json::Value(id);
     put_status(reply, *entry->session, /*with_best_config=*/true);
     reply["metrics"] = entry->session->metrics().to_json();
@@ -414,7 +450,11 @@ json::Value SessionManager::close(const std::string& id) {
   {
     std::lock_guard<std::mutex> lock(entry->mutex);
     if (!entry->session) materialize(*entry, /*resume_from_journal=*/true);
-    entry->session->close();
+    try {
+      entry->session->close();
+    } catch (const service::StorePoisonedError& e) {
+      storage_degraded(*entry, e);
+    }
     body["id"] = json::Value(id);
     put_status(body, *entry->session, /*with_best_config=*/true);
     entry->session.reset();
@@ -455,7 +495,14 @@ json::Value SessionManager::list() const {
 void SessionManager::flush_all() {
   for (const auto& entry : all_entries()) {
     std::lock_guard<std::mutex> lock(entry->mutex);
-    if (entry->session) entry->session->flush_metrics();
+    if (!entry->session) continue;
+    try {
+      entry->session->flush_metrics();
+    } catch (const service::StorePoisonedError& e) {
+      // Drain must keep draining: note the poisoned store and move on.
+      log_error("SessionManager: flush skipped for poisoned session '",
+                entry->id, "': ", e.what());
+    }
   }
 }
 

@@ -50,15 +50,22 @@ class EvalBackend;
 
 namespace tunekit::net {
 
-/// A failure the client can be told about: carries the HTTP status code.
+/// A failure the client can be told about: carries the HTTP status code and,
+/// for transient conditions (degraded storage, open circuit breakers), the
+/// Retry-After hint the response should advertise.
 class ApiError : public std::runtime_error {
  public:
-  ApiError(int status, const std::string& message)
-      : std::runtime_error(message), status_(status) {}
+  ApiError(int status, const std::string& message, int retry_after_seconds = 0)
+      : std::runtime_error(message),
+        status_(status),
+        retry_after_seconds_(retry_after_seconds) {}
   int status() const { return status_; }
+  /// Seconds the client should wait before retrying (0 = no hint).
+  int retry_after_seconds() const { return retry_after_seconds_; }
 
  private:
   int status_;
+  int retry_after_seconds_;
 };
 
 struct SessionManagerOptions {
@@ -76,6 +83,13 @@ struct SessionManagerOptions {
   std::size_t shards = 1;
   /// Telemetry for session counters and journal fsync latency (nullable).
   obs::Telemetry* telemetry = nullptr;
+  /// File-IO seam threaded under every session journal (null = the real
+  /// filesystem). Chaos tests inject a common::FaultIo with a path filter to
+  /// poison exactly one session's storage.
+  common::Io* io = nullptr;
+  /// Journal segment rotation threshold forwarded to each session (bytes;
+  /// 0 disables rotation).
+  std::size_t rotate_bytes = 256 * 1024;
 };
 
 class SessionManager {
@@ -166,6 +180,11 @@ class SessionManager {
   std::shared_ptr<Entry> find_or_load(const std::string& id);
   /// Build (or resume) the TuningSession for an entry. Entry mutex held.
   void materialize(Entry& entry, bool resume_from_journal);
+  /// Map a poisoned store to 503-with-Retry-After on this session only:
+  /// drop the dead in-memory session (its journal holds everything acked up
+  /// to the failure) so the next touch re-materializes from disk, while
+  /// every other session stays live. Entry mutex held.
+  [[noreturn]] void storage_degraded(Entry& entry, const std::exception& err);
   /// Evict least-recently-used idle sessions down to max_resident.
   void evict_excess();
   void count(const char* name);

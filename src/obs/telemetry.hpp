@@ -165,6 +165,20 @@ inline constexpr const char* kFleetSteals = "tunekit_fleet_steals_total";
 inline constexpr const char* kFleetRedispatches = "tunekit_fleet_redispatches_total";
 /// Queue-to-result dispatch latency; per-node variants append "_node_<id>".
 inline constexpr const char* kFleetEvalSeconds = "tunekit_fleet_eval_seconds";
+// Storage integrity: journal poisoning, segment rotation, salvage.
+inline constexpr const char* kStoragePoisoned = "tunekit_storage_poisoned_total";
+inline constexpr const char* kStorageSegmentsSealed =
+    "tunekit_storage_segments_sealed_total";
+inline constexpr const char* kStorageCorruptSegments =
+    "tunekit_storage_corrupt_segments_total";
+inline constexpr const char* kStorageSalvagedRecords =
+    "tunekit_storage_salvaged_records_total";
+inline constexpr const char* kStorageLostRecords =
+    "tunekit_storage_lost_records_total";
+// Fleet circuit breaker: open transitions, currently-open gauge, shed load.
+inline constexpr const char* kBreakerOpens = "tunekit_breaker_open_total";
+inline constexpr const char* kBreakerNodesOpen = "tunekit_breaker_nodes_open";
+inline constexpr const char* kBreakerShed = "tunekit_breaker_shed_total";
 }  // namespace metric
 
 /// Counter for a classified evaluation outcome: "ok" → tunekit_evals_ok_total,

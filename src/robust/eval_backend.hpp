@@ -32,6 +32,11 @@ class EvalBackend {
   /// The backend can still run evaluations (some slot/node is usable).
   virtual bool healthy() const = 0;
 
+  /// The backend is temporarily shedding load (e.g. every fleet node's
+  /// circuit breaker is open). Drivers should back off and retry rather
+  /// than queue more work; the REST layer maps this to 503 + Retry-After.
+  virtual bool degraded() const { return false; }
+
   /// Evaluations the backend can run concurrently — drivers size their
   /// thread pools and batches from this.
   virtual std::size_t concurrency() const = 0;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/io.hpp"
 #include "common/json.hpp"
 
 namespace tunekit::search {
@@ -94,7 +95,7 @@ std::map<robust::EvalOutcome, std::size_t> EvalDb::outcome_counts() const {
   return counts;
 }
 
-void EvalDb::save(const std::string& path) const {
+void EvalDb::save(const std::string& path, common::Io* io) const {
   json::Array entries;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -121,7 +122,8 @@ void EvalDb::save(const std::string& path) const {
   root["evaluations"] = json::Value(std::move(entries));
   // Atomic replace: a crash mid-save must never corrupt an existing
   // checkpoint, or the crash recovery it exists for would be lost.
-  json::save_atomic(path, json::Value(std::move(root)));
+  json::save_atomic(path, json::Value(std::move(root)), 2,
+                    io != nullptr ? *io : common::real_io());
 }
 
 EvalDb EvalDb::load(const std::string& path, const SearchSpace& space) {

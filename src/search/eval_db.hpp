@@ -14,6 +14,10 @@
 #include "robust/outcome.hpp"
 #include "search/space.hpp"
 
+namespace tunekit::common {
+class Io;
+}
+
 namespace tunekit::search {
 
 struct Evaluation {
@@ -75,8 +79,9 @@ class EvalDb {
 
   /// Persist to / restore from a JSON checkpoint. The space is used to
   /// validate arity on load; non-conforming entries are rejected with
-  /// std::runtime_error.
-  void save(const std::string& path) const;
+  /// std::runtime_error. `io` (null = the real filesystem) routes the
+  /// checkpoint write through the fault-injection seam.
+  void save(const std::string& path, common::Io* io = nullptr) const;
   static EvalDb load(const std::string& path, const SearchSpace& space);
 
  private:

@@ -138,7 +138,8 @@ TuningSession::TuningSession(const search::SearchSpace& space, SessionOptions op
                              const std::string& journal_path)
     : TuningSession(space, std::move(options), std::unique_ptr<SessionStore>()) {
   if (!journal_path.empty()) {
-    store_ = SessionStore::create(journal_path, make_header());
+    store_ = SessionStore::create(journal_path, make_header(),
+                                  {options_.io, options_.rotate_bytes});
     store_->set_telemetry(options_.telemetry);
   }
 }
@@ -146,13 +147,18 @@ TuningSession::TuningSession(const search::SearchSpace& space, SessionOptions op
 std::unique_ptr<TuningSession> TuningSession::resume(const search::SearchSpace& space,
                                                      SessionOptions options,
                                                      const std::string& journal_path) {
-  auto replayed = SessionStore::replay(journal_path, space);
+  // Repairing replay: a torn tail is truncated, corrupt segments are
+  // quarantined to corrupt/ and rewritten with their salvageable records, so
+  // the appends below never land after damage.
+  auto replayed = SessionStore::replay(journal_path, space,
+                                       {/*repair=*/true, options.telemetry});
   if (replayed.header.max_evals != options.max_evals) {
     log_warn("session: resuming '", journal_path, "' with max_evals=", options.max_evals,
              " (journal was created with ", replayed.header.max_evals, ")");
   }
+  const SessionStore::Options store_options{options.io, options.rotate_bytes};
   auto session = std::unique_ptr<TuningSession>(new TuningSession(
-      space, std::move(options), SessionStore::append(journal_path)));
+      space, std::move(options), SessionStore::append(journal_path, store_options)));
   for (const auto& e : replayed.completed) session->db_.record(e);
   for (auto& c : replayed.in_flight) session->reissue_.push_back(std::move(c));
   // Session metrics continue from the journaled snapshot: the counters are
@@ -166,6 +172,15 @@ std::unique_ptr<TuningSession> TuningSession::resume(const search::SearchSpace& 
   // time.
   for (const auto& q : replayed.quarantined) session->quarantine_.quarantine_now(q);
   session->next_id_ = std::max(session->next_id_, replayed.next_id);
+  if (replayed.salvage.lost_records > 0 || replayed.salvage.corrupt_segments > 0) {
+    // Resume provenance: the journal now explicitly records that this
+    // incarnation continued from a salvaged store, and what the repair cost.
+    session->store_->salvage_marker(replayed.salvage.lost_records,
+                                    replayed.salvage.corrupt_segments);
+    log_warn("session: resumed '", journal_path, "' after salvage: ",
+             replayed.salvage.lost_records, " record(s) lost across ",
+             replayed.salvage.corrupt_segments, " corrupt file(s)");
+  }
   log_info("session: resumed ", session->db_.size(), " evaluations, ",
            session->reissue_.size(), " in-flight candidates, and ",
            replayed.quarantined.size(), " quarantined configs from ", journal_path);

@@ -93,6 +93,13 @@ struct SessionOptions {
   /// Telemetry for journal fsync latency and the per-session metrics
   /// snapshot record (null = disabled, the default).
   obs::Telemetry* telemetry = nullptr;
+
+  /// File-IO seam for the journal and its snapshots (null = the real
+  /// filesystem). Tests inject a common::FaultIo here to script disk faults.
+  common::Io* io = nullptr;
+  /// Journal segment rotation threshold in bytes (0 disables rotation);
+  /// forwarded to SessionStore::Options::rotate_bytes.
+  std::size_t rotate_bytes = 256 * 1024;
 };
 
 /// Session-level counters journaled as the {"e":"metrics"} snapshot record.

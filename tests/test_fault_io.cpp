@@ -1,0 +1,232 @@
+// Unit tests for the deterministic fault-injection seams: CRC32C (the
+// journal's record framing checksum), FaultIo (scripted hostile disks), and
+// ScriptedFaultNet (scripted hostile networks). These are the primitives the
+// durability and chaos suites build on, so their semantics are pinned here
+// in isolation.
+
+#include "common/crc32c.hpp"
+#include "common/io.hpp"
+#include "net/deadline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <system_error>
+
+namespace tunekit {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string out((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  return out;
+}
+
+// --- CRC32C ---
+
+TEST(Crc32c, MatchesKnownVectors) {
+  // The canonical Castagnoli check vector.
+  EXPECT_EQ(common::crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(common::crc32c(""), 0u);
+  // 32 zero bytes — a classic table-error catcher.
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(common::crc32c(zeros), 0x8A9136AAu);
+}
+
+TEST(Crc32c, DetectsSingleBitFlips) {
+  const std::string payload = "{\"e\":\"tell\",\"id\":7,\"value\":1.5}";
+  const std::uint32_t good = common::crc32c(payload);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    std::string damaged = payload;
+    damaged[i] ^= 0x01;
+    EXPECT_NE(common::crc32c(damaged), good) << "flip at byte " << i;
+  }
+}
+
+TEST(Crc32c, HexIsFixedWidthLowercase) {
+  EXPECT_EQ(common::crc32c_hex("123456789"), "e3069283");
+  // Zero-padding: the empty string's CRC is 0.
+  EXPECT_EQ(common::crc32c_hex(""), "00000000");
+  EXPECT_EQ(common::crc32c_hex("").size(), 8u);
+}
+
+// --- FaultIo ---
+
+TEST(FaultIo, EnospcRejectsTheWholeWriteOnceTheDiskFills) {
+  const std::string path = temp_path("tunekit_faultio_enospc.bin");
+  common::FaultScript script;
+  script.enospc_after_bytes = 150;
+  common::FaultIo io(script);
+
+  std::FILE* f = io.open(path, "wb");
+  ASSERT_NE(f, nullptr);
+  const std::string chunk(100, 'x');
+  EXPECT_EQ(io.write(f, chunk.data(), chunk.size()), chunk.size());
+  // 100 + 100 > 150: the write is rejected whole (no partial record lands).
+  errno = 0;
+  EXPECT_EQ(io.write(f, chunk.data(), chunk.size()), 0u);
+  EXPECT_EQ(errno, ENOSPC);
+  EXPECT_EQ(io.faults_injected(), 1u);
+  EXPECT_EQ(io.bytes_written(), 100u);
+  io.close(f);
+  std::filesystem::remove(path);
+}
+
+TEST(FaultIo, ShortWriteAcceptsHalf) {
+  const std::string path = temp_path("tunekit_faultio_short.bin");
+  common::FaultScript script;
+  script.short_write_at = 2;
+  common::FaultIo io(script);
+
+  std::FILE* f = io.open(path, "wb");
+  ASSERT_NE(f, nullptr);
+  const std::string chunk(10, 'a');
+  EXPECT_EQ(io.write(f, chunk.data(), chunk.size()), 10u);
+  EXPECT_EQ(io.write(f, chunk.data(), chunk.size()), 5u) << "interrupted write";
+  EXPECT_EQ(io.write(f, chunk.data(), chunk.size()), 10u);
+  EXPECT_EQ(io.faults_injected(), 1u);
+  io.close(f);
+  std::filesystem::remove(path);
+}
+
+TEST(FaultIo, FsyncEioFiresOnceThenFalselySucceeds) {
+  const std::string path = temp_path("tunekit_faultio_fsync.bin");
+  common::FaultScript script;
+  script.fail_fsync_at = 2;
+  common::FaultIo io(script);
+
+  std::FILE* f = io.open(path, "wb");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(io.fsync_file(f), 0);
+  errno = 0;
+  EXPECT_EQ(io.fsync_file(f), -1);
+  EXPECT_EQ(errno, EIO);
+  // fsyncgate: the page is gone and the error flag was consumed — a retried
+  // fsync reports success without persisting anything. The caller must treat
+  // the first EIO as final, which is exactly what store poisoning does.
+  EXPECT_EQ(io.fsync_file(f), 0);
+  EXPECT_EQ(io.faults_injected(), 1u);
+  io.close(f);
+  std::filesystem::remove(path);
+}
+
+TEST(FaultIo, TornWriteLandsAPrefixThenSwallowsEverything) {
+  const std::string path = temp_path("tunekit_faultio_torn.bin");
+  common::FaultScript script;
+  script.torn_write_at = 2;
+  common::FaultIo io(script);
+
+  std::FILE* f = io.open(path, "wb");
+  ASSERT_NE(f, nullptr);
+  const std::string first = "first-record\n";
+  const std::string second = "second-record\n";
+  EXPECT_EQ(io.write(f, first.data(), first.size()), first.size());
+  // The "crash": half the bytes land, but the caller is told all of them did.
+  EXPECT_EQ(io.write(f, second.data(), second.size()), second.size());
+  EXPECT_TRUE(io.crashed());
+  // Post-crash the instance is dead: writes/flushes/fsyncs all silently
+  // succeed without touching the file — what a powered-off disk would do.
+  EXPECT_EQ(io.write(f, first.data(), first.size()), first.size());
+  EXPECT_EQ(io.flush(f), 0);
+  EXPECT_EQ(io.fsync_file(f), 0);
+  io.close(f);
+
+  const std::string on_disk = slurp(path);
+  EXPECT_EQ(on_disk, first + second.substr(0, second.size() / 2))
+      << "exactly the pre-crash bytes plus the torn prefix must be on disk";
+  std::filesystem::remove(path);
+}
+
+TEST(FaultIo, RenameFailsAtScriptedIndex) {
+  const std::string from = temp_path("tunekit_faultio_rename_a.bin");
+  const std::string to = temp_path("tunekit_faultio_rename_b.bin");
+  { std::ofstream(from) << "x"; }
+  common::FaultScript script;
+  script.rename_fail_at = 1;
+  common::FaultIo io(script);
+
+  std::error_code ec;
+  EXPECT_FALSE(io.rename(from, to, ec));
+  EXPECT_TRUE(ec);
+  EXPECT_EQ(io.faults_injected(), 1u);
+  EXPECT_TRUE(std::filesystem::exists(from));
+  // The next rename goes through.
+  EXPECT_TRUE(io.rename(from, to, ec));
+  EXPECT_FALSE(ec);
+  EXPECT_TRUE(std::filesystem::exists(to));
+  std::filesystem::remove(to);
+}
+
+TEST(FaultIo, PathFilterConfinesFaultsToMatchingFiles) {
+  const std::string victim = temp_path("tunekit_faultio_victim.bin");
+  const std::string bystander = temp_path("tunekit_faultio_bystander.bin");
+  common::FaultScript script;
+  script.enospc_after_bytes = 1;  // any write to a faulted file fails
+  script.path_contains = "victim";
+  common::FaultIo io(script);
+
+  std::FILE* fv = io.open(victim, "wb");
+  std::FILE* fb = io.open(bystander, "wb");
+  ASSERT_NE(fv, nullptr);
+  ASSERT_NE(fb, nullptr);
+  const std::string chunk(16, 'z');
+  errno = 0;
+  EXPECT_EQ(io.write(fv, chunk.data(), chunk.size()), 0u);
+  EXPECT_EQ(errno, ENOSPC);
+  // The bystander file shares the FaultIo but never matches the filter:
+  // this is how chaos tests poison one session out of a whole manager.
+  EXPECT_EQ(io.write(fb, chunk.data(), chunk.size()), chunk.size());
+  EXPECT_EQ(io.fsync_file(fb), 0);
+  io.close(fv);
+  io.close(fb);
+  std::filesystem::remove(victim);
+  std::filesystem::remove(bystander);
+}
+
+// --- ScriptedFaultNet ---
+
+TEST(ScriptedFaultNet, FiresOnOneBasedCallIndicesPerCategory) {
+  net::ScriptedFaultNet::Script script;
+  script.refuse_connect_at = {2, 3};
+  script.reset_write_at = {1};
+  net::ScriptedFaultNet faults(script);
+
+  EXPECT_FALSE(faults.refuse_connect("127.0.0.1", 1));
+  EXPECT_TRUE(faults.refuse_connect("127.0.0.1", 1));
+  EXPECT_TRUE(faults.refuse_connect("127.0.0.1", 1));
+  EXPECT_FALSE(faults.refuse_connect("127.0.0.1", 1));
+
+  EXPECT_TRUE(faults.reset_write(3));
+  EXPECT_FALSE(faults.reset_write(3));
+  // Categories count independently: no stall was scripted.
+  EXPECT_FALSE(faults.stall_read(3));
+  EXPECT_EQ(faults.faults_injected(), 3u);
+}
+
+TEST(ScriptedFaultNet, InjectedConnectRefusalReachesDialTcp) {
+  net::ScriptedFaultNet::Script script;
+  script.refuse_connect_at = {1};
+  net::ScriptedFaultNet faults(script);
+  net::set_fault_net(&faults);
+
+  std::string error;
+  const int fd = net::dial_tcp("127.0.0.1", 65535,
+                               net::Deadline::after(1.0), &error);
+  net::set_fault_net(nullptr);
+
+  EXPECT_LT(fd, 0);
+  EXPECT_NE(error.find("(injected)"), std::string::npos)
+      << "error was: " << error;
+  EXPECT_EQ(faults.faults_injected(), 1u);
+}
+
+}  // namespace
+}  // namespace tunekit

@@ -86,6 +86,108 @@ TEST(NodeRegistry, ReadmissionBackoffDoublesAndResets) {
   EXPECT_TRUE(reg.admit("n1", 2, 31.1).ok);
 }
 
+TEST(NodeRegistry, ReadmissionBackoffJitterIsDeterministicAndSubtractOnly) {
+  RegistryOptions opt;
+  opt.readmit_base_s = 10.0;
+  opt.readmit_max_s = 60.0;
+
+  // Same id, fresh registry: the jitter is a pure function of (id, deaths),
+  // so a failing run can be replayed exactly.
+  double retry[2] = {0.0, 0.0};
+  for (int run = 0; run < 2; ++run) {
+    NodeRegistry reg(opt);
+    ASSERT_TRUE(reg.admit("jitter-node", 4, 0.0).ok);
+    reg.mark_dead("jitter-node", 100.0);
+    const auto refused = reg.admit("jitter-node", 4, 100.0);
+    ASSERT_FALSE(refused.ok);
+    retry[run] = refused.retry_after_s;
+  }
+  EXPECT_DOUBLE_EQ(retry[0], retry[1]);
+  // Subtract-only: the window shrinks by at most 20% and never grows, so the
+  // advertised exponential backoff stays an upper bound.
+  EXPECT_GE(retry[0], 0.8 * opt.readmit_base_s);
+  EXPECT_LE(retry[0], opt.readmit_base_s);
+
+  // Different ids land at different points of the window — that spread is
+  // the whole point (no re-admission stampede after a correlated outage).
+  NodeRegistry reg(opt);
+  ASSERT_TRUE(reg.admit("other-node", 4, 0.0).ok);
+  reg.mark_dead("other-node", 100.0);
+  const auto other = reg.admit("other-node", 4, 100.0);
+  ASSERT_FALSE(other.ok);
+  EXPECT_NE(other.retry_after_s, retry[0]);
+}
+
+// --- CircuitBreaker: the per-node trip/cool-down/probe state machine. ---
+
+TEST(CircuitBreaker, TripsAtErrorRateAndRecoversThroughHalfOpenProbe) {
+  BreakerOptions opt;
+  opt.window = 8;
+  opt.min_samples = 4;
+  opt.error_rate_open = 0.5;
+  opt.open_duration_s = 5.0;
+  opt.half_open_probes = 1;
+  CircuitBreaker cb(opt);
+  double t = 100.0;
+
+  EXPECT_TRUE(cb.allow(t));
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(cb.record(true, 0.01, t));
+  EXPECT_EQ(cb.state(t), BreakerState::Closed);
+
+  // Failures trip the breaker exactly when the window error rate reaches the
+  // threshold (4 ok + 4 failed = 0.5) — not one record earlier.
+  EXPECT_FALSE(cb.record(false, 0.01, t));
+  EXPECT_FALSE(cb.record(false, 0.01, t));
+  EXPECT_FALSE(cb.record(false, 0.01, t));
+  EXPECT_TRUE(cb.record(false, 0.01, t));
+  EXPECT_TRUE(cb.open_now(t));
+  EXPECT_FALSE(cb.allow(t + 1.0)) << "open breaker must refuse work";
+
+  // Cool-down elapsed: half-open admits exactly `half_open_probes` probes.
+  EXPECT_TRUE(cb.allow(t + 5.5));
+  EXPECT_EQ(cb.state(t + 5.5), BreakerState::HalfOpen);
+  EXPECT_FALSE(cb.allow(t + 5.6)) << "only one probe may be in flight";
+
+  // The probe succeeds: closed again, with the pre-trip history forgotten.
+  EXPECT_FALSE(cb.record(true, 0.01, t + 5.7));
+  EXPECT_EQ(cb.state(t + 5.8), BreakerState::Closed);
+  EXPECT_FALSE(cb.open_now(t + 5.8));
+  EXPECT_DOUBLE_EQ(cb.error_rate(), 0.0);
+}
+
+TEST(CircuitBreaker, FailedProbeReopensWithRestartedCoolDown) {
+  BreakerOptions opt;
+  opt.window = 4;
+  opt.min_samples = 2;
+  opt.error_rate_open = 0.5;
+  opt.open_duration_s = 5.0;
+  CircuitBreaker cb(opt);
+  double t = 0.0;
+  EXPECT_FALSE(cb.record(false, 0.0, t));
+  EXPECT_TRUE(cb.record(false, 0.0, t));  // trips
+  ASSERT_TRUE(cb.allow(t + 5.5));         // half-open probe
+  EXPECT_TRUE(cb.record(false, 0.0, t + 5.6)) << "a failed probe re-opens";
+  EXPECT_TRUE(cb.open_now(t + 5.7));
+  EXPECT_FALSE(cb.allow(t + 9.0)) << "cool-down restarts from the re-open";
+  EXPECT_TRUE(cb.allow(t + 11.0));
+}
+
+TEST(CircuitBreaker, MedianLatencyTripsEvenWhenEvalsSucceed) {
+  BreakerOptions opt;
+  opt.window = 8;
+  opt.min_samples = 4;
+  opt.error_rate_open = 1.1;  // error rate can never trip
+  opt.latency_open_s = 0.5;
+  CircuitBreaker cb(opt);
+  // Successful but crawling evals: the node is useless even though nothing
+  // "fails", and the latency median must catch that.
+  EXPECT_FALSE(cb.record(true, 2.0, 0.0));
+  EXPECT_FALSE(cb.record(true, 2.0, 0.0));
+  EXPECT_FALSE(cb.record(true, 2.0, 0.0));
+  EXPECT_TRUE(cb.record(true, 2.0, 0.0));
+  EXPECT_TRUE(cb.open_now(0.0));
+}
+
 TEST(NodeRegistry, LiveDuplicateIdRefused) {
   NodeRegistry reg;
   ASSERT_TRUE(reg.admit("n1", 2, 0.0).ok);

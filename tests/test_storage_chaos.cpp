@@ -1,0 +1,222 @@
+// Chaos acceptance for hostile-machine storage: a sharded SessionManager
+// with a FaultIo poisoning exactly one session's disk must degrade *that*
+// session to 503-with-Retry-After while every other session keeps every
+// acked tell; and deterministic byte corruption must be found — and repaired
+// — by fsck, both through the library and through the `tunekit_cli fsck`
+// command.
+
+#include "net/session_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/io.hpp"
+#include "service/session_store.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#define TUNEKIT_HAVE_SYSTEM_EXIT_CODE 1
+#endif
+
+namespace tunekit::net {
+namespace {
+
+json::Value inline_space_spec(const std::string& id, std::size_t max_evals) {
+  json::Object spec;
+  spec["id"] = json::Value(id);
+  spec["backend"] = json::Value(std::string("random"));
+  spec["max_evals"] = json::Value(max_evals);
+  spec["seed"] = json::Value(7);
+  spec["space"] = json::parse(
+      "{\"params\": ["
+      "{\"name\":\"x\",\"kind\":\"real\",\"lo\":-5,\"hi\":5,\"default\":0},"
+      "{\"name\":\"y\",\"kind\":\"real\",\"lo\":-5,\"hi\":5,\"default\":0}"
+      "]}");
+  return json::Value(std::move(spec));
+}
+
+std::string fresh_dir(const char* name) {
+  const auto dir = std::filesystem::temp_directory_path() / name;
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+/// One ask(1) + tell round against `id`; returns true when the tell was
+/// acked, throws ApiError when the session is degraded.
+bool one_round(SessionManager& manager, const std::string& id, double value) {
+  const json::Value batch = manager.ask(id, 1);
+  const auto& candidates = batch.at("candidates").as_array();
+  if (candidates.size() != 1) return false;
+  json::Object tell;
+  tell["id"] = candidates[0].at("id");
+  tell["value"] = json::Value(value);
+  manager.tell(id, json::Value(std::move(tell)));
+  return true;
+}
+
+std::string find_journal(const std::string& dir, const std::string& id) {
+  const std::string want = id + ".journal.jsonl";
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().filename() == want &&
+        entry.path().parent_path().filename() != "corrupt") {
+      return entry.path().string();
+    }
+  }
+  return "";
+}
+
+TEST(StorageChaos, PoisonedSessionDegradesAloneOthersLoseNothing) {
+  const std::string dir = fresh_dir("tunekit_chaos_poison");
+
+  // The disk under exactly one session fills mid-run. The path filter is the
+  // blast-radius boundary: every other journal shares the FaultIo untouched.
+  common::FaultScript script;
+  script.enospc_after_bytes = 1500;
+  script.path_contains = "victim.journal";
+  script.seed = 42;
+  common::FaultIo fault_io(script);
+
+  SessionManagerOptions opt;
+  opt.journal_dir = dir;
+  opt.shards = 4;
+  opt.io = &fault_io;
+
+  const int rounds = 24;
+  int victim_acked = 0;
+  int victim_rejected = 0;
+  {
+    SessionManager manager(opt);
+    manager.create(inline_space_spec("victim", 64));
+    manager.create(inline_space_spec("healthy-a", 64));
+    manager.create(inline_space_spec("healthy-b", 64));
+
+    for (int i = 0; i < rounds; ++i) {
+      for (const char* id : {"victim", "healthy-a", "healthy-b"}) {
+        try {
+          ASSERT_TRUE(one_round(manager, id, static_cast<double>(i)));
+          if (std::string(id) == "victim") ++victim_acked;
+        } catch (const ApiError& e) {
+          // Degradation must be confined to the session whose disk failed,
+          // and advertised as transient: 503 + Retry-After.
+          EXPECT_STREQ(id, "victim")
+              << "a healthy session degraded: " << e.what();
+          EXPECT_EQ(e.status(), 503) << e.what();
+          EXPECT_EQ(e.retry_after_seconds(), 5);
+          ++victim_rejected;
+        }
+      }
+    }
+    EXPECT_GT(victim_acked, 0) << "the disk filled before anything landed";
+    EXPECT_GT(victim_rejected, 0) << "ENOSPC never degraded the victim";
+
+    // The healthy sessions completed every single round.
+    for (const char* id : {"healthy-a", "healthy-b"}) {
+      EXPECT_DOUBLE_EQ(manager.report(id).at("completed").as_number(), rounds);
+    }
+  }
+
+  // Durability across a restart: a fresh manager over the same directory
+  // (healthy disk now) resumes every session from its journal. Zero acked
+  // tells lost anywhere — the poisoned session kept its pre-failure prefix.
+  SessionManagerOptions clean_opt;
+  clean_opt.journal_dir = dir;
+  clean_opt.shards = 4;
+  SessionManager resumed(clean_opt);
+  for (const char* id : {"healthy-a", "healthy-b"}) {
+    EXPECT_DOUBLE_EQ(resumed.report(id).at("completed").as_number(), rounds);
+  }
+  EXPECT_DOUBLE_EQ(resumed.report("victim").at("completed").as_number(),
+                   victim_acked);
+  std::filesystem::remove_all(dir);
+}
+
+#ifdef TUNEKIT_HAVE_SYSTEM_EXIT_CODE
+int run_cli(const std::string& args) {
+  const std::string cmd =
+      std::string(TUNEKIT_CLI_BIN) + " " + args + " > /dev/null 2>&1";
+  const int rc = std::system(cmd.c_str());
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+#endif
+
+TEST(StorageChaos, FsckFindsAndRepairsExactlyTheInjectedCorruption) {
+  const std::string dir = fresh_dir("tunekit_chaos_fsck");
+  {
+    SessionManagerOptions opt;
+    opt.journal_dir = dir;
+    opt.shards = 2;
+    SessionManager manager(opt);
+    manager.create(inline_space_spec("s-one", 16));
+    manager.create(inline_space_spec("s-two", 16));
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE(one_round(manager, "s-one", static_cast<double>(i)));
+      ASSERT_TRUE(one_round(manager, "s-two", static_cast<double>(i)));
+    }
+  }
+  const std::string target = find_journal(dir, "s-one");
+  const std::string bystander = find_journal(dir, "s-two");
+  ASSERT_FALSE(target.empty());
+  ASSERT_FALSE(bystander.empty());
+
+  // Deterministic injection: flip one byte of the first tell record.
+  {
+    std::ifstream in(target, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    const auto pos = bytes.find("\"e\":\"tell\"");
+    ASSERT_NE(pos, std::string::npos);
+    bytes[pos] ^= 0x01;
+    std::ofstream out(target, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  // Read-only fsck pins the damage to exactly one record of one file and
+  // reports the same thing every time (deterministic, no repair side
+  // effects).
+  for (int pass = 0; pass < 2; ++pass) {
+    const auto report = service::SessionStore::fsck(target);
+    EXPECT_TRUE(report.ok);
+    EXPECT_FALSE(report.legacy_v1);
+    EXPECT_EQ(report.salvage.lost_records, 1u) << "pass " << pass;
+    EXPECT_EQ(report.salvage.corrupt_segments, 1u);
+    EXPECT_EQ(report.salvage.torn_tails, 0u);
+  }
+  EXPECT_TRUE(service::SessionStore::fsck(bystander).salvage.clean())
+      << "fsck flagged damage in an untouched journal";
+
+#ifdef TUNEKIT_HAVE_SYSTEM_EXIT_CODE
+  // The CLI wraps the same pass: damage without --repair exits 1, repair
+  // exits 0, and a re-check of the repaired tree is clean.
+  EXPECT_EQ(run_cli("fsck --journal-dir " + dir), 1);
+  EXPECT_EQ(run_cli("fsck --journal-dir " + dir + " --repair"), 0);
+  EXPECT_EQ(run_cli("fsck --journal-dir " + dir), 0);
+#else
+  const auto repaired = service::SessionStore::fsck(target, /*repair=*/true);
+  EXPECT_TRUE(repaired.ok);
+  EXPECT_EQ(repaired.salvage.lost_records, 1u);
+#endif
+
+  // After repair: the journal is structurally clean, the damaged bytes were
+  // quarantined for forensics, and the session resumes with the salvaged
+  // records (one tell lost, its candidate re-issuable).
+  EXPECT_TRUE(service::SessionStore::fsck(target).salvage.clean());
+  EXPECT_TRUE(std::filesystem::exists(
+      std::filesystem::path(target).parent_path() / "corrupt" /
+      "s-one.journal.jsonl"));
+  SessionManagerOptions resume_opt;
+  resume_opt.journal_dir = dir;
+  resume_opt.shards = 2;
+  SessionManager resumed(resume_opt);
+  EXPECT_DOUBLE_EQ(resumed.report("s-one").at("completed").as_number(), 5.0);
+  EXPECT_DOUBLE_EQ(resumed.report("s-two").at("completed").as_number(), 6.0);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace tunekit::net

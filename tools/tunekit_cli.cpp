@@ -7,6 +7,8 @@
 //   tunekit_cli session --app <name> [options]        NDJSON ask/tell server
 //   tunekit_cli report  --session <dir>               time/failure breakdown
 //                                                     from session journals
+//   tunekit_cli fsck    --journal-dir <dir> [--repair] offline journal
+//                                                     verification/repair
 //   tunekit_cli serve   [options]                     HTTP/JSON tuning server
 //                                                     (--fleet adds a TCP
 //                                                     evaluation dispatcher)
@@ -60,6 +62,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/log.hpp"
@@ -96,7 +99,7 @@ class UsageError : public std::runtime_error {
 
 int usage(const char* argv0) {
   std::printf(
-      "usage: %s <info|analyze|plan|tune|session|serve|remote-*> [options]\n"
+      "usage: %s <info|analyze|plan|tune|session|report|fsck|serve|remote-*> [options]\n"
       "apps:  synth:case1..case5 | tddft:cs1 | tddft:cs2 | minislater\n"
       "options: --cutoff F --max-dims N --variations N --importance-samples N\n"
       "         --evals-per-param N --min-evals N --seed N --checkpoint-dir P --dot\n"
@@ -122,6 +125,11 @@ int usage(const char* argv0) {
       "         --log-file P (tee timestamped log lines to a file)\n"
       "report:  per-phase/per-search time and failure breakdown from the\n"
       "         journals in a checkpoint dir: report --session DIR\n"
+      "fsck:    verify (or repair) session journals offline: CRC framing,\n"
+      "         segment seals/sequence, torn tails (docs/SERVICE.md\n"
+      "         \"Durability & recovery\"): fsck --journal-dir DIR\n"
+      "         [--repair] [--session-id ID]; exit 0 = clean or repaired,\n"
+      "         1 = damage found (or left, without --repair)\n"
       "serve:   HTTP/JSON tuning server (docs/SERVICE.md \"Remote service\")\n"
       "         --host A --port N (0 = ephemeral) --journal-dir P\n"
       "         --max-sessions N --max-resident N --max-connections N\n"
@@ -210,6 +218,8 @@ struct CliArgs {
   std::string value;  // kept as text so "absent" is distinguishable
   std::string outcome;
   std::size_t k = 1;
+  // fsck command
+  bool repair = false;
 };
 
 bool parse_args(int argc, char** argv, CliArgs& args) {
@@ -283,6 +293,7 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       else if (flag == "--value") args.value = next();
       else if (flag == "--outcome") args.outcome = next();
       else if (flag == "--k") args.k = std::stoul(next());
+      else if (flag == "--repair") args.repair = true;
       else {
         std::fprintf(stderr, "unknown option: %s\n", flag.c_str());
         return false;
@@ -469,13 +480,24 @@ struct JournalSummary {
 JournalSummary summarize_journal(const std::filesystem::path& path) {
   JournalSummary s;
   s.name = path.stem().stem().string();  // strip .journal.jsonl
+  // Sealed segments are "<id>.journal.NNNNNN.jsonl": strip the number too so
+  // they merge into the same search's summary.
+  if (const auto dot = s.name.rfind(".journal"); dot != std::string::npos) {
+    s.name.resize(dot);
+  }
   std::ifstream in(path);
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
+    // v2 journals frame each line as "<8 hex CRC> <json>"; the report only
+    // aggregates, so the payload is taken on faith (fsck checks the CRCs).
+    std::string_view payload = line;
+    if (line.size() > 9 && line[0] != '{' && line[8] == ' ') {
+      payload = std::string_view(line).substr(9);
+    }
     json::Value rec;
     try {
-      rec = json::parse(line);
+      rec = json::parse(std::string(payload));
     } catch (const std::exception&) {
       continue;  // torn tail line from a crash — exactly what replay skips
     }
@@ -515,6 +537,18 @@ int cmd_report(const std::string& dir) {
     const std::string name = entry.path().filename().string();
     if (name.size() > 14 && name.substr(name.size() - 14) == ".journal.jsonl") {
       files.push_back(entry.path());
+      continue;
+    }
+    // Sealed rotation segments: "<id>.journal.NNNNNN.jsonl".
+    const auto pos = name.find(".journal.");
+    if (pos != std::string::npos && name.size() > 6 &&
+        name.substr(name.size() - 6) == ".jsonl") {
+      const std::string middle =
+          name.substr(pos + 9, name.size() - 6 - (pos + 9));
+      if (!middle.empty() &&
+          middle.find_first_not_of("0123456789") == std::string::npos) {
+        files.push_back(entry.path());
+      }
     }
   }
   std::sort(files.begin(), files.end());
@@ -522,6 +556,21 @@ int cmd_report(const std::string& dir) {
     JournalSummary s = summarize_journal(path);
     if (s.backend == "telemetry") {
       telemetry_snap = s.metrics;
+      continue;
+    }
+    // Segments of one journal share a name (sorted: sealed first, active
+    // last) — fold them into a single per-search summary.
+    if (!sessions.empty() && sessions.back().name == s.name) {
+      JournalSummary& acc = sessions.back();
+      if (acc.backend.empty()) acc.backend = s.backend;
+      acc.tells += s.tells;
+      acc.fails += s.fails;
+      acc.drops += s.drops;
+      acc.cost_seconds += s.cost_seconds;
+      acc.duration_ms += s.duration_ms;
+      for (const auto& [why, n] : s.failure_outcomes) acc.failure_outcomes[why] += n;
+      for (const auto& [slot, n] : s.slot_tells) acc.slot_tells[slot] += n;
+      if (!s.metrics.is_null()) acc.metrics = s.metrics;
     } else {
       sessions.push_back(std::move(s));
     }
@@ -612,6 +661,77 @@ int cmd_report(const std::string& dir) {
     }
   }
   return 0;
+}
+
+// --- fsck: offline journal verification/repair (docs/SERVICE.md). ---
+
+/// Active session journals under `dir` and its shard-*/ subdirectories
+/// (sealed rotation segments belong to their active journal; fsck walks
+/// them itself). Sorted, so output and exit codes are deterministic.
+std::vector<std::filesystem::path> find_journals(const std::string& dir,
+                                                 const std::string& only_id) {
+  std::vector<std::filesystem::path> journals;
+  auto collect = [&](const std::filesystem::path& d) {
+    if (!std::filesystem::is_directory(d)) return;
+    for (const auto& entry : std::filesystem::directory_iterator(d)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string name = entry.path().filename().string();
+      if (name.size() <= 14 || name.substr(name.size() - 14) != ".journal.jsonl") {
+        continue;
+      }
+      if (!only_id.empty() && name != only_id + ".journal.jsonl") continue;
+      journals.push_back(entry.path());
+    }
+  };
+  collect(dir);
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_directory() &&
+        entry.path().filename().string().rfind("shard-", 0) == 0) {
+      collect(entry.path());
+    }
+  }
+  std::sort(journals.begin(), journals.end());
+  return journals;
+}
+
+int cmd_fsck(const CliArgs& args) {
+  if (!std::filesystem::is_directory(args.journal_dir)) {
+    std::fprintf(stderr, "error: --journal-dir '%s' is not a directory\n",
+                 args.journal_dir.c_str());
+    return 1;
+  }
+  const auto journals = find_journals(args.journal_dir, args.session_id);
+  if (journals.empty()) {
+    std::fprintf(stderr, "error: no *.journal.jsonl files under '%s'\n",
+                 args.journal_dir.c_str());
+    return 1;
+  }
+  bool damage_left = false;
+  for (const auto& path : journals) {
+    const auto report = service::SessionStore::fsck(path.string(), args.repair);
+    std::cout << path.string() << ": ";
+    if (!report.ok) {
+      std::cout << "UNREADABLE (" << report.error << ")\n";
+      damage_left = true;
+      continue;
+    }
+    std::cout << (report.legacy_v1 ? "v1" : "v2") << ", " << report.records
+              << " records, " << report.segments << " sealed segment(s)";
+    if (report.salvage.clean()) {
+      std::cout << ": clean\n";
+      continue;
+    }
+    std::cout << ": " << report.salvage.lost_records << " lost record(s), "
+              << report.salvage.corrupt_segments << " corrupt file(s), "
+              << report.salvage.torn_tails << " torn tail(s)"
+              << (args.repair ? " [repaired]" : "") << "\n";
+    for (const std::string& note : report.salvage.notes) {
+      std::cout << "  " << note << "\n";
+    }
+    // Read-only mode leaves the damage in place; repair mode fixed it.
+    if (!args.repair) damage_left = true;
+  }
+  return damage_left ? 1 : 0;
 }
 
 // --- serve: the HTTP/JSON remote tuning server (docs/SERVICE.md). ---
@@ -929,6 +1049,20 @@ int main(int argc, char** argv) {
     }
     try {
       return cmd_report(args.session_dir);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  // Offline journal verification: like report, needs no app or telemetry.
+  if (args.command == "fsck") {
+    if (args.journal_dir.empty()) {
+      std::fprintf(stderr, "error: fsck requires --journal-dir <dir>\n");
+      return 2;
+    }
+    try {
+      return cmd_fsck(args);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
