@@ -1,17 +1,21 @@
 #include "net/client.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <random>
 #include <stdexcept>
+#include <thread>
 
+#include "common/log.hpp"
 #include "net/deadline.hpp"
+#include "obs/telemetry.hpp"
 
 namespace tunekit::net {
 
@@ -22,10 +26,58 @@ std::string lower(std::string s) {
   return s;
 }
 
+/// Seconds formatted for the X-Tunekit-Deadline header (millisecond
+/// precision is plenty for budgets measured in seconds).
+std::string format_seconds(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds);
+  return buf;
+}
+
+std::uint64_t mix64(std::uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 }  // namespace
 
-Client::Client(std::string host, std::uint16_t port, double timeout_seconds)
-    : host_(std::move(host)), port_(port), timeout_seconds_(timeout_seconds) {}
+double ClientResponse::retry_after_seconds() const {
+  const auto it = headers.find("retry-after");
+  if (it == headers.end()) return 0.0;
+  char* end = nullptr;
+  const double seconds = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || !std::isfinite(seconds) || seconds < 0.0) {
+    return 0.0;
+  }
+  return seconds;
+}
+
+Client::Client(std::string host, std::uint16_t port, double timeout_seconds,
+               ClientRetryOptions retry)
+    : host_(std::move(host)),
+      port_(port),
+      timeout_seconds_(timeout_seconds),
+      retry_(retry),
+      default_deadline_seconds_(retry.default_deadline_seconds) {
+  // Key uniqueness across processes matters (two clients retrying the same
+  // key would cross-replay responses), so the base is drawn from the OS.
+  std::random_device rd;
+  key_base_ = (static_cast<std::uint64_t>(rd()) << 32) ^ rd() ^
+              static_cast<std::uint64_t>(::getpid());
+}
 
 Client::~Client() { disconnect(); }
 
@@ -36,28 +88,64 @@ void Client::disconnect() {
   }
 }
 
-void Client::connect() {
+void Client::connect(const Deadline& deadline) {
   disconnect();
-  // Bounded non-blocking dial: a black-holed server address fails the call
-  // after timeout_seconds_ instead of hanging in connect().
   std::string error;
-  fd_ = dial_tcp(host_, port_, Deadline::after(timeout_seconds_), &error);
-  if (fd_ < 0) throw std::runtime_error(error);
-
-  // Established-connection IO keeps using socket timeouts: the send/recv
-  // loops below stay simple and every call is still bounded.
-  timeval tv{};
-  tv.tv_sec = static_cast<time_t>(timeout_seconds_);
-  tv.tv_usec = static_cast<suseconds_t>(
-      (timeout_seconds_ - std::floor(timeout_seconds_)) * 1e6);
-  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  fd_ = dial_tcp(host_, port_, deadline, &error);
+  if (fd_ < 0) throw TransportError{TransportFailure::ConnectFailed, error};
 }
 
-ClientResponse Client::request(const std::string& method, const std::string& target,
-                               const std::string& body) {
+std::string Client::make_key() {
+  return "ck" + std::to_string(mix64(key_base_)) + "-" +
+         std::to_string(++key_counter_);
+}
+
+RequestOptions Client::keyed_options() {
+  RequestOptions options;
+  if (retry_.max_attempts > 1) options.idempotency_key = make_key();
+  return options;
+}
+
+void Client::count(const char* name) {
+  if (retry_.telemetry != nullptr && retry_.telemetry->enabled()) {
+    retry_.telemetry->metrics().counter(name).inc();
+  }
+}
+
+double Client::backoff_seconds(const std::string& key, int attempt,
+                               double retry_after) const {
+  // Deterministic jitter in [0.75, 1.25): a function of (key, seed,
+  // attempt) only, so a test can predict the schedule exactly, yet distinct
+  // keys (distinct logical requests) spread out instead of thundering back
+  // in lockstep.
+  const std::uint64_t h =
+      mix64(fnv1a(key) ^ retry_.jitter_seed ^
+            (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(attempt)));
+  const double jitter = 0.75 + 0.5 * static_cast<double>(h % 10000) / 10000.0;
+  if (retry_after > 0.0 && retry_.honor_retry_after) {
+    return std::min(retry_after, retry_.retry_after_cap_seconds) * jitter;
+  }
+  const double exp =
+      retry_.base_backoff_seconds * std::pow(2.0, static_cast<double>(attempt - 1));
+  return std::min(exp, retry_.max_backoff_seconds) * jitter;
+}
+
+ClientResponse Client::perform(const std::string& method, const std::string& target,
+                               const std::string& body,
+                               const RequestOptions& options,
+                               double remaining_deadline_seconds) {
   std::string wire = method + " " + target + " HTTP/1.1\r\n";
   wire += "Host: " + host_ + ":" + std::to_string(port_) + "\r\n";
+  if (!options.idempotency_key.empty()) {
+    wire += "Idempotency-Key: " + options.idempotency_key + "\r\n";
+  }
+  if (std::isfinite(remaining_deadline_seconds)) {
+    // The *remaining* budget, not the original one: each attempt tells the
+    // server how much time this call still has, so server-side stages bound
+    // themselves by what is actually left.
+    wire += "X-Tunekit-Deadline: " + format_seconds(remaining_deadline_seconds) +
+            "\r\n";
+  }
   if (!body.empty() || method == "POST" || method == "PUT") {
     wire += "Content-Type: application/json\r\n";
     wire += "Content-Length: " + std::to_string(body.size()) + "\r\n";
@@ -65,27 +153,26 @@ ClientResponse Client::request(const std::string& method, const std::string& tar
   wire += "\r\n";
   wire += body;
 
-  // One retry on a stale keep-alive connection: the server may have closed
-  // it (idle timeout, restart) between our requests.
-  for (int attempt = 0; attempt < 2; ++attempt) {
-    const bool fresh = fd_ < 0;
-    if (fresh) connect();
+  // The attempt's IO budget: the configured per-attempt timeout, never more
+  // than what remains of the end-to-end deadline.
+  const double io_budget = std::min(timeout_seconds_, remaining_deadline_seconds);
 
-    bool send_failed = false;
-    std::size_t sent = 0;
-    while (sent < wire.size()) {
-      const ssize_t n =
-          ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
-      if (n <= 0) {
-        send_failed = true;
-        break;
-      }
-      sent += static_cast<std::size_t>(n);
-    }
-    if (send_failed) {
+  // One free pass on a stale keep-alive connection: the server may have
+  // closed it (idle timeout, restart) between requests; nothing was
+  // executed, so this inner retry needs no key.
+  for (int pass = 0; pass < 2; ++pass) {
+    const Deadline deadline = Deadline::after(io_budget);
+    const bool fresh = fd_ < 0;
+    if (fresh) connect(deadline);
+
+    const IoResult sent = write_all(fd_, wire.data(), wire.size(), deadline);
+    if (!sent.ok()) {
       disconnect();
-      if (fresh) throw std::runtime_error("send to server failed");
-      continue;  // stale connection: reconnect and retry once
+      if (!fresh) continue;  // stale connection: reconnect and resend
+      if (sent.status == IoResult::Status::Timeout) {
+        throw TransportError{TransportFailure::Timeout, "send to server timed out"};
+      }
+      throw TransportError{TransportFailure::Reset, "send to server failed"};
     }
 
     // Read the status line + headers.
@@ -94,21 +181,31 @@ ClientResponse Client::request(const std::string& method, const std::string& tar
     bool peer_closed = false;
     while (header_end == std::string::npos) {
       char chunk[4096];
-      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-      if (n <= 0) {
+      const IoResult got = read_some(fd_, chunk, sizeof(chunk), deadline);
+      if (got.status == IoResult::Status::Timeout) {
+        disconnect();
+        throw TransportError{TransportFailure::Timeout,
+                             "no response from server within " +
+                                 format_seconds(io_budget) + "s"};
+      }
+      if (!got.ok()) {
         peer_closed = true;
         break;
       }
-      buf.append(chunk, static_cast<std::size_t>(n));
+      buf.append(chunk, got.n);
       header_end = buf.find("\r\n\r\n");
-      if (buf.size() > (1u << 20)) throw std::runtime_error("response headers too large");
+      if (buf.size() > (1u << 20)) {
+        disconnect();
+        throw TransportError{TransportFailure::TornResponse,
+                             "response headers too large"};
+      }
     }
     if (peer_closed) {
       disconnect();
-      if (fresh || !buf.empty()) {
-        throw std::runtime_error("server closed the connection mid-response");
-      }
-      continue;  // clean close before any bytes: retry on a new connection
+      if (!fresh && buf.empty()) continue;  // clean close before any bytes
+      throw TransportError{
+          buf.empty() ? TransportFailure::Reset : TransportFailure::TornResponse,
+          "server closed the connection mid-response"};
     }
 
     const std::string head = buf.substr(0, header_end);
@@ -120,16 +217,17 @@ ClientResponse Client::request(const std::string& method, const std::string& tar
       const std::size_t sp1 = head.find(' ');
       if (sp1 == std::string::npos || head.compare(0, 5, "HTTP/") != 0) {
         disconnect();
-        throw std::runtime_error("malformed response status line");
+        throw TransportError{TransportFailure::TornResponse,
+                             "malformed response status line"};
       }
       response.status = std::atoi(head.c_str() + sp1 + 1);
       if (response.status < 100 || response.status > 599) {
         disconnect();
-        throw std::runtime_error("malformed response status");
+        throw TransportError{TransportFailure::TornResponse,
+                             "malformed response status"};
       }
     }
 
-    // Headers we care about: content-length, connection.
     std::size_t content_length = 0;
     bool server_closes = false;
     std::size_t pos = head.find("\r\n");
@@ -147,39 +245,125 @@ ClientResponse Client::request(const std::string& method, const std::string& tar
           value.erase(value.begin());
         }
         if (name == "content-length") {
-          content_length = static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10));
-        } else if (name == "connection" && lower(value).find("close") != std::string::npos) {
+          content_length =
+              static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10));
+        } else if (name == "connection" &&
+                   lower(value).find("close") != std::string::npos) {
           server_closes = true;
         }
+        response.headers[name] = std::move(value);
       }
       pos = line_end;
     }
 
-    // Interim 1xx responses carry no body; keep reading for the real one.
     if (response.status >= 100 && response.status < 200) {
-      throw std::runtime_error("unexpected interim response from server");
+      disconnect();
+      throw TransportError{TransportFailure::TornResponse,
+                           "unexpected interim response from server"};
     }
 
     while (rest.size() < content_length) {
       char chunk[4096];
-      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-      if (n <= 0) {
+      const IoResult got = read_some(fd_, chunk, sizeof(chunk), deadline);
+      if (got.status == IoResult::Status::Timeout) {
         disconnect();
-        throw std::runtime_error("server closed the connection mid-body");
+        throw TransportError{TransportFailure::Timeout,
+                             "server stalled mid-body"};
       }
-      rest.append(chunk, static_cast<std::size_t>(n));
+      if (!got.ok()) {
+        disconnect();
+        throw TransportError{TransportFailure::TornResponse,
+                             "server closed the connection mid-body"};
+      }
+      rest.append(chunk, got.n);
     }
     response.body = rest.substr(0, content_length);
     if (server_closes) disconnect();
     return response;
   }
-  throw std::runtime_error("request failed after reconnect");
+  throw TransportError{TransportFailure::Reset, "request failed after reconnect"};
+}
+
+ClientResponse Client::request(const std::string& method, const std::string& target,
+                               const std::string& body,
+                               const RequestOptions& options) {
+  const double budget = std::isfinite(options.deadline_seconds)
+                            ? options.deadline_seconds
+                            : default_deadline_seconds_;
+  const Deadline overall = Deadline::after(budget);
+  const bool keyed = !options.idempotency_key.empty();
+  const std::string& jitter_key =
+      keyed ? options.idempotency_key : target;  // stable per logical call
+  const int max_attempts = std::max(1, retry_.max_attempts);
+  bool courtesy_used = false;
+
+  // Sleep before the next attempt; false when the remaining end-to-end
+  // budget cannot cover the sleep (then retrying is pointless).
+  const auto sleep_for_retry = [&](int attempt, double retry_after) {
+    const double wait = backoff_seconds(jitter_key, attempt, retry_after);
+    if (wait >= overall.remaining_seconds()) return false;
+    count(obs::metric::kRetryAttempts);
+    std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+    return true;
+  };
+
+  for (int attempt = 1;; ++attempt) {
+    if (overall.expired()) {
+      count(obs::metric::kRetryExhausted);
+      throw std::runtime_error("deadline expired after " +
+                               std::to_string(attempt - 1) + " attempt(s) to " +
+                               target);
+    }
+    ClientResponse response;
+    try {
+      response = perform(method, target, body, options, overall.remaining_seconds());
+    } catch (const TransportError& e) {
+      // A dial that never connected is provably unexecuted — safe for
+      // anyone. Everything else may have executed server-side, so only a
+      // keyed request (whose replay is guaranteed) retries it.
+      const bool safe = e.kind == TransportFailure::ConnectFailed || keyed;
+      if (!safe || attempt >= max_attempts || !sleep_for_retry(attempt, 0.0)) {
+        if (max_attempts > 1) count(obs::metric::kRetryExhausted);
+        throw std::runtime_error(e.message);
+      }
+      log_debug("client: retrying ", target, " after transport failure (",
+                e.message, "), attempt ", attempt + 1, "/", max_attempts);
+      continue;
+    }
+
+    if (response.status == 429 || response.status == 503) {
+      // Shed before execution: always safe to retry. Within the attempt
+      // budget this is a normal backoff retry (preferring the server's own
+      // Retry-After); past it, a finite Retry-After still earns one capped
+      // courtesy retry — the server told us exactly when to come back.
+      const double retry_after = response.retry_after_seconds();
+      const bool in_budget = attempt < max_attempts;
+      const bool courtesy = !in_budget && !courtesy_used &&
+                            retry_.honor_retry_after && retry_after > 0.0;
+      if ((in_budget || courtesy) && sleep_for_retry(attempt, retry_after)) {
+        courtesy_used = courtesy || courtesy_used;
+        log_debug("client: ", target, " shed with ", response.status,
+                  " (Retry-After ", retry_after, "s); retrying");
+        continue;
+      }
+      if (max_attempts > 1) count(obs::metric::kRetryExhausted);
+      return response;
+    }
+    if (response.status == 408 && keyed && attempt < max_attempts &&
+        sleep_for_retry(attempt, response.retry_after_seconds())) {
+      continue;
+    }
+    // Everything else — success, client errors, 504 (a spent deadline will
+    // not recover by waiting) — is the caller's to interpret.
+    return response;
+  }
 }
 
 json::Value Client::round_trip(const std::string& method, const std::string& target,
-                               const json::Value& body) {
+                               const json::Value& body,
+                               const RequestOptions& options) {
   const std::string payload = body.is_null() ? std::string() : body.dump();
-  const ClientResponse response = request(method, target, payload);
+  const ClientResponse response = request(method, target, payload, options);
   json::Value parsed;
   try {
     parsed = response.json();
@@ -196,17 +380,20 @@ json::Value Client::round_trip(const std::string& method, const std::string& tar
 }
 
 json::Value Client::create_session(const json::Value& spec) {
+  // Not keyed: create is not replayed (a retried create that did execute
+  // answers 409 for explicit ids, which the caller can disambiguate).
   return round_trip("POST", "/v1/sessions", spec);
 }
 
 json::Value Client::ask(const std::string& id, std::size_t k) {
   json::Object body;
   body["k"] = json::Value(k);
-  return round_trip("POST", "/v1/sessions/" + id + "/ask", json::Value(std::move(body)));
+  return round_trip("POST", "/v1/sessions/" + id + "/ask",
+                    json::Value(std::move(body)), keyed_options());
 }
 
 json::Value Client::tell(const std::string& id, const json::Value& body) {
-  return round_trip("POST", "/v1/sessions/" + id + "/tell", body);
+  return round_trip("POST", "/v1/sessions/" + id + "/tell", body, keyed_options());
 }
 
 json::Value Client::report(const std::string& id) {
@@ -222,7 +409,7 @@ json::Value Client::fleet_status() {
 }
 
 json::Value Client::drive_session(const std::string& id, const json::Value& body) {
-  return round_trip("POST", "/v1/sessions/" + id + "/drive", body);
+  return round_trip("POST", "/v1/sessions/" + id + "/drive", body, keyed_options());
 }
 
 std::string Client::metrics() {

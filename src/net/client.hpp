@@ -1,14 +1,34 @@
 #pragma once
 // net::Client: a small blocking HTTP/1.1 client for the tuning server —
-// what the remote-* CLI commands and the integration tests speak. One
-// keep-alive connection, reconnected on demand; send/receive timeouts so a
-// dead server fails the call instead of hanging it.
+// what the remote-* CLI commands, fleet-drive, and the integration tests
+// speak. One keep-alive connection, reconnected on demand; all socket IO
+// runs through net/deadline.hpp so every step is bounded (and fault-
+// injectable via FaultNet).
+//
+// Retry semantics are explicit about what is safe to repeat:
+//   * a failed dial provably never reached the server — always retryable;
+//   * 429/503 are shed *before* execution (the server's admission control
+//     or breaker said no) — retryable, honoring Retry-After;
+//   * a reset, timeout, torn response, or 408 after the request left this
+//     host may have executed — retried only when an Idempotency-Key is
+//     attached, because only then does the server guarantee the retry
+//     replays the original response instead of re-executing;
+//   * 504 (deadline expired) is never retried — waiting cannot un-spend a
+//     budget.
+// The JSON conveniences stamp an auto-generated key per logical call when
+// retries are enabled, so their retries are exactly-once end to end.
 
 #include <cstdint>
+#include <limits>
+#include <map>
 #include <string>
 
 #include "common/json.hpp"
 #include "net/http.hpp"
+
+namespace tunekit::obs {
+class Telemetry;
+}
 
 namespace tunekit::net {
 
@@ -16,29 +36,87 @@ namespace tunekit::net {
 struct ClientResponse {
   int status = 0;
   std::string body;
+  /// Response header fields, keys lower-cased.
+  std::map<std::string, std::string> headers;
 
   bool ok() const { return status >= 200 && status < 300; }
   /// Parse the body as JSON (throws json::JsonError on non-JSON bodies).
   json::Value json() const { return json::parse(body); }
+  /// The server's Retry-After hint in seconds (0 when absent/unparseable).
+  double retry_after_seconds() const;
+};
+
+/// Client-side retry policy. The default (max_attempts = 1) performs no
+/// backoff retries but still honors a Retry-After on 429/503 with one
+/// capped, jittered courtesy retry — the server told us exactly when the
+/// request will succeed, so failing without using that hint wastes it.
+struct ClientRetryOptions {
+  /// Total attempts per request, transport and 408/429/503 retries
+  /// combined. 1 = no retry budget.
+  int max_attempts = 1;
+  /// Exponential backoff: base * 2^(attempt-1), capped, jittered.
+  double base_backoff_seconds = 0.05;
+  double max_backoff_seconds = 2.0;
+  /// Cap on any sleep taken from a Retry-After header — a confused or
+  /// hostile server must not be able to park the client for minutes.
+  double retry_after_cap_seconds = 30.0;
+  /// Consume Retry-After hints on 429/503 (on by default).
+  bool honor_retry_after = true;
+  /// Mixed into the deterministic backoff jitter so co-started clients
+  /// don't sleep in lockstep; same seed + same key = same schedule.
+  std::uint64_t jitter_seed = 0;
+  /// Default end-to-end budget per logical request (same semantics as
+  /// RequestOptions::deadline_seconds; also settable later via
+  /// set_default_deadline_seconds). infinity = none.
+  double default_deadline_seconds = std::numeric_limits<double>::infinity();
+  /// Counts tunekit_retry_attempts_total / tunekit_retry_exhausted_total
+  /// (null = disabled).
+  obs::Telemetry* telemetry = nullptr;
+};
+
+/// Per-request options.
+struct RequestOptions {
+  /// Non-empty: stamped as the Idempotency-Key header, unlocking retries of
+  /// maybe-executed requests (the server replays the original response).
+  std::string idempotency_key;
+  /// End-to-end budget for this call, retries and backoff sleeps included;
+  /// the remaining budget is re-stamped as X-Tunekit-Deadline on every
+  /// attempt. infinity = client default (set_default_deadline_seconds).
+  double deadline_seconds = std::numeric_limits<double>::infinity();
 };
 
 class Client {
  public:
-  /// No connection is made until the first request.
-  Client(std::string host, std::uint16_t port, double timeout_seconds = 30.0);
+  /// No connection is made until the first request. `timeout_seconds`
+  /// bounds each attempt's IO; `retry` governs what happens between
+  /// attempts.
+  Client(std::string host, std::uint16_t port, double timeout_seconds = 30.0,
+         ClientRetryOptions retry = {});
   ~Client();
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// One request/response round trip. Reconnects if the keep-alive
-  /// connection was closed. Throws std::runtime_error when the server is
-  /// unreachable or the response is unparseable; HTTP error statuses are
-  /// returned, not thrown.
+  /// Default X-Tunekit-Deadline budget applied when RequestOptions does not
+  /// carry one (infinity = none; what --deadline-s sets).
+  void set_default_deadline_seconds(double seconds) {
+    default_deadline_seconds_ = seconds;
+  }
+
+  /// One logical request, up to the retry policy's attempts. Reconnects if
+  /// the keep-alive connection went stale. Throws std::runtime_error when
+  /// every attempt failed in transport or the deadline expired; HTTP error
+  /// statuses are returned, not thrown.
   ClientResponse request(const std::string& method, const std::string& target,
-                         const std::string& body = "");
+                         const std::string& body = "",
+                         const RequestOptions& options = {});
+
+  /// Fresh process-unique idempotency key ("ck<rand>-<n>").
+  std::string make_key();
 
   /// JSON conveniences. Non-2xx replies raise std::runtime_error carrying
-  /// the server's {"error": ...} message.
+  /// the server's {"error": ...} message. When retries are enabled, ask/
+  /// tell/drive stamp an auto-generated Idempotency-Key per logical call;
+  /// create/close retry only provably-safe failures.
   json::Value create_session(const json::Value& spec);
   json::Value ask(const std::string& id, std::size_t k = 1);
   json::Value tell(const std::string& id, const json::Value& body);
@@ -51,14 +129,44 @@ class Client {
   bool healthy();
 
  private:
-  void connect();
+  /// How one attempt's transport failed, and whether a retry is safe
+  /// without an idempotency key.
+  enum class TransportFailure {
+    ConnectFailed,  ///< never reached the server — always safe to retry
+    Reset,          ///< connection died after the request left — needs a key
+    TornResponse,   ///< response cut off mid-frame — needs a key
+    Timeout,        ///< no response within the IO budget — needs a key
+  };
+  struct TransportError {
+    TransportFailure kind;
+    std::string message;
+  };
+
+  void connect(const class Deadline& deadline);
   void disconnect();
+  /// One wire round trip (with the internal stale-keep-alive reconnect).
+  /// Returns the response or throws TransportError.
+  ClientResponse perform(const std::string& method, const std::string& target,
+                         const std::string& body, const RequestOptions& options,
+                         double remaining_deadline_seconds);
+  /// Deterministic backoff sleep before retry `attempt`; clamped to
+  /// `max_sleep_seconds`. `retry_after` > 0 takes precedence (capped).
+  double backoff_seconds(const std::string& key, int attempt,
+                         double retry_after) const;
+  void count(const char* name);
   json::Value round_trip(const std::string& method, const std::string& target,
-                         const json::Value& body);
+                         const json::Value& body, const RequestOptions& options = {});
+  /// Auto-keyed options for a non-idempotent convenience call: a fresh key
+  /// when retries are enabled, none otherwise.
+  RequestOptions keyed_options();
 
   std::string host_;
   std::uint16_t port_;
   double timeout_seconds_;
+  ClientRetryOptions retry_;
+  double default_deadline_seconds_ = std::numeric_limits<double>::infinity();
+  std::uint64_t key_base_ = 0;
+  std::uint64_t key_counter_ = 0;
   int fd_ = -1;
 };
 

@@ -43,7 +43,47 @@ bool ScriptedFaultNet::refuse_connect(const std::string&, std::uint16_t) {
 
 bool ScriptedFaultNet::reset_write(int) { return fires(script_.reset_write_at, writes_); }
 
-bool ScriptedFaultNet::stall_read(int) { return fires(script_.stall_read_at, reads_); }
+bool ScriptedFaultNet::stall_read(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(stall_mutex_);
+    if (std::find(stalled_fds_.begin(), stalled_fds_.end(), fd) !=
+        stalled_fds_.end()) {
+      ++faults_;
+      return true;
+    }
+  }
+  return fires(script_.stall_read_at, reads_);
+}
+
+std::size_t ScriptedFaultNet::clamp_read(int fd) {
+  if (script_.truncate_read_at == 0) return static_cast<std::size_t>(-1);
+  // The torn connection stays dead, but only *that* connection — other fds
+  // read normally, and a reconnect reusing the number starts clean (see
+  // on_connected).
+  if (truncated_fd_.load() == fd) return 0;
+  const std::uint64_t call = clamp_reads_.fetch_add(1) + 1;
+  if (call != script_.truncate_read_at) return static_cast<std::size_t>(-1);
+  ++faults_;
+  truncated_fd_.store(fd);
+  return script_.truncate_read_bytes;
+}
+
+void ScriptedFaultNet::on_connected(int fd) {
+  if (truncated_fd_.load() == fd) truncated_fd_.store(-1);
+  const std::uint64_t dial = dials_.fetch_add(1) + 1;
+  const bool stall =
+      std::find(script_.stall_connect_at.begin(), script_.stall_connect_at.end(),
+                dial) != script_.stall_connect_at.end();
+  std::lock_guard<std::mutex> lock(stall_mutex_);
+  // Track by fd, but keyed to *this* dial: the OS reuses fd numbers, so a
+  // non-stalling reconnect must clear any stale entry for the same fd.
+  auto it = std::find(stalled_fds_.begin(), stalled_fds_.end(), fd);
+  if (stall) {
+    if (it == stalled_fds_.end()) stalled_fds_.push_back(fd);
+  } else if (it != stalled_fds_.end()) {
+    stalled_fds_.erase(it);
+  }
+}
 
 Deadline Deadline::after(double seconds) {
   Deadline d;
@@ -163,6 +203,7 @@ int dial_tcp(const std::string& host, std::uint16_t port, const Deadline& deadli
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (FaultNet* fault = fault_net(); fault != nullptr) fault->on_connected(fd);
   return fd;
 }
 
@@ -203,9 +244,18 @@ IoResult write_all(int fd, const char* data, std::size_t size,
 
 IoResult read_some(int fd, char* buf, std::size_t size, const Deadline& deadline) {
   IoResult r;
-  if (FaultNet* fault = fault_net(); fault != nullptr && fault->stall_read(fd)) {
-    r.status = IoResult::Status::Timeout;
-    return r;
+  if (FaultNet* fault = fault_net(); fault != nullptr) {
+    if (fault->stall_read(fd)) {
+      r.status = IoResult::Status::Timeout;
+      return r;
+    }
+    const std::size_t cap = fault->clamp_read(fd);
+    if (cap == 0) {
+      // Injected torn response: the peer is gone mid-frame.
+      r.status = IoResult::Status::Eof;
+      return r;
+    }
+    size = std::min(size, cap);
   }
   while (true) {
     const int ready = poll_one(fd, POLLIN, deadline);

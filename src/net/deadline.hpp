@@ -16,6 +16,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,18 @@ class FaultNet {
   virtual bool refuse_connect(const std::string& host, std::uint16_t port) = 0;
   virtual bool reset_write(int fd) = 0;
   virtual bool stall_read(int fd) = 0;
+  /// Cap on the bytes the next read_some may deliver on `fd`. SIZE_MAX (the
+  /// default) leaves the read untouched; 0 forces an immediate Eof — the
+  /// torn-response case, where the peer vanished mid-body after the reader
+  /// already consumed part of the frame.
+  virtual std::size_t clamp_read(int fd) {
+    (void)fd;
+    return static_cast<std::size_t>(-1);
+  }
+  /// Observed by dial_tcp on every successful connect with the new fd, so
+  /// per-connection fault schedules (accept-then-stall) can track fds even
+  /// as the OS reuses their numbers.
+  virtual void on_connected(int fd) { (void)fd; }
 };
 
 /// Install (or clear, with nullptr) the process-wide fault hook. The caller
@@ -81,12 +94,26 @@ class ScriptedFaultNet final : public FaultNet {
     std::vector<std::uint64_t> refuse_connect_at;
     std::vector<std::uint64_t> reset_write_at;
     std::vector<std::uint64_t> stall_read_at;
+    /// Torn response: the `truncate_read_at`-th clamped read (1-based;
+    /// 0 disables) delivers at most `truncate_read_bytes` bytes, and every
+    /// later read *on that fd* reports Eof — the peer died mid-body, leaving
+    /// the reader with a prefix it can never complete. Other connections are
+    /// untouched, and a reconnect that reuses the fd number starts clean.
+    std::uint64_t truncate_read_at = 0;
+    std::size_t truncate_read_bytes = 0;
+    /// Accept-then-stall: connections whose successful-dial index (1-based)
+    /// appears here have every subsequent read stall — a peer that accepts
+    /// and then never sends a byte (the slow-loris shape, seen from the
+    /// client side).
+    std::vector<std::uint64_t> stall_connect_at;
   };
   explicit ScriptedFaultNet(Script script) : script_(std::move(script)) {}
 
   bool refuse_connect(const std::string& host, std::uint16_t port) override;
   bool reset_write(int fd) override;
   bool stall_read(int fd) override;
+  std::size_t clamp_read(int fd) override;
+  void on_connected(int fd) override;
 
   std::uint64_t faults_injected() const { return faults_; }
 
@@ -95,9 +122,14 @@ class ScriptedFaultNet final : public FaultNet {
 
   Script script_;
   std::atomic<std::uint64_t> connects_{0};
+  std::atomic<std::uint64_t> dials_{0};  ///< successful connects (on_connected)
   std::atomic<std::uint64_t> writes_{0};
   std::atomic<std::uint64_t> reads_{0};
+  std::atomic<std::uint64_t> clamp_reads_{0};
+  std::atomic<int> truncated_fd_{-1};  ///< fd whose frame was torn (-1 = none)
   std::atomic<std::uint64_t> faults_{0};
+  std::mutex stall_mutex_;
+  std::vector<int> stalled_fds_;  ///< fds dialed at a stall_connect_at index
 };
 
 /// Dial host:port with a bounded non-blocking connect (numeric IPv4 address

@@ -1,5 +1,8 @@
 #include "net/rest_api.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "fleet/dispatcher.hpp"
@@ -37,7 +40,57 @@ json::Value parse_body(const HttpRequest& request) {
   }
 }
 
+/// The request's Idempotency-Key ("" when absent). Keys are opaque client
+/// tokens; the only contract is printable ASCII and a bound that keeps the
+/// journal record small.
+std::string idempotency_key(const HttpRequest& request) {
+  const std::string* key = request.header("idempotency-key");
+  if (key == nullptr) return {};
+  if (key->empty() || key->size() > 128 ||
+      !std::all_of(key->begin(), key->end(), [](unsigned char c) {
+        return c >= 0x21 && c < 0x7f;
+      })) {
+    throw ApiError(422,
+                   "Idempotency-Key must be 1-128 printable ASCII characters");
+  }
+  return *key;
+}
+
+/// Remaining end-to-end budget from X-Tunekit-Deadline (seconds, decimal);
+/// infinity when the header is absent. An already-spent budget is rejected
+/// here — before any dispatch — as a 504.
+double deadline_budget(const HttpRequest& request) {
+  const std::string* header = request.header("x-tunekit-deadline");
+  if (header == nullptr) return std::numeric_limits<double>::infinity();
+  double budget = 0.0;
+  try {
+    std::size_t consumed = 0;
+    budget = std::stod(*header, &consumed);
+    if (consumed != header->size()) throw std::invalid_argument(*header);
+  } catch (const std::exception&) {
+    throw ApiError(400, "X-Tunekit-Deadline must be a number of seconds");
+  }
+  if (std::isnan(budget)) {
+    throw ApiError(400, "X-Tunekit-Deadline must be a number of seconds");
+  }
+  return budget;
+}
+
 }  // namespace
+
+int RestApi::priority(const HttpRequest& request) {
+  // tell carries the result of an evaluation someone already paid for —
+  // shedding it wastes real HPC time, so it outranks everything. drive
+  // queues a whole session's worth of work and is shed first.
+  const auto ends_with = [&](const char* suffix) {
+    const std::size_t n = std::char_traits<char>::length(suffix);
+    return request.path.size() >= n &&
+           request.path.compare(request.path.size() - n, n, suffix) == 0;
+  };
+  if (ends_with("/tell")) return 0;
+  if (ends_with("/drive")) return 2;
+  return 1;
+}
 
 RestApi::RestApi(SessionManager& manager, obs::Telemetry* telemetry,
                  std::shared_ptr<fleet::FleetDispatcher> fleet)
@@ -93,6 +146,21 @@ HttpResponse RestApi::route(const HttpRequest& request) {
       return HttpResponse::error(405, "use POST or GET");
     }
     const std::string& id = seg[2];
+    // Deadline gate for the session routes: a budget the queue already spent
+    // is answered 504 here, before any session work — a dispatch that cannot
+    // finish in time only wastes paid-for evaluation capacity.
+    const double budget = deadline_budget(request);
+    if (budget <= 0.0) {
+      if (telemetry_ != nullptr && telemetry_->enabled()) {
+        telemetry_->metrics().counter(obs::metric::kDeadlineRejected).inc();
+      }
+      throw ApiError(504, "deadline expired before dispatch");
+    }
+    if (std::isfinite(budget) && telemetry_ != nullptr && telemetry_->enabled()) {
+      telemetry_->metrics()
+          .histogram(obs::metric::kDeadlineBudgetSeconds, obs::default_time_buckets())
+          .observe(budget);
+    }
     if (seg.size() == 3) {
       if (request.method == "GET") {
         return HttpResponse::json(200, manager_.report(id));
@@ -110,12 +178,14 @@ HttpResponse RestApi::route(const HttpRequest& request) {
         if (!(k >= 1.0) || k > 1024.0) {
           throw ApiError(422, "\"k\" must be in [1, 1024]");
         }
-        return HttpResponse::json(200,
-                                  manager_.ask(id, static_cast<std::size_t>(k)));
+        return HttpResponse::json(
+            200, manager_.ask(id, static_cast<std::size_t>(k),
+                              idempotency_key(request)));
       }
       if (seg[3] == "tell") {
         if (request.method != "POST") return HttpResponse::error(405, "use POST");
-        return HttpResponse::json(200, manager_.tell(id, parse_body(request)));
+        return HttpResponse::json(200, manager_.tell(id, parse_body(request),
+                                                     idempotency_key(request)));
       }
       if (seg[3] == "report") {
         if (request.method != "GET") return HttpResponse::error(405, "use GET");
@@ -135,8 +205,9 @@ HttpResponse RestApi::route(const HttpRequest& request) {
                          "fleet degraded: every node's circuit breaker is open",
                          5);
         }
-        return HttpResponse::json(200,
-                                  manager_.drive(id, fleet_, parse_body(request)));
+        return HttpResponse::json(
+            200, manager_.drive(id, fleet_, parse_body(request),
+                                idempotency_key(request), budget));
       }
     }
   }

@@ -46,6 +46,11 @@ class RestApi {
   /// Route one request. Never throws; failures become error responses.
   HttpResponse handle(const HttpRequest& request);
 
+  /// Admission priority for the server's load-shedder: 0 = tell (a paid-for
+  /// result in hand — shed last), 2 = drive (a whole session of new work —
+  /// shed first), 1 = everything else. Wire into ServerOptions::priority.
+  static int priority(const HttpRequest& request);
+
  private:
   HttpResponse route(const HttpRequest& request);
 

@@ -7,11 +7,16 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <stdexcept>
@@ -45,6 +50,10 @@ struct HttpServer::Connection {
   bool sent_continue = false;
   Clock::time_point last_activity = Clock::now();
   Clock::time_point request_start = Clock::now();
+  /// First byte of the request currently being received — the anchor for
+  /// the trickle (slow-loris) timeouts, which must NOT reset per byte.
+  Clock::time_point recv_start = Clock::now();
+  bool receiving = false;  ///< a partial request is on the wire
   std::string method;  ///< of the request being handled (for metrics)
 
   explicit Connection(int fd_, HttpLimits limits)
@@ -54,6 +63,8 @@ struct HttpServer::Connection {
 struct HttpServer::Job {
   std::uint64_t conn_id = 0;
   HttpRequest request;
+  Clock::time_point enqueued = Clock::now();
+  int priority = 1;
 };
 
 struct HttpServer::Impl {
@@ -62,8 +73,22 @@ struct HttpServer::Impl {
 
   std::mutex jobs_mutex;
   std::condition_variable jobs_cv;
-  std::deque<Job> jobs;
+  /// One FIFO per admission priority; workers always drain 0 before 1
+  /// before 2, so a tell is never stuck behind a queue of drives.
+  std::deque<Job> jobs[3];
   bool jobs_stop = false;
+  /// Smoothed time jobs spend queued (measured at dequeue) — the CoDel-ish
+  /// congestion signal — and the smoothed interval between dequeues, from
+  /// which shed responses derive an honest Retry-After. Guarded by
+  /// jobs_mutex.
+  double queue_delay_ewma = 0.0;
+  double drain_interval_ewma = 0.0;
+  Clock::time_point last_dequeue{};
+  bool dequeued_once = false;
+
+  std::size_t total_jobs() const {
+    return jobs[0].size() + jobs[1].size() + jobs[2].size();
+  }
 
   struct Done {
     std::uint64_t conn_id = 0;
@@ -73,6 +98,29 @@ struct HttpServer::Impl {
   std::mutex done_mutex;
   std::deque<Done> done;
 };
+
+namespace {
+
+/// Parse an X-Tunekit-Deadline value; NaN when absent/garbled (the server
+/// must not invent budgets for requests that did not carry one).
+double deadline_header_seconds(const HttpRequest& request) {
+  const std::string* header = request.header("x-tunekit-deadline");
+  if (header == nullptr) return std::numeric_limits<double>::quiet_NaN();
+  char* end = nullptr;
+  const double v = std::strtod(header->c_str(), &end);
+  if (end == header->c_str() || !std::isfinite(v)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return v;
+}
+
+std::string format_deadline_seconds(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds);
+  return buf;
+}
+
+}  // namespace
 
 HttpServer::HttpServer(ServerOptions options, Handler handler)
     : options_(std::move(options)),
@@ -168,22 +216,70 @@ void HttpServer::run_worker() {
     Job job;
     {
       std::unique_lock<std::mutex> lock(impl_->jobs_mutex);
-      impl_->jobs_cv.wait(lock,
-                          [this] { return impl_->jobs_stop || !impl_->jobs.empty(); });
-      if (impl_->jobs.empty()) {
+      impl_->jobs_cv.wait(lock, [this] {
+        return impl_->jobs_stop || impl_->total_jobs() > 0;
+      });
+      if (impl_->total_jobs() == 0) {
         if (impl_->jobs_stop) return;
         continue;
       }
-      job = std::move(impl_->jobs.front());
-      impl_->jobs.pop_front();
+      for (auto& queue : impl_->jobs) {
+        if (queue.empty()) continue;
+        job = std::move(queue.front());
+        queue.pop_front();
+        break;
+      }
+      // Congestion accounting at the only honest measurement point: the
+      // dequeue. The wait EWMA is the shedder's signal; the drain-interval
+      // EWMA prices the Retry-After advertised to shed clients.
+      const auto now = Clock::now();
+      const double waited =
+          std::chrono::duration<double>(now - job.enqueued).count();
+      impl_->queue_delay_ewma = 0.8 * impl_->queue_delay_ewma + 0.2 * waited;
+      if (impl_->dequeued_once) {
+        const double interval =
+            std::chrono::duration<double>(now - impl_->last_dequeue).count();
+        impl_->drain_interval_ewma =
+            0.8 * impl_->drain_interval_ewma + 0.2 * interval;
+      }
+      impl_->last_dequeue = now;
+      impl_->dequeued_once = true;
     }
+
+    // End-to-end deadline, part queue-aware: the budget the client stamped
+    // covers time spent waiting here too. Already spent → 504 without
+    // touching the handler; otherwise the header is rewritten to what is
+    // left, so every downstream stage bounds itself by remaining budget.
+    bool expired_in_queue = false;
+    const double budget = deadline_header_seconds(job.request);
+    if (!std::isnan(budget)) {
+      const double waited =
+          std::chrono::duration<double>(Clock::now() - job.enqueued).count();
+      const double remaining = budget - waited;
+      if (remaining <= 0.0) {
+        expired_in_queue = true;
+      } else {
+        job.request.headers["x-tunekit-deadline"] =
+            format_deadline_seconds(remaining);
+      }
+    }
+
     HttpResponse response;
-    try {
-      response = handler_(job.request);
-    } catch (const std::exception& e) {
-      response = HttpResponse::error(500, e.what());
-    } catch (...) {
-      response = HttpResponse::error(500, "internal error");
+    if (expired_in_queue) {
+      if (options_.telemetry != nullptr && options_.telemetry->enabled()) {
+        options_.telemetry->metrics()
+            .counter(obs::metric::kDeadlineExpiredInQueue)
+            .inc();
+      }
+      response = HttpResponse::error(504, "deadline expired while queued");
+    } else {
+      try {
+        response = handler_(job.request);
+      } catch (const std::exception& e) {
+        response = HttpResponse::error(500, e.what());
+      } catch (...) {
+        response = HttpResponse::error(500, "internal error");
+      }
     }
     {
       std::lock_guard<std::mutex> lock(impl_->done_mutex);
@@ -283,24 +379,58 @@ void HttpServer::pump_parser(std::uint64_t id) {
   }
 
   conn.in_flight = true;
+  conn.receiving = false;  // frame fully on this side; trickle clock stops
   conn.request_start = Clock::now();
   conn.method = conn.parser.request().method;
-  bool overloaded = false;
+
+  int prio = 1;
+  if (options_.priority) {
+    prio = std::clamp(options_.priority(conn.parser.request()), 0, 2);
+  }
+  bool over_cap = false;
+  bool over_delay = false;
+  int retry_after = 1;
   {
     std::lock_guard<std::mutex> lock(impl_->jobs_mutex);
-    if (impl_->jobs.size() >= options_.max_queue) {
-      overloaded = true;
+    const std::size_t total = impl_->total_jobs();
+    // Priority 0 (a tell carrying a paid-for measurement) gets 50% headroom
+    // above the shared cap and never sheds on latency alone.
+    const std::size_t cap = prio == 0
+                                ? options_.max_queue + options_.max_queue / 2
+                                : options_.max_queue;
+    over_cap = total >= cap;
+    const double target = options_.queue_delay_target_seconds;
+    if (!over_cap && target > 0.0 && prio != 0) {
+      const double threshold = prio == 2 ? target * 0.5 : target;
+      over_delay = impl_->queue_delay_ewma > threshold;
+    }
+    if (over_cap || over_delay) {
+      // An honest hint: with `total` jobs ahead and the measured drain
+      // interval, the queue frees a slot in about (total+1)*interval.
+      const double eta = (static_cast<double>(total) + 1.0) *
+                         impl_->drain_interval_ewma;
+      retry_after = std::clamp(static_cast<int>(std::ceil(eta)), 1, 30);
+      if (options_.telemetry != nullptr && options_.telemetry->enabled()) {
+        auto& m = options_.telemetry->metrics();
+        m.counter(obs::metric::kShedRequests).inc();
+        m.counter("tunekit_http_rejected_total").inc();
+        m.histogram(obs::metric::kShedQueueDelay).observe(impl_->queue_delay_ewma);
+        m.histogram(obs::metric::kShedRetryAfter)
+            .observe(static_cast<double>(retry_after));
+      }
     } else {
-      impl_->jobs.push_back(Job{id, conn.parser.request()});
+      impl_->jobs[prio].push_back(
+          Job{id, conn.parser.request(), Clock::now(), prio});
     }
   }
-  if (overloaded) {
-    if (options_.telemetry != nullptr && options_.telemetry->enabled()) {
-      options_.telemetry->metrics().counter("tunekit_http_rejected_total").inc();
-    }
+  if (over_cap || over_delay) {
     const bool keep = conn.parser.request().keep_alive();
-    enqueue_response(id, HttpResponse::error(429, "server overloaded, retry later"),
-                     keep);
+    // 429 for the hard cap (the original contract), 503 for delay shedding.
+    HttpResponse response =
+        over_cap ? HttpResponse::error(429, "server overloaded, retry later")
+                 : HttpResponse::error(503, "queue delay over target, retry later");
+    response.retry_after_seconds = retry_after;
+    enqueue_response(id, response, keep);
     return;
   }
   impl_->jobs_cv.notify_one();
@@ -315,6 +445,12 @@ void HttpServer::handle_readable(std::uint64_t id) {
     const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
     if (n > 0) {
       conn.last_activity = Clock::now();
+      if (!conn.receiving && !conn.in_flight) {
+        // First byte of a new request: anchor the trickle timers here and
+        // never reset them until the frame completes.
+        conn.receiving = true;
+        conn.recv_start = conn.last_activity;
+      }
       conn.parser.feed(buf, static_cast<std::size_t>(n));
       if (static_cast<std::size_t>(n) < sizeof(buf)) break;
       continue;
@@ -439,13 +575,29 @@ void HttpServer::run_loop() {
       if ((fds[i].revents & POLLIN) != 0) handle_readable(id);
     }
 
-    // Request deadlines.
+    // Request deadlines. Two independent clocks: the idle timer (resets on
+    // every byte — catches silent peers) and the trickle timers (anchored
+    // at the first request byte — catch slow-loris peers dribbling bytes
+    // fast enough to keep the idle timer happy forever).
     const auto now = Clock::now();
     std::vector<std::uint64_t> expired;
     for (const auto& [id, conn] : impl_->conns) {
       if (conn.in_flight) continue;  // handler latency is not client latency
       const double idle = std::chrono::duration<double>(now - conn.last_activity).count();
-      if (idle > options_.request_timeout_seconds) expired.push_back(id);
+      if (idle > options_.request_timeout_seconds) {
+        expired.push_back(id);
+        continue;
+      }
+      if (!conn.receiving) continue;
+      const double age =
+          std::chrono::duration<double>(now - conn.recv_start).count();
+      const bool headers_done = conn.parser.headers_complete();
+      if ((!headers_done && options_.header_timeout_seconds > 0.0 &&
+           age > options_.header_timeout_seconds) ||
+          (headers_done && options_.body_timeout_seconds > 0.0 &&
+           age > options_.body_timeout_seconds)) {
+        expired.push_back(id);
+      }
     }
     for (std::uint64_t id : expired) {
       auto it = impl_->conns.find(id);
@@ -467,7 +619,7 @@ void HttpServer::run_loop() {
   {
     std::lock_guard<std::mutex> lock(impl_->jobs_mutex);
     impl_->jobs_stop = true;
-    impl_->jobs.clear();
+    for (auto& queue : impl_->jobs) queue.clear();
   }
   impl_->jobs_cv.notify_all();
 }

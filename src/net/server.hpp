@@ -41,9 +41,28 @@ struct ServerOptions {
   /// Handler threads. The event loop never runs handlers itself.
   std::size_t worker_threads = 2;
   /// Parsed requests waiting for a worker; beyond this the reply is 429.
+  /// Priority-0 requests (see `priority`) get 50% headroom on top — a tell
+  /// carrying a paid-for result is shed only when the queue is truly gone.
   std::size_t max_queue = 64;
+  /// Adaptive admission (CoDel-style): when the smoothed time jobs wait for
+  /// a worker exceeds this target, new requests are shed with 503 + a
+  /// Retry-After computed from the measured drain rate — the cliff at
+  /// max_queue becomes a slope that reacts to *latency*, not just depth.
+  /// Priority 2 sheds at half the target, priority 0 never delay-sheds.
+  /// 0 disables delay-based shedding (cap-based 429s still apply).
+  double queue_delay_target_seconds = 0.25;
+  /// Admission priority per request: 0 = shed last, 1 = normal, 2 = shed
+  /// first. Null classifies everything as 1. (RestApi::priority fits here.)
+  std::function<int(const HttpRequest&)> priority;
   /// A connection idle longer than this is closed (408 mid-request).
   double request_timeout_seconds = 30.0;
+  /// Trickle hardening, anchored at the *first byte* of each request (the
+  /// idle timer above resets on every byte, so a slow-loris peer dribbling
+  /// one byte per second never trips it). A request whose header block is
+  /// older than header_timeout_seconds, or whose whole frame is older than
+  /// body_timeout_seconds, is answered 408. 0 disables either check.
+  double header_timeout_seconds = 10.0;
+  double body_timeout_seconds = 20.0;
   /// After request_shutdown(): how long in-flight requests may finish
   /// before their connections are dropped.
   double drain_timeout_seconds = 5.0;

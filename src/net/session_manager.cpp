@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <filesystem>
 #include <limits>
 #include <vector>
@@ -48,6 +49,10 @@ service::SessionOptions options_from_spec(const json::Value& spec,
       static_cast<std::size_t>(spec.number_or("quarantine_after", 0.0));
   o.grid_real_levels =
       static_cast<std::size_t>(spec.number_or("grid_real_levels", 4.0));
+  o.compact_every =
+      static_cast<std::size_t>(spec.number_or("compact_every", 64.0));
+  o.replay_cache_capacity =
+      static_cast<std::size_t>(spec.number_or("replay_cache_capacity", 128.0));
   if (spec.contains("backend")) {
     o.backend = service::backend_from_string(spec.at("backend").as_string());
   }
@@ -303,12 +308,40 @@ std::shared_ptr<SessionManager::Entry> SessionManager::find_or_load(
   return entry;
 }
 
-json::Value SessionManager::ask(const std::string& id, std::size_t k) {
+std::optional<json::Value> SessionManager::replayed_locked(Entry& entry,
+                                                           const std::string& key) {
+  if (key.empty()) return std::nullopt;
+  const auto cached = entry.session->replayed_rpc(key);
+  if (!cached) return std::nullopt;
+  count(obs::metric::kReplayHits);
+  log_info("SessionManager: replayed response for idempotency key '", key,
+           "' on session '", entry.id, "'");
+  return json::parse(*cached);
+}
+
+void SessionManager::remember_locked(Entry& entry, const std::string& key,
+                                     const json::Value& reply) {
+  if (key.empty()) return;
+  try {
+    entry.session->remember_rpc(key, reply.dump());
+  } catch (const service::StorePoisonedError& e) {
+    // The operation this response describes is already durable (its own
+    // records fsynced before we got here); degrading now would make the
+    // client retry an rpc that *did* happen. A later retry of this key may
+    // re-execute — the session's id-based idempotence absorbs that.
+    log_error("SessionManager: rpc record for key '", key,
+              "' lost to poisoned store on session '", entry.id, "': ", e.what());
+  }
+}
+
+json::Value SessionManager::ask(const std::string& id, std::size_t k,
+                                const std::string& idempotency_key) {
   auto entry = find_or_load(id);
-  json::Object body;
+  json::Value reply;
   {
     std::lock_guard<std::mutex> lock(entry->mutex);
     if (!entry->session) materialize(*entry, /*resume_from_journal=*/true);
+    if (auto replayed = replayed_locked(*entry, idempotency_key)) return *replayed;
     std::vector<service::Candidate> batch;
     try {
       batch = entry->session->ask(k);
@@ -323,22 +356,27 @@ json::Value SessionManager::ask(const std::string& id, std::size_t k) {
       cand["config"] = named_config(*entry->space, c.config);
       candidates.emplace_back(std::move(cand));
     }
+    json::Object body;
     body["id"] = json::Value(id);
     body["candidates"] = json::Value(std::move(candidates));
     put_status(body, *entry->session, /*with_best_config=*/false);
+    reply = json::Value(std::move(body));
+    remember_locked(*entry, idempotency_key, reply);
   }
   count("tunekit_session_asks_total");
   evict_excess();
-  return json::Value(std::move(body));
+  return reply;
 }
 
-json::Value SessionManager::tell(const std::string& id, const json::Value& body) {
+json::Value SessionManager::tell(const std::string& id, const json::Value& body,
+                                 const std::string& idempotency_key) {
   if (!body.is_object()) throw ApiError(400, "tell body must be a JSON object");
   auto entry = find_or_load(id);
   json::Object reply;
   {
     std::lock_guard<std::mutex> lock(entry->mutex);
     if (!entry->session) materialize(*entry, /*resume_from_journal=*/true);
+    if (auto replayed = replayed_locked(*entry, idempotency_key)) return *replayed;
     service::TuningSession& session = *entry->session;
 
     try {
@@ -389,9 +427,11 @@ json::Value SessionManager::tell(const std::string& id, const json::Value& body)
     }
     reply["id"] = json::Value(id);
     put_status(reply, session, /*with_best_config=*/false);
+    json::Value out(std::move(reply));
+    remember_locked(*entry, idempotency_key, out);
+    count("tunekit_session_tells_total");
+    return out;
   }
-  count("tunekit_session_tells_total");
-  return json::Value(std::move(reply));
 }
 
 json::Value SessionManager::report(const std::string& id) {
@@ -411,11 +451,20 @@ json::Value SessionManager::report(const std::string& id) {
 
 json::Value SessionManager::drive(
     const std::string& id, const std::shared_ptr<robust::EvalBackend>& backend,
-    const json::Value& body) {
+    const json::Value& body, const std::string& idempotency_key,
+    double deadline_seconds) {
   if (!backend) throw ApiError(503, "no evaluation backend configured");
   if (!backend->healthy()) throw ApiError(503, "evaluation backend unavailable");
+  // The budget is anchored *before* the entry lock: a drive that spends its
+  // whole deadline waiting behind another drive must not then run unbounded.
+  const auto deadline =
+      std::isfinite(deadline_seconds)
+          ? std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(deadline_seconds))
+          : std::chrono::steady_clock::time_point::max();
   auto entry = find_or_load(id);
-  json::Object reply;
+  json::Value out;
   {
     // The entry lock is held for the whole run: drive is a synchronous,
     // exclusive operation on the session (concurrent ask/tell on the same id
@@ -423,6 +472,7 @@ json::Value SessionManager::drive(
     // longer).
     std::lock_guard<std::mutex> lock(entry->mutex);
     if (!entry->session) materialize(*entry, /*resume_from_journal=*/true);
+    if (auto replayed = replayed_locked(*entry, idempotency_key)) return *replayed;
     service::SchedulerOptions sched;
     sched.backend = backend;
     sched.n_threads =
@@ -430,18 +480,22 @@ json::Value SessionManager::drive(
     sched.batch_size =
         static_cast<std::size_t>(body.number_or("batch_size", 0.0));
     sched.telemetry = options_.telemetry;
+    sched.deadline = deadline;
     try {
       service::EvalScheduler(sched).run(*entry->session);
     } catch (const service::StorePoisonedError& e) {
       storage_degraded(*entry, e);
     }
+    json::Object reply;
     reply["id"] = json::Value(id);
     put_status(reply, *entry->session, /*with_best_config=*/true);
     reply["metrics"] = entry->session->metrics().to_json();
+    out = json::Value(std::move(reply));
+    remember_locked(*entry, idempotency_key, out);
   }
   count("tunekit_sessions_driven_total");
   evict_excess();
-  return json::Value(std::move(reply));
+  return out;
 }
 
 json::Value SessionManager::close(const std::string& id) {

@@ -28,9 +28,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -109,14 +111,21 @@ class SessionManager {
 
   /// Ask up to k candidates. {"id","state","remaining","completed",
   /// "candidates":[{"id","attempt","config":{name:value}}]}.
-  json::Value ask(const std::string& id, std::size_t k);
+  /// A non-empty `idempotency_key` makes the call exactly-once across
+  /// retries: the first execution's serialized reply is journaled under the
+  /// key and any repeat of it returns those bytes instead of issuing again.
+  json::Value ask(const std::string& id, std::size_t k,
+                  const std::string& idempotency_key = {});
 
   /// Report a result. Body is one of
   ///   {"id":N, "value":V[, "cost_seconds"][, "noise"][, "duration_ms"]
   ///           [, "worker_slot"][, "outcome":"ok"]}
   ///   {"id":N, "outcome":"crashed"|"timed-out"|"invalid-config"|"non-finite"}
   ///   {"config":{name:value}, "value":V[, "cost_seconds"]}   (observation)
-  json::Value tell(const std::string& id, const json::Value& body);
+  /// `idempotency_key` as in ask(); a retried tell whose first response was
+  /// lost replays that response instead of double-recording an observation.
+  json::Value tell(const std::string& id, const json::Value& body,
+                   const std::string& idempotency_key = {});
 
   /// Status + best + session metrics snapshot.
   json::Value report(const std::string& id);
@@ -132,9 +141,15 @@ class SessionManager {
   /// drive path): ask/evaluate/tell batches via EvalScheduler until no
   /// candidates remain, holding the session's entry lock throughout.
   /// `body` may set "batch_size" and "n_threads". Returns the final report.
+  /// `idempotency_key` as in ask(). A finite `deadline_seconds` bounds the
+  /// whole run — the budget the client's X-Tunekit-Deadline header carried,
+  /// measured from this call (so time spent waiting for the entry lock
+  /// counts); the scheduler stops issuing batches once it is spent.
   json::Value drive(const std::string& id,
                     const std::shared_ptr<robust::EvalBackend>& backend,
-                    const json::Value& body);
+                    const json::Value& body,
+                    const std::string& idempotency_key = {},
+                    double deadline_seconds = std::numeric_limits<double>::infinity());
 
   /// Flush every resident session's metrics snapshot to its journal — the
   /// SIGTERM drain path. Safe to call repeatedly.
@@ -185,6 +200,15 @@ class SessionManager {
   /// to the failure) so the next touch re-materializes from disk, while
   /// every other session stays live. Entry mutex held.
   [[noreturn]] void storage_degraded(Entry& entry, const std::exception& err);
+  /// Entry mutex held, session materialized. Non-empty key with a journaled
+  /// response → the parsed original reply; the retry is answered without
+  /// re-executing.
+  std::optional<json::Value> replayed_locked(Entry& entry, const std::string& key);
+  /// Entry mutex held. Journal + cache `reply` as the canonical response for
+  /// `key`. A poisoned store here is logged, not thrown — the operation this
+  /// response describes already committed, so the client must still see it.
+  void remember_locked(Entry& entry, const std::string& key,
+                       const json::Value& reply);
   /// Evict least-recently-used idle sessions down to max_resident.
   void evict_excess();
   void count(const char* name);

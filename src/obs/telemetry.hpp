@@ -179,6 +179,24 @@ inline constexpr const char* kStorageLostRecords =
 inline constexpr const char* kBreakerOpens = "tunekit_breaker_open_total";
 inline constexpr const char* kBreakerNodesOpen = "tunekit_breaker_nodes_open";
 inline constexpr const char* kBreakerShed = "tunekit_breaker_shed_total";
+// Exactly-once retries: replay-cache hits (a retried request answered from
+// the journaled response), client-side retry attempts/exhaustions.
+inline constexpr const char* kReplayHits = "tunekit_retry_replayed_total";
+inline constexpr const char* kRetryAttempts = "tunekit_retry_attempts_total";
+inline constexpr const char* kRetryExhausted = "tunekit_retry_exhausted_total";
+// Adaptive admission control: requests shed (by cap or queue delay) and the
+// queue-delay / advertised-Retry-After distributions behind those decisions.
+inline constexpr const char* kShedRequests = "tunekit_shed_requests_total";
+inline constexpr const char* kShedQueueDelay = "tunekit_shed_queue_delay_seconds";
+inline constexpr const char* kShedRetryAfter = "tunekit_shed_retry_after_seconds";
+// Deadline propagation: budgets rejected before dispatch, expired while
+// queued, scheduler loops stopped by budget, and the budget distribution.
+inline constexpr const char* kDeadlineRejected = "tunekit_deadline_rejected_total";
+inline constexpr const char* kDeadlineExpiredInQueue =
+    "tunekit_deadline_expired_queue_total";
+inline constexpr const char* kDeadlineStopped = "tunekit_deadline_stopped_total";
+inline constexpr const char* kDeadlineBudgetSeconds =
+    "tunekit_deadline_budget_seconds";
 }  // namespace metric
 
 /// Counter for a classified evaluation outcome: "ok" → tunekit_evals_ok_total,

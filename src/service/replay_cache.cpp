@@ -1,0 +1,39 @@
+#include "service/replay_cache.hpp"
+
+#include <algorithm>
+
+namespace tunekit::service {
+
+ReplayCache::ReplayCache(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+const std::string* ReplayCache::find(const std::string& key) const {
+  const auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+void ReplayCache::put(std::string key, std::string response) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second = std::move(response);
+    return;
+  }
+  order_.push_back(key);
+  map_.emplace(std::move(key), std::move(response));
+  while (map_.size() > capacity_ && !order_.empty()) {
+    map_.erase(order_.front());
+    order_.pop_front();
+  }
+}
+
+std::vector<std::pair<std::string, std::string>> ReplayCache::entries() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(map_.size());
+  for (const auto& key : order_) {
+    const auto it = map_.find(key);
+    if (it != map_.end()) out.emplace_back(it->first, it->second);
+  }
+  return out;
+}
+
+}  // namespace tunekit::service

@@ -1,0 +1,54 @@
+#pragma once
+// ReplayCache: a bounded idempotency-key → serialized-response map — the
+// in-memory half of exactly-once request handling.
+//
+// A client that never got its response back cannot tell "the request was
+// lost" from "the response was lost"; its only safe move is to retry with
+// the same Idempotency-Key. The first execution records its serialized
+// response here (and, durably, as an {"e":"rpc"} journal record); the retry
+// finds the key and gets the original bytes back instead of re-executing a
+// non-idempotent operation. Eviction is FIFO by first insertion: a client
+// retries recent requests, not ancient ones, so the oldest entry is always
+// the safest to forget. The capacity bounds worst-case memory and journal
+// growth per session.
+//
+// Not thread-safe by itself — TuningSession guards it with its own mutex,
+// exactly like every other piece of per-session state.
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tunekit::service {
+
+class ReplayCache {
+ public:
+  explicit ReplayCache(std::size_t capacity = 128);
+
+  /// The response previously remembered for `key`; nullptr when unknown
+  /// (never cached, or already evicted). The pointer is invalidated by the
+  /// next put().
+  const std::string* find(const std::string& key) const;
+
+  /// Remember `response` under `key`, evicting the oldest entries past
+  /// capacity. Re-inserting a live key replaces its response without
+  /// consuming capacity or refreshing its eviction position.
+  void put(std::string key, std::string response);
+
+  /// Live entries oldest-first — the order compaction rewrites them and
+  /// replay re-inserts them, so FIFO eviction survives a rewrite cycle.
+  std::vector<std::pair<std::string, std::string>> entries() const;
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::map<std::string, std::string> map_;
+  std::deque<std::string> order_;  ///< first-insertion order of live keys
+};
+
+}  // namespace tunekit::service

@@ -52,18 +52,45 @@ search::SearchResult EvalScheduler::run_impl(TuningSession& session,
   const std::size_t batch_size =
       options_.batch_size > 0 ? options_.batch_size : n_threads;
 
+  const bool bounded =
+      options_.deadline != std::chrono::steady_clock::time_point::max();
   robust::MeasureOptions measure = options_.measure;
+  // The configured per-evaluation deadline; each batch clamps it to the
+  // remaining end-to-end budget below.
+  const double watchdog_seconds = measure.watchdog.timeout_seconds;
   std::unique_ptr<robust::SandboxedObjective> sandboxed;
   if (backend) {
-    sandboxed = std::make_unique<robust::SandboxedObjective>(
-        backend, measure.watchdog.timeout_seconds);
+    sandboxed = std::make_unique<robust::SandboxedObjective>(backend, watchdog_seconds);
     measure.watchdog.timeout_seconds = std::numeric_limits<double>::infinity();
   }
-  search::Objective& eval_obj = sandboxed ? *sandboxed : *objective;
+  search::Objective* eval_obj = sandboxed ? sandboxed.get() : objective;
 
-  const robust::RobustMeasurer measurer(measure);
   ThreadPool pool(n_threads);
   while (true) {
+    robust::MeasureOptions batch_measure = measure;
+    if (bounded) {
+      const double remaining = std::chrono::duration<double>(
+          options_.deadline - std::chrono::steady_clock::now()).count();
+      if (remaining <= 0.0) {
+        log_warn("scheduler: end-to-end deadline spent; stopping with ",
+                 session.completed(), " evaluations recorded");
+        if (traced) {
+          telemetry->metrics().counter(obs::metric::kDeadlineStopped).inc();
+        }
+        break;
+      }
+      if (sandboxed) {
+        // Rebind the backend sandbox so no dispatch in this batch is granted
+        // more than the remaining budget.
+        sandboxed = std::make_unique<robust::SandboxedObjective>(
+            backend, std::min(watchdog_seconds, remaining));
+        eval_obj = sandboxed.get();
+      } else {
+        batch_measure.watchdog.timeout_seconds =
+            std::min(batch_measure.watchdog.timeout_seconds, remaining);
+      }
+    }
+    const robust::RobustMeasurer measurer(batch_measure);
     const auto batch = session.ask(batch_size);
     if (batch.empty()) break;  // exhausted (this driver resolves all it asks)
     // The batch span is opened on this thread; pool threads adopt its id via
@@ -84,7 +111,7 @@ search::SearchResult EvalScheduler::run_impl(TuningSession& session,
         // The measurer catches everything the objective can throw — including
         // non-std::exception throws — and classifies it; a hung evaluation
         // comes back TimedOut once the watchdog deadline expires.
-        const robust::Measurement m = measurer.measure(eval_obj, c.config);
+        const robust::Measurement m = measurer.measure(*eval_obj, c.config);
         eval_span.end();
         if (traced) {
           obs::outcome_counter(telemetry->metrics(), robust::to_string(m.outcome)).inc();

@@ -16,6 +16,7 @@
 // TimedOut instead of wedging a worker forever; with repeats > 1 the session
 // is told the MAD-trimmed mean and its dispersion.
 
+#include <chrono>
 #include <cstddef>
 
 #include "robust/measure.hpp"
@@ -52,6 +53,12 @@ struct SchedulerOptions {
   /// Spans ("scheduler.batch" → "eval") and evaluation counters/histograms
   /// (null = disabled, the default; the disabled path is a single branch).
   obs::Telemetry* telemetry = nullptr;
+  /// Absolute end-to-end budget (the client's propagated deadline): no new
+  /// batch is asked once it passes, and each batch's per-evaluation deadline
+  /// is clamped to the remaining budget so a dispatch never outlives it.
+  /// time_point::max() (the default) disables the bound.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
 };
 
 class EvalScheduler {

@@ -100,7 +100,8 @@ TuningSession::TuningSession(const search::SearchSpace& space, SessionOptions op
       options_(std::move(options)),
       store_(std::move(store)),
       quarantine_(options_.quarantine_after),
-      bo_(surrogate_options(options_)) {
+      bo_(surrogate_options(options_)),
+      replay_(options_.replay_cache_capacity) {
   if (store_) store_->set_telemetry(options_.telemetry);
   if (options_.backend == SessionBackend::Bo && options_.n_init > 0) {
     const std::size_t n = std::min(options_.n_init, options_.max_evals);
@@ -171,6 +172,11 @@ std::unique_ptr<TuningSession> TuningSession::resume(const search::SearchSpace& 
   // "quar" record is refused immediately, not re-learned two crashes at a
   // time.
   for (const auto& q : replayed.quarantined) session->quarantine_.quarantine_now(q);
+  // Replay-cache entries return oldest-first, so re-inserting in order
+  // reproduces the live cache's eviction order exactly.
+  for (auto& [key, resp] : replayed.rpc_cache) {
+    session->replay_.put(key, std::move(resp));
+  }
   session->next_id_ = std::max(session->next_id_, replayed.next_id);
   if (replayed.salvage.lost_records > 0 || replayed.salvage.corrupt_segments > 0) {
     // Resume provenance: the journal now explicitly records that this
@@ -315,6 +321,22 @@ void TuningSession::flush_metrics() {
   if (store_) store_->metrics(metrics_snapshot_locked());
 }
 
+std::optional<std::string> TuningSession::replayed_rpc(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string* hit = replay_.find(key);
+  if (hit == nullptr) return std::nullopt;
+  return *hit;
+}
+
+void TuningSession::remember_rpc(const std::string& key, const std::string& response) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Journal before caching: a response the client might see on retry must
+  // already be durable, or a kill between the two would let a post-restart
+  // retry re-execute an operation whose first execution *was* journaled.
+  if (store_) store_->rpc(key, response);
+  replay_.put(key, response);
+}
+
 json::Value TuningSession::metrics_snapshot_locked() const {
   SessionMetrics m = metrics_;
   m.wall_seconds = wall_base_seconds_ + watch_.seconds();
@@ -401,7 +423,7 @@ void TuningSession::maybe_compact_locked() {
   for (const auto& [id, p] : pending_) in_flight.push_back(p.candidate);
   for (const auto& c : reissue_) in_flight.push_back(c);
   store_->compact(make_header(), db_.all(), in_flight, quarantine_.configs(),
-                  metrics_snapshot_locked());
+                  metrics_snapshot_locked(), replay_.entries());
 }
 
 std::size_t TuningSession::issuable_locked() const {

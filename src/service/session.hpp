@@ -36,6 +36,7 @@
 #include "search/eval_db.hpp"
 #include "search/result.hpp"
 #include "search/space.hpp"
+#include "service/replay_cache.hpp"
 #include "service/session_store.hpp"
 
 namespace tunekit::obs {
@@ -87,6 +88,12 @@ struct SessionOptions {
   /// Compact the journal (snapshot + rewrite) every this many completed
   /// evaluations; 0 disables compaction.
   std::size_t compact_every = 64;
+
+  /// Entries kept in the idempotency-key replay cache (remember_rpc /
+  /// replayed_rpc). Bounds per-session memory and journal growth; evicted
+  /// keys mean a very late retry re-executes, which the session's own
+  /// id-based idempotence then absorbs.
+  std::size_t replay_cache_capacity = 128;
 
   std::uint64_t seed = 1;
 
@@ -194,6 +201,17 @@ class TuningSession {
   /// counter updates.
   void flush_metrics();
 
+  /// The response previously remembered under `key`, if the cache still
+  /// holds it — the retried request should be answered with these exact
+  /// bytes instead of re-executing. Thread-safe.
+  std::optional<std::string> replayed_rpc(const std::string& key) const;
+
+  /// Remember `response` as the canonical answer for idempotency key `key`.
+  /// Journaled as an {"e":"rpc"} record (survives kill + resume and
+  /// compaction) before entering the in-memory cache, so durability is never
+  /// behind visibility. Thread-safe.
+  void remember_rpc(const std::string& key, const std::string& response);
+
   SessionStatus status() const;
   SessionState state() const;
   std::size_t completed() const;
@@ -239,6 +257,7 @@ class TuningSession {
   bool closed_ = false;
   std::size_t completed_since_compact_ = 0;
   SessionMetrics metrics_;
+  ReplayCache replay_;
   /// Wall seconds accumulated by previous incarnations (restored on resume);
   /// the live watch_ reading is added on top.
   double wall_base_seconds_ = 0.0;

@@ -678,6 +678,14 @@ void SessionStore::metrics(const json::Value& snapshot) {
   append_record(json::Value(std::move(obj)));
 }
 
+void SessionStore::rpc(const std::string& key, const std::string& response) {
+  json::Object obj;
+  obj["e"] = json::Value("rpc");
+  obj["key"] = json::Value(key);
+  obj["resp"] = json::Value(response);
+  append_record(json::Value(std::move(obj)));
+}
+
 void SessionStore::salvage_marker(std::size_t lost_records,
                                   std::size_t corrupt_segments) {
   json::Object obj;
@@ -687,11 +695,12 @@ void SessionStore::salvage_marker(std::size_t lost_records,
   append_record(json::Value(std::move(obj)));
 }
 
-void SessionStore::compact(JournalHeader header,
-                           const std::vector<search::Evaluation>& completed,
-                           const std::vector<Candidate>& in_flight,
-                           const std::vector<search::Config>& quarantined,
-                           const json::Value& metrics_snapshot) {
+void SessionStore::compact(
+    JournalHeader header, const std::vector<search::Evaluation>& completed,
+    const std::vector<Candidate>& in_flight,
+    const std::vector<search::Config>& quarantined,
+    const json::Value& metrics_snapshot,
+    const std::vector<std::pair<std::string, std::string>>& rpc_cache) {
   if (poisoned_) {
     throw StorePoisonedError("SessionStore: store for '" + path_ +
                              "' is poisoned; refusing to compact");
@@ -731,6 +740,15 @@ void SessionStore::compact(JournalHeader header,
         json::Object obj;
         obj["e"] = json::Value("quar");
         obj["config"] = json::Value(std::move(cfg));
+        append_record(json::Value(std::move(obj)), /*allow_rotation=*/false);
+      }
+      for (const auto& [key, resp] : rpc_cache) {
+        // Replay entries are rewritten oldest-first so the resumed cache
+        // evicts in the same order the live one would have.
+        json::Object obj;
+        obj["e"] = json::Value("rpc");
+        obj["key"] = json::Value(key);
+        obj["resp"] = json::Value(resp);
         append_record(json::Value(std::move(obj)), /*allow_rotation=*/false);
       }
       if (!metrics_snapshot.is_null()) {
@@ -810,6 +828,13 @@ void apply_events(const std::vector<json::Value>& events,
       if (e == "metrics") {
         // Latest snapshot wins; absent "snap" (foreign writer) is tolerated.
         if (v.contains("snap")) out.metrics = v.at("snap");
+        continue;
+      }
+      if (e == "rpc") {
+        // Idempotency replay entry: keep journal order, later records for
+        // the same key supersede earlier ones at the cache layer.
+        out.rpc_cache.emplace_back(v.at("key").as_string(),
+                                   v.at("resp").as_string());
         continue;
       }
       const auto id = static_cast<std::uint64_t>(v.at("id").as_number());

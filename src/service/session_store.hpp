@@ -33,6 +33,14 @@
 //   {"e":"metrics","snap":{...}}                        session metrics snapshot
 //                                                       (latest wins; rewritten by
 //                                                       compaction so it survives)
+//   {"e":"rpc","key":K,"resp":R}                        idempotency-key replay
+//                                                       entry: the serialized
+//                                                       response already sent for
+//                                                       request key K; a retried
+//                                                       request replays R instead
+//                                                       of re-executing (rewritten
+//                                                       by compaction, oldest
+//                                                       first)
 //   {"e":"seal","seq":Q,"n":N}                          segment footer: the segment
 //                                                       is complete and holds N
 //                                                       records before the seal
@@ -176,6 +184,10 @@ class SessionStore {
     /// session-level counters a resumed session continues from, and what
     /// `tunekit_cli report` aggregates without replaying the evaluations.
     json::Value metrics;
+    /// Idempotency-key replay entries in journal order (oldest first, later
+    /// records for the same key superseding earlier ones): the responses a
+    /// resumed session must keep answering retried requests with.
+    std::vector<std::pair<std::string, std::string>> rpc_cache;
     std::uint64_t next_id = 0;
     /// Damage found by this pass (all zeros for a healthy journal).
     SalvageReport salvage;
@@ -247,6 +259,10 @@ class SessionStore {
   /// Journal a metrics snapshot (any JSON object; latest record wins on
   /// replay). Pass the same snapshot to compact() so it survives rewrites.
   void metrics(const json::Value& snapshot);
+  /// Journal an idempotency-key replay entry: `response` is what was (or is
+  /// about to be) answered for request key `key`; after a crash the resumed
+  /// session replays it for a retried request instead of re-executing.
+  void rpc(const std::string& key, const std::string& response);
   /// Journal resume provenance after a repairing replay dropped records.
   void salvage_marker(std::size_t lost_records, std::size_t corrupt_segments);
 
@@ -257,7 +273,8 @@ class SessionStore {
   void compact(JournalHeader header, const std::vector<search::Evaluation>& completed,
                const std::vector<Candidate>& in_flight,
                const std::vector<search::Config>& quarantined = {},
-               const json::Value& metrics_snapshot = json::Value());
+               const json::Value& metrics_snapshot = json::Value(),
+               const std::vector<std::pair<std::string, std::string>>& rpc_cache = {});
 
  private:
   SessionStore(std::FILE* file, std::string path, const Options& options,

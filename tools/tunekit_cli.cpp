@@ -135,6 +135,10 @@ int usage(const char* argv0) {
       "         --max-sessions N --max-resident N --max-connections N\n"
       "         --threads N --max-queue N --request-timeout S --drain-timeout S\n"
       "         --shards N (session lock/journal shards, default 1)\n"
+      "         --queue-delay-target S (shed 503 when smoothed queue wait\n"
+      "           exceeds this; 0 disables; default 0.25)\n"
+      "         --header-timeout S --body-timeout S (slow-request 408 cutoffs\n"
+      "           anchored at the first request byte; 0 disables)\n"
       "         --fleet (accept TCP evaluation nodes) --fleet-port N\n"
       "           (default 8078; 0 = ephemeral)\n"
       "fleet-node: evaluation node for a serve --fleet dispatcher\n"
@@ -151,7 +155,11 @@ int usage(const char* argv0) {
       "remote-report / remote-close: --server H:P --session-id ID\n"
       "remote-drive:  full remote tune, evaluating --app locally:\n"
       "         --server H:P --app NAME [--session-id ID --backend B\n"
-      "         --max-evals N --seed N]\n",
+      "         --max-evals N --seed N]\n"
+      "remote/fleet client options (all remote-* and fleet-drive):\n"
+      "         --retries N (exactly-once retries via Idempotency-Key;\n"
+      "           default 0) --deadline-s S (end-to-end X-Tunekit-Deadline\n"
+      "           budget, retries included; default none)\n",
       argv0);
   return 2;
 }
@@ -210,6 +218,10 @@ struct CliArgs {
   std::string node_id;
   double chaos_mute_s = 0.0;
   double spin_ms = 0.0;
+  // serve admission control (overload shedding + slow-loris hardening)
+  double queue_delay_target = 0.25;
+  double header_timeout = 10.0;
+  double body_timeout = 20.0;
   // remote-* commands
   std::string server;      // host:port
   std::string session_id;  // remote session id
@@ -218,6 +230,12 @@ struct CliArgs {
   std::string value;  // kept as text so "absent" is distinguishable
   std::string outcome;
   std::size_t k = 1;
+  /// Client retry budget beyond the first attempt (0 = no retries, the
+  /// old behavior). Retries stamp Idempotency-Key so they are exactly-once.
+  std::size_t retries = 0;
+  /// End-to-end deadline stamped as X-Tunekit-Deadline (retries and
+  /// backoff included); infinity = none.
+  double deadline_s = std::numeric_limits<double>::infinity();
   // fsck command
   bool repair = false;
 };
@@ -280,6 +298,11 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       else if (flag == "--max-queue") args.max_queue = std::stoul(next());
       else if (flag == "--request-timeout") args.request_timeout = std::stod(next());
       else if (flag == "--drain-timeout") args.drain_timeout = std::stod(next());
+      else if (flag == "--queue-delay-target") args.queue_delay_target = std::stod(next());
+      else if (flag == "--header-timeout") args.header_timeout = std::stod(next());
+      else if (flag == "--body-timeout") args.body_timeout = std::stod(next());
+      else if (flag == "--retries") args.retries = std::stoul(next());
+      else if (flag == "--deadline-s") args.deadline_s = std::stod(next());
       else if (flag == "--shards") args.shards = std::stoul(next());
       else if (flag == "--fleet") args.fleet = true;
       else if (flag == "--fleet-port") args.fleet_port = static_cast<std::uint16_t>(std::stoul(next()));
@@ -769,6 +792,12 @@ int cmd_serve(const CliArgs& args, obs::Telemetry* telemetry) {
   sopt.max_queue = args.max_queue;
   sopt.request_timeout_seconds = args.request_timeout;
   sopt.drain_timeout_seconds = args.drain_timeout;
+  sopt.queue_delay_target_seconds = args.queue_delay_target;
+  sopt.header_timeout_seconds = args.header_timeout;
+  sopt.body_timeout_seconds = args.body_timeout;
+  // Shed drives before asks before tells: a tell carries a measurement the
+  // fleet already paid for, so it is the last thing admission control drops.
+  sopt.priority = net::RestApi::priority;
   sopt.telemetry = telemetry;
   net::HttpServer server(sopt,
                          [&api](const net::HttpRequest& r) { return api.handle(r); });
@@ -810,6 +839,7 @@ void handle_node_signal(int) {
 }
 
 std::pair<std::string, std::uint16_t> parse_server(const std::string& server);
+net::ClientRetryOptions make_retry(const CliArgs& args);
 
 int cmd_fleet_node(const CliArgs& args, const char* argv0,
                    obs::Telemetry* telemetry) {
@@ -866,7 +896,7 @@ int cmd_fleet_drive(const CliArgs& args) {
   if (args.session_id.empty()) throw UsageError("fleet-drive requires --session-id");
   auto [host, port] = parse_server(args.server);
   // A drive holds the connection for the whole run; give it a long leash.
-  net::Client client(host, port, /*timeout_seconds=*/3600.0);
+  net::Client client(host, port, /*timeout_seconds=*/3600.0, make_retry(args));
   json::Object body;
   if (args.k > 1) body["batch_size"] = json::Value(args.k);
   std::cout << client.drive_session(args.session_id, json::Value(std::move(body))).dump(2)
@@ -893,10 +923,17 @@ std::pair<std::string, std::uint16_t> parse_server(const std::string& server) {
   return {server.substr(0, colon), static_cast<std::uint16_t>(port)};
 }
 
-net::Client make_client(const CliArgs& args) {
+net::ClientRetryOptions make_retry(const CliArgs& args) {
+  net::ClientRetryOptions retry;
+  retry.max_attempts = 1 + static_cast<int>(args.retries);
+  retry.default_deadline_seconds = args.deadline_s;
+  return retry;
+}
+
+net::Client make_client(const CliArgs& args, double timeout_seconds = 30.0) {
   if (args.server.empty()) throw UsageError("remote commands require --server host:port");
   auto [host, port] = parse_server(args.server);
-  return net::Client(host, port);
+  return net::Client(host, port, timeout_seconds, make_retry(args));
 }
 
 json::Value make_session_spec(const CliArgs& args) {
