@@ -1,0 +1,156 @@
+// Observability overhead gate: the per-evaluation cost of the tracing layer.
+//
+// One "evaluation" here is what the robust measurement path actually runs
+// per journaled eval: a repeats-batch of application executions (--repeats,
+// MAD-trimmed) — kRepeats runs of the synth Case3 objective, ~20 us total.
+// That is still orders of magnitude cheaper than any real process-isolated
+// or fleet-dispatched measurement, so the percentage reported here is a
+// conservative upper bound on production overhead.
+//
+// Timed loops over identical work:
+//   bare     — the objective alone, no Telemetry object at all (floor).
+//   disabled — a default-constructed Telemetry (enabled() == false) with the
+//              same instrumentation compiled in; this is the hot path every
+//              non-exporting run takes, guarded elsewhere to stay < 1 us.
+//   enabled  — telemetry on, each eval wrapped the way EvalScheduler wraps
+//              it: a ScopedSpan joining the ambient batch span plus one
+//              histogram observation.
+// Also reported (not gated): the extra cost of exemplar capture with a
+// freshly formatted trace id, which the HTTP layer pays once per request.
+//
+// Emits BENCH_obs_overhead.json (override with TUNEKIT_BENCH_OUT) and exits
+// nonzero when the enabled-path overhead is >= 5% per eval, so CI gates the
+// perf trajectory instead of eyeballing it.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <string>
+
+#include "common/json.hpp"
+#include "obs/telemetry.hpp"
+#include "synth/synth_app.hpp"
+
+using namespace tunekit;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kEvals = 1000;
+constexpr std::size_t kRepeats = 8;  // objective runs per journaled eval
+constexpr std::size_t kReps = 5;     // timing repetitions (best-of)
+
+double ns_per_eval(std::size_t evals, const std::function<void()>& body) {
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < evals; ++i) body();
+  const auto stop = Clock::now();
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+                 .count()) /
+         static_cast<double>(evals);
+}
+
+/// Best of `reps` runs: on a loaded box a scheduler hiccup inflates one run,
+/// and the minimum is the closest estimate of the true cost.
+double best_ns_per_eval(std::size_t reps, std::size_t evals,
+                        const std::function<void()>& body) {
+  double best = 0.0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const double ns = ns_per_eval(evals, body);
+    if (r == 0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  synth::SynthApp app(synth::SynthCase::Case3);
+  const auto config = app.baseline();
+  volatile double sink = 0.0;
+  const auto objective = [&] {
+    for (std::size_t r = 0; r < kRepeats; ++r) {
+      sink = sink + app.evaluate_regions(config).total;
+    }
+  };
+
+  // Floor: the repeats-batch with no telemetry object in sight.
+  const double bare_ns = best_ns_per_eval(kReps, kEvals, objective);
+
+  // Disabled hot path: Telemetry exists but was never enable()d, so the
+  // span constructor bails immediately and the enabled() guard skips the
+  // metric — exactly what instrumented call sites compile down to.
+  obs::Telemetry off;
+  const double disabled_ns = best_ns_per_eval(kReps, kEvals, [&] {
+    obs::ScopedSpan span(&off, "eval", obs::Telemetry::kInheritParent, "bench");
+    objective();
+    if (off.enabled()) {
+      off.metrics().histogram(obs::metric::kEvalSeconds).observe(1e-6);
+    }
+  });
+
+  // Enabled path, instrumented the way EvalScheduler instruments one
+  // evaluation: a traced span under the ambient batch span plus one
+  // histogram observation.
+  obs::Telemetry on;
+  on.enable();
+  obs::ScopedSpan root(&on, "bench.root", 0, "bench");
+  obs::CurrentSpanScope ambient(root.id());
+  const double enabled_ns = best_ns_per_eval(kReps, kEvals, [&] {
+    obs::ScopedSpan span(&on, "eval", obs::Telemetry::kInheritParent, "bench");
+    objective();
+    on.metrics().histogram(obs::metric::kEvalSeconds).observe(1e-6);
+  });
+
+  // Exemplar capture with a freshly formatted trace id — the once-per-HTTP-
+  // request extra, reported for the record but not part of the per-eval gate.
+  const double exemplar_ns = best_ns_per_eval(kReps, kEvals, [&] {
+    obs::ScopedSpan span(&on, "eval", obs::Telemetry::kInheritParent, "bench");
+    objective();
+    on.metrics()
+        .histogram(obs::metric::kEvalSeconds)
+        .observe_with_exemplar(1e-6, obs::trace_id_hex(span.context().trace));
+  });
+
+  const double overhead_ns = enabled_ns - disabled_ns;
+  const double overhead_pct =
+      disabled_ns > 0.0 ? overhead_ns / disabled_ns * 100.0 : 0.0;
+
+  std::printf("obs overhead per eval (%zu evals x %zu repeats, best of %zu):\n",
+              kEvals, kRepeats, kReps);
+  std::printf("  bare objective:    %10.1f ns\n", bare_ns);
+  std::printf("  telemetry off:     %10.1f ns\n", disabled_ns);
+  std::printf("  telemetry on:      %10.1f ns\n", enabled_ns);
+  std::printf("  on + exemplar:     %10.1f ns\n", exemplar_ns);
+  std::printf("  overhead:          %10.1f ns  (%.2f%%)\n", overhead_ns,
+              overhead_pct);
+
+  json::Object bench;
+  bench["bench"] = json::Value(std::string("obs_overhead"));
+  bench["evals"] = json::Value(static_cast<double>(kEvals));
+  bench["repeats_per_eval"] = json::Value(static_cast<double>(kRepeats));
+  bench["reps"] = json::Value(static_cast<double>(kReps));
+  bench["bare_ns_per_eval"] = json::Value(bare_ns);
+  bench["disabled_ns_per_eval"] = json::Value(disabled_ns);
+  bench["enabled_ns_per_eval"] = json::Value(enabled_ns);
+  bench["enabled_exemplar_ns_per_eval"] = json::Value(exemplar_ns);
+  bench["overhead_ns_per_eval"] = json::Value(overhead_ns);
+  bench["overhead_pct"] = json::Value(overhead_pct);
+
+  const char* out_env = std::getenv("TUNEKIT_BENCH_OUT");
+  const std::string out_path =
+      out_env != nullptr ? out_env : "BENCH_obs_overhead.json";
+  std::ofstream out(out_path);
+  out << json::Value(std::move(bench)).dump(2) << "\n";
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (overhead_pct >= 5.0) {
+    std::fprintf(stderr, "FAIL: enabled-path overhead %.2f%% >= 5%%\n",
+                 overhead_pct);
+    return 1;
+  }
+  return 0;
+}

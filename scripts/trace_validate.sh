@@ -1,0 +1,171 @@
+#!/usr/bin/env sh
+# Distributed-tracing validation smoke.
+#
+# Real processes, real sockets, tracing on end to end:
+#   1. `tunekit_cli serve --fleet --trace-out` (telemetry is always on in
+#      serve mode; --trace-out additionally dumps a Chrome trace at exit)
+#   2. two `tunekit_fleet_node` processes dial in and register
+#   3. a session is created and driven end-to-end on the fleet
+#   4. GET /v1/debug/traces: every emitted trace tree is single-rooted,
+#      span ids are globally unique (an eval belongs to exactly one tree),
+#      and the drive request's tree contains every node.objective span,
+#      each contained inside the root's interval
+#   5. SIGTERM the server; the Chrome trace_event export loads cleanly and
+#      carries the distributed span names (server handler, fleet.rpc,
+#      node.objective)
+#
+# Usage: scripts/trace_validate.sh <path-to-tunekit_cli> <path-to-tunekit_fleet_node>
+# Exits nonzero (with a FAIL line) on the first broken invariant. Keeps the
+# server and node logs in $WORK for CI to upload on failure; set
+# TUNEKIT_SMOKE_LOG_DIR to put them somewhere durable.
+set -eu
+
+CLI=${1:?usage: trace_validate.sh <path-to-tunekit_cli> <path-to-tunekit_fleet_node>}
+NODE_BIN=${2:?usage: trace_validate.sh <path-to-tunekit_cli> <path-to-tunekit_fleet_node>}
+EVALS=10
+WORK=${TUNEKIT_SMOKE_LOG_DIR:-$(mktemp -d)}
+mkdir -p "$WORK"
+SERVER_PID=""
+NODE1_PID=""
+NODE2_PID=""
+
+fail() {
+    echo "FAIL: $*" >&2
+    for log in serve.log node1.log node2.log; do
+        [ -f "$WORK/$log" ] && sed "s/^/  $log: /" "$WORK/$log" >&2
+    done
+    exit 1
+}
+
+cleanup() {
+    for pid in "$SERVER_PID" "$NODE1_PID" "$NODE2_PID"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    done
+    [ -z "${TUNEKIT_SMOKE_LOG_DIR:-}" ] && rm -rf "$WORK" || true
+}
+trap cleanup EXIT
+
+# --- 1. serve --fleet with a Chrome-trace dump at exit -----------------------
+"$CLI" serve --port 0 --fleet --fleet-port 0 --journal-dir "$WORK/journals" \
+    --shards 4 --threads 2 --request-timeout 60 \
+    --trace-out "$WORK/serve_trace.json" >"$WORK/serve.log" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's#.*listening on http://##p' "$WORK/serve.log" | head -n1)
+    FLEET=$(sed -n 's#.*fleet dispatcher on ##p' "$WORK/serve.log" | head -n1)
+    [ -n "$ADDR" ] && [ -n "$FLEET" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server died on startup"
+    sleep 0.1
+done
+[ -n "$ADDR" ] || fail "server never printed its HTTP address"
+[ -n "$FLEET" ] || fail "server never printed its fleet address"
+echo "server on $ADDR, dispatcher on $FLEET (pid $SERVER_PID)"
+
+# --- 2. two evaluation nodes dial in -----------------------------------------
+"$NODE_BIN" --server "$FLEET" --app synth:case1 --node-id trace-a --slots 2 \
+    >"$WORK/node1.log" 2>&1 &
+NODE1_PID=$!
+"$NODE_BIN" --server "$FLEET" --app synth:case1 --node-id trace-b --slots 2 \
+    >"$WORK/node2.log" 2>&1 &
+NODE2_PID=$!
+
+NODES=0
+for _ in $(seq 1 50); do
+    NODES=$("$CLI" fleet-status --server "$ADDR" \
+        | grep -c '"alive": true' || true)
+    [ "$NODES" -ge 2 ] && break
+    sleep 0.2
+done
+[ "$NODES" -ge 2 ] || fail "expected 2 live nodes, registry shows $NODES"
+echo "both nodes registered"
+
+# --- 3. drive a session across the fleet -------------------------------------
+"$CLI" remote-create --server "$ADDR" --app synth:case1 \
+    --session-id trace-smoke --max-evals "$EVALS" --backend random --seed 7 \
+    || fail "remote-create"
+"$CLI" fleet-drive --server "$ADDR" --session-id trace-smoke \
+    >"$WORK/drive.txt" || fail "fleet-drive"
+grep -q "\"completed\": $EVALS" "$WORK/drive.txt" || fail "drive lost evaluations"
+echo "drive completed $EVALS evaluations on the fleet"
+
+# --- 4. /v1/debug/traces: single-rooted trees, evals owned by one tree -------
+# The drive handler's root span finishes a hair after the response is on the
+# wire, and traces_json withholds incomplete trees — poll briefly.
+OK=""
+for _ in $(seq 1 20); do
+    curl -sf "http://$ADDR/v1/debug/traces" >"$WORK/traces.json" \
+        || fail "GET /v1/debug/traces"
+    if EVALS="$EVALS" python3 - "$WORK/traces.json" <<'PY' >"$WORK/traces_check.txt" 2>&1
+import json, os, sys
+doc = json.load(open(sys.argv[1]))
+traces = doc['traces']
+assert traces, 'no complete traces'
+seen_ids = {}
+drive = None
+for t in traces:
+    spans = t['spans']
+    assert t['span_count'] == len(spans), t['trace_id']
+    in_tree = {s['id'] for s in spans}
+    assert len(in_tree) == len(spans), f'duplicate span id in {t["trace_id"]}'
+    roots = [s for s in spans if s.get('parent') not in in_tree]
+    assert len(roots) == 1, \
+        f'{t["trace_id"]}: {len(roots)} roots, expected exactly 1'
+    root = roots[0]
+    assert root['name'] == t['root'], t['trace_id']
+    for s in spans:
+        assert s['id'] not in seen_ids, \
+            f'span {s["id"]} in two traces: {seen_ids[s["id"]]}, {t["trace_id"]}'
+        seen_ids[s['id']] = t['trace_id']
+    if '/drive' in root['name']:
+        drive = (t, root)
+assert drive is not None, 'no trace rooted at the drive request'
+t, root = drive
+objectives = [s for s in t['spans'] if s['name'] == 'node.objective']
+want = int(os.environ['EVALS'])
+assert len(objectives) >= want, \
+    f'drive trace has {len(objectives)} node.objective spans, want >= {want}'
+lo, hi = root['start_ns'], root['start_ns'] + root['dur_ns']
+for s in objectives:
+    assert lo <= s['start_ns'] and s['start_ns'] + s['dur_ns'] <= hi, \
+        f'objective span {s["id"]} escapes the drive root interval'
+print(f'{len(traces)} traces, drive tree: {t["span_count"]} spans, '
+      f'{len(objectives)} objective leaves, OK')
+PY
+    then OK=1; break; fi
+    sleep 0.3
+done
+[ -n "$OK" ] || { cat "$WORK/traces_check.txt" >&2; fail "trace tree validation"; }
+cat "$WORK/traces_check.txt"
+
+# --- 5. graceful shutdown; the Chrome trace export loads cleanly -------------
+kill "$SERVER_PID"
+for _ in $(seq 1 100); do
+    kill -0 "$SERVER_PID" 2>/dev/null || break
+    sleep 0.1
+done
+kill -0 "$SERVER_PID" 2>/dev/null && fail "server did not exit on SIGTERM"
+SERVER_PID=""
+[ -f "$WORK/serve_trace.json" ] || fail "serve wrote no Chrome trace"
+
+python3 - "$WORK/serve_trace.json" <<'PY' || fail "Chrome trace validation"
+import collections, json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc['traceEvents']
+assert events, 'empty trace'
+ids = set()
+for e in events:
+    assert e['ph'] == 'X', e
+    assert e['ts'] >= 0 and e['dur'] >= 0, e
+    ids.add(e['args']['span'])
+bad = [e for e in events
+       if e['args'].get('parent') not in (None, 0)
+       and e['args']['parent'] not in ids]
+assert not bad, bad[:5]
+names = collections.Counter(e['name'] for e in events)
+for required in ('server.POST /v1/sessions/trace-smoke/drive',
+                 'scheduler.batch', 'fleet.rpc', 'node.objective'):
+    assert names[required] > 0, f'missing {required} spans'
+print(f'{len(events)} Chrome trace events, OK')
+PY
+
+echo "PASS: trace validation (fleet drive, single-rooted trees, Chrome export)"

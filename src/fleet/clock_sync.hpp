@@ -1,0 +1,75 @@
+#pragma once
+// ClockSync: NTP-flavored per-node clock-offset estimation from heartbeat
+// round trips. Each node heartbeat carries the node's steady-clock "now"
+// (t_ns) plus the round-trip time the node measured for its previous
+// heartbeat's ack (rtt_ns). On arrival the dispatcher knows three numbers:
+//
+//   local_arrival = node_send + one_way_delay + offset
+//
+// Assuming the path is roughly symmetric, one_way_delay ≈ rtt/2, so
+//
+//   offset ≈ local_arrival − node_send − rtt/2
+//
+// The estimate from the *smallest* observed RTT is kept: queuing delay only
+// ever inflates RTT (and corrupts the symmetry assumption), so the fastest
+// exchange seen is the closest to the true offset — the classic NTP filter.
+// Error is bounded by ±rtt/2 of that best sample.
+//
+// Used by FleetDispatcher to anchor node-side spans (measured on the node's
+// steady clock) onto the dispatcher's trace timeline. Until the first RTT
+// sample arrives, synced() is false and callers clamp remote spans into the
+// enclosing rpc interval instead.
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace tunekit::fleet {
+
+class ClockSync {
+ public:
+  /// One heartbeat sample: when it arrived here (local steady ns), the
+  /// node's steady clock when it was sent, and the node-measured RTT of the
+  /// previous heartbeat ack (0 = not yet measured; sample ignored).
+  void observe(std::uint64_t local_arrival_ns, std::uint64_t node_send_ns,
+               std::uint64_t rtt_ns) {
+    if (rtt_ns == 0) return;
+    if (rtt_ns <= best_rtt_ns_) {
+      best_rtt_ns_ = rtt_ns;
+      offset_ns_ = static_cast<std::int64_t>(local_arrival_ns) -
+                   static_cast<std::int64_t>(node_send_ns) -
+                   static_cast<std::int64_t>(rtt_ns / 2);
+      synced_ = true;
+    }
+  }
+
+  bool synced() const { return synced_; }
+
+  /// local − node, in nanoseconds (0 until synced).
+  std::int64_t offset_ns() const { return offset_ns_; }
+
+  /// RTT of the sample behind the current estimate (its error bound is
+  /// ±rtt/2).
+  std::uint64_t best_rtt_ns() const { return synced_ ? best_rtt_ns_ : 0; }
+
+  /// Map a node-clock timestamp onto the local clock. Clamps at 0 rather
+  /// than wrapping when a negative offset exceeds the timestamp.
+  std::uint64_t to_local_ns(std::uint64_t node_ns) const {
+    const std::int64_t mapped = static_cast<std::int64_t>(node_ns) + offset_ns_;
+    return mapped > 0 ? static_cast<std::uint64_t>(mapped) : 0;
+  }
+
+  /// Forget everything (node reconnected — its process, and therefore its
+  /// steady-clock epoch, may have changed).
+  void reset() {
+    best_rtt_ns_ = UINT64_MAX;
+    offset_ns_ = 0;
+    synced_ = false;
+  }
+
+ private:
+  std::uint64_t best_rtt_ns_ = UINT64_MAX;
+  std::int64_t offset_ns_ = 0;
+  bool synced_ = false;
+};
+
+}  // namespace tunekit::fleet

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cctype>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
 
@@ -213,10 +214,45 @@ void FleetDispatcher::node_loop(const std::string& id,
       registry_.heartbeat(
           id, static_cast<std::size_t>(std::max(0.0, msg.number_or("busy", 0.0))),
           now_s());
+      if (msg.contains("t_ns")) {
+        const double node_t = msg.number_or("t_ns", 0.0);
+        const double rtt = msg.number_or("rtt_ns", 0.0);
+        // NTP-style one-sample update: arrival here minus the node's send
+        // stamp minus half the (node-measured) round trip. Keep the
+        // min-RTT sample — it bounds the error tightest.
+        if (telemetry_ != nullptr && telemetry_->enabled() && rtt > 0.0) {
+          std::lock_guard<std::mutex> lock(mutex_);
+          auto it = nodes_.find(id);
+          if (it != nodes_.end() && it->second->link.get() == link.get()) {
+            it->second->clock.observe(telemetry_->now_ns(),
+                                      static_cast<std::uint64_t>(node_t),
+                                      static_cast<std::uint64_t>(rtt));
+          }
+        }
+        json::Object ack;
+        ack["op"] = "hb_ack";
+        ack["t_ns"] = json::Value(node_t);
+        link->send(json::Value(std::move(ack)), net::Deadline::after(2.0));
+      }
     } else if (op == "result") {
       const auto ticket_id =
           static_cast<std::uint64_t>(msg.number_or("id", 0.0));
-      complete_ticket(ticket_id, id, result_from_wire(msg));
+      std::vector<WireSpan> node_spans;
+      if (msg.contains("spans") && msg.at("spans").is_array()) {
+        for (const json::Value& v : msg.at("spans").as_array()) {
+          if (!v.is_object() || !v.contains("name")) continue;
+          WireSpan span;
+          try {
+            span.name = v.at("name").as_string();
+          } catch (const std::exception&) {
+            continue;
+          }
+          span.start_ns = static_cast<std::uint64_t>(v.number_or("start_ns", 0.0));
+          span.dur_ns = static_cast<std::uint64_t>(v.number_or("dur_ns", 0.0));
+          node_spans.push_back(std::move(span));
+        }
+      }
+      complete_ticket(ticket_id, id, result_from_wire(msg), node_spans);
     }
     // Unknown ops are ignored (forward compatibility).
   }
@@ -309,8 +345,13 @@ void FleetDispatcher::pump(bool stolen) {
       t.queued = false;
       t.node = best->id;
       best->inflight.push_back(tid);
+      std::string traceparent;
+      if (t.trace.valid() && t.rpc_span != 0) {
+        traceparent =
+            obs::to_traceparent(obs::TraceContext{t.trace.trace, t.rpc_span});
+      }
       sends.push_back({best->link, best->id,
-                       eval_message(tid, t.config, t.deadline_s)});
+                       eval_message(tid, t.config, t.deadline_s, traceparent)});
       if (stolen) {
         steals_.fetch_add(1, std::memory_order_relaxed);
         if (telemetry_ != nullptr && telemetry_->enabled()) {
@@ -327,8 +368,32 @@ void FleetDispatcher::pump(bool stolen) {
   update_gauges();
 }
 
+std::int64_t span_shift(bool synced, std::int64_t offset_ns,
+                        const std::vector<WireSpan>& spans,
+                        std::uint64_t arrival_ns) {
+  if (synced) return offset_ns;
+  std::uint64_t last_end = 0;
+  for (const WireSpan& span : spans) {
+    last_end = std::max(last_end, span.start_ns + span.dur_ns);
+  }
+  return static_cast<std::int64_t>(arrival_ns) -
+         static_cast<std::int64_t>(last_end);
+}
+
+AnchoredSpan anchor_span(const WireSpan& span, std::int64_t shift,
+                         std::uint64_t rpc_start_ns, std::uint64_t arrival_ns) {
+  const std::int64_t mapped = static_cast<std::int64_t>(span.start_ns) + shift;
+  std::uint64_t start = mapped < 0 ? 0 : static_cast<std::uint64_t>(mapped);
+  start = std::min(std::max(start, rpc_start_ns), arrival_ns);
+  AnchoredSpan out;
+  out.start_ns = start;
+  out.dur_ns = std::min(span.dur_ns, arrival_ns - start);
+  return out;
+}
+
 void FleetDispatcher::complete_ticket(std::uint64_t id, const std::string& node_id,
-                                      robust::SandboxResult result) {
+                                      robust::SandboxResult result,
+                                      const std::vector<WireSpan>& node_spans) {
   const bool eval_ok = result.outcome == robust::EvalOutcome::Ok;
   // Breaker failure taxonomy: the node broke the eval (its worker died or it
   // went silent past the deadline). A config crashing deterministically is
@@ -349,6 +414,7 @@ void FleetDispatcher::complete_ticket(std::uint64_t id, const std::string& node_
     Ticket& t = it->second;
     t.done = true;
     t.result = std::move(result);
+    t.result.worker_node = node_id;
     t.node.clear();
     waited_s = now_s() - t.submitted_s;
     auto nit = nodes_.find(node_id);
@@ -356,6 +422,25 @@ void FleetDispatcher::complete_ticket(std::uint64_t id, const std::string& node_
       auto& inflight = nit->second->inflight;
       inflight.erase(std::remove(inflight.begin(), inflight.end(), id),
                      inflight.end());
+    }
+    // Stitch the node-side spans under the fleet.rpc span, mapped from the
+    // node's steady clock into ours. With a heartbeat-derived offset the
+    // mapping is absolute (error bounded by rtt/2); before the first
+    // exchange we fall back to anchoring the last span's end at the
+    // result's arrival. Either way spans are clamped into the rpc interval
+    // so a skewed clock can never make a child escape its parent.
+    if (telemetry_ != nullptr && telemetry_->enabled() && t.rpc_span != 0 &&
+        !node_spans.empty()) {
+      const std::uint64_t arrival = telemetry_->now_ns();
+      const bool synced = nit != nodes_.end() && nit->second->clock.synced();
+      const std::int64_t shift = span_shift(
+          synced, synced ? nit->second->clock.offset_ns() : 0, node_spans,
+          arrival);
+      for (const WireSpan& span : node_spans) {
+        const AnchoredSpan a = anchor_span(span, shift, t.rpc_start_ns, arrival);
+        telemetry_->record_span(span.name, t.rpc_span, a.start_ns, a.dur_ns,
+                                /*pid=*/0, "fleet-node", t.trace.trace);
+      }
     }
     if (t.result.outcome == robust::EvalOutcome::Crashed &&
         t.result.worker_died && quarantine_.enabled()) {
@@ -392,6 +477,11 @@ robust::SandboxResult FleetDispatcher::evaluate(const search::Config& config,
     return r;
   }
 
+  // The rpc span covers queue wait + dispatch + node round trip; it inherits
+  // the caller's ambient span (the scheduler's eval span), so node-side
+  // spans imported under it complete the client -> worker tree.
+  obs::ScopedSpan rpc_span(telemetry_, "fleet.rpc",
+                           obs::Telemetry::kInheritParent, "fleet");
   std::uint64_t tid = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -402,6 +492,11 @@ robust::SandboxResult FleetDispatcher::evaluate(const search::Config& config,
     t.deadline_s = deadline_seconds;
     t.queued = true;
     t.submitted_s = now_s();
+    if (rpc_span.id() != 0) {
+      t.trace = rpc_span.context();
+      t.rpc_span = rpc_span.id();
+      t.rpc_start_ns = telemetry_->now_ns();
+    }
     tickets_.emplace(tid, std::move(t));
     queue_.push_back(tid);
   }
@@ -455,6 +550,7 @@ robust::SandboxResult FleetDispatcher::evaluate(const search::Config& config,
     }
   }
   robust::set_last_worker_slot(result.worker_slot);
+  robust::set_last_worker_node(result.worker_node);
   return result;
 }
 
@@ -513,6 +609,20 @@ json::Value FleetDispatcher::status_json() const {
     }
     obj["breakers"] = json::Value(std::move(breakers));
   }
+  {
+    json::Object clocks;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, node] : nodes_) {
+      json::Object c;
+      c["synced"] = json::Value(node->clock.synced());
+      if (node->clock.synced()) {
+        c["offset_ns"] = json::Value(static_cast<double>(node->clock.offset_ns()));
+        c["rtt_ns"] = json::Value(static_cast<double>(node->clock.best_rtt_ns()));
+      }
+      clocks[id] = json::Value(std::move(c));
+    }
+    obj["clocks"] = json::Value(std::move(clocks));
+  }
   obj["degraded"] = json::Value(degraded());
   return out;
 }
@@ -523,6 +633,15 @@ void FleetDispatcher::update_gauges() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (const auto& [id, node] : nodes_) busy += node->inflight.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, node] : nodes_) {
+      if (!node->clock.synced()) continue;
+      telemetry_->metrics()
+          .gauge(obs::metric::kFleetClockOffsetSeconds + metric_suffix(id))
+          .set(std::abs(static_cast<double>(node->clock.offset_ns())) / 1e9);
+    }
   }
   telemetry_->metrics().gauge(obs::metric::kFleetNodesUp)
       .set(static_cast<double>(registry_.nodes_alive()));

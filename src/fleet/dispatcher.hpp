@@ -29,14 +29,12 @@
 
 #include "common/json.hpp"
 #include "fleet/circuit_breaker.hpp"
+#include "fleet/clock_sync.hpp"
 #include "fleet/registry.hpp"
 #include "fleet/remote_worker.hpp"
+#include "obs/telemetry.hpp"
 #include "robust/eval_backend.hpp"
 #include "robust/quarantine.hpp"
-
-namespace tunekit::obs {
-class Telemetry;
-}
 
 namespace tunekit::fleet {
 
@@ -58,6 +56,31 @@ struct DispatcherOptions {
   BreakerOptions breaker;
   obs::Telemetry* telemetry = nullptr;
 };
+
+/// A complete node-side span as it arrived on the wire (node-clock ns).
+struct WireSpan {
+  std::string name;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+};
+
+/// The node-clock → dispatcher-clock shift for a batch of imported spans.
+/// With a heartbeat-synced clock the shift is the measured offset (absolute,
+/// error bounded by rtt/2); before the first exchange it anchors the latest
+/// span end at the result's arrival (relative, but always in the past).
+std::int64_t span_shift(bool synced, std::int64_t offset_ns,
+                        const std::vector<WireSpan>& spans,
+                        std::uint64_t arrival_ns);
+
+/// Map one node-side span into dispatcher time and clamp it into the rpc
+/// interval [rpc_start_ns, arrival_ns] — a skewed or lying node clock can
+/// never make an imported child span escape its fleet.rpc parent.
+struct AnchoredSpan {
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+};
+AnchoredSpan anchor_span(const WireSpan& span, std::int64_t shift,
+                         std::uint64_t rpc_start_ns, std::uint64_t arrival_ns);
 
 class FleetDispatcher final : public robust::EvalBackend {
  public:
@@ -109,6 +132,12 @@ class FleetDispatcher final : public robust::EvalBackend {
     bool done = false;
     double submitted_s = 0.0;
     robust::SandboxResult result;
+    /// Distributed tracing: the fleet.rpc span opened by evaluate() and its
+    /// trace context (stamped on the eval message as a traceparent); the rpc
+    /// start anchors imported node spans when the node clock is unsynced.
+    obs::TraceContext trace;
+    obs::SpanId rpc_span = 0;
+    std::uint64_t rpc_start_ns = 0;
   };
 
   struct Node {
@@ -116,6 +145,11 @@ class FleetDispatcher final : public robust::EvalBackend {
     std::shared_ptr<NdjsonLink> link;
     std::size_t slots = 1;
     std::vector<std::uint64_t> inflight;
+    /// Offset estimate between this node's steady clock and the dispatcher's
+    /// telemetry clock, fed by heartbeat t_ns/rtt_ns exchanges. A fresh Node
+    /// per (re)connect means reconnects start from scratch — a rebooted
+    /// machine's clock shares nothing with its predecessor's.
+    ClockSync clock;
   };
 
   void accept_loop();
@@ -134,7 +168,8 @@ class FleetDispatcher final : public robust::EvalBackend {
   /// when capacity freed up (vs. at submit time) for the steal counter.
   void pump(bool stolen);
   void complete_ticket(std::uint64_t id, const std::string& node,
-                       robust::SandboxResult result);
+                       robust::SandboxResult result,
+                       const std::vector<WireSpan>& node_spans = {});
   /// The node's breaker (created on first use; survives re-registration so a
   /// flapping node cannot reset its own history by reconnecting).
   CircuitBreaker& breaker_for(const std::string& id);

@@ -22,6 +22,15 @@ double steady_now_s() {
       .count();
 }
 
+/// The node's span/heartbeat clock: raw steady ns. The dispatcher maps these
+/// into its own clock with the heartbeat-derived offset (fleet/clock_sync).
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 std::string default_node_id() {
   char host[256] = "node";
   ::gethostname(host, sizeof(host) - 1);
@@ -172,6 +181,9 @@ void NodeAgent::serve(const std::shared_ptr<NdjsonLink>& link,
         json::Object hb;
         hb["op"] = "hb";
         hb["busy"] = json::Value(busy_.load(std::memory_order_relaxed));
+        hb["t_ns"] = json::Value(static_cast<double>(steady_now_ns()));
+        hb["rtt_ns"] = json::Value(
+            static_cast<double>(last_rtt_ns_.load(std::memory_order_relaxed)));
         if (!link->send(json::Value(std::move(hb)), net::Deadline::after(2.0))) {
           break;
         }
@@ -199,9 +211,25 @@ void NodeAgent::serve(const std::shared_ptr<NdjsonLink>& link,
     } catch (const std::exception&) {
       continue;
     }
-    if (op == "eval") {
+    if (op == "hb_ack") {
+      // The echo of our own steady stamp: now minus it is the full hb ->
+      // hb_ack round trip, reported on the next heartbeat so the dispatcher
+      // can bound its offset estimate.
+      const double echoed = msg.number_or("t_ns", 0.0);
+      if (echoed > 0.0) {
+        const std::uint64_t sent = static_cast<std::uint64_t>(echoed);
+        const std::uint64_t now = steady_now_ns();
+        if (now > sent) {
+          last_rtt_ns_.store(now - sent, std::memory_order_relaxed);
+        }
+      }
+    } else if (op == "eval") {
       PendingEval ev;
       ev.id = static_cast<std::uint64_t>(msg.number_or("id", 0.0));
+      if (msg.contains("traceparent") && msg.at("traceparent").is_string()) {
+        ev.traceparent = msg.at("traceparent").as_string();
+      }
+      ev.enqueued_ns = steady_now_ns();
       // The dispatcher omits `deadline_s` when the eval has no deadline; a
       // missing field must mean "unbounded", not "0 seconds" (which the
       // sandbox would enforce with an instant SIGKILL).
@@ -258,6 +286,8 @@ void NodeAgent::eval_loop(const std::shared_ptr<NdjsonLink>& link) {
     if (stop_) return;
 
     busy_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t eval_start_ns =
+        ev.traceparent.empty() ? 0 : steady_now_ns();
     robust::SandboxResult result = backend_->evaluate(ev.config, ev.deadline_s);
     if (options_.spin_ms > 0.0) {
       std::this_thread::sleep_for(
@@ -265,7 +295,30 @@ void NodeAgent::eval_loop(const std::shared_ptr<NdjsonLink>& link) {
     }
     busy_.fetch_sub(1, std::memory_order_relaxed);
     evals_served_.fetch_add(1, std::memory_order_relaxed);
-    link->send(result_message(ev.id, result), net::Deadline::after(5.0));
+    json::Value reply = result_message(ev.id, result);
+    if (!ev.traceparent.empty()) {
+      // Node-clock-anchored spans for the dispatcher to stitch under its
+      // fleet.rpc span: the slot queue wait and the objective run itself.
+      // Raw steady ns — the dispatcher owns the clock mapping.
+      const std::uint64_t eval_end_ns = steady_now_ns();
+      json::Array spans;
+      if (eval_start_ns > ev.enqueued_ns) {
+        json::Object wait;
+        wait["name"] = json::Value(std::string("node.queue"));
+        wait["start_ns"] = json::Value(static_cast<double>(ev.enqueued_ns));
+        wait["dur_ns"] =
+            json::Value(static_cast<double>(eval_start_ns - ev.enqueued_ns));
+        spans.emplace_back(std::move(wait));
+      }
+      json::Object run;
+      run["name"] = json::Value(std::string("node.objective"));
+      run["start_ns"] = json::Value(static_cast<double>(eval_start_ns));
+      run["dur_ns"] = json::Value(static_cast<double>(
+          eval_end_ns > eval_start_ns ? eval_end_ns - eval_start_ns : 0));
+      spans.emplace_back(std::move(run));
+      reply.as_object()["spans"] = json::Value(std::move(spans));
+    }
+    link->send(reply, net::Deadline::after(5.0));
   }
 }
 

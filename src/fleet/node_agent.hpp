@@ -81,6 +81,11 @@ class NodeAgent {
     std::uint64_t id = 0;
     search::Config config;
     double deadline_s = std::numeric_limits<double>::infinity();
+    /// Trace context stamped by the dispatcher ("" = tracing off). Non-empty
+    /// asks for node-clock-anchored spans in the result message.
+    std::string traceparent;
+    /// Node steady-clock ns when the eval message arrived (queue-wait span).
+    std::uint64_t enqueued_ns = 0;
   };
 
   /// One registration + message-pump cycle. Returns false on a quarantine
@@ -98,6 +103,9 @@ class NodeAgent {
   std::atomic<bool> session_done_{false};
   std::atomic<std::size_t> busy_{0};
   std::atomic<std::uint64_t> evals_served_{0};
+  /// Last measured hb -> hb_ack round trip (ns; 0 = not yet measured).
+  /// Written by the serve loop, read by the heartbeat thread.
+  std::atomic<std::uint64_t> last_rtt_ns_{0};
   /// Steady-clock second at which chaos mute engages (0 = never).
   std::atomic<double> mute_at_s_{0.0};
 

@@ -71,7 +71,8 @@ NdjsonLink::RecvStatus NdjsonLink::recv(json::Value& out,
 }
 
 json::Value eval_message(std::uint64_t id, const search::Config& config,
-                         double deadline_seconds) {
+                         double deadline_seconds,
+                         const std::string& traceparent) {
   json::Object msg;
   msg["op"] = "eval";
   msg["id"] = json::Value(static_cast<double>(id));
@@ -81,6 +82,7 @@ json::Value eval_message(std::uint64_t id, const search::Config& config,
   if (std::isfinite(deadline_seconds)) {
     msg["deadline_s"] = json::Value(deadline_seconds);
   }
+  if (!traceparent.empty()) msg["traceparent"] = json::Value(traceparent);
   return json::Value(std::move(msg));
 }
 

@@ -8,15 +8,29 @@
 //   node -> dispatcher:
 //     {"op":"register","format":"tunekit-fleet-v1","node":ID,"slots":N,
 //      "app":NAME}                                   once, after connect
-//     {"op":"hb","busy":K}                           periodic heartbeat
+//     {"op":"hb","busy":K[,"t_ns":NS][,"rtt_ns":NS]} periodic heartbeat;
+//                       t_ns is the node's steady clock at send, rtt_ns the
+//                       node-measured previous hb->hb_ack round trip (0 =
+//                       not yet measured) — the dispatcher's clock-offset
+//                       estimate (fleet/clock_sync) feeds on both
 //     {"op":"result","id":T,"outcome":"ok","value":V,"cost":C,
-//      "regions":{...}[,"dispersion":D][,"error":MSG][,"slot":S]}
+//      "regions":{...}[,"dispersion":D][,"error":MSG][,"slot":S]
+//      [,"spans":[{"name":N,"start_ns":S,"dur_ns":D},...]]}
+//                       spans are node-clock-anchored timings of the eval
+//                       (present only when the eval carried a traceparent);
+//                       the dispatcher maps them into its own clock and
+//                       stitches them under the fleet.rpc span
 //
 //   dispatcher -> node:
 //     {"op":"registered","node":ID,"hb_interval_s":X} registration accepted
 //     {"op":"reject","reason":MSG[,"retry_after_s":S]} refused (per-node
 //                                                      quarantine backoff)
-//     {"op":"eval","id":T,"config":[...],"deadline_s":S}
+//     {"op":"hb_ack","t_ns":NS}                       echoes the hb's t_ns so
+//                                                     the node can measure rtt
+//     {"op":"eval","id":T,"config":[...],"deadline_s":S
+//      [,"traceparent":"00-<trace>-<rpc span>-01"]}   distributed tracing:
+//                       the node reports spans for this eval and may adopt
+//                       the context into its own telemetry
 //     {"op":"exit"}                                   orderly drain
 //
 // Unknown keys are ignored on both sides, so the protocol can grow without
@@ -82,9 +96,12 @@ class NdjsonLink {
   std::string rx_buffer_;
 };
 
-/// Build the {"op":"eval",...} request for ticket `id`.
+/// Build the {"op":"eval",...} request for ticket `id`. A non-empty
+/// `traceparent` asks the node for node-side spans and lets it adopt the
+/// dispatch's trace.
 json::Value eval_message(std::uint64_t id, const search::Config& config,
-                         double deadline_seconds);
+                         double deadline_seconds,
+                         const std::string& traceparent = {});
 
 /// Build the {"op":"result",...} reply from a completed local evaluation.
 json::Value result_message(std::uint64_t id, const robust::SandboxResult& result);

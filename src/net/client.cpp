@@ -133,11 +133,15 @@ double Client::backoff_seconds(const std::string& key, int attempt,
 ClientResponse Client::perform(const std::string& method, const std::string& target,
                                const std::string& body,
                                const RequestOptions& options,
-                               double remaining_deadline_seconds) {
+                               double remaining_deadline_seconds,
+                               const std::string& traceparent) {
   std::string wire = method + " " + target + " HTTP/1.1\r\n";
   wire += "Host: " + host_ + ":" + std::to_string(port_) + "\r\n";
   if (!options.idempotency_key.empty()) {
     wire += "Idempotency-Key: " + options.idempotency_key + "\r\n";
+  }
+  if (!traceparent.empty()) {
+    wire += "traceparent: " + traceparent + "\r\n";
   }
   if (std::isfinite(remaining_deadline_seconds)) {
     // The *remaining* budget, not the original one: each attempt tells the
@@ -292,6 +296,17 @@ ClientResponse Client::request(const std::string& method, const std::string& tar
                             : default_deadline_seconds_;
   const Deadline overall = Deadline::after(budget);
   const bool keyed = !options.idempotency_key.empty();
+
+  // One client span per *logical* request (all its attempts share it); its
+  // trace/span pair rides the traceparent header so the server-side handler
+  // tree hangs from this span — the root of a distributed trace when no
+  // outer span is ambient.
+  obs::ScopedSpan client_span(retry_.telemetry, "client." + method + " " + target,
+                              obs::Telemetry::kInheritParent, "net");
+  std::string traceparent;
+  if (client_span.context().valid()) {
+    traceparent = obs::to_traceparent(client_span.context());
+  }
   const std::string& jitter_key =
       keyed ? options.idempotency_key : target;  // stable per logical call
   const int max_attempts = std::max(1, retry_.max_attempts);
@@ -316,7 +331,8 @@ ClientResponse Client::request(const std::string& method, const std::string& tar
     }
     ClientResponse response;
     try {
-      response = perform(method, target, body, options, overall.remaining_seconds());
+      response = perform(method, target, body, options, overall.remaining_seconds(),
+                         traceparent);
     } catch (const TransportError& e) {
       // A dial that never connected is provably unexecuted — safe for
       // anyone. Everything else may have executed server-side, so only a

@@ -145,10 +145,12 @@ class Client {
   void connect(const class Deadline& deadline);
   void disconnect();
   /// One wire round trip (with the internal stale-keep-alive reconnect).
-  /// Returns the response or throws TransportError.
+  /// Returns the response or throws TransportError. A non-empty
+  /// `traceparent` is stamped as the traceparent header.
   ClientResponse perform(const std::string& method, const std::string& target,
                          const std::string& body, const RequestOptions& options,
-                         double remaining_deadline_seconds);
+                         double remaining_deadline_seconds,
+                         const std::string& traceparent = {});
   /// Deterministic backoff sleep before retry `attempt`; clamped to
   /// `max_sleep_seconds`. `retry_after` > 0 takes precedence (capped).
   double backoff_seconds(const std::string& key, int attempt,

@@ -97,6 +97,17 @@ RestApi::RestApi(SessionManager& manager, obs::Telemetry* telemetry,
     : manager_(manager), telemetry_(telemetry), fleet_(std::move(fleet)) {}
 
 HttpResponse RestApi::handle(const HttpRequest& request) {
+  // One handler span per request, adopted into the client's trace when the
+  // request carries a traceparent header. While it is the thread's current
+  // span every downstream span (session ops, scheduler batches, fleet rpcs)
+  // hangs from it, so the whole server side shows up as one subtree of the
+  // client's trace.
+  obs::TraceContext inbound;
+  if (const std::string* header = request.header("traceparent")) {
+    if (auto parsed = obs::parse_traceparent(*header)) inbound = *parsed;
+  }
+  obs::ScopedSpan span(telemetry_, "server." + request.method + " " + request.path,
+                       inbound, "http");
   try {
     return route(request);
   } catch (const ApiError& e) {
@@ -123,10 +134,22 @@ HttpResponse RestApi::route(const HttpRequest& request) {
   if (request.path == "/metrics") {
     if (request.method != "GET") return HttpResponse::error(405, "use GET");
     static obs::MetricsRegistry empty_registry;
-    const obs::MetricsRegistry& metrics =
-        telemetry_ != nullptr ? telemetry_->metrics() : empty_registry;
-    return HttpResponse::text(200, obs::prometheus_text(metrics),
+    // The Telemetry overload adds the dropped-span counter and trace-id
+    // exemplars on histogram buckets.
+    const std::string text = telemetry_ != nullptr
+                                 ? obs::prometheus_text(*telemetry_)
+                                 : obs::prometheus_text(empty_registry);
+    return HttpResponse::text(200, text,
                               "text/plain; version=0.0.4; charset=utf-8");
+  }
+
+  if (seg.size() == 3 && seg[0] == "v1" && seg[1] == "debug" &&
+      seg[2] == "traces") {
+    if (request.method != "GET") return HttpResponse::error(405, "use GET");
+    if (telemetry_ == nullptr || !telemetry_->enabled()) {
+      return HttpResponse::error(503, "telemetry disabled: no traces recorded");
+    }
+    return HttpResponse::json(200, obs::traces_json(*telemetry_));
   }
 
   if (seg.size() == 2 && seg[0] == "v1" && seg[1] == "fleet") {
@@ -191,6 +214,10 @@ HttpResponse RestApi::route(const HttpRequest& request) {
         if (request.method != "GET") return HttpResponse::error(405, "use GET");
         return HttpResponse::json(200, manager_.report(id));
       }
+      if (seg[3] == "debug") {
+        if (request.method != "GET") return HttpResponse::error(405, "use GET");
+        return HttpResponse::json(200, manager_.debug(id));
+      }
       if (seg[3] == "drive") {
         if (request.method != "POST") return HttpResponse::error(405, "use POST");
         if (!fleet_) return HttpResponse::error(503, "no fleet dispatcher running");
@@ -201,6 +228,8 @@ HttpResponse RestApi::route(const HttpRequest& request) {
           if (telemetry_ != nullptr && telemetry_->enabled()) {
             telemetry_->metrics().counter(obs::metric::kBreakerShed).inc();
           }
+          manager_.note(id, "shed",
+                        "drive shed: fleet degraded (all breakers open)");
           throw ApiError(503,
                          "fleet degraded: every node's circuit breaker is open",
                          5);

@@ -11,9 +11,17 @@
 //                                   --fleet only; synchronous, holds the
 //                                   session lock until exhausted)
 //   DELETE /v1/sessions/{id}        graceful close (journal kept)
+//   GET    /v1/sessions/{id}/debug  flight-recorder ring + status (never
+//                                   materializes an evicted session)
 //   GET    /v1/fleet                fleet registry + dispatcher status
-//   GET    /metrics                 Prometheus text exposition
+//   GET    /v1/debug/traces         recent completed trace trees as JSON
+//   GET    /metrics                 Prometheus text exposition (trace-id
+//                                   exemplars on histogram buckets)
 //   GET    /healthz                 {"status":"ok"}
+//
+// Distributed tracing: a `traceparent` request header (W3C shape,
+// "00-<trace>-<parent>-01") is adopted — the handler span and everything
+// under it joins the caller's trace. Requests without one root a new trace.
 //
 // Errors are {"error": "..."} JSON bodies with the ApiError's status;
 // malformed JSON bodies are 400s. The handler is thread-safe — HttpServer

@@ -55,6 +55,9 @@ struct HttpServer::Connection {
   Clock::time_point recv_start = Clock::now();
   bool receiving = false;  ///< a partial request is on the wire
   std::string method;  ///< of the request being handled (for metrics)
+  /// Trace id (32 hex) of the request being handled, from its traceparent
+  /// header — becomes the exemplar on the latency histogram sample.
+  std::string trace_hex;
 
   explicit Connection(int fd_, HttpLimits limits)
       : fd(fd_), parser(limits) {}
@@ -201,13 +204,19 @@ void HttpServer::shutdown() {
   wait();
 }
 
-void HttpServer::observe_request(const char* method, int status, double seconds) {
+void HttpServer::observe_request(const char* method, int status, double seconds,
+                                 const std::string& trace_hex) {
   if (options_.telemetry == nullptr || !options_.telemetry->enabled()) return;
   auto& m = options_.telemetry->metrics();
   m.counter("tunekit_http_requests_total").inc();
   const std::string klass = std::to_string(status / 100) + "xx";
   m.counter("tunekit_http_responses_" + klass + "_total").inc();
-  m.histogram("tunekit_http_request_seconds").observe(seconds);
+  auto& h = m.histogram(obs::metric::kHttpRequestSeconds);
+  if (!trace_hex.empty()) {
+    h.observe_with_exemplar(seconds, trace_hex);
+  } else {
+    h.observe(seconds);
+  }
   (void)method;
 }
 
@@ -329,7 +338,7 @@ void HttpServer::enqueue_response(std::uint64_t id, const HttpResponse& response
   const bool drain = stop_requested_.load(std::memory_order_acquire);
   const bool keep = keep_alive && !response.close && !drain;
   observe_request(conn.method.c_str(), response.status,
-                  seconds_since(conn.request_start));
+                  seconds_since(conn.request_start), conn.trace_hex);
   conn.outbuf += serialize(response, keep);
   conn.in_flight = false;
   conn.close_after_flush = !keep;
@@ -368,7 +377,7 @@ void HttpServer::pump_parser(std::uint64_t id) {
       const HttpResponse response =
           HttpResponse::error(conn.parser.error_status(), conn.parser.error_reason());
       observe_request(conn.method.c_str(), response.status,
-                      seconds_since(conn.last_activity));
+                      seconds_since(conn.last_activity), conn.trace_hex);
       conn.outbuf += serialize(response, /*keep_alive=*/false);
       conn.close_after_flush = true;
       handle_writable(id);
@@ -382,6 +391,12 @@ void HttpServer::pump_parser(std::uint64_t id) {
   conn.receiving = false;  // frame fully on this side; trickle clock stops
   conn.request_start = Clock::now();
   conn.method = conn.parser.request().method;
+  conn.trace_hex.clear();
+  if (const std::string* tp = conn.parser.request().header("traceparent")) {
+    if (auto parsed = obs::parse_traceparent(*tp)) {
+      conn.trace_hex = obs::trace_id_hex(parsed->trace);
+    }
+  }
 
   int prio = 1;
   if (options_.priority) {

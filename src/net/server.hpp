@@ -114,7 +114,8 @@ class HttpServer {
   /// Advance a connection's parser on buffered bytes: dispatch complete
   /// requests, answer parse errors, send 100-continue interim replies.
   void pump_parser(std::uint64_t id);
-  void observe_request(const char* method, int status, double seconds);
+  void observe_request(const char* method, int status, double seconds,
+                       const std::string& trace_hex);
 
   ServerOptions options_;
   Handler handler_;

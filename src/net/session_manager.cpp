@@ -163,14 +163,23 @@ void SessionManager::materialize(Entry& entry, bool resume_from_journal) {
     auto options = options_from_spec(spec, options_.telemetry);
     options.io = options_.io;
     options.rotate_bytes = options_.rotate_bytes;
+    // Storage events (segment rotations) land in the entry's flight
+    // recorder. The recorder is a member of the entry and the session (which
+    // holds the hook) never outlives it.
+    obs::FlightRecorder* recorder = &entry.recorder;
+    options.event_hook = [recorder](std::string_view kind, std::string_view detail) {
+      recorder->record(kind, detail);
+    };
     const std::string journal =
         options_.journal_dir.empty() ? std::string() : journal_path(entry.id);
     if (resume_from_journal && !journal.empty()) {
       entry.session = service::TuningSession::resume(*entry.space, options, journal);
+      entry.recorder.record("resume", "re-materialized from journal");
       count("tunekit_sessions_resumed_total");
     } else {
       entry.session =
           std::make_unique<service::TuningSession>(*entry.space, options, journal);
+      entry.recorder.record("create", "session materialized");
     }
   } catch (const ApiError&) {
     throw;
@@ -185,8 +194,15 @@ void SessionManager::materialize(Entry& entry, bool resume_from_journal) {
 }
 
 void SessionManager::storage_degraded(Entry& entry, const std::exception& err) {
+  entry.recorder.record("poison", err.what());
   log_error("SessionManager: storage poisoned for session '", entry.id,
             "': ", err.what());
+  // The black box earns its keep here: dump everything that led up to the
+  // poisoning while it is still in the ring.
+  const std::string dump = entry.recorder.format_dump();
+  if (!dump.empty()) {
+    log_error("SessionManager: flight recorder for '", entry.id, "':\n", dump);
+  }
   // Self-heal: the poisoned handle is useless, but the journal holds every
   // acked record up to the failed fsync — drop the in-memory session and let
   // the next touch resume from disk. Only this session degrades; the 503
@@ -314,6 +330,14 @@ std::optional<json::Value> SessionManager::replayed_locked(Entry& entry,
   const auto cached = entry.session->replayed_rpc(key);
   if (!cached) return std::nullopt;
   count(obs::metric::kReplayHits);
+  // A replay must not look like a second execution in the trace: the
+  // handler span gets a replayed=true event instead of a child span tree
+  // (no session work runs), and the flight recorder notes the hit.
+  if (options_.telemetry != nullptr && options_.telemetry->enabled()) {
+    options_.telemetry->add_event(obs::Telemetry::current_span(), "replayed",
+                                  "key=" + key);
+  }
+  entry.recorder.record("replay", "key=" + key);
   log_info("SessionManager: replayed response for idempotency key '", key,
            "' on session '", entry.id, "'");
   return json::parse(*cached);
@@ -362,6 +386,8 @@ json::Value SessionManager::ask(const std::string& id, std::size_t k,
     put_status(body, *entry->session, /*with_best_config=*/false);
     reply = json::Value(std::move(body));
     remember_locked(*entry, idempotency_key, reply);
+    entry->recorder.record("ask", "k=" + std::to_string(k) + " issued=" +
+                                      std::to_string(batch.size()));
   }
   count("tunekit_session_asks_total");
   evict_excess();
@@ -400,8 +426,13 @@ json::Value SessionManager::tell(const std::string& id, const json::Value& body,
                         body.number_or("cost_seconds", 0.0));
       } else if (body.contains("id")) {
         const auto eval_id = static_cast<std::uint64_t>(body.at("id").as_number());
+        // Optional provenance: which fleet node/machine ran the evaluation.
+        std::string node;
+        if (body.contains("node") && body.at("node").is_string()) {
+          node = body.at("node").as_string();
+        }
         if (robust::is_failure(outcome)) {
-          accepted = session.tell_failure(eval_id, outcome);
+          accepted = session.tell_failure(eval_id, outcome, node);
         } else {
           if (!body.contains("value")) throw ApiError(422, "tell needs a value");
           const double value = body.at("value").is_null()
@@ -410,7 +441,8 @@ json::Value SessionManager::tell(const std::string& id, const json::Value& body,
           accepted = session.tell(eval_id, value, body.number_or("cost_seconds", 0.0),
                                   body.number_or("noise", 0.0),
                                   body.number_or("duration_ms", 0.0),
-                                  static_cast<int>(body.number_or("worker_slot", -1.0)));
+                                  static_cast<int>(body.number_or("worker_slot", -1.0)),
+                                  node);
         }
       } else {
         throw ApiError(422, "tell needs an \"id\" or a \"config\"");
@@ -429,6 +461,9 @@ json::Value SessionManager::tell(const std::string& id, const json::Value& body,
     put_status(reply, session, /*with_best_config=*/false);
     json::Value out(std::move(reply));
     remember_locked(*entry, idempotency_key, out);
+    entry->recorder.record("tell", body.contains("outcome")
+                                       ? "outcome=" + body.at("outcome").as_string()
+                                       : std::string("outcome=ok"));
     count("tunekit_session_tells_total");
     return out;
   }
@@ -481,11 +516,13 @@ json::Value SessionManager::drive(
         static_cast<std::size_t>(body.number_or("batch_size", 0.0));
     sched.telemetry = options_.telemetry;
     sched.deadline = deadline;
+    entry->recorder.record("drive", "run started");
     try {
       service::EvalScheduler(sched).run(*entry->session);
     } catch (const service::StorePoisonedError& e) {
       storage_degraded(*entry, e);
     }
+    entry->recorder.record("drive", "run finished");
     json::Object reply;
     reply["id"] = json::Value(id);
     put_status(reply, *entry->session, /*with_best_config=*/true);
@@ -511,6 +548,7 @@ json::Value SessionManager::close(const std::string& id) {
     }
     body["id"] = json::Value(id);
     put_status(body, *entry->session, /*with_best_config=*/true);
+    entry->recorder.record("close", "graceful close");
     entry->session.reset();
     entry->app.reset();
     entry->owned_space.reset();
@@ -544,6 +582,30 @@ json::Value SessionManager::list() const {
   json::Object body;
   body["sessions"] = json::Value(std::move(sessions));
   return json::Value(std::move(body));
+}
+
+json::Value SessionManager::debug(const std::string& id) {
+  auto entry = find_or_load(id);
+  json::Object body;
+  std::lock_guard<std::mutex> lock(entry->mutex);
+  body["id"] = json::Value(id);
+  body["resident"] = json::Value(entry->session != nullptr);
+  if (entry->session) {
+    put_status(body, *entry->session, /*with_best_config=*/false);
+  }
+  body["flight_recorder"] = entry->recorder.to_json();
+  return json::Value(std::move(body));
+}
+
+void SessionManager::note(const std::string& id, std::string_view kind,
+                          std::string_view detail) {
+  try {
+    auto entry = find_or_load(id);
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    entry->recorder.record(kind, detail);
+  } catch (const ApiError&) {
+    // Unknown session: nothing to annotate.
+  }
 }
 
 void SessionManager::flush_all() {
@@ -596,6 +658,7 @@ void SessionManager::evict_excess() {
     entry->owned_space.reset();
     entry->space = nullptr;
     --live;
+    entry->recorder.record("evict", "idle LRU eviction");
     count("tunekit_sessions_evicted_total");
     log_debug("SessionManager: evicted idle session '", entry->id, "'");
   }

@@ -35,9 +35,11 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/json.hpp"
+#include "obs/flight_recorder.hpp"
 #include "service/session.hpp"
 
 namespace tunekit::obs {
@@ -137,6 +139,19 @@ class SessionManager {
   /// {"sessions":[{"id","state","completed","resident"}...]}
   json::Value list() const;
 
+  /// Introspection for GET /v1/sessions/{id}/debug: status plus the
+  /// session's flight-recorder ring ({"id","resident","state"?,
+  /// "flight_recorder":{"events":[...]}}). Unlike the other operations this
+  /// never materializes an evicted session — debugging must not perturb
+  /// residency.
+  json::Value debug(const std::string& id);
+
+  /// Drop an event into the session's flight recorder from outside the
+  /// session operations (e.g. the REST layer shedding a drive while the
+  /// fleet is degraded). Unknown ids are ignored; never materializes.
+  void note(const std::string& id, std::string_view kind,
+            std::string_view detail);
+
   /// Run the session to exhaustion on an evaluation backend (the fleet
   /// drive path): ask/evaluate/tell batches via EvalScheduler until no
   /// candidates remain, holding the session's entry lock throughout.
@@ -173,6 +188,11 @@ class SessionManager {
     std::unique_ptr<service::TuningSession> session;  ///< null when evicted
     std::chrono::steady_clock::time_point last_used;
     std::mutex mutex;  ///< serializes all session access for this id
+    /// Per-session black box: bounded ring of lifecycle events (create,
+    /// resume, replay hits, rotations, poison …). Outlives session
+    /// eviction/re-materialization cycles; dumped to the log on poison and
+    /// served by GET /v1/sessions/{id}/debug.
+    obs::FlightRecorder recorder;
   };
 
   /// One lock domain: a slice of the session map plus its journal subdir.

@@ -1,0 +1,87 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+namespace tunekit::obs {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 8)) {}
+
+void FlightRecorder::record(std::string_view kind, std::string_view detail) {
+  Event event;
+  event.t_ns = steady_now_ns();
+  event.kind.assign(kind.data(), kind.size());
+  event.detail.assign(detail.data(), detail.size());
+  event.trace = Telemetry::current_trace();
+  std::lock_guard<std::mutex> lock(mutex_);
+  event.seq = ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[next_] = std::move(event);
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<FlightRecorder::Event> FlightRecorder::dump() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // next_ points at the oldest entry once the ring has cycled.
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_), ring_.end());
+    out.insert(out.end(), ring_.begin(), ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+json::Value FlightRecorder::to_json() const {
+  json::Array events;
+  for (const Event& event : dump()) {
+    json::Object e;
+    e["seq"] = static_cast<std::size_t>(event.seq);
+    e["t_ns"] = static_cast<std::size_t>(event.t_ns);
+    e["kind"] = event.kind;
+    if (!event.detail.empty()) e["detail"] = event.detail;
+    if (event.trace.valid()) e["trace_id"] = trace_id_hex(event.trace);
+    events.push_back(json::Value(std::move(e)));
+  }
+  json::Object doc;
+  doc["events"] = json::Value(std::move(events));
+  doc["recorded_total"] = static_cast<std::size_t>(total());
+  doc["capacity"] = capacity_;
+  return json::Value(std::move(doc));
+}
+
+std::string FlightRecorder::format_dump() const {
+  std::ostringstream out;
+  for (const Event& event : dump()) {
+    out << "  #" << event.seq << ' ' << event.kind;
+    if (!event.detail.empty()) out << ' ' << event.detail;
+    if (event.trace.valid()) out << " trace=" << trace_id_hex(event.trace);
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace tunekit::obs

@@ -1,0 +1,65 @@
+#pragma once
+// FlightRecorder: a bounded ring of structured events kept per session — the
+// black box that survives until something goes wrong. Layers append cheap
+// one-line events (state transitions, retries, replay hits, shed/breaker
+// decisions, journal rotations); the ring overwrites its oldest entry when
+// full, so a quiet session costs a few KB and a busy one never grows.
+//
+// Two consumers: GET /v1/sessions/{id}/debug serves to_json() on demand, and
+// SessionManager dumps the whole ring into the log when a session 503s or
+// its store is poisoned — the events leading up to the failure are exactly
+// what the ring still holds.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "obs/telemetry.hpp"
+
+namespace tunekit::obs {
+
+class FlightRecorder {
+ public:
+  struct Event {
+    /// Monotonic sequence number (1-based; total_ - ring position).
+    std::uint64_t seq = 0;
+    /// Steady-clock nanoseconds (process epoch; comparable across events).
+    std::uint64_t t_ns = 0;
+    /// Short machine-readable kind: "create", "resume", "ask", "tell",
+    /// "replay", "shed", "breaker", "rotate", "poison", "evict", "close"…
+    std::string kind;
+    /// Free-form human detail ("eval_id=3 outcome=ok", "segment 4 sealed").
+    std::string detail;
+    /// Trace active when the event was recorded (invalid when none).
+    TraceId trace;
+  };
+
+  explicit FlightRecorder(std::size_t capacity = 256);
+
+  /// Append one event; the calling thread's ambient trace is attached.
+  void record(std::string_view kind, std::string_view detail = {});
+
+  /// Events oldest-first (at most `capacity` of them).
+  std::vector<Event> dump() const;
+
+  /// Events ever recorded (>= dump().size(); the difference was overwritten).
+  std::uint64_t total() const;
+
+  /// {"events": [{seq, t_ns, kind, detail, trace_id?}...],
+  ///  "recorded_total": n, "capacity": n}
+  json::Value to_json() const;
+
+  /// One line per event, oldest first — what gets dumped into the log.
+  std::string format_dump() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<Event> ring_;      ///< grows to capacity_, then cycles
+  std::size_t next_ = 0;         ///< ring slot the next event lands in
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace tunekit::obs

@@ -35,8 +35,25 @@ void Histogram::observe(double v) {
   }
 }
 
+void Histogram::observe_with_exemplar(double v, const std::string& trace_hex) {
+  observe(v);
+  if (std::isnan(v) || trace_hex.empty()) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+  std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  if (exemplars_.empty()) exemplars_.resize(buckets_.size());
+  exemplars_[bucket].value = v;
+  exemplars_[bucket].trace_hex = trace_hex;
+}
+
 std::uint64_t Histogram::bucket_count(std::size_t i) const {
   return buckets_.at(i).load(std::memory_order_relaxed);
+}
+
+Histogram::Exemplar Histogram::exemplar(std::size_t i) const {
+  std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  if (i >= exemplars_.size()) return {};
+  return exemplars_[i];
 }
 
 double Histogram::quantile(double q) const {

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -47,15 +48,28 @@ class Gauge {
 /// bounds.size() + 1 buckets in total.
 class Histogram {
  public:
+  /// One sampled observation kept per bucket for the OpenMetrics exemplar
+  /// syntax: the latest value that landed in the bucket plus the trace it
+  /// belonged to (32 hex chars; empty = no exemplar recorded).
+  struct Exemplar {
+    double value = 0.0;
+    std::string trace_hex;
+  };
+
   explicit Histogram(std::vector<double> bounds);
 
   void observe(double v);
+  /// observe() plus exemplar capture. Taking a short mutex, this is meant
+  /// for per-request latency observations, not per-iteration hot loops.
+  void observe_with_exemplar(double v, const std::string& trace_hex);
 
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   const std::vector<double>& bounds() const { return bounds_; }
   /// i in [0, bounds().size()]; the last index is the +inf overflow bucket.
   std::uint64_t bucket_count(std::size_t i) const;
+  /// Exemplar for bucket i (empty trace_hex when none was recorded).
+  Exemplar exemplar(std::size_t i) const;
 
   /// Estimated q-quantile (q in [0,1]) by linear interpolation inside the
   /// bucket holding the target rank — the histogram_quantile() convention.
@@ -68,6 +82,8 @@ class Histogram {
   std::vector<std::atomic<std::uint64_t>> buckets_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  mutable std::mutex exemplar_mutex_;
+  std::vector<Exemplar> exemplars_;  ///< lazily sized on first capture
 };
 
 /// Bucket bounds suited to latencies from microseconds to minutes.

@@ -4,9 +4,15 @@ namespace tunekit::robust {
 
 namespace {
 thread_local int t_last_worker_slot = -1;
+thread_local std::string t_last_worker_node;
 }
 
 int last_worker_slot() { return t_last_worker_slot; }
 void set_last_worker_slot(int slot) { t_last_worker_slot = slot; }
+
+const std::string& last_worker_node() { return t_last_worker_node; }
+void set_last_worker_node(std::string node) {
+  t_last_worker_node = std::move(node);
+}
 
 }  // namespace tunekit::robust

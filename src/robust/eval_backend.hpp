@@ -13,6 +13,7 @@
 // fleet::FleetDispatcher (TCP worker nodes with work stealing).
 
 #include <cstddef>
+#include <string>
 
 #include "robust/process_sandbox.hpp"
 #include "search/space.hpp"
@@ -49,5 +50,11 @@ class EvalBackend {
 int last_worker_slot();
 /// Record provenance for the calling thread; every backend sets this.
 void set_last_worker_slot(int slot);
+
+/// Fleet node that served the calling thread's most recent evaluate() (""
+/// when the backend was local). Set by FleetDispatcher, cleared by local
+/// backends, read by drivers for per-node journal attribution.
+const std::string& last_worker_node();
+void set_last_worker_node(std::string node);
 
 }  // namespace tunekit::robust

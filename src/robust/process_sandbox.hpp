@@ -130,6 +130,9 @@ struct SandboxResult {
   long worker_pid = 0;
   /// Pool slot that ran the evaluation (-1 when not run via a WorkerPool).
   int worker_slot = -1;
+  /// Fleet node that served the evaluation ("" when local) — stamped by the
+  /// dispatcher so journals can attribute evals to machines.
+  std::string worker_node;
 };
 
 /// Map a waitpid() status to the failure taxonomy. Exposed so the

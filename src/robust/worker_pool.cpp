@@ -125,6 +125,7 @@ SandboxResult WorkerPool::evaluate(const search::Config& config,
       telemetry_->metrics().counter(obs::metric::kEvalsQuarantined).inc();
     }
     set_last_worker_slot(-1);
+    set_last_worker_node({});
     SandboxResult r;
     r.outcome = EvalOutcome::Crashed;
     r.error = "configuration quarantined after " +
@@ -134,6 +135,7 @@ SandboxResult WorkerPool::evaluate(const search::Config& config,
 
   const std::size_t si = acquire_slot();
   set_last_worker_slot(static_cast<int>(si));
+  set_last_worker_node({});
   Slot& slot = slots_[si];
 
   // (Re)spawn the slot's worker if needed, with bounded backoff.

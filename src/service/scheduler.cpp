@@ -123,14 +123,15 @@ search::SearchResult EvalScheduler::run_impl(TuningSession& session,
         // the pool is ours or wraps the objective upstream (the executor
         // sandboxes at app level); -1 when no pool ever ran on this thread.
         const int slot = robust::last_worker_slot();
+        const std::string& node = robust::last_worker_node();
         if (m.outcome == robust::EvalOutcome::Ok) {
           session.tell(c.id, m.value, m.seconds, m.dispersion,
-                       round_trip.seconds() * 1e3, slot);
+                       round_trip.seconds() * 1e3, slot, node);
         } else {
           log_warn("scheduler: candidate ", c.id, " failed as ",
                    robust::to_string(m.outcome),
                    m.error.empty() ? "" : (" (" + m.error + ")"));
-          session.tell_failure(c.id, m.outcome);
+          session.tell_failure(c.id, m.outcome, node);
         }
       } catch (...) {
         // Belt and braces: nothing above should throw, but a worker must

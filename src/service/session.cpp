@@ -102,7 +102,10 @@ TuningSession::TuningSession(const search::SearchSpace& space, SessionOptions op
       quarantine_(options_.quarantine_after),
       bo_(surrogate_options(options_)),
       replay_(options_.replay_cache_capacity) {
-  if (store_) store_->set_telemetry(options_.telemetry);
+  if (store_) {
+    store_->set_telemetry(options_.telemetry);
+    if (options_.event_hook) store_->set_event_hook(options_.event_hook);
+  }
   if (options_.backend == SessionBackend::Bo && options_.n_init > 0) {
     const std::size_t n = std::min(options_.n_init, options_.max_evals);
     tunekit::Rng rng(options_.seed);
@@ -142,6 +145,7 @@ TuningSession::TuningSession(const search::SearchSpace& space, SessionOptions op
     store_ = SessionStore::create(journal_path, make_header(),
                                   {options_.io, options_.rotate_bytes});
     store_->set_telemetry(options_.telemetry);
+    if (options_.event_hook) store_->set_event_hook(options_.event_hook);
   }
 }
 
@@ -265,11 +269,15 @@ std::vector<Candidate> TuningSession::ask(std::size_t k) {
 }
 
 bool TuningSession::tell(std::uint64_t id, double value, double cost_seconds,
-                         double dispersion, double duration_ms, int worker_slot) {
+                         double dispersion, double duration_ms, int worker_slot,
+                         const std::string& worker_node) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = pending_.find(id);
   if (it == pending_.end()) return false;
-  if (store_) store_->tell(id, value, cost_seconds, dispersion, duration_ms, worker_slot);
+  if (store_) {
+    store_->tell(id, value, cost_seconds, dispersion, duration_ms, worker_slot,
+                 worker_node);
+  }
   ++metrics_.tells;
   metrics_.cost_seconds += cost_seconds;
   metrics_.eval_duration_ms += duration_ms;
@@ -282,13 +290,14 @@ bool TuningSession::tell(std::uint64_t id, double value, double cost_seconds,
   return true;
 }
 
-bool TuningSession::tell_failure(std::uint64_t id, robust::EvalOutcome why) {
+bool TuningSession::tell_failure(std::uint64_t id, robust::EvalOutcome why,
+                                 const std::string& worker_node) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = pending_.find(id);
   if (it == pending_.end()) return false;
   Candidate c = std::move(it->second.candidate);
   pending_.erase(it);
-  fail_attempt_locked(std::move(c), why);
+  fail_attempt_locked(std::move(c), why, worker_node);
   return true;
 }
 
@@ -361,8 +370,9 @@ void TuningSession::expire_overdue_locked() {
   }
 }
 
-void TuningSession::fail_attempt_locked(Candidate candidate, robust::EvalOutcome why) {
-  if (store_) store_->fail(candidate.id, why);
+void TuningSession::fail_attempt_locked(Candidate candidate, robust::EvalOutcome why,
+                                        const std::string& worker_node) {
+  if (store_) store_->fail(candidate.id, why, worker_node);
   ++metrics_.fails;
   ++metrics_.failure_outcomes[robust::to_string(why)];
   // Crash quarantine: a configuration that keeps killing its evaluator is

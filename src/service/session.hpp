@@ -25,6 +25,7 @@
 
 #include <chrono>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -101,6 +102,10 @@ struct SessionOptions {
   /// snapshot record (null = disabled, the default).
   obs::Telemetry* telemetry = nullptr;
 
+  /// Structured-event hook forwarded to the journal store (segment
+  /// rotations …); feeds the per-session flight recorder. Empty disables.
+  std::function<void(std::string_view, std::string_view)> event_hook;
+
   /// File-IO seam for the journal and its snapshots (null = the real
   /// filesystem). Tests inject a common::FaultIo here to script disk faults.
   common::Io* io = nullptr;
@@ -175,16 +180,19 @@ class TuningSession {
   /// `duration_ms` (wall-clock round trip) and `worker_slot` (pool slot that
   /// ran it, -1 unknown) are provenance for reports; both are journaled and
   /// recorded when provided.
+  /// `worker_node` is the fleet node that served the evaluation ("" = local);
+  /// journaled so reports can attribute evals and latency per machine.
   bool tell(std::uint64_t id, double value, double cost_seconds = 0.0,
             double dispersion = 0.0, double duration_ms = 0.0,
-            int worker_slot = -1);
+            int worker_slot = -1, const std::string& worker_node = {});
 
   /// Report that an evaluation failed, with its classified outcome (defaults
   /// to Crashed, the seed-era semantics). Consumes one attempt: the candidate
   /// is queued for re-issue, or dropped at failure_penalty when attempts are
   /// exhausted. Returns false for unknown ids.
   bool tell_failure(std::uint64_t id,
-                    robust::EvalOutcome why = robust::EvalOutcome::Crashed);
+                    robust::EvalOutcome why = robust::EvalOutcome::Crashed,
+                    const std::string& worker_node = {});
 
   /// Record an externally-measured observation (e.g. a warm-start point).
   /// Consumes budget like any other evaluation.
@@ -234,7 +242,8 @@ class TuningSession {
   json::Value metrics_snapshot_locked() const;
   void expire_overdue_locked();
   /// Retry-or-drop a candidate whose attempt failed for reason `why`.
-  void fail_attempt_locked(Candidate candidate, robust::EvalOutcome why);
+  void fail_attempt_locked(Candidate candidate, robust::EvalOutcome why,
+                           const std::string& worker_node = {});
   void record_locked(const search::Config& config, double value, double cost_seconds,
                      robust::EvalOutcome outcome, double dispersion = 0.0,
                      double duration_ms = 0.0, int worker_slot = -1);

@@ -621,6 +621,10 @@ void SessionStore::rotate() {
   if (telemetry_ != nullptr && telemetry_->enabled()) {
     telemetry_->metrics().counter(obs::metric::kStorageSegmentsSealed).inc();
   }
+  if (event_hook_) {
+    event_hook_("rotate", "segment " + std::to_string(seq_) + " sealed (" +
+                              std::to_string(sealed_records) + " records)");
+  }
   file_ = open_or_throw(*io_, path_, "wb");
   ++seq_;
   active_bytes_ = 0;
@@ -633,7 +637,8 @@ void SessionStore::ask(const Candidate& candidate) {
 }
 
 void SessionStore::tell(std::uint64_t id, double value, double cost_seconds,
-                        double noise, double duration_ms, int worker_slot) {
+                        double noise, double duration_ms, int worker_slot,
+                        const std::string& worker_node) {
   json::Object obj;
   obj["e"] = json::Value("tell");
   obj["id"] = json::Value(static_cast<double>(id));
@@ -642,14 +647,17 @@ void SessionStore::tell(std::uint64_t id, double value, double cost_seconds,
   if (noise != 0.0) obj["noise"] = json::Value(noise);
   if (duration_ms > 0.0) obj["dur_ms"] = json::Value(duration_ms);
   if (worker_slot >= 0) obj["slot"] = json::Value(worker_slot);
+  if (!worker_node.empty()) obj["node"] = json::Value(worker_node);
   append_record(json::Value(std::move(obj)));
 }
 
-void SessionStore::fail(std::uint64_t id, robust::EvalOutcome why) {
+void SessionStore::fail(std::uint64_t id, robust::EvalOutcome why,
+                        const std::string& worker_node) {
   json::Object obj;
   obj["e"] = json::Value("fail");
   obj["id"] = json::Value(static_cast<double>(id));
   obj["why"] = json::Value(std::string(robust::to_string(why)));
+  if (!worker_node.empty()) obj["node"] = json::Value(worker_node);
   append_record(json::Value(std::move(obj)));
 }
 

@@ -23,7 +23,7 @@
 //                                                       post-rotation segment
 //   {"e":"ask","id":I,"attempt":A,"config":[...]}       candidate issued
 //   {"e":"tell","id":I,"value":V,"cost":C[,"noise":D]
-//    [,"dur_ms":T][,"slot":S]}                          evaluation reported
+//    [,"dur_ms":T][,"slot":S][,"node":ID]}              evaluation reported
 //   {"e":"fail","id":I[,"why":W]}                       attempt failed; will retry
 //   {"e":"drop","id":I,"value":V[,"why":W]}             retries exhausted; V recorded
 //   {"e":"quar","config":[...]}                         config quarantined: crashed
@@ -79,9 +79,11 @@
 //                  StorePoisonedError immediately.
 
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/io.hpp"
@@ -246,11 +248,22 @@ class SessionStore {
   /// leave unset — the default costs nothing).
   void set_telemetry(obs::Telemetry* telemetry) { telemetry_ = telemetry; }
 
+  /// Structured-event hook for storage lifecycle events the layers above
+  /// cannot see (today: "rotate" when a segment is sealed). Feeds the
+  /// per-session flight recorder; empty disables.
+  void set_event_hook(std::function<void(std::string_view, std::string_view)> hook) {
+    event_hook_ = std::move(hook);
+  }
+
   void ask(const Candidate& candidate);
+  /// Non-empty `worker_node` journals a "node" key: the fleet machine that
+  /// served this evaluation, for per-node attribution in reports.
   void tell(std::uint64_t id, double value, double cost_seconds, double noise = 0.0,
-            double duration_ms = 0.0, int worker_slot = -1);
+            double duration_ms = 0.0, int worker_slot = -1,
+            const std::string& worker_node = {});
   void fail(std::uint64_t id,
-            robust::EvalOutcome why = robust::EvalOutcome::Crashed);
+            robust::EvalOutcome why = robust::EvalOutcome::Crashed,
+            const std::string& worker_node = {});
   void drop(std::uint64_t id, double value,
             robust::EvalOutcome why = robust::EvalOutcome::Crashed);
   /// Record that `config` crashed past the quarantine threshold and must
@@ -301,6 +314,7 @@ class SessionStore {
   std::size_t active_bytes_ = 0;
   std::size_t active_records_ = 0;
   obs::Telemetry* telemetry_ = nullptr;
+  std::function<void(std::string_view, std::string_view)> event_hook_;
 };
 
 }  // namespace tunekit::service

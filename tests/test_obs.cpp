@@ -144,9 +144,13 @@ TEST(Telemetry, NestedScopedSpansInheritParents) {
     if (s.name == "phase.sensitivity") inner_id = s.id;
   }
   for (const auto& s : spans) {
-    if (s.name == "methodology.run") EXPECT_EQ(s.parent, 0u);
-    if (s.name == "phase.sensitivity") EXPECT_EQ(s.parent, outer_id);
-    if (s.name == "eval") EXPECT_EQ(s.parent, inner_id);
+    if (s.name == "methodology.run") {
+      EXPECT_EQ(s.parent, 0u);
+    } else if (s.name == "phase.sensitivity") {
+      EXPECT_EQ(s.parent, outer_id);
+    } else if (s.name == "eval") {
+      EXPECT_EQ(s.parent, inner_id);
+    }
   }
 }
 
@@ -256,18 +260,18 @@ TEST(Export, ChromeTraceEventsCarryHierarchy) {
   const json::Value doc = obs::chrome_trace(t);
   const auto& events = doc.at("traceEvents").as_array();
   ASSERT_EQ(events.size(), 3u);
-  obs::SpanId outer_id = 0;
+  std::string outer_id;
   for (const auto& e : events) {
     EXPECT_EQ(e.at("ph").as_string(), "X");
     EXPECT_GE(e.at("dur").as_number(), 0.0);
     if (e.at("name").as_string() == "methodology.run") {
-      outer_id = static_cast<obs::SpanId>(e.at("args").at("span").as_number());
+      outer_id = e.at("args").at("span").as_string();
     }
   }
+  EXPECT_EQ(outer_id.size(), 16u);  // hex-encoded: doubles drop bits past 2^53
   for (const auto& e : events) {
     if (e.at("name").as_string() == "eval") {
-      EXPECT_EQ(static_cast<obs::SpanId>(e.at("args").at("parent").as_number()),
-                outer_id);
+      EXPECT_EQ(e.at("args").at("parent").as_string(), outer_id);
     }
     if (e.at("name").as_string() == "worker.objective") {
       EXPECT_EQ(e.at("pid").as_number(), 999.0);  // worker pid preserved

@@ -1,0 +1,473 @@
+// Distributed-tracing tests: traceparent wire format, remote trace adoption,
+// Prometheus hardening (name sanitization, label escaping, exemplars, the
+// span-drop counter), the per-session flight recorder, heartbeat clock sync
+// and skewed-clock span anchoring, replay span events, the /debug surfaces,
+// and an end-to-end acceptance run: a remote drive through a 2-node fleet
+// must produce one single-rooted trace tree whose root is the client request
+// and whose leaves are worker-side objective spans.
+
+#include "obs/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/clock_sync.hpp"
+#include "fleet/dispatcher.hpp"
+#include "fleet/node_agent.hpp"
+#include "net/client.hpp"
+#include "net/rest_api.hpp"
+#include "net/server.hpp"
+#include "net/session_manager.hpp"
+#include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
+
+namespace tunekit {
+namespace {
+
+// --- traceparent wire format ---
+
+TEST(Traceparent, RoundTripsThroughHeaderForm) {
+  obs::TraceContext ctx;
+  ctx.trace = {0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  ctx.parent = 0x00000000deadbeefULL;
+  const std::string header = obs::to_traceparent(ctx);
+  ASSERT_EQ(header.size(), 55u);
+  EXPECT_EQ(header.substr(0, 3), "00-");
+  EXPECT_EQ(header, "00-0123456789abcdeffedcba9876543210-00000000deadbeef-01");
+
+  const auto parsed = obs::parse_traceparent(header);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->trace, ctx.trace);
+  EXPECT_EQ(parsed->parent, ctx.parent);
+}
+
+TEST(Traceparent, RejectsMalformedHeaders) {
+  EXPECT_FALSE(obs::parse_traceparent("").has_value());
+  EXPECT_FALSE(obs::parse_traceparent("00-abc-def-01").has_value());
+  // Zero trace id is explicitly invalid per the W3C spec.
+  EXPECT_FALSE(obs::parse_traceparent(
+                   "00-00000000000000000000000000000000-00000000deadbeef-01")
+                   .has_value());
+  // Non-hex characters in the trace field.
+  EXPECT_FALSE(obs::parse_traceparent(
+                   "00-0123456789abcdefzedcba9876543210-00000000deadbeef-01")
+                   .has_value());
+  // Unknown version prefix.
+  EXPECT_FALSE(obs::parse_traceparent(
+                   "ff-0123456789abcdeffedcba9876543210-00000000deadbeef-01")
+                   .has_value());
+}
+
+// --- remote trace adoption ---
+
+TEST(Telemetry, SpanAdoptsRemoteTraceContext) {
+  obs::Telemetry t;
+  t.enable();
+  obs::TraceContext inbound;
+  inbound.trace = {7, 9};
+  inbound.parent = 42;
+  {
+    obs::ScopedSpan handler(&t, "server.POST /x", inbound, "http");
+    obs::ScopedSpan child(&t, "inner");
+    (void)handler;
+  }
+  const auto spans = t.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  for (const auto& s : spans) {
+    // Both the adopted handler span and its local child carry the remote
+    // trace; the handler hangs from the remote parent span id.
+    EXPECT_EQ(s.trace, inbound.trace) << s.name;
+    if (s.name == "server.POST /x") {
+      EXPECT_EQ(s.parent, inbound.parent);
+    }
+  }
+}
+
+TEST(Telemetry, InvalidContextFallsBackToFreshRootTrace) {
+  obs::Telemetry t;
+  t.enable();
+  {
+    obs::ScopedSpan handler(&t, "server.GET /x", obs::TraceContext{}, "http");
+  }
+  const auto spans = t.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_TRUE(spans[0].trace.valid());  // minted, not inherited
+}
+
+// --- Prometheus exposition hardening ---
+
+TEST(Export, SanitizesMetricNamesAndEscapesLabelValues) {
+  EXPECT_EQ(obs::sanitize_metric_name("tunekit_ok_total"), "tunekit_ok_total");
+  EXPECT_EQ(obs::sanitize_metric_name("bad name-with.dots"),
+            "bad_name_with_dots");
+  EXPECT_EQ(obs::sanitize_metric_name("0leading"), "_0leading");
+  EXPECT_EQ(obs::sanitize_metric_name(""), "_");
+
+  EXPECT_EQ(obs::escape_label_value("plain"), "plain");
+  EXPECT_EQ(obs::escape_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::escape_label_value("a\nb"), "a\\nb");
+}
+
+TEST(Export, ExemplarsAndDroppedSpanCounterInExposition) {
+  obs::Telemetry t;
+  t.enable();
+  auto& h = t.metrics().histogram(obs::metric::kHttpRequestSeconds);
+  h.observe_with_exemplar(0.004, "0123456789abcdef0123456789abcdef");
+  const std::string text = obs::prometheus_text(t);
+  EXPECT_NE(text.find("# {trace_id=\"0123456789abcdef0123456789abcdef\"}"),
+            std::string::npos);
+  // The telemetry-level overload exports the span buffer's drop counter.
+  EXPECT_NE(text.find(obs::metric::kDroppedSpans), std::string::npos);
+}
+
+// --- flight recorder ---
+
+TEST(FlightRecorder, RingOverwritesOldestAndKeepsSequence) {
+  obs::FlightRecorder rec(8);
+  for (int i = 0; i < 20; ++i) {
+    rec.record("tick", "n=" + std::to_string(i));
+  }
+  EXPECT_EQ(rec.total(), 20u);
+  const auto events = rec.dump();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest-first, and exactly the last 8 of the 20 recorded.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 13u + i);
+    EXPECT_EQ(events[i].kind, "tick");
+  }
+  const json::Value j = rec.to_json();
+  EXPECT_EQ(j.number_or("recorded_total", 0.0), 20.0);
+  EXPECT_EQ(j.number_or("capacity", 0.0), 8.0);
+  EXPECT_EQ(j.at("events").as_array().size(), 8u);
+}
+
+TEST(FlightRecorder, AttachesAmbientTrace) {
+  obs::FlightRecorder rec(8);
+  const obs::TraceId trace{11, 22};
+  {
+    obs::CurrentSpanScope scope(/*id=*/5, trace);
+    rec.record("ask", "k=1");
+  }
+  rec.record("close");  // no ambient trace here
+  const auto events = rec.dump();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].trace, trace);
+  EXPECT_FALSE(events[1].trace.valid());
+}
+
+// --- heartbeat clock sync ---
+
+TEST(ClockSync, KeepsMinRttEstimateAndResets) {
+  fleet::ClockSync sync;
+  EXPECT_FALSE(sync.synced());
+  sync.observe(/*local=*/1'000'000, /*node=*/500'000, /*rtt=*/0);
+  EXPECT_FALSE(sync.synced());  // rtt 0 = not yet measured, ignored
+
+  // First real sample: offset = local - node - rtt/2.
+  sync.observe(1'000'000, 500'000, 100'000);
+  ASSERT_TRUE(sync.synced());
+  EXPECT_EQ(sync.offset_ns(), 1'000'000 - 500'000 - 50'000);
+  EXPECT_EQ(sync.best_rtt_ns(), 100'000u);
+
+  // A slower (queue-inflated) sample must not displace the estimate.
+  sync.observe(2'000'000, 1'200'000, 400'000);
+  EXPECT_EQ(sync.best_rtt_ns(), 100'000u);
+  EXPECT_EQ(sync.offset_ns(), 450'000);
+
+  // A faster sample refines it.
+  sync.observe(3'000'000, 2'560'000, 20'000);
+  EXPECT_EQ(sync.best_rtt_ns(), 20'000u);
+  EXPECT_EQ(sync.offset_ns(), 3'000'000 - 2'560'000 - 10'000);
+
+  EXPECT_EQ(sync.to_local_ns(100), static_cast<std::uint64_t>(100 + sync.offset_ns()));
+  sync.reset();
+  EXPECT_FALSE(sync.synced());
+  EXPECT_EQ(sync.offset_ns(), 0);
+}
+
+// --- skewed-clock span anchoring (the satellite acceptance case) ---
+
+TEST(SpanAnchoring, SkewedNodeClockChildStaysInsideParentInterval) {
+  // A node whose steady clock runs 5 s ahead of the dispatcher's. Scripted
+  // heartbeat: sent at node time `send`, arriving rtt/2 later on the
+  // dispatcher clock.
+  const std::int64_t skew = 5'000'000'000;  // node = local + 5 s
+  const std::uint64_t rtt = 2'000'000;      // 2 ms round trip
+  fleet::ClockSync sync;
+  const std::uint64_t local_send = 90'000'000'000ULL;
+  const std::uint64_t node_send = local_send + skew;
+  sync.observe(local_send + rtt / 2, node_send, rtt);
+  ASSERT_TRUE(sync.synced());
+  // Estimated offset maps node time back: error bounded by rtt/2.
+  EXPECT_NEAR(static_cast<double>(sync.offset_ns()), static_cast<double>(-skew),
+              static_cast<double>(rtt) / 2.0);
+
+  // The rpc interval on the dispatcher clock, and a node-side objective
+  // span measured on the skewed node clock strictly inside it.
+  const std::uint64_t rpc_start = 100'000'000'000ULL;
+  const std::uint64_t arrival = 101'000'000'000ULL;  // 1 s later
+  std::vector<fleet::WireSpan> spans;
+  spans.push_back({"node.objective",
+                   /*start=*/rpc_start + 200'000'000 + skew,
+                   /*dur=*/500'000'000});
+
+  const std::int64_t shift =
+      fleet::span_shift(true, sync.offset_ns(), spans, arrival);
+  const fleet::AnchoredSpan a =
+      fleet::anchor_span(spans[0], shift, rpc_start, arrival);
+  // Mapped back to ~200 ms into the rpc (within the rtt/2 error bound)...
+  EXPECT_NEAR(static_cast<double>(a.start_ns),
+              static_cast<double>(rpc_start + 200'000'000),
+              static_cast<double>(rtt) / 2.0);
+  // ...and contained in the parent interval.
+  EXPECT_GE(a.start_ns, rpc_start);
+  EXPECT_LE(a.start_ns + a.dur_ns, arrival);
+}
+
+TEST(SpanAnchoring, ExtremeSkewAndUnsyncedFallbackStayClamped) {
+  const std::uint64_t rpc_start = 100'000'000'000ULL;
+  const std::uint64_t arrival = 101'000'000'000ULL;
+
+  // A lying clock mapped far outside the interval is clamped into it.
+  std::vector<fleet::WireSpan> wild;
+  wild.push_back({"node.objective", /*start=*/999'000'000'000ULL,
+                  /*dur=*/50'000'000'000ULL});
+  for (const std::int64_t shift :
+       {std::int64_t{0}, std::int64_t{-2'000'000'000'000},
+        std::int64_t{+2'000'000'000'000}}) {
+    const fleet::AnchoredSpan a =
+        fleet::anchor_span(wild[0], shift, rpc_start, arrival);
+    EXPECT_GE(a.start_ns, rpc_start) << "shift " << shift;
+    EXPECT_LE(a.start_ns + a.dur_ns, arrival) << "shift " << shift;
+  }
+
+  // Before the first RTT sample (unsynced): the last span's end anchors at
+  // the arrival, so everything lands in the past and inside the interval.
+  std::vector<fleet::WireSpan> spans;
+  spans.push_back({"node.queue", 7'000'000'000ULL, 100'000'000ULL});
+  spans.push_back({"node.objective", 7'100'000'000ULL, 400'000'000ULL});
+  const std::int64_t shift = fleet::span_shift(false, 0, spans, arrival);
+  for (const auto& w : spans) {
+    const fleet::AnchoredSpan a = fleet::anchor_span(w, shift, rpc_start, arrival);
+    EXPECT_GE(a.start_ns, rpc_start);
+    EXPECT_LE(a.start_ns + a.dur_ns, arrival);
+  }
+  // The last span's end sits exactly at the arrival under the fallback.
+  const fleet::AnchoredSpan last =
+      fleet::anchor_span(spans[1], shift, rpc_start, arrival);
+  EXPECT_EQ(last.start_ns + last.dur_ns, arrival);
+}
+
+// --- session manager: replay events + /debug surfaces ---
+
+json::Value tiny_session_spec(const std::string& id) {
+  json::Object spec;
+  spec["id"] = json::Value(id);
+  spec["backend"] = json::Value(std::string("random"));
+  spec["max_evals"] = json::Value(8);
+  spec["space"] = json::parse(
+      "{\"params\":[{\"name\":\"x\",\"kind\":\"real\",\"lo\":0,\"hi\":1,"
+      "\"default\":0.5}]}");
+  return json::Value(std::move(spec));
+}
+
+TEST(SessionManagerTracing, ReplayedAskRecordsEventNotSecondSpanTree) {
+  obs::Telemetry t;
+  t.enable();
+  net::SessionManagerOptions mopt;
+  mopt.telemetry = &t;
+  net::SessionManager manager(mopt);
+  manager.create(tiny_session_spec("rep"));
+
+  const json::Value first = manager.ask("rep", 1, "key-1");
+  const std::size_t spans_before = t.spans().size();
+  json::Value replayed;
+  {
+    // Simulate the handler span a retried HTTP request would run under.
+    obs::ScopedSpan handler(&t, "server.POST /v1/sessions/rep/ask",
+                            obs::Telemetry::kInheritParent, "http");
+    replayed = manager.ask("rep", 1, "key-1");
+  }
+  EXPECT_EQ(replayed.dump(), first.dump());
+
+  bool saw_replay_event = false;
+  for (const auto& e : t.events()) {
+    if (e.name == "replayed") saw_replay_event = true;
+  }
+  EXPECT_TRUE(saw_replay_event);
+  // The replay added the handler span itself but no second ask subtree.
+  EXPECT_EQ(t.spans().size(), spans_before + 1);
+}
+
+TEST(SessionManagerTracing, DebugServesFlightRecorderAndNoteAnnotates) {
+  net::SessionManagerOptions mopt;
+  net::SessionManager manager(mopt);
+  manager.create(tiny_session_spec("dbg"));
+  manager.ask("dbg", 2);
+  manager.note("dbg", "shed", "drive shed: fleet degraded");
+  manager.note("unknown-session", "shed", "ignored");  // must not throw
+
+  const json::Value debug = manager.debug("dbg");
+  EXPECT_EQ(debug.at("id").as_string(), "dbg");
+  EXPECT_TRUE(debug.at("resident").as_bool());
+  const auto& events =
+      debug.at("flight_recorder").at("events").as_array();
+  std::set<std::string> kinds;
+  for (const auto& e : events) kinds.insert(e.at("kind").as_string());
+  EXPECT_TRUE(kinds.count("create"));
+  EXPECT_TRUE(kinds.count("ask"));
+  EXPECT_TRUE(kinds.count("shed"));
+
+  EXPECT_THROW(manager.debug("unknown-session"), net::ApiError);
+}
+
+// --- end-to-end acceptance: remote drive through a 2-node fleet ---
+
+class TracingBackend final : public robust::EvalBackend {
+ public:
+  robust::SandboxResult evaluate(const search::Config& config,
+                                 double /*deadline_seconds*/) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    robust::SandboxResult r;
+    r.outcome = robust::EvalOutcome::Ok;
+    r.value = 0.0;
+    for (const double v : config) r.value += v;
+    return r;
+  }
+  bool healthy() const override { return true; }
+  std::size_t concurrency() const override { return 2; }
+};
+
+TEST(FleetTracing, RemoteDriveYieldsSingleRootedTreeWithObjectiveLeaves) {
+  obs::Telemetry server_tel;
+  server_tel.enable();
+
+  fleet::DispatcherOptions dopt;
+  dopt.port = 0;
+  dopt.heartbeat_interval_s = 0.05;
+  dopt.telemetry = &server_tel;
+  auto dispatcher = std::make_shared<fleet::FleetDispatcher>(dopt);
+
+  auto make_agent = [&](const std::string& id) {
+    fleet::NodeAgentOptions aopt;
+    aopt.host = "127.0.0.1";
+    aopt.port = dispatcher->port();
+    aopt.node_id = id;
+    aopt.slots = 2;
+    aopt.backend = std::make_shared<TracingBackend>();
+    aopt.reconnect_base_s = 0.05;
+    aopt.reconnect_max_s = 0.2;
+    return std::make_unique<fleet::NodeAgent>(aopt);
+  };
+  auto agent_a = make_agent("trace-a");
+  auto agent_b = make_agent("trace-b");
+  std::thread thread_a([&] { agent_a->run(); });
+  std::thread thread_b([&] { agent_b->run(); });
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (dispatcher->registry().nodes_alive() < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE(dispatcher->registry().nodes_alive(), 2u);
+
+  net::SessionManagerOptions mopt;
+  mopt.telemetry = &server_tel;
+  net::SessionManager manager(mopt);
+  net::RestApi api(manager, &server_tel, dispatcher);
+  net::ServerOptions sopt;
+  sopt.host = "127.0.0.1";
+  sopt.port = 0;
+  sopt.telemetry = &server_tel;
+  net::HttpServer server(sopt,
+                         [&](const net::HttpRequest& r) { return api.handle(r); });
+  server.start();
+
+  // Traced client: its request span is the root of the distributed trace.
+  obs::Telemetry client_tel;
+  client_tel.enable();
+  net::ClientRetryOptions retry;
+  retry.telemetry = &client_tel;
+  net::Client client("127.0.0.1", server.port(), 30.0, retry);
+  client.create_session(tiny_session_spec("e2e"));
+  const json::Value report =
+      client.drive_session("e2e", json::Value(json::Object{}));
+  EXPECT_GE(report.number_or("completed", 0.0), 8.0);
+
+  // The client span that drove the run names the drive endpoint.
+  obs::TraceId trace;
+  for (const auto& s : client_tel.spans()) {
+    if (s.name.find("/drive") != std::string::npos) trace = s.trace;
+  }
+  ASSERT_TRUE(trace.valid());
+
+  // Server side: collect that trace's spans and check the tree shape.
+  std::map<std::uint64_t, obs::SpanRecord> by_id;
+  for (const auto& s : server_tel.spans()) {
+    if (s.trace == trace) by_id[s.id] = s;
+  }
+  ASSERT_FALSE(by_id.empty());
+
+  const obs::SpanRecord* root = nullptr;
+  std::size_t roots = 0;
+  for (const auto& [id, s] : by_id) {
+    if (s.parent == 0 || by_id.find(s.parent) == by_id.end()) {
+      root = &s;
+      ++roots;
+    }
+  }
+  ASSERT_EQ(roots, 1u) << "drive trace must be single-rooted";
+  // The root is the server-side image of the client request.
+  EXPECT_NE(root->name.find("server.POST"), std::string::npos);
+  EXPECT_NE(root->name.find("/drive"), std::string::npos);
+
+  // Leaves: worker-side objective spans, each chained up to the root and
+  // contained within it.
+  std::set<std::uint64_t> parents;
+  for (const auto& [id, s] : by_id) parents.insert(s.parent);
+  std::size_t objective_leaves = 0;
+  for (const auto& [id, s] : by_id) {
+    if (s.name != "node.objective") continue;
+    ++objective_leaves;
+    EXPECT_FALSE(parents.count(id)) << "objective spans must be leaves";
+    EXPECT_GE(s.start_ns, root->start_ns);
+    EXPECT_LE(s.start_ns + s.dur_ns, root->start_ns + root->dur_ns);
+    // Walk the ancestry to the root.
+    std::uint64_t cur = s.id;
+    std::size_t hops = 0;
+    while (by_id.at(cur).parent != 0 && by_id.count(by_id.at(cur).parent) &&
+           hops < 64) {
+      cur = by_id.at(cur).parent;
+      ++hops;
+    }
+    EXPECT_EQ(cur, root->id);
+  }
+  EXPECT_GE(objective_leaves, 8u);  // one per completed evaluation
+
+  // The introspection view agrees: the trace appears as one complete tree.
+  bool found = false;
+  const json::Value traces = obs::traces_json(server_tel);
+  for (const auto& tr : traces.at("traces").as_array()) {
+    if (tr.at("trace_id").as_string() == obs::trace_id_hex(trace)) found = true;
+  }
+  EXPECT_TRUE(found);
+
+  server.shutdown();
+  agent_a->stop();
+  agent_b->stop();
+  thread_a.join();
+  thread_b.join();
+  dispatcher->stop();
+}
+
+}  // namespace
+}  // namespace tunekit

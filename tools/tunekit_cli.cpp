@@ -53,6 +53,8 @@
 //   --resume                 resume the session from --journal
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <filesystem>
@@ -61,9 +63,13 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "common/log.hpp"
 #include "common/table.hpp"
@@ -147,6 +153,10 @@ int usage(const char* argv0) {
       "fleet-status: --server H:P (GET /v1/fleet snapshot)\n"
       "fleet-drive:  --server H:P --session-id ID (run the session on the\n"
       "         fleet; synchronous, see docs/SERVICE.md \"Distributed fleet\")\n"
+      "top:     live polling view of a serve instance: sessions, queue depth,\n"
+      "         fleet nodes/breakers/clock sync, p50/p99 request latency\n"
+      "         --server H:P [--interval S (default 2) --iterations N\n"
+      "           (default 0 = until interrupted)]\n"
       "remote-create: --server H:P --app NAME [--session-id ID --backend B\n"
       "         --max-evals N --seed N]\n"
       "remote-ask:    --server H:P --session-id ID [--k N]\n"
@@ -236,6 +246,9 @@ struct CliArgs {
   /// End-to-end deadline stamped as X-Tunekit-Deadline (retries and
   /// backoff included); infinity = none.
   double deadline_s = std::numeric_limits<double>::infinity();
+  // top command
+  double interval_s = 2.0;
+  std::size_t iterations = 0;  // 0 = poll until interrupted
   // fsck command
   bool repair = false;
 };
@@ -303,6 +316,8 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       else if (flag == "--body-timeout") args.body_timeout = std::stod(next());
       else if (flag == "--retries") args.retries = std::stoul(next());
       else if (flag == "--deadline-s") args.deadline_s = std::stod(next());
+      else if (flag == "--interval") args.interval_s = std::stod(next());
+      else if (flag == "--iterations") args.iterations = std::stoul(next());
       else if (flag == "--shards") args.shards = std::stoul(next());
       else if (flag == "--fleet") args.fleet = true;
       else if (flag == "--fleet-port") args.fleet_port = static_cast<std::uint16_t>(std::stoul(next()));
@@ -487,6 +502,15 @@ int cmd_session(core::TunableApp& app, const CliArgs& args, obs::Telemetry* tele
 /// go through SessionStore::replay here: journals in one checkpoint dir
 /// belong to different subspace searches (different config arities) and the
 /// report needs no configs — only counts, times, and the metrics snapshots.
+/// Per-fleet-node attribution, rebuilt from the "node" key that tell/fail
+/// records carry when the evaluation ran on a remote fleet node. Durations
+/// are kept raw so the report can interpolate a p99 after folding segments.
+struct NodeStats {
+  std::size_t tells = 0;
+  std::size_t fails = 0;
+  std::vector<double> durations_ms;
+};
+
 struct JournalSummary {
   std::string name;
   std::string backend;
@@ -497,8 +521,19 @@ struct JournalSummary {
   double duration_ms = 0.0;
   std::map<std::string, std::size_t> failure_outcomes;  // from "fail" records
   std::map<int, std::size_t> slot_tells;                // tells per worker slot
+  std::map<std::string, NodeStats> node_stats;          // keyed by fleet node id
   json::Value metrics;  // latest {"e":"metrics"} snapshot (null = none)
 };
+
+/// Linearly interpolated percentile (q in [0,1]); sorts `values` in place.
+double percentile(std::vector<double>& values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  return values[lo] + (values[hi] - values[lo]) * (pos - static_cast<double>(lo));
+}
 
 JournalSummary summarize_journal(const std::filesystem::path& path) {
   JournalSummary s;
@@ -534,11 +569,17 @@ JournalSummary summarize_journal(const std::filesystem::path& path) {
       s.duration_ms += rec.number_or("dur_ms", 0.0);
       const int slot = static_cast<int>(rec.number_or("slot", -1.0));
       if (slot >= 0) ++s.slot_tells[slot];
+      if (rec.contains("node")) {
+        NodeStats& node = s.node_stats[rec.at("node").as_string()];
+        ++node.tells;
+        node.durations_ms.push_back(rec.number_or("dur_ms", 0.0));
+      }
     } else if (e == "fail") {
       ++s.fails;
       const std::string why =
           rec.contains("why") ? rec.at("why").as_string() : "crashed";
       ++s.failure_outcomes[why];
+      if (rec.contains("node")) ++s.node_stats[rec.at("node").as_string()].fails;
     } else if (e == "drop") {
       ++s.drops;
     } else if (e == "metrics") {
@@ -593,6 +634,13 @@ int cmd_report(const std::string& dir) {
       acc.duration_ms += s.duration_ms;
       for (const auto& [why, n] : s.failure_outcomes) acc.failure_outcomes[why] += n;
       for (const auto& [slot, n] : s.slot_tells) acc.slot_tells[slot] += n;
+      for (auto& [node, ns] : s.node_stats) {
+        NodeStats& dst = acc.node_stats[node];
+        dst.tells += ns.tells;
+        dst.fails += ns.fails;
+        dst.durations_ms.insert(dst.durations_ms.end(), ns.durations_ms.begin(),
+                                ns.durations_ms.end());
+      }
       if (!s.metrics.is_null()) acc.metrics = s.metrics;
     } else {
       sessions.push_back(std::move(s));
@@ -629,6 +677,13 @@ int cmd_report(const std::string& dir) {
       total_wall += wall;
       for (const auto& [why, n] : s.failure_outcomes) total.failure_outcomes[why] += n;
       for (const auto& [slot, n] : s.slot_tells) total.slot_tells[slot] += n;
+      for (const auto& [node, ns] : s.node_stats) {
+        NodeStats& dst = total.node_stats[node];
+        dst.tells += ns.tells;
+        dst.fails += ns.fails;
+        dst.durations_ms.insert(dst.durations_ms.end(), ns.durations_ms.begin(),
+                                ns.durations_ms.end());
+      }
     }
     if (sessions.size() > 1) {
       table.add_row({"total", "", std::to_string(total.tells),
@@ -653,6 +708,19 @@ int cmd_report(const std::string& dir) {
       for (const auto& [slot, n] : total.slot_tells) {
         std::cout << "  slot " << slot << ": " << n << "\n";
       }
+    }
+    // Per-fleet-node attribution, reconstructed from journals alone — no
+    // server, no telemetry endpoint; works on any checkpoint dir copied off
+    // a dead machine.
+    if (!total.node_stats.empty()) {
+      Table node_table({"Node", "Evals", "Failures", "p99 ms"});
+      for (auto& [node, ns] : total.node_stats) {
+        node_table.add_row(
+            {node, std::to_string(ns.tells), std::to_string(ns.fails),
+             ns.durations_ms.empty() ? "-"
+                                     : Table::fmt(percentile(ns.durations_ms, 0.99), 3)});
+      }
+      std::cout << "\nEvaluations by fleet node:\n" << node_table.str();
     }
   }
 
@@ -839,7 +907,8 @@ void handle_node_signal(int) {
 }
 
 std::pair<std::string, std::uint16_t> parse_server(const std::string& server);
-net::ClientRetryOptions make_retry(const CliArgs& args);
+net::ClientRetryOptions make_retry(const CliArgs& args,
+                                   obs::Telemetry* telemetry = nullptr);
 
 int cmd_fleet_node(const CliArgs& args, const char* argv0,
                    obs::Telemetry* telemetry) {
@@ -891,16 +960,179 @@ int cmd_fleet_status(const CliArgs& args) {
   return 0;
 }
 
-int cmd_fleet_drive(const CliArgs& args) {
+int cmd_fleet_drive(const CliArgs& args, obs::Telemetry* telemetry) {
   if (args.server.empty()) throw UsageError("fleet-drive requires --server host:port");
   if (args.session_id.empty()) throw UsageError("fleet-drive requires --session-id");
   auto [host, port] = parse_server(args.server);
   // A drive holds the connection for the whole run; give it a long leash.
-  net::Client client(host, port, /*timeout_seconds=*/3600.0, make_retry(args));
+  net::Client client(host, port, /*timeout_seconds=*/3600.0,
+                     make_retry(args, telemetry));
   json::Object body;
   if (args.k > 1) body["batch_size"] = json::Value(args.k);
   std::cout << client.drive_session(args.session_id, json::Value(std::move(body))).dump(2)
             << "\n";
+  return 0;
+}
+
+// --- top: polling live view of a serve instance. ---
+
+/// One Prometheus histogram scraped from /metrics text: cumulative bucket
+/// counts by upper bound, plus _count/_sum. Tolerant of exemplar suffixes
+/// ("... # {trace_id=\"...\"} v") — std::stod stops at the first space.
+struct HistogramSnapshot {
+  std::vector<std::pair<double, double>> buckets;  // (le, cumulative count)
+  double count = 0.0;
+  double sum = 0.0;
+
+  /// Standard histogram_quantile() estimate: linear interpolation inside the
+  /// winning bucket; the +Inf bucket reports the last finite bound. 0 when
+  /// the histogram is empty.
+  double quantile(double q) const {
+    if (buckets.empty() || count <= 0.0) return 0.0;
+    const double target = q * count;
+    double prev_bound = 0.0;
+    double prev_cum = 0.0;
+    for (const auto& [bound, cum] : buckets) {
+      if (cum >= target) {
+        if (std::isinf(bound)) return prev_bound;
+        const double width = cum - prev_cum;
+        if (width <= 0.0) return bound;
+        return prev_bound + (bound - prev_bound) * (target - prev_cum) / width;
+      }
+      prev_bound = bound;
+      prev_cum = cum;
+    }
+    return prev_bound;
+  }
+};
+
+HistogramSnapshot parse_histogram(const std::string& text, const std::string& name) {
+  HistogramSnapshot h;
+  const std::string bucket_prefix = name + "_bucket{le=\"";
+  const std::string count_prefix = name + "_count ";
+  const std::string sum_prefix = name + "_sum ";
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    try {
+      if (line.rfind(bucket_prefix, 0) == 0) {
+        const std::size_t close = line.find('"', bucket_prefix.size());
+        if (close == std::string::npos) continue;
+        const std::string le =
+            line.substr(bucket_prefix.size(), close - bucket_prefix.size());
+        const std::size_t space = line.find(' ', close);
+        if (space == std::string::npos) continue;
+        const double bound = (le == "+Inf")
+                                 ? std::numeric_limits<double>::infinity()
+                                 : std::stod(le);
+        h.buckets.emplace_back(bound, std::stod(line.substr(space + 1)));
+      } else if (line.rfind(count_prefix, 0) == 0) {
+        h.count = std::stod(line.substr(count_prefix.size()));
+      } else if (line.rfind(sum_prefix, 0) == 0) {
+        h.sum = std::stod(line.substr(sum_prefix.size()));
+      }
+    } catch (const std::exception&) {
+      continue;  // malformed line; skip rather than kill the whole poll
+    }
+  }
+  return h;
+}
+
+void render_latency_line(const std::string& label, const HistogramSnapshot& h) {
+  if (h.count <= 0.0) {
+    std::printf("  %-14s (no samples)\n", label.c_str());
+    return;
+  }
+  std::printf("  %-14s n=%-8.0f p50=%8.3f ms  p99=%8.3f ms  mean=%8.3f ms\n",
+              label.c_str(), h.count, h.quantile(0.5) * 1e3,
+              h.quantile(0.99) * 1e3, h.sum / h.count * 1e3);
+}
+
+int cmd_top(const CliArgs& args) {
+  if (args.server.empty()) throw UsageError("top requires --server host:port");
+  auto [host, port] = parse_server(args.server);
+  net::Client client(host, port, /*timeout_seconds=*/10.0);
+  const bool tty = ::isatty(STDOUT_FILENO) != 0;
+  for (std::size_t iter = 0; args.iterations == 0 || iter < args.iterations; ++iter) {
+    if (iter > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(std::max(0.1, args.interval_s)));
+    }
+    json::Value sessions;
+    json::Value fleet;
+    std::string metrics_text;
+    try {
+      sessions = client.request("GET", "/v1/sessions").json();
+      metrics_text = client.metrics();
+      // No fleet dispatcher is a normal deployment, not an error: serve
+      // without --fleet answers 503 here and top simply omits the section.
+      const net::ClientResponse fleet_resp = client.request("GET", "/v1/fleet");
+      if (fleet_resp.status == 200) fleet = fleet_resp.json();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "top: %s (retrying)\n", e.what());
+      continue;
+    }
+
+    if (tty) std::fputs("\x1b[H\x1b[2J", stdout);
+    std::printf("tunekit top — %s   (sample %zu%s)\n", args.server.c_str(),
+                iter + 1,
+                args.iterations > 0
+                    ? ("/" + std::to_string(args.iterations)).c_str()
+                    : "");
+
+    const auto& session_list = sessions.at("sessions").as_array();
+    std::printf("\nSessions (%zu):\n", session_list.size());
+    for (const auto& s : session_list) {
+      std::printf("  %-24s %-10s completed=%-6.0f %s\n",
+                  s.at("id").as_string().c_str(), s.at("state").as_string().c_str(),
+                  s.number_or("completed", 0.0),
+                  s.contains("resident") && s.at("resident").as_bool() ? "resident"
+                                                                      : "evicted");
+    }
+    if (session_list.empty()) std::printf("  (none)\n");
+
+    if (fleet.is_object()) {
+      std::printf("\nFleet: queue_depth=%.0f steals=%.0f redispatches=%.0f%s\n",
+                  fleet.number_or("queue_depth", 0.0), fleet.number_or("steals", 0.0),
+                  fleet.number_or("redispatches", 0.0),
+                  fleet.contains("degraded") && fleet.at("degraded").as_bool()
+                      ? "  DEGRADED (all breakers open)"
+                      : "");
+      for (const auto& n : fleet.at("nodes").as_array()) {
+        const std::string id = n.at("id").as_string();
+        std::string breaker = "-";
+        if (fleet.contains("breakers") &&
+            fleet.at("breakers").as_object().count(id) != 0u) {
+          breaker =
+              fleet.at("breakers").as_object().at(id).at("state").as_string();
+        }
+        std::string clock = "unsynced";
+        if (fleet.contains("clocks") &&
+            fleet.at("clocks").as_object().count(id) != 0u) {
+          const json::Value& c = fleet.at("clocks").as_object().at(id);
+          if (c.contains("synced") && c.at("synced").as_bool()) {
+            clock = "offset=" +
+                    Table::fmt(c.number_or("offset_ns", 0.0) / 1e6, 3) + " ms";
+          }
+        }
+        std::printf("  %-20s %-5s busy=%2.0f/%-2.0f ok=%-6.0f failed=%-4.0f "
+                    "breaker=%-9s clock=%s\n",
+                    id.c_str(), n.at("alive").as_bool() ? "up" : "down",
+                    n.number_or("busy", 0.0), n.number_or("slots", 0.0),
+                    n.number_or("evals_ok", 0.0), n.number_or("evals_failed", 0.0),
+                    breaker.c_str(), clock.c_str());
+      }
+    }
+
+    std::printf("\nLatency:\n");
+    render_latency_line("http request",
+                        parse_histogram(metrics_text, obs::metric::kHttpRequestSeconds));
+    render_latency_line("fleet eval",
+                        parse_histogram(metrics_text, obs::metric::kFleetEvalSeconds));
+    render_latency_line("local eval",
+                        parse_histogram(metrics_text, obs::metric::kEvalSeconds));
+    std::fflush(stdout);
+  }
   return 0;
 }
 
@@ -923,17 +1155,23 @@ std::pair<std::string, std::uint16_t> parse_server(const std::string& server) {
   return {server.substr(0, colon), static_cast<std::uint16_t>(port)};
 }
 
-net::ClientRetryOptions make_retry(const CliArgs& args) {
+net::ClientRetryOptions make_retry(const CliArgs& args,
+                                   obs::Telemetry* telemetry) {
   net::ClientRetryOptions retry;
   retry.max_attempts = 1 + static_cast<int>(args.retries);
   retry.default_deadline_seconds = args.deadline_s;
+  // A traced client (--trace-out/--metrics-out) opens a span per request and
+  // sends its traceparent, so the server-side subtree — and, through the
+  // fleet, the node-side spans — root under this process's trace.
+  retry.telemetry = telemetry;
   return retry;
 }
 
-net::Client make_client(const CliArgs& args, double timeout_seconds = 30.0) {
+net::Client make_client(const CliArgs& args, double timeout_seconds = 30.0,
+                        obs::Telemetry* telemetry = nullptr) {
   if (args.server.empty()) throw UsageError("remote commands require --server host:port");
   auto [host, port] = parse_server(args.server);
-  return net::Client(host, port, timeout_seconds, make_retry(args));
+  return net::Client(host, port, timeout_seconds, make_retry(args, telemetry));
 }
 
 json::Value make_session_spec(const CliArgs& args) {
@@ -952,19 +1190,19 @@ std::string require_session_id(const CliArgs& args) {
   return args.session_id;
 }
 
-int cmd_remote_create(const CliArgs& args) {
-  net::Client client = make_client(args);
+int cmd_remote_create(const CliArgs& args, obs::Telemetry* telemetry) {
+  net::Client client = make_client(args, /*timeout_seconds=*/30.0, telemetry);
   std::cout << client.create_session(make_session_spec(args)).dump(2) << "\n";
   return 0;
 }
 
-int cmd_remote_ask(const CliArgs& args) {
-  net::Client client = make_client(args);
+int cmd_remote_ask(const CliArgs& args, obs::Telemetry* telemetry) {
+  net::Client client = make_client(args, /*timeout_seconds=*/30.0, telemetry);
   std::cout << client.ask(require_session_id(args), args.k).dump(2) << "\n";
   return 0;
 }
 
-int cmd_remote_tell(const CliArgs& args) {
+int cmd_remote_tell(const CliArgs& args, obs::Telemetry* telemetry) {
   if (!args.has_eval_id) throw UsageError("remote-tell requires --eval-id");
   if (args.value.empty() == args.outcome.empty()) {
     throw UsageError("remote-tell needs exactly one of --value or --outcome");
@@ -980,20 +1218,20 @@ int cmd_remote_tell(const CliArgs& args) {
   } else {
     body["outcome"] = json::Value(args.outcome);
   }
-  net::Client client = make_client(args);
+  net::Client client = make_client(args, /*timeout_seconds=*/30.0, telemetry);
   std::cout << client.tell(require_session_id(args), json::Value(std::move(body))).dump(2)
             << "\n";
   return 0;
 }
 
-int cmd_remote_report(const CliArgs& args) {
-  net::Client client = make_client(args);
+int cmd_remote_report(const CliArgs& args, obs::Telemetry* telemetry) {
+  net::Client client = make_client(args, /*timeout_seconds=*/30.0, telemetry);
   std::cout << client.report(require_session_id(args)).dump(2) << "\n";
   return 0;
 }
 
-int cmd_remote_close(const CliArgs& args) {
-  net::Client client = make_client(args);
+int cmd_remote_close(const CliArgs& args, obs::Telemetry* telemetry) {
+  net::Client client = make_client(args, /*timeout_seconds=*/30.0, telemetry);
   std::cout << client.close_session(require_session_id(args)).dump(2) << "\n";
   return 0;
 }
@@ -1002,9 +1240,9 @@ int cmd_remote_close(const CliArgs& args) {
 // session for --app, then loop ask -> evaluate locally -> tell until the
 // budget is exhausted. This is the CI smoke path and the reference client
 // implementation for external integrations.
-int cmd_remote_drive(const CliArgs& args) {
+int cmd_remote_drive(const CliArgs& args, obs::Telemetry* telemetry) {
   if (args.app.empty()) throw UsageError("remote-drive requires --app");
-  net::Client client = make_client(args);
+  net::Client client = make_client(args, /*timeout_seconds=*/30.0, telemetry);
 
   std::string id = args.session_id;
   try {
@@ -1058,13 +1296,13 @@ int cmd_remote_drive(const CliArgs& args) {
   return 0;
 }
 
-int cmd_remote(const CliArgs& args) {
-  if (args.command == "remote-create") return cmd_remote_create(args);
-  if (args.command == "remote-ask") return cmd_remote_ask(args);
-  if (args.command == "remote-tell") return cmd_remote_tell(args);
-  if (args.command == "remote-report") return cmd_remote_report(args);
-  if (args.command == "remote-close") return cmd_remote_close(args);
-  if (args.command == "remote-drive") return cmd_remote_drive(args);
+int cmd_remote(const CliArgs& args, obs::Telemetry* telemetry) {
+  if (args.command == "remote-create") return cmd_remote_create(args, telemetry);
+  if (args.command == "remote-ask") return cmd_remote_ask(args, telemetry);
+  if (args.command == "remote-tell") return cmd_remote_tell(args, telemetry);
+  if (args.command == "remote-report") return cmd_remote_report(args, telemetry);
+  if (args.command == "remote-close") return cmd_remote_close(args, telemetry);
+  if (args.command == "remote-drive") return cmd_remote_drive(args, telemetry);
   throw UsageError("unknown remote command '" + args.command + "'");
 }
 
@@ -1109,9 +1347,10 @@ int main(int argc, char** argv) {
   const bool is_serve = args.command == "serve";
   const bool is_remote = args.command.rfind("remote-", 0) == 0;
   const bool is_fleet = args.command.rfind("fleet-", 0) == 0;
-  // fleet-status / fleet-drive are pure clients; fleet-node needs --app to
-  // build its worker sandbox (checked in cmd_fleet_node).
-  if (!is_serve && !is_remote && !is_fleet && args.app.empty()) {
+  const bool is_top = args.command == "top";
+  // fleet-status / fleet-drive / top are pure clients; fleet-node needs
+  // --app to build its worker sandbox (checked in cmd_fleet_node).
+  if (!is_serve && !is_remote && !is_fleet && !is_top && args.app.empty()) {
     std::fprintf(stderr, "error: --app is required\n");
     return usage(argv[0]);
   }
@@ -1150,12 +1389,14 @@ int main(int argc, char** argv) {
   try {
     if (is_serve) {
       rc = cmd_serve(args, tel);
+    } else if (is_top) {
+      rc = cmd_top(args);
     } else if (is_remote) {
-      rc = cmd_remote(args);
+      rc = cmd_remote(args, tel);
     } else if (is_fleet) {
       if (args.command == "fleet-node") rc = cmd_fleet_node(args, argv[0], tel);
       else if (args.command == "fleet-status") rc = cmd_fleet_status(args);
-      else if (args.command == "fleet-drive") rc = cmd_fleet_drive(args);
+      else if (args.command == "fleet-drive") rc = cmd_fleet_drive(args, tel);
       else {
         std::fprintf(stderr, "unknown command '%s'\n", args.command.c_str());
         return usage(argv[0]);
