@@ -32,6 +32,10 @@ search::SearchResult AdditiveBo::run(search::Objective& objective,
     }
   }
 
+  // The active decomposition; the regroup hook may re-cut it mid-run.
+  std::vector<std::vector<std::size_t>> groups = groups_;
+  bool regrouped = false;
+
   search::SearchResult result;
   result.method = "additive-bo";
 
@@ -48,6 +52,22 @@ search::SearchResult AdditiveBo::run(search::Objective& objective,
     }
     result.values.push_back(v);
     result.trajectory.push_back(result.best_value);
+
+    if (options_.regroup_hook) {
+      auto revised = options_.regroup_hook(units, values);
+      if (revised && !revised->empty() && *revised != groups) {
+        bool valid = true;
+        for (const auto& g : *revised) {
+          for (std::size_t idx : g) valid = valid && idx < dims;
+        }
+        if (valid) {
+          log_info("additive-bo: adopting revised decomposition (",
+                   revised->size(), " groups, ", values.size(), " evals kept)");
+          groups = std::move(*revised);
+          regrouped = true;
+        }
+      }
+    }
   };
 
   for (const auto& config : search::sample_valid_configs(
@@ -55,9 +75,15 @@ search::SearchResult AdditiveBo::run(search::Objective& objective,
     evaluate(config);
   }
 
-  AdditiveGp gp(groups_, options_.kernel);
+  AdditiveGp gp(groups, options_.kernel);
   std::size_t iteration = 0;
   while (values.size() < options_.max_evals) {
+    if (regrouped) {
+      // Migrate, don't discard: the archive is full-dimensional, so a
+      // re-cut only means refitting the additive GP over the new groups.
+      gp = AdditiveGp(groups, options_.kernel);
+      regrouped = false;
+    }
     linalg::Matrix x(units.size(), dims);
     for (std::size_t r = 0; r < units.size(); ++r) {
       for (std::size_t k = 0; k < dims; ++k) x(r, k) = units[r][k];
@@ -80,12 +106,12 @@ search::SearchResult AdditiveBo::run(search::Objective& objective,
     // Group-wise acquisition maximization: each group's component is
     // optimized independently over candidate values of its coordinates.
     std::vector<double> proposal_unit = space.encode_unit(result.best_config);
-    for (std::size_t g = 0; g < groups_.size(); ++g) {
+    for (std::size_t g = 0; g < groups.size(); ++g) {
       std::vector<double> best_coords;
       double best_score = -std::numeric_limits<double>::infinity();
       std::vector<double> candidate = proposal_unit;
       for (std::size_t c = 0; c < options_.group_candidates; ++c) {
-        for (std::size_t idx : groups_[g]) candidate[idx] = rng.uniform();
+        for (std::size_t idx : groups[g]) candidate[idx] = rng.uniform();
         const auto pred = gp.predict_group(g, candidate);
         // Per-group LCB: group contribution mean minus exploration bonus.
         const double score = acquisition_score(AcquisitionKind::LowerConfidenceBound,
@@ -94,11 +120,11 @@ search::SearchResult AdditiveBo::run(search::Objective& objective,
         if (score > best_score) {
           best_score = score;
           best_coords.clear();
-          for (std::size_t idx : groups_[g]) best_coords.push_back(candidate[idx]);
+          for (std::size_t idx : groups[g]) best_coords.push_back(candidate[idx]);
         }
       }
       std::size_t k = 0;
-      for (std::size_t idx : groups_[g]) proposal_unit[idx] = best_coords[k++];
+      for (std::size_t idx : groups[g]) proposal_unit[idx] = best_coords[k++];
     }
 
     search::Config proposal = space.decode_unit(proposal_unit);

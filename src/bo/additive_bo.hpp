@@ -6,12 +6,25 @@
 // joint search into additive pieces after an expensive analysis, it merges
 // cheap searches that show interdependence.
 
+#include <functional>
+#include <optional>
+
 #include "bo/acquisition.hpp"
 #include "bo/additive_gp.hpp"
 #include "search/objective.hpp"
 #include "search/result.hpp"
 
 namespace tunekit::bo {
+
+/// Called after every evaluation with the full observation archive
+/// (unit-cube rows) and objective values. Returning a non-empty group set
+/// makes the search adopt that decomposition on the next iteration: the
+/// additive GP is rebuilt over the new groups and refit from the complete
+/// archive, so no observation is discarded on a re-cut. This is how the
+/// online structure learner (structure::OnlineLearner) re-partitions a
+/// running additive search.
+using RegroupHook = std::function<std::optional<std::vector<std::vector<std::size_t>>>(
+    const std::vector<std::vector<double>>& units, const std::vector<double>& values)>;
 
 struct AdditiveBoOptions {
   std::size_t max_evals = 100;
@@ -29,6 +42,9 @@ struct AdditiveBoOptions {
   std::size_t hyperopt_restarts = 1;
   std::size_t hyperopt_max_iters = 60;
   std::uint64_t seed = 1;
+
+  /// Optional online-repartition hook (null = static decomposition).
+  RegroupHook regroup_hook;
 };
 
 class AdditiveBo {

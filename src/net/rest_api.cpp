@@ -214,6 +214,10 @@ HttpResponse RestApi::route(const HttpRequest& request) {
         if (request.method != "GET") return HttpResponse::error(405, "use GET");
         return HttpResponse::json(200, manager_.report(id));
       }
+      if (seg[3] == "structure") {
+        if (request.method != "GET") return HttpResponse::error(405, "use GET");
+        return HttpResponse::json(200, manager_.structure(id));
+      }
       if (seg[3] == "debug") {
         if (request.method != "GET") return HttpResponse::error(405, "use GET");
         return HttpResponse::json(200, manager_.debug(id));

@@ -7,6 +7,11 @@
 //   POST   /v1/sessions/{id}/ask    {"k": N}  (default 1)
 //   POST   /v1/sessions/{id}/tell   result/failure/observation body
 //   GET    /v1/sessions/{id}/report status + best + metrics
+//   GET    /v1/sessions/{id}/structure
+//                                   learned dependency structure: affinity
+//                                   matrix, active partition, adoption
+//                                   history ({"enabled":false,...} when
+//                                   structure learning is off)
 //   POST   /v1/sessions/{id}/drive  run the session on the fleet (serve
 //                                   --fleet only; synchronous, holds the
 //                                   session lock until exhausted)

@@ -53,6 +53,18 @@ service::SessionOptions options_from_spec(const json::Value& spec,
       static_cast<std::size_t>(spec.number_or("compact_every", 64.0));
   o.replay_cache_capacity =
       static_cast<std::size_t>(spec.number_or("replay_cache_capacity", 128.0));
+  if (spec.contains("structure_online")) {
+    o.structure_online = spec.at("structure_online").as_bool();
+  }
+  o.structure_cadence = static_cast<std::size_t>(
+      spec.number_or("structure_cadence", static_cast<double>(o.structure_cadence)));
+  o.structure_threshold =
+      spec.number_or("structure_threshold", o.structure_threshold);
+  o.structure_evidence = spec.number_or("structure_evidence", o.structure_evidence);
+  o.structure_hysteresis = static_cast<std::size_t>(spec.number_or(
+      "structure_hysteresis", static_cast<double>(o.structure_hysteresis)));
+  o.structure_cooldown = static_cast<std::size_t>(spec.number_or(
+      "structure_cooldown", static_cast<double>(o.structure_cooldown)));
   if (spec.contains("backend")) {
     o.backend = service::backend_from_string(spec.at("backend").as_string());
   }
@@ -481,6 +493,18 @@ json::Value SessionManager::report(const std::string& id) {
   body["space_size"] = json::Value(entry->space->size());
   put_status(body, *entry->session, /*with_best_config=*/true);
   body["metrics"] = entry->session->metrics().to_json();
+  return json::Value(std::move(body));
+}
+
+json::Value SessionManager::structure(const std::string& id) {
+  auto entry = find_or_load(id);
+  json::Object body;
+  std::lock_guard<std::mutex> lock(entry->mutex);
+  if (!entry->session) materialize(*entry, /*resume_from_journal=*/true);
+  body["id"] = json::Value(id);
+  const json::Value snapshot = entry->session->structure_snapshot();
+  body["enabled"] = json::Value(!snapshot.is_null());
+  body["snapshot"] = snapshot;
   return json::Value(std::move(body));
 }
 

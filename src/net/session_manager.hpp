@@ -132,6 +132,12 @@ class SessionManager {
   /// Status + best + session metrics snapshot.
   json::Value report(const std::string& id);
 
+  /// Learned dependency structure for GET /v1/sessions/{id}/structure:
+  /// {"id","enabled","snapshot"} where snapshot is the latest
+  /// structure::OnlineLearner state (affinity matrix, active partition,
+  /// adoption history) or null when structure learning is off.
+  json::Value structure(const std::string& id);
+
   /// Graceful close: journals the final metrics snapshot and forgets the
   /// session (the journal stays on disk).
   json::Value close(const std::string& id);

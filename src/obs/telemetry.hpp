@@ -298,6 +298,19 @@ inline constexpr const char* kHttpRequestSeconds = "tunekit_http_request_seconds
 // the "tunekit_fleet_clock_offset_seconds_node_<id>" suffix convention.
 inline constexpr const char* kFleetClockOffsetSeconds =
     "tunekit_fleet_clock_offset_seconds";
+// Online structure learning: affinity refits, adopted repartitions, refit
+// latency, and the active-partition shape (block count / largest block /
+// observations since the last repartition) surfaced by `tunekit_cli top`.
+inline constexpr const char* kStructureRefits = "tunekit_structure_refits_total";
+inline constexpr const char* kStructureRepartitions =
+    "tunekit_structure_repartitions_total";
+inline constexpr const char* kStructureRefitSeconds =
+    "tunekit_structure_refit_seconds";
+inline constexpr const char* kStructureBlocks = "tunekit_structure_blocks";
+inline constexpr const char* kStructureLargestBlock =
+    "tunekit_structure_largest_block";
+inline constexpr const char* kStructureEvalsSinceRepartition =
+    "tunekit_structure_evals_since_repartition";
 }  // namespace metric
 
 /// Counter for a classified evaluation outcome: "ok" → tunekit_evals_ok_total,

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/log.hpp"
+#include "obs/telemetry.hpp"
 #include "search/samplers.hpp"
 #include "search/sobol.hpp"
 
@@ -136,6 +137,20 @@ TuningSession::TuningSession(const search::SearchSpace& space, SessionOptions op
       grid_ = std::move(kept);
     }
   }
+  if (options_.structure_online && space_.size() >= 2) {
+    structure::OnlineLearnerOptions so;
+    so.cadence = std::max<std::size_t>(1, options_.structure_cadence);
+    so.min_observations = std::max(so.cadence, 2 * space_.size());
+    so.affinity_threshold = options_.structure_threshold;
+    so.policy.evidence_threshold = options_.structure_evidence;
+    so.policy.hysteresis = options_.structure_hysteresis;
+    so.policy.cooldown = options_.structure_cooldown;
+    so.affinity.forest.seed = options_.seed ^ 0xa5a5a5a5ull;
+    // Initial cut: every parameter independent — the least-committed prior;
+    // the learner merges parameters as interaction evidence accumulates.
+    structure_ = std::make_unique<structure::OnlineLearner>(
+        space_.size(), structure::Partition{}, so);
+  }
 }
 
 TuningSession::TuningSession(const search::SearchSpace& space, SessionOptions options,
@@ -146,6 +161,9 @@ TuningSession::TuningSession(const search::SearchSpace& space, SessionOptions op
                                   {options_.io, options_.rotate_bytes});
     store_->set_telemetry(options_.telemetry);
     if (options_.event_hook) store_->set_event_hook(options_.event_hook);
+    // Journal the initial cut immediately so `report` can show the partition
+    // history even for a session killed before its first refit.
+    if (structure_) store_->structure(structure_->snapshot());
   }
 }
 
@@ -182,6 +200,38 @@ std::unique_ptr<TuningSession> TuningSession::resume(const search::SearchSpace& 
     session->replay_.put(key, std::move(resp));
   }
   session->next_id_ = std::max(session->next_id_, replayed.next_id);
+  if (session->structure_) {
+    // Restore the learned structure exactly: the journaled snapshot carries
+    // the affinity matrix, active partition, policy state, and adoption
+    // history; the observation archive is rebuilt from the replayed
+    // evaluations (the snapshot covers the first `observations()` finite
+    // ones), and any evaluations told after the last snapshot are re-fed so
+    // the learner ends up byte-for-byte where the killed session was.
+    // Legacy journals without a struct record take the re-feed path from
+    // zero — migration-safe, just a fresh learner over the same data.
+    if (!replayed.structure.is_null()) {
+      session->structure_->restore(replayed.structure);
+    }
+    const std::size_t seen = session->structure_->observations();
+    const std::vector<search::Evaluation> all = session->db_.all();
+    std::vector<std::vector<double>> units;
+    std::vector<double> values;
+    std::vector<const search::Evaluation*> tail;
+    for (const auto& e : all) {
+      if (!std::isfinite(e.value)) continue;
+      if (units.size() < seen) {
+        units.push_back(space.encode_unit(e.config));
+        values.push_back(e.value);
+      } else {
+        tail.push_back(&e);
+      }
+    }
+    session->structure_->seed_archive(units, values);
+    for (const auto* e : tail) session->feed_structure_locked(e->config, e->value);
+    if (replayed.structure.is_null() && session->store_) {
+      session->store_->structure(session->structure_->snapshot());
+    }
+  }
   if (replayed.salvage.lost_records > 0 || replayed.salvage.corrupt_segments > 0) {
     // Resume provenance: the journal now explicitly records that this
     // incarnation continued from a salvaged store, and what the repair cost.
@@ -413,6 +463,7 @@ void TuningSession::record_locked(const search::Config& config, double value,
   e.duration_ms = duration_ms;
   e.worker_slot = worker_slot;
   db_.record(std::move(e));
+  feed_structure_locked(config, value);
   ++completed_since_compact_;
   maybe_compact_locked();
   // A session that just consumed its budget journals its final counters, so
@@ -433,7 +484,51 @@ void TuningSession::maybe_compact_locked() {
   for (const auto& [id, p] : pending_) in_flight.push_back(p.candidate);
   for (const auto& c : reissue_) in_flight.push_back(c);
   store_->compact(make_header(), db_.all(), in_flight, quarantine_.configs(),
-                  metrics_snapshot_locked(), replay_.entries());
+                  metrics_snapshot_locked(), replay_.entries(),
+                  structure_snapshot_locked());
+}
+
+json::Value TuningSession::structure_snapshot_locked() const {
+  return structure_ ? structure_->snapshot() : json::Value();
+}
+
+json::Value TuningSession::structure_snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return structure_snapshot_locked();
+}
+
+void TuningSession::feed_structure_locked(const search::Config& config, double value) {
+  if (!structure_ || !std::isfinite(value)) return;
+  obs::Telemetry* telemetry = options_.telemetry;
+  std::optional<obs::ScopedSpan> span;
+  if (telemetry != nullptr && structure_->refit_due()) {
+    span.emplace(telemetry, "structure.refit");
+  }
+  const structure::StructureEvent event =
+      structure_->observe(space_.encode_unit(config), value);
+  span.reset();
+  if (!event.refit) return;
+  // Durability before visibility, like metrics: the snapshot is journaled the
+  // moment it changes, so a kill right after the refit loses nothing.
+  if (store_) store_->structure(structure_->snapshot());
+  if (event.repartitioned) {
+    log_info("session: repartitioned into ", structure_->active_partition().size(),
+             " blocks at eval ", structure_->observations(), " (evidence ",
+             event.evidence, ")");
+  }
+  if (telemetry != nullptr) {
+    auto& m = telemetry->metrics();
+    m.counter(obs::metric::kStructureRefits).inc();
+    if (event.repartitioned) m.counter(obs::metric::kStructureRepartitions).inc();
+    m.histogram(obs::metric::kStructureRefitSeconds, obs::default_time_buckets())
+        .observe(event.refit_seconds);
+    m.gauge(obs::metric::kStructureBlocks)
+        .set(static_cast<double>(structure_->active_partition().size()));
+    m.gauge(obs::metric::kStructureLargestBlock)
+        .set(static_cast<double>(structure_->largest_block()));
+    m.gauge(obs::metric::kStructureEvalsSinceRepartition)
+        .set(static_cast<double>(structure_->evals_since_repartition()));
+  }
 }
 
 std::size_t TuningSession::issuable_locked() const {

@@ -39,6 +39,7 @@
 #include "search/space.hpp"
 #include "service/replay_cache.hpp"
 #include "service/session_store.hpp"
+#include "structure/online_learner.hpp"
 
 namespace tunekit::obs {
 class Telemetry;
@@ -97,6 +98,23 @@ struct SessionOptions {
   std::size_t replay_cache_capacity = 128;
 
   std::uint64_t seed = 1;
+
+  /// Learn the parameter dependency structure online: every tell feeds a
+  /// structure::OnlineLearner whose affinity matrix and active partition are
+  /// journaled as {"e":"struct"} records (restored exactly on resume) and
+  /// served at GET /v1/sessions/{id}/structure.
+  bool structure_online = false;
+  /// Affinity refit cadence in observations (structure_online only).
+  std::size_t structure_cadence = 20;
+  /// Affinity threshold above which a parameter pair is united in the
+  /// proposed cut.
+  double structure_threshold = 0.25;
+  /// Minimum evidence (recovered affinity-mass fraction) for a repartition.
+  double structure_evidence = 0.10;
+  /// Consecutive confirming refits before a repartition is adopted.
+  std::size_t structure_hysteresis = 2;
+  /// Minimum observations between repartitions.
+  std::size_t structure_cooldown = 20;
 
   /// Telemetry for journal fsync latency and the per-session metrics
   /// snapshot record (null = disabled, the default).
@@ -232,6 +250,10 @@ class TuningSession {
   /// Package the session as a SearchResult (method "session-<backend>").
   search::SearchResult to_result() const;
 
+  /// Latest learned dependency-structure snapshot (null Value when
+  /// structure_online is off). Thread-safe.
+  json::Value structure_snapshot() const;
+
  private:
   struct Pending {
     Candidate candidate;
@@ -240,6 +262,11 @@ class TuningSession {
 
   JournalHeader make_header() const;
   json::Value metrics_snapshot_locked() const;
+  /// Feed one completed observation to the structure learner; journals a
+  /// {"e":"struct"} snapshot after every refit and updates the
+  /// tunekit_structure_* metrics. No-op when structure learning is off.
+  void feed_structure_locked(const search::Config& config, double value);
+  json::Value structure_snapshot_locked() const;
   void expire_overdue_locked();
   /// Retry-or-drop a candidate whose attempt failed for reason `why`.
   void fail_attempt_locked(Candidate candidate, robust::EvalOutcome why,
@@ -265,6 +292,8 @@ class TuningSession {
   std::uint64_t next_id_ = 0;
   bool closed_ = false;
   std::size_t completed_since_compact_ = 0;
+  /// Online dependency-structure learner (null unless structure_online).
+  std::unique_ptr<structure::OnlineLearner> structure_;
   SessionMetrics metrics_;
   ReplayCache replay_;
   /// Wall seconds accumulated by previous incarnations (restored on resume);

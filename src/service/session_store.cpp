@@ -686,6 +686,13 @@ void SessionStore::metrics(const json::Value& snapshot) {
   append_record(json::Value(std::move(obj)));
 }
 
+void SessionStore::structure(const json::Value& snapshot) {
+  json::Object obj;
+  obj["e"] = json::Value("struct");
+  obj["snap"] = snapshot;
+  append_record(json::Value(std::move(obj)));
+}
+
 void SessionStore::rpc(const std::string& key, const std::string& response) {
   json::Object obj;
   obj["e"] = json::Value("rpc");
@@ -708,7 +715,8 @@ void SessionStore::compact(
     const std::vector<Candidate>& in_flight,
     const std::vector<search::Config>& quarantined,
     const json::Value& metrics_snapshot,
-    const std::vector<std::pair<std::string, std::string>>& rpc_cache) {
+    const std::vector<std::pair<std::string, std::string>>& rpc_cache,
+    const json::Value& structure_snapshot) {
   if (poisoned_) {
     throw StorePoisonedError("SessionStore: store for '" + path_ +
                              "' is poisoned; refusing to compact");
@@ -763,6 +771,12 @@ void SessionStore::compact(
         json::Object obj;
         obj["e"] = json::Value("metrics");
         obj["snap"] = metrics_snapshot;
+        append_record(json::Value(std::move(obj)), /*allow_rotation=*/false);
+      }
+      if (!structure_snapshot.is_null()) {
+        json::Object obj;
+        obj["e"] = json::Value("struct");
+        obj["snap"] = structure_snapshot;
         append_record(json::Value(std::move(obj)), /*allow_rotation=*/false);
       }
     } catch (...) {
@@ -836,6 +850,13 @@ void apply_events(const std::vector<json::Value>& events,
       if (e == "metrics") {
         // Latest snapshot wins; absent "snap" (foreign writer) is tolerated.
         if (v.contains("snap")) out.metrics = v.at("snap");
+        continue;
+      }
+      if (e == "struct") {
+        // Learned dependency structure: latest snapshot wins, same contract
+        // as metrics. Journals without any struct record (legacy sessions,
+        // structure learning off) simply leave Replay::structure null.
+        if (v.contains("snap")) out.structure = v.at("snap");
         continue;
       }
       if (e == "rpc") {

@@ -33,6 +33,14 @@
 //   {"e":"metrics","snap":{...}}                        session metrics snapshot
 //                                                       (latest wins; rewritten by
 //                                                       compaction so it survives)
+//   {"e":"struct","snap":{...}}                         learned dependency-structure
+//                                                       snapshot (affinity matrix,
+//                                                       active partition, policy
+//                                                       state, adoption history):
+//                                                       latest wins on replay,
+//                                                       rewritten by compaction, so
+//                                                       resume restores the living
+//                                                       partition exactly
 //   {"e":"rpc","key":K,"resp":R}                        idempotency-key replay
 //                                                       entry: the serialized
 //                                                       response already sent for
@@ -186,6 +194,11 @@ class SessionStore {
     /// session-level counters a resumed session continues from, and what
     /// `tunekit_cli report` aggregates without replaying the evaluations.
     json::Value metrics;
+    /// Latest dependency-structure snapshot (null Value when none, e.g. a
+    /// legacy journal or a session without online structure learning): the
+    /// learned affinity matrix + active partition a resumed session's
+    /// structure::OnlineLearner restores byte-for-byte.
+    json::Value structure;
     /// Idempotency-key replay entries in journal order (oldest first, later
     /// records for the same key superseding earlier ones): the responses a
     /// resumed session must keep answering retried requests with.
@@ -272,6 +285,9 @@ class SessionStore {
   /// Journal a metrics snapshot (any JSON object; latest record wins on
   /// replay). Pass the same snapshot to compact() so it survives rewrites.
   void metrics(const json::Value& snapshot);
+  /// Journal a learned dependency-structure snapshot (latest wins on
+  /// replay). Pass the same snapshot to compact() so it survives rewrites.
+  void structure(const json::Value& snapshot);
   /// Journal an idempotency-key replay entry: `response` is what was (or is
   /// about to be) answered for request key `key`; after a crash the resumed
   /// session replays it for a retried request instead of re-executing.
@@ -287,7 +303,8 @@ class SessionStore {
                const std::vector<Candidate>& in_flight,
                const std::vector<search::Config>& quarantined = {},
                const json::Value& metrics_snapshot = json::Value(),
-               const std::vector<std::pair<std::string, std::string>>& rpc_cache = {});
+               const std::vector<std::pair<std::string, std::string>>& rpc_cache = {},
+               const json::Value& structure_snapshot = json::Value());
 
  private:
   SessionStore(std::FILE* file, std::string path, const Options& options,

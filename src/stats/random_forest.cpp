@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
 #include "stats/descriptive.hpp"
 
 namespace tunekit::stats {
@@ -29,8 +30,16 @@ void RandomForest::fit(const linalg::Matrix& x, const std::vector<double>& y) {
       1, static_cast<std::size_t>(std::llround(options_.bootstrap_fraction *
                                                static_cast<double>(n))));
 
-  for (std::size_t t = 0; t < options_.n_trees; ++t) {
-    tunekit::Rng tree_rng = rng.split();
+  // Determinism under parallelism: every tree's RNG is split off the forest
+  // stream sequentially — the exact sequence the serial loop produced — so
+  // tree t sees the same randomness no matter which worker fits it or in
+  // what order the workers finish.
+  std::vector<tunekit::Rng> tree_rngs;
+  tree_rngs.reserve(options_.n_trees);
+  for (std::size_t t = 0; t < options_.n_trees; ++t) tree_rngs.push_back(rng.split());
+
+  const auto fit_tree = [&](std::size_t t) {
+    tunekit::Rng& tree_rng = tree_rngs[t];
     std::vector<std::size_t> rows(n_draw);
     for (auto& r : rows) {
       r = static_cast<std::size_t>(
@@ -38,7 +47,15 @@ void RandomForest::fit(const linalg::Matrix& x, const std::vector<double>& y) {
     }
     RegressionTree tree(tree_opts);
     tree.fit(x, y, rows, tree_rng);
-    trees_.push_back(std::move(tree));
+    trees_[t] = std::move(tree);
+  };
+
+  trees_.resize(options_.n_trees);
+  if (options_.n_threads == 1 || options_.n_trees < 2) {
+    for (std::size_t t = 0; t < options_.n_trees; ++t) fit_tree(t);
+  } else {
+    tunekit::ThreadPool pool(options_.n_threads);
+    pool.parallel_for(options_.n_trees, fit_tree);
   }
 }
 

@@ -20,6 +20,13 @@ struct ForestOptions {
   /// Features per split; 0 means d/3 (regression default), capped at d.
   std::size_t max_features = 0;
   std::uint64_t seed = 7;
+  /// Worker threads for tree fitting: 1 fits serially (the default), 0 uses
+  /// hardware_concurrency(), n uses n. The fitted forest — including
+  /// impurity importances — is bit-identical for a fixed seed regardless of
+  /// this value: every tree's RNG is pre-split sequentially from the forest
+  /// seed before any parallel dispatch, trees land in index order, and
+  /// importances are accumulated in that same order.
+  std::size_t n_threads = 1;
 };
 
 class RandomForest {

@@ -1,0 +1,263 @@
+#include "structure/affinity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/cholesky.hpp"
+#include "stats/correlation.hpp"
+
+namespace tunekit::structure {
+
+namespace {
+
+json::Value matrix_to_json(const linalg::Matrix& m) {
+  json::Array flat;
+  flat.reserve(m.rows() * m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) flat.push_back(json::Value(m(r, c)));
+  }
+  return json::Value(std::move(flat));
+}
+
+linalg::Matrix matrix_from_json(const json::Value& v, std::size_t dims) {
+  linalg::Matrix m(dims, dims);
+  const auto& flat = v.as_array();
+  if (flat.size() != dims * dims) {
+    throw std::invalid_argument("AffinityEstimator: matrix size mismatch");
+  }
+  std::size_t k = 0;
+  for (std::size_t r = 0; r < dims; ++r) {
+    for (std::size_t c = 0; c < dims; ++c) m(r, c) = flat[k++].as_number();
+  }
+  return m;
+}
+
+json::Value vector_to_json(const std::vector<double>& v) {
+  json::Array arr;
+  arr.reserve(v.size());
+  for (double d : v) arr.push_back(json::Value(d));
+  return json::Value(std::move(arr));
+}
+
+std::vector<double> vector_from_json(const json::Value& v, std::size_t dims) {
+  const auto& arr = v.as_array();
+  if (arr.size() != dims) {
+    throw std::invalid_argument("AffinityEstimator: vector size mismatch");
+  }
+  std::vector<double> out(dims);
+  for (std::size_t i = 0; i < dims; ++i) out[i] = arr[i].as_number();
+  return out;
+}
+
+}  // namespace
+
+AffinityEstimator::AffinityEstimator(std::size_t dims, AffinityOptions options)
+    : dims_(dims),
+      options_(options),
+      ew_x_(dims, 0.0),
+      ew_xy_(dims, 0.0),
+      ew_xx_(dims, 0.0),
+      importance_(dims, 0.0),
+      interaction_(dims, dims),
+      affinity_(dims, dims) {
+  if (dims_ == 0) throw std::invalid_argument("AffinityEstimator: zero dims");
+}
+
+void AffinityEstimator::observe(const std::vector<double>& unit, double value) {
+  if (unit.size() != dims_) {
+    throw std::invalid_argument("AffinityEstimator::observe: dim mismatch");
+  }
+  archive_units_.push_back(unit);
+  archive_values_.push_back(value);
+  ++seen_;
+
+  // Warm-start the EWMA as a plain running mean until 1/decay observations,
+  // then switch to exponential forgetting so relevance shifts stay visible.
+  const double a = std::max(options_.decay, 1.0 / static_cast<double>(seen_));
+  ew_y_ += a * (value - ew_y_);
+  ew_yy_ += a * (value * value - ew_yy_);
+  for (std::size_t i = 0; i < dims_; ++i) {
+    const double x = unit[i];
+    ew_x_[i] += a * (x - ew_x_[i]);
+    ew_xy_[i] += a * (x * value - ew_xy_[i]);
+    ew_xx_[i] += a * (x * x - ew_xx_[i]);
+  }
+}
+
+std::vector<double> AffinityEstimator::selection_scores() const {
+  std::vector<double> out(dims_, 0.0);
+  const double var_y = std::max(0.0, ew_yy_ - ew_y_ * ew_y_);
+  if (var_y <= 1e-12) return out;
+  for (std::size_t i = 0; i < dims_; ++i) {
+    const double var_x = std::max(0.0, ew_xx_[i] - ew_x_[i] * ew_x_[i]);
+    if (var_x <= 1e-12) continue;
+    const double cov = ew_xy_[i] - ew_x_[i] * ew_y_;
+    out[i] = std::min(1.0, std::abs(cov) / std::sqrt(var_x * var_y));
+  }
+  return out;
+}
+
+void AffinityEstimator::refit(std::size_t min_rows) {
+  const std::size_t n = archive_values_.size();
+  if (n < std::max<std::size_t>(min_rows, 4)) return;
+
+  linalg::Matrix x(n, dims_);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < dims_; ++c) x(r, c) = archive_units_[r][c];
+  }
+
+  stats::RandomForest forest(options_.forest);
+  forest.fit(x, archive_values_);
+  importance_ = forest.impurity_importance();
+
+  // Pairwise interaction: strip the *whole* additive quadratic model — one
+  // ridge regression of y on every dimension's centered linear and quadratic
+  // term — then correlate each pair's centered product with that global
+  // residual. Under a purely additive objective the residual is noise, so
+  // every product correlates ~0; a multiplicative coupling survives into the
+  // residual and its own pair's product correlates strongly. Removing all
+  // main effects (not just the pair's) matters: another block's unmodeled
+  // additive structure would otherwise inflate the residual variance and
+  // drown the true pair's signal.
+  std::vector<double> mean(dims_, 0.0);
+  for (std::size_t c = 0; c < dims_; ++c) {
+    double acc = 0.0;
+    for (std::size_t r = 0; r < n; ++r) acc += x(r, c);
+    mean[c] = acc / static_cast<double>(n);
+  }
+  double y_mean = 0.0;
+  for (double v : archive_values_) y_mean += v;
+  y_mean /= static_cast<double>(n);
+
+  // Design: [d_0, d_0^2, d_1, d_1^2, ...] with every column centered, so the
+  // intercept is just y_mean.
+  const std::size_t p = 2 * dims_;
+  linalg::Matrix phi(n, p);
+  for (std::size_t c = 0; c < dims_; ++c) {
+    double sq_mean = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double d = x(r, c) - mean[c];
+      phi(r, 2 * c) = d;
+      phi(r, 2 * c + 1) = d * d;
+      sq_mean += d * d;
+    }
+    sq_mean /= static_cast<double>(n);
+    for (std::size_t r = 0; r < n; ++r) phi(r, 2 * c + 1) -= sq_mean;
+  }
+
+  // Ridge-regularized normal equations keep the solve well-posed even when
+  // the archive is small or the sampler clustered the rows.
+  linalg::Matrix gram(p, p);
+  std::vector<double> rhs(p, 0.0);
+  for (std::size_t a = 0; a < p; ++a) {
+    for (std::size_t b = a; b < p; ++b) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < n; ++r) acc += phi(r, a) * phi(r, b);
+      gram(a, b) = acc;
+      gram(b, a) = acc;
+    }
+    gram(a, a) += 1e-6 * static_cast<double>(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      rhs[a] += phi(r, a) * (archive_values_[r] - y_mean);
+    }
+  }
+  const linalg::Matrix chol = linalg::cholesky(gram);
+  const std::vector<double> beta = linalg::solve_with_cholesky(chol, rhs);
+
+  std::vector<double> residual(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double fit = y_mean;
+    for (std::size_t a = 0; a < p; ++a) fit += phi(r, a) * beta[a];
+    residual[r] = archive_values_[r] - fit;
+  }
+
+  std::vector<double> product(n);
+  for (std::size_t i = 0; i < dims_; ++i) {
+    interaction_(i, i) = 0.0;
+    for (std::size_t j = i + 1; j < dims_; ++j) {
+      for (std::size_t r = 0; r < n; ++r) {
+        product[r] = phi(r, 2 * i) * phi(r, 2 * j);
+      }
+      double score = stats::pearson(product, residual);
+      if (!std::isfinite(score)) score = 0.0;
+      score = std::min(1.0, std::abs(score));
+      interaction_(i, j) = score;
+      interaction_(j, i) = score;
+    }
+  }
+
+  combine();
+}
+
+void AffinityEstimator::combine() {
+  // Per-node evidence normalized to [0, 1] relative to the strongest node
+  // so channel weights are comparable across objectives.
+  const auto sel = selection_scores();
+  double imp_max = 0.0, sel_max = 0.0;
+  for (std::size_t i = 0; i < dims_; ++i) {
+    imp_max = std::max(imp_max, importance_[i]);
+    sel_max = std::max(sel_max, sel[i]);
+  }
+  for (std::size_t i = 0; i < dims_; ++i) {
+    affinity_(i, i) = 0.0;
+    for (std::size_t j = i + 1; j < dims_; ++j) {
+      const double imp = imp_max > 0.0
+                             ? std::min(importance_[i], importance_[j]) / imp_max
+                             : 0.0;
+      const double inc = sel_max > 0.0 ? std::min(sel[i], sel[j]) / sel_max : 0.0;
+      // Interaction is the edge signal; node channels gate it so a strong
+      // product-correlation between two irrelevant parameters cannot force
+      // a merge on its own.
+      const double edge = interaction_(i, j);
+      const double score = options_.w_interaction * edge +
+                           options_.w_importance * imp * edge +
+                           options_.w_incremental * inc * edge;
+      affinity_(i, j) = score;
+      affinity_(j, i) = score;
+    }
+  }
+}
+
+json::Value AffinityEstimator::to_json() const {
+  json::Object obj;
+  obj["dims"] = json::Value(dims_);
+  obj["seen"] = json::Value(seen_);
+  obj["ew_x"] = vector_to_json(ew_x_);
+  obj["ew_xy"] = vector_to_json(ew_xy_);
+  obj["ew_xx"] = vector_to_json(ew_xx_);
+  obj["ew_y"] = json::Value(ew_y_);
+  obj["ew_yy"] = json::Value(ew_yy_);
+  obj["importance"] = vector_to_json(importance_);
+  obj["interaction"] = matrix_to_json(interaction_);
+  obj["affinity"] = matrix_to_json(affinity_);
+  return json::Value(std::move(obj));
+}
+
+void AffinityEstimator::restore(const json::Value& state) {
+  if (static_cast<std::size_t>(state.at("dims").as_int()) != dims_) {
+    throw std::invalid_argument("AffinityEstimator::restore: dim mismatch");
+  }
+  seen_ = static_cast<std::size_t>(state.at("seen").as_int());
+  ew_x_ = vector_from_json(state.at("ew_x"), dims_);
+  ew_xy_ = vector_from_json(state.at("ew_xy"), dims_);
+  ew_xx_ = vector_from_json(state.at("ew_xx"), dims_);
+  ew_y_ = state.at("ew_y").as_number();
+  ew_yy_ = state.at("ew_yy").as_number();
+  importance_ = vector_from_json(state.at("importance"), dims_);
+  interaction_ = matrix_from_json(state.at("interaction"), dims_);
+  affinity_ = matrix_from_json(state.at("affinity"), dims_);
+  archive_units_.clear();
+  archive_values_.clear();
+}
+
+void AffinityEstimator::seed_archive(const std::vector<std::vector<double>>& units,
+                                     const std::vector<double>& values) {
+  if (units.size() != values.size()) {
+    throw std::invalid_argument("AffinityEstimator::seed_archive: size mismatch");
+  }
+  archive_units_ = units;
+  archive_values_ = values;
+}
+
+}  // namespace tunekit::structure

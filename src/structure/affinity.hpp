@@ -1,0 +1,109 @@
+#pragma once
+// Online parameter-affinity estimation: the evidence source behind the
+// living partition. The paper fixes its dependency structure after a single
+// Phase-1 sensitivity pass; here the structure is re-estimated from the
+// accumulated observation stream so a mis-specified initial cut can be
+// corrected mid-search (cf. BoGraph's learned structure, PAPERS.md).
+//
+// Three evidence channels feed a symmetric dims x dims affinity matrix:
+//
+//   1. Random-forest impurity importance, refreshed on a cadence — a pair
+//      can only interact if both endpoints matter at all.
+//   2. Pairwise interaction scores: |corr| between the centered product
+//      z = (x_i - m_i)(x_j - m_j) and the objective residual after a ridge
+//      fit of every dimension's linear + quadratic main effect. A purely
+//      additive objective leaves a structureless residual (every pair scores
+//      ~0); a multiplicative coupling survives into it and scores high.
+//   3. A dynamic-trees-style incremental selection score: exponentially
+//      weighted |corr(x_i, y)| updated O(d) at every tell, so relevance
+//      shifts are visible between batch refits.
+//
+// The estimator's full state round-trips through JSON exactly (doubles are
+// serialized with %.17g), which is what lets a resumed session restore the
+// learned structure byte-for-byte.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/json.hpp"
+#include "linalg/matrix.hpp"
+#include "stats/random_forest.hpp"
+
+namespace tunekit::structure {
+
+struct AffinityOptions {
+  /// Channel weights; they need not sum to 1 (the affinity is compared
+  /// against a threshold, not normalized).
+  double w_importance = 0.25;
+  double w_interaction = 0.6;
+  double w_incremental = 0.15;
+  /// EWMA decay for the incremental selection score (per observation).
+  double decay = 0.02;
+  /// Forest used for the batch importance refresh.
+  stats::ForestOptions forest;
+};
+
+class AffinityEstimator {
+ public:
+  AffinityEstimator(std::size_t dims, AffinityOptions options = {});
+
+  /// O(d) incremental update; call at every tell.
+  void observe(const std::vector<double>& unit, double value);
+
+  /// Batch refresh from the full archive: random-forest importance plus
+  /// pairwise interaction scores. No-op below `min_rows` observations.
+  void refit(std::size_t min_rows = 8);
+
+  std::size_t dims() const { return dims_; }
+  /// Observations seen in total, including ones covered by a restored
+  /// snapshot (the archive may transiently hold fewer after restore()).
+  std::size_t observations() const { return seen_; }
+
+  /// Symmetric affinity matrix; entry (i,j) is the combined evidence that
+  /// parameters i and j belong in the same block.
+  const linalg::Matrix& affinity() const { return affinity_; }
+
+  /// Latest normalized random-forest importance (all-zero before the first
+  /// refit).
+  const std::vector<double>& importance() const { return importance_; }
+
+  /// Incremental |corr(x_i, y)| selection scores.
+  std::vector<double> selection_scores() const;
+
+  /// Full estimator state (archive excluded — the caller re-seeds it from
+  /// its own durable observation log). Round-trips exactly via restore().
+  json::Value to_json() const;
+  /// Restores counters, incremental moments, importance, interaction and
+  /// affinity matrices. The observation archive stays empty; use
+  /// seed_archive() to refill it.
+  void restore(const json::Value& state);
+
+  /// Refill the batch archive (e.g. from EvalDb after a resume) without
+  /// touching the incremental state or counters.
+  void seed_archive(const std::vector<std::vector<double>>& units,
+                    const std::vector<double>& values);
+
+ private:
+  void combine();
+
+  std::size_t dims_;
+  AffinityOptions options_;
+
+  // Batch archive (unit-cube rows + objective values).
+  std::vector<std::vector<double>> archive_units_;
+  std::vector<double> archive_values_;
+  /// Observations seen in total, including ones restored via snapshot; the
+  /// incremental moments cover exactly this many tells.
+  std::size_t seen_ = 0;
+
+  // Incremental EW moments per dimension: mean x, mean y, mean x*y,
+  // mean x^2, mean y^2 (y moments shared across dims).
+  std::vector<double> ew_x_, ew_xy_, ew_xx_;
+  double ew_y_ = 0.0, ew_yy_ = 0.0;
+
+  std::vector<double> importance_;
+  linalg::Matrix interaction_;
+  linalg::Matrix affinity_;
+};
+
+}  // namespace tunekit::structure

@@ -125,6 +125,15 @@ int usage(const char* argv0) {
       "           --isolate process)\n"
       "session: speaks NDJSON ask/tell on stdin/stdout (docs/SERVICE.md)\n"
       "         --max-evals N --backend bo|random|grid --journal P --resume\n"
+      "structure (session, remote-create; docs/METHODOLOGY.md \"Online\n"
+      "         structure learning\"):\n"
+      "         --structure-online (learn the parameter dependency structure\n"
+      "           from the observation stream; journaled, resumes exactly)\n"
+      "         --structure-cadence N (affinity refit every N evals)\n"
+      "         --structure-threshold F (pair-merge affinity cut)\n"
+      "         --structure-evidence F (min evidence to repartition)\n"
+      "         --structure-hysteresis N (confirming refits required)\n"
+      "         --structure-cooldown N (min evals between repartitions)\n"
       "observability (docs/OBSERVABILITY.md):\n"
       "         --trace-out P (Chrome trace_event JSON of the run)\n"
       "         --metrics-out P (Prometheus text exposition at exit)\n"
@@ -200,6 +209,13 @@ struct CliArgs {
   std::string backend = "bo";
   std::string journal;
   bool resume = false;
+  // online structure learning (session + remote-create specs)
+  bool structure_online = false;
+  std::size_t structure_cadence = 20;
+  double structure_threshold = 0.25;
+  double structure_evidence = 0.10;
+  std::size_t structure_hysteresis = 2;
+  std::size_t structure_cooldown = 20;
   // process isolation
   std::string isolate;  // "" = default (thread), else "thread"/"process"
   std::string worker_bin;
@@ -294,6 +310,12 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       else if (flag == "--backend") args.backend = next();
       else if (flag == "--journal") args.journal = next();
       else if (flag == "--resume") args.resume = true;
+      else if (flag == "--structure-online") args.structure_online = true;
+      else if (flag == "--structure-cadence") args.structure_cadence = std::stoul(next());
+      else if (flag == "--structure-threshold") args.structure_threshold = std::stod(next());
+      else if (flag == "--structure-evidence") args.structure_evidence = std::stod(next());
+      else if (flag == "--structure-hysteresis") args.structure_hysteresis = std::stoul(next());
+      else if (flag == "--structure-cooldown") args.structure_cooldown = std::stoul(next());
       else if (flag == "--isolate") args.isolate = next();
       else if (flag == "--worker-bin") args.worker_bin = next();
       else if (flag == "--mem-limit-mb") args.mem_limit_mb = std::stod(next());
@@ -480,6 +502,12 @@ int cmd_session(core::TunableApp& app, const CliArgs& args, obs::Telemetry* tele
   opt.backend = service::backend_from_string(args.backend);
   opt.seed = args.seed;
   opt.telemetry = telemetry;
+  opt.structure_online = args.structure_online;
+  opt.structure_cadence = args.structure_cadence;
+  opt.structure_threshold = args.structure_threshold;
+  opt.structure_evidence = args.structure_evidence;
+  opt.structure_hysteresis = args.structure_hysteresis;
+  opt.structure_cooldown = args.structure_cooldown;
 
   std::unique_ptr<service::TuningSession> session;
   if (args.resume) {
@@ -522,7 +550,8 @@ struct JournalSummary {
   std::map<std::string, std::size_t> failure_outcomes;  // from "fail" records
   std::map<int, std::size_t> slot_tells;                // tells per worker slot
   std::map<std::string, NodeStats> node_stats;          // keyed by fleet node id
-  json::Value metrics;  // latest {"e":"metrics"} snapshot (null = none)
+  json::Value metrics;    // latest {"e":"metrics"} snapshot (null = none)
+  json::Value structure;  // latest {"e":"struct"} snapshot (null = none)
 };
 
 /// Linearly interpolated percentile (q in [0,1]); sorts `values` in place.
@@ -584,9 +613,31 @@ JournalSummary summarize_journal(const std::filesystem::path& path) {
       ++s.drops;
     } else if (e == "metrics") {
       if (rec.contains("snap")) s.metrics = rec.at("snap");
+    } else if (e == "struct") {
+      // Latest dependency-structure snapshot wins, same contract as metrics;
+      // its embedded adoption history covers every earlier repartition, so
+      // compaction never loses the partition trail.
+      if (rec.contains("snap")) s.structure = rec.at("snap");
     }
   }
   return s;
+}
+
+/// "[0 1][2 3][4]" from a snapshot's partition array.
+std::string format_partition(const json::Value& partition) {
+  std::string out;
+  if (!partition.is_array()) return out;
+  for (const auto& block : partition.as_array()) {
+    out += '[';
+    bool first = true;
+    for (const auto& idx : block.as_array()) {
+      if (!first) out += ' ';
+      first = false;
+      out += std::to_string(static_cast<std::size_t>(idx.as_number()));
+    }
+    out += ']';
+  }
+  return out;
 }
 
 int cmd_report(const std::string& dir) {
@@ -642,6 +693,7 @@ int cmd_report(const std::string& dir) {
                                 ns.durations_ms.end());
       }
       if (!s.metrics.is_null()) acc.metrics = s.metrics;
+      if (!s.structure.is_null()) acc.structure = s.structure;
     } else {
       sessions.push_back(std::move(s));
     }
@@ -708,6 +760,34 @@ int cmd_report(const std::string& dir) {
       for (const auto& [slot, n] : total.slot_tells) {
         std::cout << "  slot " << slot << ": " << n << "\n";
       }
+    }
+    // Partition history: the living partition's trail — initial cut, then
+    // every adopted repartition with its evidence score and eval index —
+    // reconstructed from the {"e":"struct"} journal records alone.
+    for (const auto& s : sessions) {
+      if (s.structure.is_null() || !s.structure.contains("history")) continue;
+      std::cout << "\nPartition history (" << s.name << "):\n";
+      for (const auto& entry : s.structure.at("history").as_array()) {
+        const std::string kind =
+            entry.contains("kind") ? entry.at("kind").as_string() : "?";
+        const auto eval = static_cast<std::size_t>(entry.number_or("eval", 0.0));
+        std::cout << "  " << kind;
+        for (std::size_t pad = kind.size(); pad < 12; ++pad) std::cout << ' ';
+        std::cout << "eval " << eval;
+        if (kind != "init") {
+          std::cout << "  evidence " << Table::fmt(entry.number_or("evidence", 0.0), 3);
+        }
+        std::cout << "  " << static_cast<std::size_t>(entry.number_or("blocks", 0.0))
+                  << " blocks  " << format_partition(entry.contains("partition")
+                                                         ? entry.at("partition")
+                                                         : json::Value())
+                  << "\n";
+      }
+      const auto since = static_cast<std::size_t>(
+          s.structure.number_or("observations", 0.0) -
+          s.structure.number_or("last_repartition_eval", 0.0));
+      std::cout << "  active: " << format_partition(s.structure.at("partition"))
+                << "  (" << since << " evals since last repartition)\n";
     }
     // Per-fleet-node attribution, reconstructed from journals alone — no
     // server, no telemetry endpoint; works on any checkpoint dir copied off
@@ -1038,6 +1118,23 @@ HistogramSnapshot parse_histogram(const std::string& text, const std::string& na
   return h;
 }
 
+/// One unlabelled gauge/counter sample from /metrics text. Returns NaN when
+/// the metric is absent (e.g. structure learning off — no gauge exported).
+double parse_gauge(const std::string& text, const std::string& name) {
+  const std::string prefix = name + " ";
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(prefix, 0) != 0) continue;
+    try {
+      return std::stod(line.substr(prefix.size()));
+    } catch (const std::exception&) {
+      continue;
+    }
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
 void render_latency_line(const std::string& label, const HistogramSnapshot& h) {
   if (h.count <= 0.0) {
     std::printf("  %-14s (no samples)\n", label.c_str());
@@ -1124,6 +1221,26 @@ int cmd_top(const CliArgs& args) {
       }
     }
 
+    // Active learned partition, when any session runs --structure-online.
+    // The gauges track the most recent refit fleet-wide; absent metrics
+    // (structure learning off everywhere) hide the panel entirely.
+    {
+      const double blocks = parse_gauge(metrics_text, obs::metric::kStructureBlocks);
+      if (!std::isnan(blocks)) {
+        const double largest =
+            parse_gauge(metrics_text, obs::metric::kStructureLargestBlock);
+        const double since = parse_gauge(
+            metrics_text, obs::metric::kStructureEvalsSinceRepartition);
+        const double repartitions =
+            parse_gauge(metrics_text, obs::metric::kStructureRepartitions);
+        std::printf("\nStructure: blocks=%.0f largest=%.0f "
+                    "evals_since_repartition=%.0f repartitions=%.0f\n",
+                    blocks, std::isnan(largest) ? 0.0 : largest,
+                    std::isnan(since) ? 0.0 : since,
+                    std::isnan(repartitions) ? 0.0 : repartitions);
+      }
+    }
+
     std::printf("\nLatency:\n");
     render_latency_line("http request",
                         parse_histogram(metrics_text, obs::metric::kHttpRequestSeconds));
@@ -1182,6 +1299,14 @@ json::Value make_session_spec(const CliArgs& args) {
   spec["max_evals"] = json::Value(args.max_evals);
   spec["seed"] = json::Value(args.seed);
   if (!args.session_id.empty()) spec["id"] = json::Value(args.session_id);
+  if (args.structure_online) {
+    spec["structure_online"] = json::Value(true);
+    spec["structure_cadence"] = json::Value(args.structure_cadence);
+    spec["structure_threshold"] = json::Value(args.structure_threshold);
+    spec["structure_evidence"] = json::Value(args.structure_evidence);
+    spec["structure_hysteresis"] = json::Value(args.structure_hysteresis);
+    spec["structure_cooldown"] = json::Value(args.structure_cooldown);
+  }
   return json::Value(std::move(spec));
 }
 
